@@ -1,0 +1,462 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: each one switches off a design
+decision the paper's results rest on and measures what it was buying.
+
+* **Indexes** — the paper's Fig. 6 argument assumes every trace lookup is
+  indexed.  Dropping the composite indexes pushes NI into the table-scan
+  regime; INDEXPROJ, with its single lookup, degrades far less.
+* **Plan cache** — Section 3 argues the workflow-graph traversal can be
+  cached across queries; cold vs warm planning quantifies it.
+* **Xfer granularity** — per-element transfer events (the paper's Fig. 2
+  granularity) vs one whole-value event per arc: trace size vs identical
+  answers.
+"""
+
+from repro.bench.harness import best_of, prepare_store
+from repro.engine.executor import WorkflowRunner
+from repro.provenance.store import TraceStore
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.testbed.generator import chain_product_workflow, focused_query
+from repro.testbed.runs import populate_store
+
+ABLATION_L = 50
+ABLATION_D = 25
+
+
+def bench_ablation_indexes_ni_indexed(benchmark):
+    """Baseline: NI with the composite indexes in place."""
+    prepared = prepare_store(ABLATION_L, ABLATION_D, runs=1, cache=False)
+    engine = NaiveEngine(prepared.store)
+    run_id = prepared.run_ids[0]
+    result = benchmark(lambda: engine.lineage(run_id, focused_query()))
+    assert result.bindings
+    prepared.close()
+
+
+def bench_ablation_indexes_ni_dropped(benchmark):
+    """NI after dropping every secondary index (full scans per hop)."""
+    prepared = prepare_store(ABLATION_L, ABLATION_D, runs=1, cache=False)
+    prepared.store.drop_indexes()
+    assert not prepared.store.has_indexes()
+    engine = NaiveEngine(prepared.store)
+    run_id = prepared.run_ids[0]
+    result = benchmark(lambda: engine.lineage(run_id, focused_query()))
+    assert result.bindings
+    prepared.close()
+
+
+def bench_ablation_indexes_indexproj_dropped(benchmark):
+    """INDEXPROJ after dropping the indexes: one scan instead of many."""
+    prepared = prepare_store(ABLATION_L, ABLATION_D, runs=1, cache=False)
+    prepared.store.drop_indexes()
+    flow = prepared.flow
+    engine = IndexProjEngine(prepared.store, flow)
+    run_id = prepared.run_ids[0]
+    engine.lineage(run_id, focused_query())  # warm plan
+    result = benchmark(lambda: engine.lineage(run_id, focused_query()))
+    assert result.bindings
+    prepared.close()
+
+
+def bench_ablation_indexes_report(benchmark, emit_report):
+    """Quantify the index ablation and check the expected ordering."""
+
+    def run() -> list:
+        rows = []
+        for indexed in (True, False):
+            prepared = prepare_store(ABLATION_L, ABLATION_D, runs=1, cache=False)
+            if not indexed:
+                prepared.store.drop_indexes()
+            ni = NaiveEngine(prepared.store)
+            ip = IndexProjEngine(prepared.store, prepared.flow)
+            run_id = prepared.run_ids[0]
+            query = focused_query()
+            ip.lineage(run_id, query)  # warm plan cache
+            ni_timing, _ = best_of(lambda: ni.lineage(run_id, query), 5)
+            ip_timing, _ = best_of(lambda: ip.lineage(run_id, query), 5)
+            rows.append(
+                {
+                    "indexes": "yes" if indexed else "no",
+                    "naive_ms": ni_timing.best_ms,
+                    "indexproj_ms": ip_timing.best_ms,
+                    "records": prepared.record_count,
+                }
+            )
+            prepared.close()
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "ablation_indexes",
+        rows,
+        f"Ablation — secondary indexes (l={ABLATION_L}, d={ABLATION_D})",
+    )
+    indexed, dropped = rows
+    # Dropping indexes must hurt NI much more than INDEXPROJ (absolute).
+    ni_penalty = dropped["naive_ms"] - indexed["naive_ms"]
+    ip_penalty = dropped["indexproj_ms"] - indexed["indexproj_ms"]
+    assert ni_penalty > 5 * max(ip_penalty, 0.001)
+
+
+def bench_ablation_plan_cache_cold(benchmark):
+    """Cold planning: graph traversal on every query."""
+    prepared = prepare_store(ABLATION_L, ABLATION_D, runs=1)
+    engine = IndexProjEngine(prepared.store, prepared.flow, cache_plans=False)
+    run_id = prepared.run_ids[0]
+    result = benchmark(lambda: engine.lineage(run_id, focused_query()))
+    assert result.bindings
+
+
+def bench_ablation_plan_cache_warm(benchmark):
+    """Warm planning: the cached-plan fast path."""
+    prepared = prepare_store(ABLATION_L, ABLATION_D, runs=1)
+    engine = IndexProjEngine(prepared.store, prepared.flow, cache_plans=True)
+    run_id = prepared.run_ids[0]
+    engine.lineage(run_id, focused_query())
+    result = benchmark(lambda: engine.lineage(run_id, focused_query()))
+    assert result.bindings
+
+
+def bench_ablation_breadth_report(benchmark, emit_report):
+    """Workflow breadth: the paper factors it out of the experiment space
+    because "the 'breadth' of a workflow does indeed affect the graph
+    search phase of query processing, [but] it does so equally for all
+    approaches".  The n-ary testbed variant makes that checkable: the
+    traversal grows with the branch count while INDEXPROJ's trace access
+    stays at one lookup.
+    """
+
+    def run() -> list:
+        from repro.engine.executor import WorkflowRunner
+        from repro.provenance.capture import capture_run
+        from repro.query.base import LineageQuery
+        from repro.testbed.generator import multi_chain_workflow
+        from repro.values.index import Index
+
+        rows = []
+        runner = WorkflowRunner()
+        for branches in (2, 3, 4, 6):
+            flow = multi_chain_workflow(20, branches=branches)
+            captured = capture_run(flow, {"ListSize": 4}, runner=runner)
+            with TraceStore() as store:
+                store.insert_trace(captured.trace)
+                query = LineageQuery.create(
+                    "2TO1_FINAL", "y", Index.of([0] * branches), ["LISTGEN_1"]
+                )
+                engine = IndexProjEngine(store, flow, cache_plans=False)
+                timing, result = best_of(
+                    lambda: engine.lineage(captured.run_id, query), 5
+                )
+                plan, _ = engine.plan(query)
+                rows.append(
+                    {
+                        "branches": branches,
+                        "graph_nodes": len(flow.processors),
+                        "visited_ports": plan.visited_ports,
+                        "sql_queries": result.stats.queries,
+                        "indexproj_ms": timing.best_ms,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "ablation_breadth",
+        rows,
+        "Ablation — workflow breadth (n-ary testbed, l=20, d=4)",
+    )
+    visited = [row["visited_ports"] for row in rows]
+    assert visited == sorted(visited) and visited[-1] > visited[0]
+    assert all(row["sql_queries"] == 1 for row in rows)
+
+
+def bench_ablation_value_interning_report(benchmark, emit_report, tmp_path_factory):
+    """Inline payloads vs a normalized value pool.
+
+    Interning wins exactly where real traces are heavy: large values
+    recorded whole by many instances (the paper's P:X2 pattern) and
+    repeated across runs.  Query answers are identical either way; query
+    time pays one LEFT JOIN.
+    """
+
+    def run() -> list:
+        from repro.engine.processors import default_registry
+        from repro.workflow.builder import DataflowBuilder
+
+        flow = (
+            DataflowBuilder("wf")
+            .input("keys", "list(string)")
+            .input("biglist", "list(string)")
+            .output("out", "list(integer)")
+            .processor(
+                "P",
+                inputs=[("k", "string"), ("whole", "list(string)")],
+                outputs=[("y", "integer")],
+                operation="measure",
+            )
+            .arcs(("wf:keys", "P:k"), ("wf:biglist", "P:whole"),
+                  ("P:y", "wf:out"))
+            .build()
+        )
+        registry = default_registry().extended()
+        registry.register(
+            "measure", lambda inputs, config: {"y": len(inputs["whole"])}
+        )
+        inputs = {
+            "keys": [f"k{i}" for i in range(50)],
+            "biglist": [f"payload-item-{i:06d}" for i in range(400)],
+        }
+        base = tmp_path_factory.mktemp("interning")
+        rows = []
+        from repro.engine.executor import WorkflowRunner
+        from repro.provenance.capture import capture_run
+        from repro.query.base import LineageQuery
+
+        runner = WorkflowRunner(registry)
+        captures = [
+            capture_run(flow, inputs, runner=runner) for _ in range(5)
+        ]
+        for interning in (False, True):
+            path = str(base / f"traces_{interning}.db")
+            with TraceStore(path, intern_values=interning) as store:
+                for captured in captures:
+                    store.insert_trace(captured.trace)
+                store._conn.execute("VACUUM")
+                engine = NaiveEngine(store)
+                query = LineageQuery.create("wf", "out", [0], ["P"])
+                timing, result = best_of(
+                    lambda: engine.lineage(captures[0].run_id, query), 5
+                )
+                bindings = len(result.bindings)
+            import os
+
+            rows.append(
+                {
+                    "payloads": "interned" if interning else "inline",
+                    "db_bytes": os.path.getsize(path),
+                    "query_ms": timing.best_ms,
+                    "bindings": bindings,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "ablation_value_interning",
+        rows,
+        "Ablation — payload storage (P:X2-style workload, 5 runs)",
+    )
+    inline, interned = rows
+    assert interned["db_bytes"] < 0.3 * inline["db_bytes"]
+    assert interned["bindings"] == inline["bindings"]
+
+
+def bench_ablation_impact_forward_report(benchmark, emit_report):
+    """Forward (impact) queries: extensional walk vs pattern-based plan.
+
+    Beyond the paper: the intensional trick reversed.  Note the asymmetry
+    the report exposes — a pattern with a leading wildcard (the second
+    cross-product slot) cannot use the index prefix and falls back to a
+    prefix fetch + client filter, so its row count is the full d^2 output
+    set even though the SQL round-trip count stays at the plan size.
+    """
+
+    def run() -> list:
+        from repro.query.impact import (
+            ImpactQuery,
+            IndexProjImpactEngine,
+            NaiveImpactEngine,
+        )
+
+        prepared = prepare_store(ABLATION_L, ABLATION_D, runs=1, cache=False)
+        run_id = prepared.run_ids[0]
+        query = ImpactQuery.create(
+            "LISTGEN_1", "list", [0], ["2TO1_FINAL"]
+        )
+        naive = NaiveImpactEngine(prepared.store)
+        pattern = IndexProjImpactEngine(prepared.store, prepared.flow)
+        pattern.impact(run_id, query)  # warm plan cache
+        rows = []
+        for mode, engine in (("extensional", naive), ("pattern", pattern)):
+            timing, result = best_of(
+                lambda e=engine: e.impact(run_id, query), 5
+            )
+            rows.append(
+                {
+                    "mode": mode,
+                    "ms": timing.best_ms,
+                    "sql_queries": result.stats.queries,
+                    "rows_fetched": result.stats.rows,
+                    "bindings": len(result.bindings),
+                }
+            )
+        assert rows[0]["bindings"] == rows[1]["bindings"]
+        prepared.close()
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "ablation_impact_forward",
+        rows,
+        f"Ablation — forward impact strategies (l={ABLATION_L}, "
+        f"d={ABLATION_D})",
+    )
+    extensional, pattern = rows
+    assert pattern["sql_queries"] < extensional["sql_queries"]
+
+
+def bench_ablation_capture_overhead_report(benchmark, emit_report):
+    """Cost of provenance capture itself: no listener vs in-memory trace
+    vs streaming straight into SQLite.
+
+    Not a paper figure, but the first question any adopter asks: what does
+    recording all those xform/xfer events cost relative to just running
+    the workflow?
+    """
+
+    def run() -> list:
+        from repro.provenance.streaming import StreamingTraceWriter
+        from repro.provenance.trace import TraceBuilder
+
+        flow = chain_product_workflow(ABLATION_L)
+        runner = WorkflowRunner()
+        inputs = {"ListSize": ABLATION_D}
+        runner.run(flow, inputs)  # warm the analysis cache
+        rows = []
+
+        timing, _ = best_of(lambda: runner.run(flow, inputs), 5)
+        rows.append({"mode": "no capture", "ms": timing.best_ms, "records": 0})
+
+        def with_builder():
+            builder = TraceBuilder("t", flow.name)
+            runner.run(flow, inputs, listener=builder)
+            return builder.trace
+
+        timing, trace = best_of(with_builder, 5)
+        rows.append(
+            {
+                "mode": "in-memory trace",
+                "ms": timing.best_ms,
+                "records": trace.record_count,
+            }
+        )
+
+        def with_streaming():
+            with TraceStore() as store:
+                with StreamingTraceWriter(store, workflow=flow.name) as writer:
+                    runner.run(flow, inputs, listener=writer)
+                return store.record_count(writer.run_id)
+
+        timing, records = best_of(with_streaming, 5)
+        rows.append(
+            {"mode": "streaming to SQLite", "ms": timing.best_ms,
+             "records": records}
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "ablation_capture_overhead",
+        rows,
+        f"Ablation — provenance capture overhead (l={ABLATION_L}, "
+        f"d={ABLATION_D})",
+    )
+    bare, memory, streaming = rows
+    assert bare["ms"] <= memory["ms"] <= streaming["ms"] * 1.5
+
+
+def bench_ablation_multirun_batched_report(benchmark, emit_report):
+    """Per-run loop vs batched IN-query execution of multi-run queries."""
+
+    def run() -> list:
+        flow = chain_product_workflow(ABLATION_L)
+        rows = []
+        with TraceStore() as store:
+            run_ids = populate_store(
+                store, flow, {"ListSize": ABLATION_D}, runs=20
+            )
+            engine = IndexProjEngine(store, flow)
+            query = focused_query()
+            engine.lineage_multirun(run_ids, query)  # warm plan + cache
+            loop_timing, looped = best_of(
+                lambda: engine.lineage_multirun(run_ids, query), 5
+            )
+            batch_timing, batched = best_of(
+                lambda: engine.lineage_multirun_batched(run_ids, query), 5
+            )
+            assert all(
+                batched.per_run[r].binding_keys()
+                == looped.per_run[r].binding_keys()
+                for r in run_ids
+            )
+            rows.append(
+                {
+                    "mode": "per-run loop",
+                    "ms": loop_timing.best_ms,
+                    "sql_queries": sum(
+                        r.stats.queries for r in looped.per_run.values()
+                    ),
+                }
+            )
+            rows.append(
+                {
+                    "mode": "batched IN-query",
+                    "ms": batch_timing.best_ms,
+                    "sql_queries": batched.per_run[run_ids[0]].stats.queries,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "ablation_multirun_batched",
+        rows,
+        f"Ablation — multi-run execution mode (l={ABLATION_L}, "
+        f"d={ABLATION_D}, 20 runs)",
+    )
+    loop_row, batch_row = rows
+    assert batch_row["sql_queries"] < loop_row["sql_queries"]
+
+
+def bench_ablation_xfer_granularity_report(benchmark, emit_report):
+    """Fine vs coarse transfer events: trace size and answer identity."""
+
+    def run() -> list:
+        flow = chain_product_workflow(ABLATION_L)
+        rows = []
+        answers = {}
+        for granularity in ("fine", "coarse"):
+            runner = WorkflowRunner(xfer_granularity=granularity)
+            with TraceStore() as store:
+                run_ids = populate_store(
+                    store, flow, {"ListSize": ABLATION_D}, runs=1, runner=runner
+                )
+                engine = NaiveEngine(store)
+                query = focused_query()
+                timing, result = best_of(
+                    lambda: engine.lineage(run_ids[0], query), 5
+                )
+                answers[granularity] = result.binding_keys()
+                rows.append(
+                    {
+                        "xfer_granularity": granularity,
+                        "records": store.record_count(),
+                        "naive_ms": timing.best_ms,
+                        "sql_queries": result.stats.queries,
+                        "bindings": len(result.bindings),
+                    }
+                )
+        assert answers["fine"] == answers["coarse"]  # identical answers
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "ablation_xfer_granularity",
+        rows,
+        f"Ablation — xfer event granularity (l={ABLATION_L}, d={ABLATION_D})",
+    )
+    fine, coarse = rows
+    assert coarse["records"] < fine["records"]
+    assert coarse["bindings"] == fine["bindings"]

@@ -1,0 +1,37 @@
+"""Fig. 10 — INDEXPROJ response on partially unfocused queries.
+
+Paper shape: as the focus set 𝒫 grows toward ~50% of the processors,
+INDEXPROJ's response time rises toward the NI regime — the trace lookups
+(one per focus input port) dominate, and at full unfocus the two
+strategies coincide in work.
+"""
+
+from repro.bench.figures import fig10_partial_focus, scale_config
+from repro.bench.harness import prepare_store
+from repro.query.indexproj import IndexProjEngine
+from repro.testbed.generator import partially_focused_query
+
+
+def bench_fig10_kernel_half_focused(benchmark, scale):
+    """Timed kernel: the 50%-focus query."""
+    config = scale_config(scale)
+    prepared = prepare_store(config["fig10_l"], config["fig10_d"], runs=1)
+    engine = IndexProjEngine(prepared.store, prepared.flow)
+    query = partially_focused_query(prepared.flow, 0.5)
+    run_id = prepared.run_ids[0]
+    result = benchmark(lambda: engine.lineage(run_id, query))
+    assert result.bindings
+
+
+def bench_fig10_report(benchmark, scale, emit_report):
+    rows = benchmark.pedantic(
+        lambda: fig10_partial_focus(scale), rounds=1, iterations=1
+    )
+    emit_report(
+        "fig10_partial_focus",
+        rows,
+        f"Fig. 10 — INDEXPROJ on partially unfocused queries (scale={scale})",
+    )
+    queries = [row["sql_queries"] for row in rows]
+    assert queries == sorted(queries)
+    assert queries[-1] > queries[0]

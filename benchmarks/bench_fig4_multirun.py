@@ -1,0 +1,72 @@
+"""Fig. 4 — focused/unfocused queries ranging over multiple runs (GK, PD).
+
+Paper shape: INDEXPROJ shares the graph-traversal step (s1) across all
+runs in scope, so multi-run response grows only with the per-run lookup
+step (s2); the unfocused long-path workflow (unfocused-PD) has an s2 an
+order of magnitude larger than the others and scales proportionally
+worse.  NI re-traverses every run and grows fastest.
+"""
+
+from repro.bench.figures import fig4_multirun
+from repro.provenance.store import TraceStore
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.testbed.runs import populate_store
+from repro.testbed.workloads import protein_discovery_workload
+
+
+def _pd_store(runs=10):
+    workload = protein_discovery_workload()
+    store = TraceStore()
+    run_ids = populate_store(
+        store, workload.flow, workload.inputs, runs=runs,
+        runner=workload.runner(),
+    )
+    return workload, store, run_ids
+
+
+def bench_fig4_kernel_indexproj_multirun(benchmark):
+    """Timed kernel: INDEXPROJ unfocused-PD across 10 runs."""
+    workload, store, run_ids = _pd_store()
+    engine = IndexProjEngine(store, workload.flow.flattened())
+    query = workload.unfocused_query()
+    result = benchmark(lambda: engine.lineage_multirun(run_ids, query))
+    assert result.per_run
+    store.close()
+
+
+def bench_fig4_kernel_naive_multirun(benchmark):
+    """Timed kernel: NI unfocused-PD across 10 runs (one traversal each)."""
+    workload, store, run_ids = _pd_store()
+    engine = NaiveEngine(store)
+    query = workload.unfocused_query()
+    result = benchmark(lambda: engine.lineage_multirun(run_ids, query))
+    assert result.per_run
+    store.close()
+
+
+def bench_fig4_report(benchmark, scale, emit_report):
+    rows = benchmark.pedantic(
+        lambda: fig4_multirun(scale), rounds=1, iterations=1
+    )
+    emit_report(
+        "fig4_multirun",
+        rows,
+        f"Fig. 4 — focused/unfocused over multiple runs (scale={scale})",
+        columns=[
+            "workload", "mode", "runs", "indexproj_ms", "s1_ms", "s2_ms",
+            "naive_ms", "bindings",
+        ],
+    )
+    max_runs = max(row["runs"] for row in rows)
+    at_max = {
+        (r["workload"], r["mode"]): r for r in rows if r["runs"] == max_runs
+    }
+    # Unfocused-PD is the slowest INDEXPROJ configuration (10x-ish s2).
+    pd_unfocused = at_max[("protein_discovery", "unfocused")]
+    assert pd_unfocused["indexproj_ms"] == max(
+        r["indexproj_ms"] for r in at_max.values()
+    )
+    # NI is never faster than INDEXPROJ on the same configuration.
+    for row in at_max.values():
+        assert row["naive_ms"] >= row["indexproj_ms"]

@@ -1,0 +1,40 @@
+"""Fig. 7 — NI lineage query response time vs input list size d.
+
+Paper shape: response times grow only modestly with d for each chain
+length l — d inflates the trace (and its indexes) but not the number of
+hops the query traverses.  The machine-independent form: the SQL
+round-trip count per query is identical for every d at fixed l.
+"""
+
+from repro.bench.figures import fig7_list_size, scale_config
+from repro.bench.harness import prepare_store
+from repro.query.naive import NaiveEngine
+from repro.testbed.generator import focused_query
+
+
+def bench_fig7_kernel_large_d(benchmark, scale):
+    """Timed kernel: NI focused query at the largest (l, d) of the sweep."""
+    config = scale_config(scale)
+    prepared = prepare_store(
+        config["fig7_l_values"][-1], config["fig7_d_values"][-1], runs=1
+    )
+    engine = NaiveEngine(prepared.store)
+    run_id = prepared.run_ids[0]
+    result = benchmark(lambda: engine.lineage(run_id, focused_query()))
+    assert result.bindings
+
+
+def bench_fig7_report(benchmark, scale, emit_report):
+    rows = benchmark.pedantic(
+        lambda: fig7_list_size(scale), rounds=1, iterations=1
+    )
+    emit_report(
+        "fig7_list_size",
+        rows,
+        f"Fig. 7 — NI response vs input list size (scale={scale})",
+    )
+    by_l = {}
+    for row in rows:
+        by_l.setdefault(row["l"], []).append(row)
+    for l, series in by_l.items():
+        assert len({row["sql_queries"] for row in series}) == 1, l

@@ -1,0 +1,47 @@
+"""Fig. 8 — pre-processing time t1 vs workflow size l (up to 200).
+
+Paper shape: t1 grows with the specification graph size and stays below
+one second for graphs of up to ~100 nodes.  t1 here is Alg. 1 depth
+propagation plus one unfocused plan traversal — the work INDEXPROJ does
+once per workflow definition and then shares across all queries and runs.
+"""
+
+from repro.bench.figures import fig8_preprocessing, scale_config
+from repro.query.base import LineageQuery
+from repro.query.indexproj import build_plan
+from repro.testbed.generator import chain_product_workflow, unfocused_query
+from repro.workflow.depths import propagate_depths
+
+
+def bench_fig8_kernel_depth_propagation(benchmark, scale):
+    """Timed kernel: Alg. 1 on the largest generated graph."""
+    config = scale_config(scale)
+    flow = chain_product_workflow(config["fig8_l_values"][-1])
+    analysis = benchmark(lambda: propagate_depths(flow))
+    assert analysis.iteration_level("2TO1_FINAL") == 2
+
+
+def bench_fig8_kernel_plan_traversal(benchmark, scale):
+    """Timed kernel: one unfocused plan traversal on the largest graph."""
+    config = scale_config(scale)
+    flow = chain_product_workflow(config["fig8_l_values"][-1])
+    analysis = propagate_depths(flow)
+    query = unfocused_query(flow)
+    plan = benchmark(lambda: build_plan(analysis, query))
+    assert len(plan.trace_queries) > 0
+
+
+def bench_fig8_report(benchmark, scale, emit_report):
+    rows = benchmark.pedantic(
+        lambda: fig8_preprocessing(scale), rounds=1, iterations=1
+    )
+    emit_report(
+        "fig8_preprocessing",
+        rows,
+        f"Fig. 8 — pre-processing time t1 vs l (scale={scale})",
+    )
+    times = [row["t1_ms"] for row in rows]
+    assert times[-1] > times[0]
+    for row in rows:
+        if row["graph_nodes"] <= 102:
+            assert row["t1_ms"] < 1000.0

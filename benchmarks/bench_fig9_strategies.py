@@ -1,0 +1,77 @@
+"""Fig. 9 — lineage query response time across strategies, vs l, for two d.
+
+Paper shape: NI grows roughly linearly in the chain length l (one indexed
+lookup pair per provenance hop); INDEXPROJ is essentially constant in l
+(one trace lookup regardless of path length) and constant in d; the
+plan-cached variant strips even the graph traversal.
+"""
+
+import pytest
+
+from repro.bench.figures import fig9_strategies, scale_config
+from repro.bench.harness import prepare_store
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.testbed.generator import focused_query
+
+
+@pytest.fixture(scope="module")
+def midsize_store(scale):
+    config = scale_config(scale)
+    length = config["fig9_l_values"][-1]
+    d = config["fig9_d_values"][0]
+    return prepare_store(length, d, runs=1)
+
+
+def bench_fig9_kernel_naive(benchmark, midsize_store):
+    """Timed kernel: the focused query under NI at the largest l."""
+    engine = NaiveEngine(midsize_store.store)
+    query = focused_query()
+    run_id = midsize_store.run_ids[0]
+    result = benchmark(lambda: engine.lineage(run_id, query))
+    assert result.bindings
+
+
+def bench_fig9_kernel_indexproj(benchmark, midsize_store):
+    """Timed kernel: the same query under INDEXPROJ (cold plans)."""
+    engine = IndexProjEngine(
+        midsize_store.store, midsize_store.flow, cache_plans=False
+    )
+    query = focused_query()
+    run_id = midsize_store.run_ids[0]
+    result = benchmark(lambda: engine.lineage(run_id, query))
+    assert result.bindings
+
+
+def bench_fig9_kernel_indexproj_cached(benchmark, midsize_store):
+    """Timed kernel: INDEXPROJ with a warm plan cache."""
+    engine = IndexProjEngine(
+        midsize_store.store, midsize_store.flow, cache_plans=True
+    )
+    query = focused_query()
+    run_id = midsize_store.run_ids[0]
+    engine.lineage(run_id, query)  # warm the cache
+    result = benchmark(lambda: engine.lineage(run_id, query))
+    assert result.bindings
+
+
+def bench_fig9_report(benchmark, scale, emit_report):
+    """Regenerate the full Fig. 9 series and verify its shape."""
+    rows = benchmark.pedantic(
+        lambda: fig9_strategies(scale), rounds=1, iterations=1
+    )
+    emit_report(
+        "fig9_strategies",
+        rows,
+        f"Fig. 9 — query time across strategies (scale={scale})",
+        columns=["d", "l", "strategy", "ms", "sql_queries"],
+    )
+    ni = {(r["d"], r["l"]): r["ms"] for r in rows if r["strategy"] == "NI"}
+    ip = {
+        (r["d"], r["l"]): r["ms"]
+        for r in rows
+        if r["strategy"] == "INDEXPROJ-cached"
+    }
+    # INDEXPROJ wins at every configuration, by a growing factor in l.
+    for key, ni_ms in ni.items():
+        assert ip[key] < ni_ms

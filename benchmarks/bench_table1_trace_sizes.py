@@ -1,0 +1,53 @@
+"""Table 1 — trace database record counts over the (l, d) grid.
+
+Paper shape: counts grow linearly in ``l * d`` (per-element events along
+the chains) plus a ``d^2`` term from the final cross product.  Absolute
+numbers differ from the paper's (the relational schema differs), but the
+growth law is the same.
+"""
+
+from repro.bench.figures import table1_trace_sizes
+from repro.bench.harness import prepare_store
+from repro.bench.reporting import pivot
+
+
+def bench_table1_populate_kernel(benchmark, scale):
+    """Timed kernel: generate + execute + store one mid-grid configuration."""
+    from repro.bench.figures import scale_config
+
+    config = scale_config(scale)
+    length = config["l_values"][1]
+    d = config["d_values"][1]
+    prepared = benchmark.pedantic(
+        lambda: prepare_store(length, d, runs=1, cache=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert prepared.record_count > 0
+    prepared.close()
+
+
+def bench_table1_report(benchmark, scale, emit_report):
+    rows = benchmark.pedantic(
+        lambda: table1_trace_sizes(scale), rounds=1, iterations=1
+    )
+    pivoted = pivot(rows, index="d", column="l", value="records")
+    emit_report(
+        "table1_trace_sizes",
+        pivoted,
+        f"Table 1 — trace records for one run, d rows x l columns "
+        f"(scale={scale})",
+    )
+    # Growth law: monotone in both dimensions, superlinear in d (d^2 term).
+    by_config = {(r["d"], r["l"]): r["records"] for r in rows}
+    ds = sorted({d for d, _ in by_config})
+    ls = sorted({l for _, l in by_config})
+    for d in ds:
+        series = [by_config[(d, l)] for l in ls]
+        assert series == sorted(series)
+    if len(ds) >= 3:
+        low, mid, high = ds[0], ds[len(ds) // 2], ds[-1]
+        l = ls[0]
+        first_slope = (by_config[(mid, l)] - by_config[(low, l)]) / (mid - low)
+        second_slope = (by_config[(high, l)] - by_config[(mid, l)]) / (high - mid)
+        assert second_slope > first_slope  # superlinear in d

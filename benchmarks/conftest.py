@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark suite.
+
+Every ``bench_*`` module reproduces one table or figure of the paper's
+Section 4.  Each module contains:
+
+* *kernel* benchmarks — pytest-benchmark timings of the representative
+  query under each strategy (comparable across machines via the
+  pytest-benchmark statistics); and
+* a *report* benchmark — one full run of the experiment driver, whose
+  rendered series (the paper's rows) is printed and written to
+  ``benchmarks/results/<experiment>.txt``.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (``paper`` by default; set
+``quick`` for a fast smoke pass).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "paper")
+
+
+@pytest.fixture(scope="session")
+def emit_report():
+    """Write one experiment's rendered table to the results directory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, rows, title: str, columns=None) -> str:
+        text = format_table(rows, columns=columns, title=title)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+        return text
+
+    return _emit

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Debugging a bad output with focused queries, user views, and explain.
+
+The provenance-challenge scenario from the paper's introduction: a
+workflow loads and processes data, an output value looks wrong, and the
+scientist wants to know which inputs and which stage produced it —
+without wading through every intermediate shim.
+
+Tools demonstrated:
+  * ``explain`` — the static cost model (how much will each strategy
+    touch the trace?);
+  * focused queries — lineage relative to the suspect stage only;
+  * user views — grouping processors into stages (Zoom-style) and rolling
+    the answer up to stage granularity.
+
+Run:  python examples/debugging_with_views.py
+"""
+
+from repro import (
+    IndexProjEngine,
+    LineageQuery,
+    TraceStore,
+    capture_run,
+    propagate_depths,
+)
+from repro.query.explain import explain
+from repro.query.views import UserView, focus_for_groups, group_summary, rollup
+from repro.testbed.generator import chain_product_workflow
+
+
+def main() -> None:
+    # A 10-step-per-chain pipeline; pretend CHAIN2_* is the "normalization"
+    # stage a colleague recently rewrote.
+    flow = chain_product_workflow(10)
+    captured = capture_run(flow, {"ListSize": 5})
+
+    # The scientist spots a suspicious output element:
+    bad_i, bad_j = 3, 1
+    value = captured.outputs["out"][bad_i][bad_j]
+    print(f"suspicious output: out[{bad_i}][{bad_j}] = {value!r}\n")
+
+    # Define stage-level views over the pipeline.
+    view = UserView(
+        "stages",
+        {
+            "generation": ["LISTGEN_1"],
+            "filtering": [f"CHAIN1_{k}" for k in range(10)],
+            "normalization": [f"CHAIN2_{k}" for k in range(10)],
+        },
+    )
+    view.validate_against(flow)
+
+    # Ask for lineage relative to the suspect stage only.
+    focus = focus_for_groups(view, ["normalization", "generation"])
+    query = LineageQuery.create("2TO1_FINAL", "y", [bad_i, bad_j], focus)
+
+    # How expensive will this be?  The static model answers before any
+    # trace access happens.
+    analysis = propagate_depths(flow)
+    explanation = explain(analysis, query)
+    print("cost estimate (static, no trace access):")
+    print(f"    {explanation.summary()}\n")
+
+    with TraceStore() as store:
+        store.insert_trace(captured.trace)
+        engine = IndexProjEngine(store, flow, analysis=analysis)
+        result = engine.lineage(captured.run_id, query)
+        print(f"measured: {result.stats.queries} SQL lookups "
+              f"(estimate said {explanation.indexproj_lookups})\n")
+
+        # Roll the processor-level answer up to stages.
+        print("lineage by stage:")
+        for group, bindings in group_summary(
+            rollup(result.bindings, view)
+        ).items():
+            print(f"    {group}:")
+            for binding in bindings:
+                print(f"        {binding} = {binding.value!r}")
+
+    print(
+        "\nreading: the bad element passed through every normalization "
+        f"step as element [{bad_j}],\nand ultimately came from the "
+        "generator's size parameter — so if the value is\nwrong, the "
+        "rewritten normalization stage transformed element "
+        f"[{bad_j}] incorrectly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The provenance-challenge scenario from the paper's introduction.
+
+"A workflow loads data from files into a database, and then performs some
+processing on the data.  It turns out that the database contains
+unexpected values.  Provenance questions include, among others, whether
+the appropriate checks were performed by the workflow, what results they
+produced, and which input files were used for the loading."
+
+This example runs that workflow (per-file read + validate, a bulk DB
+load, per-row post-processing) and answers all three questions with
+focused lineage queries — showing where fine granularity survives (the
+per-file branch) and where it honestly cannot (through the black-box bulk
+loader).
+
+Run:  python examples/file_loading_challenge.py
+"""
+
+from repro import IndexProjEngine, LineageQuery, TraceStore, capture_run
+from repro.testbed.workloads import file_loading_workload
+
+
+def main() -> None:
+    workload = file_loading_workload()
+    files = workload.inputs["file_names"]
+    print(f"input files: {files}\n")
+
+    captured = capture_run(
+        workload.flow, workload.inputs, runner=workload.runner()
+    )
+    print("validation_report:", captured.outputs["validation_report"])
+    print("report (processed DB rows):")
+    for row in captured.outputs["report"]:
+        print(f"    {row}")
+
+    with TraceStore() as store:
+        store.insert_trace(captured.trace)
+        engine = IndexProjEngine(store, workload.flow)
+        run_id = captured.run_id
+
+        print("\nQ1: were the checks performed, and what did they produce?")
+        print("    (lineage of each validation result, focused on the reader)")
+        for i in range(len(files)):
+            result = engine.lineage(
+                run_id,
+                LineageQuery.create(
+                    "file_loading", "validation_report", (i,), ["read_file"]
+                ),
+            )
+            status = captured.outputs["validation_report"][i]
+            source = result.bindings[0]
+            print(f"    check[{i}] = {status!r:20}  <-  {source} "
+                  f"= {source.value!r}")
+
+        print("\nQ2: which input files were used for the loading?")
+        print("    (lineage of one processed row, focused on the reader)")
+        result = engine.lineage(
+            run_id,
+            LineageQuery.create("file_loading", "report", (0,), ["read_file"]),
+        )
+        for binding in result.bindings:
+            print(f"    {binding} = {binding.value!r}")
+        print(
+            "    -> ALL files: the bulk loader consumed the record and "
+            "status lists whole,\n       so provenance through it is "
+            "honestly coarse (Section 2.3's many-to-many case)"
+        )
+
+        print("\nQ3: did the checks gate the load?")
+        print("    (lineage of the same row, focused on the checker)")
+        result = engine.lineage(
+            run_id,
+            LineageQuery.create(
+                "file_loading", "report", (0,), ["check_record"]
+            ),
+        )
+        for binding in result.bindings:
+            print(f"    {binding} = {binding.value!r}")
+        print(
+            "    -> yes: every loaded row depends on the full status list "
+            "the checker produced"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The paper's motivating workflow (Fig. 1): genes -> KEGG pathways.
+
+The genes2Kegg workflow takes a *nested* list of gene-ID lists.  Its left
+branch looks up the metabolic pathways of each gene sub-list separately —
+Taverna's implicit iteration keeps the sub-list boundaries intact — while
+its right branch flattens all genes together and retrieves the pathways
+*common to every gene*.
+
+The provenance question from the paper's introduction: **"why is this
+particular pathway in the output?"** — i.e. which of the input gene lists
+is involved in it?  Fine-grained lineage answers it precisely: sub-list
+``i`` of ``paths_per_gene`` depends *only* on input sub-list ``i``, while
+every entry of ``commonPathways`` depends on *all* input genes.
+
+(The KEGG service is simulated with a deterministic synthetic catalog —
+see DESIGN.md, "Substitutions".)
+
+Run:  python examples/genes2kegg.py
+"""
+
+from repro import IndexProjEngine, LineageQuery, TraceStore, capture_run
+from repro.testbed.workloads import genes2kegg_workload
+
+
+def main() -> None:
+    workload = genes2kegg_workload()
+    gene_lists = [["mmu:20816", "mmu:26416"], ["mmu:328788"]]
+    print("input gene lists:")
+    for i, genes in enumerate(gene_lists):
+        print(f"    [{i}] {genes}")
+
+    captured = capture_run(
+        workload.flow,
+        {"list_of_geneIDList": gene_lists},
+        runner=workload.runner(),
+    )
+
+    print("\npaths_per_gene (one pathway list per input sub-list):")
+    for i, pathways in enumerate(captured.outputs["paths_per_gene"]):
+        print(f"    [{i}] {pathways}")
+    print("\ncommonPathways (involve ALL input genes):")
+    for pathway in captured.outputs["commonPathways"]:
+        print(f"    {pathway}")
+
+    with TraceStore() as store:
+        store.insert_trace(captured.trace)
+        engine = IndexProjEngine(store, workload.flow)
+
+        print("\n--- lineage: why is sub-list 1 of paths_per_gene there? ---")
+        result = engine.lineage(
+            captured.run_id,
+            LineageQuery.create(
+                "genes2kegg", "paths_per_gene", [1],
+                focus=["get_pathways_by_genes"],
+            ),
+        )
+        for binding in result.bindings:
+            print(f"    {binding} = {binding.value!r}")
+        print("    -> depends ONLY on input sub-list 1 (fine-grained)")
+
+        print("\n--- lineage: what do the commonPathways depend on? ---")
+        result = engine.lineage(
+            captured.run_id,
+            LineageQuery.create(
+                "genes2kegg", "commonPathways", [0],
+                focus=["get_pathways_common"],
+            ),
+        )
+        for binding in result.bindings:
+            print(f"    {binding} = {binding.value!r}")
+        print("    -> depends on ALL genes: the flatten step destroyed "
+              "granularity,\n       so provenance is (correctly) coarse "
+              "through that branch")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Impact analysis: forward provenance with the INDEXPROJ trick reversed.
+
+Lineage answers "where did this output come from?".  The symmetric
+question — "this input turned out to be bad; which results must be
+retracted?" — is *impact* (forward provenance).  The paper's intensional
+machinery runs in reverse: where backward projection slices an output
+index into per-port fragments (Def. 4), forward projection embeds an
+input fragment into an instance-index *pattern* (fixed at the port's
+static slot, wildcard elsewhere) and looks up only the focus processors'
+outputs.
+
+Scenario: after publishing, the lab discovers that file ``data_b.csv``
+was mislabelled.  Which validation results and which published report
+rows does that file affect?
+
+Run:  python examples/impact_analysis.py
+"""
+
+from repro import TraceStore, capture_run
+from repro.query.impact import (
+    ImpactQuery,
+    IndexProjImpactEngine,
+    NaiveImpactEngine,
+    build_impact_plan,
+)
+from repro.testbed.workloads import file_loading_workload
+from repro.workflow.depths import propagate_depths
+
+
+def main() -> None:
+    workload = file_loading_workload()
+    files = workload.inputs["file_names"]
+    bad = files.index("data_b.csv")
+    print(f"input files: {files}")
+    print(f"suspect: file_names[{bad}] = {files[bad]!r}\n")
+
+    captured = capture_run(
+        workload.flow, workload.inputs, runner=workload.runner()
+    )
+    with TraceStore() as store:
+        store.insert_trace(captured.trace)
+        analysis = propagate_depths(workload.flow)
+
+        query = ImpactQuery.create(
+            "file_loading", "file_names", [bad],
+            focus=["check_record", "process"],
+        )
+        plan = build_impact_plan(analysis, query)
+        print("forward plan (patterns, computed on the workflow graph only):")
+        for trace_query in plan.trace_queries:
+            print(f"    {trace_query}")
+
+        engine = IndexProjImpactEngine(store, workload.flow, analysis=analysis)
+        result = engine.impact(captured.run_id, query)
+        print(f"\naffected results ({result.stats.queries} SQL lookups):")
+        for binding in result.bindings:
+            print(f"    {binding} = {binding.value!r}")
+
+        naive = NaiveImpactEngine(store).impact(captured.run_id, query)
+        print(f"\nextensional forward traversal agrees: "
+              f"{naive.binding_keys() == result.binding_keys()} "
+              f"({naive.stats.queries} SQL lookups)")
+
+    print(
+        "\nreading: the file's own validation verdict is pinned to its "
+        f"index [{bad}] (fine-grained),\nwhile every processed report row "
+        "is affected — the bulk DB load consumed all\nfiles together, so "
+        "the honest blast radius downstream of it is everything."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Iteration strategies: cross product, dot product, and combinator trees.
+
+The paper formalizes Taverna's default *cross product* iteration (Def. 2)
+and notes (footnote 7) that Taverna also offers a *dot* ("zip") combinator
+plus constructors for combining both into complex expressions.  This
+reproduction implements all of it, and — crucially — the index projection
+rule extends unchanged: every port's index fragment is still a contiguous
+slice of the instance index, so INDEXPROJ answers fine-grained lineage
+queries over any strategy tree.
+
+The scenario: samples with per-sample barcodes (paired data → zip), each
+combination tested against a panel of reference assays (→ cross).
+
+Run:  python examples/iteration_strategies.py
+"""
+
+from repro import (
+    DataflowBuilder,
+    IndexProjEngine,
+    LineageQuery,
+    TraceStore,
+    capture_run,
+    default_registry,
+)
+
+
+def op_assay(inputs, config):
+    """Pretend lab step: test one (sample, barcode) pair on one assay."""
+    return {
+        "result": f"{inputs['sample']}/{inputs['barcode']} vs "
+                  f"{inputs['assay']}: ok"
+    }
+
+
+def build_workflow():
+    return (
+        DataflowBuilder("lab")
+        .input("samples", "list(string)")
+        .input("barcodes", "list(string)")
+        .input("assays", "list(string)")
+        .output("results", "list(list(string))")
+        .processor(
+            "run_assay",
+            inputs=[
+                ("sample", "string"),
+                ("barcode", "string"),
+                ("assay", "string"),
+            ],
+            outputs=[("result", "string")],
+            operation="assay",
+            # samples[i] is paired with barcodes[i] (dot), and every pair
+            # is tested against every assay (cross):
+            iteration={"cross": [{"dot": ["sample", "barcode"]}, "assay"]},
+            config={},
+        )
+        .arcs(
+            ("lab:samples", "run_assay:sample"),
+            ("lab:barcodes", "run_assay:barcode"),
+            ("lab:assays", "run_assay:assay"),
+            ("run_assay:result", "lab:results"),
+        )
+        .build()
+    )
+
+
+def main() -> None:
+    registry = default_registry().extended()
+    registry.register("assay", op_assay)
+    flow = build_workflow()
+
+    inputs = {
+        "samples": ["sampleA", "sampleB"],
+        "barcodes": ["bc-17", "bc-42"],
+        "assays": ["assay-p53", "assay-kras", "assay-egfr"],
+    }
+    captured = capture_run(flow, inputs, registry=registry)
+
+    print("strategy: cross(dot(sample, barcode), assay)")
+    print("results[i][j] pairs sample i with barcode i, against assay j:\n")
+    for i, row in enumerate(captured.outputs["results"]):
+        for j, cell in enumerate(row):
+            print(f"    results[{i}][{j}] = {cell}")
+
+    with TraceStore() as store:
+        store.insert_trace(captured.trace)
+        engine = IndexProjEngine(store, flow)
+        query = LineageQuery.create(
+            "lab", "results", [1, 2], focus=["run_assay"]
+        )
+        print(f"\nlineage of results[1][2]  ({query}):")
+        for binding in engine.lineage(captured.run_id, query).bindings:
+            print(f"    {binding} = {binding.value!r}")
+        print(
+            "\nthe zipped ports (sample, barcode) share index [1]; the "
+            "crossed port (assay)\npicks index [2] — the projection rule "
+            "recovered the combinator structure\nwithout touching any trace "
+            "rows except the three above."
+        )
+
+
+if __name__ == "__main__":
+    main()

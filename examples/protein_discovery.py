@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The long-path workload (PD): protein terms from article abstracts.
+
+The BioAID-style protein-discovery workflow is topologically the opposite
+of genes2Kegg: one long chain of per-abstract processing steps.  Long
+paths are where the naive strategy hurts — every lineage query walks every
+hop — while INDEXPROJ's cost stays flat.
+
+This example runs the workflow over a batch of (synthetic) PubMed IDs,
+then compares the two strategies on the same focused query, reporting
+both wall time and the machine-independent SQL round-trip counts.
+
+Run:  python examples/protein_discovery.py
+"""
+
+from repro import IndexProjEngine, LineageQuery, NaiveEngine, TraceStore, capture_run
+from repro.testbed.workloads import protein_discovery_workload
+
+
+def main() -> None:
+    workload = protein_discovery_workload(chain_length=30, batch=6)
+    print(f"workflow: {len(workload.flow.processors)} processors in one chain")
+    print(f"input: {workload.inputs['pubmed_ids']}")
+
+    captured = capture_run(
+        workload.flow, workload.inputs, runner=workload.runner()
+    )
+    print("\nextracted protein terms per article:")
+    for pmid, terms in zip(
+        workload.inputs["pubmed_ids"], captured.outputs["protein_terms"]
+    ):
+        print(f"    {pmid}: {terms}")
+
+    with TraceStore() as store:
+        store.insert_trace(captured.trace)
+        print(f"\ntrace stored: {store.record_count()} records")
+
+        # Which article produced the terms in output slot 3?
+        query = LineageQuery.create(
+            "protein_discovery", "protein_terms", [3], focus=["fetch_abstract"]
+        )
+        print(f"\nquery: {query}")
+
+        indexproj = IndexProjEngine(store, workload.flow)
+        ip_result = indexproj.lineage(captured.run_id, query)
+        naive = NaiveEngine(store)
+        ni_result = naive.lineage(captured.run_id, query)
+
+        print("\nanswer (both strategies agree:",
+              ip_result.binding_keys() == ni_result.binding_keys(), "):")
+        for binding in ip_result.bindings:
+            print(f"    {binding} = {binding.value!r}")
+
+        print("\ncost comparison on this 32-processor path:")
+        print(f"    naive     : {ni_result.stats.queries:4d} SQL lookups, "
+              f"{ni_result.total_seconds * 1000:7.2f} ms")
+        print(f"    INDEXPROJ : {ip_result.stats.queries:4d} SQL lookups, "
+              f"{ip_result.total_seconds * 1000:7.2f} ms")
+        print("\nthe gap grows linearly with the chain length — that is "
+              "Fig. 9 of the paper")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Quickstart: build a workflow, run it, store its trace, query lineage.
+
+This walks the full pipeline on a small diamond-shaped dataflow:
+
+    wf:size -> GEN -> (A, B) -> F (cross product) -> wf:out
+
+GEN emits a list; A and B implicitly iterate over its elements (their
+ports declare atomic strings but receive a list — Taverna's depth-mismatch
+iteration); F combines both branches with a binary cross product, so
+``out[i][j]`` was computed from ``a[i]`` and ``b[j]``.  The lineage query
+at the end recovers exactly that relationship from the trace.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DataflowBuilder,
+    IndexProjEngine,
+    LineageQuery,
+    NaiveEngine,
+    TraceStore,
+    capture_run,
+)
+
+
+def build_workflow():
+    """A diamond dataflow with one generator, two branches, one join."""
+    return (
+        DataflowBuilder("wf")
+        .input("size", "integer")
+        .output("out", "list(list(string))")
+        .processor(
+            "GEN",
+            inputs=[("size", "integer")],
+            outputs=[("list", "list(string)")],
+            operation="list_generator",
+            config={"out": "list", "prefix": "item"},
+        )
+        .processor(
+            "A",
+            inputs=[("x", "string")],           # declared atomic ...
+            outputs=[("y", "string")],
+            operation="tag",
+            config={"suffix": "-a"},
+        )
+        .processor(
+            "B",
+            inputs=[("x", "string")],           # ... receives a list:
+            outputs=[("y", "string")],           # implicit iteration.
+            operation="tag",
+            config={"suffix": "-b"},
+        )
+        .processor(
+            "F",
+            inputs=[("a", "string"), ("b", "string")],
+            outputs=[("y", "string")],
+            operation="concat_pair",
+        )
+        .arcs(
+            ("wf:size", "GEN:size"),
+            ("GEN:list", "A:x"),
+            ("GEN:list", "B:x"),
+            ("A:y", "F:a"),
+            ("B:y", "F:b"),
+            ("F:y", "wf:out"),
+        )
+        .build()
+    )
+
+
+def main() -> None:
+    flow = build_workflow()
+
+    # 1. Execute the workflow, capturing the full provenance trace.
+    captured = capture_run(flow, {"size": 3})
+    print("workflow output (3x3 cross product):")
+    for row in captured.outputs["out"]:
+        print("   ", row)
+    print(f"\ntrace: {len(captured.trace.xforms)} xform events, "
+          f"{len(captured.trace.xfers)} xfer events, "
+          f"{captured.trace.record_count} records\n")
+
+    # 2. Store the trace in the relational provenance database.
+    with TraceStore() as store:                 # in-memory; pass a path to persist
+        store.insert_trace(captured.trace)
+
+        # 3. Ask: where did out[1][2] come from?  Focus on A and B.
+        query = LineageQuery.create("wf", "out", [1, 2], focus=["A", "B"])
+        print(f"query: {query}\n")
+
+        # INDEXPROJ: traverses the 4-node workflow graph, then runs exactly
+        # one trace lookup per focus input port.
+        engine = IndexProjEngine(store, flow)
+        result = engine.lineage(captured.run_id, query)
+        print("INDEXPROJ answer "
+              f"({result.stats.queries} SQL lookups, "
+              f"{result.total_seconds * 1000:.2f} ms):")
+        for binding in result.bindings:
+            print(f"    {binding} = {binding.value!r}")
+
+        # The naive strategy walks the provenance graph hop by hop and
+        # returns the same answer — at many times the lookup count.
+        naive = NaiveEngine(store).lineage(captured.run_id, query)
+        print(f"\nnaive answer agrees: "
+              f"{naive.binding_keys() == result.binding_keys()} "
+              f"({naive.stats.queries} SQL lookups)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets may lack the ``wheel`` package
+that PEP 660 editable installs require; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work everywhere.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

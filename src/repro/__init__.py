@@ -1,0 +1,123 @@
+"""repro — fine-grained, efficient lineage querying of collection-based
+workflow provenance.
+
+A from-scratch Python reproduction of Missier, Paton & Belhajjame,
+*"Fine-grained and efficient lineage querying of collection-based workflow
+provenance"*, EDBT 2010.  The package contains every layer the paper's
+system needs:
+
+* :mod:`repro.values` — nested list values, index paths, port types;
+* :mod:`repro.workflow` — dataflow specifications and the static depth
+  analysis (Alg. 1);
+* :mod:`repro.engine` — a Taverna-style execution engine implementing the
+  implicit iteration semantics (Defs. 2–3);
+* :mod:`repro.provenance` — trace capture and the relational trace store;
+* :mod:`repro.query` — the naive (NI) and INDEXPROJ lineage strategies;
+* :mod:`repro.testbed` — the paper's synthetic workflow generator (Fig. 5)
+  and the genes2Kegg / protein-discovery workloads;
+* :mod:`repro.bench` — the measurement harness behind the reproduction of
+  every table and figure in the paper's evaluation.
+
+Quickstart
+----------
+
+>>> from repro import (
+...     DataflowBuilder, capture_run, TraceStore,
+...     IndexProjEngine, LineageQuery,
+... )
+>>> flow = (
+...     DataflowBuilder("wf")
+...     .input("size", "integer")
+...     .processor("GEN", inputs=[("size", "integer")],
+...                outputs=[("list", "list(string)")],
+...                operation="list_generator", config={"out": "list"})
+...     .processor("STEP", inputs=[("x", "string")],
+...                outputs=[("y", "string")], operation="tag")
+...     .output("out", "list(string)")
+...     .arc("wf:size", "GEN:size").arc("GEN:list", "STEP:x")
+...     .arc("STEP:y", "wf:out").build()
+... )
+>>> captured = capture_run(flow, {"size": 3})
+>>> store = TraceStore()
+>>> store.insert_trace(captured.trace)
+>>> engine = IndexProjEngine(store, flow)
+>>> query = LineageQuery.create("wf", "out", [1], focus=["GEN"])
+>>> [str(b) for b in engine.lineage(captured.run_id, query).bindings]
+['<GEN:size[]>']
+"""
+
+from repro.values import Index
+from repro.workflow import (
+    Dataflow,
+    DataflowBuilder,
+    DepthAnalysis,
+    PortRef,
+    Processor,
+    propagate_depths,
+)
+from repro.engine import (
+    Binding,
+    ProcessorRegistry,
+    RunResult,
+    WorkflowRunner,
+    default_registry,
+    run_workflow,
+)
+from repro.provenance import (
+    StreamingTraceWriter,
+    Trace,
+    TraceBuilder,
+    TraceStore,
+    capture_run,
+    reference_lineage,
+    to_prov_document,
+)
+from repro.query import (
+    IndexProjEngine,
+    LineageDiff,
+    LineageQuery,
+    LineageResult,
+    NaiveEngine,
+    UserView,
+    build_plan,
+    diff_lineage,
+    explain,
+)
+
+from repro.service import ProvenanceService
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Binding",
+    "Dataflow",
+    "DataflowBuilder",
+    "DepthAnalysis",
+    "Index",
+    "IndexProjEngine",
+    "LineageDiff",
+    "LineageQuery",
+    "LineageResult",
+    "NaiveEngine",
+    "PortRef",
+    "Processor",
+    "ProcessorRegistry",
+    "ProvenanceService",
+    "RunResult",
+    "StreamingTraceWriter",
+    "Trace",
+    "TraceBuilder",
+    "TraceStore",
+    "UserView",
+    "WorkflowRunner",
+    "build_plan",
+    "capture_run",
+    "default_registry",
+    "diff_lineage",
+    "explain",
+    "propagate_depths",
+    "reference_lineage",
+    "run_workflow",
+    "to_prov_document",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Measurement harness for the reproduction of the paper's evaluation.
+
+Each function in :mod:`repro.bench.figures` regenerates the data behind one
+table or figure of Section 4 and returns plain row dictionaries;
+:mod:`repro.bench.reporting` renders them as the ASCII tables the
+benchmark suite and the CLI print.  The timing protocol in
+:mod:`repro.bench.harness` follows the paper's footnote 10: the best
+response time over a sequence of identical queries, warm cache.
+"""
+
+from repro.bench.harness import Timer, best_of, prepare_store
+from repro.bench.reporting import format_table, write_report
+
+__all__ = ["Timer", "best_of", "format_table", "prepare_store", "write_report"]

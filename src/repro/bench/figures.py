@@ -1,0 +1,340 @@
+"""Experiment drivers: one function per table/figure of Section 4.
+
+Every driver returns a list of row dictionaries (plus enough metadata in
+the row to render the published series), so the same code backs the pytest
+benchmark suite, the CLI, and EXPERIMENTS.md.  Wall-clock numbers are
+machine-dependent; each row therefore also carries machine-independent
+cost counters (SQL round-trips, fetched rows, visited graph ports) that
+make the *shape* claims checkable anywhere.
+
+Scales
+------
+
+``quick`` keeps every experiment under a few seconds for CI; ``paper``
+covers the published configuration space (l up to 150/200, d up to 75,
+plus the d = 150 extreme of Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.bench.harness import Timer, best_of, prepare_store
+from repro.provenance.store import TraceStore
+from repro.query.indexproj import IndexProjEngine, build_plan
+from repro.query.naive import NaiveEngine
+from repro.testbed.generator import (
+    chain_product_workflow,
+    focused_query,
+    partially_focused_query,
+    unfocused_query,
+)
+from repro.testbed.runs import populate_store
+from repro.workflow.depths import propagate_depths
+
+Row = Dict[str, Any]
+
+SCALES: Dict[str, Dict[str, Any]] = {
+    "quick": {
+        "l_values": [10, 28, 50],
+        "d_values": [10, 25],
+        "fig6_runs": 5,
+        "fig6_l": 30,
+        "fig6_d": 25,
+        "fig7_l_values": [28, 50],
+        "fig7_d_values": [10, 25, 50],
+        "fig8_l_values": [10, 28, 50, 100],
+        "fig9_l_values": [10, 28, 50],
+        "fig9_d_values": [10, 50],
+        "fig10_l": 30,
+        "fig10_d": 25,
+        "fig4_runs": [1, 2, 5],
+        "fractions": [0.05, 0.25, 0.5],
+        "repeats": 3,
+    },
+    "paper": {
+        "l_values": [10, 28, 50, 75, 100, 150],
+        "d_values": [10, 25, 50, 75],
+        "fig6_runs": 10,
+        "fig6_l": 75,
+        "fig6_d": 50,
+        "fig7_l_values": [28, 75, 150],
+        "fig7_d_values": [10, 25, 50, 75],
+        "fig8_l_values": [10, 28, 50, 75, 100, 150, 200],
+        "fig9_l_values": [10, 28, 50, 75, 100, 150],
+        "fig9_d_values": [10, 150],
+        "fig10_l": 75,
+        "fig10_d": 50,
+        "fig4_runs": [1, 5, 10, 20],
+        "fractions": [0.02, 0.1, 0.2, 0.3, 0.4, 0.5],
+        "repeats": 5,
+    },
+}
+
+
+def scale_config(scale: str) -> Dict[str, Any]:
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose one of {sorted(SCALES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — focused/unfocused queries over multiple runs (GK and PD)
+# ---------------------------------------------------------------------------
+
+
+def fig4_multirun(scale: str = "quick") -> List[Row]:
+    """Query response across 1..K runs of the GK and PD workloads.
+
+    For each workload and each focus mode, reports the INDEXPROJ split
+    into (s1) one shared graph traversal and (s2) per-run trace lookups,
+    plus the NI total for contrast (NI re-traverses every run).
+    """
+    from repro.testbed.workloads import (
+        genes2kegg_workload,
+        protein_discovery_workload,
+    )
+
+    config = scale_config(scale)
+    repeats = config["repeats"]
+    rows: List[Row] = []
+    for workload in (genes2kegg_workload(), protein_discovery_workload()):
+        store = TraceStore()
+        run_ids = populate_store(
+            store,
+            workload.flow,
+            workload.inputs,
+            runs=max(config["fig4_runs"]),
+            runner=workload.runner(),
+            run_prefix=workload.name,
+        )
+        flat = workload.flow.flattened()
+        indexproj = IndexProjEngine(store, flat)
+        naive = NaiveEngine(store)
+        for mode, query in (
+            ("focused", workload.focused_query()),
+            ("unfocused", workload.unfocused_query()),
+        ):
+            for runs in config["fig4_runs"]:
+                scope = run_ids[:runs]
+                timing_ip, result_ip = best_of(
+                    lambda: indexproj.lineage_multirun(scope, query), repeats
+                )
+                timing_ni, _ = best_of(
+                    lambda: naive.lineage_multirun(scope, query), repeats
+                )
+                rows.append(
+                    {
+                        "workload": workload.name,
+                        "mode": mode,
+                        "runs": runs,
+                        "indexproj_ms": timing_ip.best_ms,
+                        "s1_ms": result_ip.traversal_seconds * 1000.0,
+                        "s2_ms": result_ip.lookup_seconds * 1000.0,
+                        "naive_ms": timing_ni.best_ms,
+                        "bindings": sum(
+                            len(r.bindings) for r in result_ip.per_run.values()
+                        ),
+                    }
+                )
+        store.close()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — trace database sizes over the (l, d) grid
+# ---------------------------------------------------------------------------
+
+
+def table1_trace_sizes(scale: str = "quick") -> List[Row]:
+    """Record counts for one run of every (l, d) configuration."""
+    config = scale_config(scale)
+    rows: List[Row] = []
+    for d in config["d_values"]:
+        for length in config["l_values"]:
+            prepared = prepare_store(length, d, runs=1)
+            rows.append(
+                {
+                    "d": d,
+                    "l": length,
+                    "records": prepared.store.record_count(prepared.run_ids[0]),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — NI response vs accumulated database size
+# ---------------------------------------------------------------------------
+
+
+def fig6_db_size(scale: str = "quick") -> List[Row]:
+    """NI single-run query time while the store accumulates 1..K runs."""
+    config = scale_config(scale)
+    length, d = config["fig6_l"], config["fig6_d"]
+    flow = chain_product_workflow(length)
+    store = TraceStore()
+    rows: List[Row] = []
+    run_ids: List[str] = []
+    naive = NaiveEngine(store)
+    query = focused_query()
+    for run_number in range(1, config["fig6_runs"] + 1):
+        run_ids += populate_store(
+            store, flow, {"ListSize": d}, runs=1, run_prefix=f"acc{run_number}"
+        )
+        timing, result = best_of(
+            lambda: naive.lineage(run_ids[0], query), config["repeats"]
+        )
+        rows.append(
+            {
+                "runs_stored": run_number,
+                "records": store.record_count(),
+                "naive_ms": timing.best_ms,
+                "sql_queries": result.stats.queries,
+            }
+        )
+    store.close()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — NI response vs input list size d
+# ---------------------------------------------------------------------------
+
+
+def fig7_list_size(scale: str = "quick") -> List[Row]:
+    """NI query time as d grows, for several chain lengths l."""
+    config = scale_config(scale)
+    rows: List[Row] = []
+    query = focused_query()
+    for length in config["fig7_l_values"]:
+        for d in config["fig7_d_values"]:
+            prepared = prepare_store(length, d, runs=1)
+            naive = NaiveEngine(prepared.store)
+            timing, result = best_of(
+                lambda: naive.lineage(prepared.run_ids[0], query),
+                config["repeats"],
+            )
+            rows.append(
+                {
+                    "l": length,
+                    "d": d,
+                    "records": prepared.record_count,
+                    "naive_ms": timing.best_ms,
+                    "sql_queries": result.stats.queries,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — pre-processing time t1 vs l
+# ---------------------------------------------------------------------------
+
+
+def fig8_preprocessing(scale: str = "quick") -> List[Row]:
+    """Static costs per workflow size: Alg. 1 plus one graph traversal."""
+    config = scale_config(scale)
+    rows: List[Row] = []
+    for length in config["fig8_l_values"]:
+        flow = chain_product_workflow(length)
+        with Timer() as depth_timer:
+            analysis = propagate_depths(flow)
+        query = unfocused_query(flow)
+        with Timer() as plan_timer:
+            plan = build_plan(analysis, query)
+        rows.append(
+            {
+                "l": length,
+                "graph_nodes": len(flow.processors),
+                "depth_ms": depth_timer.ms,
+                "plan_ms": plan_timer.ms,
+                "t1_ms": depth_timer.ms + plan_timer.ms,
+                "visited_ports": plan.visited_ports,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — query time across strategies vs l, for two extreme d
+# ---------------------------------------------------------------------------
+
+
+def fig9_strategies(scale: str = "quick") -> List[Row]:
+    """The focused query under NI, INDEXPROJ, and INDEXPROJ with a warm
+    plan cache, across chain lengths and the two d extremes."""
+    config = scale_config(scale)
+    rows: List[Row] = []
+    query = focused_query()
+    for d in config["fig9_d_values"]:
+        for length in config["fig9_l_values"]:
+            prepared = prepare_store(length, d, runs=1)
+            run_id = prepared.run_ids[0]
+            naive = NaiveEngine(prepared.store)
+            cold = IndexProjEngine(prepared.store, prepared.flow, cache_plans=False)
+            warm = IndexProjEngine(prepared.store, prepared.flow, cache_plans=True)
+            warm.lineage(run_id, query)  # populate the plan cache
+            strategies = {
+                "NI": lambda: naive.lineage(run_id, query),
+                "INDEXPROJ": lambda: cold.lineage(run_id, query),
+                "INDEXPROJ-cached": lambda: warm.lineage(run_id, query),
+            }
+            for strategy, action in strategies.items():
+                timing, result = best_of(action, config["repeats"])
+                rows.append(
+                    {
+                        "d": d,
+                        "l": length,
+                        "strategy": strategy,
+                        "ms": timing.best_ms,
+                        "sql_queries": result.stats.queries,
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — INDEXPROJ on partially unfocused queries
+# ---------------------------------------------------------------------------
+
+
+def fig10_partial_focus(scale: str = "quick") -> List[Row]:
+    """INDEXPROJ response as the focus set grows toward 50% of processors."""
+    config = scale_config(scale)
+    length, d = config["fig10_l"], config["fig10_d"]
+    prepared = prepare_store(length, d, runs=1)
+    run_id = prepared.run_ids[0]
+    rows: List[Row] = []
+    for fraction in config["fractions"]:
+        query = partially_focused_query(prepared.flow, fraction)
+        engine = IndexProjEngine(prepared.store, prepared.flow, cache_plans=False)
+        timing, result = best_of(
+            lambda: engine.lineage(run_id, query), config["repeats"]
+        )
+        rows.append(
+            {
+                "l": length,
+                "d": d,
+                "focus_fraction": fraction,
+                "focus_size": len(query.focus),
+                "indexproj_ms": timing.best_ms,
+                "sql_queries": result.stats.queries,
+                "bindings": len(result.bindings),
+            }
+        )
+    return rows
+
+
+ALL_EXPERIMENTS = {
+    "fig4": fig4_multirun,
+    "table1": table1_trace_sizes,
+    "fig6": fig6_db_size,
+    "fig7": fig7_list_size,
+    "fig8": fig8_preprocessing,
+    "fig9": fig9_strategies,
+    "fig10": fig10_partial_focus,
+}

@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment rows."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render row dicts as an aligned ASCII table.
+
+    >>> print(format_table([{"l": 10, "ms": 1.5}], title="demo"))
+    demo
+    l   ms
+    --  -----
+    10  1.500
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    names = list(columns) if columns else list(rows[0])
+    grid: List[List[str]] = [names]
+    for row in rows:
+        grid.append([_format_cell(row.get(name, "")) for name in names])
+    widths = [max(len(line[i]) for line in grid) for i in range(len(names))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(name.ljust(widths[i]) for i, name in enumerate(names)).rstrip()
+    )
+    lines.append("  ".join("-" * widths[i] for i in range(len(names))))
+    for line in grid[1:]:
+        lines.append(
+            "  ".join(
+                line[i].ljust(widths[i]) for i in range(len(names))
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def pivot(
+    rows: Sequence[Dict[str, Any]],
+    index: str,
+    column: str,
+    value: str,
+) -> List[Dict[str, Any]]:
+    """Pivot long-form rows into one row per ``index`` value.
+
+    Mirrors the layout of the paper's Table 1 (d rows, l columns).
+    """
+    table: Dict[Any, Dict[str, Any]] = {}
+    for row in rows:
+        entry = table.setdefault(row[index], {index: row[index]})
+        entry[str(row[column])] = row[value]
+    return list(table.values())
+
+
+def write_report(path: str, sections: Iterable[str]) -> None:
+    """Concatenate rendered sections into a report file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for section in sections:
+            handle.write(section)
+            handle.write("\n\n")

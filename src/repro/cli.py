@@ -1,0 +1,369 @@
+"""``repro-prov`` — command-line front end.
+
+Subcommands::
+
+    repro-prov workloads                        list built-in workloads
+    repro-prov run --workload gk --db t.db      execute + store a trace
+    repro-prov run --flow wf.json --inputs inputs.json --db t.db
+    repro-prov query --db t.db --node P --port Y --index 0.1 --focus A,B
+    repro-prov bench --experiment fig9 --scale quick
+    repro-prov export --workload gk --dot out.dot
+
+The CLI is a thin shell over the library; every capability is equally
+available through the Python API (see README quickstart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.bench.figures import ALL_EXPERIMENTS, SCALES
+from repro.bench.reporting import format_table
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.testbed.generator import chain_product_workflow
+from repro.testbed.workloads import (
+    file_loading_workload,
+    genes2kegg_workload,
+    protein_discovery_workload,
+)
+from repro.values.index import Index
+from repro.workflow import serialize
+from repro.workflow.dot import to_dot
+
+_WORKLOADS = {
+    "gk": genes2kegg_workload,
+    "genes2kegg": genes2kegg_workload,
+    "pd": protein_discovery_workload,
+    "protein_discovery": protein_discovery_workload,
+    "fl": file_loading_workload,
+    "file_loading": file_loading_workload,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-prov",
+        description="Fine-grained lineage querying of collection-based "
+        "workflow provenance (EDBT 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list built-in workloads")
+
+    run = sub.add_parser("run", help="execute a workflow and store its trace")
+    run.add_argument("--workload", choices=sorted(_WORKLOADS), help="built-in workload")
+    run.add_argument("--flow", help="workflow definition JSON file")
+    run.add_argument("--inputs", help="JSON file with workflow inputs")
+    run.add_argument("--synthetic-l", type=int, help="generate the Fig. 5 dataflow")
+    run.add_argument("--synthetic-d", type=int, default=10, help="ListSize input")
+    run.add_argument("--db", required=True, help="trace database path")
+    run.add_argument("--runs", type=int, default=1, help="number of identical runs")
+
+    query = sub.add_parser("query", help="answer a lineage query")
+    query.add_argument("--db", required=True, help="trace database path")
+    query.add_argument("--run", help="run id (default: every stored run)")
+    query.add_argument(
+        "--query",
+        dest="query_text",
+        help="full query in the paper's notation, e.g. "
+        "'lin(<P:Y[0.1]>, {Q, R})' (overrides --node/--port/--index/--focus)",
+    )
+    query.add_argument("--node")
+    query.add_argument("--port")
+    query.add_argument("--index", default="", help="dotted index path, e.g. 0.1")
+    query.add_argument("--focus", default="", help="comma-separated processors")
+    query.add_argument(
+        "--strategy", choices=["naive", "indexproj"], default="indexproj"
+    )
+    query.add_argument("--flow", help="workflow JSON (required for indexproj)")
+    query.add_argument("--workload", choices=sorted(_WORKLOADS))
+    query.add_argument("--synthetic-l", type=int)
+
+    bench = sub.add_parser("bench", help="reproduce a table/figure")
+    bench.add_argument(
+        "--experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        default="all",
+    )
+    bench.add_argument("--scale", choices=sorted(SCALES), default="quick")
+
+    export = sub.add_parser("export", help="render a workflow as GraphViz dot")
+    export.add_argument("--workload", choices=sorted(_WORKLOADS))
+    export.add_argument("--flow", help="workflow JSON file")
+    export.add_argument("--synthetic-l", type=int)
+    export.add_argument("--dot", required=True, help="output .dot path")
+
+    prov = sub.add_parser("prov-export", help="export a stored trace as PROV JSON")
+    prov.add_argument("--db", required=True, help="trace database path")
+    prov.add_argument("--run", help="run id (default: first stored run)")
+    prov.add_argument("--out", required=True, help="output .json path")
+
+    stats = sub.add_parser("stats", help="show trace database statistics")
+    stats.add_argument("--db", required=True, help="trace database path")
+
+    depths = sub.add_parser("depths", help="print the static depth table")
+    depths.add_argument("--workload", choices=sorted(_WORKLOADS))
+    depths.add_argument("--flow", help="workflow JSON file")
+    depths.add_argument("--synthetic-l", type=int)
+
+    validate_cmd = sub.add_parser("validate", help="structurally check a workflow")
+    validate_cmd.add_argument("--workload", choices=sorted(_WORKLOADS))
+    validate_cmd.add_argument("--flow", help="workflow JSON file")
+    validate_cmd.add_argument("--synthetic-l", type=int)
+
+    impact = sub.add_parser(
+        "impact", help="answer a forward (impact) query"
+    )
+    impact.add_argument("--db", required=True, help="trace database path")
+    impact.add_argument("--run", help="run id (default: every stored run)")
+    impact.add_argument("--node", required=True)
+    impact.add_argument("--port", required=True)
+    impact.add_argument("--index", default="", help="dotted index path")
+    impact.add_argument("--focus", default="", help="comma-separated processors")
+    impact.add_argument(
+        "--strategy", choices=["naive", "indexproj"], default="indexproj"
+    )
+    impact.add_argument("--flow", help="workflow JSON (required for indexproj)")
+    impact.add_argument("--workload", choices=sorted(_WORKLOADS))
+    impact.add_argument("--synthetic-l", type=int)
+
+    explain_cmd = sub.add_parser(
+        "explain", help="estimate both strategies' cost for a query"
+    )
+    explain_cmd.add_argument("--workload", choices=sorted(_WORKLOADS))
+    explain_cmd.add_argument("--flow", help="workflow JSON file")
+    explain_cmd.add_argument("--synthetic-l", type=int)
+    explain_cmd.add_argument("--node", required=True)
+    explain_cmd.add_argument("--port", required=True)
+    explain_cmd.add_argument("--index", default="")
+    explain_cmd.add_argument("--focus", default="")
+    explain_cmd.add_argument("--runs", type=int, default=1)
+    return parser
+
+
+def _load_flow(args: argparse.Namespace):
+    if getattr(args, "workload", None):
+        workload = _WORKLOADS[args.workload]()
+        return workload.flow, workload.registry, workload.inputs
+    if getattr(args, "synthetic_l", None):
+        flow = chain_product_workflow(args.synthetic_l)
+        return flow, None, {"ListSize": getattr(args, "synthetic_d", 10)}
+    if getattr(args, "flow", None):
+        flow = serialize.load(args.flow)
+        inputs: Dict[str, Any] = {}
+        if getattr(args, "inputs", None):
+            with open(args.inputs, "r", encoding="utf-8") as handle:
+                inputs = json.load(handle)
+        return flow, None, inputs
+    raise SystemExit("specify one of --workload / --flow / --synthetic-l")
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    for key in ("gk", "pd", "fl"):
+        workload = _WORKLOADS[key]()
+        print(f"{key:4s} {workload.name:20s} {workload.description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    flow, registry, inputs = _load_flow(args)
+    if args.inputs:
+        with open(args.inputs, "r", encoding="utf-8") as handle:
+            inputs = json.load(handle)
+    from repro.engine.executor import WorkflowRunner
+
+    runner = WorkflowRunner(registry)
+    with TraceStore(args.db) as store:
+        for _ in range(args.runs):
+            captured = capture_run(flow, inputs, runner=runner)
+            store.insert_trace(captured.trace)
+            print(
+                f"run {captured.run_id}: {captured.trace.record_count} trace "
+                f"records; outputs: {sorted(captured.outputs)}"
+            )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    if args.query_text:
+        from repro.query.parser import parse_query
+
+        query = parse_query(args.query_text)
+    elif args.node and args.port:
+        focus = [name for name in args.focus.split(",") if name]
+        query = LineageQuery.create(
+            args.node, args.port, Index.decode(args.index), focus
+        )
+    else:
+        raise SystemExit("provide either --query or both --node and --port")
+    with TraceStore(args.db) as store:
+        run_ids = [args.run] if args.run else store.run_ids()
+        if not run_ids:
+            print("store contains no runs", file=sys.stderr)
+            return 1
+        if args.strategy == "naive":
+            engine: Any = NaiveEngine(store)
+            results = engine.lineage_multirun(run_ids, query)
+        else:
+            flow, _, _ = _load_flow(args)
+            results = IndexProjEngine(store, flow).lineage_multirun(run_ids, query)
+        print(f"query: {query}")
+        for run_id, result in results.per_run.items():
+            print(f"run {run_id} ({result.total_seconds * 1000:.2f} ms):")
+            for binding in result.bindings:
+                payload = json.dumps(binding.value, default=repr)
+                if len(payload) > 60:
+                    payload = payload[:57] + "..."
+                print(f"  {binding}  = {payload}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        rows = ALL_EXPERIMENTS[name](args.scale)
+        print(format_table(rows, title=f"== {name} (scale={args.scale}) =="))
+        print()
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    flow, _, _ = _load_flow(args)
+    with open(args.dot, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(flow.flattened()))
+    print(f"wrote {args.dot}")
+    return 0
+
+
+def cmd_impact(args: argparse.Namespace) -> int:
+    from repro.query.impact import (
+        ImpactQuery,
+        IndexProjImpactEngine,
+        NaiveImpactEngine,
+    )
+
+    focus = [name for name in args.focus.split(",") if name]
+    query = ImpactQuery.create(
+        args.node, args.port, Index.decode(args.index), focus
+    )
+    with TraceStore(args.db) as store:
+        run_ids = [args.run] if args.run else store.run_ids()
+        if not run_ids:
+            print("store contains no runs", file=sys.stderr)
+            return 1
+        if args.strategy == "naive":
+            engine: Any = NaiveImpactEngine(store)
+        else:
+            flow, _, _ = _load_flow(args)
+            engine = IndexProjImpactEngine(store, flow)
+        print(f"impact query: {query}")
+        for run_id in run_ids:
+            result = engine.impact(run_id, query)
+            print(f"run {run_id} ({result.total_seconds * 1000:.2f} ms):")
+            for binding in result.bindings:
+                payload = json.dumps(binding.value, default=repr)
+                if len(payload) > 60:
+                    payload = payload[:57] + "..."
+                print(f"  {binding}  = {payload}")
+    return 0
+
+
+def cmd_prov_export(args: argparse.Namespace) -> int:
+    from repro.provenance.export import save_prov_document
+
+    with TraceStore(args.db) as store:
+        run_ids = store.run_ids()
+        if not run_ids:
+            print("store contains no runs", file=sys.stderr)
+            return 1
+        run_id = args.run or run_ids[0]
+        trace = store.load_trace(run_id)
+    save_prov_document(trace, args.out)
+    print(f"wrote PROV document for run {run_id} to {args.out}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    with TraceStore(args.db) as store:
+        stats = store.statistics()
+        for name in ("runs", "xform_events", "xform_io_rows", "xfer_rows",
+                     "records"):
+            print(f"{name:15s} {stats[name]}")
+        for run_id in store.run_ids():
+            print(f"  run {run_id}: {store.record_count(run_id)} records")
+    return 0
+
+
+def cmd_depths(args: argparse.Namespace) -> int:
+    from repro.workflow.depths import propagate_depths
+
+    flow, _, _ = _load_flow(args)
+    analysis = propagate_depths(flow.flattened())
+    print(f"{'port':40s} {'dd':>3s} {'depth':>5s}")
+    for port, dd, depth in analysis.as_table():
+        print(f"{port:40s} {dd:3d} {depth:5d}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.workflow.validate import validate as validate_flow
+
+    flow, _, _ = _load_flow(args)
+    issues = validate_flow(flow.flattened())
+    if not issues:
+        print(f"workflow {flow.name!r}: no issues")
+        return 0
+    for issue in issues:
+        print(f"{issue.severity:8s} [{issue.code}] {issue.message}")
+    return 1 if any(issue.is_error for issue in issues) else 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.query.explain import explain
+    from repro.workflow.depths import propagate_depths
+
+    flow, _, _ = _load_flow(args)
+    analysis = propagate_depths(flow.flattened())
+    focus = [name for name in args.focus.split(",") if name]
+    query = LineageQuery.create(
+        args.node, args.port, Index.decode(args.index), focus
+    )
+    explanation = explain(analysis, query, runs=args.runs)
+    print(explanation.summary())
+    print(f"  traversal ports (shared s1) : {explanation.indexproj_traversal_ports}")
+    print(f"  INDEXPROJ trace lookups     : {explanation.indexproj_lookups}")
+    print(f"  NI hops per run             : {explanation.naive_hops}")
+    print(f"  NI trace lookups (bound)    : {explanation.naive_lookups}")
+    print(f"  lookup ratio NI/INDEXPROJ   : {explanation.lookup_ratio:.1f}")
+    return 0
+
+
+_COMMANDS = {
+    "workloads": cmd_workloads,
+    "run": cmd_run,
+    "query": cmd_query,
+    "bench": cmd_bench,
+    "export": cmd_export,
+    "impact": cmd_impact,
+    "prov-export": cmd_prov_export,
+    "stats": cmd_stats,
+    "depths": cmd_depths,
+    "validate": cmd_validate,
+    "explain": cmd_explain,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Dataflow execution engine with Taverna-style implicit iteration.
+
+The engine executes a :class:`~repro.workflow.model.Dataflow` under the pure
+data-driven model of Section 2.1: a processor fires as soon as all of its
+connected input ports are bound, and the implicit iteration semantics
+(Defs. 2 and 3) decide how many *instances* of the processor run when input
+values are nested more deeply than the ports declare.
+
+Executing a workflow produces a :class:`~repro.engine.executor.RunResult`
+holding the workflow outputs and the full provenance trace: one *xform*
+event per processor instance and *xfer* events for every element moved
+along an arc — exactly the observable events of Section 2.3.
+"""
+
+from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.engine.errors import ErrorToken, contains_error, count_errors, is_error
+from repro.engine.executor import ExecutionError, RunResult, WorkflowRunner, run_workflow
+from repro.engine.iteration import IterationError, cross_product, evaluate
+from repro.engine.processors import ProcessorRegistry, default_registry
+
+__all__ = [
+    "Binding",
+    "ErrorToken",
+    "contains_error",
+    "count_errors",
+    "is_error",
+    "ExecutionError",
+    "IterationError",
+    "ProcessorRegistry",
+    "RunResult",
+    "WorkflowRunner",
+    "XferEvent",
+    "XformEvent",
+    "cross_product",
+    "default_registry",
+    "evaluate",
+    "run_workflow",
+]

@@ -1,0 +1,79 @@
+"""Error tokens: per-instance failure propagation (Taverna semantics).
+
+In Taverna, a service failure does not abort the whole workflow: the
+failing *instance* produces an error document, which flows through the
+rest of the dataflow like any value — downstream instances that consume
+it short-circuit to errors themselves, while sibling instances (other
+elements of the iterated collections) proceed normally.
+
+This module provides that behaviour for the reproduction's engine when
+:class:`~repro.engine.executor.WorkflowRunner` runs with
+``error_handling="token"``:
+
+* an instance whose operation raises produces an :class:`ErrorToken` on
+  each output port (instead of killing the run);
+* an instance any of whose arguments *contains* an error token
+  short-circuits without invoking the operation;
+* provenance records the error tokens as ordinary bindings — which is the
+  payoff: ``lin(<wf:out[i]>, ...)`` on an errored element leads straight
+  to the culprit input, and an impact query from a poisoned input
+  enumerates every contaminated output.
+
+Known limitation (documented, checked): an error token standing in for a
+whole collection cannot be *iterated over* by a downstream port — that
+instance fails with the engine's usual atomic-value iteration error.  The
+common per-element pipelines (tokens as collection elements) propagate
+cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.values import nested
+
+
+class ErrorToken:
+    """An error document standing in for a failed instance's output."""
+
+    __slots__ = ("message", "processor")
+
+    def __init__(self, message: str, processor: str) -> None:
+        self.message = message
+        self.processor = processor
+
+    def __repr__(self) -> str:
+        return f"ErrorToken({self.processor}: {self.message})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ErrorToken)
+            and self.message == other.message
+            and self.processor == other.processor
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.message, self.processor))
+
+
+def is_error(value: Any) -> bool:
+    """True for an error token itself."""
+    return isinstance(value, ErrorToken)
+
+
+def contains_error(value: Any) -> bool:
+    """True when ``value`` is, or nests, an error token."""
+    if is_error(value):
+        return True
+    if nested.is_collection(value):
+        return any(contains_error(element) for element in value)
+    return False
+
+
+def count_errors(value: Any) -> int:
+    """Number of error-token leaves inside ``value``."""
+    if is_error(value):
+        return 1
+    if nested.is_collection(value):
+        return sum(count_errors(element) for element in value)
+    return 0

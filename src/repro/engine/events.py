@@ -1,0 +1,86 @@
+"""Observable provenance events: bindings, *xform* and *xfer* records.
+
+Section 2.3 defines a trace as the collection of two kinds of observable
+events:
+
+* *xform* — one processor instance consuming a tuple of input bindings and
+  producing output bindings:
+  ``<P:X1[p1], v1> ... <P:Xn[pn], vn>  ->  <P:Y[q], w>`` (relation (1));
+* *xfer* — one element moving along an arc:
+  ``<P:Y[p], v> -> <P':X[p'], v>`` (relation (2)).
+
+A :class:`Binding` pairs a fully-qualified port with an index into the value
+bound to that port.  The *value payload* is carried alongside but excluded
+from equality/hashing: two bindings are the same lineage node exactly when
+they name the same port and index within a run, which is how the provenance
+graph of Section 2.4 identifies nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+from repro.values.index import Index
+from repro.workflow.model import PortRef
+
+
+@dataclass(frozen=True)
+class Binding:
+    """``<node:port[index], value>`` — a node of the provenance graph."""
+
+    ref: PortRef
+    index: Index
+    value: Any = field(default=None, compare=False, hash=False)
+
+    @property
+    def node(self) -> str:
+        return self.ref.node
+
+    @property
+    def port(self) -> str:
+        return self.ref.port
+
+    def key(self) -> Tuple[str, str, str]:
+        """Stable identity triple ``(node, port, encoded index)``."""
+        return (self.ref.node, self.ref.port, self.index.encode())
+
+    def __str__(self) -> str:
+        return f"<{self.ref}[{self.index.encode()}]>"
+
+
+@dataclass(frozen=True)
+class XformEvent:
+    """One processor-instance execution: input bindings → output bindings.
+
+    All output bindings of a single instance share the same instance index
+    ``q`` (Prop. 1); inputs carry their per-port fragments ``p_i``.
+    """
+
+    processor: str
+    inputs: Tuple[Binding, ...]
+    outputs: Tuple[Binding, ...]
+
+    def __post_init__(self) -> None:
+        for binding in self.inputs + self.outputs:
+            if binding.ref.node != self.processor:
+                raise ValueError(
+                    f"binding {binding} does not belong to processor "
+                    f"{self.processor!r}"
+                )
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(b) for b in self.inputs)
+        outs = ", ".join(str(b) for b in self.outputs)
+        return f"{ins} -> {outs}"
+
+
+@dataclass(frozen=True)
+class XferEvent:
+    """One element transferred along an arc (identity on the payload)."""
+
+    source: Binding
+    sink: Binding
+
+    def __str__(self) -> str:
+        return f"{self.source} -> {self.sink}"

@@ -1,0 +1,353 @@
+"""Data-driven workflow execution with provenance capture.
+
+The executor implements the pure dataflow model of Section 2.1: the run is
+triggered by binding the top-level workflow inputs; a processor fires as
+soon as every connected input port holds a value; values move along arcs as
+soon as they are produced.  Because the dataflow graph is acyclic and
+single-assignment, firing processors in topological order is an admissible
+schedule of the data-driven semantics and yields the identical trace, so
+that is what we do — deterministically, which keeps traces reproducible.
+
+Every run emits the observable events of Section 2.3 to an
+:class:`~repro.provenance.capture.TraceBuilder`-compatible listener:
+
+* one *xform* event per processor instance, with per-port input index
+  fragments ``p_i`` and the instance index ``q`` (from
+  :mod:`repro.engine.iteration`);
+* *xfer* events along each arc at the granularity at which the downstream
+  port will consume the value — one event per iterated element (plus a
+  whole-value event when the downstream consumes the value whole).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol
+
+from repro.values import nested
+from repro.values.index import Index
+from repro.workflow.depths import DepthAnalysis, propagate_depths
+from repro.workflow.model import Dataflow, PortRef, Processor
+from repro.workflow.visit import topological_sort
+from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.engine.iteration import PortValue, evaluate
+from repro.engine.processors import ProcessorRegistry, default_registry
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a workflow cannot be executed to completion."""
+
+
+class TraceListener(Protocol):
+    """Receiver of provenance events during a run."""
+
+    def on_xform(self, event: XformEvent) -> None: ...
+
+    def on_xfer(self, event: XferEvent) -> None: ...
+
+
+class _NullListener:
+    """Discards events — used when provenance capture is not wanted."""
+
+    def on_xform(self, event: XformEvent) -> None:  # pragma: no cover - trivial
+        pass
+
+    def on_xfer(self, event: XferEvent) -> None:  # pragma: no cover - trivial
+        pass
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workflow run."""
+
+    workflow: Dataflow
+    outputs: Dict[str, Any]
+    port_values: Dict[PortRef, Any] = field(default_factory=dict)
+    analysis: Optional[DepthAnalysis] = None
+
+    def output(self, name: str) -> Any:
+        try:
+            return self.outputs[name]
+        except KeyError:
+            raise ExecutionError(f"run produced no output named {name!r}") from None
+
+
+class WorkflowRunner:
+    """Executes dataflows against a processor registry.
+
+    A runner is stateless between runs and safe to reuse; the depth analysis
+    of each (flattened) workflow is cached on the instance since the static
+    annotation never changes for a given definition (the paper: Alg. 1 runs
+    "only once for every new workflow definition graph").
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ProcessorRegistry] = None,
+        xfer_granularity: str = "fine",
+        check_output_depths: bool = True,
+        error_handling: str = "raise",
+    ) -> None:
+        if xfer_granularity not in ("fine", "coarse"):
+            raise ValueError(
+                f"xfer_granularity must be 'fine' or 'coarse', "
+                f"got {xfer_granularity!r}"
+            )
+        if error_handling not in ("raise", "token"):
+            raise ValueError(
+                f"error_handling must be 'raise' or 'token', "
+                f"got {error_handling!r}"
+            )
+        #: "raise" aborts the run on the first failing instance; "token"
+        #: converts per-instance failures into propagating error tokens
+        #: (Taverna semantics — see repro.engine.errors).
+        self.error_handling = error_handling
+        self.registry = registry if registry is not None else default_registry()
+        #: "fine" records one *xfer* event per element the consumer will
+        #: iterate over (the paper's Fig. 2 granularity); "coarse" records a
+        #: single whole-value event per arc — smaller traces, identical
+        #: lineage answers (transfers are identity on indices, so queries
+        #: carry their index across coarse hops), used by the granularity
+        #: ablation benchmark.
+        self.xfer_granularity = xfer_granularity
+        #: Enforce assumption 1 (Section 3.1) at run time: every processor
+        #: instance must return values of the declared output depth.
+        self.check_output_depths = check_output_depths
+        self._analysis_cache: Dict[int, DepthAnalysis] = {}
+
+    # ------------------------------------------------------------------
+
+    def analysis_for(self, flow: Dataflow) -> DepthAnalysis:
+        """The cached static depth analysis of ``flow`` (flattened)."""
+        key = id(flow)
+        if key not in self._analysis_cache:
+            self._analysis_cache[key] = propagate_depths(flow.flattened())
+        return self._analysis_cache[key]
+
+    def run(
+        self,
+        flow: Dataflow,
+        inputs: Dict[str, Any],
+        listener: Optional[TraceListener] = None,
+        strict_inputs: bool = True,
+    ) -> RunResult:
+        """Execute ``flow`` on ``inputs`` (workflow input port name → value).
+
+        With ``strict_inputs`` (the default), every supplied value must have
+        exactly the declared depth of its port — assumption 2 of Section
+        3.1, on which the static mismatch computation rests.  Disable it
+        only to experiment with deliberately mis-shaped inputs.
+        """
+        sink = listener if listener is not None else _NullListener()
+        analysis = self.analysis_for(flow)
+        flat = analysis.flow
+        self._check_inputs(flat, inputs, strict_inputs)
+
+        port_values: Dict[PortRef, Any] = {}
+        for port in flat.inputs:
+            if port.name in inputs:
+                port_values[PortRef(flat.name, port.name)] = inputs[port.name]
+
+        for processor in topological_sort(flat):
+            self._fire(flat, analysis, processor, port_values, sink)
+
+        outputs: Dict[str, Any] = {}
+        for port in flat.outputs:
+            ref = PortRef(flat.name, port.name)
+            arc = flat.incoming_arc(ref)
+            if arc is None or arc.source not in port_values:
+                continue
+            value = port_values[arc.source]
+            port_values[ref] = value
+            outputs[port.name] = value
+            self._emit_xfers(flat, analysis, arc.source, ref, value, sink)
+        return RunResult(
+            workflow=flat, outputs=outputs, port_values=port_values, analysis=analysis
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_inputs(
+        self, flat: Dataflow, inputs: Dict[str, Any], strict: bool
+    ) -> None:
+        known = {p.name for p in flat.inputs}
+        unknown = set(inputs) - known
+        if unknown:
+            raise ExecutionError(
+                f"unknown workflow input(s) {sorted(unknown)}; "
+                f"declared inputs are {sorted(known)}"
+            )
+        if not strict:
+            return
+        for port in flat.inputs:
+            if port.name not in inputs:
+                continue
+            actual = nested.depth(inputs[port.name])
+            if actual != port.declared_depth:
+                raise ExecutionError(
+                    f"input {port.name!r} has depth {actual}, but the port "
+                    f"declares depth {port.declared_depth} (assumption 2, "
+                    "Section 3.1); pass strict_inputs=False to override"
+                )
+
+    def _fire(
+        self,
+        flat: Dataflow,
+        analysis: DepthAnalysis,
+        processor: Processor,
+        port_values: Dict[PortRef, Any],
+        sink: TraceListener,
+    ) -> None:
+        bound: List[PortValue] = []
+        for port in processor.inputs:
+            ref = PortRef(processor.name, port.name)
+            arc = flat.incoming_arc(ref)
+            if arc is not None:
+                if arc.source not in port_values:
+                    raise ExecutionError(
+                        f"processor {processor.name!r} is not fireable: "
+                        f"no value on upstream port {arc.source}"
+                    )
+                value = port_values[arc.source]
+                port_values[ref] = value
+                self._emit_xfers(flat, analysis, arc.source, ref, value, sink)
+            else:
+                # Unconnected input: bound to the design-time default
+                # (Section 2.1, footnote 5), or None when none is declared.
+                value = processor.config.get("defaults", {}).get(port.name)
+                port_values[ref] = value
+            bound.append(PortValue(port.name, value, analysis.mismatch(ref)))
+
+        operation = self._resolve_operation(processor)
+        output_names = [p.name for p in processor.outputs]
+        declared = {p.name: p.declared_depth for p in processor.outputs}
+
+        def checked_operation(args: Dict[str, Any]) -> Dict[str, Any]:
+            if self.error_handling == "token":
+                from repro.engine.errors import ErrorToken, contains_error
+
+                # Taverna error semantics: an instance fed any error token
+                # short-circuits; an instance that raises produces tokens.
+                if any(contains_error(value) for value in args.values()):
+                    token = ErrorToken("upstream error", processor.name)
+                    return {port_name: token for port_name in declared}
+                try:
+                    outputs = operation(args, processor.config)
+                except Exception as exc:
+                    token = ErrorToken(str(exc), processor.name)
+                    return {port_name: token for port_name in declared}
+            else:
+                outputs = operation(args, processor.config)
+            if self.check_output_depths:
+                from repro.engine.errors import is_error
+
+                # Assumption 1 (Section 3.1): every instance must return
+                # values of the declared depth, or the whole static index
+                # machinery becomes unsound — fail loudly, not wrongly.
+                # Error tokens are exempt: they stand in for a value of any
+                # declared depth (Taverna error documents do the same).
+                for port_name, dd in declared.items():
+                    if port_name not in outputs:
+                        continue  # evaluate() reports missing ports itself
+                    if is_error(outputs[port_name]):
+                        continue
+                    actual = nested.depth(outputs[port_name])
+                    if actual != dd:
+                        raise ExecutionError(
+                            f"processor {processor.name!r} returned a value "
+                            f"of depth {actual} on output {port_name!r}, "
+                            f"which declares depth {dd} (assumption 1, "
+                            "Section 3.1)"
+                        )
+            return outputs
+
+        result = evaluate(
+            checked_operation,
+            bound,
+            output_names,
+            strategy=processor.iteration,
+        )
+        for instance in result.instances:
+            input_bindings = tuple(
+                Binding(
+                    PortRef(processor.name, port_name),
+                    fragment,
+                    value=instance.arguments[port_name],
+                )
+                for port_name, fragment in instance.fragments
+            )
+            output_bindings = tuple(
+                Binding(
+                    PortRef(processor.name, port_name),
+                    instance.q,
+                    value=instance.outputs[port_name],
+                )
+                for port_name in output_names
+            )
+            sink.on_xform(
+                XformEvent(processor.name, input_bindings, output_bindings)
+            )
+        for port_name in output_names:
+            port_values[PortRef(processor.name, port_name)] = result.outputs[
+                port_name
+            ]
+
+    def _resolve_operation(self, processor: Processor):
+        if processor.is_subflow:
+            raise ExecutionError(
+                f"processor {processor.name!r} is a subflow; flatten the "
+                "workflow before execution"
+            )
+        if processor.operation is None:
+            raise ExecutionError(
+                f"processor {processor.name!r} declares no operation"
+            )
+        return self.registry.operation(processor.operation)
+
+    def _emit_xfers(
+        self,
+        flat: Dataflow,
+        analysis: DepthAnalysis,
+        source: PortRef,
+        sink_ref: PortRef,
+        value: Any,
+        sink: TraceListener,
+    ) -> None:
+        """Emit per-element transfer events for one arc.
+
+        Granularity follows the downstream consumption: if the sink port
+        iterates ``delta`` levels, one event is emitted per iterated
+        element (index length ``delta``); a sink that consumes the value
+        whole gets a single whole-value event.  This makes every *xfer*
+        destination index coincide with an *xform* input index downstream,
+        so the naive traversal can join the two relations hop by hop.
+        """
+        if sink_ref.node == flat.name or self.xfer_granularity == "coarse":
+            delta = 0  # workflow outputs receive the value whole
+        else:
+            delta = max(analysis.mismatch(sink_ref), 0)
+        if delta == 0:
+            sink.on_xfer(
+                XferEvent(
+                    Binding(source, Index(), value=value),
+                    Binding(sink_ref, Index(), value=value),
+                )
+            )
+            return
+        for index, element in nested.iter_at_depth(value, delta):
+            sink.on_xfer(
+                XferEvent(
+                    Binding(source, index, value=element),
+                    Binding(sink_ref, index, value=element),
+                )
+            )
+
+
+def run_workflow(
+    flow: Dataflow,
+    inputs: Dict[str, Any],
+    listener: Optional[TraceListener] = None,
+    registry: Optional[ProcessorRegistry] = None,
+) -> RunResult:
+    """Convenience one-shot execution (see :class:`WorkflowRunner`)."""
+    return WorkflowRunner(registry).run(flow, inputs, listener=listener)

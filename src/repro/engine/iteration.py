@@ -1,0 +1,208 @@
+"""Implicit list-iteration semantics (Defs. 2 and 3, Section 3.2).
+
+When a value bound to a port is nested ``delta`` levels deeper than the
+port's declared depth, the processor runs once per element ``delta`` levels
+down, and the iteration structure re-wraps the per-instance results into an
+output nested ``level = sum(delta_i)`` lists above the declared output
+depth.  Multiple iterated ports combine through the generalized cross
+product (Def. 2) — outer index positions come from earlier ports — or, with
+the *dot* combinator (footnote 7), advance in lockstep and share one index.
+
+:func:`evaluate` runs an operation under these semantics and returns both
+the assembled output values and one :class:`InstanceRecord` per elementary
+application — carrying exactly the per-port input index fragments ``p_i``
+and instance index ``q = p_1 ... p_n`` that Prop. 1 reasons about.  The
+provenance capture layer turns those records into *xform* events verbatim,
+so the trace's index discipline is the executed semantics, not a parallel
+re-implementation.
+
+:func:`cross_product` is a direct transcription of Def. 2 for the binary and
+n-ary cases, used by the property tests to cross-check :func:`evaluate`'s
+iteration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.values import nested
+from repro.values.index import Index
+from repro.strategy import (
+    StrategyError,
+    StrategySpec,
+    build_struct,
+    node_level,
+    parse_strategy,
+)
+
+
+class IterationError(ValueError):
+    """Raised when values cannot be iterated as the static analysis expects."""
+
+
+@dataclass(frozen=True)
+class PortValue:
+    """One input port's bound value with its depth mismatch ``delta``.
+
+    ``delta`` may be negative; :func:`evaluate` repairs that by singleton
+    wrapping (Def. 2 commentary) before iterating.
+    """
+
+    name: str
+    value: Any
+    delta: int
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """One elementary processor application (one future *xform* event)."""
+
+    q: Index
+    fragments: Tuple[Tuple[str, Index], ...]  # (port, p_i) in port order
+    arguments: Dict[str, Any]
+    outputs: Dict[str, Any]
+
+    def fragment(self, port: str) -> Index:
+        for name, index in self.fragments:
+            if name == port:
+                return index
+        raise KeyError(f"no fragment recorded for port {port!r}")
+
+
+@dataclass
+class EvaluationResult:
+    """Assembled outputs plus the per-instance records."""
+
+    outputs: Dict[str, Any]
+    instances: List[InstanceRecord]
+    level: int
+
+
+Operation = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+def evaluate(
+    operation: Operation,
+    ports: Sequence[PortValue],
+    output_ports: Sequence[str],
+    strategy: StrategySpec = "cross",
+) -> EvaluationResult:
+    """Run ``operation`` under the implicit iteration semantics.
+
+    ``operation`` receives a dict of declared-depth arguments and must
+    return a dict with exactly the ``output_ports`` keys.  The result's
+    ``outputs`` maps each output port to the re-wrapped nested value whose
+    element at instance index ``q`` is that instance's output (Def. 3).
+
+    ``strategy`` is ``"cross"`` (Def. 2, the default), ``"dot"``
+    (footnote 7's zip), or a full combinator expression such as
+    ``{"cross": [{"dot": ["x1", "x2"]}, "x3"]}`` — see
+    :mod:`repro.strategy`.
+    """
+    prepared: List[PortValue] = []
+    for port in ports:
+        if port.delta < 0:
+            # Negative mismatch: promote the value with singleton lists; no
+            # iteration and no index positions result.
+            prepared.append(
+                PortValue(port.name, nested.wrap(port.value, -port.delta), 0)
+            )
+        else:
+            prepared.append(port)
+    port_names = [p.name for p in prepared]
+    deltas = {p.name: p.delta for p in prepared}
+    bindings = {p.name: (p.value, p.delta) for p in prepared}
+    try:
+        node = parse_strategy(strategy, port_names)
+        level = node_level(node, deltas)
+        struct = build_struct(node, bindings)
+    except StrategyError as exc:
+        raise IterationError(str(exc)) from exc
+
+    instances: List[InstanceRecord] = []
+    output_names = tuple(output_ports)
+
+    def apply_leaf(leaf: Dict[str, Tuple[Any, Index]], q: Index) -> Dict[str, Any]:
+        arguments = {name: leaf[name][0] for name in port_names}
+        outputs = operation(dict(arguments))
+        missing = set(output_names) - set(outputs)
+        if missing:
+            raise IterationError(
+                f"operation produced no value for output port(s) "
+                f"{sorted(missing)}"
+            )
+        instances.append(
+            InstanceRecord(
+                q=q,
+                fragments=tuple((name, leaf[name][1]) for name in port_names),
+                arguments=arguments,
+                outputs={name: outputs[name] for name in output_names},
+            )
+        )
+        return {name: outputs[name] for name in output_names}
+
+    def walk(sub: Any, q: Index) -> Dict[str, Any]:
+        if isinstance(sub, list):
+            per_element = [
+                walk(element, q.extended(position))
+                for position, element in enumerate(sub)
+            ]
+            return {
+                name: [result[name] for result in per_element]
+                for name in output_names
+            }
+        return apply_leaf(sub, q)
+
+    outputs = walk(struct, Index())
+    return EvaluationResult(outputs=outputs, instances=instances, level=level)
+
+
+# ---------------------------------------------------------------------------
+# Def. 2 — generalized cross product, transcribed for testing
+# ---------------------------------------------------------------------------
+
+
+def cross_product(left: Tuple[Any, int], right: Tuple[Any, int]) -> Any:
+    """Binary generalized cross product ``(v, d1) ⊗ (w, d2)`` (Def. 2).
+
+    Returns nested lists of 2-tuples; the nesting mirrors which operands
+    iterate.  Only the top iteration level of each operand is consumed —
+    exactly as in the paper, where repeated ``map`` applications consume
+    deeper levels.
+    """
+    (v, d1), (w, d2) = left, right
+    if d1 > 0 and d2 > 0:
+        return [[(vi, wj) for wj in w] for vi in v]
+    if d1 > 0:
+        return [(vi, w) for vi in v]
+    if d2 > 0:
+        return [(v, wj) for wj in w]
+    return (v, w)
+
+
+def nary_cross_product(operands: Sequence[Tuple[Any, int]]) -> Any:
+    """Left-associative n-ary ``⊗`` with tuple flattening.
+
+    ``⊗_{i:1..n}(v_i, d_i)``: the binary operator is applied left to right;
+    nested pair results are flattened into flat argument tuples so that the
+    result's leaves are n-tuples, matching the paper's worked example
+    ``(a_1, c, b_1)``.
+    """
+    if not operands:
+        return ()
+    deltas = [d for _, d in operands]
+
+    def build(index: int, picked: Tuple[Any, ...]) -> Any:
+        if index == len(operands):
+            return picked
+        value, delta = operands[index]
+        if delta > 0:
+            return [build(index + 1, picked + (element,)) for element in value]
+        return build(index + 1, picked + (value,))
+
+    # The left-associative pairing of Def. 2 orders iteration outer-to-inner
+    # by operand position, which is what this direct construction does;
+    # only the pair/tuple shape differs, and we normalize to flat tuples.
+    del deltas
+    return build(0, ())

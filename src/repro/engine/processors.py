@@ -1,0 +1,229 @@
+"""Processor behaviour registry and built-in operations.
+
+Processors are *black boxes* (Section 1): the engine only knows each one as
+a function from an input-port dictionary to an output-port dictionary.  The
+registry maps the ``operation`` name declared on a
+:class:`~repro.workflow.model.Processor` to a Python callable
+
+    ``op(inputs: dict[str, Any], config: dict[str, Any]) -> dict[str, Any]``
+
+where keys are port names.  The built-ins below cover everything the
+paper's workloads need: identity/renaming shims, string transforms, list
+generation and flattening, joins, and aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.values import nested
+
+Operation = Callable[[Dict[str, Any], Dict[str, Any]], Dict[str, Any]]
+
+
+class UnknownOperationError(KeyError):
+    """Raised when a workflow references an unregistered operation."""
+
+
+class ProcessorRegistry:
+    """A named collection of processor operations.
+
+    Registries compose: ``registry.extended()`` returns a child that falls
+    back to its parent, so workloads can add bespoke services without
+    mutating the shared defaults.
+    """
+
+    def __init__(self, parent: Optional["ProcessorRegistry"] = None) -> None:
+        self._operations: Dict[str, Operation] = {}
+        self._parent = parent
+
+    def register(self, name: str, operation: Operation) -> None:
+        """Bind ``name`` to ``operation``; re-registration overrides locally."""
+        if not name:
+            raise ValueError("operation name must be non-empty")
+        self._operations[name] = operation
+
+    def operation(self, name: str) -> Operation:
+        """Resolve ``name``, consulting parents; raise if absent everywhere."""
+        registry: Optional[ProcessorRegistry] = self
+        while registry is not None:
+            if name in registry._operations:
+                return registry._operations[name]
+            registry = registry._parent
+        raise UnknownOperationError(f"no operation registered under {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.operation(name)
+        except UnknownOperationError:
+            return False
+        return True
+
+    def extended(self) -> "ProcessorRegistry":
+        """A child registry that inherits this one's operations."""
+        return ProcessorRegistry(parent=self)
+
+    def names(self) -> Iterator[str]:
+        """All locally registered names (parents excluded)."""
+        return iter(self._operations)
+
+
+def _single_input(inputs: Dict[str, Any]) -> Any:
+    if len(inputs) != 1:
+        raise ValueError(f"expected exactly one input port, got {sorted(inputs)}")
+    return next(iter(inputs.values()))
+
+
+# ---------------------------------------------------------------------------
+# Built-in operations
+# ---------------------------------------------------------------------------
+
+
+def op_identity(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Copy the single input to the output port named by ``config['out']``
+    (default ``"y"``).  The workhorse of the synthetic testbed chains."""
+    return {config.get("out", "y"): _single_input(inputs)}
+
+
+def op_tag(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Append ``config['suffix']`` to a string — a visible one-to-one
+    transformation so example output shows which processors touched it."""
+    value = _single_input(inputs)
+    suffix = config.get("suffix", "'")
+    return {config.get("out", "y"): f"{value}{suffix}"}
+
+
+def op_uppercase(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Uppercase a string."""
+    return {config.get("out", "y"): str(_single_input(inputs)).upper()}
+
+
+def op_list_generator(
+    inputs: Dict[str, Any], config: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Generate a flat list of ``size`` synthetic items.
+
+    ``size`` comes from the input port ``size`` when connected, else from
+    ``config['size']``.  This reproduces the testbed's ``ListGen`` processor
+    whose output length is controlled by the ``ListSize`` workflow input.
+    """
+    size = inputs.get("size", config.get("size"))
+    if size is None:
+        raise ValueError("list_generator needs a 'size' input or config entry")
+    prefix = config.get("prefix", "item")
+    return {config.get("out", "list"): [f"{prefix}-{i}" for i in range(int(size))]}
+
+
+def op_flatten(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Remove one nesting level: ``[[a, b], [c]] -> [a, b, c]``.
+
+    A many-to-many list operation — exactly the kind of processor that
+    destroys fine granularity (Section 2.3's processor ``R`` discussion).
+    """
+    value = _single_input(inputs)
+    return {config.get("out", "y"): nested.flatten(value, config.get("levels", 1))}
+
+
+def op_concat_pair(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Join two atomic inputs into one string — the testbed's final
+    cross-product processor applies this to every pair of chain outputs."""
+    left = inputs.get(config.get("left", "a"))
+    right = inputs.get(config.get("right", "b"))
+    joiner = config.get("joiner", "+")
+    return {config.get("out", "y"): f"{left}{joiner}{right}"}
+
+
+def op_concat_all(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Join any number of atomic inputs, in port-name order — the n-ary
+    generalization of :func:`op_concat_pair` for wide testbed variants."""
+    joiner = config.get("joiner", "+")
+    joined = joiner.join(str(inputs[name]) for name in sorted(inputs))
+    return {config.get("out", "y"): joined}
+
+
+def op_merge_lists(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Concatenate all input lists (port order) into one list.
+
+    Many-to-many: the output depends on every element of every input, so
+    provenance through this processor is intrinsically coarse.
+    """
+    merged: List[Any] = []
+    for name in sorted(inputs):
+        value = inputs[name]
+        merged.extend(value if isinstance(value, list) else [value])
+    return {config.get("out", "y"): merged}
+
+
+def op_intersect_lists(
+    inputs: Dict[str, Any], config: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Intersection of the elements of all input lists, order-preserving
+    on the first input.  Used for ``commonPathways`` in genes2Kegg."""
+    values = [inputs[name] for name in sorted(inputs)]
+    if not values:
+        return {config.get("out", "y"): []}
+    survivors = list(values[0])
+    for other in values[1:]:
+        keep = set(other)
+        survivors = [v for v in survivors if v in keep]
+    return {config.get("out", "y"): survivors}
+
+
+def op_count(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Aggregate a list to its leaf count — a many-to-one processor."""
+    return {config.get("out", "y"): nested.count_leaves(_single_input(inputs))}
+
+
+def op_constant(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Emit ``config['value']``, ignoring inputs (source node)."""
+    if "value" not in config:
+        raise ValueError("constant operation needs config['value']")
+    return {config.get("out", "y"): config["value"]}
+
+
+def op_split_words(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Split a string into a list of tokens (one-to-many)."""
+    return {config.get("out", "y"): str(_single_input(inputs)).split()}
+
+
+def op_synth_value(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Produce a deterministic value of ``config['out_depth']`` nesting.
+
+    The payload encodes a stable hash of the inputs, so distinct argument
+    tuples produce distinct outputs — which the property-based tests rely
+    on to tell processor instances apart.  ``width`` (default 2) controls
+    the fan-out of each generated list level.
+    """
+    import hashlib
+
+    out_depth = int(config.get("out_depth", 0))
+    width = int(config.get("width", 2))
+    salt = str(config.get("salt", ""))
+    payload = repr(sorted(inputs.items())) + salt
+    seed = int.from_bytes(hashlib.sha256(payload.encode()).digest()[:4], "big")
+
+    def build(levels: int, path: str) -> Any:
+        if levels == 0:
+            return f"s{seed % 99991}{'-' + path if path else ''}"
+        return [build(levels - 1, f"{path}{i}") for i in range(width)]
+
+    return {config.get("out", "y"): build(out_depth, "")}
+
+
+def default_registry() -> ProcessorRegistry:
+    """A fresh registry with every built-in operation installed."""
+    registry = ProcessorRegistry()
+    registry.register("identity", op_identity)
+    registry.register("tag", op_tag)
+    registry.register("uppercase", op_uppercase)
+    registry.register("list_generator", op_list_generator)
+    registry.register("flatten", op_flatten)
+    registry.register("concat_pair", op_concat_pair)
+    registry.register("concat_all", op_concat_all)
+    registry.register("merge_lists", op_merge_lists)
+    registry.register("intersect_lists", op_intersect_lists)
+    registry.register("count", op_count)
+    registry.register("constant", op_constant)
+    registry.register("split_words", op_split_words)
+    registry.register("synth_value", op_synth_value)
+    return registry

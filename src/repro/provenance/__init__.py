@@ -1,0 +1,60 @@
+"""Provenance trace capture, storage, and graph views.
+
+A *trace* ``T_E_D`` is the collection of all observable *xform* and *xfer*
+events of one execution of a dataflow ``D`` (Section 2.3).  This package
+provides:
+
+``Trace`` / ``TraceBuilder``
+    In-memory event collection; the builder implements the engine's
+    listener protocol, so ``run_workflow(flow, inputs, listener=builder)``
+    captures a full trace with no further wiring.
+
+``TraceStore``
+    The relational implementation (SQLite; the paper used MySQL 5.1) with
+    the *xform* / *xfer* relations, composite indexes on the lookup paths
+    both query strategies use, and multi-run accumulation keyed by run id.
+
+``graph``
+    The provenance-graph view of Section 2.4 — bindings as nodes, an arc
+    per event dependency — materialized as a ``networkx`` DiGraph for
+    inspection, export, and an independent reference implementation of the
+    lineage definition used by the test suite as ground truth.
+"""
+
+from repro.provenance.trace import Trace, TraceBuilder, new_run_id
+from repro.provenance.capture import capture_run
+from repro.provenance.store import StoreStats, TraceStore
+from repro.provenance.graph import provenance_digraph, reference_lineage
+from repro.provenance.export import (
+    provenance_to_dot,
+    save_prov_document,
+    to_prov_document,
+)
+from repro.provenance.streaming import StreamingTraceWriter
+from repro.provenance.maintenance import (
+    IntegrityReport,
+    integrity_check,
+    prune_runs,
+    run_inventory,
+    vacuum,
+)
+
+__all__ = [
+    "IntegrityReport",
+    "integrity_check",
+    "prune_runs",
+    "run_inventory",
+    "vacuum",
+    "StoreStats",
+    "StreamingTraceWriter",
+    "Trace",
+    "TraceBuilder",
+    "TraceStore",
+    "capture_run",
+    "new_run_id",
+    "provenance_digraph",
+    "provenance_to_dot",
+    "reference_lineage",
+    "save_prov_document",
+    "to_prov_document",
+]

@@ -1,0 +1,47 @@
+"""One-call capture of a workflow run's provenance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.engine.executor import RunResult, WorkflowRunner
+from repro.engine.processors import ProcessorRegistry
+from repro.provenance.trace import Trace, TraceBuilder, new_run_id
+from repro.workflow.model import Dataflow
+
+
+@dataclass
+class CapturedRun:
+    """A run result paired with its provenance trace."""
+
+    result: RunResult
+    trace: Trace
+
+    @property
+    def run_id(self) -> str:
+        return self.trace.run_id
+
+    @property
+    def outputs(self) -> Dict[str, Any]:
+        return self.result.outputs
+
+
+def capture_run(
+    flow: Dataflow,
+    inputs: Dict[str, Any],
+    runner: Optional[WorkflowRunner] = None,
+    registry: Optional[ProcessorRegistry] = None,
+    run_id: Optional[str] = None,
+) -> CapturedRun:
+    """Execute ``flow`` on ``inputs`` and capture the full trace.
+
+    Pass an existing ``runner`` to reuse its cached depth analysis across
+    repeated runs of the same workflow (parameter sweeps); otherwise a
+    fresh runner (optionally over a custom ``registry``) is created.
+    """
+    if runner is None:
+        runner = WorkflowRunner(registry)
+    builder = TraceBuilder(run_id or new_run_id(), flow.name)
+    result = runner.run(flow, inputs, listener=builder)
+    return CapturedRun(result=result, trace=builder.trace)

@@ -1,0 +1,154 @@
+"""Interoperable exports of provenance traces.
+
+Two formats:
+
+* **PROV-style JSON** (:func:`to_prov_document`) — the W3C PROV-DM
+  vocabulary the provenance community standardized on after OPM: each
+  binding becomes an *entity*, each processor instance an *activity*,
+  inputs become ``used`` relations, outputs ``wasGeneratedBy``, and
+  transfers ``wasDerivedFrom`` (identity derivations along arcs).  The
+  output is plain JSON-serializable data in the shape of a PROV-JSON
+  document, so external provenance tooling can consume exported traces.
+
+* **GraphViz dot** (:func:`provenance_to_dot`) — the binding-level
+  provenance DAG of Section 2.4, for visual inspection of small traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.engine.events import Binding
+from repro.provenance.trace import Trace
+
+PROV_PREFIX = "repro"
+
+
+def _entity_id(binding: Binding) -> str:
+    index = binding.index.encode() or "whole"
+    return f"{PROV_PREFIX}:{binding.node}/{binding.port}@{index}"
+
+
+def _activity_id(processor: str, instance: int) -> str:
+    return f"{PROV_PREFIX}:{processor}#{instance}"
+
+
+def to_prov_document(trace: Trace, include_values: bool = True) -> Dict[str, Any]:
+    """Encode one trace as a PROV-JSON-shaped document."""
+    entities: Dict[str, Dict[str, Any]] = {}
+    activities: Dict[str, Dict[str, Any]] = {}
+    used: Dict[str, Dict[str, str]] = {}
+    generated: Dict[str, Dict[str, str]] = {}
+    derived: Dict[str, Dict[str, str]] = {}
+
+    def note_entity(binding: Binding) -> str:
+        entity_id = _entity_id(binding)
+        if entity_id not in entities:
+            record: Dict[str, Any] = {
+                f"{PROV_PREFIX}:node": binding.node,
+                f"{PROV_PREFIX}:port": binding.port,
+                f"{PROV_PREFIX}:index": binding.index.encode(),
+            }
+            if include_values and binding.value is not None:
+                record[f"{PROV_PREFIX}:value"] = json.loads(
+                    json.dumps(binding.value, default=repr)
+                )
+            entities[entity_id] = record
+        return entity_id
+
+    instance_counters: Dict[str, int] = {}
+    for event in trace.xforms:
+        instance = instance_counters.get(event.processor, 0)
+        instance_counters[event.processor] = instance + 1
+        activity_id = _activity_id(event.processor, instance)
+        activities[activity_id] = {
+            f"{PROV_PREFIX}:processor": event.processor,
+            f"{PROV_PREFIX}:instance": instance,
+        }
+        for binding in event.inputs:
+            relation_id = f"u{len(used)}"
+            used[relation_id] = {
+                "prov:activity": activity_id,
+                "prov:entity": note_entity(binding),
+            }
+        for binding in event.outputs:
+            relation_id = f"g{len(generated)}"
+            generated[relation_id] = {
+                "prov:entity": note_entity(binding),
+                "prov:activity": activity_id,
+            }
+    for event in trace.xfers:
+        relation_id = f"d{len(derived)}"
+        derived[relation_id] = {
+            "prov:generatedEntity": note_entity(event.sink),
+            "prov:usedEntity": note_entity(event.source),
+            f"{PROV_PREFIX}:kind": "xfer",
+        }
+
+    return {
+        "prefix": {PROV_PREFIX: "urn:repro:"},
+        f"{PROV_PREFIX}:run": trace.run_id,
+        f"{PROV_PREFIX}:workflow": trace.workflow,
+        "entity": entities,
+        "activity": activities,
+        "used": used,
+        "wasGeneratedBy": generated,
+        "wasDerivedFrom": derived,
+    }
+
+
+def save_prov_document(
+    trace: Trace, path: str, include_values: bool = True
+) -> None:
+    """Write the PROV document as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            to_prov_document(trace, include_values), handle, indent=2,
+            sort_keys=True,
+        )
+
+
+def provenance_to_dot(trace: Trace, max_label: int = 24) -> str:
+    """Render the binding-level provenance DAG as GraphViz source."""
+
+    def node_id(binding: Binding) -> str:
+        return f"{binding.node}:{binding.port}[{binding.index.encode()}]"
+
+    def label(binding: Binding) -> str:
+        text = node_id(binding)
+        if binding.value is not None:
+            payload = json.dumps(binding.value, default=repr)
+            if len(payload) > max_label:
+                payload = payload[: max_label - 3] + "..."
+            text += f"\\n{payload}"
+        return text
+
+    lines = [f'digraph "trace {trace.run_id}" {{', "  node [shape=box];"]
+    seen = set()
+
+    def emit_node(binding: Binding) -> None:
+        identifier = node_id(binding)
+        if identifier in seen:
+            return
+        seen.add(identifier)
+        lines.append(f'  "{identifier}" [label="{label(binding)}"];')
+
+    for event in trace.xforms:
+        for source in event.inputs:
+            emit_node(source)
+            for sink in event.outputs:
+                emit_node(sink)
+                lines.append(
+                    f'  "{node_id(source)}" -> "{node_id(sink)}" '
+                    f'[label="{event.processor}"];'
+                )
+    for event in trace.xfers:
+        emit_node(event.source)
+        emit_node(event.sink)
+        lines.append(
+            f'  "{node_id(event.source)}" -> "{node_id(event.sink)}" '
+            "[style=dashed];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Provenance-graph view and reference lineage semantics.
+
+Section 2.4 views a trace as a DAG whose nodes are bindings and whose arcs
+come from *xform* events (input binding → output binding) and *xfer* events
+(source → sink).  :func:`provenance_digraph` materializes that DAG as a
+``networkx`` graph for inspection and export.
+
+:func:`reference_lineage` is a direct, in-memory transcription of Def. 1 —
+the mutually-inductive *xform*/*xfer* recursion — used by the test suite as
+ground truth for both database-backed strategies.  It shares the
+granularity-matching discipline documented in
+:mod:`repro.provenance.store`: recorded indices may be coarser or finer
+than the query index, and traversal continues with whichever of the two is
+finer on identity transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+import networkx as nx
+
+from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.provenance.trace import Trace
+from repro.values.index import Index
+
+
+def provenance_digraph(trace: Trace) -> "nx.DiGraph":
+    """The binding-level provenance DAG of one trace."""
+    graph = nx.DiGraph(run_id=trace.run_id, workflow=trace.workflow)
+    for event in trace.xforms:
+        for source in event.inputs:
+            for sink in event.outputs:
+                graph.add_edge(source.key(), sink.key(), kind="xform",
+                               processor=event.processor)
+    for event in trace.xfers:
+        graph.add_edge(event.source.key(), event.sink.key(), kind="xfer")
+    return graph
+
+
+class _TraceIndex:
+    """Hash indices over an in-memory trace for the reference traversal."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.xform_out: Dict[Tuple[str, str], List[Tuple[XformEvent, Index]]] = {}
+        self.xfer_dst: Dict[Tuple[str, str], List[XferEvent]] = {}
+        for event in trace.xforms:
+            for binding in event.outputs:
+                self.xform_out.setdefault(
+                    (binding.node, binding.port), []
+                ).append((event, binding.index))
+        for event in trace.xfers:
+            self.xfer_dst.setdefault(
+                (event.sink.node, event.sink.port), []
+            ).append(event)
+
+
+def _match(recorded: Index, query: Index) -> bool:
+    return recorded.starts_with(query) or query.starts_with(recorded)
+
+
+def reference_lineage(
+    trace: Trace,
+    node: str,
+    port: str,
+    index: Index,
+    focus: Iterable[str],
+) -> Set[Binding]:
+    """Def. 1: ``lin(<node:port[index]>, focus)`` over one in-memory trace.
+
+    Returns the set of input bindings of focus processors found on any
+    upward path from the query binding.  Purely extensional — every step
+    inspects trace events, exactly like the naive strategy, making this the
+    executable specification the optimized engines are tested against.
+    """
+    focus_set = set(focus)
+    catalog = _TraceIndex(trace)
+    result: Set[Binding] = set()
+    visited: Set[Tuple[str, str, str]] = set()
+    stack: List[Tuple[str, str, Index]] = [(node, port, index)]
+    while stack:
+        current_node, current_port, current_index = stack.pop()
+        key = (current_node, current_port, current_index.encode())
+        if key in visited:
+            continue
+        visited.add(key)
+        matched_xform = False
+        for event, recorded in catalog.xform_out.get(
+            (current_node, current_port), []
+        ):
+            if not _match(recorded, current_index):
+                continue
+            matched_xform = True
+            for binding in event.inputs:
+                if event.processor in focus_set:
+                    result.add(binding)
+                stack.append((binding.node, binding.port, binding.index))
+        if matched_xform:
+            continue
+        for event in catalog.xfer_dst.get((current_node, current_port), []):
+            recorded = event.sink.index
+            if not _match(recorded, current_index):
+                continue
+            if len(recorded) <= len(current_index):
+                continue_index = current_index  # identity transfer: keep finer
+            else:
+                continue_index = recorded
+            stack.append(
+                (event.source.node, event.source.port, continue_index)
+            )
+    return result
+
+
+def reference_impact(
+    trace: Trace,
+    node: str,
+    port: str,
+    index: Index,
+    focus: Iterable[str],
+) -> Set[Binding]:
+    """Forward mirror of :func:`reference_lineage`: the *output* bindings
+    of focus processors on any downward path from the query binding.
+
+    Answers "which results were affected by this input element?" — the
+    impact-analysis counterpart of Def. 1, evaluated extensionally over
+    the in-memory trace and used as ground truth for the database-backed
+    impact engines.
+    """
+    focus_set = set(focus)
+    xform_in: Dict[Tuple[str, str], List[Tuple[XformEvent, Index]]] = {}
+    xfer_src: Dict[Tuple[str, str], List[XferEvent]] = {}
+    for event in trace.xforms:
+        for binding in event.inputs:
+            xform_in.setdefault((binding.node, binding.port), []).append(
+                (event, binding.index)
+            )
+    for event in trace.xfers:
+        xfer_src.setdefault(
+            (event.source.node, event.source.port), []
+        ).append(event)
+
+    result: Set[Binding] = set()
+    visited: Set[Tuple[str, str, str]] = set()
+    stack: List[Tuple[str, str, Index]] = [(node, port, index)]
+    while stack:
+        current_node, current_port, current_index = stack.pop()
+        key = (current_node, current_port, current_index.encode())
+        if key in visited:
+            continue
+        visited.add(key)
+        matched_xform = False
+        for event, recorded in xform_in.get((current_node, current_port), []):
+            if not _match(recorded, current_index):
+                continue
+            matched_xform = True
+            for binding in event.outputs:
+                if event.processor in focus_set:
+                    result.add(binding)
+                stack.append((binding.node, binding.port, binding.index))
+        if matched_xform:
+            continue
+        for event in xfer_src.get((current_node, current_port), []):
+            recorded = event.source.index
+            if not _match(recorded, current_index):
+                continue
+            if len(recorded) <= len(current_index):
+                continue_index = current_index
+            else:
+                continue_index = recorded
+            stack.append((event.sink.node, event.sink.port, continue_index))
+    return result
+
+
+def leaf_coverage(bindings: Iterable[Binding]) -> Set[Tuple[str, str, str]]:
+    """Expand bindings to the set of leaf regions they cover.
+
+    Two lineage answers are semantically equal when they cover the same
+    ``(node, port, leaf index)`` regions — a whole-value binding covers all
+    leaves of its payload.  Used by tests to compare strategies that may
+    report the same lineage at different granularities.
+    """
+    from repro.values import nested
+
+    covered: Set[Tuple[str, str, str]] = set()
+    for binding in bindings:
+        if binding.value is None or not isinstance(binding.value, list):
+            covered.add((binding.node, binding.port, binding.index.encode()))
+            continue
+        for leaf_index, _ in nested.enumerate_leaves(binding.value):
+            covered.add(
+                (binding.node, binding.port, (binding.index + leaf_index).encode())
+            )
+    return covered
+
+
+def sources_of(trace: Trace) -> Set[Tuple[str, str]]:
+    """Ports that never appear as the destination of any event — the run's
+    ultimate inputs (workflow input ports and generator outputs)."""
+    graph = provenance_digraph(trace)
+    return {
+        (key[0], key[1])
+        for key in graph.nodes
+        if graph.in_degree(key) == 0
+    }

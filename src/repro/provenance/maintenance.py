@@ -1,0 +1,180 @@
+"""Trace-store maintenance: pruning, integrity checking, compaction.
+
+Provenance databases "can be large" and "accumulate over many runs"
+(Section 1); a production deployment needs tooling to keep them healthy:
+
+* :func:`prune_runs` — retention: drop all but the most recent N runs
+  (optionally per workflow), reclaiming the dominant space consumer;
+* :func:`integrity_check` — referential sanity of the relational layout
+  (orphaned io rows, empty runs, malformed index encodings) plus presence
+  of the composite indexes the query strategies rely on;
+* :func:`vacuum` — SQLite compaction after heavy pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.provenance.store import TraceStore
+
+
+@dataclass
+class IntegrityReport:
+    """Findings of one :func:`integrity_check` pass."""
+
+    orphan_io_rows: int = 0
+    orphan_events: int = 0
+    empty_runs: List[str] = field(default_factory=list)
+    malformed_indices: int = 0
+    indexes_present: bool = True
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def is_healthy(self) -> bool:
+        return not self.issues
+
+
+def prune_runs(
+    store: TraceStore,
+    keep_latest: int,
+    workflow: Optional[str] = None,
+) -> List[str]:
+    """Delete all but the newest ``keep_latest`` runs; return deleted ids.
+
+    Runs are ordered by insertion (rowid).  With ``workflow`` given, only
+    that workflow's runs are considered — other workflows are untouched.
+    """
+    if keep_latest < 0:
+        raise ValueError("keep_latest must be non-negative")
+    run_ids = store.run_ids(workflow=workflow)
+    doomed = run_ids[: max(0, len(run_ids) - keep_latest)]
+    for run_id in doomed:
+        store.delete_run(run_id)
+    return doomed
+
+
+def integrity_check(store: TraceStore) -> IntegrityReport:
+    """Verify the relational invariants of the trace layout."""
+    report = IntegrityReport()
+    conn = store._conn
+
+    report.orphan_io_rows = conn.execute(
+        "SELECT COUNT(*) FROM xform_io io "
+        "WHERE NOT EXISTS (SELECT 1 FROM xform_event e "
+        "                  WHERE e.event_id = io.event_id)"
+    ).fetchone()[0]
+    if report.orphan_io_rows:
+        report.issues.append(
+            f"{report.orphan_io_rows} xform_io row(s) reference missing events"
+        )
+
+    report.orphan_events = conn.execute(
+        "SELECT COUNT(*) FROM xform_event e "
+        "WHERE NOT EXISTS (SELECT 1 FROM runs r WHERE r.run_id = e.run_id)"
+    ).fetchone()[0]
+    if report.orphan_events:
+        report.issues.append(
+            f"{report.orphan_events} xform event(s) reference missing runs"
+        )
+
+    for (run_id,) in conn.execute("SELECT run_id FROM runs").fetchall():
+        has_events = conn.execute(
+            "SELECT 1 FROM xform_event WHERE run_id = ? LIMIT 1", (run_id,)
+        ).fetchone()
+        has_xfers = conn.execute(
+            "SELECT 1 FROM xfer WHERE run_id = ? LIMIT 1", (run_id,)
+        ).fetchone()
+        if not has_events and not has_xfers:
+            report.empty_runs.append(run_id)
+    if report.empty_runs:
+        report.issues.append(
+            f"{len(report.empty_runs)} run(s) have no events at all"
+        )
+
+    # Index paths must round-trip through the canonical codec: empty, or
+    # dot-separated non-negative integers.  Validate the distinct values
+    # in Python with the codec itself rather than approximating it in SQL.
+    from repro.values.index import Index
+
+    distinct = conn.execute(
+        "SELECT idx FROM ("
+        "  SELECT idx FROM xform_io"
+        "  UNION SELECT src_idx AS idx FROM xfer"
+        "  UNION SELECT dst_idx AS idx FROM xfer"
+        ")"
+    ).fetchall()
+    malformed = set()
+    for (encoded,) in distinct:
+        try:
+            Index.decode(encoded)
+        except ValueError:
+            malformed.add(encoded)
+    if malformed:
+        report.malformed_indices = conn.execute(
+            "SELECT COUNT(*) FROM ("
+            "  SELECT idx FROM xform_io"
+            "  UNION ALL SELECT src_idx AS idx FROM xfer"
+            "  UNION ALL SELECT dst_idx AS idx FROM xfer"
+            f") WHERE idx IN ({','.join('?' for _ in malformed)})",
+            sorted(malformed),
+        ).fetchone()[0]
+    if report.malformed_indices:
+        report.issues.append(
+            f"{report.malformed_indices} malformed index encoding(s)"
+        )
+
+    orphan_refs = conn.execute(
+        "SELECT COUNT(*) FROM ("
+        "  SELECT value_id FROM xform_io WHERE value_id IS NOT NULL"
+        "  UNION ALL SELECT value_id FROM xfer WHERE value_id IS NOT NULL"
+        ") refs WHERE NOT EXISTS ("
+        "  SELECT 1 FROM value_pool vp WHERE vp.value_id = refs.value_id)"
+    ).fetchone()[0]
+    if orphan_refs:
+        report.issues.append(
+            f"{orphan_refs} row(s) reference missing value_pool entries"
+        )
+
+    report.indexes_present = store.has_indexes()
+    if not report.indexes_present:
+        report.issues.append(
+            "secondary indexes are missing (queries will full-scan); "
+            "run create_indexes()"
+        )
+    return report
+
+
+def gc_value_pool(store: TraceStore) -> int:
+    """Drop pool entries no remaining row references; return the count.
+
+    ``delete_run`` leaves interned payloads behind on purpose (they may be
+    shared with other runs); run this after pruning to reclaim them.
+    """
+    with store._conn:
+        cursor = store._conn.execute(
+            "DELETE FROM value_pool WHERE value_id NOT IN ("
+            "  SELECT value_id FROM xform_io WHERE value_id IS NOT NULL"
+            "  UNION SELECT value_id FROM xfer WHERE value_id IS NOT NULL"
+            ")"
+        )
+        return cursor.rowcount
+
+
+def vacuum(store: TraceStore) -> None:
+    """Compact the database file (reclaims space after pruning)."""
+    store._conn.execute("VACUUM")
+
+
+def run_inventory(store: TraceStore) -> Dict[str, Dict[str, int]]:
+    """Per-run size summary: ``{run_id: {workflow, records}}``-style rows."""
+    inventory: Dict[str, Dict[str, int]] = {}
+    rows = store._conn.execute(
+        "SELECT run_id, workflow FROM runs ORDER BY rowid"
+    ).fetchall()
+    for run_id, workflow in rows:
+        inventory[run_id] = {
+            "workflow": workflow,
+            "records": store.record_count(run_id),
+        }
+    return inventory

@@ -1,0 +1,762 @@
+"""Relational trace store on SQLite.
+
+The paper implements traces "based on a standard RDBMS, with no need for
+auxiliary data structures" (Section 5) — MySQL 5.1 in their setup.  This
+module is the SQLite equivalent, with the same relational shape:
+
+``runs``
+    one row per workflow execution (``run_id`` is the multi-run scope key
+    of Section 3.4);
+``xform_event`` / ``xform_io``
+    relation (1): one event row per processor instance plus one io row per
+    input/output binding, carrying the port, the encoded index path and the
+    value payload;
+``xfer``
+    relation (2): one row per element transferred along an arc.
+
+Every lookup path used by the two query strategies is covered by a
+composite index, which is what makes the paper's Fig. 6 observation hold
+("all of the queries on the traces involve the use of indexes, with none
+requiring full table scans").
+
+Index matching
+--------------
+
+Lineage lookups must relate a *query index* ``p`` to the *recorded* indices
+of trace rows, which can be coarser (the processor consumed/produced a
+bigger chunk) or finer (the processor iterated inside the chunk named by
+``p``).  All lookups therefore match rows whose index is equal to ``p``, a
+prefix of ``p``, or an extension of ``p``:
+
+* equal/prefix rows resolve with an ``idx IN (...)`` over the ``|p|+1``
+  prefixes of ``p`` — constant-size, fully indexed;
+* extension rows resolve with ``idx LIKE 'p.%'``, sargable on the same
+  index because the pattern has a fixed prefix.
+
+:class:`StoreStats` counts SQL round-trips and fetched rows so benchmarks
+can report machine-independent access costs next to wall-clock times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.provenance.trace import Trace
+from repro.values.index import Index
+from repro.values.pattern import IndexPattern
+from repro.workflow.model import PortRef
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id        TEXT PRIMARY KEY,
+    workflow      TEXT NOT NULL,
+    created_at    TEXT NOT NULL DEFAULT (datetime('now'))
+);
+
+CREATE TABLE IF NOT EXISTS xform_event (
+    event_id      INTEGER PRIMARY KEY,
+    run_id        TEXT NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+    processor     TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS ix_xform_event_proc
+    ON xform_event(run_id, processor);
+
+CREATE TABLE IF NOT EXISTS xform_io (
+    event_id      INTEGER NOT NULL REFERENCES xform_event(event_id)
+                  ON DELETE CASCADE,
+    run_id        TEXT NOT NULL,
+    processor     TEXT NOT NULL,
+    role          TEXT NOT NULL CHECK (role IN ('in', 'out')),
+    port          TEXT NOT NULL,
+    idx           TEXT NOT NULL,
+    value_json    TEXT,
+    value_id      INTEGER REFERENCES value_pool(value_id)
+);
+CREATE INDEX IF NOT EXISTS ix_xform_io_lookup
+    ON xform_io(run_id, processor, port, role, idx);
+CREATE INDEX IF NOT EXISTS ix_xform_io_event
+    ON xform_io(event_id, role);
+
+CREATE TABLE IF NOT EXISTS xfer (
+    run_id        TEXT NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+    src_node      TEXT NOT NULL,
+    src_port      TEXT NOT NULL,
+    src_idx       TEXT NOT NULL,
+    dst_node      TEXT NOT NULL,
+    dst_port      TEXT NOT NULL,
+    dst_idx       TEXT NOT NULL,
+    value_json    TEXT,
+    value_id      INTEGER REFERENCES value_pool(value_id)
+);
+CREATE INDEX IF NOT EXISTS ix_xfer_dst
+    ON xfer(run_id, dst_node, dst_port, dst_idx);
+CREATE INDEX IF NOT EXISTS ix_xfer_src
+    ON xfer(run_id, src_node, src_port, src_idx);
+
+-- Deduplicated payload storage (used when intern_values is enabled):
+-- identical values across rows and runs share one pool entry.
+CREATE TABLE IF NOT EXISTS value_pool (
+    value_id      INTEGER PRIMARY KEY,
+    digest        TEXT NOT NULL UNIQUE,
+    value_json    TEXT NOT NULL
+);
+"""
+
+
+@dataclass
+class StoreStats:
+    """Mutable counters of store access during a query."""
+
+    queries: int = 0
+    rows: int = 0
+
+    def record(self, fetched: int) -> None:
+        self.queries += 1
+        self.rows += fetched
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.rows = 0
+
+
+@dataclass(frozen=True)
+class XformMatch:
+    """One *xform* event matched by an output-index lookup."""
+
+    event_id: int
+    output_index: Index
+
+
+def _encode_value(value: Any) -> str:
+    return json.dumps(value, default=repr, separators=(",", ":"))
+
+
+def _decode_value(text: Optional[str]) -> Any:
+    if text is None:
+        return None
+    return json.loads(text)
+
+
+def _prefixes(encoded: str) -> List[str]:
+    """``p`` itself and every proper prefix, including the empty index."""
+    if encoded == "":
+        return [""]
+    parts = encoded.split(".")
+    return [""] + [".".join(parts[: i + 1]) for i in range(len(parts))]
+
+
+class TraceStore:
+    """A SQLite-backed multi-run trace database.
+
+    Usable as a context manager; ``path=":memory:"`` (the default) builds
+    an ephemeral store, any other path a persistent database file.
+    """
+
+    def __init__(self, path: str = ":memory:", intern_values: bool = False) -> None:
+        self.path = path
+        #: When enabled, payloads are normalized into ``value_pool`` and
+        #: rows carry a ``value_id`` instead of inline JSON — identical
+        #: values (which dominate real traces: the same list is transferred
+        #: along every arc and consumed by many instances) are stored once.
+        self.intern_values = intern_values
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        if path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute("PRAGMA synchronous = NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def _value_ref(
+        self, cursor: sqlite3.Cursor, value: Any
+    ) -> Tuple[Optional[str], Optional[int]]:
+        """``(value_json, value_id)`` for one payload, honouring interning."""
+        encoded = _encode_value(value)
+        if not self.intern_values:
+            return encoded, None
+        digest = hashlib.sha256(encoded.encode()).hexdigest()
+        row = cursor.execute(
+            "SELECT value_id FROM value_pool WHERE digest = ?", (digest,)
+        ).fetchone()
+        if row is not None:
+            return None, row[0]
+        cursor.execute(
+            "INSERT INTO value_pool (digest, value_json) VALUES (?, ?)",
+            (digest, encoded),
+        )
+        return None, cursor.lastrowid
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- ingestion ---------------------------------------------------------
+
+    def insert_trace(self, trace: Trace) -> None:
+        """Bulk-insert one run's events in a single transaction."""
+        cursor = self._conn.cursor()
+        try:
+            cursor.execute("BEGIN")
+            cursor.execute(
+                "INSERT INTO runs (run_id, workflow) VALUES (?, ?)",
+                (trace.run_id, trace.workflow),
+            )
+            io_rows: List[Tuple[Any, ...]] = []
+            for event in trace.xforms:
+                cursor.execute(
+                    "INSERT INTO xform_event (run_id, processor) VALUES (?, ?)",
+                    (trace.run_id, event.processor),
+                )
+                event_id = cursor.lastrowid
+                for role, bindings in (("in", event.inputs), ("out", event.outputs)):
+                    for binding in bindings:
+                        value_json, value_id = self._value_ref(
+                            cursor, binding.value
+                        )
+                        io_rows.append(
+                            (
+                                event_id,
+                                trace.run_id,
+                                event.processor,
+                                role,
+                                binding.port,
+                                binding.index.encode(),
+                                value_json,
+                                value_id,
+                            )
+                        )
+            cursor.executemany(
+                "INSERT INTO xform_io (event_id, run_id, processor, role, "
+                "port, idx, value_json, value_id) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                io_rows,
+            )
+            xfer_rows = []
+            for event in trace.xfers:
+                value_json, value_id = self._value_ref(
+                    cursor, event.source.value
+                )
+                xfer_rows.append(
+                    (
+                        trace.run_id,
+                        event.source.node,
+                        event.source.port,
+                        event.source.index.encode(),
+                        event.sink.node,
+                        event.sink.port,
+                        event.sink.index.encode(),
+                        value_json,
+                        value_id,
+                    )
+                )
+            cursor.executemany(
+                "INSERT INTO xfer (run_id, src_node, src_port, src_idx, "
+                "dst_node, dst_port, dst_idx, value_json, value_id) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                xfer_rows,
+            )
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            raise
+        finally:
+            cursor.close()
+
+    def delete_run(self, run_id: str) -> None:
+        """Remove one run and all of its events."""
+        with self._conn:
+            self._conn.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+
+    # -- index management (ablation support) --------------------------------
+
+    _SECONDARY_INDEXES = (
+        "ix_xform_event_proc",
+        "ix_xform_io_lookup",
+        "ix_xform_io_event",
+        "ix_xfer_dst",
+        "ix_xfer_src",
+    )
+
+    def drop_indexes(self) -> None:
+        """Drop every secondary index.
+
+        Exists for the index ablation (EXPERIMENTS.md): the paper's Fig. 6
+        rests on "all of the queries on the traces involve the use of
+        indexes, with none requiring full table scans"; dropping them shows
+        the table-scan regime that design decision avoids.
+        """
+        with self._conn:
+            for name in self._SECONDARY_INDEXES:
+                self._conn.execute(f"DROP INDEX IF EXISTS {name}")
+
+    def create_indexes(self) -> None:
+        """Recreate the secondary indexes (inverse of :meth:`drop_indexes`)."""
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def has_indexes(self) -> bool:
+        """True when the secondary indexes are present."""
+        rows = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'index'"
+        ).fetchall()
+        names = {row[0] for row in rows}
+        return all(name in names for name in self._SECONDARY_INDEXES)
+
+    def load_trace(self, run_id: str) -> Trace:
+        """Reconstruct one run's full in-memory trace from the store.
+
+        Inverse of :meth:`insert_trace` (event order is preserved via
+        rowids).  Used by exports and by round-trip tests.
+        """
+        workflow_row = self._conn.execute(
+            "SELECT workflow FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if workflow_row is None:
+            raise KeyError(f"no run {run_id!r} in this store")
+        trace = Trace(run_id=run_id, workflow=workflow_row[0])
+        events = self._conn.execute(
+            "SELECT event_id, processor FROM xform_event "
+            "WHERE run_id = ? ORDER BY event_id",
+            (run_id,),
+        ).fetchall()
+        io_rows = self._conn.execute(
+            "SELECT event_id, role, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
+            "WHERE run_id = ? ORDER BY xform_io.rowid",
+            (run_id,),
+        ).fetchall()
+        by_event: Dict[int, Dict[str, List[Binding]]] = {}
+        processor_of = {event_id: processor for event_id, processor in events}
+        for event_id, role, port, idx, value_json in io_rows:
+            bucket = by_event.setdefault(event_id, {"in": [], "out": []})
+            bucket[role].append(
+                Binding(
+                    PortRef(processor_of[event_id], port),
+                    Index.decode(idx),
+                    value=_decode_value(value_json),
+                )
+            )
+        for event_id, processor in events:
+            bucket = by_event.get(event_id, {"in": [], "out": []})
+            trace.xforms.append(
+                XformEvent(
+                    processor,
+                    inputs=tuple(bucket["in"]),
+                    outputs=tuple(bucket["out"]),
+                )
+            )
+        xfer_rows = self._conn.execute(
+            "SELECT src_node, src_port, src_idx, dst_node, dst_port, dst_idx, "
+            "COALESCE(xfer.value_json, vp.value_json) FROM xfer LEFT JOIN value_pool vp ON vp.value_id = xfer.value_id WHERE run_id = ? ORDER BY xfer.rowid",
+            (run_id,),
+        ).fetchall()
+        for src_node, src_port, src_idx, dst_node, dst_port, dst_idx, vj in xfer_rows:
+            value = _decode_value(vj)
+            trace.xfers.append(
+                XferEvent(
+                    Binding(PortRef(src_node, src_port), Index.decode(src_idx),
+                            value=value),
+                    Binding(PortRef(dst_node, dst_port), Index.decode(dst_idx),
+                            value=value),
+                )
+            )
+        return trace
+
+    # -- metadata ----------------------------------------------------------
+
+    def run_ids(self, workflow: Optional[str] = None) -> List[str]:
+        """All stored run ids, optionally restricted to one workflow."""
+        if workflow is None:
+            rows = self._conn.execute(
+                "SELECT run_id FROM runs ORDER BY rowid"
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT run_id FROM runs WHERE workflow = ? ORDER BY rowid",
+                (workflow,),
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def record_count(self, run_id: Optional[str] = None) -> int:
+        """Trace record count as Table 1 counts it (io rows + xfer rows)."""
+        if run_id is None:
+            io = self._conn.execute("SELECT COUNT(*) FROM xform_io").fetchone()[0]
+            xf = self._conn.execute("SELECT COUNT(*) FROM xfer").fetchone()[0]
+        else:
+            io = self._conn.execute(
+                "SELECT COUNT(*) FROM xform_io WHERE run_id = ?", (run_id,)
+            ).fetchone()[0]
+            xf = self._conn.execute(
+                "SELECT COUNT(*) FROM xfer WHERE run_id = ?", (run_id,)
+            ).fetchone()[0]
+        return io + xf
+
+    def statistics(self) -> Dict[str, int]:
+        """Store-wide size summary."""
+        counts = {
+            "runs": "SELECT COUNT(*) FROM runs",
+            "xform_events": "SELECT COUNT(*) FROM xform_event",
+            "xform_io_rows": "SELECT COUNT(*) FROM xform_io",
+            "xfer_rows": "SELECT COUNT(*) FROM xfer",
+            "pooled_values": "SELECT COUNT(*) FROM value_pool",
+        }
+        result = {
+            name: self._conn.execute(sql).fetchone()[0]
+            for name, sql in counts.items()
+        }
+        result["records"] = result["xform_io_rows"] + result["xfer_rows"]
+        return result
+
+    # -- lookup primitives ---------------------------------------------------
+
+    def find_xform_by_output(
+        self,
+        run_id: str,
+        node: str,
+        port: str,
+        index: Index,
+        stats: Optional[StoreStats] = None,
+    ) -> List[XformMatch]:
+        """Events whose output on ``node:port`` matches ``index``.
+
+        Matching prefers exact rows, then coarser rows (recorded index is a
+        prefix of the query), then finer rows (query is a prefix of the
+        recorded index) — within one processor the recorded index length is
+        uniform, so exactly one class can be non-empty.
+        """
+        encoded = index.encode()
+        prefixes = _prefixes(encoded)
+        placeholders = ",".join("?" for _ in prefixes)
+        like = f"{encoded}.%" if encoded else "_%"
+        sql = (
+            "SELECT event_id, idx FROM xform_io "
+            "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'out' "
+            f"AND (idx IN ({placeholders}) OR idx LIKE ?)"
+        )
+        rows = self._conn.execute(
+            sql, [run_id, node, port, *prefixes, like]
+        ).fetchall()
+        if stats is not None:
+            stats.record(len(rows))
+        exact = [r for r in rows if r[1] == encoded]
+        if exact:
+            chosen = exact
+        else:
+            coarser = [r for r in rows if encoded.startswith(r[1])]
+            chosen = coarser if coarser else rows
+        return [XformMatch(event_id=r[0], output_index=Index.decode(r[1])) for r in chosen]
+
+    def xform_inputs(
+        self,
+        event_ids: Sequence[int],
+        stats: Optional[StoreStats] = None,
+    ) -> List[Binding]:
+        """All input bindings of the given events, deduplicated."""
+        if not event_ids:
+            return []
+        placeholders = ",".join("?" for _ in event_ids)
+        rows = self._conn.execute(
+            "SELECT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
+            f"WHERE event_id IN ({placeholders}) AND role = 'in'",
+            list(event_ids),
+        ).fetchall()
+        if stats is not None:
+            stats.record(len(rows))
+        return _dedupe_bindings(rows)
+
+    def find_xform_inputs_matching(
+        self,
+        run_id: str,
+        node: str,
+        port: str,
+        index: Index,
+        stats: Optional[StoreStats] = None,
+    ) -> List[Binding]:
+        """``Q(P, X_i, p_i)`` of Alg. 2: input bindings matching a fragment.
+
+        This is the only trace access INDEXPROJ performs, once per focus
+        processor input port (times the number of runs in scope).
+        """
+        encoded = index.encode()
+        prefixes = _prefixes(encoded)
+        placeholders = ",".join("?" for _ in prefixes)
+        like = f"{encoded}.%" if encoded else "_%"
+        rows = self._conn.execute(
+            "SELECT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
+            "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'in' "
+            f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
+            [run_id, node, port, *prefixes, like],
+        ).fetchall()
+        if stats is not None:
+            stats.record(len(rows))
+        return _dedupe_bindings(rows)
+
+    # -- forward (impact) lookup primitives ---------------------------------
+
+    def find_xform_by_input(
+        self,
+        run_id: str,
+        node: str,
+        port: str,
+        index: Index,
+        stats: Optional[StoreStats] = None,
+    ) -> List[XformMatch]:
+        """Events whose *input* on ``node:port`` matches ``index``.
+
+        The forward mirror of :meth:`find_xform_by_output`, with the same
+        exact/coarser/finer preference.
+        """
+        encoded = index.encode()
+        prefixes = _prefixes(encoded)
+        placeholders = ",".join("?" for _ in prefixes)
+        like = f"{encoded}.%" if encoded else "_%"
+        rows = self._conn.execute(
+            "SELECT event_id, idx FROM xform_io "
+            "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'in' "
+            f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
+            [run_id, node, port, *prefixes, like],
+        ).fetchall()
+        if stats is not None:
+            stats.record(len(rows))
+        exact = [r for r in rows if r[1] == encoded]
+        if exact:
+            chosen = exact
+        else:
+            coarser = [r for r in rows if encoded.startswith(r[1])]
+            chosen = coarser if coarser else rows
+        return [
+            XformMatch(event_id=r[0], output_index=Index.decode(r[1]))
+            for r in chosen
+        ]
+
+    def xform_outputs(
+        self,
+        event_ids: Sequence[int],
+        stats: Optional[StoreStats] = None,
+    ) -> List[Binding]:
+        """All output bindings of the given events, deduplicated."""
+        if not event_ids:
+            return []
+        placeholders = ",".join("?" for _ in event_ids)
+        rows = self._conn.execute(
+            "SELECT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
+            f"WHERE event_id IN ({placeholders}) AND role = 'out'",
+            list(event_ids),
+        ).fetchall()
+        if stats is not None:
+            stats.record(len(rows))
+        return _dedupe_bindings(rows)
+
+    def find_xfer_from(
+        self,
+        run_id: str,
+        node: str,
+        port: str,
+        index: Index,
+        stats: Optional[StoreStats] = None,
+    ) -> List[Tuple[Binding, Index]]:
+        """Transfers out of ``node:port`` matching ``index`` — the forward
+        mirror of :meth:`find_xfer_into`, with the same continuation rule
+        (identity transfers keep the finer of the two indices)."""
+        encoded = index.encode()
+        prefixes = _prefixes(encoded)
+        placeholders = ",".join("?" for _ in prefixes)
+        like = f"{encoded}.%" if encoded else "_%"
+        rows = self._conn.execute(
+            "SELECT dst_node, dst_port, dst_idx, src_idx, COALESCE(xfer.value_json, vp.value_json) FROM xfer LEFT JOIN value_pool vp ON vp.value_id = xfer.value_id "
+            "WHERE run_id = ? AND src_node = ? AND src_port = ? "
+            f"AND (src_idx IN ({placeholders}) OR src_idx LIKE ?)",
+            [run_id, node, port, *prefixes, like],
+        ).fetchall()
+        if stats is not None:
+            stats.record(len(rows))
+        results: List[Tuple[Binding, Index]] = []
+        seen = set()
+        for dst_node, dst_port, dst_idx, src_idx, value_json in rows:
+            if len(src_idx) <= len(encoded):
+                continue_index = index
+            else:
+                continue_index = Index.decode(src_idx)
+            key = (dst_node, dst_port, continue_index.encode())
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(
+                (
+                    Binding(
+                        PortRef(dst_node, dst_port),
+                        Index.decode(dst_idx),
+                        value=_decode_value(value_json),
+                    ),
+                    continue_index,
+                )
+            )
+        return results
+
+    def find_xform_outputs_matching_pattern(
+        self,
+        run_id: str,
+        node: str,
+        port: str,
+        pattern: "IndexPattern",
+        stats: Optional[StoreStats] = None,
+    ) -> List[Binding]:
+        """Output bindings whose index matches a (possibly wildcarded)
+        pattern — the forward analogue of ``Q(P, X_i, p_i)``.
+
+        The fixed leading run of the pattern drives an indexed prefix
+        fetch; remaining wildcard constraints are applied client-side.
+        """
+        prefix = pattern.fixed_prefix()
+        encoded = prefix.encode()
+        prefixes = _prefixes(encoded)
+        placeholders = ",".join("?" for _ in prefixes)
+        like = f"{encoded}.%" if encoded else "_%"
+        rows = self._conn.execute(
+            "SELECT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
+            "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'out' "
+            f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
+            [run_id, node, port, *prefixes, like],
+        ).fetchall()
+        if stats is not None:
+            stats.record(len(rows))
+        filtered = [
+            row for row in rows if pattern.matches(Index.decode(row[2]))
+        ]
+        return _dedupe_bindings(filtered)
+
+    def find_xform_inputs_matching_multi(
+        self,
+        run_ids: Sequence[str],
+        node: str,
+        port: str,
+        index: Index,
+        stats: Optional[StoreStats] = None,
+    ) -> Dict[str, List[Binding]]:
+        """Multi-run variant of :meth:`find_xform_inputs_matching`.
+
+        One SQL round-trip covers every run in scope (``run_id IN (...)``);
+        results come back grouped per run.  This is the batched execution
+        mode of Section 3.4's multi-run queries — beyond the paper's
+        per-run loop, but enabled by the same observation that "trace IDs
+        are key attributes in our relational implementation".
+        """
+        if not run_ids:
+            return {}
+        encoded = index.encode()
+        prefixes = _prefixes(encoded)
+        like = f"{encoded}.%" if encoded else "_%"
+        run_marks = ",".join("?" for _ in run_ids)
+        prefix_marks = ",".join("?" for _ in prefixes)
+        rows = self._conn.execute(
+            "SELECT run_id, processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
+            f"WHERE run_id IN ({run_marks}) AND processor = ? AND port = ? "
+            f"AND role = 'in' AND (idx IN ({prefix_marks}) OR idx LIKE ?)",
+            [*run_ids, node, port, *prefixes, like],
+        ).fetchall()
+        if stats is not None:
+            stats.record(len(rows))
+        grouped: Dict[str, List[Tuple[str, str, str, Optional[str]]]] = {}
+        for run_id, proc, port_name, idx, value_json in rows:
+            grouped.setdefault(run_id, []).append(
+                (proc, port_name, idx, value_json)
+            )
+        return {
+            run_id: _dedupe_bindings(entries)
+            for run_id, entries in grouped.items()
+        }
+
+    def find_xfer_into(
+        self,
+        run_id: str,
+        node: str,
+        port: str,
+        index: Index,
+        stats: Optional[StoreStats] = None,
+    ) -> List[Tuple[Binding, Index]]:
+        """Transfers into ``node:port`` matching ``index``.
+
+        Returns ``(source binding, continuation index)`` pairs.  Transfers
+        are identity on the payload, so when the recorded row is *coarser*
+        than the query (whole-value transfer, element query) the traversal
+        continues upstream with the original, finer query index; finer rows
+        continue with their own recorded index.
+        """
+        encoded = index.encode()
+        prefixes = _prefixes(encoded)
+        placeholders = ",".join("?" for _ in prefixes)
+        like = f"{encoded}.%" if encoded else "_%"
+        rows = self._conn.execute(
+            "SELECT src_node, src_port, src_idx, dst_idx, COALESCE(xfer.value_json, vp.value_json) FROM xfer LEFT JOIN value_pool vp ON vp.value_id = xfer.value_id "
+            "WHERE run_id = ? AND dst_node = ? AND dst_port = ? "
+            f"AND (dst_idx IN ({placeholders}) OR dst_idx LIKE ?)",
+            [run_id, node, port, *prefixes, like],
+        ).fetchall()
+        if stats is not None:
+            stats.record(len(rows))
+        results: List[Tuple[Binding, Index]] = []
+        seen = set()
+        for src_node, src_port, src_idx, dst_idx, value_json in rows:
+            if len(dst_idx) <= len(encoded):
+                # Exact or coarser row: keep the query's finer index.
+                continue_index = index
+            else:
+                continue_index = Index.decode(dst_idx)
+            key = (src_node, src_port, continue_index.encode())
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(
+                (
+                    Binding(
+                        PortRef(src_node, src_port),
+                        Index.decode(src_idx),
+                        value=_decode_value(value_json),
+                    ),
+                    continue_index,
+                )
+            )
+        return results
+
+    def has_binding(self, run_id: str, node: str, port: str) -> bool:
+        """True when any trace row mentions ``node:port`` in ``run_id``."""
+        row = self._conn.execute(
+            "SELECT 1 FROM xform_io WHERE run_id = ? AND processor = ? "
+            "AND port = ? LIMIT 1",
+            (run_id, node, port),
+        ).fetchone()
+        if row:
+            return True
+        row = self._conn.execute(
+            "SELECT 1 FROM xfer WHERE run_id = ? AND dst_node = ? "
+            "AND dst_port = ? LIMIT 1",
+            (run_id, node, port),
+        ).fetchone()
+        return bool(row)
+
+
+def _dedupe_bindings(rows: Iterable[Tuple[str, str, str, Optional[str]]]) -> List[Binding]:
+    seen = set()
+    bindings: List[Binding] = []
+    for node, port, idx, value_json in rows:
+        key = (node, port, idx)
+        if key in seen:
+            continue
+        seen.add(key)
+        bindings.append(
+            Binding(
+                PortRef(node, port), Index.decode(idx), value=_decode_value(value_json)
+            )
+        )
+    return bindings

@@ -1,0 +1,164 @@
+"""Streaming provenance capture: engine events written straight to SQLite.
+
+``capture_run`` materializes the whole trace in memory before insertion —
+fine for the paper's workloads, but long runs with large intermediate
+collections deserve the option of spilling provenance incrementally, the
+way the real Taverna provenance component streams events into MySQL while
+the dataflow executes.  :class:`StreamingTraceWriter` is an engine
+listener that batches events and flushes them inside a single long-lived
+transaction, committing (or rolling back) when the run finishes.
+
+    with TraceStore("traces.db") as store:
+        with StreamingTraceWriter(store, workflow="wf") as writer:
+            run_workflow(flow, inputs, listener=writer)
+        # committed here; writer.run_id identifies the stored trace
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.engine.events import XferEvent, XformEvent
+from repro.provenance.store import TraceStore
+from repro.provenance.trace import new_run_id
+
+DEFAULT_BATCH_SIZE = 512
+
+
+class StreamingTraceWriter:
+    """Engine listener that writes events to a store incrementally.
+
+    The run row is inserted on entry; *xform*/*xfer* events accumulate in
+    memory and are flushed to SQLite whenever ``batch_size`` rows are
+    pending.  Everything happens inside one transaction: a run that fails
+    mid-way leaves no partial trace behind.
+    """
+
+    def __init__(
+        self,
+        store: TraceStore,
+        run_id: Optional[str] = None,
+        workflow: str = "",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.store = store
+        self.run_id = run_id or new_run_id()
+        self.workflow = workflow
+        self.batch_size = batch_size
+        self._cursor = store._conn.cursor()
+        self._io_rows: List[Tuple[Any, ...]] = []
+        self._xfer_rows: List[Tuple[Any, ...]] = []
+        self._open = True
+        self._cursor.execute("BEGIN")
+        self._cursor.execute(
+            "INSERT INTO runs (run_id, workflow) VALUES (?, ?)",
+            (self.run_id, self.workflow),
+        )
+
+    # -- listener protocol -------------------------------------------------
+
+    def on_xform(self, event: XformEvent) -> None:
+        self._require_open()
+        self._cursor.execute(
+            "INSERT INTO xform_event (run_id, processor) VALUES (?, ?)",
+            (self.run_id, event.processor),
+        )
+        event_id = self._cursor.lastrowid
+        for role, bindings in (("in", event.inputs), ("out", event.outputs)):
+            for binding in bindings:
+                value_json, value_id = self.store._value_ref(
+                    self._cursor, binding.value
+                )
+                self._io_rows.append(
+                    (
+                        event_id,
+                        self.run_id,
+                        event.processor,
+                        role,
+                        binding.port,
+                        binding.index.encode(),
+                        value_json,
+                        value_id,
+                    )
+                )
+        self._maybe_flush()
+
+    def on_xfer(self, event: XferEvent) -> None:
+        self._require_open()
+        value_json, value_id = self.store._value_ref(
+            self._cursor, event.source.value
+        )
+        self._xfer_rows.append(
+            (
+                self.run_id,
+                event.source.node,
+                event.source.port,
+                event.source.index.encode(),
+                event.sink.node,
+                event.sink.port,
+                event.sink.index.encode(),
+                value_json,
+                value_id,
+            )
+        )
+        self._maybe_flush()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Push pending rows to SQLite (still inside the transaction)."""
+        if self._io_rows:
+            self._cursor.executemany(
+                "INSERT INTO xform_io (event_id, run_id, processor, role, "
+                "port, idx, value_json, value_id) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                self._io_rows,
+            )
+            self._io_rows.clear()
+        if self._xfer_rows:
+            self._cursor.executemany(
+                "INSERT INTO xfer (run_id, src_node, src_port, src_idx, "
+                "dst_node, dst_port, dst_idx, value_json, value_id) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                self._xfer_rows,
+            )
+            self._xfer_rows.clear()
+
+    def commit(self) -> None:
+        """Flush and commit the run."""
+        self._require_open()
+        self.flush()
+        self.store._conn.commit()
+        self._cursor.close()
+        self._open = False
+
+    def rollback(self) -> None:
+        """Discard the whole run (including the run row)."""
+        if not self._open:
+            return
+        self._io_rows.clear()
+        self._xfer_rows.clear()
+        self.store._conn.rollback()
+        self._cursor.close()
+        self._open = False
+
+    def __enter__(self) -> "StreamingTraceWriter":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+    def _maybe_flush(self) -> None:
+        if len(self._io_rows) + len(self._xfer_rows) >= self.batch_size:
+            self.flush()
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise RuntimeError(
+                f"streaming writer for run {self.run_id!r} is closed"
+            )

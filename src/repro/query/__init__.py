@@ -1,0 +1,69 @@
+"""Lineage query engines.
+
+Two strategies answer the same query ``lin(<P:Y[p], v>, focus)`` (Def. 1):
+
+``NaiveEngine`` (**NI**, Section 2.4)
+    Recursive traversal of the *provenance graph*: every hop issues indexed
+    lookups against the relational trace store, for every processor on
+    every upward path — interesting or not.  Cost grows with the length of
+    the provenance path and must be paid again for every run in scope.
+
+``IndexProjEngine`` (**INDEXPROJ**, Section 3)
+    Traverses the *workflow specification graph* instead, inverting each
+    processor intensionally with the index projection rule (Prop. 1 /
+    corrected Def. 4).  The trace is touched only at focus processors —
+    step (s2) — and the graph traversal — step (s1) — is shared by all
+    runs of the same workflow, and cacheable across queries.
+
+Both return :class:`LineageResult` objects carrying the bindings, the
+store-access statistics, and the timing breakdown the paper's evaluation
+reports (t1 = traversal/planning, t2 = trace lookups).
+"""
+
+from repro.query.base import LineageQuery, LineageResult, MultiRunResult
+from repro.query.naive import NaiveEngine
+from repro.query.indexproj import IndexProjEngine, QueryPlan, TraceQuery, build_plan
+from repro.query.projection import project_output_index
+from repro.query.explain import QueryExplanation, explain
+from repro.query.views import UserView, focus_for_groups, group_summary, rollup
+from repro.query.diff import LineageDiff, diff_lineage, diff_multirun
+from repro.query.parser import QueryParseError, format_query, parse_query
+from repro.query.impact import (
+    ImpactQuery,
+    IndexProjImpactEngine,
+    NaiveImpactEngine,
+    build_impact_plan,
+)
+from repro.query.value_search import ValueHit, ValueTrace, find_value, trace_value
+
+__all__ = [
+    "ValueHit",
+    "ValueTrace",
+    "find_value",
+    "trace_value",
+    "ImpactQuery",
+    "IndexProjImpactEngine",
+    "NaiveImpactEngine",
+    "build_impact_plan",
+    "QueryParseError",
+    "format_query",
+    "parse_query",
+    "LineageDiff",
+    "diff_lineage",
+    "diff_multirun",
+    "IndexProjEngine",
+    "LineageQuery",
+    "LineageResult",
+    "MultiRunResult",
+    "NaiveEngine",
+    "QueryExplanation",
+    "QueryPlan",
+    "TraceQuery",
+    "UserView",
+    "build_plan",
+    "explain",
+    "focus_for_groups",
+    "group_summary",
+    "project_output_index",
+    "rollup",
+]

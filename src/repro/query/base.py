@@ -1,0 +1,91 @@
+"""Shared lineage query/result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.engine.events import Binding
+from repro.provenance.store import StoreStats
+from repro.values.index import Index
+
+
+@dataclass(frozen=True)
+class LineageQuery:
+    """``lin(<node:port[index]>, focus)`` — what the user asks.
+
+    ``focus`` is the paper's set 𝒫 of "interesting" processors: the answer
+    contains only input bindings of processors in this set.  An *unfocused*
+    query passes every processor of the workflow.  The empty ``index``
+    requests coarse-grained lineage of the whole value bound to the port.
+    """
+
+    node: str
+    port: str
+    index: Index
+    focus: FrozenSet[str]
+
+    @classmethod
+    def create(
+        cls, node: str, port: str, index: Iterable[int] = (), focus: Iterable[str] = ()
+    ) -> "LineageQuery":
+        """Convenience constructor from plain values.
+
+        >>> LineageQuery.create("P", "Y", [1, 2], ["Q", "R"]).index
+        Index(1, 2)
+        """
+        return cls(
+            node=node,
+            port=port,
+            index=index if isinstance(index, Index) else Index.of(index),
+            focus=frozenset(focus),
+        )
+
+    def __str__(self) -> str:
+        focus = "{" + ", ".join(sorted(self.focus)) + "}"
+        return f"lin(<{self.node}:{self.port}[{self.index.encode()}]>, {focus})"
+
+
+@dataclass
+class LineageResult:
+    """One strategy's answer to one query over one run."""
+
+    query: LineageQuery
+    run_id: str
+    bindings: List[Binding]
+    stats: StoreStats = field(default_factory=StoreStats)
+    #: seconds spent traversing (graph or trace) before/between lookups —
+    #: the paper's t1 for INDEXPROJ; for NI traversal and lookups are one
+    #: interleaved process, so t1 is 0 and everything lands in t2.
+    traversal_seconds: float = 0.0
+    #: seconds spent executing trace lookups (the paper's t2).
+    lookup_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.traversal_seconds + self.lookup_seconds
+
+    def binding_keys(self) -> FrozenSet[Tuple[str, str, str]]:
+        """Value-independent identity of the answer set."""
+        return frozenset(b.key() for b in self.bindings)
+
+
+@dataclass
+class MultiRunResult:
+    """One strategy's answer to one query over a set of runs (§3.4)."""
+
+    query: LineageQuery
+    per_run: Dict[str, LineageResult]
+    traversal_seconds: float = 0.0
+    lookup_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.traversal_seconds + self.lookup_seconds
+
+    @property
+    def run_ids(self) -> List[str]:
+        return list(self.per_run)
+
+    def all_bindings(self) -> Dict[str, List[Binding]]:
+        return {run_id: result.bindings for run_id, result in self.per_run.items()}

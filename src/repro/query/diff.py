@@ -1,0 +1,105 @@
+"""Differencing lineage answers across runs and workflow versions.
+
+Section 3.4 motivates multi-run queries with "comparing data products
+across multiple runs of the same workflow, as well as across runs of
+different versions of a workflow" (full provenance differencing, per Bao
+et al. [2], is out of the paper's scope — and of ours; what we provide is
+the answer-level comparison that multi-run lineage enables directly).
+
+:func:`diff_lineage` compares two single-run answers; :func:`diff_multirun`
+sweeps a multi-run result against a baseline run, reporting for every run
+which lineage bindings appeared, disappeared, or changed value.  Because
+binding identity is ``(processor, port, index)`` — stable across runs of
+the same workflow, and across versions that keep processor/port names —
+the comparison is well-defined in exactly the scenarios the paper names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.engine.events import Binding
+from repro.query.base import LineageResult, MultiRunResult
+
+BindingKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class ValueChange:
+    """One binding present in both answers with different payloads."""
+
+    key: BindingKey
+    left_value: object
+    right_value: object
+
+
+@dataclass
+class LineageDiff:
+    """Difference between two lineage answers (``left`` vs ``right``)."""
+
+    only_left: List[Binding] = field(default_factory=list)
+    only_right: List[Binding] = field(default_factory=list)
+    changed: List[ValueChange] = field(default_factory=list)
+    unchanged: List[Binding] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the two answers are identical, values included."""
+        return not (self.only_left or self.only_right or self.changed)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.unchanged)} unchanged, {len(self.changed)} changed, "
+            f"{len(self.only_left)} only-left, {len(self.only_right)} "
+            "only-right"
+        )
+
+
+def diff_bindings(
+    left: Iterable[Binding], right: Iterable[Binding]
+) -> LineageDiff:
+    """Compare two binding collections by identity, then by value."""
+    left_map: Dict[BindingKey, Binding] = {b.key(): b for b in left}
+    right_map: Dict[BindingKey, Binding] = {b.key(): b for b in right}
+    diff = LineageDiff()
+    for key in sorted(set(left_map) | set(right_map)):
+        if key not in right_map:
+            diff.only_left.append(left_map[key])
+        elif key not in left_map:
+            diff.only_right.append(right_map[key])
+        elif left_map[key].value != right_map[key].value:
+            diff.changed.append(
+                ValueChange(
+                    key=key,
+                    left_value=left_map[key].value,
+                    right_value=right_map[key].value,
+                )
+            )
+        else:
+            diff.unchanged.append(left_map[key])
+    return diff
+
+
+def diff_lineage(left: LineageResult, right: LineageResult) -> LineageDiff:
+    """Compare two single-run lineage answers."""
+    return diff_bindings(left.bindings, right.bindings)
+
+
+def diff_multirun(
+    results: MultiRunResult, baseline_run: str
+) -> Dict[str, LineageDiff]:
+    """Compare every run's answer against one baseline run's answer.
+
+    The parameter-sweep reading: "which sweep points changed the lineage
+    of this output, and how?"  Returns ``{run_id: diff vs baseline}`` for
+    every non-baseline run in the result.
+    """
+    if baseline_run not in results.per_run:
+        raise KeyError(f"baseline run {baseline_run!r} not in the result")
+    baseline = results.per_run[baseline_run]
+    return {
+        run_id: diff_lineage(baseline, result)
+        for run_id, result in results.per_run.items()
+        if run_id != baseline_run
+    }

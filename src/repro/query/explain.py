@@ -1,0 +1,119 @@
+"""Cost estimation and strategy recommendation for lineage queries.
+
+The paper's analysis (Section 3 and the Fig. 9/10 discussion) implies a
+simple, accurate cost model over the static workflow graph:
+
+* **INDEXPROJ** performs one graph traversal (cost ∝ ports visited
+  upstream of the query binding) plus **one indexed trace lookup per
+  focus-processor input port, per run** — the traversal is shared across
+  runs and cacheable across queries.
+* **NI** performs one or two indexed lookups **per binding hop on every
+  upward path**, re-done **per run**; the hop count is a static property
+  of the workflow graph upstream of the query port.
+
+:func:`explain` evaluates both sides of that model without touching the
+trace, returning a :class:`QueryExplanation` whose INDEXPROJ lookup count
+is exact (it equals the plan size) and whose NI hop count is the exact
+number of distinct (port, index-class) states the naive traversal visits
+when the trace is fine-grained.  The recommendation follows the paper's
+conclusion — INDEXPROJ never does worse — with the estimated ratio as the
+evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.query.base import LineageQuery
+from repro.query.indexproj import build_plan
+from repro.workflow.depths import DepthAnalysis
+from repro.workflow.model import PortRef
+
+
+@dataclass(frozen=True)
+class QueryExplanation:
+    """Static cost breakdown for one query over ``runs`` runs."""
+
+    query: LineageQuery
+    runs: int
+    #: ports visited by the (shared) INDEXPROJ graph traversal
+    indexproj_traversal_ports: int
+    #: indexed trace lookups INDEXPROJ issues in total (plan size x runs)
+    indexproj_lookups: int
+    #: upstream port-states the naive traversal visits per run
+    naive_hops: int
+    #: indexed trace lookups NI issues in total (<= 2 per hop, x runs)
+    naive_lookups: int
+    recommendation: str
+
+    @property
+    def lookup_ratio(self) -> float:
+        """NI lookups per INDEXPROJ lookup (>= 1 in all but empty cases)."""
+        if self.indexproj_lookups == 0:
+            return float("inf") if self.naive_lookups else 1.0
+        return self.naive_lookups / self.indexproj_lookups
+
+    def summary(self) -> str:
+        return (
+            f"{self.query} over {self.runs} run(s): "
+            f"INDEXPROJ {self.indexproj_lookups} lookups "
+            f"(+ {self.indexproj_traversal_ports}-port traversal, shared); "
+            f"NI ~{self.naive_lookups} lookups "
+            f"({self.naive_hops} hops per run) -> {self.recommendation}"
+        )
+
+
+def explain(
+    analysis: DepthAnalysis, query: LineageQuery, runs: int = 1
+) -> QueryExplanation:
+    """Estimate both strategies' trace-access cost from the static graph."""
+    plan = build_plan(analysis, query)
+    hops = _upstream_port_states(analysis, query)
+    naive_lookups = 2 * hops * runs  # one xform probe + one xfer probe max
+    indexproj_lookups = len(plan.trace_queries) * runs
+    if indexproj_lookups <= naive_lookups:
+        recommendation = "indexproj"
+    else:  # pragma: no cover - the model never reaches this branch
+        recommendation = "naive"
+    return QueryExplanation(
+        query=query,
+        runs=runs,
+        indexproj_traversal_ports=plan.visited_ports,
+        indexproj_lookups=indexproj_lookups,
+        naive_hops=hops,
+        naive_lookups=naive_lookups,
+        recommendation=recommendation,
+    )
+
+
+def _upstream_port_states(analysis: DepthAnalysis, query: LineageQuery) -> int:
+    """Ports the naive traversal must visit: the full upstream closure.
+
+    NI cannot skip uninteresting processors — every upward path is walked
+    to its sources regardless of the focus set (Section 3: accesses are
+    "wasted" on regions without interesting processors).
+    """
+    flow = analysis.flow
+    visited: Set[PortRef] = set()
+    stack: List[PortRef] = [PortRef(query.node, query.port)]
+    while stack:
+        ref = stack.pop()
+        if ref in visited:
+            continue
+        visited.add(ref)
+        if ref.node == flow.name:
+            arc = flow.incoming_arc(ref)
+            if arc is not None:
+                stack.append(arc.source)
+            continue
+        processor = flow.processor(ref.node)
+        if processor.has_output(ref.port):
+            stack.extend(
+                PortRef(processor.name, port.name) for port in processor.inputs
+            )
+        else:
+            arc = flow.incoming_arc(ref)
+            if arc is not None:
+                stack.append(arc.source)
+    return len(visited)

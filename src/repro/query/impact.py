@@ -1,0 +1,273 @@
+"""Impact queries: forward provenance, intensionally and extensionally.
+
+Lineage asks "where did this output come from?"; *impact* asks the
+symmetric question — "which outputs does this input element affect?" —
+the workhorse of change assessment ("file X turned out corrupt; which
+published results must be retracted?").
+
+Both of the paper's strategies transfer:
+
+* :class:`NaiveImpactEngine` walks the provenance graph *downward*, one
+  indexed lookup pair per hop, exactly mirroring NI.
+* :class:`IndexProjImpactEngine` runs Alg. 2 in reverse over the workflow
+  specification graph.  Where the backward direction *slices* an output
+  index into input fragments (Def. 4), the forward direction *embeds* an
+  input fragment into an instance-index **pattern** — fixed at the port's
+  static (offset, length) slot, wildcard elsewhere
+  (:class:`repro.values.pattern.IndexPattern`).  Trace access again
+  happens only at focus processors: one pattern lookup per focus output
+  port.  Patterns whose constraints sit behind a wildcard are not fully
+  index-sargable (the store falls back to a prefix fetch + client filter),
+  which is the forward analogue of the paper's remark that value-based
+  queries "would not benefit from our approach" as much as structural
+  ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.engine.events import Binding
+from repro.provenance.store import StoreStats, TraceStore
+from repro.query.base import LineageQuery, LineageResult, MultiRunResult
+from repro.values.index import Index
+from repro.values.pattern import IndexPattern
+from repro.workflow.depths import DepthAnalysis, propagate_depths
+from repro.workflow.model import Dataflow, PortRef
+
+#: Impact queries reuse the LineageQuery shape: a start binding + focus.
+ImpactQuery = LineageQuery
+
+
+class NaiveImpactEngine:
+    """Extensional forward traversal over the relational trace."""
+
+    def __init__(self, store: TraceStore) -> None:
+        self.store = store
+
+    def impact(
+        self,
+        run_id: str,
+        query: ImpactQuery,
+        stats: Optional[StoreStats] = None,
+    ) -> LineageResult:
+        """Output bindings of focus processors downstream of the binding."""
+        stats = stats if stats is not None else StoreStats()
+        started = time.perf_counter()
+        collected: Dict[Tuple[str, str, str], Binding] = {}
+        visited: Set[Tuple[str, str, str]] = set()
+        stack: List[Tuple[str, str, Index]] = [
+            (query.node, query.port, query.index)
+        ]
+        while stack:
+            node, port, index = stack.pop()
+            key = (node, port, index.encode())
+            if key in visited:
+                continue
+            visited.add(key)
+            matches = self.store.find_xform_by_input(
+                run_id, node, port, index, stats
+            )
+            if matches:
+                outputs = self.store.xform_outputs(
+                    [m.event_id for m in matches], stats
+                )
+                for binding in outputs:
+                    if binding.node in query.focus:
+                        collected[binding.key()] = binding
+                    stack.append((binding.node, binding.port, binding.index))
+                continue
+            for sink, continue_index in self.store.find_xfer_from(
+                run_id, node, port, index, stats
+            ):
+                stack.append((sink.node, sink.port, continue_index))
+        elapsed = time.perf_counter() - started
+        return LineageResult(
+            query=query,
+            run_id=run_id,
+            bindings=sorted(collected.values(), key=lambda b: b.key()),
+            stats=stats,
+            traversal_seconds=0.0,
+            lookup_seconds=elapsed,
+        )
+
+
+@dataclass(frozen=True)
+class PatternTraceQuery:
+    """One planned forward lookup: outputs of a processor port matching a
+    pattern."""
+
+    processor: str
+    port: str
+    pattern: IndexPattern
+
+    def __str__(self) -> str:
+        return f"Q+({self.processor}, {self.port}, [{self.pattern.encode()}])"
+
+
+@dataclass
+class ImpactPlan:
+    """Step (s1) of a forward query."""
+
+    query: ImpactQuery
+    trace_queries: Tuple[PatternTraceQuery, ...]
+    visited_ports: int
+
+    def __len__(self) -> int:
+        return len(self.trace_queries)
+
+
+def build_impact_plan(analysis: DepthAnalysis, query: ImpactQuery) -> ImpactPlan:
+    """Traverse the specification graph downstream, propagating patterns.
+
+    At a processor input port, the incoming pattern's leading positions
+    are written into the instance-index slot the static layout assigns to
+    that port (inverse of Def. 4); the resulting pattern annotates every
+    output port.  At an output port, every outgoing arc forwards the
+    pattern unchanged (transfers are identity on indices).
+    """
+    flow = analysis.flow
+    planned: Dict[PatternTraceQuery, None] = {}
+    visited: Set[Tuple[str, str, str]] = set()
+    stack: List[Tuple[PortRef, IndexPattern]] = [
+        (PortRef(query.node, query.port), IndexPattern.of(query.index.path))
+    ]
+    while stack:
+        ref, pattern = stack.pop()
+        key = (ref.node, ref.port, pattern.encode())
+        if key in visited:
+            continue
+        visited.add(key)
+        if ref.node == flow.name:
+            # Workflow input port: fan out along its arcs; workflow output
+            # ports are terminal.
+            for arc in flow.outgoing_arcs(ref):
+                stack.append((arc.sink, pattern))
+            continue
+        processor = flow.processor(ref.node)
+        if processor.has_input(ref.port):
+            level = analysis.iteration_level(ref.node)
+            layout = {
+                f.port: (f.offset, f.length)
+                for f in analysis.fragment_layout(ref.node)
+            }
+            offset, length = layout[ref.port]
+            instance_pattern = IndexPattern.wildcards(level).place_fragment(
+                level, offset, pattern.head(length)
+            )
+            for output in processor.outputs:
+                if ref.node in query.focus:
+                    planned.setdefault(
+                        PatternTraceQuery(
+                            ref.node, output.name, instance_pattern
+                        )
+                    )
+                stack.append(
+                    (PortRef(ref.node, output.name), instance_pattern)
+                )
+        else:
+            for arc in flow.outgoing_arcs(ref):
+                stack.append((arc.sink, pattern))
+    return ImpactPlan(
+        query=query,
+        trace_queries=tuple(planned),
+        visited_ports=len(visited),
+    )
+
+
+class IndexProjImpactEngine:
+    """Forward Alg. 2: pattern planning over the workflow graph, pattern
+    lookups against the trace only at focus processors."""
+
+    def __init__(
+        self,
+        store: TraceStore,
+        flow: Dataflow,
+        analysis: Optional[DepthAnalysis] = None,
+        cache_plans: bool = True,
+    ) -> None:
+        self.store = store
+        self.analysis = (
+            analysis if analysis is not None else propagate_depths(flow.flattened())
+        )
+        self.cache_plans = cache_plans
+        self._plan_cache: Dict[Tuple[str, str, str, frozenset], ImpactPlan] = {}
+
+    def plan(self, query: ImpactQuery) -> Tuple[ImpactPlan, float]:
+        key = (query.node, query.port, query.index.encode(), query.focus)
+        started = time.perf_counter()
+        if self.cache_plans and key in self._plan_cache:
+            return self._plan_cache[key], time.perf_counter() - started
+        plan = build_impact_plan(self.analysis, query)
+        if self.cache_plans:
+            self._plan_cache[key] = plan
+        return plan, time.perf_counter() - started
+
+    def execute_plan(
+        self,
+        plan: ImpactPlan,
+        run_id: str,
+        stats: Optional[StoreStats] = None,
+    ) -> List[Binding]:
+        stats = stats if stats is not None else StoreStats()
+        collected: Dict[Tuple[str, str, str], Binding] = {}
+        for trace_query in plan.trace_queries:
+            for binding in self.store.find_xform_outputs_matching_pattern(
+                run_id,
+                trace_query.processor,
+                trace_query.port,
+                trace_query.pattern,
+                stats,
+            ):
+                collected[binding.key()] = binding
+        return sorted(collected.values(), key=lambda b: b.key())
+
+    def impact(
+        self,
+        run_id: str,
+        query: ImpactQuery,
+        stats: Optional[StoreStats] = None,
+    ) -> LineageResult:
+        stats = stats if stats is not None else StoreStats()
+        plan, plan_seconds = self.plan(query)
+        started = time.perf_counter()
+        bindings = self.execute_plan(plan, run_id, stats)
+        lookup_seconds = time.perf_counter() - started
+        return LineageResult(
+            query=query,
+            run_id=run_id,
+            bindings=bindings,
+            stats=stats,
+            traversal_seconds=plan_seconds,
+            lookup_seconds=lookup_seconds,
+        )
+
+    def impact_multirun(
+        self, run_ids: Iterable[str], query: ImpactQuery
+    ) -> MultiRunResult:
+        """One plan shared by every run, like backward multi-run (§3.4)."""
+        plan, plan_seconds = self.plan(query)
+        per_run: Dict[str, LineageResult] = {}
+        total = 0.0
+        for run_id in run_ids:
+            stats = StoreStats()
+            started = time.perf_counter()
+            bindings = self.execute_plan(plan, run_id, stats)
+            elapsed = time.perf_counter() - started
+            total += elapsed
+            per_run[run_id] = LineageResult(
+                query=query,
+                run_id=run_id,
+                bindings=bindings,
+                stats=stats,
+                traversal_seconds=0.0,
+                lookup_seconds=elapsed,
+            )
+        return MultiRunResult(
+            query=query,
+            per_run=per_run,
+            traversal_seconds=plan_seconds,
+            lookup_seconds=total,
+        )

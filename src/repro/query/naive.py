@@ -1,0 +1,102 @@
+"""NI — the naive lineage strategy (Section 2.4).
+
+NI answers ``lin(<node:port[p]>, focus)`` by traversing the provenance
+graph extensionally: starting from the query binding it alternates the two
+inductive cases of Def. 1 —
+
+* *xform* case: find the trace events whose output matches the current
+  binding, collect their input bindings (into the answer when the
+  processor is in focus), and continue from each input binding;
+* *xfer* case: when no *xform* produced the binding, follow the transfer
+  event into it back to its source binding.
+
+Every hop issues one or two indexed SQL lookups against the store, so the
+number of round-trips grows with the number of bindings on all upward
+paths — the behaviour the paper's Figs. 6, 7 and 9 quantify.  Multi-run
+queries repeat the whole traversal per run (NI has no static structure to
+share), which is the contrast behind Fig. 4.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.engine.events import Binding
+from repro.provenance.store import StoreStats, TraceStore
+from repro.query.base import LineageQuery, LineageResult, MultiRunResult
+from repro.values.index import Index
+
+
+class NaiveEngine:
+    """Database-backed implementation of Def. 1 by graph traversal."""
+
+    def __init__(self, store: TraceStore) -> None:
+        self.store = store
+
+    def lineage(
+        self,
+        run_id: str,
+        query: LineageQuery,
+        stats: Optional[StoreStats] = None,
+    ) -> LineageResult:
+        """Answer one query over one run."""
+        stats = stats if stats is not None else StoreStats()
+        started = time.perf_counter()
+        bindings = self._traverse(run_id, query, stats)
+        elapsed = time.perf_counter() - started
+        return LineageResult(
+            query=query,
+            run_id=run_id,
+            bindings=bindings,
+            stats=stats,
+            traversal_seconds=0.0,
+            lookup_seconds=elapsed,
+        )
+
+    def lineage_multirun(
+        self, run_ids: Iterable[str], query: LineageQuery
+    ) -> MultiRunResult:
+        """Answer one query over several runs: one full traversal each."""
+        per_run = {}
+        total = 0.0
+        for run_id in run_ids:
+            result = self.lineage(run_id, query)
+            per_run[run_id] = result
+            total += result.lookup_seconds
+        return MultiRunResult(
+            query=query, per_run=per_run, traversal_seconds=0.0,
+            lookup_seconds=total,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _traverse(
+        self, run_id: str, query: LineageQuery, stats: StoreStats
+    ) -> List[Binding]:
+        collected: dict = {}
+        visited: Set[Tuple[str, str, str]] = set()
+        stack: List[Tuple[str, str, Index]] = [(query.node, query.port, query.index)]
+        while stack:
+            node, port, index = stack.pop()
+            key = (node, port, index.encode())
+            if key in visited:
+                continue
+            visited.add(key)
+            matches = self.store.find_xform_by_output(
+                run_id, node, port, index, stats
+            )
+            if matches:
+                inputs = self.store.xform_inputs(
+                    [m.event_id for m in matches], stats
+                )
+                for binding in inputs:
+                    if binding.node in query.focus:
+                        collected[binding.key()] = binding
+                    stack.append((binding.node, binding.port, binding.index))
+                continue
+            for source, continue_index in self.store.find_xfer_into(
+                run_id, node, port, index, stats
+            ):
+                stack.append((source.node, source.port, continue_index))
+        return sorted(collected.values(), key=lambda b: b.key())

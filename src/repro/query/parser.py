@@ -1,0 +1,96 @@
+"""Textual lineage-query notation, matching the paper's own syntax.
+
+The paper writes queries as ``lin(<P:Y[p]>, {Q, R})``.  This parser
+accepts exactly that (with the decorations optional), so the CLI and
+interactive sessions can take queries as single strings:
+
+    lin(<2TO1_FINAL:y[0.1]>, {LISTGEN_1})
+    lin(genes2kegg:paths_per_gene[0], {get_pathways_by_genes})
+    wf:out[1.2]                      # bare binding, empty focus
+    lin(<P:Y[]>, {})                 # coarse query, empty focus
+
+Grammar (whitespace-insensitive)::
+
+    query    := "lin(" binding ("," focus)? ")" | binding
+    binding  := "<"? node ":" port ("[" index "]")? ">"?
+    index    := ""            (empty: whole value)
+              | INT ("." INT)*
+    focus    := "{" (name ("," name)*)? "}"
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.query.base import LineageQuery
+from repro.values.index import Index
+
+
+class QueryParseError(ValueError):
+    """Raised for text that does not follow the query grammar."""
+
+
+_BINDING = re.compile(
+    r"^<?\s*(?P<node>[^:<>\[\]{},\s]+)\s*:\s*(?P<port>[^:<>\[\]{},\s]+)"
+    r"\s*(?:\[\s*(?P<index>[0-9.\s]*)\s*\])?\s*>?$"
+)
+
+
+def parse_query(text: str) -> LineageQuery:
+    """Parse the paper's ``lin(...)`` notation into a :class:`LineageQuery`.
+
+    >>> q = parse_query("lin(<P:Y[0.1]>, {Q, R})")
+    >>> (q.node, q.port, q.index.encode(), sorted(q.focus))
+    ('P', 'Y', '0.1', ['Q', 'R'])
+    """
+    stripped = text.strip()
+    focus: List[str] = []
+    if stripped.startswith("lin(") and stripped.endswith(")"):
+        body = stripped[len("lin(") : -1].strip()
+        binding_text, focus = _split_body(body)
+    else:
+        binding_text = stripped
+    match = _BINDING.match(binding_text.strip())
+    if not match:
+        raise QueryParseError(
+            f"malformed binding {binding_text!r}; expected node:port[index]"
+        )
+    index_text = (match.group("index") or "").replace(" ", "")
+    try:
+        index = Index.decode(index_text)
+    except ValueError as exc:
+        raise QueryParseError(str(exc)) from exc
+    return LineageQuery.create(
+        match.group("node"), match.group("port"), index, focus
+    )
+
+
+def _split_body(body: str) -> tuple:
+    """Split ``binding, {focus}`` respecting the braces."""
+    brace = body.find("{")
+    if brace == -1:
+        return body, []
+    if not body.rstrip().endswith("}"):
+        raise QueryParseError(f"unterminated focus set in {body!r}")
+    binding_text = body[:brace].rstrip()
+    if binding_text.endswith(","):
+        binding_text = binding_text[:-1].rstrip()
+    else:
+        raise QueryParseError(
+            f"expected ',' between binding and focus set in {body!r}"
+        )
+    focus_text = body[brace:].strip()
+    inner = focus_text[1:-1].strip()
+    if not inner:
+        return binding_text, []
+    names = [name.strip() for name in inner.split(",")]
+    if any(not name for name in names):
+        raise QueryParseError(f"empty name in focus set {focus_text!r}")
+    return binding_text, names
+
+
+def format_query(query: LineageQuery) -> str:
+    """Inverse of :func:`parse_query` (canonical form)."""
+    focus = ", ".join(sorted(query.focus))
+    return f"lin(<{query.node}:{query.port}[{query.index.encode()}]>, {{{focus}}})"

@@ -1,0 +1,170 @@
+"""Value-predicated queries: finding bindings by payload.
+
+The paper scopes its contribution to *structural* queries and notes that
+"a query that explicitly predicates on the presence of a specific value
+on the trace ... can still be answered using a standard graph traversal
+technique, but would not benefit from our approach" (Section 1.1).  This
+module supplies that complementary capability:
+
+* :func:`find_value` locates every binding whose payload equals (or
+  contains) a value — a full scan over the payload column, exactly the
+  access pattern the index projection rule cannot help with;
+* combined with the lineage/impact engines, it answers the natural
+  two-step questions: "this value looks wrong — where did it enter the
+  workflow, and what did it contaminate?" (:func:`trace_value`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.engine.events import Binding
+from repro.provenance.store import StoreStats, TraceStore, _decode_value
+from repro.values.index import Index
+from repro.workflow.model import PortRef
+
+
+@dataclass(frozen=True)
+class ValueHit:
+    """One place a searched value appears in a trace."""
+
+    binding: Binding
+    role: str  # 'in', 'out', or 'xfer'
+
+    def key(self):
+        return self.binding.key() + (self.role,)
+
+
+def find_value(
+    store: TraceStore,
+    run_id: str,
+    value: Any = None,
+    substring: Optional[str] = None,
+    stats: Optional[StoreStats] = None,
+) -> List[ValueHit]:
+    """Bindings whose payload equals ``value`` or contains ``substring``.
+
+    Exactly one of ``value`` / ``substring`` must be given.  Equality is
+    on the canonical JSON encoding; substring search applies to the same
+    encoding (so it sees inside lists).  Both require scanning the payload
+    column — no index can serve them, which is the paper's point about
+    value-predicated queries.
+    """
+    if (value is None) == (substring is None):
+        raise ValueError("pass exactly one of value= or substring=")
+    stats = stats if stats is not None else StoreStats()
+    if substring is not None:
+        escaped = (
+            substring.replace("\\", "\\\\")
+            .replace("%", "\\%")
+            .replace("_", "\\_")
+        )
+        condition = "LIKE ? ESCAPE '\\'"
+        parameter = f"%{escaped}%"
+    else:
+        condition = "= ?"
+        parameter = json.dumps(value, default=repr, separators=(",", ":"))
+
+    hits: Dict[tuple, ValueHit] = {}
+    io_rows = store._conn.execute(
+        "SELECT processor, port, idx, role, "
+        "COALESCE(xform_io.value_json, vp.value_json) AS payload "
+        "FROM xform_io LEFT JOIN value_pool vp "
+        "ON vp.value_id = xform_io.value_id "
+        f"WHERE run_id = ? AND payload {condition}",
+        (run_id, parameter),
+    ).fetchall()
+    stats.record(len(io_rows))
+    for node, port, idx, role, payload in io_rows:
+        hit = ValueHit(
+            binding=Binding(
+                PortRef(node, port), Index.decode(idx),
+                value=_decode_value(payload),
+            ),
+            role=role,
+        )
+        hits.setdefault(hit.key(), hit)
+    xfer_rows = store._conn.execute(
+        "SELECT src_node, src_port, src_idx, "
+        "COALESCE(xfer.value_json, vp.value_json) AS payload "
+        "FROM xfer LEFT JOIN value_pool vp ON vp.value_id = xfer.value_id "
+        f"WHERE run_id = ? AND payload {condition}",
+        (run_id, parameter),
+    ).fetchall()
+    stats.record(len(xfer_rows))
+    for node, port, idx, payload in xfer_rows:
+        hit = ValueHit(
+            binding=Binding(
+                PortRef(node, port), Index.decode(idx),
+                value=_decode_value(payload),
+            ),
+            role="xfer",
+        )
+        hits.setdefault(hit.key(), hit)
+    return sorted(hits.values(), key=lambda h: h.key())
+
+
+@dataclass
+class ValueTrace:
+    """Where a value entered the dataflow and what it reached."""
+
+    hits: List[ValueHit]
+    origins: List[Binding]
+    affected: List[Binding]
+
+
+def trace_value(
+    store: TraceStore,
+    flow,
+    run_id: str,
+    value: Any = None,
+    substring: Optional[str] = None,
+    focus: Optional[List[str]] = None,
+) -> ValueTrace:
+    """Two-step value investigation: find, then trace both directions.
+
+    ``origins`` is the union of the lineage of every hit (relative to
+    ``focus``, defaulting to all processors); ``affected`` the union of
+    their impact.  The find step is a scan; the tracing steps enjoy the
+    full intensional machinery.
+    """
+    from repro.query.base import LineageQuery
+    from repro.query.impact import ImpactQuery, IndexProjImpactEngine
+    from repro.query.indexproj import IndexProjEngine
+
+    flat = flow.flattened()
+    focus_set = list(focus) if focus is not None else list(flat.processor_names)
+    hits = find_value(store, run_id, value=value, substring=substring)
+    lineage_engine = IndexProjEngine(store, flat)
+    impact_engine = IndexProjImpactEngine(
+        store, flat, analysis=lineage_engine.analysis
+    )
+    origins: Dict[tuple, Binding] = {}
+    affected: Dict[tuple, Binding] = {}
+    for hit in hits:
+        binding = hit.binding
+        if binding.node == flat.name or not flat.has_processor(binding.node):
+            continue
+        lineage = lineage_engine.lineage(
+            run_id,
+            LineageQuery.create(
+                binding.node, binding.port, binding.index, focus_set
+            ),
+        )
+        for found in lineage.bindings:
+            origins.setdefault(found.key(), found)
+        impact = impact_engine.impact(
+            run_id,
+            ImpactQuery.create(
+                binding.node, binding.port, binding.index, focus_set
+            ),
+        )
+        for found in impact.bindings:
+            affected.setdefault(found.key(), found)
+    return ValueTrace(
+        hits=hits,
+        origins=sorted(origins.values(), key=lambda b: b.key()),
+        affected=sorted(affected.values(), key=lambda b: b.key()),
+    )

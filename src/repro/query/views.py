@@ -1,0 +1,128 @@
+"""User views: group-level focus and answer roll-up.
+
+Section 1.2 positions the Zoom*UserView system [6, 7] as complementary to
+the paper's approach: users define named aggregations of adjacent
+processors, and provenance is reported at the granularity of those groups
+rather than of individual processors.  This module provides that
+complement on top of the query engines:
+
+* a :class:`UserView` names disjoint groups of processors;
+* :func:`focus_for_groups` expands group names into the processor-level
+  focus set 𝒫 the engines consume — so a user can ask "lineage relative
+  to the *alignment* stage" without listing its processors; and
+* :func:`rollup` aggregates a processor-level answer back to groups,
+  collapsing the per-processor bindings inside each group.
+
+Views are purely a query-time lens: traces and engines are untouched,
+exactly the composition the paper envisages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.engine.events import Binding
+from repro.workflow.model import Dataflow, WorkflowError
+
+
+@dataclass(frozen=True)
+class GroupedBinding:
+    """One lineage answer entry attributed to a view group."""
+
+    group: str
+    binding: Binding
+
+    def key(self) -> Tuple[str, str, str, str]:
+        return (self.group,) + self.binding.key()
+
+
+class UserView:
+    """A named partition of (some of) a workflow's processors into groups.
+
+    Groups must be disjoint; processors left out of every group are
+    reported under their own name (singleton implicit groups), mirroring
+    Zoom's behaviour of showing unaggregated processors as-is.
+    """
+
+    def __init__(self, name: str, groups: Mapping[str, Iterable[str]]) -> None:
+        if not name:
+            raise WorkflowError("view name must be non-empty")
+        self.name = name
+        self._groups: Dict[str, FrozenSet[str]] = {
+            group: frozenset(members) for group, members in groups.items()
+        }
+        self._owner: Dict[str, str] = {}
+        for group, members in self._groups.items():
+            if not members:
+                raise WorkflowError(f"view group {group!r} is empty")
+            for processor in members:
+                if processor in self._owner:
+                    raise WorkflowError(
+                        f"processor {processor!r} belongs to both "
+                        f"{self._owner[processor]!r} and {group!r}"
+                    )
+                self._owner[processor] = group
+
+    @property
+    def group_names(self) -> Tuple[str, ...]:
+        return tuple(self._groups)
+
+    def members(self, group: str) -> FrozenSet[str]:
+        try:
+            return self._groups[group]
+        except KeyError:
+            raise WorkflowError(
+                f"view {self.name!r} has no group {group!r}"
+            ) from None
+
+    def group_of(self, processor: str) -> Optional[str]:
+        """The group owning ``processor``, or None if ungrouped."""
+        return self._owner.get(processor)
+
+    def validate_against(self, flow: Dataflow) -> None:
+        """Check that every grouped processor exists in ``flow``."""
+        known = set(flow.processor_names)
+        unknown = set(self._owner) - known
+        if unknown:
+            raise WorkflowError(
+                f"view {self.name!r} mentions unknown processor(s) "
+                f"{sorted(unknown)}"
+            )
+
+
+def focus_for_groups(view: UserView, groups: Iterable[str]) -> FrozenSet[str]:
+    """Expand group names into the processor-level focus set 𝒫."""
+    focus: set = set()
+    for group in groups:
+        focus.update(view.members(group))
+    return frozenset(focus)
+
+
+def rollup(bindings: Iterable[Binding], view: UserView) -> List[GroupedBinding]:
+    """Attribute each answer binding to its view group.
+
+    Bindings of ungrouped processors keep the processor name as their
+    group.  Results are sorted by (group, binding key) and deduplicated.
+    """
+    seen = set()
+    grouped: List[GroupedBinding] = []
+    for binding in bindings:
+        group = view.group_of(binding.node) or binding.node
+        entry = GroupedBinding(group=group, binding=binding)
+        if entry.key() in seen:
+            continue
+        seen.add(entry.key())
+        grouped.append(entry)
+    grouped.sort(key=lambda e: e.key())
+    return grouped
+
+
+def group_summary(
+    grouped: Iterable[GroupedBinding],
+) -> Dict[str, List[Binding]]:
+    """Bindings per group, in stable order — the view-level answer."""
+    summary: Dict[str, List[Binding]] = {}
+    for entry in grouped:
+        summary.setdefault(entry.group, []).append(entry.binding)
+    return summary

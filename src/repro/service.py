@@ -1,0 +1,195 @@
+"""ProvenanceService — the integration façade.
+
+The paper describes its implementation as "the provenance management
+component of the Taverna workflow system": one long-lived object that
+owns the trace database, watches workflow executions, and answers lineage
+queries.  This module is that component for the reproduction: a single
+entry point wiring together the runner, the store, the per-workflow
+static analyses, and both query directions, with all the caching the
+paper calls for (one depth analysis per workflow definition, plans shared
+across queries and runs).
+
+    service = ProvenanceService("traces.db")
+    service.register_workflow(flow)
+    run_id = service.run("wf", {"size": 3})
+    service.lineage("lin(<wf:out[1.2]>, {A, B})")       # all runs of wf
+    service.impact("wf", "size", [], focus=["F"])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.engine.executor import WorkflowRunner
+from repro.engine.processors import ProcessorRegistry
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery, MultiRunResult
+from repro.query.explain import QueryExplanation, explain as _explain
+from repro.query.impact import ImpactQuery, IndexProjImpactEngine
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.query.parser import parse_query
+from repro.workflow.depths import propagate_depths
+from repro.workflow.model import Dataflow, WorkflowError
+
+QueryLike = Union[str, LineageQuery]
+
+
+class ProvenanceService:
+    """Own a trace store and answer provenance questions about runs.
+
+    Workflows are registered once (their flattened form and depth analysis
+    are cached); every ``run`` stores a full trace; queries accept either
+    :class:`LineageQuery` objects or the paper's text notation and default
+    to spanning every stored run of the owning workflow.
+    """
+
+    def __init__(
+        self,
+        store_path: str = ":memory:",
+        intern_values: bool = False,
+        error_handling: str = "raise",
+    ) -> None:
+        self.store = TraceStore(store_path, intern_values=intern_values)
+        self._runners: Dict[str, WorkflowRunner] = {}
+        self._flows: Dict[str, Dataflow] = {}
+        self._lineage_engines: Dict[str, IndexProjEngine] = {}
+        self._impact_engines: Dict[str, IndexProjImpactEngine] = {}
+        self._naive = NaiveEngine(self.store)
+        self._error_handling = error_handling
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "ProvenanceService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- registration and execution -----------------------------------------
+
+    def register_workflow(
+        self,
+        flow: Dataflow,
+        registry: Optional[ProcessorRegistry] = None,
+    ) -> None:
+        """Register a workflow definition (idempotent by name).
+
+        Performs the paper's one-off pre-processing: flattening plus depth
+        propagation (Alg. 1), cached for every later run and query.
+        """
+        flat = flow.flattened()
+        analysis = propagate_depths(flat)
+        self._flows[flow.name] = flat
+        self._runners[flow.name] = WorkflowRunner(
+            registry, error_handling=self._error_handling
+        )
+        self._lineage_engines[flow.name] = IndexProjEngine(
+            self.store, flat, analysis=analysis
+        )
+        self._impact_engines[flow.name] = IndexProjImpactEngine(
+            self.store, flat, analysis=analysis
+        )
+
+    def workflow(self, name: str) -> Dataflow:
+        try:
+            return self._flows[name]
+        except KeyError:
+            raise WorkflowError(
+                f"workflow {name!r} is not registered with this service"
+            ) from None
+
+    def run(
+        self, workflow_name: str, inputs: Dict[str, Any],
+        run_id: Optional[str] = None,
+    ) -> str:
+        """Execute a registered workflow and store its trace."""
+        flow = self.workflow(workflow_name)
+        captured = capture_run(
+            flow, inputs, runner=self._runners[workflow_name], run_id=run_id
+        )
+        self.store.insert_trace(captured.trace)
+        return captured.run_id
+
+    def runs_of(self, workflow_name: str) -> List[str]:
+        """Stored run ids of one workflow, in execution order."""
+        self.workflow(workflow_name)  # raise early on unknown names
+        return self.store.run_ids(workflow=workflow_name)
+
+    # -- queries --------------------------------------------------------------
+
+    def _owning_workflow(self, query: LineageQuery) -> str:
+        for name, flow in self._flows.items():
+            if query.node == name or flow.has_processor(query.node):
+                return name
+        raise WorkflowError(
+            f"no registered workflow contains node {query.node!r}"
+        )
+
+    def _as_query(self, query: QueryLike, focus: Iterable[str]) -> LineageQuery:
+        if isinstance(query, str):
+            parsed = parse_query(query)
+            if focus:
+                parsed = LineageQuery.create(
+                    parsed.node, parsed.port, parsed.index, focus
+                )
+            return parsed
+        return query
+
+    def lineage(
+        self,
+        query: QueryLike,
+        runs: Optional[Iterable[str]] = None,
+        strategy: str = "indexproj",
+        focus: Iterable[str] = (),
+        batched: bool = False,
+    ) -> MultiRunResult:
+        """Answer a lineage query over ``runs`` (default: every stored run
+        of the owning workflow)."""
+        parsed = self._as_query(query, focus)
+        workflow_name = self._owning_workflow(parsed)
+        scope = list(runs) if runs is not None else self.runs_of(workflow_name)
+        if strategy == "naive":
+            return self._naive.lineage_multirun(scope, parsed)
+        engine = self._lineage_engines[workflow_name]
+        if batched:
+            return engine.lineage_multirun_batched(scope, parsed)
+        return engine.lineage_multirun(scope, parsed)
+
+    def impact(
+        self,
+        node: str,
+        port: str,
+        index: Iterable[int] = (),
+        focus: Iterable[str] = (),
+        runs: Optional[Iterable[str]] = None,
+    ) -> MultiRunResult:
+        """Answer a forward (impact) query over ``runs``."""
+        query = ImpactQuery.create(node, port, index, focus)
+        workflow_name = self._owning_workflow(query)
+        scope = list(runs) if runs is not None else self.runs_of(workflow_name)
+        return self._impact_engines[workflow_name].impact_multirun(scope, query)
+
+    def explain(
+        self, query: QueryLike, runs: Optional[int] = None,
+        focus: Iterable[str] = (),
+    ) -> QueryExplanation:
+        """Static cost estimate for a query (no trace access)."""
+        parsed = self._as_query(query, focus)
+        workflow_name = self._owning_workflow(parsed)
+        run_count = runs if runs is not None else max(
+            1, len(self.runs_of(workflow_name))
+        )
+        return _explain(
+            self._lineage_engines[workflow_name].analysis, parsed, run_count
+        )
+
+    def statistics(self) -> Dict[str, int]:
+        """Store-wide size summary plus registration count."""
+        stats = self.store.statistics()
+        stats["registered_workflows"] = len(self._flows)
+        return stats

@@ -1,0 +1,293 @@
+"""Iteration strategy trees — Taverna's full combinator expressions.
+
+The paper formalizes the default behaviour (every mismatched port combined
+with the n-ary cross product) and notes in footnote 7 that Taverna also
+offers a *dot* ("zip") combinator "as well as constructors that allow
+these operators to be combined into complex expressions".  This module
+implements those expressions: a strategy is a tree whose leaves are input
+ports and whose internal nodes are ``cross`` or ``dot`` combinators, e.g.
+
+    {"cross": [{"dot": ["x1", "x2"]}, "x3"]}
+
+meaning: zip ``x1`` with ``x2`` element-wise, then cross the zipped stream
+with ``x3``.  The strings ``"cross"`` and ``"dot"`` remain available as
+sugar for a flat tree over all ports in declared order.
+
+Two structural facts make strategy trees compose cleanly with the paper's
+index machinery:
+
+* the *iteration level* of a node is the sum of child levels under
+  ``cross`` and the (shared) maximum under ``dot``; and
+* every leaf port's index fragment is a **contiguous slice** of the
+  instance index ``q`` — ``cross`` partitions ``q`` among its children in
+  order, ``dot`` hands all of its children the same slice.  So the static
+  ``(offset, length)`` layout that drives the index projection rule
+  (Prop. 1 / Def. 4) extends verbatim to arbitrary trees, and INDEXPROJ
+  works unchanged over workflows that use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.values import nested
+from repro.values.index import Index
+
+
+class StrategyError(ValueError):
+    """Raised for malformed strategy specifications."""
+
+
+@dataclass(frozen=True)
+class PortLeaf:
+    """A leaf: one input port."""
+
+    port: str
+
+
+@dataclass(frozen=True)
+class Combinator:
+    """An internal node: ``kind`` is ``"cross"`` or ``"dot"``."""
+
+    kind: str
+    children: Tuple["StrategyNode", ...]
+
+
+StrategyNode = Union[PortLeaf, Combinator]
+
+#: What a processor may declare as its ``iteration``: the sugar strings or
+#: a nested dict/list expression.
+StrategySpec = Union[str, Mapping[str, Any]]
+
+
+def parse_strategy(spec: StrategySpec, ports: Sequence[str]) -> StrategyNode:
+    """Parse a strategy specification against the declared input ports.
+
+    Every input port must appear exactly once in the tree.  The sugar
+    strings expand to a single flat combinator over all ports in declared
+    order; a processor with no inputs parses to an empty combinator.
+
+    >>> parse_strategy("cross", ["a", "b"])
+    Combinator(kind='cross', children=(PortLeaf(port='a'), PortLeaf(port='b')))
+    """
+    if isinstance(spec, str):
+        if spec not in ("cross", "dot"):
+            raise StrategyError(f"unknown iteration strategy {spec!r}")
+        return Combinator(spec, tuple(PortLeaf(p) for p in ports))
+    node = _parse_node(spec)
+    mentioned = _collect_ports(node)
+    duplicates = {p for p in mentioned if mentioned.count(p) > 1}
+    if duplicates:
+        raise StrategyError(f"port(s) {sorted(duplicates)} appear more than once")
+    missing = set(ports) - set(mentioned)
+    unknown = set(mentioned) - set(ports)
+    if missing:
+        raise StrategyError(f"strategy does not mention input port(s) {sorted(missing)}")
+    if unknown:
+        raise StrategyError(f"strategy mentions unknown port(s) {sorted(unknown)}")
+    return node
+
+
+def _parse_node(spec: Any) -> StrategyNode:
+    if isinstance(spec, str):
+        return PortLeaf(spec)
+    if isinstance(spec, Mapping):
+        if len(spec) != 1:
+            raise StrategyError(
+                f"combinator node must have exactly one key, got {sorted(spec)}"
+            )
+        kind, children = next(iter(spec.items()))
+        if kind not in ("cross", "dot"):
+            raise StrategyError(f"unknown combinator {kind!r}")
+        if not isinstance(children, Sequence) or isinstance(children, str):
+            raise StrategyError(f"combinator {kind!r} needs a list of children")
+        if not children:
+            raise StrategyError(f"combinator {kind!r} has no children")
+        return Combinator(kind, tuple(_parse_node(child) for child in children))
+    raise StrategyError(f"malformed strategy node {spec!r}")
+
+
+def _collect_ports(node: StrategyNode) -> List[str]:
+    if isinstance(node, PortLeaf):
+        return [node.port]
+    ports: List[str] = []
+    for child in node.children:
+        ports.extend(_collect_ports(child))
+    return ports
+
+
+def strategy_to_spec(node: StrategyNode) -> Any:
+    """Inverse of :func:`parse_strategy` (canonical dict form)."""
+    if isinstance(node, PortLeaf):
+        return node.port
+    return {node.kind: [strategy_to_spec(child) for child in node.children]}
+
+
+# ---------------------------------------------------------------------------
+# Static analysis: levels and fragment layouts
+# ---------------------------------------------------------------------------
+
+
+def node_level(node: StrategyNode, deltas: Mapping[str, int]) -> int:
+    """The number of index positions this subtree contributes.
+
+    ``dot`` requires its *iterating* children (level > 0) to agree on a
+    single level; children with level 0 are broadcast.
+    """
+    if isinstance(node, PortLeaf):
+        return max(deltas[node.port], 0)
+    child_levels = [node_level(child, deltas) for child in node.children]
+    if node.kind == "cross":
+        return sum(child_levels)
+    iterating = [level for level in child_levels if level > 0]
+    if iterating and len(set(iterating)) > 1:
+        raise StrategyError(
+            f"dot iteration requires equal positive mismatches, got {child_levels}"
+        )
+    return max(child_levels, default=0)
+
+
+def fragment_offsets(
+    node: StrategyNode, deltas: Mapping[str, int], offset: int = 0
+) -> Dict[str, Tuple[int, int]]:
+    """Per-port ``(offset, length)`` slices of the instance index ``q``.
+
+    ``cross`` advances the offset by each child's level; ``dot`` gives all
+    children the same starting offset (broadcast children keep length 0).
+    """
+    if isinstance(node, PortLeaf):
+        return {node.port: (offset, max(deltas[node.port], 0))}
+    layout: Dict[str, Tuple[int, int]] = {}
+    if node.kind == "cross":
+        cursor = offset
+        for child in node.children:
+            layout.update(fragment_offsets(child, deltas, cursor))
+            cursor += node_level(child, deltas)
+    else:
+        for child in node.children:
+            layout.update(fragment_offsets(child, deltas, offset))
+    return layout
+
+
+# ---------------------------------------------------------------------------
+# Evaluation structures
+# ---------------------------------------------------------------------------
+#
+# A strategy node evaluates to a *struct*: a nested list, `level` deep,
+# whose leaves are dicts mapping each port in the subtree to the
+# (sub-value, fragment) pair one processor instance will consume.  Structs
+# compose: cross grafts the right struct under every leaf of the left;
+# dot zips shape-identical structs together.
+
+
+_Leaf = Dict[str, Tuple[Any, Index]]
+
+
+def build_struct(
+    node: StrategyNode, bindings: Mapping[str, Tuple[Any, int]]
+) -> Any:
+    """Evaluate the strategy tree over bound values.
+
+    ``bindings`` maps each port to ``(value, delta)`` with delta already
+    clamped to >= 0 (negative mismatches are repaired by wrapping before
+    evaluation).  Returns the struct described above.
+    """
+    if isinstance(node, PortLeaf):
+        value, delta = bindings[node.port]
+        return _leaf_struct(node.port, value, delta, Index())
+    if node.kind == "cross":
+        struct: Any = {}
+        first = True
+        for child in node.children:
+            child_struct = build_struct(child, bindings)
+            struct = child_struct if first else _graft(struct, child_struct)
+            first = False
+        return struct
+    # dot: zip shape-identical children; broadcast level-0 children.
+    child_structs = [build_struct(child, bindings) for child in node.children]
+    iterating = [s for s in child_structs if isinstance(s, list)]
+    broadcast = [s for s in child_structs if not isinstance(s, list)]
+    if not iterating:
+        merged: _Leaf = {}
+        for leaf in child_structs:
+            merged.update(leaf)
+        return merged
+    zipped = iterating[0]
+    for other in iterating[1:]:
+        zipped = _zip_structs(zipped, other)
+    for leaf in broadcast:
+        zipped = _merge_broadcast(zipped, leaf)
+    return zipped
+
+
+def _leaf_struct(port: str, value: Any, delta: int, prefix: Index) -> Any:
+    if delta == 0:
+        return {port: (value, prefix)}
+    if not nested.is_collection(value):
+        raise StrategyError(
+            f"port {port!r} needs {delta} more iteration level(s) but holds "
+            f"atomic value {value!r}"
+        )
+    return [
+        _leaf_struct(port, element, delta - 1, prefix.extended(position))
+        for position, element in enumerate(value)
+    ]
+
+
+def _graft(left: Any, right: Any) -> Any:
+    """Replace every leaf of ``left`` with ``right`` merged into it."""
+    if isinstance(left, list):
+        return [_graft(element, right) for element in left]
+    return _merge_into(right, left)
+
+
+def _merge_into(struct: Any, leaf: _Leaf) -> Any:
+    if isinstance(struct, list):
+        return [_merge_into(element, leaf) for element in struct]
+    merged = dict(leaf)
+    merged.update(struct)
+    return merged
+
+
+def _zip_structs(left: Any, right: Any) -> Any:
+    if isinstance(left, list) != isinstance(right, list):
+        raise StrategyError("dot iteration over structurally unequal values")
+    if not isinstance(left, list):
+        merged = dict(left)
+        merged.update(right)
+        return merged
+    if len(left) != len(right):
+        raise StrategyError(
+            f"dot iteration requires equal list lengths, got "
+            f"{sorted({len(left), len(right)})}"
+        )
+    return [_zip_structs(l, r) for l, r in zip(left, right)]
+
+
+def _merge_broadcast(struct: Any, leaf: _Leaf) -> Any:
+    if isinstance(struct, list):
+        return [_merge_broadcast(element, leaf) for element in struct]
+    merged = dict(leaf)
+    merged.update(struct)
+    return merged
+
+
+def iterate_struct(struct: Any):
+    """Yield ``(q, leaf)`` for every leaf, in document order."""
+    yield from _iterate(struct, Index())
+
+
+def _iterate(struct: Any, q: Index):
+    if isinstance(struct, list):
+        for position, element in enumerate(struct):
+            yield from _iterate(element, q.extended(position))
+    else:
+        yield q, struct
+
+
+def map_struct(struct: Any, function):
+    """Apply ``function`` to every leaf, preserving nesting."""
+    if isinstance(struct, list):
+        return [map_struct(element, function) for element in struct]
+    return function(struct)

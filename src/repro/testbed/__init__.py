@@ -1,0 +1,54 @@
+"""Synthetic experimental testbed (Section 4.1) and real-life workloads.
+
+``generator``
+    The paper's parametric workflow family (Fig. 5): a ``LISTGEN_1``
+    source that emits a ``d``-element list, two parallel linear chains of
+    ``l`` one-to-one processors, and a final ``2TO1_FINAL`` processor that
+    joins the chains with a binary cross product.  Parameter ``l`` is fixed
+    at generation time; ``d`` is the run-time ``ListSize`` input.
+
+``services``
+    Deterministic synthetic stand-ins for the external services the
+    paper's real workflows call (KEGG pathway lookups, PubMed abstract
+    retrieval) — see DESIGN.md, "Substitutions".
+
+``workloads``
+    The two real-life workflows of Section 4: ``genes2kegg`` (GK, short
+    paths, collection-heavy) and ``protein_discovery`` (PD, one long
+    path), rebuilt over the synthetic services.
+
+``runs``
+    Helpers to execute workloads repeatedly and accumulate their traces in
+    a store — the multi-run sweeps of Fig. 4 and Fig. 6.
+"""
+
+from repro.testbed.generator import (
+    FINAL_PROCESSOR,
+    LISTGEN_PROCESSOR,
+    chain_processor_names,
+    chain_product_workflow,
+    focused_query,
+    multi_chain_workflow,
+    unfocused_query,
+)
+from repro.testbed.workloads import (
+    file_loading_workload,
+    genes2kegg_workload,
+    protein_discovery_workload,
+)
+from repro.testbed.runs import Workload, populate_store
+
+__all__ = [
+    "FINAL_PROCESSOR",
+    "LISTGEN_PROCESSOR",
+    "Workload",
+    "chain_processor_names",
+    "chain_product_workflow",
+    "file_loading_workload",
+    "focused_query",
+    "genes2kegg_workload",
+    "multi_chain_workflow",
+    "populate_store",
+    "protein_discovery_workload",
+    "unfocused_query",
+]

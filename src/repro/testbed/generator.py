@@ -1,0 +1,188 @@
+"""Generator for the paper's synthetic dataflow family (Fig. 5).
+
+Each generated dataflow has the fixed topology::
+
+                         wf:ListSize
+                              |
+                          LISTGEN_1          (emits a d-element list)
+                          /        \\
+                    CHAIN1_0      CHAIN2_0   (delta = 1: per-element
+                       |             |        iteration, fine-grained)
+                      ...           ...       l processors per chain
+                       |             |
+                  CHAIN1_{l-1}  CHAIN2_{l-1}
+                          \\        /
+                         2TO1_FINAL          (binary cross product)
+                              |
+                           wf:out            (depth-2 list, d x d)
+
+All chain processors are one-to-one, so "lineage precision is maintained
+throughout, making it possible to test fine-grained lineage queries of the
+form ``lin(<2TO1_FINAL:Y[p], v>, {LISTGEN_1})`` while at the same time
+requiring a full traversal of each of the paths" (Section 4.1).
+
+``l`` (chain length) is fixed at generation time; ``d`` (list size) is the
+run-time ``ListSize`` input, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.query.base import LineageQuery
+from repro.values.index import Index
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.model import Dataflow, WorkflowError
+
+LISTGEN_PROCESSOR = "LISTGEN_1"
+FINAL_PROCESSOR = "2TO1_FINAL"
+LIST_SIZE_INPUT = "ListSize"
+OUTPUT_PORT = "out"
+
+
+def chain_processor_names(length: int, chain: int) -> List[str]:
+    """The processor names of one chain (``chain`` is 1 or 2)."""
+    if chain not in (1, 2):
+        raise ValueError("chain must be 1 or 2")
+    return [f"CHAIN{chain}_{i}" for i in range(length)]
+
+
+def chain_product_workflow(length: int, name: str | None = None) -> Dataflow:
+    """Build the Fig. 5 dataflow with two chains of ``length`` processors.
+
+    The graph has ``2 * length + 2`` processors and ``2 * length + 4``
+    arcs.  Chain processors run the ``identity`` operation (the paper:
+    "copies of the initial list simply propagate through each of the
+    linear chains"); the final processor concatenates each cross-product
+    pair so the run output visibly records which elements met.
+    """
+    if length < 1:
+        raise WorkflowError("chain length l must be >= 1")
+    builder = (
+        DataflowBuilder(name or f"synthetic_l{length}")
+        .input(LIST_SIZE_INPUT, "integer")
+        .output(OUTPUT_PORT, "list(list(string))")
+        .processor(
+            LISTGEN_PROCESSOR,
+            inputs=[("size", "integer")],
+            outputs=[("list", "list(string)")],
+            operation="list_generator",
+            config={"out": "list", "prefix": "e"},
+        )
+    )
+    wf_name = name or f"synthetic_l{length}"
+    builder.arc(f"{wf_name}:{LIST_SIZE_INPUT}", f"{LISTGEN_PROCESSOR}:size")
+    for chain in (1, 2):
+        previous = f"{LISTGEN_PROCESSOR}:list"
+        for node in chain_processor_names(length, chain):
+            builder.processor(
+                node,
+                inputs=[("x", "string")],
+                outputs=[("y", "string")],
+                operation="identity",
+            )
+            builder.arc(previous, f"{node}:x")
+            previous = f"{node}:y"
+    builder.processor(
+        FINAL_PROCESSOR,
+        inputs=[("a", "string"), ("b", "string")],
+        outputs=[("y", "string")],
+        operation="concat_pair",
+    )
+    builder.arc(f"CHAIN1_{length - 1}:y", f"{FINAL_PROCESSOR}:a")
+    builder.arc(f"CHAIN2_{length - 1}:y", f"{FINAL_PROCESSOR}:b")
+    builder.arc(f"{FINAL_PROCESSOR}:y", f"{wf_name}:{OUTPUT_PORT}")
+    return builder.build()
+
+
+def multi_chain_workflow(
+    length: int, branches: int, name: str | None = None
+) -> Dataflow:
+    """The n-ary generalization of Fig. 5 the paper sketches.
+
+    "While this workflow pattern can be extended to multiple input
+    processors and thus n-ary products, this family is adequate ..."
+    (Section 4.1).  ``branches`` parallel chains of ``length`` processors
+    feed one final processor whose n-ary cross product yields a depth-
+    ``branches`` output.  Used by the breadth ablation: graph *breadth*
+    affects only the traversal phase, "equally for all approaches".
+    """
+    if length < 1 or branches < 2:
+        raise WorkflowError("need length >= 1 and branches >= 2")
+    wf_name = name or f"synthetic_l{length}_b{branches}"
+    out_type = "string"
+    for _ in range(branches):
+        out_type = f"list({out_type})"
+    builder = (
+        DataflowBuilder(wf_name)
+        .input(LIST_SIZE_INPUT, "integer")
+        .output(OUTPUT_PORT, out_type)
+        .processor(
+            LISTGEN_PROCESSOR,
+            inputs=[("size", "integer")],
+            outputs=[("list", "list(string)")],
+            operation="list_generator",
+            config={"out": "list", "prefix": "e"},
+        )
+    )
+    builder.arc(f"{wf_name}:{LIST_SIZE_INPUT}", f"{LISTGEN_PROCESSOR}:size")
+    final_inputs = []
+    for branch in range(1, branches + 1):
+        previous = f"{LISTGEN_PROCESSOR}:list"
+        for i in range(length):
+            node = f"CHAIN{branch}_{i}"
+            builder.processor(
+                node,
+                inputs=[("x", "string")],
+                outputs=[("y", "string")],
+                operation="identity",
+            )
+            builder.arc(previous, f"{node}:x")
+            previous = f"{node}:y"
+        final_inputs.append((f"b{branch}", previous))
+    builder.processor(
+        FINAL_PROCESSOR,
+        inputs=[(port, "string") for port, _ in final_inputs],
+        outputs=[("y", "string")],
+        operation="concat_all",
+    )
+    for port, source in final_inputs:
+        builder.arc(source, f"{FINAL_PROCESSOR}:{port}")
+    builder.arc(f"{FINAL_PROCESSOR}:y", f"{wf_name}:{OUTPUT_PORT}")
+    return builder.build()
+
+
+def focused_query(index: Index = Index(0, 0)) -> LineageQuery:
+    """The paper's canonical focused query on a generated dataflow:
+    ``lin(<2TO1_FINAL:Y[p], v>, {LISTGEN_1})``."""
+    return LineageQuery.create(
+        FINAL_PROCESSOR, "y", index, focus=[LISTGEN_PROCESSOR]
+    )
+
+
+def unfocused_query(flow: Dataflow, index: Index = Index(0, 0)) -> LineageQuery:
+    """The fully unfocused variant: every processor is interesting."""
+    return LineageQuery.create(
+        FINAL_PROCESSOR, "y", index, focus=list(flow.processor_names)
+    )
+
+
+def partially_focused_query(
+    flow: Dataflow, fraction: float, index: Index = Index(0, 0)
+) -> LineageQuery:
+    """A query whose focus set covers ``fraction`` of the processors.
+
+    Used by the Fig. 10 reproduction (|P| up to ~50% of the total).  Focus
+    processors are taken evenly from both chains, generator first, so the
+    set always includes the chain sources the query must reach anyway.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    names = list(flow.processor_names)
+    count = max(1, round(fraction * len(names)))
+    focus = [LISTGEN_PROCESSOR]
+    chain1 = [n for n in names if n.startswith("CHAIN1_")]
+    chain2 = [n for n in names if n.startswith("CHAIN2_")]
+    interleaved = [n for pair in zip(chain1, chain2) for n in pair]
+    focus.extend(interleaved[: max(0, count - 1)])
+    return LineageQuery.create(FINAL_PROCESSOR, "y", index, focus=focus)

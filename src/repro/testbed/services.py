@@ -1,0 +1,216 @@
+"""Deterministic synthetic stand-ins for the paper's external services.
+
+The paper's workloads call two families of remote services that this
+offline reproduction cannot reach:
+
+* **KEGG** (genes2Kegg): pathways-by-genes and pathway-description
+  lookups over the KEGG metabolic pathway database;
+* **PubMed** (BioAID protein discovery): abstract retrieval and text
+  analysis over article abstracts.
+
+Both are replaced by deterministic synthetic catalogs.  Lineage querying
+never inspects payload *content* — only the list structure and event
+indices matter — so any deterministic function with the same input/output
+list shapes exercises exactly the same provenance code paths (see
+DESIGN.md, "Substitutions").  Determinism matters: repeated runs must
+produce identical traces for the multi-run experiments to be meaningful.
+
+The synthetic KEGG catalog gives every gene three pathways: one shared by
+*all* genes (so the GK workflow's ``commonPathways`` intersection is never
+empty) and two gene-specific ones derived from a stable hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List
+
+#: The pathway every synthetic gene participates in.
+COMMON_PATHWAY = "path:04010"
+
+_PATHWAY_NAMES = [
+    "MAPK signaling",
+    "Apoptosis",
+    "VEGF signaling",
+    "Toll-like receptor",
+    "Cell cycle",
+    "Wnt signaling",
+    "p53 signaling",
+    "Calcium signaling",
+    "Jak-STAT signaling",
+    "mTOR signaling",
+]
+
+
+def _stable_hash(text: str) -> int:
+    """A process-independent hash (``hash()`` is salted per process)."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:4], "big")
+
+
+def pathways_for_gene(gene: str) -> List[str]:
+    """The synthetic pathway IDs a gene participates in (deterministic)."""
+    seed = _stable_hash(str(gene))
+    specific = sorted({f"path:{4100 + seed % 37:05d}", f"path:{4200 + seed % 53:05d}"})
+    return [COMMON_PATHWAY] + specific
+
+def pathway_description(pathway_id: str) -> str:
+    """Human-readable description of a synthetic pathway ID."""
+    if pathway_id == COMMON_PATHWAY:
+        return f"{pathway_id} {_PATHWAY_NAMES[0]}"
+    seed = _stable_hash(pathway_id)
+    return f"{pathway_id} {_PATHWAY_NAMES[seed % len(_PATHWAY_NAMES)]}"
+
+
+# ---------------------------------------------------------------------------
+# KEGG-style processor operations (genes2Kegg workload)
+# ---------------------------------------------------------------------------
+
+
+def op_kegg_pathways_by_genes(
+    inputs: Dict[str, Any], config: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Pathways involving the genes of one ID list.
+
+    ``config['mode']``: ``"union"`` (default) returns every pathway any of
+    the genes participates in — the per-sublist branch of GK; ``"common"``
+    returns only pathways involving *all* genes — the ``commonPathways``
+    branch.
+    """
+    genes = inputs.get("genes_id_list") or []
+    mode = config.get("mode", "union")
+    per_gene = [pathways_for_gene(g) for g in genes]
+    if not per_gene:
+        return {config.get("out", "return"): []}
+    if mode == "common":
+        survivors = [p for p in per_gene[0] if all(p in rest for rest in per_gene[1:])]
+        result = survivors
+    else:
+        seen: Dict[str, None] = {}
+        for pathways in per_gene:
+            for pathway in pathways:
+                seen.setdefault(pathway)
+        result = list(seen)
+    return {config.get("out", "return"): result}
+
+
+def op_kegg_pathway_descriptions(
+    inputs: Dict[str, Any], config: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Map a list of pathway IDs to their human-readable descriptions."""
+    pathway_ids = inputs.get("string") or []
+    return {
+        config.get("out", "return"): [pathway_description(p) for p in pathway_ids]
+    }
+
+
+# ---------------------------------------------------------------------------
+# PubMed-style processor operations (protein-discovery workload)
+# ---------------------------------------------------------------------------
+
+_PROTEIN_LEXICON = [
+    "BRCA1", "TP53", "EGFR", "KRAS", "MYC", "AKT1", "PTEN", "VEGFA",
+]
+
+
+def synthetic_abstract(article_id: str) -> str:
+    """A deterministic pseudo-abstract mentioning 2-3 lexicon proteins."""
+    seed = _stable_hash(str(article_id))
+    mentioned = [
+        _PROTEIN_LEXICON[seed % len(_PROTEIN_LEXICON)],
+        _PROTEIN_LEXICON[(seed // 7) % len(_PROTEIN_LEXICON)],
+    ]
+    return (
+        f"Abstract {article_id}: we study {mentioned[0]} regulation and its "
+        f"interaction with {mentioned[1]} in tumour samples."
+    )
+
+
+def op_pubmed_fetch_abstract(
+    inputs: Dict[str, Any], config: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Retrieve the abstract text for one article ID."""
+    article_id = inputs.get("id")
+    return {config.get("out", "abstract"): synthetic_abstract(article_id)}
+
+
+def op_extract_protein_terms(
+    inputs: Dict[str, Any], config: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Extract known protein names from one abstract (one-to-many)."""
+    text = str(inputs.get("text", ""))
+    found: Dict[str, None] = {}
+    for token in text.replace(",", " ").replace(".", " ").split():
+        if token in _PROTEIN_LEXICON:
+            found.setdefault(token)
+    return {config.get("out", "terms"): list(found)}
+
+
+# ---------------------------------------------------------------------------
+# File-loading operations (provenance-challenge workload)
+# ---------------------------------------------------------------------------
+
+
+def synthetic_file_content(file_name: str) -> str:
+    """Deterministic pseudo-content for a named input file.
+
+    Files whose name contains ``corrupt`` yield content that fails the
+    validation check — giving the workload a deterministic mix of accepted
+    and rejected records.
+    """
+    if "corrupt" in str(file_name):
+        return f"content({file_name}):MALFORMED"
+    seed = _stable_hash(str(file_name))
+    return f"content({file_name}):{seed % 9973}"
+
+
+def op_read_file(inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, Any]:
+    """Load one named file's content (one-to-one per file)."""
+    return {config.get("out", "content"): synthetic_file_content(inputs.get("name"))}
+
+
+def op_validate_record(
+    inputs: Dict[str, Any], config: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Check one record; emits ``"ok"`` or ``"reject:<reason>"``."""
+    content = str(inputs.get("record", ""))
+    status = "reject:malformed" if content.endswith("MALFORMED") else "ok"
+    return {config.get("out", "status"): status}
+
+
+def op_load_database(
+    inputs: Dict[str, Any], config: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Load validated records into the 'database' (whole-list consumer).
+
+    Consumes the full record and status lists together — a many-to-many
+    step, so provenance through it is intrinsically coarse: every loaded
+    row depends on all records and all statuses (the workflow cannot know
+    which status gated which record without opening the black box).
+    """
+    records = inputs.get("records") or []
+    statuses = inputs.get("statuses") or []
+    loaded = [
+        f"row[{i}]={record}"
+        for i, (record, status) in enumerate(zip(records, statuses))
+        if status == "ok"
+    ]
+    return {config.get("out", "table"): loaded}
+
+
+def op_process_row(
+    inputs: Dict[str, Any], config: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Post-load processing of one database row (one-to-one per row)."""
+    return {config.get("out", "result"): f"processed({inputs.get('row')})"}
+
+
+def register_services(registry) -> None:
+    """Install all synthetic service operations into a registry."""
+    registry.register("kegg_pathways_by_genes", op_kegg_pathways_by_genes)
+    registry.register("kegg_pathway_descriptions", op_kegg_pathway_descriptions)
+    registry.register("pubmed_fetch_abstract", op_pubmed_fetch_abstract)
+    registry.register("extract_protein_terms", op_extract_protein_terms)
+    registry.register("read_file", op_read_file)
+    registry.register("validate_record", op_validate_record)
+    registry.register("load_database", op_load_database)
+    registry.register("process_row", op_process_row)

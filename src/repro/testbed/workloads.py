@@ -1,0 +1,258 @@
+"""The paper's two real-life workloads, rebuilt over synthetic services.
+
+``genes2kegg`` (GK, Fig. 1)
+    A short, collection-heavy bioinformatics workflow: a nested list of
+    gene-ID lists flows through a per-sublist pathway lookup (left branch,
+    implicit iteration preserves sublist boundaries) and, in parallel,
+    through a flatten + common-pathway lookup (right branch, granularity
+    intentionally destroyed).  The canonical lineage question is the
+    paper's own: "which of the input lists of genes is involved in this
+    pathway?" — asked against ``paths_per_gene[i]``.
+
+``protein_discovery`` (PD, Section 4)
+    The BioAID-style long-path workflow: PubMed IDs → abstracts → a long
+    chain of per-abstract text-normalization steps → protein-term
+    extraction.  Topologically "the other end of the spectrum" from GK —
+    one long path — which is exactly the contrast Fig. 4 draws.
+"""
+
+from __future__ import annotations
+
+from repro.engine.processors import default_registry
+from repro.testbed.runs import Workload
+from repro.testbed.services import register_services
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.model import Dataflow
+
+GK_NAME = "genes2kegg"
+PD_NAME = "protein_discovery"
+
+#: Default input of the GK workload — two gene lists, as in Section 2.2.
+GK_DEFAULT_INPUT = [["mmu:20816", "mmu:26416"], ["mmu:328788"]]
+
+#: Default input of the PD workload — a batch of synthetic PubMed IDs.
+PD_DEFAULT_INPUT = [f"pmid:{1000 + i}" for i in range(8)]
+
+
+def build_genes2kegg() -> Dataflow:
+    """The GK dataflow (Fig. 1), structurally faithful to the paper.
+
+    Left branch: ``get_pathways_by_genes`` declares ``list(string)`` on
+    ``genes_id_list`` but receives ``list(list(string))`` — mismatch 1 —
+    so one instance runs per input sublist (Section 2.2); likewise
+    ``getPathwayDescriptions``.  Right branch: ``flatten_gene_lists``
+    consumes the whole nested value (mismatch 0), after which the common
+    pathways depend on *all* input genes.
+    """
+    return (
+        DataflowBuilder(GK_NAME)
+        .input("list_of_geneIDList", "list(list(string))")
+        .output("paths_per_gene", "list(list(string))")
+        .output("commonPathways", "list(string)")
+        # -- left branch: per-sublist pathways (fine-grained) -------------
+        .processor(
+            "get_pathways_by_genes",
+            inputs=[("genes_id_list", "list(string)")],
+            outputs=[("return", "list(string)")],
+            operation="kegg_pathways_by_genes",
+            config={"mode": "union", "out": "return"},
+        )
+        .processor(
+            "getPathwayDescriptions",
+            inputs=[("string", "list(string)")],
+            outputs=[("return", "list(string)")],
+            operation="kegg_pathway_descriptions",
+            config={"out": "return"},
+        )
+        # -- right branch: flatten + common pathways (coarse) -------------
+        .processor(
+            "flatten_gene_lists",
+            inputs=[("x", "list(list(string))")],
+            outputs=[("y", "list(string)")],
+            operation="flatten",
+            config={"out": "y"},
+        )
+        .processor(
+            "get_pathways_common",
+            inputs=[("genes_id_list", "list(string)")],
+            outputs=[("return", "list(string)")],
+            operation="kegg_pathways_by_genes",
+            config={"mode": "common", "out": "return"},
+        )
+        .processor(
+            "getPathwayDescriptions_common",
+            inputs=[("string", "list(string)")],
+            outputs=[("return", "list(string)")],
+            operation="kegg_pathway_descriptions",
+            config={"out": "return"},
+        )
+        .arcs(
+            (f"{GK_NAME}:list_of_geneIDList", "get_pathways_by_genes:genes_id_list"),
+            ("get_pathways_by_genes:return", "getPathwayDescriptions:string"),
+            ("getPathwayDescriptions:return", f"{GK_NAME}:paths_per_gene"),
+            (f"{GK_NAME}:list_of_geneIDList", "flatten_gene_lists:x"),
+            ("flatten_gene_lists:y", "get_pathways_common:genes_id_list"),
+            ("get_pathways_common:return", "getPathwayDescriptions_common:string"),
+            ("getPathwayDescriptions_common:return", f"{GK_NAME}:commonPathways"),
+        )
+        .build()
+    )
+
+
+def build_protein_discovery(chain_length: int = 30) -> Dataflow:
+    """The PD dataflow: one long per-abstract processing path.
+
+    ``chain_length`` text-normalization steps sit between abstract
+    retrieval and term extraction; every step is one-to-one per abstract,
+    so the path is long *and* fine-grained — the configuration in which
+    the unfocused naive strategy is slowest (Fig. 4, "unfocused-PD").
+    """
+    builder = (
+        DataflowBuilder(PD_NAME)
+        .input("pubmed_ids", "list(string)")
+        .output("protein_terms", "list(list(string))")
+        .processor(
+            "fetch_abstract",
+            inputs=[("id", "string")],
+            outputs=[("abstract", "string")],
+            operation="pubmed_fetch_abstract",
+            config={"out": "abstract"},
+        )
+    )
+    builder.arc(f"{PD_NAME}:pubmed_ids", "fetch_abstract:id")
+    previous = "fetch_abstract:abstract"
+    for i in range(chain_length):
+        node = f"normalize_{i}"
+        builder.processor(
+            node,
+            inputs=[("x", "string")],
+            outputs=[("y", "string")],
+            operation="identity",
+        )
+        builder.arc(previous, f"{node}:x")
+        previous = f"{node}:y"
+    builder.processor(
+        "extract_proteins",
+        inputs=[("text", "string")],
+        outputs=[("terms", "list(string)")],
+        operation="extract_protein_terms",
+        config={"out": "terms"},
+    )
+    builder.arc(previous, "extract_proteins:text")
+    builder.arc("extract_proteins:terms", f"{PD_NAME}:protein_terms")
+    return builder.build()
+
+
+PC_NAME = "file_loading"
+
+#: Default input of the provenance-challenge workload — one file is
+#: deliberately corrupt, so validation rejects it.
+PC_DEFAULT_INPUT = ["data_a.csv", "data_b.csv", "corrupt_c.csv", "data_d.csv"]
+
+
+def build_file_loading() -> Dataflow:
+    """The provenance-challenge scenario from the paper's introduction.
+
+    "A workflow loads data from files into a database, and then performs
+    some processing on the data.  It turns out that the database contains
+    unexpected values.  Provenance questions include, among others,
+    whether the appropriate checks were performed by the workflow, what
+    results they produced, and which input files were used for the
+    loading."
+
+    Structure: per-file reading and validation (fine-grained, mismatch 1),
+    a whole-list database load (coarse — the granularity boundary), then
+    per-row post-processing (fine-grained again below the boundary).
+    """
+    return (
+        DataflowBuilder(PC_NAME)
+        .input("file_names", "list(string)")
+        .output("validation_report", "list(string)")
+        .output("report", "list(string)")
+        .processor(
+            "read_file",
+            inputs=[("name", "string")],
+            outputs=[("content", "string")],
+            operation="read_file",
+        )
+        .processor(
+            "check_record",
+            inputs=[("record", "string")],
+            outputs=[("status", "string")],
+            operation="validate_record",
+        )
+        .processor(
+            "load_db",
+            inputs=[
+                ("records", "list(string)"),
+                ("statuses", "list(string)"),
+            ],
+            outputs=[("table", "list(string)")],
+            operation="load_database",
+        )
+        .processor(
+            "process",
+            inputs=[("row", "string")],
+            outputs=[("result", "string")],
+            operation="process_row",
+        )
+        .arcs(
+            (f"{PC_NAME}:file_names", "read_file:name"),
+            ("read_file:content", "check_record:record"),
+            ("read_file:content", "load_db:records"),
+            ("check_record:status", "load_db:statuses"),
+            ("check_record:status", f"{PC_NAME}:validation_report"),
+            ("load_db:table", "process:row"),
+            ("process:result", f"{PC_NAME}:report"),
+        )
+        .build()
+    )
+
+
+def file_loading_workload() -> Workload:
+    """The provenance-challenge workload, bundled for the harness."""
+    registry = default_registry().extended()
+    register_services(registry)
+    return Workload(
+        name=PC_NAME,
+        flow=build_file_loading(),
+        registry=registry,
+        inputs={"file_names": list(PC_DEFAULT_INPUT)},
+        # "which input files were used for the loading?"
+        query_target=(PC_NAME, "report", (0,)),
+        focused_processors=("read_file",),
+        description="file loading with validation and a coarse DB-load step",
+    )
+
+
+def genes2kegg_workload() -> Workload:
+    """GK bundled with its registry, default input, and canonical query."""
+    registry = default_registry().extended()
+    register_services(registry)
+    return Workload(
+        name=GK_NAME,
+        flow=build_genes2kegg(),
+        registry=registry,
+        inputs={"list_of_geneIDList": GK_DEFAULT_INPUT},
+        # "why is this particular pathway in the output?" — lineage of one
+        # per-sublist pathway set, focused on the pathway lookup's inputs.
+        query_target=(GK_NAME, "paths_per_gene", (0,)),
+        focused_processors=("get_pathways_by_genes",),
+        description="short-path, collection-heavy bioinformatics workflow",
+    )
+
+
+def protein_discovery_workload(chain_length: int = 30, batch: int = 8) -> Workload:
+    """PD bundled with its registry, default input, and canonical query."""
+    registry = default_registry().extended()
+    register_services(registry)
+    inputs = {"pubmed_ids": [f"pmid:{1000 + i}" for i in range(batch)]}
+    return Workload(
+        name=PD_NAME,
+        flow=build_protein_discovery(chain_length),
+        registry=registry,
+        inputs=inputs,
+        query_target=(PD_NAME, "protein_terms", (0,)),
+        focused_processors=("fetch_abstract",),
+        description="long-path text-mining workflow",
+    )

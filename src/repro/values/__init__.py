@@ -1,0 +1,55 @@
+"""Nested-collection value model.
+
+The paper's data model (Section 2.1) treats every value flowing through a
+dataflow as either an *atomic* value (string, number, ...) or an arbitrarily
+nested list of values.  Elements inside a nested list are addressed with
+k-dimensional index paths ``v[p1, ..., pk]``.
+
+This package provides:
+
+``Index``
+    Immutable index paths, including the empty index ``[]`` that denotes a
+    whole value, concatenation (Prop. 1 builds output indices by
+    concatenating input fragments) and a compact text encoding used by the
+    relational trace store.
+
+``nested``
+    Structural operations on nested list values: depth computation, element
+    access and iteration, flattening, wrapping, and shape extraction.
+
+``types``
+    Declared port types: a small algebra of base types closed under
+    ``list(tau)``, with the declared-depth accessor ``dd`` used throughout
+    the static analysis of Section 3.1.
+"""
+
+from repro.values.index import Index
+from repro.values.nested import (
+    depth,
+    enumerate_leaves,
+    flatten,
+    get_element,
+    is_homogeneous,
+    iter_at_depth,
+    set_element,
+    shape,
+    wrap,
+)
+from repro.values.types import BaseType, ListType, ValueType, infer_type
+
+__all__ = [
+    "BaseType",
+    "Index",
+    "ListType",
+    "ValueType",
+    "depth",
+    "enumerate_leaves",
+    "flatten",
+    "get_element",
+    "infer_type",
+    "is_homogeneous",
+    "iter_at_depth",
+    "set_element",
+    "shape",
+    "wrap",
+]

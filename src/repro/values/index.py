@@ -1,0 +1,165 @@
+"""Index paths into nested list values.
+
+An :class:`Index` identifies one element within an arbitrarily nested list,
+following the paper's ``v[p1 ... pk]`` accessor notation (Section 2.1).  The
+empty index ``Index()`` denotes the entire value — the paper writes this as
+``[]``, e.g. ``<P:X[], v>`` binds the whole of ``v`` to port ``P:X``.
+
+Positions are 0-based (the paper is agnostic; 0-based matches Python
+sequence indexing, which keeps :func:`repro.values.nested.get_element`
+trivially correct).
+
+Indices are immutable, hashable and totally ordered, so they can be used as
+dictionary keys, stored in sets of bindings, and compared deterministically
+in test output.  The text codec (:meth:`Index.encode` /
+:meth:`Index.decode`) is the canonical representation used by the relational
+trace store: the empty index encodes to the empty string, ``[1, 2]`` to
+``"1.2"``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+
+class Index:
+    """An immutable index path ``[p1, ..., pk]`` into a nested list.
+
+    >>> Index(1, 2)
+    Index(1, 2)
+    >>> Index() .is_empty
+    True
+    >>> Index(1) + Index(2, 3)
+    Index(1, 2, 3)
+    """
+
+    __slots__ = ("_path",)
+
+    def __init__(self, *positions: int) -> None:
+        path: Tuple[int, ...] = tuple(int(p) for p in positions)
+        for p in path:
+            if p < 0:
+                raise ValueError(f"index positions must be non-negative, got {p}")
+        self._path = path
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, positions: Iterable[int]) -> "Index":
+        """Build an index from any iterable of positions."""
+        return cls(*positions)
+
+    @classmethod
+    def empty(cls) -> "Index":
+        """The empty index ``[]``, denoting a whole value."""
+        return _EMPTY
+
+    @classmethod
+    def decode(cls, text: str) -> "Index":
+        """Inverse of :meth:`encode`.
+
+        >>> Index.decode("1.2")
+        Index(1, 2)
+        >>> Index.decode("") == Index()
+        True
+        """
+        if text == "":
+            return _EMPTY
+        try:
+            return cls(*(int(part) for part in text.split(".")))
+        except ValueError as exc:
+            raise ValueError(f"malformed index text {text!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> Tuple[int, ...]:
+        """The positions as a tuple of ints."""
+        return self._path
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the empty index ``[]`` (whole-value binding)."""
+        return not self._path
+
+    def encode(self) -> str:
+        """Canonical dotted-text form used by the trace store."""
+        return ".".join(str(p) for p in self._path)
+
+    def slice(self, start: int, length: int) -> "Index":
+        """The fragment ``[p_start, ..., p_(start+length-1)]``.
+
+        This is the primitive behind the index projection rule (Def. 4):
+        projections carve consecutive fragments out of an output index.
+        Requesting a fragment that extends past the end of the index raises
+        ``ValueError`` — projections of well-formed traces never do.
+        """
+        if start < 0 or length < 0:
+            raise ValueError("slice start and length must be non-negative")
+        if start + length > len(self._path):
+            raise ValueError(
+                f"cannot take fragment [{start}:{start + length}] "
+                f"of index of length {len(self._path)}"
+            )
+        return Index(*self._path[start : start + length])
+
+    def head(self, length: int) -> "Index":
+        """The first ``length`` positions."""
+        return self.slice(0, length)
+
+    def tail_from(self, start: int) -> "Index":
+        """All positions from ``start`` onwards."""
+        return self.slice(start, len(self._path) - start)
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "Index") -> "Index":
+        """Concatenation: ``q = p1 · p2`` as in Prop. 1."""
+        if not isinstance(other, Index):
+            return NotImplemented
+        return Index(*(self._path + other._path))
+
+    def extended(self, position: int) -> "Index":
+        """Append a single position (one more nesting level)."""
+        return Index(*(self._path + (position,)))
+
+    def starts_with(self, prefix: "Index") -> bool:
+        """True when ``prefix`` is a (possibly equal) prefix of this index."""
+        return self._path[: len(prefix._path)] == prefix._path
+
+    def __len__(self) -> int:
+        return len(self._path)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._path)
+
+    def __getitem__(self, i: int) -> int:
+        return self._path[i]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Index) and self._path == other._path
+
+    def __lt__(self, other: "Index") -> bool:
+        if not isinstance(other, Index):
+            return NotImplemented
+        return self._path < other._path
+
+    def __le__(self, other: "Index") -> bool:
+        if not isinstance(other, Index):
+            return NotImplemented
+        return self._path <= other._path
+
+    def __hash__(self) -> int:
+        return hash(self._path)
+
+    def __repr__(self) -> str:
+        return f"Index({', '.join(str(p) for p in self._path)})"
+
+
+_EMPTY = Index()

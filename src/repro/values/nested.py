@@ -1,0 +1,210 @@
+"""Structural operations over nested list values.
+
+A *value* is either atomic (any non-list Python object: ``str``, ``int``,
+``float``, ``bytes``, ``None``, ...) or a ``list`` of values.  The paper
+assumes that all elements of a list sit at the same depth (Section 3.1,
+assumption on homogeneous nesting); :func:`is_homogeneous` checks this and
+:func:`depth` enforces it.
+
+Tuples are deliberately *not* collections here: the execution engine uses
+tuples internally to carry argument packs through the generalized cross
+product (Def. 2), so they must read as atoms to the structural functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from repro.values.index import Index
+
+
+class MalformedValueError(ValueError):
+    """Raised when a value violates the homogeneous-nesting assumption."""
+
+
+def is_collection(value: Any) -> bool:
+    """True when ``value`` is a list (the only collection constructor)."""
+    return isinstance(value, list)
+
+
+def depth(value: Any) -> int:
+    """The nesting depth of ``value``.
+
+    Atomic values have depth 0, ``list(tau)`` values depth ``1 + depth(tau)``.
+    The depth of an empty list is the depth of a list whose elements are
+    atoms, i.e. 1 — the value carries no deeper structure to address.
+
+    Raises :class:`MalformedValueError` when sibling elements disagree on
+    depth, since then no single depth describes the value.
+
+    >>> depth("a")
+    0
+    >>> depth([["foo", "bar"], ["red", "fox"]])
+    2
+    """
+    if not is_collection(value):
+        return 0
+    element_depths = {depth(v) for v in value}
+    if not element_depths:
+        return 1
+    if len(element_depths) > 1:
+        raise MalformedValueError(
+            f"heterogeneous nesting depths {sorted(element_depths)} in {value!r}"
+        )
+    return 1 + element_depths.pop()
+
+
+def is_homogeneous(value: Any) -> bool:
+    """True when every list level of ``value`` nests uniformly."""
+    try:
+        depth(value)
+    except MalformedValueError:
+        return False
+    return True
+
+
+def get_element(value: Any, index: Index) -> Any:
+    """Element ``value[p1]...[pk]``; the empty index returns ``value`` itself.
+
+    >>> get_element([["foo", "bar"]], Index(0, 1))
+    'bar'
+    """
+    current = value
+    for position in index:
+        if not is_collection(current):
+            raise MalformedValueError(
+                f"index {index!r} descends below an atomic value in {value!r}"
+            )
+        try:
+            current = current[position]
+        except IndexError as exc:
+            raise IndexError(f"index {index!r} out of range for {value!r}") from exc
+    return current
+
+
+def set_element(value: Any, index: Index, element: Any) -> Any:
+    """A copy of ``value`` with the element at ``index`` replaced.
+
+    The original value is never mutated; only the lists along the path are
+    copied (spine copy).  The empty index returns ``element`` itself.
+    """
+    if index.is_empty:
+        return element
+    if not is_collection(value):
+        raise MalformedValueError(
+            f"index {index!r} descends below an atomic value in {value!r}"
+        )
+    position = index[0]
+    if position >= len(value):
+        raise IndexError(f"index {index!r} out of range for {value!r}")
+    copy = list(value)
+    copy[position] = set_element(copy[position], index.tail_from(1), element)
+    return copy
+
+
+def enumerate_leaves(value: Any) -> Iterator[Tuple[Index, Any]]:
+    """Yield ``(index, atom)`` for every atomic leaf, in document order.
+
+    >>> list(enumerate_leaves([["a"], ["b", "c"]]))
+    [(Index(0, 0), 'a'), (Index(1, 0), 'b'), (Index(1, 1), 'c')]
+    """
+    yield from _enumerate(value, Index())
+
+
+def _enumerate(value: Any, prefix: Index) -> Iterator[Tuple[Index, Any]]:
+    if not is_collection(value):
+        yield prefix, value
+        return
+    for position, element in enumerate(value):
+        yield from _enumerate(element, prefix.extended(position))
+
+
+def iter_at_depth(value: Any, levels: int) -> Iterator[Tuple[Index, Any]]:
+    """Yield ``(index, sub_value)`` pairs ``levels`` list-levels down.
+
+    ``levels == 0`` yields the single pair ``(Index(), value)``.  This is the
+    iteration primitive of the implicit-iteration model: a port with depth
+    mismatch ``delta`` consumes the sub-values produced by
+    ``iter_at_depth(v, delta)``, one per processor instance.
+
+    >>> list(iter_at_depth([["a", "b"]], 1))
+    [(Index(0), ['a', 'b'])]
+    """
+    if levels < 0:
+        raise ValueError("levels must be non-negative")
+    yield from _iter_levels(value, levels, Index())
+
+
+def _iter_levels(value: Any, levels: int, prefix: Index) -> Iterator[Tuple[Index, Any]]:
+    if levels == 0:
+        yield prefix, value
+        return
+    if not is_collection(value):
+        raise MalformedValueError(
+            f"cannot iterate {levels} more level(s) into atomic value {value!r}"
+        )
+    for position, element in enumerate(value):
+        yield from _iter_levels(element, levels - 1, prefix.extended(position))
+
+
+def flatten(value: Any, levels: int = 1) -> Any:
+    """Remove ``levels`` levels of nesting by concatenating sub-lists.
+
+    Mirrors Taverna's list-flattening shim used in the right branch of the
+    genes2Kegg workflow (Section 2.2): ``[[a, b], [c]] -> [a, b, c]``.
+
+    >>> flatten([["a", "b"], ["c"]])
+    ['a', 'b', 'c']
+    """
+    if levels < 0:
+        raise ValueError("levels must be non-negative")
+    result = value
+    for _ in range(levels):
+        if not is_collection(result):
+            raise MalformedValueError(f"cannot flatten atomic value {result!r}")
+        merged: List[Any] = []
+        for element in result:
+            if not is_collection(element):
+                raise MalformedValueError(
+                    f"cannot flatten {result!r}: element {element!r} is atomic"
+                )
+            merged.extend(element)
+        result = merged
+    return result
+
+
+def wrap(value: Any, levels: int) -> Any:
+    """Nest ``value`` inside ``levels`` singleton lists.
+
+    Used when a port's depth mismatch is negative (Def. 2 commentary): a
+    value shallower than the declared depth is promoted by building
+    ``levels`` one-element lists around it.
+
+    >>> wrap("a", 2)
+    [['a']]
+    """
+    if levels < 0:
+        raise ValueError("levels must be non-negative")
+    for _ in range(levels):
+        value = [value]
+    return value
+
+
+def shape(value: Any) -> Any:
+    """The list skeleton of ``value`` with atoms replaced by ``None``.
+
+    Useful for asserting iteration shapes without comparing payloads.
+
+    >>> shape([["x"], ["y", "z"]])
+    [[None], [None, None]]
+    """
+    if not is_collection(value):
+        return None
+    return [shape(v) for v in value]
+
+
+def count_leaves(value: Any) -> int:
+    """Number of atomic leaves in ``value`` (0-depth value counts as 1)."""
+    if not is_collection(value):
+        return 1
+    return sum(count_leaves(v) for v in value)

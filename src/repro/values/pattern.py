@@ -1,0 +1,136 @@
+"""Index patterns: partially-constrained index paths for forward queries.
+
+Backward lineage propagates *indices* upstream: Prop. 1 splits an output
+index into per-port fragments.  Running the same machinery forward —
+"which output elements depend on input element ``p``?" — inverts the
+projection: an input fragment pins a contiguous slice of every downstream
+instance index ``q`` and leaves the remaining positions free.  An
+:class:`IndexPattern` captures exactly that: a tuple of positions, each a
+fixed integer or a wildcard (``None``).
+
+Matching follows the prefix discipline of the backward engines: a
+recorded index matches a pattern when every *overlapping* position agrees
+— shorter recorded indices (coarser events) and longer ones (finer
+events) both match, mirroring how ``<P:X[]>`` bindings relate to
+``<P:X[i]>`` bindings in Section 2.4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.values.index import Index
+
+
+class IndexPattern:
+    """An index with wildcards: ``(0, None, 2)`` is ``[0, *, 2]``."""
+
+    __slots__ = ("_positions",)
+
+    def __init__(self, *positions: Optional[int]) -> None:
+        checked = []
+        for position in positions:
+            if position is not None:
+                position = int(position)
+                if position < 0:
+                    raise ValueError("fixed positions must be non-negative")
+            checked.append(position)
+        self._positions: Tuple[Optional[int], ...] = tuple(checked)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def of(cls, positions: Iterable[Optional[int]]) -> "IndexPattern":
+        return cls(*positions)
+
+    @classmethod
+    def from_index(cls, index: Index) -> "IndexPattern":
+        """A fully-fixed pattern."""
+        return cls(*index.path)
+
+    @classmethod
+    def wildcards(cls, length: int) -> "IndexPattern":
+        """A fully-free pattern of the given length."""
+        return cls(*([None] * length))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def positions(self) -> Tuple[Optional[int], ...]:
+        return self._positions
+
+    @property
+    def is_fully_fixed(self) -> bool:
+        return all(p is not None for p in self._positions)
+
+    def fixed_prefix(self) -> Index:
+        """The longest fixed leading run — usable as a sargable SQL prefix."""
+        prefix = []
+        for position in self._positions:
+            if position is None:
+                break
+            prefix.append(position)
+        return Index.of(prefix)
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    # -- operations ---------------------------------------------------------
+
+    def matches(self, index: Index) -> bool:
+        """Prefix-compatible match (see module docstring).
+
+        >>> IndexPattern(0, None).matches(Index(0, 5))
+        True
+        >>> IndexPattern(0, None).matches(Index(1, 5))
+        False
+        >>> IndexPattern(0, None).matches(Index(0))   # coarser record
+        True
+        >>> IndexPattern(0, None).matches(Index(0, 5, 9))  # finer record
+        True
+        """
+        for pattern_pos, index_pos in zip(self._positions, index.path):
+            if pattern_pos is not None and pattern_pos != index_pos:
+                return False
+        return True
+
+    def place_fragment(
+        self, total_length: int, offset: int, fragment: "IndexPattern"
+    ) -> "IndexPattern":
+        """A pattern of ``total_length`` wildcards with ``fragment`` written
+        at ``offset`` — the forward image of one input fragment inside the
+        instance index (inverse of Def. 4's slicing)."""
+        positions: list = [None] * total_length
+        for i, value in enumerate(fragment.positions):
+            slot = offset + i
+            if slot >= total_length:
+                break  # excess constraint falls inside the black box
+            positions[slot] = value
+        return IndexPattern(*positions)
+
+    def head(self, length: int) -> "IndexPattern":
+        """The first ``length`` positions (clipped)."""
+        return IndexPattern(*self._positions[:length])
+
+    def slice(self, start: int, length: int) -> "IndexPattern":
+        """Positions ``[start : start+length]``, clipped to the pattern."""
+        return IndexPattern(*self._positions[start : start + length])
+
+    # -- identity -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IndexPattern)
+            and self._positions == other._positions
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._positions)
+
+    def encode(self) -> str:
+        return ".".join(
+            "*" if p is None else str(p) for p in self._positions
+        )
+
+    def __repr__(self) -> str:
+        return f"IndexPattern({', '.join(repr(p) for p in self._positions)})"

@@ -1,0 +1,172 @@
+"""Declared port types: base types closed under ``list(tau)``.
+
+Section 2.1: every port ``X`` has a declared type ``type(X)`` which is either
+one of a set of basic types or ``list(tau)`` for some type ``tau``.  The only
+property the lineage machinery ever consumes is the *declared depth*
+``dd(X)`` — the number of ``list`` constructors — but modelling the full
+type algebra lets the workflow validator catch mis-wired ports early and
+keeps workflow serialization faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.values import nested
+
+
+class ValueType:
+    """Abstract base of the port type algebra.  Immutable and hashable."""
+
+    @property
+    def depth(self) -> int:
+        """The declared depth ``dd``: number of ``list`` constructors."""
+        raise NotImplementedError
+
+    @property
+    def element_type(self) -> "ValueType":
+        """For ``list(tau)``, the type ``tau``.  Atoms raise ``TypeError``."""
+        raise TypeError(f"{self!r} is not a list type")
+
+    def base(self) -> "BaseType":
+        """The innermost base type."""
+        current: ValueType = self
+        while isinstance(current, ListType):
+            current = current.element_type
+        assert isinstance(current, BaseType)
+        return current
+
+    def listify(self, levels: int = 1) -> "ValueType":
+        """This type wrapped in ``levels`` list constructors."""
+        if levels < 0:
+            raise ValueError("levels must be non-negative")
+        result: ValueType = self
+        for _ in range(levels):
+            result = ListType(result)
+        return result
+
+    # -- serialization ---------------------------------------------------
+
+    def encode(self) -> str:
+        """Compact textual form, e.g. ``list(list(string))``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def decode(text: str) -> "ValueType":
+        """Inverse of :meth:`encode`.
+
+        >>> ValueType.decode("list(string)")
+        ListType(BaseType('string'))
+        """
+        text = text.strip()
+        levels = 0
+        while text.startswith("list(") and text.endswith(")"):
+            text = text[len("list(") : -1].strip()
+            levels += 1
+        if not text or "(" in text or ")" in text:
+            raise ValueError(f"malformed type text {text!r}")
+        return BaseType(text).listify(levels)
+
+
+class BaseType(ValueType):
+    """An opaque basic type, identified by name (``string``, ``integer`` ...)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("base type name must be non-empty")
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def depth(self) -> int:
+        return 0
+
+    def encode(self) -> str:
+        return self._name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BaseType) and self._name == other._name
+
+    def __hash__(self) -> int:
+        return hash(("BaseType", self._name))
+
+    def __repr__(self) -> str:
+        return f"BaseType({self._name!r})"
+
+
+class ListType(ValueType):
+    """The ``list(tau)`` constructor."""
+
+    __slots__ = ("_element",)
+
+    def __init__(self, element: ValueType) -> None:
+        if not isinstance(element, ValueType):
+            raise TypeError("list element type must be a ValueType")
+        self._element = element
+
+    @property
+    def element_type(self) -> ValueType:
+        return self._element
+
+    @property
+    def depth(self) -> int:
+        return 1 + self._element.depth
+
+    def encode(self) -> str:
+        return f"list({self._element.encode()})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ListType) and self._element == other._element
+
+    def __hash__(self) -> int:
+        return hash(("ListType", self._element))
+
+    def __repr__(self) -> str:
+        return f"ListType({self._element!r})"
+
+
+#: Convenience singletons for the common base types.
+STRING = BaseType("string")
+INTEGER = BaseType("integer")
+FLOAT = BaseType("float")
+BOOLEAN = BaseType("boolean")
+
+_PYTHON_BASE_TYPES = {
+    bool: BOOLEAN,  # must precede int: bool is a subclass of int
+    int: INTEGER,
+    float: FLOAT,
+    str: STRING,
+}
+
+
+def infer_type(value: Any) -> ValueType:
+    """Infer the :class:`ValueType` of a concrete value.
+
+    Nested lists map to nested ``ListType``; the base type is derived from
+    the leaves (all leaves must agree).  An empty list infers
+    ``list(string)`` by convention — the paper's model never needs to
+    distinguish element types of empty collections.
+
+    >>> infer_type([["foo"]]).encode()
+    'list(list(string))'
+    """
+    value_depth = nested.depth(value)
+    leaf_types = {
+        _python_base_type(atom) for _, atom in nested.enumerate_leaves(value)
+    }
+    if len(leaf_types) > 1:
+        raise TypeError(f"mixed leaf types {sorted(t.name for t in leaf_types)}")
+    base = leaf_types.pop() if leaf_types else STRING
+    return base.listify(value_depth)
+
+
+def _python_base_type(atom: Any) -> BaseType:
+    for python_type, base in _PYTHON_BASE_TYPES.items():
+        if isinstance(atom, python_type):
+            return base
+    return BaseType(type(atom).__name__)

@@ -1,0 +1,54 @@
+"""Dataflow (workflow) specification model.
+
+A dataflow is a directed graph of *processors* with ordered, typed input and
+output ports, connected by *arcs* (Section 2.1).  The workflow itself also
+exposes input and output ports; bindings on those appear in traces under the
+workflow's own name (e.g. ``<workflow:paths_per_gene[1], z>`` in Fig. 2).
+
+The static structure built here is consumed by three clients:
+
+* the execution engine (:mod:`repro.engine`), which fires processors
+  data-driven and applies the implicit iteration semantics;
+* the static depth analysis (:mod:`repro.workflow.depths`, Alg. 1), which
+  annotates every port with its propagated depth and mismatch; and
+* the INDEXPROJ query engine (:mod:`repro.query.indexproj`), which traverses
+  this graph *instead of* the provenance graph.
+
+Nested dataflows (a processor whose behaviour is itself a dataflow) are
+supported through :meth:`Dataflow.flattened`, which inlines sub-workflows
+with qualified processor names before analysis and execution.
+"""
+
+from repro.workflow.model import (
+    Arc,
+    Dataflow,
+    PortRef,
+    PortSpec,
+    Processor,
+    WorkflowError,
+)
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.depths import DepthAnalysis, propagate_depths
+from repro.workflow.patterns import fan_out, join_cross, pipeline, scatter_gather
+from repro.workflow.validate import ValidationIssue, validate
+from repro.workflow.visit import topological_sort, upstream_ports
+
+__all__ = [
+    "Arc",
+    "Dataflow",
+    "DataflowBuilder",
+    "DepthAnalysis",
+    "PortRef",
+    "PortSpec",
+    "Processor",
+    "ValidationIssue",
+    "WorkflowError",
+    "fan_out",
+    "join_cross",
+    "pipeline",
+    "propagate_depths",
+    "scatter_gather",
+    "topological_sort",
+    "upstream_ports",
+    "validate",
+]

@@ -1,0 +1,158 @@
+"""Fluent construction API for dataflows.
+
+The raw :class:`~repro.workflow.model.Dataflow` API is deliberately minimal;
+this builder removes the boilerplate of spelling out :class:`PortSpec` and
+:class:`PortRef` objects when assembling workflows by hand (examples, tests)
+or programmatically (the synthetic testbed generator).
+
+Port references are written as ``"node:port"`` strings; types as the compact
+text form accepted by :meth:`ValueType.decode` (``"string"``,
+``"list(string)"``, ...).
+
+>>> wf = (
+...     DataflowBuilder("wf")
+...     .input("genes", "list(string)")
+...     .processor("upper", inputs=[("x", "string")], outputs=[("y", "string")],
+...                operation="uppercase")
+...     .output("result", "list(string)")
+...     .arc("wf:genes", "upper:x")
+...     .arc("upper:y", "wf:result")
+...     .build()
+... )
+>>> [p.name for p in wf.processors]
+['upper']
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from repro.values.types import ValueType
+from repro.workflow.model import Dataflow, PortRef, PortSpec, Processor, WorkflowError
+
+#: A port declaration: ``(name, type_text)`` or a ready-made PortSpec.
+PortDecl = Union[Tuple[str, str], PortSpec]
+
+
+def _as_spec(decl: PortDecl) -> PortSpec:
+    if isinstance(decl, PortSpec):
+        return decl
+    name, type_text = decl
+    return PortSpec(name, ValueType.decode(type_text))
+
+
+def parse_ref(text: str) -> PortRef:
+    """Parse a ``"node:port"`` reference string."""
+    node, sep, port = text.partition(":")
+    if not sep or not node or not port:
+        raise WorkflowError(f"malformed port reference {text!r}; want 'node:port'")
+    return PortRef(node, port)
+
+
+class DataflowBuilder:
+    """Incrementally assemble a :class:`Dataflow`; ``build()`` validates."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._inputs: list[PortSpec] = []
+        self._outputs: list[PortSpec] = []
+        self._processors: list[Processor] = []
+        self._arcs: list[Tuple[str, str]] = []
+
+    def input(self, name: str, type_text: str = "string") -> "DataflowBuilder":
+        """Declare a workflow-level input port."""
+        self._inputs.append(PortSpec(name, ValueType.decode(type_text)))
+        return self
+
+    def output(self, name: str, type_text: str = "string") -> "DataflowBuilder":
+        """Declare a workflow-level output port."""
+        self._outputs.append(PortSpec(name, ValueType.decode(type_text)))
+        return self
+
+    def processor(
+        self,
+        name: str,
+        inputs: Sequence[PortDecl] = (),
+        outputs: Sequence[PortDecl] = (),
+        operation: Optional[str] = None,
+        subflow: Optional[Dataflow] = None,
+        iteration: str = "cross",
+        config: Optional[Dict[str, Any]] = None,
+    ) -> "DataflowBuilder":
+        """Add a processor node.  Port order is significant (Prop. 1)."""
+        self._processors.append(
+            Processor(
+                name,
+                [_as_spec(d) for d in inputs],
+                [_as_spec(d) for d in outputs],
+                operation=operation,
+                subflow=subflow,
+                iteration=iteration,
+                config=config,
+            )
+        )
+        return self
+
+    def arc(self, source: str, sink: str) -> "DataflowBuilder":
+        """Connect ``"node:port" -> "node:port"``."""
+        self._arcs.append((source, sink))
+        return self
+
+    def arcs(self, *pairs: Tuple[str, str]) -> "DataflowBuilder":
+        """Connect several arcs at once."""
+        self._arcs.extend(pairs)
+        return self
+
+    def chain(self, *ports: str) -> "DataflowBuilder":
+        """Connect consecutive port references pairwise.
+
+        ``chain(a, b, c)`` adds arcs ``a -> b`` and ``b -> c`` — handy for
+        linear pipelines, but note that ``b`` is used both as a sink and as
+        a source, so it only makes sense for single-port pass-through nodes.
+        """
+        for source, sink in zip(ports, ports[1:]):
+            self._arcs.append((source, sink))
+        return self
+
+    def build(self) -> Dataflow:
+        """Materialize and structurally check the dataflow."""
+        flow = Dataflow(self._name, self._inputs, self._outputs)
+        for processor in self._processors:
+            flow.add_processor(processor)
+        for source, sink in self._arcs:
+            flow.add_arc(parse_ref(source), parse_ref(sink))
+        return flow
+
+
+def linear_chain(
+    name: str,
+    length: int,
+    operation: str,
+    port_type: str = "string",
+    input_name: str = "in",
+    output_name: str = "out",
+    prefix: str = "step",
+) -> Dataflow:
+    """Build a workflow that is a single chain of ``length`` processors.
+
+    Each processor has one input port ``x`` and one output port ``y`` of the
+    given declared type and runs ``operation``.  Used by tests and by the
+    protein-discovery workload, which is topologically "one long path".
+    """
+    if length < 1:
+        raise WorkflowError("chain length must be >= 1")
+    builder = DataflowBuilder(name).input(input_name, port_type)
+    builder.output(output_name, port_type)
+    previous = f"{name}:{input_name}"
+    for i in range(length):
+        node = f"{prefix}{i}"
+        builder.processor(
+            node,
+            inputs=[("x", port_type)],
+            outputs=[("y", port_type)],
+            operation=operation,
+        )
+        builder.arc(previous, f"{node}:x")
+        previous = f"{node}:y"
+    builder.arc(previous, f"{name}:{output_name}")
+    return builder.build()

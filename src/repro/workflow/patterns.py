@@ -1,0 +1,144 @@
+"""Reusable workflow construction patterns.
+
+Real Taverna workflows are assembled from a handful of recurring shapes —
+linear per-element pipelines, scatter/gather stages, parameter fan-outs.
+These helpers build them on top of the
+:class:`~repro.workflow.builder.DataflowBuilder` primitives, with the
+depth bookkeeping already worked out, so examples and downstream users
+don't re-derive the iteration arithmetic each time.
+
+All helpers return a :class:`DataflowBuilder` (not a built flow) so they
+compose: start a builder, apply patterns, keep adding bespoke nodes, then
+``build()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.model import WorkflowError
+
+
+def pipeline(
+    builder: DataflowBuilder,
+    source: str,
+    stages: Sequence[Tuple[str, str, Optional[Dict]]],
+    port_type: str = "string",
+) -> str:
+    """Append a linear chain of one-to-one stages; return the final port.
+
+    ``stages`` is a sequence of ``(node_name, operation, config)``; each
+    stage declares one ``x`` input and one ``y`` output of ``port_type``.
+    Feeding the chain a list makes every stage iterate per element — the
+    standard per-record pipeline.
+
+    >>> b = DataflowBuilder("wf").input("items", "list(string)")
+    >>> end = pipeline(b, "wf:items", [("clean", "tag", {"suffix": "!"})])
+    >>> end
+    'clean:y'
+    """
+    previous = source
+    for entry in stages:
+        name, operation, config = entry
+        builder.processor(
+            name,
+            inputs=[("x", port_type)],
+            outputs=[("y", port_type)],
+            operation=operation,
+            config=config,
+        )
+        builder.arc(previous, f"{name}:x")
+        previous = f"{name}:y"
+    return previous
+
+
+def scatter_gather(
+    builder: DataflowBuilder,
+    source: str,
+    worker: Tuple[str, str, Optional[Dict]],
+    gather: Tuple[str, str, Optional[Dict]],
+    element_type: str = "string",
+) -> str:
+    """Per-element worker followed by a whole-list gather; return the
+    gathered output port.
+
+    The worker declares an atomic input (depth mismatch 1 against a list
+    source → implicit scatter); the gatherer declares ``list(...)`` and
+    consumes the reassembled results whole — the provenance granularity
+    boundary is exactly where the paper's model says it must be.
+    """
+    worker_name, worker_op, worker_config = worker
+    gather_name, gather_op, gather_config = gather
+    builder.processor(
+        worker_name,
+        inputs=[("x", element_type)],
+        outputs=[("y", element_type)],
+        operation=worker_op,
+        config=worker_config,
+    )
+    builder.arc(source, f"{worker_name}:x")
+    builder.processor(
+        gather_name,
+        inputs=[("x", f"list({element_type})")],
+        outputs=[("y", element_type)],
+        operation=gather_op,
+        config=gather_config,
+    )
+    builder.arc(f"{worker_name}:y", f"{gather_name}:x")
+    return f"{gather_name}:y"
+
+
+def fan_out(
+    builder: DataflowBuilder,
+    source: str,
+    branches: Sequence[Tuple[str, str, Optional[Dict]]],
+    port_type: str = "string",
+) -> List[str]:
+    """Feed one source into several independent one-to-one branches.
+
+    Returns the branch output ports in order.  Each branch sees the same
+    value; downstream joins (e.g. a cross-product processor) combine them.
+    """
+    if not branches:
+        raise WorkflowError("fan_out needs at least one branch")
+    outputs = []
+    for name, operation, config in branches:
+        builder.processor(
+            name,
+            inputs=[("x", port_type)],
+            outputs=[("y", port_type)],
+            operation=operation,
+            config=config,
+        )
+        builder.arc(source, f"{name}:x")
+        outputs.append(f"{name}:y")
+    return outputs
+
+
+def join_cross(
+    builder: DataflowBuilder,
+    name: str,
+    sources: Sequence[str],
+    operation: str = "concat_all",
+    config: Optional[Dict] = None,
+    port_type: str = "string",
+) -> str:
+    """Join n branch outputs with an n-ary cross product; return its port.
+
+    Input ports are named ``b1..bn`` in source order, so the instance
+    index of the join concatenates one position per branch (Prop. 1).
+    """
+    if len(sources) < 2:
+        raise WorkflowError("join_cross needs at least two sources")
+    ports = [(f"b{i + 1}", port_type) for i in range(len(sources))]
+    builder.processor(
+        name,
+        inputs=ports,
+        outputs=[("y", port_type)],
+        operation=operation,
+        config=config,
+    )
+    for (port, _), source in zip(ports, sources):
+        builder.arc(source, f"{name}:{port}")
+    return f"{name}:y"

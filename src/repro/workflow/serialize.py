@@ -1,0 +1,116 @@
+"""JSON (de)serialization of dataflow specifications.
+
+Workflows are plain declarative structures, so a stable JSON form makes them
+portable between the CLI, stored experiment configurations, and tests.  The
+format is versioned; nested subflows serialize recursively.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.values.types import ValueType
+from repro.workflow.model import Dataflow, PortRef, PortSpec, Processor, WorkflowError
+
+FORMAT_VERSION = 1
+
+
+def dataflow_to_dict(flow: Dataflow) -> Dict[str, Any]:
+    """Encode a dataflow as JSON-ready plain data."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": flow.name,
+        "inputs": [_port_to_dict(p) for p in flow.inputs],
+        "outputs": [_port_to_dict(p) for p in flow.outputs],
+        "processors": [_processor_to_dict(p) for p in flow.processors],
+        "arcs": [
+            {"source": str(arc.source), "sink": str(arc.sink)}
+            for arc in flow.arcs
+        ],
+    }
+
+
+def dataflow_from_dict(data: Dict[str, Any]) -> Dataflow:
+    """Decode a dataflow from the :func:`dataflow_to_dict` form."""
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise WorkflowError(f"unsupported workflow format version {version!r}")
+    flow = Dataflow(
+        data["name"],
+        [_port_from_dict(p) for p in data.get("inputs", [])],
+        [_port_from_dict(p) for p in data.get("outputs", [])],
+    )
+    for entry in data.get("processors", []):
+        flow.add_processor(_processor_from_dict(entry))
+    for entry in data.get("arcs", []):
+        flow.add_arc(_parse_ref(entry["source"]), _parse_ref(entry["sink"]))
+    return flow
+
+
+def dumps(flow: Dataflow, indent: int = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(dataflow_to_dict(flow), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Dataflow:
+    """Deserialize from a JSON string."""
+    return dataflow_from_dict(json.loads(text))
+
+
+def save(flow: Dataflow, path: str) -> None:
+    """Write a workflow definition file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(flow))
+
+
+def load(path: str) -> Dataflow:
+    """Read a workflow definition file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def _port_to_dict(port: PortSpec) -> Dict[str, Any]:
+    return {"name": port.name, "type": port.type.encode()}
+
+
+def _port_from_dict(data: Dict[str, Any]) -> PortSpec:
+    return PortSpec(data["name"], ValueType.decode(data["type"]))
+
+
+def _processor_to_dict(processor: Processor) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "name": processor.name,
+        "inputs": [_port_to_dict(p) for p in processor.inputs],
+        "outputs": [_port_to_dict(p) for p in processor.outputs],
+        "iteration": processor.iteration,
+    }
+    if processor.operation is not None:
+        entry["operation"] = processor.operation
+    if processor.config:
+        entry["config"] = processor.config
+    if processor.subflow is not None:
+        entry["subflow"] = dataflow_to_dict(processor.subflow)
+    return entry
+
+
+def _processor_from_dict(data: Dict[str, Any]) -> Processor:
+    subflow = None
+    if "subflow" in data:
+        subflow = dataflow_from_dict(data["subflow"])
+    return Processor(
+        data["name"],
+        [_port_from_dict(p) for p in data.get("inputs", [])],
+        [_port_from_dict(p) for p in data.get("outputs", [])],
+        operation=data.get("operation"),
+        subflow=subflow,
+        iteration=data.get("iteration", "cross"),
+        config=data.get("config"),
+    )
+
+
+def _parse_ref(text: str) -> PortRef:
+    node, sep, port = text.partition(":")
+    if not sep:
+        raise WorkflowError(f"malformed port reference {text!r}")
+    return PortRef(node, port)

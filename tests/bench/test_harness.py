@@ -1,0 +1,78 @@
+"""Tests for the benchmark harness (repro.bench.harness)."""
+
+import time
+
+from repro.bench.harness import (
+    Timer,
+    Timing,
+    best_of,
+    clear_store_cache,
+    prepare_store,
+)
+
+
+class TestTiming:
+    def test_best_and_median(self):
+        timing = Timing(samples=[0.3, 0.1, 0.2])
+        assert timing.best == 0.1
+        assert timing.median == 0.2
+        assert timing.best_ms == 100.0
+
+    def test_best_of_runs_requested_times(self):
+        calls = []
+        timing, result = best_of(lambda: calls.append(1) or len(calls), repeats=4)
+        assert len(calls) == 4
+        assert result == 4
+        assert len(timing.samples) == 4
+
+    def test_best_of_minimum_one_repeat(self):
+        timing, _ = best_of(lambda: None, repeats=0)
+        assert len(timing.samples) == 1
+
+    def test_timer_context(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.01
+        assert timer.ms >= 10.0
+
+
+class TestPrepareStore:
+    def test_store_contents(self):
+        prepared = prepare_store(3, 4, runs=2, cache=False)
+        try:
+            assert prepared.length == 3
+            assert prepared.list_size == 4
+            assert len(prepared.run_ids) == 2
+            assert prepared.record_count == prepared.store.record_count()
+            assert prepared.record_count > 0
+        finally:
+            prepared.close()
+
+    def test_cache_reuses_identical_configs(self):
+        first = prepare_store(2, 3, runs=1, cache=True)
+        second = prepare_store(2, 3, runs=1, cache=True)
+        assert first is second
+        clear_store_cache()
+
+    def test_cache_distinguishes_configs(self):
+        first = prepare_store(2, 3, runs=1, cache=True)
+        second = prepare_store(2, 4, runs=1, cache=True)
+        assert first is not second
+        clear_store_cache()
+
+    def test_no_cache_builds_fresh(self):
+        first = prepare_store(2, 3, runs=1, cache=False)
+        second = prepare_store(2, 3, runs=1, cache=False)
+        try:
+            assert first is not second
+        finally:
+            first.close()
+            second.close()
+
+    def test_file_backed_store(self, tmp_path):
+        path = str(tmp_path / "bench.db")
+        prepared = prepare_store(2, 2, runs=1, path=path)
+        try:
+            assert prepared.store.path == path
+        finally:
+            prepared.close()

@@ -1,0 +1,57 @@
+"""Tests for table rendering (repro.bench.reporting)."""
+
+from repro.bench.reporting import format_table, pivot, write_report
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table([{"l": 10, "ms": 1.5}, {"l": 150, "ms": 20.25}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["l", "ms"]
+        assert "--" in lines[1]
+        assert lines[2].startswith("10")
+        assert "20.250" in lines[3]
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="Fig. 9")
+        assert text.splitlines()[0] == "Fig. 9"
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2, "c": 3}], columns=["c", "a"])
+        assert text.splitlines()[0].split() == ["c", "a"]
+        assert "2" not in text.splitlines()[2]
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "1" in text and "2" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="T").startswith("T")
+
+    def test_floats_fixed_precision(self):
+        text = format_table([{"x": 0.12345}])
+        assert "0.123" in text and "0.1234" not in text
+
+
+class TestPivot:
+    def test_table1_layout(self):
+        rows = [
+            {"d": 10, "l": 10, "records": 626},
+            {"d": 10, "l": 28, "records": 1346},
+            {"d": 25, "l": 10, "records": 2306},
+        ]
+        pivoted = pivot(rows, index="d", column="l", value="records")
+        assert pivoted == [
+            {"d": 10, "10": 626, "28": 1346},
+            {"d": 25, "10": 2306},
+        ]
+
+
+class TestWriteReport:
+    def test_sections_concatenated(self, tmp_path):
+        path = str(tmp_path / "report.txt")
+        write_report(path, ["alpha", "beta"])
+        with open(path, encoding="utf-8") as handle:
+            content = handle.read()
+        assert "alpha\n\nbeta\n\n" == content

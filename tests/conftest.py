@@ -1,0 +1,274 @@
+"""Shared fixtures and random-workflow machinery for the test suite."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import pytest
+
+from repro.engine.executor import WorkflowRunner
+from repro.provenance.capture import CapturedRun, capture_run
+from repro.provenance.store import TraceStore
+from repro.values import nested
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.depths import propagate_depths
+from repro.workflow.model import Dataflow
+
+
+# ---------------------------------------------------------------------------
+# Canonical hand-built workflows
+# ---------------------------------------------------------------------------
+
+
+def build_diamond_workflow() -> Dataflow:
+    """GEN -> (A, B) -> F(cross product): the shape used in most examples.
+
+    GEN emits a flat list; A and B iterate per element (mismatch 1); F
+    joins the two branches with a binary cross product, so the output is
+    a depth-2 list indexed ``[i, j]`` with lineage ``a[i]``, ``b[j]``.
+    """
+    return (
+        DataflowBuilder("wf")
+        .input("size", "integer")
+        .output("out", "list(list(string))")
+        .processor(
+            "GEN",
+            inputs=[("size", "integer")],
+            outputs=[("list", "list(string)")],
+            operation="list_generator",
+            config={"out": "list"},
+        )
+        .processor(
+            "A",
+            inputs=[("x", "string")],
+            outputs=[("y", "string")],
+            operation="tag",
+            config={"suffix": "-a"},
+        )
+        .processor(
+            "B",
+            inputs=[("x", "string")],
+            outputs=[("y", "string")],
+            operation="tag",
+            config={"suffix": "-b"},
+        )
+        .processor(
+            "F",
+            inputs=[("a", "string"), ("b", "string")],
+            outputs=[("y", "string")],
+            operation="concat_pair",
+        )
+        .arcs(
+            ("wf:size", "GEN:size"),
+            ("GEN:list", "A:x"),
+            ("GEN:list", "B:x"),
+            ("A:y", "F:a"),
+            ("B:y", "F:b"),
+            ("F:y", "wf:out"),
+        )
+        .build()
+    )
+
+
+def build_fig3_workflow() -> Dataflow:
+    """The paper's Fig. 3 abstract workflow.
+
+    ``Q`` iterates over a list ``v`` (mismatch 1); ``R`` maps an atomic
+    ``w`` to a whole list ``b`` (one-to-many, mismatch 0); ``P`` has three
+    inputs with mismatches (1, 0, 1): ``X1`` from Q's per-element output,
+    ``X2`` a whole list ``c``, ``X3`` iterating over R's output list.
+    """
+    return (
+        DataflowBuilder("fig3")
+        .input("v", "list(string)")
+        .input("w", "string")
+        .input("c", "list(string)")
+        .output("out", "list(list(string))")
+        .processor(
+            "Q",
+            inputs=[("X", "string")],
+            outputs=[("Y", "string")],
+            operation="tag",
+            config={"suffix": "-q", "out": "Y"},
+        )
+        .processor(
+            "R",
+            inputs=[("X", "string")],
+            outputs=[("Y", "list(string)")],
+            operation="synth_value",
+            config={"out": "Y", "out_depth": 1, "width": 3, "salt": "R"},
+        )
+        .processor(
+            "P",
+            inputs=[("X1", "string"), ("X2", "list(string)"), ("X3", "string")],
+            outputs=[("Y", "string")],
+            operation="synth_value",
+            config={"out": "Y", "out_depth": 0, "salt": "P"},
+        )
+        .arcs(
+            ("fig3:v", "Q:X"),
+            ("fig3:w", "R:X"),
+            ("Q:Y", "P:X1"),
+            ("fig3:c", "P:X2"),
+            ("R:Y", "P:X3"),
+            ("P:Y", "fig3:out"),
+        )
+        .build()
+    )
+
+
+@pytest.fixture
+def diamond_flow() -> Dataflow:
+    return build_diamond_workflow()
+
+
+@pytest.fixture
+def fig3_flow() -> Dataflow:
+    return build_fig3_workflow()
+
+
+@pytest.fixture
+def diamond_run(diamond_flow) -> CapturedRun:
+    return capture_run(diamond_flow, {"size": 3})
+
+
+@pytest.fixture
+def diamond_store(diamond_run) -> TraceStore:
+    store = TraceStore()
+    store.insert_trace(diamond_run.trace)
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def fig3_run(fig3_flow) -> CapturedRun:
+    inputs = {"v": ["v0", "v1", "v2"], "w": "w", "c": ["c0", "c1"]}
+    return capture_run(fig3_flow, inputs)
+
+
+# ---------------------------------------------------------------------------
+# Random workflow generation (shared by the property-based tests)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RandomWorkflowCase:
+    """A randomly generated but executable workflow with its inputs."""
+
+    flow: Dataflow
+    inputs: Dict[str, Any]
+    seed: int
+
+
+def _random_value(rng: random.Random, depth: int, width_max: int = 3) -> Any:
+    if depth == 0:
+        return f"v{rng.randrange(1000)}"
+    width = rng.randint(1, width_max)
+    return [_random_value(rng, depth - 1, width_max) for _ in range(width)]
+
+
+def make_random_workflow(
+    seed: int,
+    max_processors: int = 5,
+    max_inputs_per_processor: int = 2,
+    max_port_depth: int = 1,
+    max_input_depth: int = 2,
+) -> RandomWorkflowCase:
+    """Build a random acyclic workflow over ``synth_value`` processors.
+
+    Every processor output is wired either onward or to a workflow output
+    so the whole graph is exercised; unconnected processor inputs get
+    declared-depth defaults via config.  The construction keeps depths
+    small enough that the instance count stays manageable, which the
+    property tests additionally enforce with ``assume``.
+    """
+    rng = random.Random(seed)
+    builder = DataflowBuilder(f"rand{seed}")
+    workflow_inputs: List[Tuple[str, int]] = []
+    for i in range(rng.randint(1, 2)):
+        depth = rng.randint(0, max_input_depth)
+        builder.input(f"in{i}", _type_text(depth))
+        workflow_inputs.append((f"in{i}", depth))
+
+    #: (source ref text, producer name or None for workflow inputs)
+    available_sources: List[Tuple[str, int]] = [
+        (f"rand{seed}:{name}", depth) for name, depth in workflow_inputs
+    ]
+    processor_count = rng.randint(1, max_processors)
+    for p in range(processor_count):
+        name = f"P{p}"
+        n_inputs = rng.randint(1, max_inputs_per_processor)
+        input_decls = []
+        wirings = []
+        defaults: Dict[str, Any] = {}
+        # Occasionally build a dot (zip) processor: all inputs wired from
+        # one source at dd 0, so the lockstep shapes are guaranteed equal.
+        use_dot = (
+            n_inputs >= 2 and available_sources and rng.random() < 0.25
+        )
+        if use_dot:
+            source, _ = rng.choice(available_sources)
+            for i in range(n_inputs):
+                port = f"x{i}"
+                input_decls.append((port, _type_text(0)))
+                wirings.append((source, f"{name}:{port}"))
+        else:
+            for i in range(n_inputs):
+                port = f"x{i}"
+                dd = rng.randint(0, max_port_depth)
+                input_decls.append((port, _type_text(dd)))
+                if available_sources and rng.random() < 0.85:
+                    source, _ = rng.choice(available_sources)
+                    wirings.append((source, f"{name}:{port}"))
+                else:
+                    defaults[port] = _random_value(rng, dd)
+        out_depth = rng.randint(0, max_port_depth)
+        iteration = "dot" if use_dot else "cross"
+        builder.processor(
+            name,
+            inputs=input_decls,
+            outputs=[("y", _type_text(out_depth))],
+            operation="synth_value",
+            iteration=iteration,
+            config={
+                "out": "y",
+                "out_depth": out_depth,
+                "width": rng.randint(1, 2),
+                "salt": name,
+                "defaults": defaults,
+            },
+        )
+        for source, sink in wirings:
+            builder.arc(source, sink)
+        available_sources.append((f"{name}:y", out_depth))
+
+    # Expose the last processor's output (workflows need at least one sink).
+    builder.output("out", "string")
+    builder.arc(f"P{processor_count - 1}:y", f"rand{seed}:out")
+    flow = builder.build()
+    inputs = {
+        name: _random_value(rng, depth) for name, depth in workflow_inputs
+    }
+    return RandomWorkflowCase(flow=flow, inputs=inputs, seed=seed)
+
+
+def _type_text(depth: int) -> str:
+    text = "string"
+    for _ in range(depth):
+        text = f"list({text})"
+    return text
+
+
+def estimated_instances(case: RandomWorkflowCase) -> int:
+    """Upper bound on total processor instances for one run (width <= 3)."""
+    analysis = propagate_depths(case.flow)
+    total = 0
+    for processor in case.flow.processors:
+        total += 3 ** analysis.iteration_level(processor.name)
+    return total
+
+
+def run_random_case(case: RandomWorkflowCase) -> CapturedRun:
+    return capture_run(case.flow, case.inputs, runner=WorkflowRunner())

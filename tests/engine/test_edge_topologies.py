@@ -1,0 +1,148 @@
+"""Edge-case workflow topologies: pure sources, dangling outputs,
+zero-input processors, disconnected stages."""
+
+import pytest
+
+from repro.engine.executor import ExecutionError, run_workflow
+from repro.engine.iteration import PortValue, evaluate
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.values.index import Index
+from repro.workflow.builder import DataflowBuilder
+
+
+class TestZeroInputProcessors:
+    def test_evaluate_with_no_ports(self):
+        result = evaluate(lambda args: {"y": 42}, [], ["y"])
+        assert result.outputs == {"y": 42}
+        assert result.level == 0
+        assert result.instances[0].q == Index()
+        assert result.instances[0].fragments == ()
+
+    def test_constant_source_workflow(self):
+        flow = (
+            DataflowBuilder("wf")
+            .output("out", "list(string)")
+            .processor("SRC", outputs=[("y", "list(string)")],
+                       operation="constant",
+                       config={"value": ["fixed-a", "fixed-b"]})
+            .arc("SRC:y", "wf:out")
+            .build()
+        )
+        result = run_workflow(flow, {})
+        assert result.outputs["out"] == ["fixed-a", "fixed-b"]
+
+    def test_lineage_of_constant_source_is_empty(self):
+        flow = (
+            DataflowBuilder("wf")
+            .output("out", "string")
+            .processor("SRC", outputs=[("y", "string")],
+                       operation="constant", config={"value": "k"})
+            .arc("SRC:y", "wf:out")
+            .build()
+        )
+        captured = capture_run(flow, {})
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            query = LineageQuery.create("wf", "out", (), ["SRC"])
+            naive = NaiveEngine(store).lineage(captured.run_id, query)
+            indexproj = IndexProjEngine(store, flow).lineage(
+                captured.run_id, query
+            )
+            # SRC has no inputs: lineage is empty under both strategies.
+            assert naive.bindings == []
+            assert indexproj.bindings == []
+
+
+class TestDanglingPorts:
+    def test_unconnected_workflow_output_is_omitted(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "string")
+            .output("used", "string")
+            .output("dangling", "string")
+            .processor("P", inputs=[("x", "string")],
+                       outputs=[("y", "string")], operation="identity")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "wf:used")
+            .build()
+        )
+        result = run_workflow(flow, {"a": "v"})
+        assert result.outputs == {"used": "v"}
+        with pytest.raises(ExecutionError):
+            result.output("dangling")
+
+    def test_unconsumed_processor_output_still_traced(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "string")
+            .output("out", "string")
+            .processor("P", inputs=[("x", "string")],
+                       outputs=[("y", "string"), ("extra", "string")],
+                       operation="synth_two")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        from repro.engine.processors import default_registry
+
+        registry = default_registry().extended()
+        registry.register(
+            "synth_two",
+            lambda inputs, config: {"y": inputs["x"], "extra": "side"},
+        )
+        captured = capture_run(flow, {"a": "v"}, registry=registry)
+        event = captured.trace.instances_of("P")[0]
+        assert {b.port for b in event.outputs} == {"y", "extra"}
+
+    def test_missing_workflow_input_leaves_branch_unfired(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "string")
+            .output("out", "string")
+            .processor("P", inputs=[("x", "string")],
+                       outputs=[("y", "string")], operation="identity")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        with pytest.raises(ExecutionError, match="not fireable"):
+            run_workflow(flow, {})
+
+
+class TestDisconnectedStages:
+    def test_two_independent_pipelines_in_one_workflow(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "string")
+            .input("b", "string")
+            .output("out_a", "string")
+            .output("out_b", "string")
+            .processor("PA", inputs=[("x", "string")],
+                       outputs=[("y", "string")], operation="tag",
+                       config={"suffix": "-A"})
+            .processor("PB", inputs=[("x", "string")],
+                       outputs=[("y", "string")], operation="tag",
+                       config={"suffix": "-B"})
+            .arcs(("wf:a", "PA:x"), ("wf:b", "PB:x"),
+                  ("PA:y", "wf:out_a"), ("PB:y", "wf:out_b"))
+            .build()
+        )
+        captured = capture_run(flow, {"a": "1", "b": "2"})
+        assert captured.outputs == {"out_a": "1-A", "out_b": "2-B"}
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            # Lineage stays inside its own pipeline.
+            result = NaiveEngine(store).lineage(
+                captured.run_id,
+                LineageQuery.create("wf", "out_a", (), ["PA", "PB"]),
+            )
+            assert [b.key() for b in result.bindings] == [("PA", "x", "")]
+
+    def test_empty_workflow_runs(self):
+        flow = DataflowBuilder("wf").build()
+        result = run_workflow(flow, {})
+        assert result.outputs == {}

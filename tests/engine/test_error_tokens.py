@@ -1,0 +1,167 @@
+"""Tests for Taverna-style error-token propagation."""
+
+import pytest
+
+from repro.engine.errors import ErrorToken, contains_error, count_errors, is_error
+from repro.engine.executor import WorkflowRunner
+from repro.engine.processors import default_registry
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.impact import ImpactQuery, IndexProjImpactEngine
+from repro.query.naive import NaiveEngine
+from repro.workflow.builder import DataflowBuilder
+
+
+def flaky_registry(bad_element: str):
+    registry = default_registry().extended()
+
+    def fragile(inputs, config):
+        if inputs["x"] == bad_element:
+            raise RuntimeError(f"service exploded on {inputs['x']!r}")
+        return {"y": inputs["x"] + "-ok"}
+
+    registry.register("fragile", fragile)
+    return registry
+
+
+def pipeline_flow():
+    return (
+        DataflowBuilder("wf")
+        .input("items", "list(string)")
+        .output("out", "list(string)")
+        .processor("risky", inputs=[("x", "string")],
+                   outputs=[("y", "string")], operation="fragile")
+        .processor("post", inputs=[("x", "string")],
+                   outputs=[("y", "string")], operation="tag",
+                   config={"suffix": "!"})
+        .arc("wf:items", "risky:x")
+        .arc("risky:y", "post:x")
+        .arc("post:y", "wf:out")
+        .build()
+    )
+
+
+class TestErrorTokenBasics:
+    def test_predicates(self):
+        token = ErrorToken("boom", "P")
+        assert is_error(token)
+        assert not is_error("boom")
+        assert contains_error(["a", [token]])
+        assert not contains_error(["a", ["b"]])
+        assert count_errors([token, ["x", token]]) == 2
+
+    def test_equality(self):
+        assert ErrorToken("m", "P") == ErrorToken("m", "P")
+        assert ErrorToken("m", "P") != ErrorToken("m", "Q")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            WorkflowRunner(error_handling="ignore")
+
+
+class TestPropagation:
+    def test_default_mode_raises(self):
+        runner = WorkflowRunner(flaky_registry("b"))
+        with pytest.raises(RuntimeError, match="exploded"):
+            runner.run(pipeline_flow(), {"items": ["a", "b", "c"]})
+
+    def test_token_mode_isolates_the_failure(self):
+        runner = WorkflowRunner(
+            flaky_registry("b"), error_handling="token"
+        )
+        result = runner.run(pipeline_flow(), {"items": ["a", "b", "c"]})
+        out = result.outputs["out"]
+        assert out[0] == "a-ok!"
+        assert out[2] == "c-ok!"
+        assert is_error(out[1])
+
+    def test_downstream_short_circuits_without_invoking_op(self):
+        calls = []
+        registry = flaky_registry("b")
+        original_tag = registry.operation("tag")
+
+        def counting_tag(inputs, config):
+            calls.append(inputs["x"])
+            return original_tag(inputs, config)
+
+        registry.register("tag", counting_tag)
+        runner = WorkflowRunner(registry, error_handling="token")
+        runner.run(pipeline_flow(), {"items": ["a", "b", "c"]})
+        assert calls == ["a-ok", "c-ok"]  # never called on the token
+
+    def test_token_records_origin(self):
+        runner = WorkflowRunner(flaky_registry("b"), error_handling="token")
+        result = runner.run(pipeline_flow(), {"items": ["a", "b"]})
+        token = result.outputs["out"][1]
+        assert token.processor == "post"  # re-tokenized at each hop
+        # The origin is visible on the intermediate port.
+        from repro.workflow.model import PortRef
+
+        origin = result.port_values[PortRef("risky", "y")][1]
+        assert origin.processor == "risky"
+        assert "exploded" in origin.message
+
+    def test_error_through_cross_product_poisons_row(self):
+        registry = flaky_registry("item-1")
+        flow = (
+            DataflowBuilder("wf")
+            .input("size", "integer")
+            .output("out", "list(list(string))")
+            .processor("GEN", inputs=[("size", "integer")],
+                       outputs=[("list", "list(string)")],
+                       operation="list_generator", config={"out": "list"})
+            .processor("risky", inputs=[("x", "string")],
+                       outputs=[("y", "string")], operation="fragile")
+            .processor("F", inputs=[("a", "string"), ("b", "string")],
+                       outputs=[("y", "string")], operation="concat_pair")
+            .arcs(("wf:size", "GEN:size"), ("GEN:list", "risky:x"),
+                  ("GEN:list", "F:b"), ("risky:y", "F:a"),
+                  ("F:y", "wf:out"))
+            .build()
+        )
+        runner = WorkflowRunner(registry, error_handling="token")
+        result = runner.run(flow, {"size": 3})
+        out = result.outputs["out"]
+        assert all(is_error(cell) for cell in out[1])      # poisoned row
+        assert not any(is_error(cell) for cell in out[0])  # clean rows
+        assert not any(is_error(cell) for cell in out[2])
+
+
+class TestErrorProvenance:
+    def setup_method(self):
+        self.flow = pipeline_flow()
+        runner = WorkflowRunner(flaky_registry("b"), error_handling="token")
+        self.captured = capture_run(
+            self.flow, {"items": ["a", "b", "c"]}, runner=runner
+        )
+        self.store = TraceStore()
+        self.store.insert_trace(self.captured.trace)
+
+    def teardown_method(self):
+        self.store.close()
+
+    def test_lineage_of_errored_output_finds_culprit(self):
+        result = NaiveEngine(self.store).lineage(
+            self.captured.run_id,
+            LineageQuery.create("wf", "out", [1], ["risky"]),
+        )
+        assert [b.key() for b in result.bindings] == [("risky", "x", "1")]
+        assert result.bindings[0].value == "b"
+
+    def test_impact_of_bad_input_enumerates_contamination(self):
+        result = IndexProjImpactEngine(self.store, self.flow).impact(
+            self.captured.run_id,
+            ImpactQuery.create("wf", "items", [1], ["post"]),
+        )
+        assert [b.key() for b in result.bindings] == [("post", "y", "1")]
+        assert "ErrorToken" in str(result.bindings[0].value)
+
+    def test_trace_records_token_payloads(self):
+        events = self.captured.trace.instances_of("risky")
+        assert len(events) == 3
+        token_events = [
+            e for e in events if is_error(e.outputs[0].value)
+        ]
+        assert len(token_events) == 1
+        assert token_events[0].inputs[0].value == "b"

@@ -1,0 +1,60 @@
+"""Tests for provenance event types (repro.engine.events)."""
+
+import pytest
+
+from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.values.index import Index
+from repro.workflow.model import PortRef
+
+
+class TestBinding:
+    def test_identity_ignores_value(self):
+        left = Binding(PortRef("P", "X"), Index(1), value="a")
+        right = Binding(PortRef("P", "X"), Index(1), value="b")
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_identity_includes_index(self):
+        left = Binding(PortRef("P", "X"), Index(1))
+        right = Binding(PortRef("P", "X"), Index(2))
+        assert left != right
+
+    def test_key_triple(self):
+        binding = Binding(PortRef("P", "X"), Index(1, 2), value="v")
+        assert binding.key() == ("P", "X", "1.2")
+
+    def test_accessors(self):
+        binding = Binding(PortRef("P", "X"), Index())
+        assert binding.node == "P"
+        assert binding.port == "X"
+
+    def test_str(self):
+        assert str(Binding(PortRef("P", "X"), Index(0, 1))) == "<P:X[0.1]>"
+
+
+class TestXformEvent:
+    def test_valid_event(self):
+        event = XformEvent(
+            "P",
+            inputs=(Binding(PortRef("P", "X"), Index(0)),),
+            outputs=(Binding(PortRef("P", "Y"), Index(0)),),
+        )
+        assert event.processor == "P"
+        assert "<P:X[0]> -> <P:Y[0]>" == str(event)
+
+    def test_foreign_binding_rejected(self):
+        with pytest.raises(ValueError, match="does not belong"):
+            XformEvent(
+                "P",
+                inputs=(Binding(PortRef("Q", "X"), Index()),),
+                outputs=(),
+            )
+
+
+class TestXferEvent:
+    def test_str(self):
+        event = XferEvent(
+            Binding(PortRef("P", "Y"), Index(1)),
+            Binding(PortRef("Q", "X"), Index(1)),
+        )
+        assert str(event) == "<P:Y[1]> -> <Q:X[1]>"

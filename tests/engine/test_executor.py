@@ -1,0 +1,172 @@
+"""Tests for the data-driven executor (repro.engine.executor)."""
+
+import pytest
+
+from repro.engine.events import XferEvent, XformEvent
+from repro.engine.executor import ExecutionError, WorkflowRunner, run_workflow
+from repro.provenance.trace import TraceBuilder
+from repro.values.index import Index
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.model import PortRef
+
+from tests.conftest import build_diamond_workflow, build_fig3_workflow
+
+
+class TestBasicExecution:
+    def test_diamond_outputs(self):
+        result = run_workflow(build_diamond_workflow(), {"size": 2})
+        assert result.outputs["out"] == [
+            ["item-0-a+item-0-b", "item-0-a+item-1-b"],
+            ["item-1-a+item-0-b", "item-1-a+item-1-b"],
+        ]
+
+    def test_port_values_recorded(self):
+        result = run_workflow(build_diamond_workflow(), {"size": 2})
+        assert result.port_values[PortRef("GEN", "list")] == ["item-0", "item-1"]
+        assert result.port_values[PortRef("A", "y")] == ["item-0-a", "item-1-a"]
+
+    def test_output_accessor(self):
+        result = run_workflow(build_diamond_workflow(), {"size": 1})
+        assert result.output("out") == [["item-0-a+item-0-b"]]
+        with pytest.raises(ExecutionError):
+            result.output("missing")
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown workflow input"):
+            run_workflow(build_diamond_workflow(), {"nope": 1})
+
+    def test_strict_depth_check(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("v", "list(string)")
+            .output("w", "list(string)")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("wf:v", "P:x")
+            .arc("P:y", "wf:w")
+            .build()
+        )
+        with pytest.raises(ExecutionError, match="depth"):
+            run_workflow(flow, {"v": "atom"})
+
+    def test_strict_check_can_be_disabled(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("v", "list(string)")
+            .output("w", "list(string)")
+            .processor("P", inputs=[("x", "list(string)")],
+                       outputs=[("y", "list(string)")], operation="identity")
+            .arc("wf:v", "P:x")
+            .arc("P:y", "wf:w")
+            .build()
+        )
+        runner = WorkflowRunner()
+        result = runner.run(flow, {"v": ["a"]}, strict_inputs=False)
+        assert result.outputs["w"] == ["a"]
+
+    def test_default_values_for_unconnected_inputs(self):
+        flow = (
+            DataflowBuilder("wf")
+            .output("w", "string")
+            .processor(
+                "P",
+                inputs=[("x", "string")],
+                outputs=[("y", "string")],
+                operation="tag",
+                config={"suffix": "!", "defaults": {"x": "fallback"}},
+            )
+            .arc("P:y", "wf:w")
+            .build()
+        )
+        assert run_workflow(flow, {}).outputs["w"] == "fallback!"
+
+    def test_missing_operation_rejected(self):
+        flow = (
+            DataflowBuilder("wf")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")])
+            .build()
+        )
+        with pytest.raises(ExecutionError, match="no operation"):
+            run_workflow(flow, {})
+
+    def test_runner_caches_analysis(self):
+        runner = WorkflowRunner()
+        flow = build_diamond_workflow()
+        first = runner.analysis_for(flow)
+        second = runner.analysis_for(flow)
+        assert first is second
+
+
+class TestTraceEmission:
+    def capture(self, flow, inputs):
+        builder = TraceBuilder("t", flow.name)
+        run_workflow(flow, inputs, listener=builder)
+        return builder.trace
+
+    def test_xform_count_diamond(self):
+        trace = self.capture(build_diamond_workflow(), {"size": 2})
+        by_processor = {}
+        for event in trace.xforms:
+            by_processor.setdefault(event.processor, []).append(event)
+        assert len(by_processor["GEN"]) == 1
+        assert len(by_processor["A"]) == 2
+        assert len(by_processor["B"]) == 2
+        assert len(by_processor["F"]) == 4
+
+    def test_xform_instance_indices(self):
+        trace = self.capture(build_diamond_workflow(), {"size": 2})
+        f_events = trace.instances_of("F")
+        qs = sorted(e.outputs[0].index for e in f_events)
+        assert qs == [Index(0, 0), Index(0, 1), Index(1, 0), Index(1, 1)]
+
+    def test_xform_input_fragments(self):
+        trace = self.capture(build_diamond_workflow(), {"size": 2})
+        for event in trace.instances_of("F"):
+            fragments = {b.port: b.index for b in event.inputs}
+            assert fragments["a"] + fragments["b"] == event.outputs[0].index
+
+    def test_xfer_granularity_follows_consumer(self):
+        trace = self.capture(build_diamond_workflow(), {"size": 2})
+        into_a = [e for e in trace.xfers if e.sink.node == "A"]
+        # A iterates per element: one transfer per element.
+        assert sorted(e.sink.index for e in into_a) == [Index(0), Index(1)]
+        into_gen = [e for e in trace.xfers if e.sink.node == "GEN"]
+        # GEN consumes the size whole.
+        assert [e.sink.index for e in into_gen] == [Index()]
+
+    def test_workflow_output_transfer_recorded(self):
+        trace = self.capture(build_diamond_workflow(), {"size": 1})
+        to_out = [e for e in trace.xfers if e.sink.node == "wf"]
+        assert len(to_out) == 1
+        assert to_out[0].source == to_out[0].sink.__class__(
+            PortRef("F", "y"), Index(), value=to_out[0].source.value
+        ) or to_out[0].source.node == "F"
+
+    def test_xfer_identity_on_index(self):
+        trace = self.capture(build_diamond_workflow(), {"size": 3})
+        for event in trace.xfers:
+            assert event.source.index == event.sink.index
+
+    def test_fig3_trace_matches_paper(self):
+        """Events (1) and (2) plus the n*m P-instances of Section 2.3."""
+        flow = build_fig3_workflow()
+        builder = TraceBuilder("t", "fig3")
+        run_workflow(
+            flow,
+            {"v": ["v0", "v1", "v2"], "w": "w", "c": ["c0"]},
+            listener=builder,
+        )
+        trace = builder.trace
+        q_events = trace.instances_of("Q")
+        assert len(q_events) == 3  # one per element of v
+        r_events = trace.instances_of("R")
+        assert len(r_events) == 1  # whole-value, event (2)
+        assert r_events[0].inputs[0].index == Index()
+        p_events = trace.instances_of("P")
+        # R emits a width-3 list; |a| * |b| = 3 * 3.
+        assert len(p_events) == 9
+        for event in p_events:
+            by_port = {b.port: b.index for b in event.inputs}
+            assert len(by_port["X1"]) == 1
+            assert by_port["X2"] == Index()
+            assert len(by_port["X3"]) == 1

@@ -1,0 +1,318 @@
+"""Tests for the implicit iteration semantics (repro.engine.iteration).
+
+Includes the paper's worked examples: the single-input ``eval_2`` example
+from Section 3.2 and the three-input Fig. 3 cross product with mismatches
+(1, 0, 1).
+"""
+
+import pytest
+
+from repro.engine.iteration import (
+    IterationError,
+    PortValue,
+    cross_product,
+    evaluate,
+    nary_cross_product,
+)
+from repro.values.index import Index
+
+
+def record_args(instances):
+    return [(inst.q, inst.arguments) for inst in instances]
+
+
+class TestEvalSingleInput:
+    def test_paper_example_eval2(self):
+        """(eval_2 P [[a, b]]) = [[ "a isNice", "b isNice" ]] (Section 3.2)."""
+
+        def operation(args):
+            return {"y": f"{args['x']} isNice"}
+
+        result = evaluate(
+            operation, [PortValue("x", [["a", "b"]], 2)], ["y"]
+        )
+        assert result.outputs["y"] == [["a isNice", "b isNice"]]
+        assert result.level == 2
+        assert [inst.q for inst in result.instances] == [Index(0, 0), Index(0, 1)]
+
+    def test_no_iteration_when_delta_zero(self):
+        def operation(args):
+            return {"y": len(args["x"])}
+
+        result = evaluate(operation, [PortValue("x", ["a", "b"], 0)], ["y"])
+        assert result.outputs["y"] == 2
+        assert len(result.instances) == 1
+        assert result.instances[0].q == Index()
+        assert result.instances[0].fragment("x") == Index()
+
+    def test_single_level_iteration(self):
+        def operation(args):
+            return {"y": args["x"].upper()}
+
+        result = evaluate(operation, [PortValue("x", ["a", "b", "c"], 1)], ["y"])
+        assert result.outputs["y"] == ["A", "B", "C"]
+        assert [inst.fragment("x") for inst in result.instances] == [
+            Index(0), Index(1), Index(2),
+        ]
+
+    def test_ragged_nesting_preserved(self):
+        def operation(args):
+            return {"y": args["x"] + "!"}
+
+        result = evaluate(operation, [PortValue("x", [["a"], ["b", "c"]], 2)], ["y"])
+        assert result.outputs["y"] == [["a!"], ["b!", "c!"]]
+        assert [inst.q for inst in result.instances] == [
+            Index(0, 0), Index(1, 0), Index(1, 1),
+        ]
+
+    def test_negative_delta_wraps_singletons(self):
+        def operation(args):
+            return {"y": args["x"]}
+
+        result = evaluate(operation, [PortValue("x", "atom", -2)], ["y"])
+        assert result.outputs["y"] == [["atom"]]
+        assert len(result.instances) == 1
+        assert result.instances[0].fragment("x") == Index()
+
+    def test_empty_list_yields_no_instances(self):
+        def operation(args):  # pragma: no cover - never called
+            raise AssertionError("must not run")
+
+        result = evaluate(operation, [PortValue("x", [], 1)], ["y"])
+        assert result.outputs["y"] == []
+        assert result.instances == []
+
+    def test_atomic_value_with_positive_delta_rejected(self):
+        with pytest.raises(IterationError, match="atomic"):
+            evaluate(lambda args: {"y": 1}, [PortValue("x", "a", 1)], ["y"])
+
+    def test_missing_output_port_rejected(self):
+        with pytest.raises(IterationError, match="no value"):
+            evaluate(lambda args: {"z": 1}, [PortValue("x", "a", 0)], ["y"])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(IterationError, match="strategy"):
+            evaluate(lambda args: {"y": 1}, [PortValue("x", "a", 0)], ["y"],
+                     strategy="zip3")
+
+
+class TestEvalFig3:
+    """The paper's Fig. 3 trace: P with inputs (a, c, b), deltas (1, 0, 1)."""
+
+    def setup_method(self):
+        self.a = ["a1", "a2", "a3"]          # n = 3
+        self.c = ["c1", "c2"]                # consumed whole
+        self.b = ["b1", "b2"]                # m = 2
+
+        def operation(args):
+            return {"Y": f"{args['X1']}/{args['X3']}"}
+
+        self.result = evaluate(
+            operation,
+            [
+                PortValue("X1", self.a, 1),
+                PortValue("X2", self.c, 0),
+                PortValue("X3", self.b, 1),
+            ],
+            ["Y"],
+        )
+
+    def test_instance_count_is_n_times_m(self):
+        assert len(self.result.instances) == 6
+
+    def test_output_shape(self):
+        assert self.result.outputs["Y"] == [
+            ["a1/b1", "a1/b2"],
+            ["a2/b1", "a2/b2"],
+            ["a3/b1", "a3/b2"],
+        ]
+
+    def test_q_is_concatenation_of_fragments(self):
+        for inst in self.result.instances:
+            assert (
+                inst.fragment("X1") + inst.fragment("X2") + inst.fragment("X3")
+                == inst.q
+            )
+
+    def test_fragment_lengths_match_mismatches(self):
+        for inst in self.result.instances:
+            assert len(inst.fragment("X1")) == 1
+            assert len(inst.fragment("X2")) == 0
+            assert len(inst.fragment("X3")) == 1
+
+    def test_whole_value_bound_to_non_iterated_port(self):
+        for inst in self.result.instances:
+            assert inst.arguments["X2"] is self.c
+
+    def test_iteration_order_outer_first_port(self):
+        qs = [inst.q for inst in self.result.instances]
+        assert qs == [
+            Index(0, 0), Index(0, 1),
+            Index(1, 0), Index(1, 1),
+            Index(2, 0), Index(2, 1),
+        ]
+
+
+class TestEvalMultiDeepMismatch:
+    def test_two_levels_on_one_port(self):
+        def operation(args):
+            return {"y": f"{args['p']}:{args['q']}"}
+
+        value = [["a", "b"], ["c"]]
+        result = evaluate(
+            operation,
+            [PortValue("p", value, 2), PortValue("q", "k", 0)],
+            ["y"],
+        )
+        assert result.outputs["y"] == [["a:k", "b:k"], ["c:k"]]
+        # |p fragment| = 2, concatenated first.
+        for inst in result.instances:
+            assert len(inst.fragment("p")) == 2
+            assert inst.q == inst.fragment("p")
+
+    def test_mixed_depths_two_ports(self):
+        def operation(args):
+            return {"y": (args["p"], args["q"])}
+
+        result = evaluate(
+            operation,
+            [PortValue("p", [["a"]], 2), PortValue("q", ["u", "v"], 1)],
+            ["y"],
+        )
+        assert [inst.q for inst in result.instances] == [
+            Index(0, 0, 0), Index(0, 0, 1),
+        ]
+        first = result.instances[0]
+        assert first.fragment("p") == Index(0, 0)
+        assert first.fragment("q") == Index(0)
+
+
+class TestDotCombinator:
+    def test_lockstep_iteration(self):
+        def operation(args):
+            return {"y": f"{args['p']}{args['q']}"}
+
+        result = evaluate(
+            operation,
+            [PortValue("p", ["a", "b"], 1), PortValue("q", ["1", "2"], 1)],
+            ["y"],
+            strategy="dot",
+        )
+        assert result.outputs["y"] == ["a1", "b2"]
+        assert result.level == 1
+
+    def test_fragments_shared(self):
+        def operation(args):
+            return {"y": 0}
+
+        result = evaluate(
+            operation,
+            [PortValue("p", ["a", "b"], 1), PortValue("q", ["1", "2"], 1)],
+            ["y"],
+            strategy="dot",
+        )
+        for inst in result.instances:
+            assert inst.fragment("p") == inst.q
+            assert inst.fragment("q") == inst.q
+
+    def test_non_iterated_port_keeps_empty_fragment(self):
+        def operation(args):
+            return {"y": 0}
+
+        result = evaluate(
+            operation,
+            [PortValue("p", ["a", "b"], 1), PortValue("k", "c", 0)],
+            ["y"],
+            strategy="dot",
+        )
+        for inst in result.instances:
+            assert inst.fragment("k") == Index()
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(IterationError, match="equal list lengths"):
+            evaluate(
+                lambda args: {"y": 0},
+                [PortValue("p", ["a"], 1), PortValue("q", ["1", "2"], 1)],
+                ["y"],
+                strategy="dot",
+            )
+
+    def test_unequal_mismatches_rejected(self):
+        with pytest.raises(IterationError, match="equal positive mismatches"):
+            evaluate(
+                lambda args: {"y": 0},
+                [PortValue("p", [["a"]], 2), PortValue("q", ["1"], 1)],
+                ["y"],
+                strategy="dot",
+            )
+
+    def test_atomic_under_iteration_rejected(self):
+        with pytest.raises(IterationError, match="atomic"):
+            evaluate(
+                lambda args: {"y": 0},
+                [PortValue("p", "a", 1)],
+                ["y"],
+                strategy="dot",
+            )
+
+    def test_deep_dot(self):
+        def operation(args):
+            return {"y": args["p"] + args["q"]}
+
+        result = evaluate(
+            operation,
+            [
+                PortValue("p", [["a", "b"], ["c"]], 2),
+                PortValue("q", [["x", "y"], ["z"]], 2),
+            ],
+            ["y"],
+            strategy="dot",
+        )
+        assert result.outputs["y"] == [["ax", "by"], ["cz"]]
+
+
+class TestCrossProductDef2:
+    """Direct transcriptions of Def. 2."""
+
+    def test_both_iterated(self):
+        assert cross_product((["a", "b"], 1), (["x", "y"], 1)) == [
+            [("a", "x"), ("a", "y")],
+            [("b", "x"), ("b", "y")],
+        ]
+
+    def test_left_only(self):
+        assert cross_product((["a", "b"], 1), ("w", 0)) == [("a", "w"), ("b", "w")]
+
+    def test_right_only(self):
+        assert cross_product(("v", 0), (["x"], 1)) == [("v", "x")]
+
+    def test_neither(self):
+        assert cross_product(("v", 0), ("w", 0)) == ("v", "w")
+
+    def test_nary_matches_paper_worked_example(self):
+        a, c, b = ["a1", "a2"], "c", ["b1", "b2", "b3"]
+        product = nary_cross_product([(a, 1), (c, 0), (b, 1)])
+        assert product == [
+            [("a1", "c", "b1"), ("a1", "c", "b2"), ("a1", "c", "b3")],
+            [("a2", "c", "b1"), ("a2", "c", "b2"), ("a2", "c", "b3")],
+        ]
+
+    def test_nary_no_iteration(self):
+        assert nary_cross_product([("v", 0), ("w", 0)]) == ("v", "w")
+
+    def test_nary_empty(self):
+        assert nary_cross_product([]) == ()
+
+    def test_nary_agrees_with_evaluate_leaf_order(self):
+        """The leaves of the n-ary product enumerate in the same order as
+        evaluate()'s instances — both realize Def. 3."""
+        a, b = ["a1", "a2"], ["b1", "b2"]
+        product = nary_cross_product([(a, 1), (b, 1)])
+        flat_product = [leaf for row in product for leaf in row]
+
+        result = evaluate(
+            lambda args: {"y": (args["p"], args["q"])},
+            [PortValue("p", a, 1), PortValue("q", b, 1)],
+            ["y"],
+        )
+        assert [inst.outputs["y"] for inst in result.instances] == flat_product

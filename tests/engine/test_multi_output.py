@@ -1,0 +1,108 @@
+"""Integration tests for processors with multiple output ports.
+
+Every instance of a multi-output processor produces one binding per
+output port, all sharing the same instance index q (Prop. 1 speaks of
+"a binding for Y" per instance; with several outputs each gets the same
+index).  Lineage queries from either output must reach the same inputs.
+"""
+
+import pytest
+
+from repro.engine.processors import default_registry
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.values.index import Index
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.depths import propagate_depths
+from repro.workflow.model import PortRef
+
+
+def op_split_name(inputs, config):
+    """One input, two outputs: first/last fragment of a name."""
+    first, _, last = str(inputs["name"]).partition("-")
+    return {"first": first, "last": last}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    registry = default_registry().extended()
+    registry.register("split_name", op_split_name)
+    flow = (
+        DataflowBuilder("wf")
+        .input("names", "list(string)")
+        .output("firsts", "list(string)")
+        .output("lasts_upper", "list(string)")
+        .processor(
+            "split",
+            inputs=[("name", "string")],
+            outputs=[("first", "string"), ("last", "string")],
+            operation="split_name",
+        )
+        .processor(
+            "upper",
+            inputs=[("x", "string")],
+            outputs=[("y", "string")],
+            operation="uppercase",
+        )
+        .arcs(
+            ("wf:names", "split:name"),
+            ("split:first", "wf:firsts"),
+            ("split:last", "upper:x"),
+            ("upper:y", "wf:lasts_upper"),
+        )
+        .build()
+    )
+    captured = capture_run(
+        flow, {"names": ["ada-lovelace", "alan-turing"]}, registry=registry
+    )
+    store = TraceStore()
+    store.insert_trace(captured.trace)
+    yield flow, captured, store
+    store.close()
+
+
+class TestExecution:
+    def test_both_outputs_produced(self, setup):
+        _, captured, _ = setup
+        assert captured.outputs["firsts"] == ["ada", "alan"]
+        assert captured.outputs["lasts_upper"] == ["LOVELACE", "TURING"]
+
+    def test_outputs_share_instance_index(self, setup):
+        _, captured, _ = setup
+        for event in captured.trace.instances_of("split"):
+            indices = {binding.index for binding in event.outputs}
+            assert len(indices) == 1
+            assert {binding.port for binding in event.outputs} == {
+                "first", "last",
+            }
+
+    def test_depths_propagate_to_both_outputs(self, setup):
+        flow, _, _ = setup
+        analysis = propagate_depths(flow)
+        assert analysis.depth_of(PortRef("split", "first")) == 1
+        assert analysis.depth_of(PortRef("split", "last")) == 1
+
+
+class TestLineage:
+    def test_query_from_each_output_port(self, setup):
+        flow, captured, store = setup
+        for port, index in (("firsts", Index(1)), ("lasts_upper", Index(1))):
+            query = LineageQuery.create("wf", port, index, ["split"])
+            naive = NaiveEngine(store).lineage(captured.run_id, query)
+            indexproj = IndexProjEngine(store, flow).lineage(
+                captured.run_id, query
+            )
+            assert naive.binding_keys() == indexproj.binding_keys()
+            assert [b.key() for b in naive.bindings] == [
+                ("split", "name", "1")
+            ], port
+            assert naive.bindings[0].value == "alan-turing"
+
+    def test_downstream_of_one_output_only(self, setup):
+        flow, captured, store = setup
+        query = LineageQuery.create("upper", "y", [0], ["split"])
+        result = IndexProjEngine(store, flow).lineage(captured.run_id, query)
+        assert [b.key() for b in result.bindings] == [("split", "name", "0")]

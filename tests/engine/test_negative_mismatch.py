@@ -1,0 +1,94 @@
+"""Integration tests for negative depth mismatches (singleton wrapping).
+
+When a value is *shallower* than the declared port depth, "no iteration
+occurs at all.  Instead, the mismatch is dealt with by nesting a value v
+within d_i new lists, creating a d_i-deep singleton" (Def. 2 commentary).
+These tests exercise that path through the full stack — engine, trace,
+and both query strategies.
+"""
+
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.values.index import Index
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.depths import propagate_depths
+from repro.workflow.model import PortRef
+
+
+def build_flow():
+    """An atomic workflow input feeding a list-typed counting port."""
+    return (
+        DataflowBuilder("wf")
+        .input("one", "string")
+        .output("n", "integer")
+        .processor(
+            "counter",
+            inputs=[("x", "list(string)")],   # declares depth 1 ...
+            outputs=[("y", "integer")],
+            operation="count",
+        )
+        .arc("wf:one", "counter:x")           # ... receives depth 0
+        .arc("counter:y", "wf:n")
+        .build()
+    )
+
+
+class TestNegativeMismatch:
+    def test_static_analysis(self):
+        analysis = propagate_depths(build_flow())
+        assert analysis.mismatch(PortRef("counter", "x")) == -1
+        assert analysis.iteration_level("counter") == 0
+        layout = analysis.fragment_layout("counter")
+        assert [(f.port, f.length) for f in layout] == [("x", 0)]
+
+    def test_execution_wraps_singleton(self):
+        captured = capture_run(build_flow(), {"one": "solo"})
+        # count sees ["solo"]: one leaf.
+        assert captured.outputs["n"] == 1
+
+    def test_trace_binds_whole_value(self):
+        captured = capture_run(build_flow(), {"one": "solo"})
+        events = captured.trace.instances_of("counter")
+        assert len(events) == 1
+        assert events[0].inputs[0].index == Index()
+        # The recorded argument is the wrapped value the instance consumed.
+        assert events[0].inputs[0].value == ["solo"]
+
+    def test_lineage_through_wrapped_port(self):
+        flow = build_flow()
+        captured = capture_run(flow, {"one": "solo"})
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            query = LineageQuery.create("wf", "n", (), ["counter"])
+            naive = NaiveEngine(store).lineage(captured.run_id, query)
+            indexproj = IndexProjEngine(store, flow).lineage(
+                captured.run_id, query
+            )
+            assert naive.binding_keys() == indexproj.binding_keys()
+            assert [b.key() for b in naive.bindings] == [("counter", "x", "")]
+
+    def test_deep_wrap(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("one", "string")
+            .output("n", "integer")
+            .processor(
+                "counter",
+                inputs=[("x", "list(list(string))")],
+                outputs=[("y", "integer")],
+                operation="count",
+            )
+            .arc("wf:one", "counter:x")
+            .arc("counter:y", "wf:n")
+            .build()
+        )
+        analysis = propagate_depths(flow)
+        assert analysis.mismatch(PortRef("counter", "x")) == -2
+        captured = capture_run(flow, {"one": "solo"})
+        assert captured.outputs["n"] == 1
+        assert captured.trace.instances_of("counter")[0].inputs[0].value == [
+            ["solo"]
+        ]

@@ -1,0 +1,77 @@
+"""Tests for run-time enforcement of assumption 1 (declared output depths)."""
+
+import pytest
+
+from repro.engine.executor import ExecutionError, WorkflowRunner
+from repro.engine.processors import default_registry
+from repro.workflow.builder import DataflowBuilder
+
+
+def flow_with_bad_operation(out_type="string"):
+    return (
+        DataflowBuilder("wf")
+        .input("v", "string")
+        .output("w", out_type)
+        .processor("P", inputs=[("x", "string")], outputs=[("y", out_type)],
+                   operation="liar")
+        .arc("wf:v", "P:x")
+        .arc("P:y", "wf:w")
+        .build()
+    )
+
+
+@pytest.fixture
+def lying_registry():
+    registry = default_registry().extended()
+    registry.register("liar", lambda inputs, config: {"y": ["not", "atomic"]})
+    return registry
+
+
+class TestOutputDepthEnforcement:
+    def test_violation_detected(self, lying_registry):
+        runner = WorkflowRunner(lying_registry)
+        with pytest.raises(ExecutionError, match="assumption 1"):
+            runner.run(flow_with_bad_operation(), {"v": "a"})
+
+    def test_error_names_processor_and_port(self, lying_registry):
+        runner = WorkflowRunner(lying_registry)
+        with pytest.raises(ExecutionError, match="'P'.*'y'"):
+            runner.run(flow_with_bad_operation(), {"v": "a"})
+
+    def test_check_can_be_disabled(self, lying_registry):
+        runner = WorkflowRunner(lying_registry, check_output_depths=False)
+        result = runner.run(flow_with_bad_operation(), {"v": "a"})
+        assert result.outputs["w"] == ["not", "atomic"]
+
+    def test_correct_depth_passes(self, lying_registry):
+        # The same op against a port that declares depth 1 is legitimate.
+        runner = WorkflowRunner(lying_registry)
+        result = runner.run(
+            flow_with_bad_operation(out_type="list(string)"), {"v": "a"}
+        )
+        assert result.outputs["w"] == ["not", "atomic"]
+
+    def test_checked_per_instance_under_iteration(self):
+        registry = default_registry().extended()
+        calls = []
+
+        def flaky(inputs, config):
+            calls.append(inputs["x"])
+            # Correct on the first element, wrong on the second.
+            return {"y": "ok" if inputs["x"] == "a" else ["bad"]}
+
+        registry.register("flaky", flaky)
+        flow = (
+            DataflowBuilder("wf")
+            .input("v", "list(string)")
+            .output("w", "list(string)")
+            .processor("P", inputs=[("x", "string")],
+                       outputs=[("y", "string")], operation="flaky")
+            .arc("wf:v", "P:x")
+            .arc("P:y", "wf:w")
+            .build()
+        )
+        runner = WorkflowRunner(registry)
+        with pytest.raises(ExecutionError, match="depth 1"):
+            runner.run(flow, {"v": ["a", "b"]})
+        assert calls == ["a", "b"]  # failed on the second instance

@@ -1,0 +1,158 @@
+"""Tests for the processor registry and built-in operations."""
+
+import pytest
+
+from repro.engine.processors import (
+    ProcessorRegistry,
+    UnknownOperationError,
+    default_registry,
+    op_synth_value,
+)
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        registry = ProcessorRegistry()
+        op = lambda inputs, config: {"y": 1}
+        registry.register("one", op)
+        assert registry.operation("one") is op
+        assert "one" in registry
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(UnknownOperationError):
+            ProcessorRegistry().operation("nope")
+        assert "nope" not in ProcessorRegistry()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorRegistry().register("", lambda i, c: {})
+
+    def test_child_falls_back_to_parent(self):
+        parent = ProcessorRegistry()
+        parent.register("shared", lambda i, c: {"y": "parent"})
+        child = parent.extended()
+        assert child.operation("shared")({}, {}) == {"y": "parent"}
+
+    def test_child_overrides_locally_without_touching_parent(self):
+        parent = ProcessorRegistry()
+        parent.register("op", lambda i, c: {"y": "parent"})
+        child = parent.extended()
+        child.register("op", lambda i, c: {"y": "child"})
+        assert child.operation("op")({}, {})["y"] == "child"
+        assert parent.operation("op")({}, {})["y"] == "parent"
+
+    def test_names_lists_local_only(self):
+        parent = ProcessorRegistry()
+        parent.register("p", lambda i, c: {})
+        child = parent.extended()
+        child.register("c", lambda i, c: {})
+        assert list(child.names()) == ["c"]
+
+    def test_default_registry_has_builtins(self):
+        registry = default_registry()
+        for name in (
+            "identity", "tag", "uppercase", "list_generator", "flatten",
+            "concat_pair", "merge_lists", "intersect_lists", "count",
+            "constant", "split_words", "synth_value",
+        ):
+            assert name in registry
+
+
+class TestBuiltins:
+    def setup_method(self):
+        self.registry = default_registry()
+
+    def run_op(self, name, inputs, config=None):
+        return self.registry.operation(name)(inputs, config or {})
+
+    def test_identity(self):
+        assert self.run_op("identity", {"x": "v"}) == {"y": "v"}
+
+    def test_identity_custom_out_port(self):
+        assert self.run_op("identity", {"x": "v"}, {"out": "z"}) == {"z": "v"}
+
+    def test_identity_requires_single_input(self):
+        with pytest.raises(ValueError):
+            self.run_op("identity", {"x": 1, "y": 2})
+
+    def test_tag(self):
+        assert self.run_op("tag", {"x": "v"}, {"suffix": "-t"}) == {"y": "v-t"}
+
+    def test_uppercase(self):
+        assert self.run_op("uppercase", {"x": "ab"}) == {"y": "AB"}
+
+    def test_list_generator_from_input(self):
+        out = self.run_op("list_generator", {"size": 3}, {"prefix": "g"})
+        assert out == {"list": ["g-0", "g-1", "g-2"]}
+
+    def test_list_generator_from_config(self):
+        out = self.run_op("list_generator", {}, {"size": 2})
+        assert out["list"] == ["item-0", "item-1"]
+
+    def test_list_generator_requires_size(self):
+        with pytest.raises(ValueError):
+            self.run_op("list_generator", {})
+
+    def test_flatten(self):
+        out = self.run_op("flatten", {"x": [["a"], ["b", "c"]]})
+        assert out == {"y": ["a", "b", "c"]}
+
+    def test_concat_pair(self):
+        out = self.run_op("concat_pair", {"a": "x", "b": "y"}, {"joiner": "~"})
+        assert out == {"y": "x~y"}
+
+    def test_merge_lists(self):
+        out = self.run_op("merge_lists", {"a": ["1"], "b": ["2", "3"]})
+        assert out == {"y": ["1", "2", "3"]}
+
+    def test_merge_lists_wraps_atoms(self):
+        assert self.run_op("merge_lists", {"a": "x"}) == {"y": ["x"]}
+
+    def test_intersect_lists(self):
+        out = self.run_op(
+            "intersect_lists", {"a": ["1", "2", "3"], "b": ["3", "2"]}
+        )
+        assert out == {"y": ["2", "3"]}
+
+    def test_intersect_no_inputs(self):
+        assert self.run_op("intersect_lists", {}) == {"y": []}
+
+    def test_count(self):
+        assert self.run_op("count", {"x": [["a", "b"], ["c"]]}) == {"y": 3}
+
+    def test_constant(self):
+        assert self.run_op("constant", {}, {"value": 7}) == {"y": 7}
+
+    def test_constant_requires_value(self):
+        with pytest.raises(ValueError):
+            self.run_op("constant", {})
+
+    def test_split_words(self):
+        assert self.run_op("split_words", {"x": "a b  c"}) == {"y": ["a", "b", "c"]}
+
+
+class TestSynthValue:
+    def test_depth_zero_is_string(self):
+        out = op_synth_value({"x": "a"}, {"out_depth": 0})
+        assert isinstance(out["y"], str)
+
+    def test_requested_depth_produced(self):
+        out = op_synth_value({"x": "a"}, {"out_depth": 2, "width": 2})
+        value = out["y"]
+        assert len(value) == 2 and len(value[0]) == 2
+        assert isinstance(value[0][0], str)
+
+    def test_deterministic(self):
+        first = op_synth_value({"x": "a"}, {"out_depth": 1})
+        second = op_synth_value({"x": "a"}, {"out_depth": 1})
+        assert first == second
+
+    def test_distinct_inputs_distinct_outputs(self):
+        first = op_synth_value({"x": "a"}, {"out_depth": 0})
+        second = op_synth_value({"x": "b"}, {"out_depth": 0})
+        assert first != second
+
+    def test_salt_differentiates_processors(self):
+        first = op_synth_value({"x": "a"}, {"out_depth": 0, "salt": "P"})
+        second = op_synth_value({"x": "a"}, {"out_depth": 0, "salt": "Q"})
+        assert first != second

@@ -1,0 +1,373 @@
+"""Tests for iteration strategy trees (repro.strategy)."""
+
+import pytest
+
+from repro.engine.iteration import IterationError, PortValue, evaluate
+from repro.strategy import (
+    Combinator,
+    PortLeaf,
+    StrategyError,
+    build_struct,
+    fragment_offsets,
+    iterate_struct,
+    node_level,
+    parse_strategy,
+    strategy_to_spec,
+)
+from repro.values.index import Index
+
+
+class TestParsing:
+    def test_sugar_cross(self):
+        node = parse_strategy("cross", ["a", "b"])
+        assert node == Combinator("cross", (PortLeaf("a"), PortLeaf("b")))
+
+    def test_sugar_dot(self):
+        node = parse_strategy("dot", ["a"])
+        assert node == Combinator("dot", (PortLeaf("a"),))
+
+    def test_expression(self):
+        node = parse_strategy(
+            {"cross": [{"dot": ["x1", "x2"]}, "x3"]}, ["x1", "x2", "x3"]
+        )
+        assert node == Combinator(
+            "cross",
+            (Combinator("dot", (PortLeaf("x1"), PortLeaf("x2"))), PortLeaf("x3")),
+        )
+
+    def test_roundtrip_via_spec(self):
+        spec = {"cross": [{"dot": ["x1", "x2"]}, "x3"]}
+        node = parse_strategy(spec, ["x1", "x2", "x3"])
+        assert strategy_to_spec(node) == spec
+
+    def test_unknown_sugar_rejected(self):
+        with pytest.raises(StrategyError, match="unknown iteration strategy"):
+            parse_strategy("zip", ["a"])
+
+    def test_unknown_combinator_rejected(self):
+        with pytest.raises(StrategyError, match="unknown combinator"):
+            parse_strategy({"join": ["a"]}, ["a"])
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(StrategyError, match="does not mention"):
+            parse_strategy({"cross": ["a"]}, ["a", "b"])
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(StrategyError, match="unknown port"):
+            parse_strategy({"cross": ["a", "zz"]}, ["a"])
+
+    def test_duplicate_port_rejected(self):
+        with pytest.raises(StrategyError, match="more than once"):
+            parse_strategy({"cross": ["a", "a"]}, ["a"])
+
+    def test_empty_combinator_rejected(self):
+        with pytest.raises(StrategyError, match="no children"):
+            parse_strategy({"cross": []}, [])
+
+    def test_multi_key_node_rejected(self):
+        with pytest.raises(StrategyError, match="exactly one key"):
+            parse_strategy({"cross": ["a"], "dot": ["b"]}, ["a", "b"])
+
+    def test_malformed_node_rejected(self):
+        with pytest.raises(StrategyError, match="malformed"):
+            parse_strategy({"cross": [42]}, ["a"])
+
+
+class TestLevels:
+    def test_cross_sums(self):
+        node = parse_strategy("cross", ["a", "b", "c"])
+        assert node_level(node, {"a": 1, "b": 0, "c": 2}) == 3
+
+    def test_dot_takes_max(self):
+        node = parse_strategy("dot", ["a", "b"])
+        assert node_level(node, {"a": 1, "b": 1}) == 1
+
+    def test_dot_broadcast_children_allowed(self):
+        node = parse_strategy("dot", ["a", "b"])
+        assert node_level(node, {"a": 2, "b": 0}) == 2
+
+    def test_dot_unequal_levels_rejected(self):
+        node = parse_strategy("dot", ["a", "b"])
+        with pytest.raises(StrategyError, match="equal positive mismatches"):
+            node_level(node, {"a": 2, "b": 1})
+
+    def test_nested_expression_level(self):
+        node = parse_strategy(
+            {"cross": [{"dot": ["x1", "x2"]}, "x3"]}, ["x1", "x2", "x3"]
+        )
+        assert node_level(node, {"x1": 1, "x2": 1, "x3": 1}) == 2
+
+    def test_dot_of_cross_groups(self):
+        node = parse_strategy(
+            {"dot": [{"cross": ["x1", "x2"]}, "x3"]}, ["x1", "x2", "x3"]
+        )
+        # cross(x1, x2) has level 2; x3 must match it.
+        assert node_level(node, {"x1": 1, "x2": 1, "x3": 2}) == 2
+
+
+class TestFragmentOffsets:
+    def test_flat_cross(self):
+        node = parse_strategy("cross", ["a", "b", "c"])
+        assert fragment_offsets(node, {"a": 1, "b": 0, "c": 2}) == {
+            "a": (0, 1), "b": (1, 0), "c": (1, 2),
+        }
+
+    def test_flat_dot_shares_offset(self):
+        node = parse_strategy("dot", ["a", "b"])
+        assert fragment_offsets(node, {"a": 2, "b": 2}) == {
+            "a": (0, 2), "b": (0, 2),
+        }
+
+    def test_cross_of_dot_group(self):
+        node = parse_strategy(
+            {"cross": [{"dot": ["x1", "x2"]}, "x3"]}, ["x1", "x2", "x3"]
+        )
+        assert fragment_offsets(node, {"x1": 1, "x2": 1, "x3": 1}) == {
+            "x1": (0, 1), "x2": (0, 1), "x3": (1, 1),
+        }
+
+    def test_dot_of_cross_group(self):
+        node = parse_strategy(
+            {"dot": [{"cross": ["x1", "x2"]}, "x3"]}, ["x1", "x2", "x3"]
+        )
+        assert fragment_offsets(node, {"x1": 1, "x2": 1, "x3": 2}) == {
+            "x1": (0, 1), "x2": (1, 1), "x3": (0, 2),
+        }
+
+
+class TestStructEvaluation:
+    def test_cross_struct_leaves(self):
+        node = parse_strategy("cross", ["a", "b"])
+        struct = build_struct(
+            node, {"a": (["a0", "a1"], 1), "b": (["b0"], 1)}
+        )
+        leaves = list(iterate_struct(struct))
+        assert [(str(q), leaf["a"][0], leaf["b"][0]) for q, leaf in leaves] == [
+            ("Index(0, 0)", "a0", "b0"),
+            ("Index(1, 0)", "a1", "b0"),
+        ]
+
+    def test_dot_struct_zips(self):
+        node = parse_strategy("dot", ["a", "b"])
+        struct = build_struct(
+            node, {"a": (["a0", "a1"], 1), "b": (["b0", "b1"], 1)}
+        )
+        leaves = list(iterate_struct(struct))
+        assert [(leaf["a"][0], leaf["b"][0]) for _, leaf in leaves] == [
+            ("a0", "b0"), ("a1", "b1"),
+        ]
+
+    def test_dot_length_mismatch_rejected(self):
+        node = parse_strategy("dot", ["a", "b"])
+        with pytest.raises(StrategyError, match="equal list lengths"):
+            build_struct(node, {"a": (["a0"], 1), "b": (["b0", "b1"], 1)})
+
+    def test_atomic_under_iteration_rejected(self):
+        node = parse_strategy("cross", ["a"])
+        with pytest.raises(StrategyError, match="atomic"):
+            build_struct(node, {"a": ("atom", 1)})
+
+
+class TestStructHelpers:
+    def test_map_struct_preserves_nesting(self):
+        from repro.strategy import map_struct
+
+        struct = [[{"a": 1}], [{"a": 2}, {"a": 3}]]
+        mapped = map_struct(struct, lambda leaf: leaf["a"] * 10)
+        assert mapped == [[10], [20, 30]]
+
+    def test_map_struct_on_bare_leaf(self):
+        from repro.strategy import map_struct
+
+        assert map_struct({"a": 5}, lambda leaf: leaf["a"]) == 5
+
+    def test_iterate_struct_orders_leaves(self):
+        from repro.strategy import iterate_struct
+
+        struct = [[{"k": "a"}], [{"k": "b"}, {"k": "c"}]]
+        pairs = list(iterate_struct(struct))
+        assert [(q.encode(), leaf["k"]) for q, leaf in pairs] == [
+            ("0.0", "a"), ("1.0", "b"), ("1.1", "c"),
+        ]
+
+
+class TestEvaluateWithExpressions:
+    def test_cross_of_dot(self):
+        """zip(x1, x2) crossed with x3: output[i][j] = (x1[i], x2[i], x3[j])."""
+        result = evaluate(
+            lambda args: {"y": f"{args['x1']}{args['x2']}{args['x3']}"},
+            [
+                PortValue("x1", ["a", "b"], 1),
+                PortValue("x2", ["1", "2"], 1),
+                PortValue("x3", ["X", "Y", "Z"], 1),
+            ],
+            ["y"],
+            strategy={"cross": [{"dot": ["x1", "x2"]}, "x3"]},
+        )
+        assert result.level == 2
+        assert result.outputs["y"] == [
+            ["a1X", "a1Y", "a1Z"],
+            ["b2X", "b2Y", "b2Z"],
+        ]
+
+    def test_cross_of_dot_fragments_are_contiguous_slices(self):
+        result = evaluate(
+            lambda args: {"y": 0},
+            [
+                PortValue("x1", ["a", "b"], 1),
+                PortValue("x2", ["1", "2"], 1),
+                PortValue("x3", ["X", "Y"], 1),
+            ],
+            ["y"],
+            strategy={"cross": [{"dot": ["x1", "x2"]}, "x3"]},
+        )
+        for inst in result.instances:
+            assert inst.fragment("x1") == inst.q.head(1)
+            assert inst.fragment("x2") == inst.q.head(1)
+            assert inst.fragment("x3") == inst.q.tail_from(1)
+
+    def test_dot_of_cross(self):
+        """cross(x1, x2) zipped with a depth-2 x3."""
+        result = evaluate(
+            lambda args: {"y": f"{args['x1']}{args['x2']}{args['x3']}"},
+            [
+                PortValue("x1", ["a", "b"], 1),
+                PortValue("x2", ["1", "2", "3"], 1),
+                PortValue("x3", [["p", "q", "r"], ["s", "t", "u"]], 2),
+            ],
+            ["y"],
+            strategy={"dot": [{"cross": ["x1", "x2"]}, "x3"]},
+        )
+        assert result.level == 2
+        assert result.outputs["y"] == [
+            ["a1p", "a2q", "a3r"],
+            ["b1s", "b2t", "b3u"],
+        ]
+
+    def test_dot_of_cross_shape_mismatch_rejected(self):
+        with pytest.raises(IterationError):
+            evaluate(
+                lambda args: {"y": 0},
+                [
+                    PortValue("x1", ["a", "b"], 1),
+                    PortValue("x2", ["1"], 1),
+                    PortValue("x3", [["p", "q"], ["r", "s"]], 2),
+                ],
+                ["y"],
+                strategy={"dot": [{"cross": ["x1", "x2"]}, "x3"]},
+            )
+
+    def test_expression_with_non_iterated_port(self):
+        result = evaluate(
+            lambda args: {"y": f"{args['x1']}{args['k']}"},
+            [PortValue("x1", ["a", "b"], 1), PortValue("k", "!", 0)],
+            ["y"],
+            strategy={"cross": ["x1", "k"]},
+        )
+        assert result.outputs["y"] == ["a!", "b!"]
+        for inst in result.instances:
+            assert inst.fragment("k") == Index()
+
+
+class TestExpressionWorkflowsEndToEnd:
+    """Strategy-tree processors run inside full workflows, and both lineage
+    strategies agree on their traces."""
+
+    def _flow(self):
+        from repro.workflow.builder import DataflowBuilder
+
+        return (
+            DataflowBuilder("wf")
+            .input("names", "list(string)")
+            .input("codes", "list(string)")
+            .input("tags", "list(string)")
+            .output("out", "list(list(string))")
+            .processor(
+                "Z",
+                inputs=[
+                    ("x1", "string"), ("x2", "string"), ("x3", "string"),
+                ],
+                outputs=[("y", "string")],
+                operation="synth_value",
+                iteration={"cross": [{"dot": ["x1", "x2"]}, "x3"]},
+                config={"out": "y", "out_depth": 0, "salt": "Z"},
+            )
+            .arcs(
+                ("wf:names", "Z:x1"),
+                ("wf:codes", "Z:x2"),
+                ("wf:tags", "Z:x3"),
+                ("Z:y", "wf:out"),
+            )
+            .build()
+        )
+
+    def test_static_layout_matches_trace(self):
+        from repro.provenance.capture import capture_run
+        from repro.query.projection import project_output_index
+        from repro.workflow.depths import propagate_depths
+
+        flow = self._flow()
+        captured = capture_run(
+            flow,
+            {"names": ["n0", "n1"], "codes": ["c0", "c1"], "tags": ["t0"]},
+        )
+        analysis = propagate_depths(flow)
+        assert analysis.iteration_level("Z") == 2
+        for event in captured.trace.xforms:
+            projected = dict(
+                project_output_index(analysis, "Z", event.outputs[0].index)
+            )
+            recorded = {b.port: b.index for b in event.inputs}
+            assert projected == recorded
+
+    def test_lineage_strategies_agree(self):
+        from repro.provenance.capture import capture_run
+        from repro.provenance.store import TraceStore
+        from repro.query.base import LineageQuery
+        from repro.query.indexproj import IndexProjEngine
+        from repro.query.naive import NaiveEngine
+
+        flow = self._flow()
+        captured = capture_run(
+            flow,
+            {"names": ["n0", "n1"], "codes": ["c0", "c1"],
+             "tags": ["t0", "t1", "t2"]},
+        )
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            query = LineageQuery.create("wf", "out", [1, 2], ["Z"])
+            naive = NaiveEngine(store).lineage(captured.run_id, query)
+            indexproj = IndexProjEngine(store, flow).lineage(
+                captured.run_id, query
+            )
+            assert naive.binding_keys() == indexproj.binding_keys()
+            # Zip group shares index 1; the crossed port picks index 2.
+            assert sorted(b.key() for b in indexproj.bindings) == [
+                ("Z", "x1", "1"), ("Z", "x2", "1"), ("Z", "x3", "2"),
+            ]
+
+    def test_invalid_expression_rejected_at_definition(self):
+        from repro.workflow.builder import DataflowBuilder
+        from repro.workflow.model import WorkflowError
+
+        with pytest.raises(WorkflowError, match="invalid iteration strategy"):
+            (
+                DataflowBuilder("wf")
+                .processor(
+                    "Z",
+                    inputs=[("a", "string")],
+                    outputs=[("y", "string")],
+                    operation="identity",
+                    iteration={"cross": ["a", "ghost"]},
+                )
+                .build()
+            )
+
+    def test_expression_serializes(self):
+        from repro.workflow import serialize
+
+        flow = self._flow()
+        restored = serialize.loads(serialize.dumps(flow))
+        assert restored.processor("Z").iteration == {
+            "cross": [{"dot": ["x1", "x2"]}, "x3"]
+        }

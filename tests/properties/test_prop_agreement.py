@@ -1,0 +1,112 @@
+"""Property: the three lineage implementations agree on random workflows.
+
+For random dataflows, random inputs, random query bindings, and random
+focus sets, the reference recursion over the in-memory trace (Def. 1), the
+database-backed naive traversal, and INDEXPROJ must return the same set of
+bindings with the same values.  This is the central correctness claim of
+the reproduction: the intensional inversion (Prop. 1) computes exactly
+what extensional traversal computes.
+"""
+
+import random
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.provenance.graph import reference_lineage
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.values import nested
+from repro.values.index import Index
+
+from tests.conftest import (
+    estimated_instances,
+    make_random_workflow,
+    run_random_case,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def random_query(case, captured, rng: random.Random) -> LineageQuery:
+    """A random query binding over ports that actually carry values."""
+    candidates = []
+    flow = case.flow
+    for processor in flow.processors:
+        for port in processor.outputs:
+            candidates.append((processor.name, port.name))
+    for port in flow.outputs:
+        candidates.append((flow.name, port.name))
+    rng.shuffle(candidates)
+    for node, port in candidates:
+        from repro.workflow.model import PortRef
+
+        value = captured.result.port_values.get(PortRef(node, port))
+        if value is None:
+            continue
+        # Random index: a prefix of a random leaf index (possibly empty).
+        leaves = list(nested.enumerate_leaves(value))
+        if leaves:
+            leaf_index, _ = rng.choice(leaves)
+            cut = rng.randint(0, len(leaf_index))
+            index = Index.of(list(leaf_index)[:cut])
+        else:
+            index = Index()
+        focus_pool = list(flow.processor_names)
+        focus = rng.sample(focus_pool, rng.randint(0, len(focus_pool)))
+        return LineageQuery.create(node, port, index, focus)
+    return LineageQuery.create(flow.name, flow.outputs[0].name, (), ())
+
+
+class TestStrategyAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=99))
+    def test_three_way_agreement(self, seed, query_seed):
+        case = make_random_workflow(seed)
+        assume(estimated_instances(case) <= 250)
+        captured = run_random_case(case)
+        rng = random.Random(query_seed * 7919 + seed)
+        query = random_query(case, captured, rng)
+
+        reference = reference_lineage(
+            captured.trace, query.node, query.port, query.index, query.focus
+        )
+        reference_keys = frozenset(b.key() for b in reference)
+
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            naive = NaiveEngine(store).lineage(captured.run_id, query)
+            indexproj = IndexProjEngine(store, case.flow).lineage(
+                captured.run_id, query
+            )
+
+        assert naive.binding_keys() == reference_keys, (
+            f"seed={seed} NI disagrees with reference on {query}"
+        )
+        assert indexproj.binding_keys() == reference_keys, (
+            f"seed={seed} INDEXPROJ disagrees with reference on {query}"
+        )
+        naive_values = {b.key(): b.value for b in naive.bindings}
+        indexproj_values = {b.key(): b.value for b in indexproj.bindings}
+        assert naive_values == indexproj_values, f"seed={seed} value mismatch"
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_indexproj_never_issues_more_lookups_than_focus_ports(self, seed):
+        """|trace queries| <= |focus input ports| — the efficiency claim."""
+        case = make_random_workflow(seed)
+        assume(estimated_instances(case) <= 250)
+        captured = run_random_case(case)
+        rng = random.Random(seed)
+        query = random_query(case, captured, rng)
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            engine = IndexProjEngine(store, case.flow)
+            result = engine.lineage(captured.run_id, query)
+        focus_input_ports = sum(
+            len(case.flow.processor(name).inputs)
+            for name in query.focus
+            if case.flow.has_processor(name)
+        )
+        assert result.stats.queries <= focus_input_ports

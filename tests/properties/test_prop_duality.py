@@ -1,0 +1,74 @@
+"""Property: lineage and impact are dual traversals.
+
+If binding ``b`` appears in the lineage of output binding ``o`` (with
+``b``'s processor in focus), then ``o`` appears in the impact of ``b``
+(with ``o``'s processor in focus) — the backward and forward readings of
+the same provenance paths must agree on reachability.  This cross-checks
+the two traversal directions (and their granularity-matching rules)
+against each other on randomized workflows.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.provenance.graph import reference_impact, reference_lineage
+
+from tests.conftest import (
+    estimated_instances,
+    make_random_workflow,
+    run_random_case,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestDuality:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_lineage_members_see_the_output_in_their_impact(self, seed):
+        case = make_random_workflow(seed)
+        assume(estimated_instances(case) <= 200)
+        captured = run_random_case(case)
+        trace = captured.trace
+        all_processors = [p.name for p in case.flow.processors]
+        # Sample a handful of events to keep each example fast.
+        for event in trace.xforms[:8]:
+            for output in event.outputs:
+                lineage = reference_lineage(
+                    trace, output.node, output.port, output.index,
+                    all_processors,
+                )
+                for binding in lineage:
+                    impact = reference_impact(
+                        trace, binding.node, binding.port, binding.index,
+                        [output.node],
+                    )
+                    assert output.key() in {b.key() for b in impact}, (
+                        f"seed={seed}: {binding} in lin({output}) but "
+                        f"{output} not in imp({binding})"
+                    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_impact_members_see_the_input_in_their_lineage(self, seed):
+        case = make_random_workflow(seed)
+        assume(estimated_instances(case) <= 200)
+        captured = run_random_case(case)
+        trace = captured.trace
+        all_processors = [p.name for p in case.flow.processors]
+        for event in trace.xforms[:8]:
+            for input_binding in event.inputs:
+                impact = reference_impact(
+                    trace, input_binding.node, input_binding.port,
+                    input_binding.index, all_processors,
+                )
+                for output in impact:
+                    lineage = reference_lineage(
+                        trace, output.node, output.port, output.index,
+                        [input_binding.node],
+                    )
+                    assert input_binding.key() in {
+                        b.key() for b in lineage
+                    }, (
+                        f"seed={seed}: {output} in imp({input_binding}) but "
+                        f"{input_binding} not in lin({output})"
+                    )

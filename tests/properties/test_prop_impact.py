@@ -1,0 +1,88 @@
+"""Property: forward (impact) strategies agree on random workflows.
+
+The forward mirror of tests/properties/test_prop_agreement.py: for random
+dataflows, inputs, start bindings, and focus sets, the extensional
+reference traversal, the database-backed naive forward traversal, and the
+pattern-based intensional engine must return the same output-binding
+sets.
+"""
+
+import random
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.provenance.graph import reference_impact
+from repro.provenance.store import TraceStore
+from repro.query.impact import (
+    ImpactQuery,
+    IndexProjImpactEngine,
+    NaiveImpactEngine,
+)
+from repro.values import nested
+from repro.values.index import Index
+from repro.workflow.model import PortRef
+
+from tests.conftest import (
+    estimated_instances,
+    make_random_workflow,
+    run_random_case,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def random_start(case, captured, rng: random.Random):
+    """A random *upstream-ish* binding: workflow inputs or processor
+    inputs/outputs that actually carried values."""
+    flow = case.flow
+    candidates = [(flow.name, p.name) for p in flow.inputs]
+    for processor in flow.processors:
+        for port in processor.inputs + processor.outputs:
+            candidates.append((processor.name, port.name))
+    rng.shuffle(candidates)
+    for node, port in candidates:
+        value = captured.result.port_values.get(PortRef(node, port))
+        if value is None:
+            continue
+        leaves = list(nested.enumerate_leaves(value))
+        if leaves:
+            leaf_index, _ = rng.choice(leaves)
+            cut = rng.randint(0, len(leaf_index))
+            index = Index.of(list(leaf_index)[:cut])
+        else:
+            index = Index()
+        return node, port, index
+    return flow.name, flow.inputs[0].name, Index()
+
+
+class TestImpactAgreement:
+    @settings(max_examples=50, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=99))
+    def test_three_way_agreement(self, seed, query_seed):
+        case = make_random_workflow(seed)
+        assume(estimated_instances(case) <= 250)
+        captured = run_random_case(case)
+        rng = random.Random(query_seed * 6271 + seed)
+        node, port, index = random_start(case, captured, rng)
+        focus_pool = list(case.flow.processor_names)
+        focus = rng.sample(focus_pool, rng.randint(0, len(focus_pool)))
+        query = ImpactQuery.create(node, port, index, focus)
+
+        reference = reference_impact(
+            captured.trace, node, port, index, focus
+        )
+        reference_keys = frozenset(b.key() for b in reference)
+
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            naive = NaiveImpactEngine(store).impact(captured.run_id, query)
+            indexproj = IndexProjImpactEngine(store, case.flow).impact(
+                captured.run_id, query
+            )
+
+        assert naive.binding_keys() == reference_keys, (
+            f"seed={seed} naive impact disagrees on {query}"
+        )
+        assert indexproj.binding_keys() == reference_keys, (
+            f"seed={seed} pattern impact disagrees on {query}"
+        )

@@ -1,0 +1,64 @@
+"""Property-based tests for Index (repro.values.index)."""
+
+from hypothesis import given, strategies as st
+
+from repro.values.index import Index
+
+positions = st.lists(st.integers(min_value=0, max_value=50), max_size=6)
+indices = positions.map(Index.of)
+
+
+class TestCodecProperties:
+    @given(indices)
+    def test_encode_decode_roundtrip(self, index):
+        assert Index.decode(index.encode()) == index
+
+    @given(indices, indices)
+    def test_encoding_is_injective_on_distinct(self, left, right):
+        assert (left.encode() == right.encode()) == (left == right)
+
+
+class TestConcatenationProperties:
+    @given(indices, indices, indices)
+    def test_concat_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(indices)
+    def test_empty_is_identity(self, index):
+        assert index + Index() == index
+        assert Index() + index == index
+
+    @given(indices, indices)
+    def test_concat_length(self, a, b):
+        assert len(a + b) == len(a) + len(b)
+
+    @given(indices, indices)
+    def test_concat_starts_with_left(self, a, b):
+        assert (a + b).starts_with(a)
+
+
+class TestSliceProperties:
+    @given(indices, st.data())
+    def test_slice_concat_reconstructs(self, index, data):
+        cut = data.draw(st.integers(min_value=0, max_value=len(index)))
+        left = index.head(cut)
+        right = index.tail_from(cut)
+        assert left + right == index
+
+    @given(indices, st.data())
+    def test_slice_is_contiguous_fragment(self, index, data):
+        start = data.draw(st.integers(min_value=0, max_value=len(index)))
+        length = data.draw(st.integers(min_value=0, max_value=len(index) - start))
+        fragment = index.slice(start, length)
+        assert fragment.path == index.path[start : start + length]
+
+
+class TestOrderingProperties:
+    @given(indices, indices)
+    def test_total_order_consistency(self, a, b):
+        assert (a < b) + (b < a) + (a == b) == 1
+
+    @given(indices, indices)
+    def test_prefix_implies_le_in_path_order(self, a, b):
+        if b.starts_with(a):
+            assert a <= b

@@ -1,0 +1,150 @@
+"""Property-based tests of the iteration semantics — Prop. 1 in particular.
+
+Prop. 1 (index projection): for every *xform* event produced by an
+evaluation under Def. 3,
+
+1. ``|p_i| = delta_s(X_i)`` for each input index fragment, and
+2. ``q = p_1 · p_2 · ... · p_n`` (concatenation in port order),
+
+independently of the values involved.  These tests generate random port
+configurations (values of random depth, random mismatches) and check the
+invariants on every emitted instance.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.iteration import PortValue, evaluate
+from repro.values import nested
+from repro.values.index import Index
+
+atoms = st.text(
+    alphabet="abcdefgh", min_size=1, max_size=3
+) | st.integers(min_value=0, max_value=99)
+
+
+def values_of_depth(depth: int):
+    strategy = atoms
+    for _ in range(depth):
+        strategy = st.lists(strategy, min_size=1, max_size=3)
+    return strategy
+
+
+@st.composite
+def port_configurations(draw):
+    """1-3 ports, each with a value of depth >= its mismatch (0-2)."""
+    count = draw(st.integers(min_value=1, max_value=3))
+    ports = []
+    total_level = 0
+    for i in range(count):
+        delta = draw(st.integers(min_value=0, max_value=2))
+        if total_level + delta > 4:
+            delta = 0
+        total_level += delta
+        extra = draw(st.integers(min_value=0, max_value=1))
+        value = draw(values_of_depth(delta + extra))
+        ports.append(PortValue(f"x{i}", value, delta))
+    return ports
+
+
+def run_eval(ports):
+    def operation(args):
+        return {"y": repr(sorted(args.items()))}
+
+    return evaluate(operation, ports, ["y"])
+
+
+class TestProp1:
+    @settings(max_examples=60, deadline=None)
+    @given(port_configurations())
+    def test_fragment_lengths_equal_mismatch(self, ports):
+        result = run_eval(ports)
+        deltas = {p.name: max(p.delta, 0) for p in ports}
+        for instance in result.instances:
+            for port_name, fragment in instance.fragments:
+                assert len(fragment) == deltas[port_name]
+
+    @settings(max_examples=60, deadline=None)
+    @given(port_configurations())
+    def test_q_is_concatenation_in_port_order(self, ports):
+        result = run_eval(ports)
+        for instance in result.instances:
+            concatenated = Index()
+            for _, fragment in instance.fragments:
+                concatenated = concatenated + fragment
+            assert concatenated == instance.q
+
+    @settings(max_examples=60, deadline=None)
+    @given(port_configurations())
+    def test_q_length_equals_total_level(self, ports):
+        result = run_eval(ports)
+        for instance in result.instances:
+            assert len(instance.q) == result.level
+
+    @settings(max_examples=60, deadline=None)
+    @given(port_configurations())
+    def test_arguments_are_the_indexed_subvalues(self, ports):
+        """Each instance's argument on port X_i is exactly value[p_i]."""
+        result = run_eval(ports)
+        originals = {p.name: (p.value, p.delta) for p in ports}
+        for instance in result.instances:
+            for port_name, fragment in instance.fragments:
+                value, delta = originals[port_name]
+                if delta >= 0:
+                    assert instance.arguments[port_name] == nested.get_element(
+                        value, fragment
+                    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(port_configurations())
+    def test_output_element_at_q_is_instance_output(self, ports):
+        """The assembled output's element at q is that instance's result."""
+        result = run_eval(ports)
+        for instance in result.instances:
+            assert (
+                nested.get_element(result.outputs["y"], instance.q)
+                == instance.outputs["y"]
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(port_configurations())
+    def test_instance_count_is_product_of_iterated_sizes(self, ports):
+        result = run_eval(ports)
+        expected = 1
+        for port in ports:
+            if port.delta > 0:
+                expected *= len(list(nested.iter_at_depth(port.value, port.delta)))
+        assert len(result.instances) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(port_configurations())
+    def test_instance_indices_unique(self, ports):
+        result = run_eval(ports)
+        qs = [instance.q for instance in result.instances]
+        assert len(qs) == len(set(qs))
+
+
+class TestDotProp:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=2),
+        st.data(),
+    )
+    def test_dot_shares_single_fragment(self, length, delta, data):
+        def deep_list(levels):
+            if levels == 0:
+                return data.draw(atoms)
+            return [deep_list(levels - 1) for _ in range(length)]
+
+        ports = [
+            PortValue("a", deep_list(delta), delta),
+            PortValue("b", deep_list(delta), delta),
+        ]
+        result = evaluate(
+            lambda args: {"y": 0}, ports, ["y"], strategy="dot"
+        )
+        assert len(result.instances) == length ** delta
+        for instance in result.instances:
+            assert instance.fragment("a") == instance.q
+            assert instance.fragment("b") == instance.q
+            assert len(instance.q) == delta

@@ -1,0 +1,100 @@
+"""Property-based tests for nested value operations."""
+
+from hypothesis import given, strategies as st
+
+from repro.values import nested
+from repro.values.index import Index
+
+atoms = st.text(min_size=1, max_size=4) | st.integers()
+
+
+def values_of_depth(depth: int):
+    """Homogeneous nested lists of exactly ``depth`` levels."""
+    strategy = atoms
+    for _ in range(depth):
+        strategy = st.lists(strategy, min_size=1, max_size=3)
+    return strategy
+
+
+depths = st.integers(min_value=0, max_value=3)
+depth_and_value = depths.flatmap(
+    lambda d: st.tuples(st.just(d), values_of_depth(d))
+)
+
+
+class TestDepthProperties:
+    @given(depth_and_value)
+    def test_generated_depth_matches(self, case):
+        depth, value = case
+        assert nested.depth(value) == depth
+
+    @given(depth_and_value)
+    def test_wrap_increases_depth(self, case):
+        depth, value = case
+        assert nested.depth(nested.wrap(value, 2)) == depth + 2
+
+    @given(depth_and_value)
+    def test_homogeneous(self, case):
+        _, value = case
+        assert nested.is_homogeneous(value)
+
+
+class TestAccessProperties:
+    @given(depth_and_value)
+    def test_every_leaf_reachable(self, case):
+        _, value = case
+        for index, leaf in nested.enumerate_leaves(value):
+            assert nested.get_element(value, index) == leaf
+
+    @given(depth_and_value)
+    def test_leaf_count_matches_enumeration(self, case):
+        _, value = case
+        assert nested.count_leaves(value) == len(list(nested.enumerate_leaves(value)))
+
+    @given(depth_and_value, st.data())
+    def test_iter_at_every_level_consistent(self, case, data):
+        depth, value = case
+        level = data.draw(st.integers(min_value=0, max_value=depth))
+        for index, sub in nested.iter_at_depth(value, level):
+            assert len(index) == level
+            assert nested.get_element(value, index) == sub
+
+    @given(depth_and_value, st.data())
+    def test_set_then_get(self, case, data):
+        depth, value = case
+        leaves = list(nested.enumerate_leaves(value))
+        index, _ = data.draw(st.sampled_from(leaves))
+        updated = nested.set_element(value, index, "SENTINEL")
+        assert nested.get_element(updated, index) == "SENTINEL"
+        # All other leaves untouched.
+        for other_index, leaf in leaves:
+            if other_index != index:
+                assert nested.get_element(updated, other_index) == leaf
+
+
+class TestFlattenProperties:
+    @given(depths.flatmap(lambda d: values_of_depth(d + 2)))
+    def test_flatten_reduces_depth_by_one(self, value):
+        assert nested.depth(nested.flatten(value)) == nested.depth(value) - 1
+
+    @given(depths.flatmap(lambda d: values_of_depth(d + 2)))
+    def test_flatten_preserves_leaves_in_order(self, value):
+        flattened = nested.flatten(value)
+        assert [leaf for _, leaf in nested.enumerate_leaves(flattened)] == [
+            leaf for _, leaf in nested.enumerate_leaves(value)
+        ]
+
+    @given(depth_and_value, st.integers(min_value=1, max_value=2))
+    def test_flatten_inverts_wrap_modulo_singleton(self, case, levels):
+        _, value = case
+        assert nested.flatten(nested.wrap(value, levels), levels - 1) == [value]
+
+
+class TestShapeProperties:
+    @given(depth_and_value)
+    def test_shape_has_same_structure(self, case):
+        _, value = case
+        shape = nested.shape(value)
+        assert nested.count_leaves(shape) == nested.count_leaves(value)
+        if isinstance(value, list):
+            assert nested.depth(shape) == nested.depth(value)

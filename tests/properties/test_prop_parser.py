@@ -1,0 +1,34 @@
+"""Property: the query text notation round-trips for arbitrary queries."""
+
+from hypothesis import given, strategies as st
+
+from repro.query.base import LineageQuery
+from repro.query.parser import format_query, parse_query
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_/",
+    min_size=1,
+    max_size=12,
+)
+indices = st.lists(st.integers(min_value=0, max_value=999), max_size=5)
+queries = st.builds(
+    LineageQuery.create,
+    node=names,
+    port=names,
+    index=indices,
+    focus=st.lists(names, max_size=4),
+)
+
+
+class TestParserRoundtrip:
+    @given(queries)
+    def test_format_then_parse_is_identity(self, query):
+        assert parse_query(format_query(query)) == query
+
+    @given(queries)
+    def test_str_notation_parses_to_same_query(self, query):
+        assert parse_query(str(query)) == query
+
+    @given(queries)
+    def test_format_is_deterministic(self, query):
+        assert format_query(query) == format_query(query)

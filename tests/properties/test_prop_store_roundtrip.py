@@ -1,0 +1,68 @@
+"""Property: traces survive the relational store round trip exactly.
+
+For random workflows and inputs, inserting a trace and loading it back
+must reproduce every event, binding, index, and payload — in both the
+inline-payload and interned-payload storage modes.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.provenance.store import TraceStore
+
+from tests.conftest import (
+    estimated_instances,
+    make_random_workflow,
+    run_random_case,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestStoreRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.booleans())
+    def test_insert_load_identity(self, seed, interning):
+        case = make_random_workflow(seed)
+        assume(estimated_instances(case) <= 250)
+        captured = run_random_case(case)
+        with TraceStore(intern_values=interning) as store:
+            store.insert_trace(captured.trace)
+            restored = store.load_trace(captured.run_id)
+        assert restored.workflow == captured.trace.workflow
+        assert len(restored.xforms) == len(captured.trace.xforms)
+        assert len(restored.xfers) == len(captured.trace.xfers)
+        assert [str(e) for e in restored.xforms] == [
+            str(e) for e in captured.trace.xforms
+        ]
+        assert [str(e) for e in restored.xfers] == [
+            str(e) for e in captured.trace.xfers
+        ]
+        # Compare payloads positionally: a (node, port, index) key is NOT
+        # value-unique — at a negative-mismatch port, the xfer event holds
+        # the raw transferred value while the xform input holds the
+        # singleton-wrapped value the instance consumed (Def. 2 wrapping).
+        for restored_event, original_event in zip(
+            restored.xforms, captured.trace.xforms
+        ):
+            for restored_binding, original_binding in zip(
+                restored_event.inputs + restored_event.outputs,
+                original_event.inputs + original_event.outputs,
+            ):
+                assert restored_binding.value == original_binding.value
+        for restored_event, original_event in zip(
+            restored.xfers, captured.trace.xfers
+        ):
+            assert restored_event.source.value == original_event.source.value
+
+    @settings(max_examples=25, deadline=None)
+    @given(seeds)
+    def test_record_count_matches_in_memory(self, seed):
+        case = make_random_workflow(seed)
+        assume(estimated_instances(case) <= 250)
+        captured = run_random_case(case)
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            assert (
+                store.record_count(captured.run_id)
+                == captured.trace.record_count
+            )

@@ -1,0 +1,233 @@
+"""Property-based tests for random iteration-strategy trees.
+
+Generates random combinator trees (cross/dot, arbitrary nesting) together
+with *consistent* values — dot groups need shape-compatible operands, so
+dimensions are assigned top-down: a dot node fixes one dimension vector
+for all of its iterating children, a cross node partitions its dimensions
+among children contiguously.  The invariants then mirror Prop. 1 in its
+generalized form:
+
+* the evaluation level equals the length of the root dimension vector;
+* the instance count equals the product of the dimensions;
+* every port's recorded fragment equals the contiguous slice of ``q``
+  that the static layout (``fragment_offsets``) predicts — which is
+  exactly what INDEXPROJ's projection consumes;
+* the assembled output's element at ``q`` is that instance's output.
+"""
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.iteration import PortValue, evaluate
+from repro.strategy import fragment_offsets, node_level, parse_strategy
+from repro.values import nested
+from repro.values.index import Index
+
+
+def random_tree_spec(rng: random.Random, ports: List[str]) -> Any:
+    """A random combinator expression covering ``ports`` exactly once."""
+    if len(ports) == 1:
+        return ports[0]
+    rng.shuffle(ports)
+    cut = rng.randint(1, len(ports) - 1)
+    left, right = ports[:cut], ports[cut:]
+    kind = rng.choice(["cross", "dot"])
+    children = []
+    for chunk in (left, right):
+        if len(chunk) == 1 or rng.random() < 0.4:
+            children.extend(chunk) if len(chunk) == 1 else children.append(
+                {rng.choice(["cross", "dot"]): [p for p in chunk]}
+            )
+        else:
+            children.append(random_tree_spec(rng, chunk))
+    return {kind: children}
+
+
+def assign_dimensions(
+    spec: Any, rng: random.Random, required: Tuple[int, ...] = None
+) -> Dict[str, Tuple[int, ...]]:
+    """Per-port dimension vectors consistent with the tree's constraints."""
+    if isinstance(spec, str):
+        if required is None:
+            required = tuple(
+                rng.randint(1, 3) for _ in range(rng.randint(0, 2))
+            )
+        return {spec: required}
+    kind, children = next(iter(spec.items()))
+    dims: Dict[str, Tuple[int, ...]] = {}
+    if kind == "cross":
+        if required is None:
+            for child in children:
+                dims.update(assign_dimensions(child, rng))
+        else:
+            # Partition the required dims contiguously among children.
+            cuts = sorted(
+                rng.randint(0, len(required)) for _ in range(len(children) - 1)
+            )
+            bounds = [0] + cuts + [len(required)]
+            for child, start, end in zip(children, bounds, bounds[1:]):
+                dims.update(
+                    assign_dimensions(child, rng, required[start:end])
+                )
+    else:  # dot
+        if required is None:
+            required = tuple(
+                rng.randint(1, 3) for _ in range(rng.randint(1, 2))
+            )
+        iterating = rng.sample(
+            range(len(children)), rng.randint(1, len(children))
+        )
+        for position, child in enumerate(children):
+            child_dims = required if position in iterating else ()
+            dims.update(assign_dimensions(child, rng, child_dims))
+    return dims
+
+
+def rectangular(dims: Tuple[int, ...], label: str, path: str = "") -> Any:
+    if not dims:
+        return f"{label}{path or '@'}"
+    return [
+        rectangular(dims[1:], label, f"{path}.{i}") for i in range(dims[0])
+    ]
+
+
+def product(dims: Tuple[int, ...]) -> int:
+    result = 1
+    for d in dims:
+        result *= d
+    return result
+
+
+@st.composite
+def strategy_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    rng = random.Random(seed)
+    port_count = rng.randint(2, 4)
+    ports = [f"x{i}" for i in range(port_count)]
+    spec = random_tree_spec(rng, list(ports))
+    dims = assign_dimensions(spec, rng)
+    values = [
+        PortValue(port, rectangular(dims[port], port), len(dims[port]))
+        for port in ports
+    ]
+    return spec, ports, dims, values
+
+
+class TestRandomStrategyTrees:
+    @settings(max_examples=80, deadline=None)
+    @given(strategy_cases())
+    def test_level_and_instance_count(self, case):
+        spec, ports, dims, values = case
+        node = parse_strategy(spec, ports)
+        deltas = {p.name: p.delta for p in values}
+        level = node_level(node, deltas)
+        result = evaluate(
+            lambda args: {"y": repr(sorted(args.items()))}, values, ["y"],
+            strategy=spec,
+        )
+        assert result.level == level
+        for instance in result.instances:
+            assert len(instance.q) == level
+        # Instance count = product of the root dims, which we can read off
+        # any full-length slice reconstruction: each instance's q is unique.
+        qs = {inst.q for inst in result.instances}
+        assert len(qs) == len(result.instances)
+
+    @settings(max_examples=80, deadline=None)
+    @given(strategy_cases())
+    def test_fragments_are_the_static_slices(self, case):
+        spec, ports, dims, values = case
+        node = parse_strategy(spec, ports)
+        deltas = {p.name: p.delta for p in values}
+        offsets = fragment_offsets(node, deltas)
+        result = evaluate(
+            lambda args: {"y": 0}, values, ["y"], strategy=spec
+        )
+        for instance in result.instances:
+            for port in ports:
+                offset, length = offsets[port]
+                assert instance.fragment(port) == instance.q.slice(
+                    offset, length
+                ), (spec, port)
+
+    @settings(max_examples=80, deadline=None)
+    @given(strategy_cases())
+    def test_arguments_are_indexed_subvalues(self, case):
+        spec, ports, dims, values = case
+        originals = {p.name: p.value for p in values}
+        result = evaluate(
+            lambda args: {"y": 0}, values, ["y"], strategy=spec
+        )
+        for instance in result.instances:
+            for port in ports:
+                assert instance.arguments[port] == nested.get_element(
+                    originals[port], instance.fragment(port)
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(strategy_cases())
+    def test_output_assembly(self, case):
+        spec, ports, dims, values = case
+        result = evaluate(
+            lambda args: {"y": repr(sorted(args.items()))}, values, ["y"],
+            strategy=spec,
+        )
+        for instance in result.instances:
+            assert (
+                nested.get_element(result.outputs["y"], instance.q)
+                == instance.outputs["y"]
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(strategy_cases())
+    def test_lineage_agreement_over_strategy_trees(self, case):
+        """NI and INDEXPROJ agree on workflows using random trees."""
+        spec, ports, dims, values = case
+        from repro.provenance.capture import capture_run
+        from repro.provenance.store import TraceStore
+        from repro.query.base import LineageQuery
+        from repro.query.indexproj import IndexProjEngine
+        from repro.query.naive import NaiveEngine
+        from repro.workflow.builder import DataflowBuilder
+
+        builder = DataflowBuilder("wf")
+        inputs = {}
+        port_decls = []
+        for value in values:
+            text = "string"
+            for _ in range(value.delta):
+                text = f"list({text})"
+            builder.input(f"in_{value.name}", text)
+            inputs[f"in_{value.name}"] = value.value
+            port_decls.append((value.name, "string"))
+        builder.processor(
+            "Z",
+            inputs=port_decls,
+            outputs=[("y", "string")],
+            operation="synth_value",
+            iteration=spec,
+            config={"out": "y", "out_depth": 0, "salt": "Z"},
+        )
+        builder.output("out", "string")
+        for value in values:
+            builder.arc(f"wf:in_{value.name}", f"Z:{value.name}")
+        builder.arc("Z:y", "wf:out")
+        flow = builder.build()
+
+        captured = capture_run(flow, inputs)
+        if not captured.trace.instances_of("Z"):
+            return  # zero-instance run: nothing to query
+        target = captured.trace.instances_of("Z")[-1].outputs[0].index
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            query = LineageQuery.create("Z", "y", target, ["Z"])
+            naive = NaiveEngine(store).lineage(captured.run_id, query)
+            indexproj = IndexProjEngine(store, flow).lineage(
+                captured.run_id, query
+            )
+        assert naive.binding_keys() == indexproj.binding_keys(), spec
+        assert {b.key(): b.value for b in naive.bindings} == {
+            b.key(): b.value for b in indexproj.bindings
+        }

@@ -1,0 +1,51 @@
+"""Tests for one-call capture (repro.provenance.capture)."""
+
+from repro.engine.executor import WorkflowRunner
+from repro.provenance.capture import capture_run
+
+from tests.conftest import build_diamond_workflow
+
+
+class TestCaptureRun:
+    def test_returns_outputs_and_trace(self):
+        captured = capture_run(build_diamond_workflow(), {"size": 1})
+        assert captured.outputs["out"] == [["item-0-a+item-0-b"]]
+        assert captured.trace.xforms
+        assert captured.trace.workflow == "wf"
+
+    def test_run_id_propagates(self):
+        captured = capture_run(
+            build_diamond_workflow(), {"size": 1}, run_id="custom-run"
+        )
+        assert captured.run_id == "custom-run"
+        assert captured.trace.run_id == "custom-run"
+
+    def test_repeated_runs_are_deterministic(self):
+        flow = build_diamond_workflow()
+        runner = WorkflowRunner()
+        first = capture_run(flow, {"size": 3}, runner=runner)
+        second = capture_run(flow, {"size": 3}, runner=runner)
+        assert first.outputs == second.outputs
+        assert [str(e) for e in first.trace.xforms] == [
+            str(e) for e in second.trace.xforms
+        ]
+        assert [str(e) for e in first.trace.xfers] == [
+            str(e) for e in second.trace.xfers
+        ]
+
+    def test_shared_runner_reuses_analysis(self):
+        flow = build_diamond_workflow()
+        runner = WorkflowRunner()
+        first = capture_run(flow, {"size": 1}, runner=runner)
+        second = capture_run(flow, {"size": 2}, runner=runner)
+        assert first.result.analysis is second.result.analysis
+
+    def test_custom_registry(self):
+        from repro.engine.processors import default_registry
+
+        registry = default_registry().extended()
+        registry.register("tag", lambda inputs, config: {"y": "override"})
+        captured = capture_run(
+            build_diamond_workflow(), {"size": 1}, registry=registry
+        )
+        assert captured.outputs["out"] == [["override+override"]]

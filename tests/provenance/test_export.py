@@ -1,0 +1,104 @@
+"""Tests for PROV/dot export (repro.provenance.export)."""
+
+import json
+
+from repro.provenance.capture import capture_run
+from repro.provenance.export import (
+    provenance_to_dot,
+    save_prov_document,
+    to_prov_document,
+)
+
+from tests.conftest import build_diamond_workflow
+
+
+def captured_diamond(size=2):
+    return capture_run(build_diamond_workflow(), {"size": size})
+
+
+class TestProvDocument:
+    def test_activities_match_instances(self):
+        captured = captured_diamond()
+        document = to_prov_document(captured.trace)
+        assert len(document["activity"]) == len(captured.trace.xforms)
+
+    def test_used_and_generated_counts(self):
+        captured = captured_diamond()
+        document = to_prov_document(captured.trace)
+        expected_used = sum(len(e.inputs) for e in captured.trace.xforms)
+        expected_generated = sum(len(e.outputs) for e in captured.trace.xforms)
+        assert len(document["used"]) == expected_used
+        assert len(document["wasGeneratedBy"]) == expected_generated
+
+    def test_derivations_match_xfers(self):
+        captured = captured_diamond()
+        document = to_prov_document(captured.trace)
+        assert len(document["wasDerivedFrom"]) == len(captured.trace.xfers)
+
+    def test_entities_are_deduplicated_bindings(self):
+        captured = captured_diamond()
+        document = to_prov_document(captured.trace)
+        keys = {b.key() for b in captured.trace.bindings()}
+        assert len(document["entity"]) == len(keys)
+
+    def test_relations_reference_existing_records(self):
+        captured = captured_diamond()
+        document = to_prov_document(captured.trace)
+        for relation in document["used"].values():
+            assert relation["prov:activity"] in document["activity"]
+            assert relation["prov:entity"] in document["entity"]
+        for relation in document["wasGeneratedBy"].values():
+            assert relation["prov:activity"] in document["activity"]
+            assert relation["prov:entity"] in document["entity"]
+        for relation in document["wasDerivedFrom"].values():
+            assert relation["prov:generatedEntity"] in document["entity"]
+            assert relation["prov:usedEntity"] in document["entity"]
+
+    def test_values_optional(self):
+        captured = captured_diamond()
+        with_values = to_prov_document(captured.trace, include_values=True)
+        without = to_prov_document(captured.trace, include_values=False)
+        assert any(
+            "repro:value" in e for e in with_values["entity"].values()
+        )
+        assert not any(
+            "repro:value" in e for e in without["entity"].values()
+        )
+
+    def test_run_metadata(self):
+        captured = captured_diamond()
+        document = to_prov_document(captured.trace)
+        assert document["repro:run"] == captured.run_id
+        assert document["repro:workflow"] == "wf"
+
+    def test_document_is_json_serializable(self, tmp_path):
+        captured = captured_diamond()
+        path = str(tmp_path / "trace.prov.json")
+        save_prov_document(captured.trace, path)
+        with open(path, encoding="utf-8") as handle:
+            restored = json.load(handle)
+        assert restored["repro:run"] == captured.run_id
+
+
+class TestDotExport:
+    def test_mentions_every_binding(self):
+        captured = captured_diamond(size=1)
+        dot = provenance_to_dot(captured.trace)
+        for binding in captured.trace.bindings():
+            assert f"{binding.node}:{binding.port}" in dot
+
+    def test_xfer_edges_dashed(self):
+        captured = captured_diamond(size=1)
+        dot = provenance_to_dot(captured.trace)
+        assert "style=dashed" in dot
+
+    def test_long_values_truncated(self):
+        captured = captured_diamond(size=1)
+        dot = provenance_to_dot(captured.trace, max_label=10)
+        assert "..." in dot
+
+    def test_valid_digraph(self):
+        captured = captured_diamond(size=1)
+        dot = provenance_to_dot(captured.trace)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")

@@ -1,0 +1,102 @@
+"""Tests for the provenance graph view and reference lineage."""
+
+import networkx as nx
+
+from repro.provenance.capture import capture_run
+from repro.provenance.graph import (
+    leaf_coverage,
+    provenance_digraph,
+    reference_lineage,
+    sources_of,
+)
+from repro.values.index import Index
+
+from tests.conftest import build_diamond_workflow
+
+
+def captured_diamond(size=2):
+    return capture_run(build_diamond_workflow(), {"size": size})
+
+
+class TestDigraph:
+    def test_is_dag(self):
+        graph = provenance_digraph(captured_diamond().trace)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_nodes_are_binding_keys(self):
+        graph = provenance_digraph(captured_diamond().trace)
+        assert ("GEN", "list", "") in graph.nodes
+        assert ("F", "y", "0.1") in graph.nodes
+
+    def test_edge_kinds(self):
+        graph = provenance_digraph(captured_diamond().trace)
+        kinds = {data["kind"] for _, _, data in graph.edges(data=True)}
+        assert kinds == {"xform", "xfer"}
+
+    def test_graph_metadata(self):
+        captured = captured_diamond()
+        graph = provenance_digraph(captured.trace)
+        assert graph.graph["run_id"] == captured.run_id
+        assert graph.graph["workflow"] == "wf"
+
+    def test_sources_are_workflow_inputs(self):
+        trace = captured_diamond().trace
+        assert ("wf", "size") in sources_of(trace)
+
+
+class TestReferenceLineage:
+    def test_fine_grained_query(self):
+        captured = captured_diamond()
+        result = reference_lineage(
+            captured.trace, "F", "y", Index(0, 1), focus=["A", "B"]
+        )
+        assert sorted(b.key() for b in result) == [
+            ("A", "x", "0"), ("B", "x", "1"),
+        ]
+
+    def test_focus_filters_collection(self):
+        captured = captured_diamond()
+        result = reference_lineage(
+            captured.trace, "F", "y", Index(0, 1), focus=["GEN"]
+        )
+        assert [b.key() for b in result] == [("GEN", "size", "")]
+
+    def test_empty_focus_collects_nothing(self):
+        captured = captured_diamond()
+        assert reference_lineage(captured.trace, "F", "y", Index(0, 1), []) == set()
+
+    def test_query_from_workflow_output(self):
+        captured = captured_diamond()
+        result = reference_lineage(
+            captured.trace, "wf", "out", Index(1, 0), focus=["A", "B"]
+        )
+        assert sorted(b.key() for b in result) == [
+            ("A", "x", "1"), ("B", "x", "0"),
+        ]
+
+    def test_coarse_query_covers_everything(self):
+        captured = captured_diamond()
+        result = reference_lineage(captured.trace, "wf", "out", Index(), ["A", "B"])
+        keys = sorted(b.key() for b in result)
+        assert keys == [
+            ("A", "x", "0"), ("A", "x", "1"),
+            ("B", "x", "0"), ("B", "x", "1"),
+        ]
+
+    def test_unknown_start_is_empty(self):
+        captured = captured_diamond()
+        assert reference_lineage(captured.trace, "ZZ", "y", Index(), ["A"]) == set()
+
+
+class TestLeafCoverage:
+    def test_atomic_binding_covers_itself(self):
+        captured = captured_diamond()
+        result = reference_lineage(captured.trace, "F", "y", Index(0, 0), ["A"])
+        assert leaf_coverage(result) == {("A", "x", "0")}
+
+    def test_list_binding_expands_to_leaves(self):
+        captured = captured_diamond()
+        result = reference_lineage(captured.trace, "A", "y", Index(), ["GEN"])
+        coverage = leaf_coverage(result)
+        # GEN:size is atomic -> covers itself.
+        assert coverage == {("GEN", "size", "")}

@@ -1,0 +1,158 @@
+"""Tests for value interning (normalized payload storage)."""
+
+import pytest
+
+from repro.engine.executor import run_workflow
+from repro.provenance.capture import capture_run
+from repro.provenance.maintenance import gc_value_pool, integrity_check
+from repro.provenance.store import TraceStore
+from repro.provenance.streaming import StreamingTraceWriter
+from repro.query.base import LineageQuery
+from repro.query.naive import NaiveEngine
+from repro.query.indexproj import IndexProjEngine
+from repro.testbed.generator import chain_product_workflow, focused_query
+
+from tests.conftest import build_diamond_workflow
+
+
+@pytest.fixture
+def captured():
+    return capture_run(build_diamond_workflow(), {"size": 3})
+
+
+class TestInterning:
+    def test_pool_populated_only_when_enabled(self, captured):
+        with TraceStore(intern_values=False) as plain:
+            plain.insert_trace(captured.trace)
+            assert plain.statistics()["pooled_values"] == 0
+        with TraceStore(intern_values=True) as interned:
+            interned.insert_trace(captured.trace)
+            stats = interned.statistics()
+            assert 0 < stats["pooled_values"] < stats["records"]
+
+    def test_identical_values_shared(self, captured):
+        with TraceStore(intern_values=True) as store:
+            store.insert_trace(captured.trace)
+            # GEN's list is transferred along two arcs and read whole; the
+            # payloads must nevertheless exist once in the pool.
+            rows = store._conn.execute(
+                "SELECT COUNT(*) FROM value_pool WHERE value_json = ?",
+                ('["item-0","item-1","item-2"]',),
+            ).fetchone()
+            assert rows[0] == 1
+
+    def test_queries_return_identical_answers(self, captured):
+        flow = build_diamond_workflow()
+        query = LineageQuery.create("F", "y", [1, 2], ["A", "B"])
+        answers = {}
+        for interning in (False, True):
+            with TraceStore(intern_values=interning) as store:
+                store.insert_trace(captured.trace)
+                naive = NaiveEngine(store).lineage(captured.run_id, query)
+                indexproj = IndexProjEngine(store, flow).lineage(
+                    captured.run_id, query
+                )
+                assert naive.binding_keys() == indexproj.binding_keys()
+                answers[interning] = {
+                    b.key(): b.value for b in naive.bindings
+                }
+        assert answers[False] == answers[True]
+
+    def test_load_trace_roundtrip_with_interning(self, captured):
+        with TraceStore(intern_values=True) as store:
+            store.insert_trace(captured.trace)
+            restored = store.load_trace(captured.run_id)
+            originals = {b.key(): b.value for b in captured.trace.bindings()}
+            for binding in restored.bindings():
+                assert binding.value == originals[binding.key()]
+
+    def test_interned_store_is_smaller_for_whole_list_consumers(self, tmp_path):
+        """The paper's P:X2 pattern — a large list consumed whole by every
+        instance of an iterating processor — duplicates the full payload
+        once per instance inline; the pool stores it once."""
+        from repro.workflow.builder import DataflowBuilder
+
+        flow = (
+            DataflowBuilder("wf")
+            .input("keys", "list(string)")
+            .input("biglist", "list(string)")
+            .output("out", "list(integer)")
+            .processor(
+                "P",
+                inputs=[("k", "string"), ("whole", "list(string)")],
+                outputs=[("y", "integer")],
+                operation="count",
+                config={"out": "y"},
+                # count takes one input; merge via custom op below
+            )
+            .arcs(("wf:keys", "P:k"), ("wf:biglist", "P:whole"),
+                  ("P:y", "wf:out"))
+            .build()
+        )
+        from repro.engine.processors import default_registry
+
+        registry = default_registry().extended()
+        registry.register(
+            "count", lambda inputs, config: {"y": len(inputs["whole"])}
+        )
+        inputs = {
+            "keys": [f"k{i}" for i in range(60)],
+            "biglist": [f"payload-item-{i:06d}" for i in range(300)],
+        }
+        captured = capture_run(flow, inputs, registry=registry)
+        sizes = {}
+        for interning in (False, True):
+            path = str(tmp_path / f"t_{interning}.db")
+            with TraceStore(path, intern_values=interning) as store:
+                store.insert_trace(captured.trace)
+                store._conn.execute("VACUUM")
+            sizes[interning] = (tmp_path / f"t_{interning}.db").stat().st_size
+        assert sizes[True] < 0.25 * sizes[False]
+
+    def test_streaming_writer_honours_interning(self, captured):
+        flow = build_diamond_workflow()
+        with TraceStore(intern_values=True) as store:
+            with StreamingTraceWriter(store, workflow="wf") as writer:
+                run_workflow(flow, {"size": 3}, listener=writer)
+            assert store.statistics()["pooled_values"] > 0
+            result = NaiveEngine(store).lineage(
+                writer.run_id, LineageQuery.create("F", "y", [0, 1], ["A"])
+            )
+            assert result.bindings[0].value == "item-0"
+
+    def test_interning_across_runs_shares_pool(self, captured):
+        with TraceStore(intern_values=True) as store:
+            store.insert_trace(captured.trace)
+            after_one = store.statistics()["pooled_values"]
+            second = capture_run(build_diamond_workflow(), {"size": 3})
+            store.insert_trace(second.trace)
+            after_two = store.statistics()["pooled_values"]
+            # Identical runs contribute no new distinct payloads.
+            assert after_two == after_one
+
+    def test_gc_value_pool(self, captured):
+        with TraceStore(intern_values=True) as store:
+            store.insert_trace(captured.trace)
+            assert gc_value_pool(store) == 0  # everything referenced
+            store.delete_run(captured.run_id)
+            freed = gc_value_pool(store)
+            assert freed > 0
+            assert store.statistics()["pooled_values"] == 0
+
+    def test_integrity_check_healthy_with_interning(self, captured):
+        with TraceStore(intern_values=True) as store:
+            store.insert_trace(captured.trace)
+            assert integrity_check(store).is_healthy
+
+    def test_focused_query_on_interned_synthetic_store(self):
+        flow = chain_product_workflow(10)
+        captured = capture_run(flow, {"ListSize": 5})
+        with TraceStore(intern_values=True) as store:
+            store.insert_trace(captured.trace)
+            result = IndexProjEngine(store, flow).lineage(
+                captured.run_id, focused_query()
+            )
+            assert [b.key() for b in result.bindings] == [
+                ("LISTGEN_1", "size", "")
+            ]
+            assert result.bindings[0].value == 5

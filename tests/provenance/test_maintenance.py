@@ -1,0 +1,141 @@
+"""Tests for store maintenance (repro.provenance.maintenance)."""
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.maintenance import (
+    integrity_check,
+    prune_runs,
+    run_inventory,
+    vacuum,
+)
+from repro.provenance.store import TraceStore
+
+from tests.conftest import build_diamond_workflow
+
+
+def populate(store, runs=3, size=2):
+    flow = build_diamond_workflow()
+    run_ids = []
+    for _ in range(runs):
+        captured = capture_run(flow, {"size": size})
+        store.insert_trace(captured.trace)
+        run_ids.append(captured.run_id)
+    return run_ids
+
+
+class TestPrune:
+    def test_keeps_latest(self):
+        with TraceStore() as store:
+            run_ids = populate(store, runs=5)
+            deleted = prune_runs(store, keep_latest=2)
+            assert deleted == run_ids[:3]
+            assert store.run_ids() == run_ids[3:]
+
+    def test_prune_everything(self):
+        with TraceStore() as store:
+            populate(store, runs=2)
+            prune_runs(store, keep_latest=0)
+            assert store.run_ids() == []
+            assert store.record_count() == 0
+
+    def test_prune_noop_when_under_limit(self):
+        with TraceStore() as store:
+            run_ids = populate(store, runs=2)
+            assert prune_runs(store, keep_latest=5) == []
+            assert store.run_ids() == run_ids
+
+    def test_prune_per_workflow(self):
+        from repro.testbed.generator import chain_product_workflow
+        from repro.testbed.runs import populate_store
+
+        with TraceStore() as store:
+            diamond_ids = populate(store, runs=2)
+            synth_ids = populate_store(
+                store, chain_product_workflow(2), {"ListSize": 2}, runs=2
+            )
+            prune_runs(store, keep_latest=0, workflow="wf")
+            assert store.run_ids() == synth_ids
+            assert diamond_ids[0] not in store.run_ids()
+
+    def test_negative_limit_rejected(self):
+        with TraceStore() as store:
+            with pytest.raises(ValueError):
+                prune_runs(store, keep_latest=-1)
+
+
+class TestIntegrity:
+    def test_healthy_store(self):
+        with TraceStore() as store:
+            populate(store)
+            report = integrity_check(store)
+            assert report.is_healthy
+            assert report.indexes_present
+            assert report.empty_runs == []
+            assert report.malformed_indices == 0
+
+    def test_detects_empty_run(self):
+        with TraceStore() as store:
+            store._conn.execute(
+                "INSERT INTO runs (run_id, workflow) VALUES ('hollow', 'wf')"
+            )
+            store._conn.commit()
+            report = integrity_check(store)
+            assert report.empty_runs == ["hollow"]
+            assert not report.is_healthy
+
+    def test_detects_missing_indexes(self):
+        with TraceStore() as store:
+            populate(store, runs=1)
+            store.drop_indexes()
+            report = integrity_check(store)
+            assert not report.indexes_present
+            assert any("indexes" in issue for issue in report.issues)
+            store.create_indexes()
+            assert integrity_check(store).indexes_present
+
+    def test_detects_malformed_index_encoding(self):
+        with TraceStore() as store:
+            run_ids = populate(store, runs=1)
+            store._conn.execute(
+                "UPDATE xform_io SET idx = '1..2' WHERE rowid = "
+                "(SELECT rowid FROM xform_io LIMIT 1)"
+            )
+            store._conn.commit()
+            report = integrity_check(store)
+            assert report.malformed_indices >= 1
+            assert not report.is_healthy
+            del run_ids
+
+    def test_detects_orphan_io_rows(self):
+        with TraceStore() as store:
+            populate(store, runs=1)
+            store._conn.execute("PRAGMA foreign_keys = OFF")
+            store._conn.execute(
+                "UPDATE xform_io SET event_id = 999999 WHERE rowid = "
+                "(SELECT rowid FROM xform_io LIMIT 1)"
+            )
+            store._conn.commit()
+            report = integrity_check(store)
+            assert report.orphan_io_rows == 1
+            assert not report.is_healthy
+
+
+class TestInventoryAndVacuum:
+    def test_inventory(self):
+        with TraceStore() as store:
+            run_ids = populate(store, runs=2)
+            inventory = run_inventory(store)
+            assert list(inventory) == run_ids
+            for entry in inventory.values():
+                assert entry["workflow"] == "wf"
+                assert entry["records"] > 0
+
+    def test_vacuum_after_prune(self, tmp_path):
+        path = str(tmp_path / "traces.db")
+        with TraceStore(path) as store:
+            populate(store, runs=4, size=5)
+            prune_runs(store, keep_latest=1)
+            vacuum(store)
+            assert len(store.run_ids()) == 1
+            assert integrity_check(store).is_healthy

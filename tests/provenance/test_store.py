@@ -1,0 +1,187 @@
+"""Tests for the relational trace store (repro.provenance.store)."""
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.store import StoreStats, TraceStore, _prefixes
+from repro.values.index import Index
+
+from tests.conftest import build_diamond_workflow
+
+
+@pytest.fixture
+def captured():
+    return capture_run(build_diamond_workflow(), {"size": 2})
+
+
+@pytest.fixture
+def store(captured):
+    with TraceStore() as trace_store:
+        trace_store.insert_trace(captured.trace)
+        yield trace_store
+
+
+class TestPrefixes:
+    def test_empty(self):
+        assert _prefixes("") == [""]
+
+    def test_path(self):
+        assert _prefixes("1.2.3") == ["", "1", "1.2", "1.2.3"]
+
+
+class TestIngestion:
+    def test_record_count_matches_trace(self, store, captured):
+        assert store.record_count(captured.run_id) == captured.trace.record_count
+
+    def test_statistics(self, store, captured):
+        stats = store.statistics()
+        assert stats["runs"] == 1
+        assert stats["xform_events"] == len(captured.trace.xforms)
+        assert stats["xfer_rows"] == len(captured.trace.xfers)
+        assert stats["records"] == captured.trace.record_count
+
+    def test_run_ids(self, store, captured):
+        assert store.run_ids() == [captured.run_id]
+        assert store.run_ids(workflow="wf") == [captured.run_id]
+        assert store.run_ids(workflow="other") == []
+
+    def test_duplicate_run_id_rejected(self, store, captured):
+        import sqlite3
+
+        with pytest.raises(sqlite3.IntegrityError):
+            store.insert_trace(captured.trace)
+
+    def test_failed_insert_rolls_back(self, store, captured):
+        import sqlite3
+
+        before = store.statistics()
+        with pytest.raises(sqlite3.IntegrityError):
+            store.insert_trace(captured.trace)  # duplicate run_id
+        assert store.statistics() == before
+
+    def test_multi_run_accumulation(self, captured):
+        with TraceStore() as trace_store:
+            trace_store.insert_trace(captured.trace)
+            second = capture_run(build_diamond_workflow(), {"size": 2})
+            trace_store.insert_trace(second.trace)
+            assert len(trace_store.run_ids()) == 2
+            assert (
+                trace_store.record_count()
+                == captured.trace.record_count + second.trace.record_count
+            )
+
+    def test_delete_run_cascades(self, store, captured):
+        store.delete_run(captured.run_id)
+        assert store.run_ids() == []
+        assert store.record_count() == 0
+
+    def test_file_backed_store_roundtrip(self, captured, tmp_path):
+        path = str(tmp_path / "traces.db")
+        with TraceStore(path) as trace_store:
+            trace_store.insert_trace(captured.trace)
+        with TraceStore(path) as reopened:
+            assert reopened.run_ids() == [captured.run_id]
+            assert reopened.record_count() == captured.trace.record_count
+
+
+class TestXformLookups:
+    def test_exact_output_match(self, store, captured):
+        matches = store.find_xform_by_output(
+            captured.run_id, "F", "y", Index(1, 0)
+        )
+        assert len(matches) == 1
+        assert matches[0].output_index == Index(1, 0)
+
+    def test_finer_rows_match_partial_query(self, store, captured):
+        matches = store.find_xform_by_output(captured.run_id, "F", "y", Index(1))
+        assert sorted(m.output_index for m in matches) == [Index(1, 0), Index(1, 1)]
+
+    def test_empty_query_matches_all(self, store, captured):
+        matches = store.find_xform_by_output(captured.run_id, "F", "y", Index())
+        assert len(matches) == 4
+
+    def test_coarser_row_matches_deep_query(self, store, captured):
+        # GEN produced its whole list in one instance (index []).
+        matches = store.find_xform_by_output(
+            captured.run_id, "GEN", "list", Index(1)
+        )
+        assert len(matches) == 1
+        assert matches[0].output_index == Index()
+
+    def test_no_match_for_unknown_port(self, store, captured):
+        assert store.find_xform_by_output(captured.run_id, "F", "zz", Index()) == []
+
+    def test_wrong_run_id_is_isolated(self, store):
+        assert store.find_xform_by_output("ghost-run", "F", "y", Index()) == []
+
+    def test_xform_inputs(self, store, captured):
+        matches = store.find_xform_by_output(
+            captured.run_id, "F", "y", Index(0, 1)
+        )
+        inputs = store.xform_inputs([m.event_id for m in matches])
+        assert {(b.port, b.index) for b in inputs} == {
+            ("a", Index(0)),
+            ("b", Index(1)),
+        }
+        assert {b.value for b in inputs} == {"item-0-a", "item-1-b"}
+
+    def test_xform_inputs_empty_ids(self, store):
+        assert store.xform_inputs([]) == []
+
+    def test_xform_inputs_deduplicates(self, store, captured):
+        matches = store.find_xform_by_output(captured.run_id, "F", "y", Index(0))
+        inputs = store.xform_inputs([m.event_id for m in matches])
+        # a[0] appears in both events but must be reported once.
+        assert sorted(b.key() for b in inputs) == [
+            ("F", "a", "0"), ("F", "b", "0"), ("F", "b", "1"),
+        ]
+
+    def test_find_xform_inputs_matching(self, store, captured):
+        bindings = store.find_xform_inputs_matching(
+            captured.run_id, "A", "x", Index(1)
+        )
+        assert [b.key() for b in bindings] == [("A", "x", "1")]
+        assert bindings[0].value == "item-1"
+
+    def test_find_xform_inputs_matching_empty_fragment(self, store, captured):
+        bindings = store.find_xform_inputs_matching(
+            captured.run_id, "A", "x", Index()
+        )
+        assert sorted(b.index for b in bindings) == [Index(0), Index(1)]
+
+
+class TestXferLookups:
+    def test_exact_match_continues_with_query_index(self, store, captured):
+        results = store.find_xfer_into(captured.run_id, "A", "x", Index(1))
+        assert len(results) == 1
+        source, continue_index = results[0]
+        assert source.key() == ("GEN", "list", "1")
+        assert continue_index == Index(1)
+
+    def test_coarser_row_keeps_finer_query_index(self, store, captured):
+        # The workflow-output transfer is recorded whole ([]); a deep query
+        # index must survive the hop.
+        results = store.find_xfer_into(captured.run_id, "wf", "out", Index(1, 0))
+        assert len(results) == 1
+        source, continue_index = results[0]
+        assert source.node == "F" and source.port == "y"
+        assert continue_index == Index(1, 0)
+
+    def test_finer_rows_expand(self, store, captured):
+        results = store.find_xfer_into(captured.run_id, "A", "x", Index())
+        continue_indices = sorted(idx for _, idx in results)
+        assert continue_indices == [Index(0), Index(1)]
+
+    def test_stats_counters(self, store, captured):
+        stats = StoreStats()
+        store.find_xfer_into(captured.run_id, "A", "x", Index(), stats)
+        store.find_xform_by_output(captured.run_id, "F", "y", Index(), stats)
+        assert stats.queries == 2
+        assert stats.rows >= 6
+        stats.reset()
+        assert stats.queries == 0 and stats.rows == 0
+
+    def test_has_binding(self, store, captured):
+        assert store.has_binding(captured.run_id, "A", "x")
+        assert store.has_binding(captured.run_id, "wf", "out")
+        assert not store.has_binding(captured.run_id, "A", "zz")

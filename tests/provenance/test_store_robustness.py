@@ -1,0 +1,145 @@
+"""Robustness tests for the trace store: payload edge cases, concurrent
+readers, deep indexes."""
+
+import threading
+
+from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.provenance.trace import Trace
+from repro.values.index import Index
+from repro.workflow.model import PortRef
+
+from tests.conftest import build_diamond_workflow
+
+
+def make_trace(run_id: str, value) -> Trace:
+    """A single-event trace with an arbitrary payload."""
+    trace = Trace(run_id=run_id, workflow="edge")
+    trace.xforms.append(
+        XformEvent(
+            "P",
+            inputs=(Binding(PortRef("P", "x"), Index(0), value=value),),
+            outputs=(Binding(PortRef("P", "y"), Index(0), value=value),),
+        )
+    )
+    return trace
+
+
+class TestPayloadEdgeCases:
+    def roundtrip(self, value):
+        with TraceStore() as store:
+            store.insert_trace(make_trace("edge-run", value))
+            bindings = store.find_xform_inputs_matching(
+                "edge-run", "P", "x", Index(0)
+            )
+            assert len(bindings) == 1
+            return bindings[0].value
+
+    def test_unicode(self):
+        assert self.roundtrip("päthwαy → 経路") == "päthwαy → 経路"
+
+    def test_none_payload(self):
+        assert self.roundtrip(None) is None
+
+    def test_numbers(self):
+        assert self.roundtrip(3.25) == 3.25
+        assert self.roundtrip(0) == 0
+
+    def test_booleans(self):
+        assert self.roundtrip(True) is True
+
+    def test_deeply_nested_list(self):
+        value = [[[["deep"]]]]
+        assert self.roundtrip(value) == value
+
+    def test_large_list(self):
+        value = [f"item-{i}" for i in range(5000)]
+        assert self.roundtrip(value) == value
+
+    def test_strings_with_sql_metacharacters(self):
+        tricky = "Robert'); DROP TABLE xform_io;-- %_."
+        assert self.roundtrip(tricky) == tricky
+
+    def test_non_json_object_falls_back_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "Opaque<42>"
+
+        assert self.roundtrip(Opaque()) == "Opaque<42>"
+
+
+class TestDeepIndexes:
+    def test_long_index_paths(self):
+        trace = Trace(run_id="deep-run", workflow="edge")
+        deep = Index.of(range(12))
+        trace.xforms.append(
+            XformEvent(
+                "P",
+                inputs=(Binding(PortRef("P", "x"), deep, value="v"),),
+                outputs=(Binding(PortRef("P", "y"), deep, value="v"),),
+            )
+        )
+        with TraceStore() as store:
+            store.insert_trace(trace)
+            # Exact, coarser, and finer lookups all resolve.
+            assert store.find_xform_by_output("deep-run", "P", "y", deep)
+            assert store.find_xform_by_output(
+                "deep-run", "P", "y", deep.head(3)
+            )
+            assert store.find_xform_by_output(
+                "deep-run", "P", "y", deep + Index(9)
+            )
+
+    def test_large_position_values(self):
+        big = Index(1_000_000, 2_000_000)
+        trace = Trace(run_id="big-run", workflow="edge")
+        trace.xfers.append(
+            XferEvent(
+                Binding(PortRef("P", "y"), big, value="v"),
+                Binding(PortRef("Q", "x"), big, value="v"),
+            )
+        )
+        with TraceStore() as store:
+            store.insert_trace(trace)
+            results = store.find_xfer_into("big-run", "Q", "x", big)
+            assert len(results) == 1
+
+
+class TestConcurrentReaders:
+    def test_parallel_reads_on_shared_file(self, tmp_path):
+        path = str(tmp_path / "shared.db")
+        captured = capture_run(build_diamond_workflow(), {"size": 3})
+        with TraceStore(path) as writer:
+            writer.insert_trace(captured.trace)
+
+        errors = []
+
+        def read_many():
+            try:
+                with TraceStore(path) as reader:
+                    for _ in range(50):
+                        bindings = reader.find_xform_inputs_matching(
+                            captured.run_id, "A", "x", Index(1)
+                        )
+                        assert len(bindings) == 1
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=read_many) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_reader_sees_committed_writes_only(self, tmp_path):
+        path = str(tmp_path / "wal.db")
+        flow = build_diamond_workflow()
+        with TraceStore(path) as writer, TraceStore(path) as reader:
+            first = capture_run(flow, {"size": 2})
+            writer.insert_trace(first.trace)
+            assert reader.run_ids() == [first.run_id]
+            second = capture_run(flow, {"size": 2})
+            writer.insert_trace(second.trace)
+            assert set(reader.run_ids()) == {first.run_id, second.run_id}

@@ -1,0 +1,100 @@
+"""Tests for streaming capture (repro.provenance.streaming)."""
+
+import pytest
+
+from repro.engine.executor import run_workflow
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.provenance.streaming import StreamingTraceWriter
+from repro.query.base import LineageQuery
+from repro.query.naive import NaiveEngine
+
+from tests.conftest import build_diamond_workflow
+
+
+class TestStreamingWriter:
+    def test_streamed_trace_equals_batch_insert(self):
+        flow = build_diamond_workflow()
+        batch = capture_run(flow, {"size": 3})
+        with TraceStore() as batch_store, TraceStore() as stream_store:
+            batch_store.insert_trace(batch.trace)
+            with StreamingTraceWriter(
+                stream_store, workflow="wf", batch_size=7
+            ) as writer:
+                run_workflow(flow, {"size": 3}, listener=writer)
+            assert (
+                stream_store.record_count(writer.run_id)
+                == batch_store.record_count(batch.run_id)
+            )
+            stats_a = batch_store.statistics()
+            stats_b = stream_store.statistics()
+            assert stats_a == stats_b
+
+    def test_streamed_trace_is_queryable(self):
+        flow = build_diamond_workflow()
+        with TraceStore() as store:
+            with StreamingTraceWriter(store, workflow="wf") as writer:
+                run_workflow(flow, {"size": 2}, listener=writer)
+            result = NaiveEngine(store).lineage(
+                writer.run_id,
+                LineageQuery.create("F", "y", [0, 1], ["A", "B"]),
+            )
+            assert sorted(b.key() for b in result.bindings) == [
+                ("A", "x", "0"), ("B", "x", "1"),
+            ]
+
+    def test_commit_registers_run(self):
+        with TraceStore() as store:
+            with StreamingTraceWriter(store, run_id="stream-1") as writer:
+                pass
+            assert store.run_ids() == ["stream-1"]
+            assert writer.run_id == "stream-1"
+
+    def test_exception_rolls_back_everything(self):
+        flow = build_diamond_workflow()
+        with TraceStore() as store:
+            with pytest.raises(RuntimeError, match="boom"):
+                with StreamingTraceWriter(store, workflow="wf") as writer:
+                    run_workflow(flow, {"size": 2}, listener=writer)
+                    raise RuntimeError("boom")
+            assert store.run_ids() == []
+            assert store.record_count() == 0
+
+    def test_closed_writer_rejects_events(self):
+        with TraceStore() as store:
+            writer = StreamingTraceWriter(store)
+            writer.commit()
+            from repro.engine.events import Binding, XferEvent
+            from repro.values.index import Index
+            from repro.workflow.model import PortRef
+
+            event = XferEvent(
+                Binding(PortRef("P", "y"), Index()),
+                Binding(PortRef("Q", "x"), Index()),
+            )
+            with pytest.raises(RuntimeError, match="closed"):
+                writer.on_xfer(event)
+
+    def test_invalid_batch_size_rejected(self):
+        with TraceStore() as store:
+            with pytest.raises(ValueError):
+                StreamingTraceWriter(store, batch_size=0)
+
+    def test_rollback_is_idempotent(self):
+        with TraceStore() as store:
+            writer = StreamingTraceWriter(store)
+            writer.rollback()
+            writer.rollback()
+            assert store.run_ids() == []
+
+    def test_small_batch_flushes_incrementally(self):
+        flow = build_diamond_workflow()
+        with TraceStore() as store:
+            with StreamingTraceWriter(
+                store, workflow="wf", batch_size=1
+            ) as writer:
+                run_workflow(flow, {"size": 2}, listener=writer)
+                # With batch_size=1 every event is flushed immediately, so
+                # pending buffers stay empty mid-run.
+                assert not writer._io_rows and not writer._xfer_rows
+            assert store.record_count(writer.run_id) > 0

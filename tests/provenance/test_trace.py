@@ -1,0 +1,85 @@
+"""Tests for in-memory traces (repro.provenance.trace)."""
+
+from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.provenance.capture import capture_run
+from repro.provenance.trace import Trace, TraceBuilder, merge_statistics, new_run_id
+from repro.values.index import Index
+from repro.workflow.model import PortRef
+
+from tests.conftest import build_diamond_workflow
+
+
+class TestRunIds:
+    def test_unique(self):
+        ids = {new_run_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_prefix(self):
+        assert new_run_id("sweep").startswith("sweep-")
+
+
+class TestTraceBuilder:
+    def test_collects_events(self):
+        builder = TraceBuilder("r1", "wf")
+        xform = XformEvent(
+            "P",
+            inputs=(Binding(PortRef("P", "x"), Index()),),
+            outputs=(Binding(PortRef("P", "y"), Index()),),
+        )
+        xfer = XferEvent(
+            Binding(PortRef("P", "y"), Index()),
+            Binding(PortRef("Q", "x"), Index()),
+        )
+        builder.on_xform(xform)
+        builder.on_xfer(xfer)
+        assert builder.trace.xforms == [xform]
+        assert builder.trace.xfers == [xfer]
+        assert builder.trace.run_id == "r1"
+        assert builder.trace.workflow == "wf"
+
+    def test_default_run_id_generated(self):
+        assert TraceBuilder().trace.run_id
+
+
+class TestTraceStatistics:
+    def make_trace(self, size=2) -> Trace:
+        captured = capture_run(build_diamond_workflow(), {"size": size})
+        return captured.trace
+
+    def test_record_count_matches_manual_count(self):
+        trace = self.make_trace(2)
+        manual = sum(len(e.inputs) + len(e.outputs) for e in trace.xforms)
+        manual += len(trace.xfers)
+        assert trace.record_count == manual
+
+    def test_processor_names(self):
+        assert self.make_trace().processor_names == ("A", "B", "F", "GEN")
+
+    def test_instances_of(self):
+        trace = self.make_trace(3)
+        assert len(trace.instances_of("F")) == 9
+        assert trace.instances_of("ZZ") == []
+
+    def test_xform_events_producing(self):
+        trace = self.make_trace(2)
+        events = list(trace.xform_events_producing("A", "y"))
+        assert len(events) == 2
+        assert not list(trace.xform_events_producing("A", "nope"))
+
+    def test_xfer_events_into(self):
+        trace = self.make_trace(2)
+        assert len(list(trace.xfer_events_into("F", "a"))) == 2
+        assert not list(trace.xfer_events_into("F", "zz"))
+
+    def test_bindings_iterates_everything(self):
+        trace = self.make_trace(1)
+        bindings = list(trace.bindings())
+        xform_bindings = sum(len(e.inputs) + len(e.outputs) for e in trace.xforms)
+        assert len(bindings) == xform_bindings + 2 * len(trace.xfers)
+
+    def test_merge_statistics(self):
+        traces = [self.make_trace(1), self.make_trace(2)]
+        stats = merge_statistics(traces)
+        assert stats["runs"] == 2
+        assert stats["records"] == sum(t.record_count for t in traces)
+        assert stats["xform_events"] == sum(len(t.xforms) for t in traces)

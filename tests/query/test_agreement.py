@@ -1,0 +1,141 @@
+"""Cross-strategy agreement on hand-built workflows.
+
+The three implementations of Def. 1 — the in-memory reference, the
+database-backed naive traversal, and INDEXPROJ — must return the same
+binding sets for every query.  (Randomized agreement is in
+tests/properties/test_prop_agreement.py; these are the deterministic,
+debuggable cases.)
+"""
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.graph import reference_lineage
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.testbed.generator import chain_product_workflow
+from repro.testbed.workloads import genes2kegg_workload, protein_discovery_workload
+
+from tests.conftest import build_diamond_workflow, build_fig3_workflow
+
+
+def assert_all_agree(flow, captured, store, query: LineageQuery):
+    reference = reference_lineage(
+        captured.trace, query.node, query.port, query.index, query.focus
+    )
+    naive = NaiveEngine(store).lineage(captured.run_id, query)
+    indexproj = IndexProjEngine(store, flow).lineage(captured.run_id, query)
+    reference_keys = frozenset(b.key() for b in reference)
+    assert naive.binding_keys() == reference_keys, str(query)
+    assert indexproj.binding_keys() == reference_keys, str(query)
+    # Values must agree too, not just identities.
+    naive_values = {b.key(): b.value for b in naive.bindings}
+    indexproj_values = {b.key(): b.value for b in indexproj.bindings}
+    assert naive_values == indexproj_values
+
+
+def store_for(flow, inputs, registry=None):
+    from repro.engine.executor import WorkflowRunner
+
+    captured = capture_run(flow, inputs, runner=WorkflowRunner(registry))
+    store = TraceStore()
+    store.insert_trace(captured.trace)
+    return captured, store
+
+
+class TestDiamondAgreement:
+    @pytest.fixture(autouse=True)
+    def setup(self):
+        self.flow = build_diamond_workflow()
+        self.captured, self.store = store_for(self.flow, {"size": 3})
+        yield
+        self.store.close()
+
+    @pytest.mark.parametrize("index", [(0, 0), (1, 2), (2,), ()])
+    @pytest.mark.parametrize(
+        "focus",
+        [("GEN",), ("A",), ("B",), ("A", "B"), ("GEN", "A", "B", "F"), ()],
+    )
+    def test_queries_from_final_output(self, index, focus):
+        query = LineageQuery.create("F", "y", index, focus)
+        assert_all_agree(self.flow, self.captured, self.store, query)
+
+    @pytest.mark.parametrize("index", [(0, 0), (1,), ()])
+    def test_queries_from_workflow_output(self, index):
+        query = LineageQuery.create("wf", "out", index, ("A", "B", "GEN"))
+        assert_all_agree(self.flow, self.captured, self.store, query)
+
+    def test_query_from_intermediate_port(self):
+        query = LineageQuery.create("A", "y", (1,), ("GEN",))
+        assert_all_agree(self.flow, self.captured, self.store, query)
+
+
+class TestFig3Agreement:
+    @pytest.fixture(autouse=True)
+    def setup(self):
+        self.flow = build_fig3_workflow()
+        self.captured, self.store = store_for(
+            self.flow, {"v": ["v0", "v1", "v2"], "w": "w", "c": ["c0", "c1"]}
+        )
+        yield
+        self.store.close()
+
+    @pytest.mark.parametrize("index", [(0, 0), (2, 2), (1,), ()])
+    @pytest.mark.parametrize("focus", [("Q",), ("R",), ("Q", "R"), ("P",)])
+    def test_fig3_queries(self, index, focus):
+        query = LineageQuery.create("P", "Y", index, focus)
+        assert_all_agree(self.flow, self.captured, self.store, query)
+
+
+class TestSyntheticAgreement:
+    def test_generated_testbed(self):
+        flow = chain_product_workflow(5)
+        captured, store = store_for(flow, {"ListSize": 4})
+        try:
+            for index in [(0, 0), (3, 2), (1,), ()]:
+                for focus in [("LISTGEN_1",), ("CHAIN1_2", "CHAIN2_4")]:
+                    query = LineageQuery.create("2TO1_FINAL", "y", index, focus)
+                    assert_all_agree(flow, captured, store, query)
+        finally:
+            store.close()
+
+
+class TestWorkloadAgreement:
+    def test_genes2kegg(self):
+        workload = genes2kegg_workload()
+        captured, store = store_for(
+            workload.flow, workload.inputs, workload.registry
+        )
+        try:
+            flat = workload.flow.flattened()
+            for port, index in [
+                ("paths_per_gene", (0,)),
+                ("paths_per_gene", (1, 0)),
+                ("commonPathways", ()),
+            ]:
+                for focus in [
+                    ("get_pathways_by_genes",),
+                    ("flatten_gene_lists",),
+                    tuple(flat.processor_names),
+                ]:
+                    query = LineageQuery.create(workload.name, port, index, focus)
+                    assert_all_agree(flat, captured, store, query)
+        finally:
+            store.close()
+
+    def test_protein_discovery(self):
+        workload = protein_discovery_workload(chain_length=5, batch=4)
+        captured, store = store_for(
+            workload.flow, workload.inputs, workload.registry
+        )
+        try:
+            flat = workload.flow.flattened()
+            for focus in [("fetch_abstract",), tuple(flat.processor_names)]:
+                query = LineageQuery.create(
+                    workload.name, "protein_terms", (2,), focus
+                )
+                assert_all_agree(flat, captured, store, query)
+        finally:
+            store.close()

@@ -1,0 +1,76 @@
+"""Tests for shared query/result types (repro.query.base)."""
+
+from repro.engine.events import Binding
+from repro.provenance.store import StoreStats
+from repro.query.base import LineageQuery, LineageResult, MultiRunResult
+from repro.values.index import Index
+from repro.workflow.model import PortRef
+
+
+def result_with(run_id, keys):
+    bindings = [
+        Binding(PortRef(node, port), Index.decode(idx), value=f"v-{idx}")
+        for node, port, idx in keys
+    ]
+    return LineageResult(
+        query=LineageQuery.create("P", "Y", [0], ["A"]),
+        run_id=run_id,
+        bindings=bindings,
+        stats=StoreStats(queries=3, rows=9),
+        traversal_seconds=0.25,
+        lookup_seconds=0.75,
+    )
+
+
+class TestLineageQuery:
+    def test_create_normalizes_inputs(self):
+        query = LineageQuery.create("P", "Y", (1, 2), ("A", "A", "B"))
+        assert query.index == Index(1, 2)
+        assert query.focus == frozenset({"A", "B"})
+
+    def test_create_accepts_index_object(self):
+        assert LineageQuery.create("P", "Y", Index(3)).index == Index(3)
+
+    def test_str_notation(self):
+        text = str(LineageQuery.create("P", "Y", [0, 1], ["B", "A"]))
+        assert text == "lin(<P:Y[0.1]>, {A, B})"
+
+    def test_hashable(self):
+        a = LineageQuery.create("P", "Y", [0], ["A"])
+        b = LineageQuery.create("P", "Y", [0], ["A"])
+        assert len({a, b}) == 1
+
+
+class TestLineageResult:
+    def test_total_seconds(self):
+        result = result_with("r1", [("A", "x", "0")])
+        assert result.total_seconds == 1.0
+
+    def test_binding_keys_value_independent(self):
+        left = result_with("r1", [("A", "x", "0"), ("B", "x", "1")])
+        right = result_with("r2", [("B", "x", "1"), ("A", "x", "0")])
+        assert left.binding_keys() == right.binding_keys()
+
+
+class TestMultiRunResult:
+    def make(self):
+        return MultiRunResult(
+            query=LineageQuery.create("P", "Y", [0], ["A"]),
+            per_run={
+                "r1": result_with("r1", [("A", "x", "0")]),
+                "r2": result_with("r2", [("A", "x", "1")]),
+            },
+            traversal_seconds=0.5,
+            lookup_seconds=1.5,
+        )
+
+    def test_run_ids_order(self):
+        assert self.make().run_ids == ["r1", "r2"]
+
+    def test_total_seconds(self):
+        assert self.make().total_seconds == 2.0
+
+    def test_all_bindings(self):
+        grouped = self.make().all_bindings()
+        assert set(grouped) == {"r1", "r2"}
+        assert [b.key() for b in grouped["r1"]] == [("A", "x", "0")]

@@ -1,0 +1,137 @@
+"""Tests for lineage differencing (repro.query.diff)."""
+
+import pytest
+
+from repro.engine.events import Binding
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.diff import diff_bindings, diff_lineage, diff_multirun
+from repro.query.indexproj import IndexProjEngine
+from repro.values.index import Index
+from repro.workflow.model import PortRef
+
+from tests.conftest import build_diamond_workflow
+
+
+def binding(node, port, index=(), value=None):
+    return Binding(PortRef(node, port), Index.of(index), value=value)
+
+
+class TestDiffBindings:
+    def test_identical_answers(self):
+        left = [binding("A", "x", [0], "v")]
+        right = [binding("A", "x", [0], "v")]
+        diff = diff_bindings(left, right)
+        assert diff.is_empty
+        assert len(diff.unchanged) == 1
+        assert diff.summary() == "1 unchanged, 0 changed, 0 only-left, 0 only-right"
+
+    def test_value_change_detected(self):
+        diff = diff_bindings(
+            [binding("A", "x", [0], "old")], [binding("A", "x", [0], "new")]
+        )
+        assert not diff.is_empty
+        assert len(diff.changed) == 1
+        assert diff.changed[0].left_value == "old"
+        assert diff.changed[0].right_value == "new"
+
+    def test_added_and_removed(self):
+        diff = diff_bindings(
+            [binding("A", "x", [0], "v"), binding("B", "x", [1], "w")],
+            [binding("A", "x", [0], "v"), binding("C", "x", [2], "u")],
+        )
+        assert [b.key() for b in diff.only_left] == [("B", "x", "1")]
+        assert [b.key() for b in diff.only_right] == [("C", "x", "2")]
+        assert len(diff.unchanged) == 1
+
+    def test_results_sorted_by_key(self):
+        diff = diff_bindings(
+            [binding("B", "x", [1]), binding("A", "x", [0])], []
+        )
+        assert [b.key() for b in diff.only_left] == [
+            ("A", "x", "0"), ("B", "x", "1"),
+        ]
+
+
+class TestEndToEndDiff:
+    def _answer(self, flow, inputs, registry=None):
+        from repro.engine.executor import WorkflowRunner
+
+        captured = capture_run(flow, inputs, runner=WorkflowRunner(registry))
+        store = TraceStore()
+        store.insert_trace(captured.trace)
+        engine = IndexProjEngine(store, flow)
+        result = engine.lineage(
+            captured.run_id,
+            LineageQuery.create("F", "y", [0, 1], ["A", "B"]),
+        )
+        store.close()
+        return result
+
+    def test_same_inputs_no_diff(self):
+        flow = build_diamond_workflow()
+        left = self._answer(flow, {"size": 3})
+        right = self._answer(flow, {"size": 3})
+        assert diff_lineage(left, right).is_empty
+
+    def test_changed_service_version_changes_values(self):
+        """Two 'versions' of the workflow: the generator's payload differs,
+        so lineage identities match but values diverge — the cross-version
+        comparison scenario of Section 3.4."""
+        flow = build_diamond_workflow()
+        left = self._answer(flow, {"size": 3})
+
+        from repro.engine.processors import default_registry
+
+        v2_registry = default_registry().extended()
+
+        def v2_generator(inputs, config):
+            size = inputs.get("size", 0)
+            return {"list": [f"item-v2-{i}" for i in range(int(size))]}
+
+        v2_registry.register("list_generator", v2_generator)
+        right = self._answer(flow, {"size": 3}, registry=v2_registry)
+        diff = diff_lineage(left, right)
+        assert not diff.only_left and not diff.only_right
+        assert len(diff.changed) == 2  # both focus bindings changed payloads
+
+    def test_multirun_sweep_diff(self):
+        flow = build_diamond_workflow()
+        with TraceStore() as store:
+            run_ids = []
+            for size in (3, 3, 4):
+                captured = capture_run(flow, {"size": size})
+                store.insert_trace(captured.trace)
+                run_ids.append(captured.run_id)
+            engine = IndexProjEngine(store, flow)
+            multi = engine.lineage_multirun(
+                run_ids, LineageQuery.create("F", "y", [0, 1], ["A", "B"])
+            )
+            diffs = diff_multirun(multi, baseline_run=run_ids[0])
+            assert set(diffs) == set(run_ids[1:])
+            assert diffs[run_ids[1]].is_empty      # identical sweep point
+            assert diffs[run_ids[2]].is_empty      # same elements 0/1 exist
+            # A sweep point that removes elements shows up as only-left.
+            captured_small = capture_run(flow, {"size": 1})
+            store.insert_trace(captured_small.trace)
+            multi = engine.lineage_multirun(
+                run_ids + [captured_small.run_id],
+                LineageQuery.create("F", "y", [0, 1], ["A", "B"]),
+            )
+            diffs = diff_multirun(multi, baseline_run=run_ids[0])
+            small_diff = diffs[captured_small.run_id]
+            assert [b.key() for b in small_diff.only_left] == [("B", "x", "1")]
+
+    def test_unknown_baseline_rejected(self):
+        flow = build_diamond_workflow()
+        with TraceStore() as store:
+            captured = capture_run(flow, {"size": 2})
+            store.insert_trace(captured.trace)
+            engine = IndexProjEngine(store, flow)
+            multi = engine.lineage_multirun(
+                [captured.run_id],
+                LineageQuery.create("F", "y", [0, 0], ["A"]),
+            )
+            with pytest.raises(KeyError):
+                diff_multirun(multi, baseline_run="ghost")

@@ -1,0 +1,96 @@
+"""Tests for the cost model (repro.query.explain)."""
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.explain import explain
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.testbed.generator import chain_product_workflow, focused_query
+from repro.workflow.depths import propagate_depths
+
+from tests.conftest import build_diamond_workflow
+
+
+class TestCostModel:
+    def test_indexproj_lookup_estimate_is_exact(self):
+        """The model's INDEXPROJ lookup count equals the measured count."""
+        flow = chain_product_workflow(6)
+        analysis = propagate_depths(flow)
+        captured = capture_run(flow, {"ListSize": 3})
+        query = focused_query()
+        explanation = explain(analysis, query)
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            result = IndexProjEngine(store, flow, analysis=analysis).lineage(
+                captured.run_id, query
+            )
+            assert explanation.indexproj_lookups == result.stats.queries
+
+    def test_naive_estimate_bounds_measured_lookups(self):
+        """NI's measured round-trips never exceed the 2-per-hop bound."""
+        flow = chain_product_workflow(6)
+        analysis = propagate_depths(flow)
+        captured = capture_run(flow, {"ListSize": 3})
+        query = focused_query()
+        explanation = explain(analysis, query)
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            result = NaiveEngine(store).lineage(captured.run_id, query)
+            assert result.stats.queries <= explanation.naive_lookups
+            # And the bound is tight enough to be informative (within 4x).
+            assert explanation.naive_lookups <= 4 * result.stats.queries
+
+    def test_multi_run_scaling(self):
+        analysis = propagate_depths(build_diamond_workflow())
+        query = LineageQuery.create("F", "y", [0, 0], ["A"])
+        single = explain(analysis, query, runs=1)
+        multi = explain(analysis, query, runs=7)
+        assert multi.indexproj_lookups == 7 * single.indexproj_lookups
+        assert multi.naive_lookups == 7 * single.naive_lookups
+        # The traversal is shared: same ports regardless of runs.
+        assert multi.indexproj_traversal_ports == single.indexproj_traversal_ports
+
+    def test_recommendation_is_indexproj(self):
+        """The paper: INDEXPROJ never does worse than NI."""
+        analysis = propagate_depths(build_diamond_workflow())
+        for focus in (["GEN"], ["A", "B"], ["GEN", "A", "B", "F"]):
+            explanation = explain(
+                analysis, LineageQuery.create("F", "y", [0, 0], focus)
+            )
+            assert explanation.recommendation == "indexproj"
+
+    def test_hops_grow_with_chain_length(self):
+        short = explain(
+            propagate_depths(chain_product_workflow(5)), focused_query()
+        )
+        long = explain(
+            propagate_depths(chain_product_workflow(20)), focused_query()
+        )
+        assert long.naive_hops > short.naive_hops
+        # INDEXPROJ lookups stay put: one focus processor either way.
+        assert long.indexproj_lookups == short.indexproj_lookups == 1
+
+    def test_lookup_ratio(self):
+        analysis = propagate_depths(chain_product_workflow(10))
+        explanation = explain(analysis, focused_query())
+        assert explanation.lookup_ratio > 10
+
+    def test_summary_is_readable(self):
+        analysis = propagate_depths(build_diamond_workflow())
+        explanation = explain(
+            analysis, LineageQuery.create("F", "y", [0, 0], ["A"]), runs=3
+        )
+        text = explanation.summary()
+        assert "3 run(s)" in text
+        assert "indexproj" in text
+
+    def test_empty_focus_ratio_handles_zero(self):
+        analysis = propagate_depths(build_diamond_workflow())
+        explanation = explain(
+            analysis, LineageQuery.create("F", "y", [0, 0], [])
+        )
+        assert explanation.indexproj_lookups == 0
+        assert explanation.lookup_ratio == float("inf")

@@ -1,0 +1,171 @@
+"""Tests for forward (impact) queries (repro.query.impact)."""
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.graph import reference_impact
+from repro.provenance.store import TraceStore
+from repro.query.impact import (
+    ImpactQuery,
+    IndexProjImpactEngine,
+    NaiveImpactEngine,
+    PatternTraceQuery,
+    build_impact_plan,
+)
+from repro.values.index import Index
+from repro.values.pattern import IndexPattern
+from repro.workflow.depths import propagate_depths
+
+from tests.conftest import build_diamond_workflow, build_fig3_workflow
+
+
+@pytest.fixture(scope="module")
+def diamond():
+    flow = build_diamond_workflow()
+    captured = capture_run(flow, {"size": 3})
+    store = TraceStore()
+    store.insert_trace(captured.trace)
+    yield flow, captured, store
+    store.close()
+
+
+class TestImpactPlanning:
+    def test_fixed_fragment_becomes_slot_pattern(self, diamond):
+        flow, _, _ = diamond
+        analysis = propagate_depths(flow)
+        plan = build_impact_plan(
+            analysis, ImpactQuery.create("B", "x", [2], ["F"])
+        )
+        # B feeds F's second input slot: pattern [*, 2].
+        assert set(plan.trace_queries) == {
+            PatternTraceQuery("F", "y", IndexPattern(None, 2)),
+        }
+
+    def test_first_slot_pattern(self, diamond):
+        flow, _, _ = diamond
+        analysis = propagate_depths(flow)
+        plan = build_impact_plan(
+            analysis, ImpactQuery.create("A", "x", [1], ["F"])
+        )
+        assert set(plan.trace_queries) == {
+            PatternTraceQuery("F", "y", IndexPattern(1, None)),
+        }
+
+    def test_plan_from_workflow_input(self, diamond):
+        flow, _, _ = diamond
+        analysis = propagate_depths(flow)
+        plan = build_impact_plan(
+            analysis, ImpactQuery.create("wf", "size", [], ["A", "B", "F"])
+        )
+        processors = {tq.processor for tq in plan.trace_queries}
+        assert processors == {"A", "B", "F"}
+
+    def test_focus_restricts_plan(self, diamond):
+        flow, _, _ = diamond
+        analysis = propagate_depths(flow)
+        plan = build_impact_plan(
+            analysis, ImpactQuery.create("GEN", "list", [0], ["A"])
+        )
+        assert {tq.processor for tq in plan.trace_queries} == {"A"}
+
+
+class TestImpactAnswers:
+    def test_element_impact_through_cross_product(self, diamond):
+        flow, captured, store = diamond
+        query = ImpactQuery.create("A", "x", [1], ["F"])
+        result = NaiveImpactEngine(store).impact(captured.run_id, query)
+        assert [b.key() for b in result.bindings] == [
+            ("F", "y", "1.0"), ("F", "y", "1.1"), ("F", "y", "1.2"),
+        ]
+
+    def test_engines_and_reference_agree(self, diamond):
+        flow, captured, store = diamond
+        cases = [
+            ("A", "x", [1], ["F"]),
+            ("B", "x", [2], ["F"]),
+            ("GEN", "list", [0], ["A", "B", "F"]),
+            ("wf", "size", [], ["F"]),
+            ("GEN", "list", [], ["A"]),
+        ]
+        for node, port, index, focus in cases:
+            query = ImpactQuery.create(node, port, index, focus)
+            naive = NaiveImpactEngine(store).impact(captured.run_id, query)
+            indexproj = IndexProjImpactEngine(store, flow).impact(
+                captured.run_id, query
+            )
+            reference = reference_impact(
+                captured.trace, node, port, Index.of(index), focus
+            )
+            reference_keys = frozenset(b.key() for b in reference)
+            assert naive.binding_keys() == reference_keys, str(query)
+            assert indexproj.binding_keys() == reference_keys, str(query)
+
+    def test_impact_values_returned(self, diamond):
+        flow, captured, store = diamond
+        query = ImpactQuery.create("A", "x", [0], ["F"])
+        result = IndexProjImpactEngine(store, flow).impact(
+            captured.run_id, query
+        )
+        assert {b.value for b in result.bindings} == {
+            "item-0-a+item-0-b", "item-0-a+item-1-b", "item-0-a+item-2-b",
+        }
+
+    def test_indexproj_lookup_count(self, diamond):
+        flow, captured, store = diamond
+        query = ImpactQuery.create("A", "x", [0], ["F"])
+        result = IndexProjImpactEngine(store, flow).impact(
+            captured.run_id, query
+        )
+        assert result.stats.queries == 1  # one output port in focus
+
+    def test_coarse_boundary_widens_impact(self):
+        """Through a whole-list consumer, impact covers every downstream
+        element (the forward mirror of coarse lineage)."""
+        flow = build_fig3_workflow()
+        captured = capture_run(
+            flow, {"v": ["v0", "v1"], "w": "w", "c": ["c0"]}
+        )
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            # R consumed w whole; every P output depends on it.
+            query = ImpactQuery.create("fig3", "w", [], ["P"])
+            naive = NaiveImpactEngine(store).impact(captured.run_id, query)
+            indexproj = IndexProjImpactEngine(store, flow).impact(
+                captured.run_id, query
+            )
+            assert len(naive.bindings) == 6  # |v| * width(R) = 2 * 3
+            assert naive.binding_keys() == indexproj.binding_keys()
+
+    def test_fine_element_stays_narrow(self):
+        flow = build_fig3_workflow()
+        captured = capture_run(
+            flow, {"v": ["v0", "v1", "v2"], "w": "w", "c": ["c0"]}
+        )
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            query = ImpactQuery.create("fig3", "v", [1], ["P"])
+            result = IndexProjImpactEngine(store, flow).impact(
+                captured.run_id, query
+            )
+            # Only the q = [1, *] row of P's outputs.
+            assert all(b.index[0] == 1 for b in result.bindings)
+            assert len(result.bindings) == 3
+
+
+class TestImpactMultirun:
+    def test_plan_shared_across_runs(self):
+        flow = build_diamond_workflow()
+        with TraceStore() as store:
+            run_ids = []
+            for _ in range(3):
+                captured = capture_run(flow, {"size": 2})
+                store.insert_trace(captured.trace)
+                run_ids.append(captured.run_id)
+            engine = IndexProjImpactEngine(store, flow)
+            multi = engine.impact_multirun(
+                run_ids, ImpactQuery.create("A", "x", [1], ["F"])
+            )
+            assert sorted(multi.run_ids) == sorted(run_ids)
+            for result in multi.per_run.values():
+                assert len(result.bindings) == 2
+                assert result.stats.queries == 1

@@ -1,0 +1,96 @@
+"""Tests for batched multi-run execution (beyond-paper optimization)."""
+
+from repro.provenance.capture import capture_run
+from repro.provenance.store import StoreStats, TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.values.index import Index
+
+from tests.conftest import build_diamond_workflow
+
+
+def populated(runs=4, sizes=None):
+    flow = build_diamond_workflow()
+    store = TraceStore()
+    run_ids = []
+    for i in range(runs):
+        size = sizes[i] if sizes else 3
+        captured = capture_run(flow, {"size": size})
+        store.insert_trace(captured.trace)
+        run_ids.append(captured.run_id)
+    return flow, store, run_ids
+
+
+class TestBatchedMultirun:
+    def test_answers_match_per_run_loop(self):
+        flow, store, run_ids = populated()
+        try:
+            engine = IndexProjEngine(store, flow)
+            query = LineageQuery.create("F", "y", [1, 2], ["A", "B"])
+            looped = engine.lineage_multirun(run_ids, query)
+            batched = engine.lineage_multirun_batched(run_ids, query)
+            assert set(batched.per_run) == set(looped.per_run)
+            for run_id in run_ids:
+                assert (
+                    batched.per_run[run_id].binding_keys()
+                    == looped.per_run[run_id].binding_keys()
+                )
+        finally:
+            store.close()
+
+    def test_one_round_trip_per_planned_lookup(self):
+        flow, store, run_ids = populated(runs=6)
+        try:
+            engine = IndexProjEngine(store, flow)
+            query = LineageQuery.create("F", "y", [0, 0], ["A", "B"])
+            batched = engine.lineage_multirun_batched(run_ids, query)
+            # Two planned lookups (A:x, B:x) regardless of 6 runs in scope.
+            stats = batched.per_run[run_ids[0]].stats
+            assert stats.queries == 2
+            looped = engine.lineage_multirun(run_ids, query)
+            looped_total = sum(
+                r.stats.queries for r in looped.per_run.values()
+            )
+            assert looped_total == 12
+        finally:
+            store.close()
+
+    def test_runs_with_different_inputs(self):
+        flow, store, run_ids = populated(runs=3, sizes=[2, 3, 1])
+        try:
+            engine = IndexProjEngine(store, flow)
+            # Index [0, 0] exists in every run; values differ per run only
+            # in identity of elements, not keys.
+            query = LineageQuery.create("F", "y", [2, 2], ["A", "B"])
+            batched = engine.lineage_multirun_batched(run_ids, query)
+            # Only the size-3 run has element 2.
+            assert batched.per_run[run_ids[0]].bindings == []
+            assert len(batched.per_run[run_ids[1]].bindings) == 2
+            assert batched.per_run[run_ids[2]].bindings == []
+        finally:
+            store.close()
+
+    def test_empty_scope(self):
+        flow, store, _ = populated(runs=1)
+        try:
+            engine = IndexProjEngine(store, flow)
+            result = engine.lineage_multirun_batched(
+                [], LineageQuery.create("F", "y", [0, 0], ["A"])
+            )
+            assert result.per_run == {}
+        finally:
+            store.close()
+
+    def test_store_multi_lookup_grouping(self):
+        flow, store, run_ids = populated(runs=2)
+        try:
+            stats = StoreStats()
+            grouped = store.find_xform_inputs_matching_multi(
+                run_ids, "A", "x", Index(1), stats
+            )
+            assert set(grouped) == set(run_ids)
+            for bindings in grouped.values():
+                assert [b.key() for b in bindings] == [("A", "x", "1")]
+            assert stats.queries == 1
+        finally:
+            store.close()

@@ -1,0 +1,152 @@
+"""Tests for the naive strategy (repro.query.naive)."""
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.naive import NaiveEngine
+
+from tests.conftest import build_diamond_workflow, build_fig3_workflow
+
+
+@pytest.fixture
+def diamond():
+    captured = capture_run(build_diamond_workflow(), {"size": 3})
+    with TraceStore() as store:
+        store.insert_trace(captured.trace)
+        yield captured, store
+
+
+class TestSingleRun:
+    def test_fine_grained_focused(self, diamond):
+        captured, store = diamond
+        result = NaiveEngine(store).lineage(
+            captured.run_id, LineageQuery.create("F", "y", [1, 2], ["A", "B"])
+        )
+        assert [b.key() for b in result.bindings] == [
+            ("A", "x", "1"), ("B", "x", "2"),
+        ]
+
+    def test_values_returned(self, diamond):
+        captured, store = diamond
+        result = NaiveEngine(store).lineage(
+            captured.run_id, LineageQuery.create("F", "y", [1, 2], ["A", "B"])
+        )
+        assert {b.value for b in result.bindings} == {"item-1", "item-2"}
+
+    def test_focus_restricts_answer_not_traversal(self, diamond):
+        captured, store = diamond
+        engine = NaiveEngine(store)
+        focused = engine.lineage(
+            captured.run_id, LineageQuery.create("wf", "out", [0, 0], ["GEN"])
+        )
+        assert [b.key() for b in focused.bindings] == [("GEN", "size", "")]
+        # NI still walks the whole path: its SQL count is unchanged by focus.
+        unfocused = engine.lineage(
+            captured.run_id,
+            LineageQuery.create("wf", "out", [0, 0], ["GEN", "A", "B", "F"]),
+        )
+        assert focused.stats.queries == unfocused.stats.queries
+
+    def test_empty_focus_empty_answer(self, diamond):
+        captured, store = diamond
+        result = NaiveEngine(store).lineage(
+            captured.run_id, LineageQuery.create("F", "y", [0, 0], [])
+        )
+        assert result.bindings == []
+        assert result.stats.queries > 0  # traversal still happened
+
+    def test_coarse_query_expands(self, diamond):
+        captured, store = diamond
+        result = NaiveEngine(store).lineage(
+            captured.run_id, LineageQuery.create("wf", "out", [], ["A"])
+        )
+        assert sorted(b.key() for b in result.bindings) == [
+            ("A", "x", "0"), ("A", "x", "1"), ("A", "x", "2"),
+        ]
+
+    def test_partial_index(self, diamond):
+        captured, store = diamond
+        result = NaiveEngine(store).lineage(
+            captured.run_id, LineageQuery.create("F", "y", [2], ["A", "B"])
+        )
+        keys = sorted(b.key() for b in result.bindings)
+        assert keys == [
+            ("A", "x", "2"),
+            ("B", "x", "0"), ("B", "x", "1"), ("B", "x", "2"),
+        ]
+
+    def test_unknown_run_returns_nothing(self, diamond):
+        _, store = diamond
+        result = NaiveEngine(store).lineage(
+            "ghost", LineageQuery.create("F", "y", [0, 0], ["A"])
+        )
+        assert result.bindings == []
+
+    def test_timing_recorded_in_lookup_bucket(self, diamond):
+        captured, store = diamond
+        result = NaiveEngine(store).lineage(
+            captured.run_id, LineageQuery.create("F", "y", [0, 0], ["A"])
+        )
+        assert result.traversal_seconds == 0.0
+        assert result.lookup_seconds > 0.0
+        assert result.total_seconds == result.lookup_seconds
+
+
+class TestGranularityBoundaries:
+    def test_coarse_processor_stops_fine_tracking(self):
+        """Through a whole-list processor, lineage falls back to the whole
+        upstream value (the paper's processor-R discussion)."""
+        flow = build_fig3_workflow()
+        captured = capture_run(flow, {"v": ["v0", "v1"], "w": "w", "c": ["c0"]})
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            result = NaiveEngine(store).lineage(
+                captured.run_id,
+                LineageQuery.create("P", "Y", [0, 1], ["Q", "R"]),
+            )
+            keys = sorted(b.key() for b in result.bindings)
+            # X1[h] traces to Q:X[h] fine-grained; X3[l] crosses R, which
+            # consumed w whole: coarse.
+            assert keys == [("Q", "X", "0"), ("R", "X", "")]
+
+    def test_matches_paper_unfolding(self):
+        """lin(<P:Y[h,l]>, {Q, R}) = {<Q:X[h]>, <R:X[]>} (Section 2.4)."""
+        flow = build_fig3_workflow()
+        captured = capture_run(
+            flow, {"v": ["v0", "v1", "v2"], "w": "w", "c": ["c0"]}
+        )
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            result = NaiveEngine(store).lineage(
+                captured.run_id,
+                LineageQuery.create("P", "Y", [2, 1], ["Q", "R"]),
+            )
+            assert sorted(b.key() for b in result.bindings) == [
+                ("Q", "X", "2"), ("R", "X", ""),
+            ]
+
+
+class TestMultiRun:
+    def test_one_traversal_per_run(self):
+        flow = build_diamond_workflow()
+        with TraceStore() as store:
+            run_ids = []
+            for _ in range(3):
+                captured = capture_run(flow, {"size": 2})
+                store.insert_trace(captured.trace)
+                run_ids.append(captured.run_id)
+            engine = NaiveEngine(store)
+            query = LineageQuery.create("F", "y", [0, 1], ["A", "B"])
+            multi = engine.lineage_multirun(run_ids, query)
+            assert sorted(multi.run_ids) == sorted(run_ids)
+            for result in multi.per_run.values():
+                assert [b.key() for b in result.bindings] == [
+                    ("A", "x", "0"), ("B", "x", "1"),
+                ]
+            single = engine.lineage(run_ids[0], query)
+            total_queries = sum(
+                r.stats.queries for r in multi.per_run.values()
+            )
+            assert total_queries == 3 * single.stats.queries

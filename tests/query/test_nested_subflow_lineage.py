@@ -1,0 +1,124 @@
+"""Lineage queries through nested (flattened) sub-workflows."""
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.workflow.builder import DataflowBuilder
+
+
+def build_nested():
+    """Host workflow embedding a two-step sub-workflow, iterated per
+    element of the host's input list."""
+    sub = (
+        DataflowBuilder("sub")
+        .input("a", "string")
+        .output("b", "string")
+        .processor("clean", inputs=[("x", "string")],
+                   outputs=[("y", "string")], operation="tag",
+                   config={"suffix": "-clean"})
+        .processor("norm", inputs=[("x", "string")],
+                   outputs=[("y", "string")], operation="tag",
+                   config={"suffix": "-norm"})
+        .arc("sub:a", "clean:x")
+        .arc("clean:y", "norm:x")
+        .arc("norm:y", "sub:b")
+        .build()
+    )
+    return (
+        DataflowBuilder("host")
+        .input("items", "list(string)")
+        .output("out", "list(string)")
+        .processor("stage", inputs=[("a", "string")],
+                   outputs=[("b", "string")], subflow=sub)
+        .processor("final", inputs=[("x", "string")],
+                   outputs=[("y", "string")], operation="tag",
+                   config={"suffix": "-done"})
+        .arc("host:items", "stage:a")
+        .arc("stage:b", "final:x")
+        .arc("final:y", "host:out")
+        .build()
+    )
+
+
+@pytest.fixture(scope="module")
+def nested():
+    flow = build_nested()
+    captured = capture_run(flow, {"items": ["p", "q", "r"]})
+    store = TraceStore()
+    store.insert_trace(captured.trace)
+    yield flow, captured, store
+    store.close()
+
+
+class TestNestedLineage:
+    def test_execution_iterates_inside_subflow(self, nested):
+        _, captured, _ = nested
+        assert captured.outputs["out"] == [
+            "p-clean-norm-done", "q-clean-norm-done", "r-clean-norm-done",
+        ]
+
+    def test_trace_uses_qualified_names(self, nested):
+        _, captured, _ = nested
+        assert "stage/clean" in captured.trace.processor_names
+        assert "stage/norm" in captured.trace.processor_names
+
+    def test_focused_query_on_inner_processor(self, nested):
+        flow, captured, store = nested
+        query = LineageQuery.create("host", "out", [2], ["stage/clean"])
+        naive = NaiveEngine(store).lineage(captured.run_id, query)
+        indexproj = IndexProjEngine(store, flow).lineage(
+            captured.run_id, query
+        )
+        assert naive.binding_keys() == indexproj.binding_keys()
+        assert [b.key() for b in naive.bindings] == [("stage/clean", "x", "2")]
+        assert naive.bindings[0].value == "r"
+
+    def test_engine_accepts_unflattened_flow(self, nested):
+        """IndexProjEngine flattens internally; callers can pass the
+        nested definition directly."""
+        flow, captured, store = nested
+        engine = IndexProjEngine(store, flow)  # not flow.flattened()
+        result = engine.lineage(
+            captured.run_id,
+            LineageQuery.create("final", "y", [0], ["stage/norm"]),
+        )
+        assert [b.key() for b in result.bindings] == [("stage/norm", "x", "0")]
+
+    def test_unfocused_query_spans_boundary(self, nested):
+        flow, captured, store = nested
+        flat = flow.flattened()
+        query = LineageQuery.create(
+            "host", "out", [1], list(flat.processor_names)
+        )
+        naive = NaiveEngine(store).lineage(captured.run_id, query)
+        indexproj = IndexProjEngine(store, flow).lineage(
+            captured.run_id, query
+        )
+        assert naive.binding_keys() == indexproj.binding_keys()
+        nodes = {b.node for b in naive.bindings}
+        assert nodes == {"stage/clean", "stage/norm", "final"}
+
+
+class TestMixedWorkflowStore:
+    def test_runs_of_different_workflows_are_isolated(self):
+        from tests.conftest import build_diamond_workflow
+
+        nested_flow = build_nested()
+        diamond = build_diamond_workflow()
+        with TraceStore() as store:
+            nested_run = capture_run(nested_flow, {"items": ["p"]})
+            diamond_run = capture_run(diamond, {"size": 2})
+            store.insert_trace(nested_run.trace)
+            store.insert_trace(diamond_run.trace)
+            assert store.run_ids(workflow="host") == [nested_run.run_id]
+            assert store.run_ids(workflow="wf") == [diamond_run.run_id]
+            # A query against the wrong run id returns nothing.
+            result = NaiveEngine(store).lineage(
+                diamond_run.run_id,
+                LineageQuery.create("host", "out", [0], ["stage/clean"]),
+            )
+            assert result.bindings == []

@@ -1,0 +1,87 @@
+"""Tests for the textual query notation (repro.query.parser)."""
+
+import pytest
+
+from repro.query.base import LineageQuery
+from repro.query.parser import QueryParseError, format_query, parse_query
+from repro.values.index import Index
+
+
+class TestParseQuery:
+    def test_full_paper_notation(self):
+        query = parse_query("lin(<P:Y[0.1]>, {Q, R})")
+        assert query.node == "P"
+        assert query.port == "Y"
+        assert query.index == Index(0, 1)
+        assert query.focus == frozenset({"Q", "R"})
+
+    def test_without_angle_brackets(self):
+        query = parse_query("lin(P:Y[2], {Q})")
+        assert (query.node, query.port, query.index) == ("P", "Y", Index(2))
+
+    def test_empty_index(self):
+        assert parse_query("lin(<P:Y[]>, {Q})").index == Index()
+
+    def test_missing_index_brackets(self):
+        assert parse_query("lin(<P:Y>, {Q})").index == Index()
+
+    def test_bare_binding(self):
+        query = parse_query("wf:out[1.2]")
+        assert (query.node, query.port) == ("wf", "out")
+        assert query.index == Index(1, 2)
+        assert query.focus == frozenset()
+
+    def test_empty_focus(self):
+        assert parse_query("lin(<P:Y[0]>, {})").focus == frozenset()
+
+    def test_whitespace_tolerated(self):
+        query = parse_query("  lin( < P : Y [ 0.1 ] > , { Q , R } )  ")
+        assert query.index == Index(0, 1)
+        assert query.focus == frozenset({"Q", "R"})
+
+    def test_realistic_processor_names(self):
+        query = parse_query(
+            "lin(genes2kegg:paths_per_gene[0], {get_pathways_by_genes})"
+        )
+        assert query.node == "genes2kegg"
+        assert query.focus == frozenset({"get_pathways_by_genes"})
+
+    def test_lin_without_focus(self):
+        query = parse_query("lin(P:Y[3])")
+        assert query.index == Index(3)
+        assert query.focus == frozenset()
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "lin(PY[0], {Q})",          # no colon
+            "lin(<P:Y[0]> {Q})",        # missing comma
+            "lin(<P:Y[0]>, {Q)",        # unterminated focus
+            "lin(<P:Y[0]>, {Q,,R})",    # empty name
+            "lin(<P:Y[x]>, {Q})",       # non-numeric index
+            ":port[0]",                 # empty node
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(QueryParseError):
+            parse_query(text)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            LineageQuery.create("P", "Y", [0, 1], ["Q", "R"]),
+            LineageQuery.create("wf", "out", [], []),
+            LineageQuery.create("A", "x", [5], ["A"]),
+        ],
+    )
+    def test_format_parse_roundtrip(self, query):
+        assert parse_query(format_query(query)) == query
+
+    def test_format_matches_lineagequery_str(self):
+        query = LineageQuery.create("P", "Y", [0], ["Q"])
+        # Both renderings parse back to the same query.
+        assert parse_query(format_query(query)) == parse_query(str(query))

@@ -1,0 +1,127 @@
+"""Tests for the index projection rule (repro.query.projection).
+
+Includes the erratum demonstration: the paper's literal Def. 4 (fragments
+starting at the port *position*) contradicts Prop. 1 on the paper's own
+Fig. 3 example, while the corrected rule (fragments at cumulative-mismatch
+offsets) matches the executed traces exactly.
+"""
+
+from repro.engine.executor import run_workflow
+from repro.provenance.trace import TraceBuilder
+from repro.query.projection import (
+    project_output_index,
+    uncorrected_project_output_index,
+)
+from repro.values.index import Index
+from repro.workflow.depths import propagate_depths
+
+from tests.conftest import build_diamond_workflow, build_fig3_workflow
+
+
+class TestCrossProjection:
+    def setup_method(self):
+        self.analysis = propagate_depths(build_fig3_workflow())
+
+    def test_full_index_splits_by_mismatch(self):
+        fragments = project_output_index(self.analysis, "P", Index(3, 7))
+        assert fragments == [
+            ("X1", Index(3)),
+            ("X2", Index()),
+            ("X3", Index(7)),
+        ]
+
+    def test_partial_index_clips_missing_positions(self):
+        fragments = project_output_index(self.analysis, "P", Index(3))
+        assert fragments == [
+            ("X1", Index(3)),
+            ("X2", Index()),
+            ("X3", Index()),  # unconstrained -> whole value
+        ]
+
+    def test_empty_index_gives_all_empty_fragments(self):
+        fragments = project_output_index(self.analysis, "P", Index())
+        assert all(fragment == Index() for _, fragment in fragments)
+
+    def test_excess_positions_dropped(self):
+        # Positions beyond the iteration level address structure inside one
+        # instance's output: black box, so they project away.
+        fragments = project_output_index(self.analysis, "P", Index(3, 7, 9, 9))
+        assert fragments == [
+            ("X1", Index(3)),
+            ("X2", Index()),
+            ("X3", Index(7)),
+        ]
+
+    def test_zero_level_processor(self):
+        analysis = propagate_depths(build_diamond_workflow())
+        fragments = project_output_index(analysis, "GEN", Index(5))
+        assert fragments == [("size", Index())]
+
+
+class TestAgainstExecutedTraces:
+    """The projection of every executed instance index must reproduce the
+    recorded input fragments — Prop. 1 as an executable check."""
+
+    def assert_projection_matches_trace(self, flow, inputs):
+        builder = TraceBuilder("t", flow.name)
+        run_workflow(flow, inputs, listener=builder)
+        analysis = propagate_depths(flow)
+        for event in builder.trace.xforms:
+            q = event.outputs[0].index
+            projected = dict(project_output_index(analysis, event.processor, q))
+            recorded = {b.port: b.index for b in event.inputs}
+            assert projected == recorded, (event.processor, q)
+
+    def test_fig3(self):
+        self.assert_projection_matches_trace(
+            build_fig3_workflow(),
+            {"v": ["v0", "v1"], "w": "w", "c": ["c0", "c1"]},
+        )
+
+    def test_diamond(self):
+        self.assert_projection_matches_trace(build_diamond_workflow(), {"size": 3})
+
+
+class TestErratum:
+    def test_uncorrected_rule_violates_prop1_on_fig3(self):
+        """Def. 4 as printed: X3 sits at port position 2, so its fragment
+        would start at position 2 of a length-2 index — beyond the end —
+        yielding the empty fragment where the trace records [l]."""
+        analysis = propagate_depths(build_fig3_workflow())
+        corrected = dict(project_output_index(analysis, "P", Index(3, 7)))
+        literal = dict(uncorrected_project_output_index(analysis, "P", Index(3, 7)))
+        assert corrected["X3"] == Index(7)
+        assert literal["X3"] != corrected["X3"]
+
+    def test_rules_agree_when_offsets_equal_positions(self):
+        """With every input iterated exactly one level, cumulative offsets
+        coincide with port positions and the two readings agree."""
+        analysis = propagate_depths(build_diamond_workflow())
+        q = Index(2, 5)
+        assert project_output_index(
+            analysis, "F", q
+        ) == uncorrected_project_output_index(analysis, "F", q)
+
+
+class TestDotProjection:
+    def test_iterated_ports_share_fragment(self):
+        from repro.workflow.builder import DataflowBuilder
+
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(string)")
+            .input("b", "list(string)")
+            .processor(
+                "Z",
+                inputs=[("x1", "string"), ("x2", "string")],
+                outputs=[("y", "string")],
+                operation="concat_pair",
+                iteration="dot",
+                config={"left": "x1", "right": "x2"},
+            )
+            .arcs(("wf:a", "Z:x1"), ("wf:b", "Z:x2"))
+            .build()
+        )
+        analysis = propagate_depths(flow)
+        fragments = project_output_index(analysis, "Z", Index(4))
+        assert fragments == [("x1", Index(4)), ("x2", Index(4))]

@@ -1,0 +1,97 @@
+"""Tests for value-predicated queries (repro.query.value_search)."""
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.store import StoreStats, TraceStore
+from repro.query.value_search import find_value, trace_value
+
+from tests.conftest import build_diamond_workflow
+
+
+@pytest.fixture(scope="module")
+def diamond():
+    flow = build_diamond_workflow()
+    captured = capture_run(flow, {"size": 3})
+    store = TraceStore()
+    store.insert_trace(captured.trace)
+    yield flow, captured, store
+    store.close()
+
+
+class TestFindValue:
+    def test_exact_atomic_value(self, diamond):
+        _, captured, store = diamond
+        hits = find_value(store, captured.run_id, value="item-1-a")
+        keys = {(h.binding.node, h.binding.port, h.role) for h in hits}
+        # Produced by A, transferred to F, consumed by F.
+        assert ("A", "y", "out") in keys
+        assert ("F", "a", "in") in keys
+        assert any(role == "xfer" for _, _, role in keys)
+
+    def test_exact_list_value(self, diamond):
+        _, captured, store = diamond
+        hits = find_value(
+            store, captured.run_id, value=["item-0", "item-1", "item-2"]
+        )
+        assert any(h.binding.node == "GEN" for h in hits)
+
+    def test_substring_search_sees_inside_lists(self, diamond):
+        _, captured, store = diamond
+        hits = find_value(store, captured.run_id, substring="item-2")
+        nodes = {h.binding.node for h in hits}
+        assert "GEN" in nodes  # the generator's list contains item-2
+        assert "F" in nodes    # concatenations mention it too
+
+    def test_substring_escapes_like_metacharacters(self, diamond):
+        _, captured, store = diamond
+        assert find_value(store, captured.run_id, substring="item-%") == []
+        assert find_value(store, captured.run_id, substring="item_0") == []
+
+    def test_no_match(self, diamond):
+        _, captured, store = diamond
+        assert find_value(store, captured.run_id, value="ghost") == []
+
+    def test_argument_validation(self, diamond):
+        _, captured, store = diamond
+        with pytest.raises(ValueError):
+            find_value(store, captured.run_id)
+        with pytest.raises(ValueError):
+            find_value(store, captured.run_id, value="x", substring="y")
+
+    def test_stats_counted(self, diamond):
+        _, captured, store = diamond
+        stats = StoreStats()
+        find_value(store, captured.run_id, value="item-0", stats=stats)
+        assert stats.queries == 2  # io scan + xfer scan
+
+    def test_works_on_interned_store(self):
+        flow = build_diamond_workflow()
+        captured = capture_run(flow, {"size": 2})
+        with TraceStore(intern_values=True) as store:
+            store.insert_trace(captured.trace)
+            hits = find_value(store, captured.run_id, value="item-1-b")
+            assert hits
+            assert all(h.binding.value == "item-1-b" for h in hits)
+
+
+class TestTraceValue:
+    def test_origins_and_affected(self, diamond):
+        flow, captured, store = diamond
+        trace = trace_value(
+            store, flow, captured.run_id, value="item-2-a",
+            focus=["GEN", "F"],
+        )
+        assert trace.hits
+        # Upstream: the generator's size parameter.
+        assert ("GEN", "size", "") in {b.key() for b in trace.origins}
+        # Downstream: the whole F row built from a[2].
+        affected_keys = {b.key() for b in trace.affected}
+        assert {("F", "y", f"2.{j}") for j in range(3)} <= affected_keys
+
+    def test_unknown_value_yields_empty_trace(self, diamond):
+        flow, captured, store = diamond
+        trace = trace_value(store, flow, captured.run_id, value="nope")
+        assert trace.hits == []
+        assert trace.origins == []
+        assert trace.affected == []

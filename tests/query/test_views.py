@@ -1,0 +1,112 @@
+"""Tests for user views (repro.query.views)."""
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.query.views import (
+    UserView,
+    focus_for_groups,
+    group_summary,
+    rollup,
+)
+from repro.workflow.model import WorkflowError
+
+from tests.conftest import build_diamond_workflow
+
+
+@pytest.fixture
+def view():
+    return UserView("stages", {"branches": ["A", "B"], "source": ["GEN"]})
+
+
+class TestUserView:
+    def test_group_membership(self, view):
+        assert view.members("branches") == frozenset({"A", "B"})
+        assert view.group_of("A") == "branches"
+        assert view.group_of("GEN") == "source"
+        assert view.group_of("F") is None
+
+    def test_group_names(self, view):
+        assert set(view.group_names) == {"branches", "source"}
+
+    def test_unknown_group_raises(self, view):
+        with pytest.raises(WorkflowError):
+            view.members("nope")
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(WorkflowError, match="belongs to both"):
+            UserView("bad", {"g1": ["A"], "g2": ["A"]})
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(WorkflowError, match="empty"):
+            UserView("bad", {"g1": []})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkflowError):
+            UserView("", {})
+
+    def test_validate_against_flow(self, view):
+        view.validate_against(build_diamond_workflow())
+        ghost = UserView("ghost", {"g": ["NOPE"]})
+        with pytest.raises(WorkflowError, match="unknown processor"):
+            ghost.validate_against(build_diamond_workflow())
+
+
+class TestFocusExpansion:
+    def test_expand_single_group(self, view):
+        assert focus_for_groups(view, ["branches"]) == frozenset({"A", "B"})
+
+    def test_expand_multiple_groups(self, view):
+        assert focus_for_groups(view, ["branches", "source"]) == frozenset(
+            {"A", "B", "GEN"}
+        )
+
+    def test_expand_nothing(self, view):
+        assert focus_for_groups(view, []) == frozenset()
+
+
+class TestRollup:
+    def test_end_to_end_group_query(self, view):
+        """Ask lineage at view granularity: focus = a group, answer rolled
+        up to groups."""
+        flow = build_diamond_workflow()
+        captured = capture_run(flow, {"size": 2})
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            engine = IndexProjEngine(store, flow)
+            query = LineageQuery.create(
+                "wf", "out", [0, 1], focus_for_groups(view, ["branches"])
+            )
+            result = engine.lineage(captured.run_id, query)
+            grouped = rollup(result.bindings, view)
+            assert {entry.group for entry in grouped} == {"branches"}
+            summary = group_summary(grouped)
+            assert sorted(b.key() for b in summary["branches"]) == [
+                ("A", "x", "0"), ("B", "x", "1"),
+            ]
+
+    def test_ungrouped_processor_keeps_own_name(self, view):
+        flow = build_diamond_workflow()
+        captured = capture_run(flow, {"size": 2})
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            engine = IndexProjEngine(store, flow)
+            query = LineageQuery.create("wf", "out", [0, 0], ["F", "GEN"])
+            result = engine.lineage(captured.run_id, query)
+            grouped = rollup(result.bindings, view)
+            groups = {entry.group for entry in grouped}
+            assert "F" in groups          # ungrouped: own name
+            assert "source" in groups     # GEN's group
+
+    def test_rollup_deduplicates_and_sorts(self, view):
+        from repro.engine.events import Binding
+        from repro.values.index import Index
+        from repro.workflow.model import PortRef
+
+        binding = Binding(PortRef("A", "x"), Index(0), value="v")
+        grouped = rollup([binding, binding], view)
+        assert len(grouped) == 1
+        assert grouped[0].group == "branches"

@@ -1,0 +1,123 @@
+"""End-to-end tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloadsCommand:
+    def test_lists_builtin_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "genes2kegg" in out
+        assert "protein_discovery" in out
+
+
+class TestRunCommand:
+    def test_run_workload(self, tmp_path, capsys):
+        db = str(tmp_path / "t.db")
+        assert main(["run", "--workload", "gk", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "trace records" in out
+        assert "paths_per_gene" in out
+
+    def test_run_synthetic_multiple(self, tmp_path, capsys):
+        db = str(tmp_path / "t.db")
+        assert main(
+            ["run", "--synthetic-l", "3", "--synthetic-d", "4", "--db", db,
+             "--runs", "2"]
+        ) == 0
+        assert capsys.readouterr().out.count("run ") == 2
+
+    def test_run_flow_file(self, tmp_path, capsys):
+        from repro.workflow import serialize
+        from tests.conftest import build_diamond_workflow
+
+        flow_path = str(tmp_path / "wf.json")
+        serialize.save(build_diamond_workflow(), flow_path)
+        inputs_path = str(tmp_path / "inputs.json")
+        with open(inputs_path, "w", encoding="utf-8") as handle:
+            json.dump({"size": 2}, handle)
+        db = str(tmp_path / "t.db")
+        assert main(
+            ["run", "--flow", flow_path, "--inputs", inputs_path, "--db", db]
+        ) == 0
+        assert "out" in capsys.readouterr().out
+
+    def test_run_without_flow_spec_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "--db", str(tmp_path / "t.db")])
+
+
+class TestQueryCommand:
+    @pytest.fixture
+    def populated_db(self, tmp_path):
+        db = str(tmp_path / "t.db")
+        main(["run", "--synthetic-l", "2", "--synthetic-d", "3", "--db", db,
+              "--runs", "2"])
+        return db
+
+    def test_indexproj_query(self, populated_db, capsys):
+        capsys.readouterr()
+        assert main(
+            ["query", "--db", populated_db, "--node", "2TO1_FINAL",
+             "--port", "y", "--index", "0.1", "--focus", "LISTGEN_1",
+             "--synthetic-l", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lin(<2TO1_FINAL:y[0.1]>" in out
+        assert out.count("<LISTGEN_1:size[]>") == 2  # both runs
+
+    def test_naive_query(self, populated_db, capsys):
+        capsys.readouterr()
+        assert main(
+            ["query", "--db", populated_db, "--node", "2TO1_FINAL",
+             "--port", "y", "--index", "0.1",
+             "--focus", "CHAIN1_0,CHAIN2_1", "--strategy", "naive"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "<CHAIN1_0:x[0]>" in out
+        assert "<CHAIN2_1:x[1]>" in out
+
+    def test_query_single_run_scope(self, populated_db, capsys):
+        from repro.provenance.store import TraceStore
+
+        with TraceStore(populated_db) as store:
+            run_id = store.run_ids()[0]
+        capsys.readouterr()
+        assert main(
+            ["query", "--db", populated_db, "--run", run_id,
+             "--node", "2TO1_FINAL", "--port", "y", "--index", "0.0",
+             "--focus", "LISTGEN_1", "--synthetic-l", "2"]
+        ) == 0
+        assert capsys.readouterr().out.count("run ") == 1
+
+    def test_query_empty_store_fails(self, tmp_path, capsys):
+        from repro.provenance.store import TraceStore
+
+        db = str(tmp_path / "empty.db")
+        TraceStore(db).close()
+        assert main(
+            ["query", "--db", db, "--node", "P", "--port", "y",
+             "--strategy", "naive"]
+        ) == 1
+
+
+class TestBenchCommand:
+    def test_single_experiment(self, capsys):
+        assert main(["bench", "--experiment", "fig8", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "t1_ms" in out
+
+
+class TestExportCommand:
+    def test_dot_export(self, tmp_path, capsys):
+        dot_path = str(tmp_path / "wf.dot")
+        assert main(["export", "--workload", "gk", "--dot", dot_path]) == 0
+        with open(dot_path, encoding="utf-8") as handle:
+            content = handle.read()
+        assert content.startswith("digraph")
+        assert "get_pathways_by_genes" in content

@@ -1,0 +1,196 @@
+"""Tests for the extended CLI commands (stats, depths, validate, explain,
+prov-export)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def populated_db(tmp_path):
+    db = str(tmp_path / "t.db")
+    main(["run", "--synthetic-l", "2", "--synthetic-d", "3", "--db", db,
+          "--runs", "2"])
+    return db
+
+
+class TestStats:
+    def test_reports_counts(self, populated_db, capsys):
+        capsys.readouterr()
+        assert main(["stats", "--db", populated_db]) == 0
+        out = capsys.readouterr().out
+        assert "runs            2" in out
+        assert "records" in out
+        assert out.count("  run ") == 2
+
+
+class TestDepths:
+    def test_prints_depth_table(self, capsys):
+        assert main(["depths", "--synthetic-l", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2TO1_FINAL:y" in out
+        # The final output port sits two levels above its declared depth.
+        final_row = next(
+            line for line in out.splitlines() if line.startswith("2TO1_FINAL:y")
+        )
+        assert final_row.split()[-2:] == ["0", "2"]
+
+    def test_workload_depths(self, capsys):
+        assert main(["depths", "--workload", "gk"]) == 0
+        out = capsys.readouterr().out
+        assert "get_pathways_by_genes:genes_id_list" in out
+
+
+class TestValidate:
+    def test_clean_workflow(self, capsys):
+        assert main(["validate", "--synthetic-l", "3"]) == 0
+        assert "no issues" in capsys.readouterr().out
+
+    def test_workflow_with_warning(self, tmp_path, capsys):
+        from repro.workflow import serialize
+        from repro.workflow.builder import DataflowBuilder
+
+        flow = (
+            DataflowBuilder("warned")
+            .output("out", "string")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("P:y", "warned:out")
+            .build()
+        )
+        path = str(tmp_path / "wf.json")
+        serialize.save(flow, path)
+        assert main(["validate", "--flow", path]) == 0  # warnings only
+        out = capsys.readouterr().out
+        assert "unbound-input" in out
+
+
+class TestExplain:
+    def test_explains_focused_query(self, capsys):
+        assert main(
+            ["explain", "--synthetic-l", "10", "--node", "2TO1_FINAL",
+             "--port", "y", "--index", "0.0", "--focus", "LISTGEN_1",
+             "--runs", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "INDEXPROJ trace lookups     : 5" in out
+        assert "indexproj" in out
+        assert "lookup ratio" in out
+
+
+class TestQueryArgumentValidation:
+    def test_query_requires_node_port_or_text(self, populated_db):
+        with pytest.raises(SystemExit, match="provide either"):
+            main(["query", "--db", populated_db, "--strategy", "naive"])
+
+    def test_text_query_overrides_flags(self, populated_db, capsys):
+        capsys.readouterr()
+        assert main(
+            ["query", "--db", populated_db,
+             "--query", "lin(<2TO1_FINAL:y[0.0]>, {LISTGEN_1})",
+             "--node", "ignored", "--port", "ignored",
+             "--synthetic-l", "2"]
+        ) == 0
+        assert "<LISTGEN_1:size[]>" in capsys.readouterr().out
+
+
+class TestImpact:
+    def test_forward_query_indexproj(self, populated_db, capsys):
+        capsys.readouterr()
+        assert main(
+            ["impact", "--db", populated_db, "--node", "LISTGEN_1",
+             "--port", "list", "--index", "1", "--focus", "2TO1_FINAL",
+             "--synthetic-l", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        # Element 1 feeds row 1 and column 1 of the 3x3 product.
+        assert "<2TO1_FINAL:y[1.0]>" in out
+        assert "<2TO1_FINAL:y[0.1]>" in out
+
+    def test_forward_query_naive(self, populated_db, capsys):
+        capsys.readouterr()
+        assert main(
+            ["impact", "--db", populated_db, "--node", "LISTGEN_1",
+             "--port", "list", "--index", "1", "--focus", "CHAIN1_0",
+             "--strategy", "naive"]
+        ) == 0
+        assert "<CHAIN1_0:y[1]>" in capsys.readouterr().out
+
+    def test_empty_store(self, tmp_path):
+        from repro.provenance.store import TraceStore
+
+        db = str(tmp_path / "empty.db")
+        TraceStore(db).close()
+        assert main(
+            ["impact", "--db", db, "--node", "P", "--port", "x",
+             "--strategy", "naive"]
+        ) == 1
+
+
+class TestProvExport:
+    def test_exports_stored_run(self, populated_db, tmp_path, capsys):
+        out_path = str(tmp_path / "trace.prov.json")
+        capsys.readouterr()
+        assert main(
+            ["prov-export", "--db", populated_db, "--out", out_path]
+        ) == 0
+        with open(out_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["repro:workflow"] == "synthetic_l2"
+        assert document["activity"]
+        assert document["entity"]
+
+    def test_specific_run(self, populated_db, tmp_path):
+        from repro.provenance.store import TraceStore
+
+        with TraceStore(populated_db) as store:
+            run_id = store.run_ids()[1]
+        out_path = str(tmp_path / "trace.prov.json")
+        assert main(
+            ["prov-export", "--db", populated_db, "--run", run_id,
+             "--out", out_path]
+        ) == 0
+        with open(out_path, encoding="utf-8") as handle:
+            assert json.load(handle)["repro:run"] == run_id
+
+    def test_empty_store_fails(self, tmp_path):
+        from repro.provenance.store import TraceStore
+
+        db = str(tmp_path / "empty.db")
+        TraceStore(db).close()
+        assert main(
+            ["prov-export", "--db", db, "--out", str(tmp_path / "x.json")]
+        ) == 1
+
+
+class TestLoadTraceRoundtrip:
+    def test_insert_load_roundtrip(self):
+        from repro.provenance.capture import capture_run
+        from repro.provenance.store import TraceStore
+        from tests.conftest import build_diamond_workflow
+
+        captured = capture_run(build_diamond_workflow(), {"size": 2})
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            restored = store.load_trace(captured.run_id)
+        assert restored.run_id == captured.run_id
+        assert restored.workflow == captured.trace.workflow
+        assert [str(e) for e in restored.xforms] == [
+            str(e) for e in captured.trace.xforms
+        ]
+        assert [str(e) for e in restored.xfers] == [
+            str(e) for e in captured.trace.xfers
+        ]
+        # Values survive the JSON round-trip too.
+        originals = {b.key(): b.value for b in captured.trace.bindings()}
+        for binding in restored.bindings():
+            assert binding.value == originals[binding.key()]
+
+    def test_unknown_run_raises(self):
+        from repro.provenance.store import TraceStore
+
+        with TraceStore() as store:
+            with pytest.raises(KeyError):
+                store.load_trace("ghost")

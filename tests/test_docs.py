@@ -1,0 +1,76 @@
+"""Documentation correctness tests.
+
+Two guarantees:
+
+* every Python code fence in ``docs/TUTORIAL.md`` executes, in order, in
+  a single shared namespace — the tutorial can never drift from the API;
+* the doctests embedded in the library's docstrings pass.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+TUTORIAL = REPO_ROOT / "docs" / "TUTORIAL.md"
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def tutorial_blocks():
+    text = TUTORIAL.read_text(encoding="utf-8")
+    return _FENCE.findall(text)
+
+
+class TestTutorial:
+    def test_tutorial_exists_and_has_blocks(self):
+        blocks = tutorial_blocks()
+        assert len(blocks) >= 8
+
+    def test_every_python_block_executes(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # snippets may create store files
+        namespace: dict = {}
+        for number, block in enumerate(tutorial_blocks(), start=1):
+            try:
+                exec(compile(block, f"<tutorial block {number}>", "exec"),
+                     namespace)
+            except Exception as exc:  # pragma: no cover - fails the test
+                pytest.fail(
+                    f"tutorial block {number} failed: {exc}\n---\n{block}"
+                )
+
+    def test_readme_quickstart_executes(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # snippets may create store files
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        blocks = _FENCE.findall(readme)
+        assert blocks, "README has no python quickstart"
+        namespace: dict = {}
+        for block in blocks:
+            exec(compile(block, "<readme>", "exec"), namespace)
+
+
+DOCTEST_MODULES = [
+    "repro.values.index",
+    "repro.values.nested",
+    "repro.values.types",
+    "repro.values.pattern",
+    "repro.workflow.builder",
+    "repro.workflow.patterns",
+    "repro.strategy",
+    "repro.query.base",
+    "repro.query.parser",
+    "repro.bench.reporting",
+]
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+    def test_module_doctests(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0, f"{module_name}: {results.failed} failures"
+        assert results.attempted > 0, f"{module_name} has no doctests"

@@ -1,0 +1,85 @@
+"""Moderate-scale end-to-end integration: the whole pipeline at once.
+
+A single test that exercises generation, execution, storage, and both
+query strategies at a size where the paper's asymptotics are visible —
+the smoke-at-scale check that everything composes, kept fast enough for
+the regular suite (a few seconds).
+"""
+
+from repro.bench.harness import prepare_store
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.testbed.generator import focused_query, unfocused_query
+
+
+class TestModerateScale:
+    LENGTH = 60
+    LIST_SIZE = 20
+
+    def test_full_pipeline_invariants(self):
+        prepared = prepare_store(self.LENGTH, self.LIST_SIZE, runs=1,
+                                 cache=False)
+        try:
+            store, flow = prepared.store, prepared.flow
+            run_id = prepared.run_ids[0]
+
+            # Trace size: chains contribute 2*l*d instances, the final
+            # cross product d^2.
+            stats = store.statistics()
+            expected_instances = 2 * self.LENGTH * self.LIST_SIZE + (
+                self.LIST_SIZE ** 2
+            ) + 1
+            assert stats["xform_events"] == expected_instances
+
+            naive = NaiveEngine(store)
+            indexproj = IndexProjEngine(store, flow)
+
+            # Focused query: identical answers; NI pays ~8 lookups per
+            # chain step, INDEXPROJ exactly one.
+            query = focused_query()
+            ni = naive.lineage(run_id, query)
+            ip = indexproj.lineage(run_id, query)
+            assert ni.binding_keys() == ip.binding_keys()
+            assert ip.stats.queries == 1
+            assert ni.stats.queries == 8 * self.LENGTH + 12
+
+            # Unfocused query: still identical; INDEXPROJ touches one
+            # lookup per focus input port (2l chain ports + gen + final*2).
+            uq = unfocused_query(flow)
+            ni_u = naive.lineage(run_id, uq)
+            ip_u = indexproj.lineage(run_id, uq)
+            assert ni_u.binding_keys() == ip_u.binding_keys()
+            assert ip_u.stats.queries == 2 * self.LENGTH + 3
+
+            # Partial-coverage query over a whole output row.
+            row_query = LineageQuery.create(
+                "2TO1_FINAL", "y", [7], ["CHAIN1_30", "CHAIN2_30"]
+            )
+            ni_row = naive.lineage(run_id, row_query)
+            ip_row = indexproj.lineage(run_id, row_query)
+            assert ni_row.binding_keys() == ip_row.binding_keys()
+            keys = sorted(b.key() for b in ip_row.bindings)
+            assert keys[0] == ("CHAIN1_30", "x", "7")
+            assert len(keys) == 1 + self.LIST_SIZE  # one + whole other chain
+        finally:
+            prepared.close()
+
+    def test_coarse_xfer_mode_agrees_at_scale(self):
+        from repro.engine.executor import WorkflowRunner
+        from repro.provenance.capture import capture_run
+        from repro.provenance.store import TraceStore
+        from repro.testbed.generator import chain_product_workflow
+
+        flow = chain_product_workflow(30)
+        answers = {}
+        for granularity in ("fine", "coarse"):
+            runner = WorkflowRunner(xfer_granularity=granularity)
+            captured = capture_run(flow, {"ListSize": 10}, runner=runner)
+            with TraceStore() as store:
+                store.insert_trace(captured.trace)
+                result = NaiveEngine(store).lineage(
+                    captured.run_id, focused_query()
+                )
+                answers[granularity] = result.binding_keys()
+        assert answers["fine"] == answers["coarse"]

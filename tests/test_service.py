@@ -1,0 +1,158 @@
+"""Tests for the integration façade (repro.service.ProvenanceService)."""
+
+import pytest
+
+from repro.service import ProvenanceService
+from repro.testbed.workloads import genes2kegg_workload
+from repro.workflow.model import WorkflowError
+
+from tests.conftest import build_diamond_workflow
+
+
+@pytest.fixture
+def service():
+    with ProvenanceService() as svc:
+        svc.register_workflow(build_diamond_workflow())
+        yield svc
+
+
+class TestRegistrationAndRuns:
+    def test_run_stores_trace(self, service):
+        run_id = service.run("wf", {"size": 2})
+        assert service.runs_of("wf") == [run_id]
+        assert service.statistics()["runs"] == 1
+
+    def test_unknown_workflow_rejected(self, service):
+        with pytest.raises(WorkflowError, match="not registered"):
+            service.run("ghost", {})
+        with pytest.raises(WorkflowError):
+            service.runs_of("ghost")
+
+    def test_reregistration_is_idempotent(self, service):
+        service.register_workflow(build_diamond_workflow())
+        run_id = service.run("wf", {"size": 1})
+        assert run_id in service.runs_of("wf")
+
+    def test_statistics_counts_registrations(self, service):
+        assert service.statistics()["registered_workflows"] == 1
+
+    def test_custom_registry_workload(self):
+        workload = genes2kegg_workload()
+        with ProvenanceService() as svc:
+            svc.register_workflow(workload.flow, registry=workload.registry)
+            run_id = svc.run(workload.name, workload.inputs)
+            result = svc.lineage(
+                "lin(<genes2kegg:paths_per_gene[0]>, {get_pathways_by_genes})"
+            )
+            assert [
+                b.key() for b in result.per_run[run_id].bindings
+            ] == [("get_pathways_by_genes", "genes_id_list", "0")]
+
+
+class TestQueries:
+    def test_lineage_defaults_to_all_runs(self, service):
+        first = service.run("wf", {"size": 2})
+        second = service.run("wf", {"size": 2})
+        result = service.lineage("lin(<wf:out[0.1]>, {A, B})")
+        assert set(result.per_run) == {first, second}
+        for answer in result.per_run.values():
+            assert sorted(b.key() for b in answer.bindings) == [
+                ("A", "x", "0"), ("B", "x", "1"),
+            ]
+
+    def test_lineage_accepts_query_objects(self, service):
+        from repro.query.base import LineageQuery
+
+        run_id = service.run("wf", {"size": 2})
+        result = service.lineage(
+            LineageQuery.create("F", "y", [1, 0], ["GEN"])
+        )
+        assert [b.key() for b in result.per_run[run_id].bindings] == [
+            ("GEN", "size", "")
+        ]
+
+    def test_focus_override_on_text_queries(self, service):
+        run_id = service.run("wf", {"size": 2})
+        result = service.lineage("wf:out[0.0]", focus=["A"])
+        assert [b.key() for b in result.per_run[run_id].bindings] == [
+            ("A", "x", "0")
+        ]
+
+    def test_strategies_agree(self, service):
+        service.run("wf", {"size": 3})
+        query = "lin(<F:y[2.1]>, {A, B})"
+        fast = service.lineage(query)
+        naive = service.lineage(query, strategy="naive")
+        batched = service.lineage(query, batched=True)
+        for run_id in fast.per_run:
+            keys = fast.per_run[run_id].binding_keys()
+            assert naive.per_run[run_id].binding_keys() == keys
+            assert batched.per_run[run_id].binding_keys() == keys
+
+    def test_run_scope_restriction(self, service):
+        first = service.run("wf", {"size": 2})
+        service.run("wf", {"size": 2})
+        result = service.lineage("lin(<wf:out[0.0]>, {A})", runs=[first])
+        assert list(result.per_run) == [first]
+
+    def test_query_for_unknown_node_rejected(self, service):
+        with pytest.raises(WorkflowError, match="no registered workflow"):
+            service.lineage("lin(<mystery:port[0]>, {A})")
+
+    def test_impact(self, service):
+        run_id = service.run("wf", {"size": 3})
+        result = service.impact("A", "x", [1], focus=["F"])
+        assert [b.key() for b in result.per_run[run_id].bindings] == [
+            ("F", "y", "1.0"), ("F", "y", "1.1"), ("F", "y", "1.2"),
+        ]
+
+    def test_explain(self, service):
+        service.run("wf", {"size": 2})
+        service.run("wf", {"size": 2})
+        explanation = service.explain("lin(<wf:out[0.0]>, {GEN})")
+        assert explanation.runs == 2
+        assert explanation.recommendation == "indexproj"
+
+    def test_multiple_workflows_routed_by_node(self, service):
+        workload = genes2kegg_workload()
+        service.register_workflow(workload.flow, registry=workload.registry)
+        diamond_run = service.run("wf", {"size": 2})
+        gk_run = service.run(workload.name, workload.inputs)
+        diamond_answer = service.lineage("lin(<F:y[0.0]>, {GEN})")
+        gk_answer = service.lineage(
+            "lin(<genes2kegg:commonPathways[]>, {flatten_gene_lists})"
+        )
+        assert list(diamond_answer.per_run) == [diamond_run]
+        assert list(gk_answer.per_run) == [gk_run]
+
+
+class TestErrorHandlingMode:
+    def test_token_mode_service(self):
+        from repro.engine.errors import is_error
+        from repro.engine.processors import default_registry
+        from repro.workflow.builder import DataflowBuilder
+
+        registry = default_registry().extended()
+
+        def explode(inputs, config):
+            if inputs["x"] == "bad":
+                raise RuntimeError("nope")
+            return {"y": inputs["x"]}
+
+        registry.register("explode", explode)
+        flow = (
+            DataflowBuilder("ef")
+            .input("items", "list(string)")
+            .output("out", "list(string)")
+            .processor("P", inputs=[("x", "string")],
+                       outputs=[("y", "string")], operation="explode")
+            .arc("ef:items", "P:x")
+            .arc("P:y", "ef:out")
+            .build()
+        )
+        with ProvenanceService(error_handling="token") as svc:
+            svc.register_workflow(flow, registry=registry)
+            run_id = svc.run("ef", {"items": ["ok", "bad"]})
+            result = svc.lineage("lin(<ef:out[1]>, {P})")
+            culprit = result.per_run[run_id].bindings[0]
+            assert culprit.value == "bad"

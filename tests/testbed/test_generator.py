@@ -1,0 +1,120 @@
+"""Tests for the synthetic testbed generator (repro.testbed.generator)."""
+
+import pytest
+
+from repro.engine.executor import run_workflow
+from repro.testbed.generator import (
+    FINAL_PROCESSOR,
+    LISTGEN_PROCESSOR,
+    chain_processor_names,
+    chain_product_workflow,
+    focused_query,
+    partially_focused_query,
+    unfocused_query,
+)
+from repro.values.index import Index
+from repro.workflow.model import PortRef, WorkflowError
+from repro.workflow.validate import validate
+from repro.workflow.visit import paths_between
+
+
+class TestTopology:
+    def test_processor_count(self):
+        flow = chain_product_workflow(7)
+        assert len(flow.processors) == 2 * 7 + 2
+
+    def test_arc_count(self):
+        flow = chain_product_workflow(7)
+        # size arc + 2 chain-head arcs + 2*(l-1) intra-chain + 2 into final
+        # + 1 output arc = 2l + 4
+        assert len(flow.arcs) == 2 * 7 + 4
+
+    def test_two_disjoint_chains(self):
+        flow = chain_product_workflow(4)
+        paths = paths_between(flow, LISTGEN_PROCESSOR, FINAL_PROCESSOR)
+        assert len(paths) == 2
+        assert all(len(path) == 4 + 2 for path in paths)
+
+    def test_chain_names(self):
+        assert chain_processor_names(3, 1) == ["CHAIN1_0", "CHAIN1_1", "CHAIN1_2"]
+        assert chain_processor_names(2, 2) == ["CHAIN2_0", "CHAIN2_1"]
+        with pytest.raises(ValueError):
+            chain_processor_names(2, 3)
+
+    def test_length_one(self):
+        flow = chain_product_workflow(1)
+        assert len(flow.processors) == 4
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(WorkflowError):
+            chain_product_workflow(0)
+
+    def test_custom_name(self):
+        assert chain_product_workflow(2, name="bench").name == "bench"
+
+    def test_validates_clean(self):
+        assert validate(chain_product_workflow(5)) == []
+
+
+class TestExecution:
+    def test_output_is_d_by_d(self):
+        flow = chain_product_workflow(3)
+        result = run_workflow(flow, {"ListSize": 4})
+        out = result.outputs["out"]
+        assert len(out) == 4
+        assert all(len(row) == 4 for row in out)
+
+    def test_elements_record_their_sources(self):
+        flow = chain_product_workflow(2)
+        result = run_workflow(flow, {"ListSize": 2})
+        assert result.outputs["out"][0][1] == "e-0+e-1"
+
+    def test_list_propagates_identically_down_chains(self):
+        flow = chain_product_workflow(3)
+        result = run_workflow(flow, {"ListSize": 3})
+        gen = result.port_values[PortRef(LISTGEN_PROCESSOR, "list")]
+        last1 = result.port_values[PortRef("CHAIN1_2", "y")]
+        last2 = result.port_values[PortRef("CHAIN2_2", "y")]
+        assert gen == last1 == last2
+
+    def test_trace_record_count_grows_with_l_and_d(self):
+        from repro.provenance.capture import capture_run
+
+        small = capture_run(chain_product_workflow(2), {"ListSize": 2}).trace
+        longer = capture_run(chain_product_workflow(4), {"ListSize": 2}).trace
+        wider = capture_run(chain_product_workflow(2), {"ListSize": 4}).trace
+        assert longer.record_count > small.record_count
+        assert wider.record_count > small.record_count
+        # The d^2 cross product dominates the d direction.
+        assert wider.record_count - small.record_count > 2 * (
+            longer.record_count - small.record_count
+        ) / 2
+
+
+class TestCanonicalQueries:
+    def test_focused_query_shape(self):
+        query = focused_query(Index(1, 2))
+        assert query.node == FINAL_PROCESSOR
+        assert query.index == Index(1, 2)
+        assert query.focus == frozenset({LISTGEN_PROCESSOR})
+
+    def test_unfocused_query_covers_all_processors(self):
+        flow = chain_product_workflow(3)
+        query = unfocused_query(flow)
+        assert query.focus == frozenset(flow.processor_names)
+
+    def test_partial_focus_size(self):
+        flow = chain_product_workflow(10)  # 22 processors
+        query = partially_focused_query(flow, 0.5)
+        assert len(query.focus) == 11
+        assert LISTGEN_PROCESSOR in query.focus
+
+    def test_partial_focus_minimum_one(self):
+        flow = chain_product_workflow(10)
+        query = partially_focused_query(flow, 0.0)
+        assert query.focus == frozenset({LISTGEN_PROCESSOR})
+
+    def test_partial_focus_fraction_bounds(self):
+        flow = chain_product_workflow(3)
+        with pytest.raises(ValueError):
+            partially_focused_query(flow, 1.5)

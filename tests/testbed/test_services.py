@@ -1,0 +1,112 @@
+"""Tests for the synthetic service catalog (repro.testbed.services)."""
+
+from repro.engine.processors import ProcessorRegistry
+from repro.testbed.services import (
+    COMMON_PATHWAY,
+    op_extract_protein_terms,
+    op_kegg_pathway_descriptions,
+    op_kegg_pathways_by_genes,
+    op_pubmed_fetch_abstract,
+    pathway_description,
+    pathways_for_gene,
+    register_services,
+    synthetic_abstract,
+)
+
+
+class TestKeggCatalog:
+    def test_deterministic(self):
+        assert pathways_for_gene("mmu:20816") == pathways_for_gene("mmu:20816")
+
+    def test_every_gene_has_common_pathway(self):
+        for gene in ("a", "b", "mmu:328788", "42"):
+            assert COMMON_PATHWAY in pathways_for_gene(gene)
+
+    def test_genes_have_specific_pathways(self):
+        pathways = pathways_for_gene("mmu:20816")
+        assert len(pathways) == 3
+        assert len(set(pathways)) == 3
+
+    def test_different_genes_usually_differ(self):
+        assert pathways_for_gene("gene-a") != pathways_for_gene("gene-b")
+
+    def test_description_is_stable_and_prefixed(self):
+        desc = pathway_description("path:04123")
+        assert desc.startswith("path:04123 ")
+        assert desc == pathway_description("path:04123")
+
+    def test_common_pathway_description(self):
+        assert pathway_description(COMMON_PATHWAY) == f"{COMMON_PATHWAY} MAPK signaling"
+
+
+class TestKeggOperations:
+    def test_union_mode(self):
+        out = op_kegg_pathways_by_genes(
+            {"genes_id_list": ["g1", "g2"]}, {"mode": "union"}
+        )
+        result = out["return"]
+        assert COMMON_PATHWAY in result
+        for gene in ("g1", "g2"):
+            for pathway in pathways_for_gene(gene):
+                assert pathway in result
+        assert len(result) == len(set(result))  # deduplicated
+
+    def test_common_mode(self):
+        out = op_kegg_pathways_by_genes(
+            {"genes_id_list": ["g1", "g2", "g3"]}, {"mode": "common"}
+        )
+        assert COMMON_PATHWAY in out["return"]
+        for pathway in out["return"]:
+            for gene in ("g1", "g2", "g3"):
+                assert pathway in pathways_for_gene(gene)
+
+    def test_empty_gene_list(self):
+        assert op_kegg_pathways_by_genes({"genes_id_list": []}, {}) == {"return": []}
+
+    def test_descriptions(self):
+        out = op_kegg_pathway_descriptions(
+            {"string": [COMMON_PATHWAY, "path:04200"]}, {}
+        )
+        assert out["return"] == [
+            pathway_description(COMMON_PATHWAY),
+            pathway_description("path:04200"),
+        ]
+
+
+class TestPubmedOperations:
+    def test_abstract_deterministic_and_mentions_proteins(self):
+        text = synthetic_abstract("pmid:1000")
+        assert text == synthetic_abstract("pmid:1000")
+        assert "pmid:1000" in text
+
+    def test_fetch_abstract_op(self):
+        out = op_pubmed_fetch_abstract({"id": "pmid:7"}, {})
+        assert out["abstract"] == synthetic_abstract("pmid:7")
+
+    def test_extract_terms_finds_lexicon_entries(self):
+        out = op_extract_protein_terms(
+            {"text": "BRCA1 interacts with TP53, not FOO."}, {}
+        )
+        assert out["terms"] == ["BRCA1", "TP53"]
+
+    def test_extract_terms_deduplicates(self):
+        out = op_extract_protein_terms({"text": "KRAS and KRAS again"}, {})
+        assert out["terms"] == ["KRAS"]
+
+    def test_extraction_closes_loop_with_abstracts(self):
+        text = synthetic_abstract("pmid:1234")
+        out = op_extract_protein_terms({"text": text}, {})
+        assert out["terms"]  # every synthetic abstract mentions proteins
+
+
+class TestRegistration:
+    def test_register_services(self):
+        registry = ProcessorRegistry()
+        register_services(registry)
+        for name in (
+            "kegg_pathways_by_genes",
+            "kegg_pathway_descriptions",
+            "pubmed_fetch_abstract",
+            "extract_protein_terms",
+        ):
+            assert name in registry

@@ -1,0 +1,168 @@
+"""Tests for the GK and PD workloads (repro.testbed.workloads)."""
+
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.testbed.runs import populate_store
+from repro.testbed.services import COMMON_PATHWAY, pathway_description
+from repro.testbed.workloads import (
+    GK_DEFAULT_INPUT,
+    genes2kegg_workload,
+    protein_discovery_workload,
+)
+from repro.workflow.depths import propagate_depths
+from repro.workflow.model import PortRef
+from repro.workflow.validate import validate
+
+
+class TestGenes2Kegg:
+    def setup_method(self):
+        self.workload = genes2kegg_workload()
+        self.captured = capture_run(
+            self.workload.flow, self.workload.inputs, runner=self.workload.runner()
+        )
+
+    def test_validates_clean(self):
+        assert not any(i.is_error for i in validate(self.workload.flow))
+
+    def test_left_branch_is_fine_grained(self):
+        analysis = propagate_depths(self.workload.flow)
+        assert analysis.mismatch(
+            PortRef("get_pathways_by_genes", "genes_id_list")
+        ) == 1
+        assert analysis.mismatch(PortRef("getPathwayDescriptions", "string")) == 1
+
+    def test_right_branch_is_coarse(self):
+        analysis = propagate_depths(self.workload.flow)
+        assert analysis.mismatch(PortRef("flatten_gene_lists", "x")) == 0
+        assert analysis.iteration_level("get_pathways_common") == 0
+
+    def test_paths_per_gene_structure(self):
+        paths = self.captured.outputs["paths_per_gene"]
+        assert len(paths) == len(GK_DEFAULT_INPUT)  # one sublist per gene list
+        assert all(isinstance(entry, list) for entry in paths)
+
+    def test_common_pathway_present_in_both_outputs(self):
+        common_desc = pathway_description(COMMON_PATHWAY)
+        assert common_desc in self.captured.outputs["commonPathways"]
+        for sublist in self.captured.outputs["paths_per_gene"]:
+            assert common_desc in sublist
+
+    def test_common_is_subset_of_every_sublist(self):
+        common = set(self.captured.outputs["commonPathways"])
+        for sublist in self.captured.outputs["paths_per_gene"]:
+            assert common <= set(sublist)
+
+    def test_paper_question_fine_grained_answer(self):
+        """'Which of the input lists of genes is involved in this pathway?'
+        — sublist i of paths_per_gene depends only on gene list i."""
+        with TraceStore() as store:
+            store.insert_trace(self.captured.trace)
+            from repro.query.indexproj import IndexProjEngine
+            from repro.query.base import LineageQuery
+
+            engine = IndexProjEngine(store, self.workload.flow)
+            for i in range(len(GK_DEFAULT_INPUT)):
+                result = engine.lineage(
+                    self.captured.run_id,
+                    LineageQuery.create(
+                        "genes2kegg", "paths_per_gene", (i,),
+                        ["get_pathways_by_genes"],
+                    ),
+                )
+                assert [b.key() for b in result.bindings] == [
+                    ("get_pathways_by_genes", "genes_id_list", str(i))
+                ]
+                assert result.bindings[0].value == GK_DEFAULT_INPUT[i]
+
+    def test_common_pathways_depend_on_all_genes(self):
+        with TraceStore() as store:
+            store.insert_trace(self.captured.trace)
+            from repro.query.naive import NaiveEngine
+            from repro.query.base import LineageQuery
+
+            result = NaiveEngine(store).lineage(
+                self.captured.run_id,
+                LineageQuery.create(
+                    "genes2kegg", "commonPathways", (), ["flatten_gene_lists"]
+                ),
+            )
+            assert [b.key() for b in result.bindings] == [
+                ("flatten_gene_lists", "x", "")
+            ]
+            assert result.bindings[0].value == GK_DEFAULT_INPUT
+
+    def test_canonical_queries_build(self):
+        focused = self.workload.focused_query()
+        assert focused.focus == frozenset({"get_pathways_by_genes"})
+        unfocused = self.workload.unfocused_query()
+        assert len(unfocused.focus) == 5
+
+
+class TestProteinDiscovery:
+    def test_validates_clean(self):
+        workload = protein_discovery_workload(chain_length=4)
+        assert not any(i.is_error for i in validate(workload.flow))
+
+    def test_chain_length_controls_processor_count(self):
+        workload = protein_discovery_workload(chain_length=12)
+        assert len(workload.flow.processors) == 12 + 2
+
+    def test_longer_than_gk(self):
+        gk = genes2kegg_workload()
+        pd = protein_discovery_workload()
+        assert len(pd.flow.processors) > 3 * len(gk.flow.processors)
+
+    def test_output_per_article(self):
+        workload = protein_discovery_workload(chain_length=3, batch=5)
+        captured = capture_run(
+            workload.flow, workload.inputs, runner=workload.runner()
+        )
+        terms = captured.outputs["protein_terms"]
+        assert len(terms) == 5
+        assert all(sub for sub in terms)  # every abstract yields terms
+
+    def test_fine_grained_per_article_lineage(self):
+        workload = protein_discovery_workload(chain_length=3, batch=4)
+        captured = capture_run(
+            workload.flow, workload.inputs, runner=workload.runner()
+        )
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            from repro.query.indexproj import IndexProjEngine
+            from repro.query.base import LineageQuery
+
+            engine = IndexProjEngine(store, workload.flow)
+            result = engine.lineage(
+                captured.run_id,
+                LineageQuery.create(
+                    "protein_discovery", "protein_terms", (2,),
+                    ["fetch_abstract"],
+                ),
+            )
+            assert [b.key() for b in result.bindings] == [
+                ("fetch_abstract", "id", "2")
+            ]
+            assert result.bindings[0].value == workload.inputs["pubmed_ids"][2]
+
+
+class TestPopulateStore:
+    def test_multiple_runs_accumulate(self):
+        workload = genes2kegg_workload()
+        with TraceStore() as store:
+            run_ids = populate_store(
+                store, workload.flow, workload.inputs, runs=3,
+                runner=workload.runner(),
+            )
+            assert len(run_ids) == 3
+            assert store.run_ids() == run_ids
+            per_run = store.record_count(run_ids[0])
+            assert store.record_count() == 3 * per_run
+
+    def test_run_prefix(self):
+        workload = genes2kegg_workload()
+        with TraceStore() as store:
+            run_ids = populate_store(
+                store, workload.flow, workload.inputs, runs=2,
+                runner=workload.runner(), run_prefix="sweep",
+            )
+            assert all(run_id.startswith("sweep-") for run_id in run_ids)

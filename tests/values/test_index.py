@@ -1,0 +1,124 @@
+"""Tests for index paths (repro.values.index)."""
+
+import pytest
+
+from repro.values.index import Index
+
+
+class TestConstruction:
+    def test_empty_index(self):
+        assert Index().is_empty
+        assert len(Index()) == 0
+        assert Index().path == ()
+
+    def test_positional_construction(self):
+        assert Index(1, 2, 3).path == (1, 2, 3)
+
+    def test_of_accepts_iterables(self):
+        assert Index.of([4, 5]) == Index(4, 5)
+        assert Index.of(range(3)) == Index(0, 1, 2)
+
+    def test_empty_singleton_semantics(self):
+        assert Index.empty() == Index()
+        assert Index.empty().is_empty
+
+    def test_negative_positions_rejected(self):
+        with pytest.raises(ValueError):
+            Index(1, -2)
+
+    def test_positions_coerced_to_int(self):
+        assert Index(True, 2).path == (1, 2)
+
+
+class TestCodec:
+    def test_encode_empty(self):
+        assert Index().encode() == ""
+
+    def test_encode_path(self):
+        assert Index(1, 0, 7).encode() == "1.0.7"
+
+    def test_decode_empty(self):
+        assert Index.decode("") == Index()
+
+    def test_decode_path(self):
+        assert Index.decode("2.3") == Index(2, 3)
+
+    def test_roundtrip(self):
+        for index in (Index(), Index(0), Index(5, 0, 12)):
+            assert Index.decode(index.encode()) == index
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Index.decode("1.x.2")
+
+    def test_decode_rejects_trailing_dot(self):
+        with pytest.raises(ValueError):
+            Index.decode("1.")
+
+
+class TestSlicing:
+    def test_slice_basic(self):
+        assert Index(1, 2, 3, 4).slice(1, 2) == Index(2, 3)
+
+    def test_slice_zero_length_is_empty(self):
+        assert Index(1, 2).slice(1, 0) == Index()
+
+    def test_slice_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Index(1, 2).slice(1, 5)
+
+    def test_slice_negative_raises(self):
+        with pytest.raises(ValueError):
+            Index(1, 2).slice(-1, 1)
+
+    def test_head(self):
+        assert Index(7, 8, 9).head(2) == Index(7, 8)
+
+    def test_tail_from(self):
+        assert Index(7, 8, 9).tail_from(1) == Index(8, 9)
+        assert Index(7, 8, 9).tail_from(3) == Index()
+
+
+class TestOperators:
+    def test_concatenation(self):
+        assert Index(1) + Index(2, 3) == Index(1, 2, 3)
+
+    def test_concatenation_with_empty_is_identity(self):
+        p = Index(4, 5)
+        assert p + Index() == p
+        assert Index() + p == p
+
+    def test_add_non_index_not_supported(self):
+        with pytest.raises(TypeError):
+            Index(1) + (2,)
+
+    def test_extended(self):
+        assert Index(1).extended(2) == Index(1, 2)
+
+    def test_starts_with(self):
+        assert Index(1, 2, 3).starts_with(Index(1, 2))
+        assert Index(1, 2).starts_with(Index(1, 2))
+        assert not Index(1, 2).starts_with(Index(2))
+        assert Index(1).starts_with(Index())
+
+    def test_ordering_is_lexicographic(self):
+        assert Index(1) < Index(1, 0)
+        assert Index(0, 9) < Index(1)
+        assert Index(2) <= Index(2)
+
+    def test_hashable_and_usable_as_dict_key(self):
+        mapping = {Index(1, 2): "a", Index(): "b"}
+        assert mapping[Index(1, 2)] == "a"
+        assert mapping[Index()] == "b"
+
+    def test_iteration_and_getitem(self):
+        index = Index(3, 1, 4)
+        assert list(index) == [3, 1, 4]
+        assert index[1] == 1
+
+    def test_equality_excludes_other_types(self):
+        assert Index(1) != (1,)
+        assert Index() != ""
+
+    def test_repr(self):
+        assert repr(Index(1, 2)) == "Index(1, 2)"

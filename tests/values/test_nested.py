@@ -1,0 +1,178 @@
+"""Tests for nested value operations (repro.values.nested)."""
+
+import pytest
+
+from repro.values import nested
+from repro.values.index import Index
+from repro.values.nested import MalformedValueError
+
+
+class TestDepth:
+    def test_atomic_values_have_depth_zero(self):
+        for value in ("a", 1, 1.5, None, True, (1, 2)):
+            assert nested.depth(value) == 0
+
+    def test_flat_list(self):
+        assert nested.depth(["a", "b"]) == 1
+
+    def test_nested_list(self):
+        assert nested.depth([["foo", "bar"], ["red", "fox"]]) == 2
+
+    def test_empty_list_depth_is_one(self):
+        assert nested.depth([]) == 1
+
+    def test_heterogeneous_depth_rejected(self):
+        with pytest.raises(MalformedValueError):
+            nested.depth(["a", ["b"]])
+
+    def test_deeply_nested(self):
+        assert nested.depth([[[["x"]]]]) == 4
+
+    def test_tuples_are_atoms(self):
+        # The engine threads argument packs as tuples; they must not read
+        # as collections.
+        assert nested.depth([("a", "b")]) == 1
+
+
+class TestHomogeneity:
+    def test_homogeneous(self):
+        assert nested.is_homogeneous([["a"], ["b", "c"]])
+
+    def test_inhomogeneous(self):
+        assert not nested.is_homogeneous([["a"], "b"])
+
+    def test_atoms_are_homogeneous(self):
+        assert nested.is_homogeneous("plain")
+
+
+class TestGetSet:
+    def test_get_with_empty_index_returns_value(self):
+        value = [["x"]]
+        assert nested.get_element(value, Index()) is value
+
+    def test_get_element(self):
+        value = [["foo", "bar"], ["red", "fox"]]
+        assert nested.get_element(value, Index(0, 1)) == "bar"
+        assert nested.get_element(value, Index(1)) == ["red", "fox"]
+
+    def test_get_out_of_range(self):
+        with pytest.raises(IndexError):
+            nested.get_element(["a"], Index(3))
+
+    def test_get_below_atom_raises(self):
+        with pytest.raises(MalformedValueError):
+            nested.get_element(["a"], Index(0, 0))
+
+    def test_set_returns_new_value(self):
+        value = [["a", "b"]]
+        updated = nested.set_element(value, Index(0, 1), "B")
+        assert updated == [["a", "B"]]
+        assert value == [["a", "b"]]  # original untouched
+
+    def test_set_with_empty_index_replaces_whole(self):
+        assert nested.set_element(["a"], Index(), "new") == "new"
+
+    def test_set_out_of_range(self):
+        with pytest.raises(IndexError):
+            nested.set_element(["a"], Index(1), "x")
+
+    def test_set_below_atom_raises(self):
+        with pytest.raises(MalformedValueError):
+            nested.set_element("atom", Index(0), "x")
+
+
+class TestEnumeration:
+    def test_enumerate_leaves_order(self):
+        value = [["a"], ["b", "c"]]
+        assert list(nested.enumerate_leaves(value)) == [
+            (Index(0, 0), "a"),
+            (Index(1, 0), "b"),
+            (Index(1, 1), "c"),
+        ]
+
+    def test_enumerate_atom(self):
+        assert list(nested.enumerate_leaves("x")) == [(Index(), "x")]
+
+    def test_enumerate_empty_list(self):
+        assert list(nested.enumerate_leaves([])) == []
+
+    def test_iter_at_depth_zero(self):
+        value = ["a", "b"]
+        assert list(nested.iter_at_depth(value, 0)) == [(Index(), value)]
+
+    def test_iter_at_depth_one(self):
+        assert list(nested.iter_at_depth([["a"], ["b"]], 1)) == [
+            (Index(0), ["a"]),
+            (Index(1), ["b"]),
+        ]
+
+    def test_iter_at_depth_two(self):
+        pairs = list(nested.iter_at_depth([["a", "b"], ["c"]], 2))
+        assert pairs == [
+            (Index(0, 0), "a"),
+            (Index(0, 1), "b"),
+            (Index(1, 0), "c"),
+        ]
+
+    def test_iter_below_atom_raises(self):
+        with pytest.raises(MalformedValueError):
+            list(nested.iter_at_depth("x", 1))
+
+    def test_iter_negative_levels_raises(self):
+        with pytest.raises(ValueError):
+            list(nested.iter_at_depth(["x"], -1))
+
+    def test_get_element_agrees_with_iteration(self):
+        value = [["a", "b"], ["c", "d"]]
+        for index, element in nested.iter_at_depth(value, 2):
+            assert nested.get_element(value, index) == element
+
+
+class TestFlattenWrap:
+    def test_flatten_one_level(self):
+        assert nested.flatten([["a", "b"], ["c"]]) == ["a", "b", "c"]
+
+    def test_flatten_two_levels(self):
+        assert nested.flatten([[["a"], ["b"]], [["c"]]], 2) == ["a", "b", "c"]
+
+    def test_flatten_zero_levels_is_identity(self):
+        value = [["a"]]
+        assert nested.flatten(value, 0) is value
+
+    def test_flatten_atom_raises(self):
+        with pytest.raises(MalformedValueError):
+            nested.flatten("a")
+
+    def test_flatten_too_shallow_raises(self):
+        with pytest.raises(MalformedValueError):
+            nested.flatten(["a", "b"])
+
+    def test_flatten_negative_raises(self):
+        with pytest.raises(ValueError):
+            nested.flatten([["a"]], -1)
+
+    def test_wrap(self):
+        assert nested.wrap("a", 0) == "a"
+        assert nested.wrap("a", 1) == ["a"]
+        assert nested.wrap("a", 3) == [[["a"]]]
+
+    def test_wrap_negative_raises(self):
+        with pytest.raises(ValueError):
+            nested.wrap("a", -1)
+
+    def test_wrap_then_flatten_roundtrip(self):
+        value = ["x", "y"]
+        assert nested.flatten(nested.wrap(value, 1)) == value
+
+
+class TestShapeAndCounts:
+    def test_shape(self):
+        assert nested.shape([["x"], ["y", "z"]]) == [[None], [None, None]]
+
+    def test_shape_of_atom(self):
+        assert nested.shape("a") is None
+
+    def test_count_leaves(self):
+        assert nested.count_leaves("a") == 1
+        assert nested.count_leaves([["a", "b"], ["c"]]) == 3
+        assert nested.count_leaves([]) == 0

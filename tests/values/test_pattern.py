@@ -1,0 +1,95 @@
+"""Tests for index patterns (repro.values.pattern)."""
+
+import pytest
+
+from repro.values.index import Index
+from repro.values.pattern import IndexPattern
+
+
+class TestConstruction:
+    def test_mixed_positions(self):
+        pattern = IndexPattern(0, None, 2)
+        assert pattern.positions == (0, None, 2)
+        assert len(pattern) == 3
+
+    def test_from_index_is_fully_fixed(self):
+        pattern = IndexPattern.from_index(Index(1, 2))
+        assert pattern.is_fully_fixed
+        assert pattern.positions == (1, 2)
+
+    def test_wildcards(self):
+        pattern = IndexPattern.wildcards(3)
+        assert pattern.positions == (None, None, None)
+        assert not pattern.is_fully_fixed
+
+    def test_of_iterable(self):
+        assert IndexPattern.of([None, 5]) == IndexPattern(None, 5)
+
+    def test_negative_fixed_rejected(self):
+        with pytest.raises(ValueError):
+            IndexPattern(-1)
+
+    def test_encode(self):
+        assert IndexPattern(0, None, 2).encode() == "0.*.2"
+        assert IndexPattern().encode() == ""
+
+    def test_equality_and_hash(self):
+        assert IndexPattern(1, None) == IndexPattern(1, None)
+        assert IndexPattern(1, None) != IndexPattern(1, 2)
+        assert len({IndexPattern(1), IndexPattern(1)}) == 1
+
+
+class TestFixedPrefix:
+    def test_leading_fixed_run(self):
+        assert IndexPattern(3, 4, None, 5).fixed_prefix() == Index(3, 4)
+
+    def test_fully_fixed(self):
+        assert IndexPattern(3, 4).fixed_prefix() == Index(3, 4)
+
+    def test_leading_wildcard(self):
+        assert IndexPattern(None, 4).fixed_prefix() == Index()
+
+
+class TestMatching:
+    def test_exact(self):
+        assert IndexPattern(0, 1).matches(Index(0, 1))
+        assert not IndexPattern(0, 1).matches(Index(0, 2))
+
+    def test_wildcard_positions_free(self):
+        assert IndexPattern(0, None).matches(Index(0, 7))
+        assert IndexPattern(None, 2).matches(Index(9, 2))
+        assert not IndexPattern(None, 2).matches(Index(9, 3))
+
+    def test_coarser_record_matches(self):
+        # A shorter recorded index agrees on the overlap.
+        assert IndexPattern(0, None).matches(Index(0))
+        assert IndexPattern(0, 1).matches(Index())
+
+    def test_finer_record_matches(self):
+        assert IndexPattern(0, None).matches(Index(0, 5, 9))
+
+    def test_empty_pattern_matches_everything(self):
+        for index in (Index(), Index(3), Index(1, 2, 3)):
+            assert IndexPattern().matches(index)
+
+
+class TestPlacement:
+    def test_place_fragment(self):
+        base = IndexPattern.wildcards(3)
+        placed = base.place_fragment(3, 1, IndexPattern(7))
+        assert placed == IndexPattern(None, 7, None)
+
+    def test_place_overflow_clipped(self):
+        base = IndexPattern.wildcards(2)
+        placed = base.place_fragment(2, 1, IndexPattern(7, 8))
+        assert placed == IndexPattern(None, 7)
+
+    def test_place_at_zero(self):
+        base = IndexPattern.wildcards(2)
+        assert base.place_fragment(2, 0, IndexPattern(4, 5)) == IndexPattern(4, 5)
+
+    def test_head_and_slice(self):
+        pattern = IndexPattern(0, None, 2, 3)
+        assert pattern.head(2) == IndexPattern(0, None)
+        assert pattern.head(9) == pattern
+        assert pattern.slice(1, 2) == IndexPattern(None, 2)

@@ -1,0 +1,121 @@
+"""Tests for the port type algebra (repro.values.types)."""
+
+import pytest
+
+from repro.values.types import (
+    BOOLEAN,
+    FLOAT,
+    INTEGER,
+    STRING,
+    BaseType,
+    ListType,
+    ValueType,
+    infer_type,
+)
+
+
+class TestBaseType:
+    def test_depth_is_zero(self):
+        assert STRING.depth == 0
+
+    def test_equality_by_name(self):
+        assert BaseType("string") == STRING
+        assert BaseType("string") != BaseType("integer")
+
+    def test_hashable(self):
+        assert len({BaseType("x"), BaseType("x"), BaseType("y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            BaseType("")
+
+    def test_base_of_base_is_itself(self):
+        assert STRING.base() is STRING
+
+    def test_element_type_raises(self):
+        with pytest.raises(TypeError):
+            STRING.element_type
+
+
+class TestListType:
+    def test_depth_counts_constructors(self):
+        assert ListType(STRING).depth == 1
+        assert ListType(ListType(STRING)).depth == 2
+
+    def test_element_type(self):
+        assert ListType(STRING).element_type == STRING
+
+    def test_base_unwraps_all_levels(self):
+        assert ListType(ListType(INTEGER)).base() == INTEGER
+
+    def test_listify(self):
+        assert STRING.listify(2) == ListType(ListType(STRING))
+        assert STRING.listify(0) == STRING
+
+    def test_listify_negative_raises(self):
+        with pytest.raises(ValueError):
+            STRING.listify(-1)
+
+    def test_equality(self):
+        assert ListType(STRING) == ListType(STRING)
+        assert ListType(STRING) != ListType(INTEGER)
+        assert ListType(STRING) != STRING
+
+    def test_non_type_element_rejected(self):
+        with pytest.raises(TypeError):
+            ListType("string")
+
+
+class TestCodec:
+    def test_encode_base(self):
+        assert STRING.encode() == "string"
+
+    def test_encode_nested(self):
+        assert ListType(ListType(STRING)).encode() == "list(list(string))"
+
+    def test_decode_base(self):
+        assert ValueType.decode("integer") == INTEGER
+
+    def test_decode_nested(self):
+        assert ValueType.decode("list(list(string))") == STRING.listify(2)
+
+    def test_decode_strips_whitespace(self):
+        assert ValueType.decode("  list( string )  ") == ListType(STRING)
+
+    def test_roundtrip(self):
+        for value_type in (STRING, INTEGER.listify(1), FLOAT.listify(3)):
+            assert ValueType.decode(value_type.encode()) == value_type
+
+    def test_decode_rejects_malformed(self):
+        for text in ("", "list(", "list()", "list(string))"):
+            with pytest.raises(ValueError):
+                ValueType.decode(text)
+
+
+class TestInference:
+    def test_atomic_string(self):
+        assert infer_type("x") == STRING
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int; inference must prefer boolean.
+        assert infer_type(True) == BOOLEAN
+        assert infer_type(3) == INTEGER
+
+    def test_float(self):
+        assert infer_type(2.5) == FLOAT
+
+    def test_nested_list(self):
+        assert infer_type([["a"], ["b"]]).encode() == "list(list(string))"
+
+    def test_empty_list_defaults_to_string(self):
+        assert infer_type([]) == ListType(STRING)
+
+    def test_mixed_leaf_types_rejected(self):
+        with pytest.raises(TypeError):
+            infer_type(["a", 1])
+
+    def test_unknown_python_type_uses_class_name(self):
+        class Weird:
+            pass
+
+        assert infer_type(Weird()).base().name == "Weird"

@@ -1,0 +1,124 @@
+"""Tests for the fluent builder (repro.workflow.builder)."""
+
+import pytest
+
+from repro.workflow.builder import DataflowBuilder, linear_chain, parse_ref
+from repro.workflow.model import PortRef, PortSpec, WorkflowError
+from repro.values.types import STRING
+
+
+class TestParseRef:
+    def test_parse(self):
+        assert parse_ref("P:x") == PortRef("P", "x")
+
+    def test_port_containing_colon_keeps_first_split(self):
+        assert parse_ref("P:x:y") == PortRef("P", "x:y")
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(WorkflowError):
+            parse_ref("Px")
+
+    def test_empty_parts_rejected(self):
+        for text in (":x", "P:", ":"):
+            with pytest.raises(WorkflowError):
+                parse_ref(text)
+
+
+class TestBuilder:
+    def test_minimal_workflow(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(string)")
+            .output("b", "list(string)")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "wf:b")
+            .build()
+        )
+        assert flow.name == "wf"
+        assert flow.processor("P").operation == "identity"
+        assert len(flow.arcs) == 2
+
+    def test_port_decl_accepts_portspec(self):
+        flow = (
+            DataflowBuilder("wf")
+            .processor("P", inputs=[PortSpec("x", STRING)], operation="identity")
+            .build()
+        )
+        assert flow.processor("P").input_port("x").type == STRING
+
+    def test_arcs_bulk(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .processor("Q", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arcs(("wf:a", "P:x"), ("P:y", "Q:x"))
+            .build()
+        )
+        assert len(flow.arcs) == 2
+
+    def test_chain_helper(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .chain("wf:a", "P:x")
+            .build()
+        )
+        assert flow.incoming_arc(PortRef("P", "x")).source == PortRef("wf", "a")
+
+    def test_invalid_arc_surfaces_at_build(self):
+        builder = DataflowBuilder("wf").arc("wf:a", "P:x")
+        with pytest.raises(WorkflowError):
+            builder.build()
+
+    def test_iteration_strategy_passthrough(self):
+        flow = (
+            DataflowBuilder("wf")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity", iteration="dot")
+            .build()
+        )
+        assert flow.processor("P").iteration == "dot"
+
+    def test_config_passthrough(self):
+        flow = (
+            DataflowBuilder("wf")
+            .processor("P", operation="constant", config={"value": 42})
+            .build()
+        )
+        assert flow.processor("P").config == {"value": 42}
+
+
+class TestLinearChain:
+    def test_structure(self):
+        flow = linear_chain("wf", 3, "identity")
+        assert [p.name for p in flow.processors] == ["step0", "step1", "step2"]
+        # in -> step0 -> step1 -> step2 -> out: 4 arcs
+        assert len(flow.arcs) == 4
+
+    def test_endpoints_are_wired(self):
+        flow = linear_chain("wf", 2, "identity", input_name="src",
+                            output_name="dst")
+        assert flow.incoming_arc(PortRef("step0", "x")).source == PortRef("wf", "src")
+        assert flow.incoming_arc(PortRef("wf", "dst")).source == PortRef("step1", "y")
+
+    def test_length_one(self):
+        flow = linear_chain("wf", 1, "identity")
+        assert len(flow.processors) == 1
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(WorkflowError):
+            linear_chain("wf", 0, "identity")
+
+    def test_executes_end_to_end(self):
+        from repro.engine.executor import run_workflow
+
+        flow = linear_chain("wf", 3, "tag", port_type="string")
+        result = run_workflow(flow, {"in": "x"})
+        assert result.outputs["out"] == "x'''"

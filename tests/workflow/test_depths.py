@@ -1,0 +1,223 @@
+"""Tests for Alg. 1 depth propagation (repro.workflow.depths)."""
+
+import pytest
+
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.depths import propagate_depths
+from repro.workflow.model import PortRef, WorkflowError
+
+from tests.conftest import build_diamond_workflow, build_fig3_workflow
+
+
+class TestDiamond:
+    def test_propagated_depths(self):
+        flow = build_diamond_workflow()
+        analysis = propagate_depths(flow)
+        # GEN:size gets an atomic input, emits a depth-1 list.
+        assert analysis.depth_of(PortRef("GEN", "size")) == 0
+        assert analysis.depth_of(PortRef("GEN", "list")) == 1
+        # A iterates per element: input depth 1 against dd 0.
+        assert analysis.depth_of(PortRef("A", "x")) == 1
+        assert analysis.mismatch(PortRef("A", "x")) == 1
+        assert analysis.depth_of(PortRef("A", "y")) == 1
+        # F cross-products two depth-1 lists: output depth 2.
+        assert analysis.depth_of(PortRef("F", "y")) == 2
+        assert analysis.depth_of(PortRef("wf", "out")) == 2
+
+    def test_iteration_levels(self):
+        analysis = propagate_depths(build_diamond_workflow())
+        assert analysis.iteration_level("GEN") == 0
+        assert analysis.iteration_level("A") == 1
+        assert analysis.iteration_level("F") == 2
+
+    def test_fragment_layout_offsets(self):
+        analysis = propagate_depths(build_diamond_workflow())
+        layout = analysis.fragment_layout("F")
+        assert [(f.port, f.offset, f.length) for f in layout] == [
+            ("a", 0, 1),
+            ("b", 1, 1),
+        ]
+
+
+class TestFig3:
+    """The paper's Fig. 3: mismatches (1, 0, 1) on P's three inputs."""
+
+    def test_mismatches(self):
+        analysis = propagate_depths(build_fig3_workflow())
+        assert analysis.mismatch(PortRef("P", "X1")) == 1
+        assert analysis.mismatch(PortRef("P", "X2")) == 0
+        assert analysis.mismatch(PortRef("P", "X3")) == 1
+
+    def test_output_depth_and_level(self):
+        analysis = propagate_depths(build_fig3_workflow())
+        assert analysis.iteration_level("P") == 2
+        assert analysis.depth_of(PortRef("P", "Y")) == 2
+
+    def test_fragment_layout_matches_worked_example(self):
+        # q = [h, l]: X1 takes position 0, X2 nothing, X3 position 1.
+        analysis = propagate_depths(build_fig3_workflow())
+        layout = analysis.fragment_layout("P")
+        assert [(f.port, f.offset, f.length) for f in layout] == [
+            ("X1", 0, 1),
+            ("X2", 1, 0),
+            ("X3", 1, 1),
+        ]
+
+
+class TestEdgeCases:
+    def test_unconnected_input_uses_declared_depth(self):
+        flow = (
+            DataflowBuilder("wf")
+            .processor(
+                "P",
+                inputs=[("x", "list(string)")],
+                outputs=[("y", "string")],
+                operation="identity",
+            )
+            .build()
+        )
+        analysis = propagate_depths(flow)
+        assert analysis.depth_of(PortRef("P", "x")) == 1
+        assert analysis.mismatch(PortRef("P", "x")) == 0
+        assert analysis.iteration_level("P") == 0
+
+    def test_negative_mismatch_contributes_no_level(self):
+        # An atomic workflow input feeding a list-typed port: delta = -1.
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "string")
+            .processor(
+                "P",
+                inputs=[("x", "list(string)")],
+                outputs=[("y", "string")],
+                operation="count",
+            )
+            .arc("wf:a", "P:x")
+            .build()
+        )
+        analysis = propagate_depths(flow)
+        assert analysis.mismatch(PortRef("P", "x")) == -1
+        assert analysis.iteration_level("P") == 0
+        assert analysis.depth_of(PortRef("P", "y")) == 0
+
+    def test_depth_accumulates_through_chain(self):
+        # Two consecutive 1-mismatch processors: each wraps one level.
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(string)")
+            .processor("P", inputs=[("x", "string")],
+                       outputs=[("y", "list(string)")], operation="split_words")
+            .processor("Q", inputs=[("x", "string")],
+                       outputs=[("y", "string")], operation="identity")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "Q:x")
+            .build()
+        )
+        analysis = propagate_depths(flow)
+        # P: input depth 1 vs dd 0 -> level 1; output dd 1 + 1 = depth 2.
+        assert analysis.depth_of(PortRef("P", "y")) == 2
+        # Q: input depth 2 vs dd 0 -> level 2; output depth 2.
+        assert analysis.iteration_level("Q") == 2
+        assert analysis.depth_of(PortRef("Q", "y")) == 2
+
+    def test_unconnected_workflow_output_keeps_declared_depth(self):
+        flow = DataflowBuilder("wf").output("out", "list(string)").build()
+        analysis = propagate_depths(flow)
+        assert analysis.depth_of(PortRef("wf", "out")) == 1
+
+    def test_subflow_requires_flattening(self):
+        sub = DataflowBuilder("sub").input("a").output("b").arc("sub:a", "sub:b")
+        flow = (
+            DataflowBuilder("wf")
+            .processor("H", subflow=sub.build())
+            .build()
+        )
+        with pytest.raises(WorkflowError, match="flattened"):
+            propagate_depths(flow)
+
+    def test_unknown_lookups_raise(self):
+        analysis = propagate_depths(build_diamond_workflow())
+        with pytest.raises(WorkflowError):
+            analysis.depth_of(PortRef("ZZ", "y"))
+        with pytest.raises(WorkflowError):
+            analysis.mismatch(PortRef("A", "nope"))
+        with pytest.raises(WorkflowError):
+            analysis.iteration_level("ZZ")
+        with pytest.raises(WorkflowError):
+            analysis.fragment_layout("ZZ")
+
+    def test_as_table_lists_every_port(self):
+        flow = build_diamond_workflow()
+        rows = propagate_depths(flow).as_table()
+        assert len(rows) == 11
+        assert ("F:y", 0, 2) in rows
+
+
+class TestDotLayout:
+    def _dot_flow(self, in_types=("string", "string")):
+        return (
+            DataflowBuilder("wf")
+            .input("a", "list(string)")
+            .input("b", "list(string)")
+            .processor(
+                "Z",
+                inputs=[("x1", in_types[0]), ("x2", in_types[1])],
+                outputs=[("y", "string")],
+                operation="concat_pair",
+                iteration="dot",
+                config={"left": "x1", "right": "x2"},
+            )
+            .arcs(("wf:a", "Z:x1"), ("wf:b", "Z:x2"))
+            .build()
+        )
+
+    def test_dot_level_is_max_not_sum(self):
+        analysis = propagate_depths(self._dot_flow())
+        assert analysis.iteration_level("Z") == 1
+
+    def test_dot_ports_share_fragment(self):
+        analysis = propagate_depths(self._dot_flow())
+        layout = analysis.fragment_layout("Z")
+        assert [(f.port, f.offset, f.length) for f in layout] == [
+            ("x1", 0, 1),
+            ("x2", 0, 1),
+        ]
+
+    def test_dot_with_unequal_mismatches_rejected(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(list(string))")
+            .input("b", "list(string)")
+            .processor(
+                "Z",
+                inputs=[("x1", "string"), ("x2", "string")],
+                outputs=[("y", "string")],
+                operation="concat_pair",
+                iteration="dot",
+            )
+            .arcs(("wf:a", "Z:x1"), ("wf:b", "Z:x2"))
+            .build()
+        )
+        with pytest.raises(WorkflowError, match="dot iteration"):
+            propagate_depths(flow)
+
+    def test_dot_with_non_iterated_port(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(string)")
+            .input("b", "string")
+            .processor(
+                "Z",
+                inputs=[("x1", "string"), ("x2", "string")],
+                outputs=[("y", "string")],
+                operation="concat_pair",
+                iteration="dot",
+                config={"left": "x1", "right": "x2"},
+            )
+            .arcs(("wf:a", "Z:x1"), ("wf:b", "Z:x2"))
+            .build()
+        )
+        analysis = propagate_depths(flow)
+        assert analysis.iteration_level("Z") == 1
+        layout = analysis.fragment_layout("Z")
+        assert [(f.port, f.length) for f in layout] == [("x1", 1), ("x2", 0)]

@@ -1,0 +1,40 @@
+"""Tests for GraphViz export (repro.workflow.dot)."""
+
+from repro.workflow.dot import to_dot
+
+from tests.conftest import build_diamond_workflow
+
+
+class TestDotExport:
+    def test_contains_every_processor(self):
+        dot = to_dot(build_diamond_workflow())
+        for name in ("GEN", "A", "B", "F"):
+            assert f'"{name}"' in dot
+
+    def test_contains_workflow_ports(self):
+        dot = to_dot(build_diamond_workflow())
+        assert '"in:size"' in dot
+        assert '"out:out"' in dot
+
+    def test_arcs_rendered(self):
+        dot = to_dot(build_diamond_workflow())
+        assert '"GEN" -> "A"' in dot
+        assert '"F" -> "out:out"' in dot
+
+    def test_highlighting_marks_focus(self):
+        dot = to_dot(build_diamond_workflow(), highlight=["GEN"])
+        gen_line = next(line for line in dot.splitlines() if '"GEN" [' in line)
+        assert "gold" in gen_line
+        a_line = next(line for line in dot.splitlines() if '"A" [' in line)
+        assert "gold" not in a_line
+
+    def test_port_labels_optional(self):
+        with_ports = to_dot(build_diamond_workflow(), include_ports=True)
+        without = to_dot(build_diamond_workflow(), include_ports=False)
+        assert "label=" in with_ports
+        assert len(without) < len(with_ports)
+
+    def test_valid_digraph_syntax(self):
+        dot = to_dot(build_diamond_workflow())
+        assert dot.startswith('digraph "wf" {')
+        assert dot.rstrip().endswith("}")

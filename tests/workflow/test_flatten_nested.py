@@ -1,0 +1,156 @@
+"""Tests for nested-workflow flattening (Dataflow.flattened)."""
+
+from repro.engine.executor import run_workflow
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.model import PortRef
+
+
+def make_subflow():
+    return (
+        DataflowBuilder("sub")
+        .input("a", "string")
+        .output("b", "string")
+        .processor("inner", inputs=[("x", "string")], outputs=[("y", "string")],
+                   operation="tag", config={"suffix": "-inner"})
+        .arc("sub:a", "inner:x")
+        .arc("inner:y", "sub:b")
+        .build()
+    )
+
+
+def make_host():
+    return (
+        DataflowBuilder("wf")
+        .input("v", "string")
+        .output("w", "string")
+        .processor("pre", inputs=[("x", "string")], outputs=[("y", "string")],
+                   operation="tag", config={"suffix": "-pre"})
+        .processor("H", inputs=[("a", "string")], outputs=[("b", "string")],
+                   subflow=make_subflow())
+        .processor("post", inputs=[("x", "string")], outputs=[("y", "string")],
+                   operation="tag", config={"suffix": "-post"})
+        .arcs(
+            ("wf:v", "pre:x"),
+            ("pre:y", "H:a"),
+            ("H:b", "post:x"),
+            ("post:y", "wf:w"),
+        )
+        .build()
+    )
+
+
+class TestFlattening:
+    def test_flat_flow_returns_self(self):
+        sub = make_subflow()
+        assert sub.flattened() is sub
+
+    def test_inlined_processor_names_are_qualified(self):
+        flat = make_host().flattened()
+        assert set(flat.processor_names) == {"pre", "H/inner", "post"}
+
+    def test_boundary_arcs_rerouted(self):
+        flat = make_host().flattened()
+        arc_in = flat.incoming_arc(PortRef("H/inner", "x"))
+        assert arc_in.source == PortRef("pre", "y")
+        arc_out = flat.incoming_arc(PortRef("post", "x"))
+        assert arc_out.source == PortRef("H/inner", "y")
+
+    def test_flattened_executes_like_inline_equivalent(self):
+        result = run_workflow(make_host(), {"v": "x"})
+        assert result.outputs["w"] == "x-pre-inner-post"
+
+    def test_two_levels_of_nesting(self):
+        middle = (
+            DataflowBuilder("mid")
+            .input("a", "string")
+            .output("b", "string")
+            .processor("M", inputs=[("a", "string")], outputs=[("b", "string")],
+                       subflow=make_subflow())
+            .arc("mid:a", "M:a")
+            .arc("M:b", "mid:b")
+            .build()
+        )
+        host = (
+            DataflowBuilder("wf")
+            .input("v", "string")
+            .output("w", "string")
+            .processor("H", inputs=[("a", "string")], outputs=[("b", "string")],
+                       subflow=middle)
+            .arc("wf:v", "H:a")
+            .arc("H:b", "wf:w")
+            .build()
+        )
+        flat = host.flattened()
+        assert set(flat.processor_names) == {"H/M/inner"}
+        result = run_workflow(host, {"v": "q"})
+        assert result.outputs["w"] == "q-inner"
+
+    def test_subflow_passthrough_port(self):
+        # A subflow that wires an input straight to an output.
+        sub = (
+            DataflowBuilder("sub")
+            .input("a", "string")
+            .output("b", "string")
+            .arc("sub:a", "sub:b")
+            .build()
+        )
+        host = (
+            DataflowBuilder("wf")
+            .input("v", "string")
+            .output("w", "string")
+            .processor("H", inputs=[("a", "string")], outputs=[("b", "string")],
+                       subflow=sub)
+            .processor("post", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("wf:v", "H:a")
+            .arc("H:b", "post:x")
+            .arc("post:y", "wf:w")
+            .build()
+        )
+        result = run_workflow(host, {"v": "pass"})
+        assert result.outputs["w"] == "pass"
+
+    def test_iteration_through_subflow_boundary(self):
+        # A depth-1 value against the subflow's depth-0 input: after
+        # flattening, the inner processor iterates per element.
+        host = (
+            DataflowBuilder("wf")
+            .input("v", "list(string)")
+            .output("w", "list(string)")
+            .processor("H", inputs=[("a", "string")], outputs=[("b", "string")],
+                       subflow=make_subflow())
+            .arc("wf:v", "H:a")
+            .arc("H:b", "wf:w")
+            .build()
+        )
+        result = run_workflow(host, {"v": ["p", "q"]})
+        assert result.outputs["w"] == ["p-inner", "q-inner"]
+
+    def test_dead_subflow_input_arc_dropped(self):
+        sub = (
+            DataflowBuilder("sub")
+            .input("a", "string")
+            .input("unused", "string")
+            .output("b", "string")
+            .processor("inner", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("sub:a", "inner:x")
+            .arc("inner:y", "sub:b")
+            .build()
+        )
+        host = (
+            DataflowBuilder("wf")
+            .input("v", "string")
+            .input("u", "string")
+            .output("w", "string")
+            .processor("H", inputs=[("a", "string"), ("unused", "string")],
+                       outputs=[("b", "string")], subflow=sub)
+            .arc("wf:v", "H:a")
+            .arc("wf:u", "H:unused")
+            .arc("H:b", "wf:w")
+            .build()
+        )
+        flat = host.flattened()
+        # The arc into the dead subflow input disappears; execution works.
+        assert run_workflow(host, {"v": "x", "u": "y"}).outputs["w"] == "x"
+        assert all(arc.sink.node != "H" for arc in flat.arcs)

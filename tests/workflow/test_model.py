@@ -1,0 +1,196 @@
+"""Tests for the dataflow model (repro.workflow.model)."""
+
+import pytest
+
+from repro.values.types import STRING, ValueType
+from repro.workflow.model import (
+    Arc,
+    Dataflow,
+    PortRef,
+    PortSpec,
+    Processor,
+    WorkflowError,
+)
+
+
+def spec(name: str, type_text: str = "string") -> PortSpec:
+    return PortSpec(name, ValueType.decode(type_text))
+
+
+class TestPortSpec:
+    def test_declared_depth(self):
+        assert spec("x", "string").declared_depth == 0
+        assert spec("x", "list(list(string))").declared_depth == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkflowError):
+            PortSpec("", STRING)
+
+
+class TestPortRef:
+    def test_str(self):
+        assert str(PortRef("P", "X")) == "P:X"
+
+    def test_ordering_and_hash(self):
+        refs = {PortRef("A", "x"), PortRef("A", "x"), PortRef("B", "x")}
+        assert len(refs) == 2
+        assert PortRef("A", "x") < PortRef("B", "x")
+
+
+class TestProcessor:
+    def test_port_lookup(self):
+        p = Processor("P", [spec("a"), spec("b")], [spec("y")], operation="identity")
+        assert p.input_port("a").name == "a"
+        assert p.output_port("y").name == "y"
+        assert p.has_input("b")
+        assert not p.has_input("y")
+        assert p.has_output("y")
+
+    def test_input_position_is_port_order(self):
+        p = Processor("P", [spec("b"), spec("a")], [], operation="identity")
+        assert p.input_position("b") == 0
+        assert p.input_position("a") == 1
+
+    def test_unknown_port_raises(self):
+        p = Processor("P", [spec("a")], [], operation="identity")
+        with pytest.raises(WorkflowError):
+            p.input_port("zz")
+        with pytest.raises(WorkflowError):
+            p.input_position("zz")
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(WorkflowError):
+            Processor("P", [spec("a"), spec("a")], [], operation="identity")
+
+    def test_operation_and_subflow_mutually_exclusive(self):
+        sub = Dataflow("sub")
+        with pytest.raises(WorkflowError):
+            Processor("P", [], [], operation="identity", subflow=sub)
+
+    def test_unknown_iteration_rejected(self):
+        with pytest.raises(WorkflowError):
+            Processor("P", [], [], operation="identity", iteration="zipper")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkflowError):
+            Processor("", [], [], operation="identity")
+
+
+class TestDataflowConstruction:
+    def _flow(self) -> Dataflow:
+        flow = Dataflow("wf", inputs=[spec("in")], outputs=[spec("out")])
+        flow.add_processor(
+            Processor("P", [spec("x")], [spec("y")], operation="identity")
+        )
+        return flow
+
+    def test_add_processor_and_lookup(self):
+        flow = self._flow()
+        assert flow.processor("P").name == "P"
+        assert flow.has_processor("P")
+        assert not flow.has_processor("Q")
+        assert flow.processor_names == ("P",)
+
+    def test_duplicate_processor_rejected(self):
+        flow = self._flow()
+        with pytest.raises(WorkflowError):
+            flow.add_processor(Processor("P", [], [], operation="identity"))
+
+    def test_processor_named_like_workflow_rejected(self):
+        flow = self._flow()
+        with pytest.raises(WorkflowError):
+            flow.add_processor(Processor("wf", [], [], operation="identity"))
+
+    def test_unknown_processor_lookup_raises(self):
+        with pytest.raises(WorkflowError):
+            self._flow().processor("nope")
+
+    def test_valid_arcs(self):
+        flow = self._flow()
+        flow.add_arc(PortRef("wf", "in"), PortRef("P", "x"))
+        flow.add_arc(PortRef("P", "y"), PortRef("wf", "out"))
+        assert len(flow.arcs) == 2
+
+    def test_arc_from_input_port_rejected(self):
+        flow = self._flow()
+        with pytest.raises(WorkflowError):
+            flow.add_arc(PortRef("P", "x"), PortRef("wf", "out"))
+
+    def test_arc_into_output_port_rejected(self):
+        flow = self._flow()
+        with pytest.raises(WorkflowError):
+            flow.add_arc(PortRef("wf", "in"), PortRef("P", "y"))
+
+    def test_arc_to_unknown_port_rejected(self):
+        flow = self._flow()
+        with pytest.raises(WorkflowError):
+            flow.add_arc(PortRef("wf", "in"), PortRef("P", "zz"))
+
+    def test_single_assignment_per_sink(self):
+        flow = self._flow()
+        flow.add_arc(PortRef("wf", "in"), PortRef("P", "x"))
+        with pytest.raises(WorkflowError):
+            flow.add_arc(PortRef("wf", "in"), PortRef("P", "x"))
+
+    def test_fanout_from_one_source_allowed(self):
+        flow = Dataflow("wf", inputs=[spec("in")])
+        flow.add_processor(Processor("A", [spec("x")], [spec("y")], operation="identity"))
+        flow.add_processor(Processor("B", [spec("x")], [spec("y")], operation="identity"))
+        flow.add_arc(PortRef("wf", "in"), PortRef("A", "x"))
+        flow.add_arc(PortRef("wf", "in"), PortRef("B", "x"))
+        assert len(flow.arcs) == 2
+
+
+class TestDataflowQueries:
+    def _wired(self) -> Dataflow:
+        flow = Dataflow("wf", inputs=[spec("in")], outputs=[spec("out")])
+        flow.add_processor(
+            Processor("P", [spec("x")], [spec("y")], operation="identity")
+        )
+        flow.add_arc(PortRef("wf", "in"), PortRef("P", "x"))
+        flow.add_arc(PortRef("P", "y"), PortRef("wf", "out"))
+        return flow
+
+    def test_incoming_arc(self):
+        flow = self._wired()
+        arc = flow.incoming_arc(PortRef("P", "x"))
+        assert arc is not None and arc.source == PortRef("wf", "in")
+        assert flow.incoming_arc(PortRef("P", "y")) is None
+
+    def test_outgoing_arcs(self):
+        flow = self._wired()
+        assert len(flow.outgoing_arcs(PortRef("P", "y"))) == 1
+        assert flow.outgoing_arcs(PortRef("P", "x")) == []
+
+    def test_arcs_into_and_out_of_processor(self):
+        flow = self._wired()
+        assert len(flow.arcs_into_processor("P")) == 1
+        assert len(flow.arcs_out_of_processor("P")) == 1
+
+    def test_iter_port_refs_covers_everything(self):
+        refs = set(self._wired().iter_port_refs())
+        assert refs == {
+            PortRef("wf", "in"),
+            PortRef("wf", "out"),
+            PortRef("P", "x"),
+            PortRef("P", "y"),
+        }
+
+    def test_declared_depth_lookup(self):
+        flow = Dataflow("wf", inputs=[spec("in", "list(string)")])
+        flow.add_processor(
+            Processor("P", [spec("x")], [spec("y", "list(string)")],
+                      operation="identity")
+        )
+        assert flow.declared_depth(PortRef("wf", "in")) == 1
+        assert flow.declared_depth(PortRef("P", "x")) == 0
+        assert flow.declared_depth(PortRef("P", "y")) == 1
+        with pytest.raises(WorkflowError):
+            flow.declared_depth(PortRef("P", "zz"))
+
+    def test_workflow_port_refs(self):
+        flow = self._wired()
+        assert flow.workflow_input_ref("in") == PortRef("wf", "in")
+        assert flow.workflow_output_ref("out") == PortRef("wf", "out")
+        with pytest.raises(WorkflowError):
+            flow.workflow_input_ref("missing")

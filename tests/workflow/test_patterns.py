@@ -1,0 +1,126 @@
+"""Tests for workflow construction patterns (repro.workflow.patterns)."""
+
+import pytest
+
+from repro.engine.executor import run_workflow
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.depths import propagate_depths
+from repro.workflow.model import PortRef, WorkflowError
+from repro.workflow.patterns import fan_out, join_cross, pipeline, scatter_gather
+
+
+class TestPipeline:
+    def test_builds_linear_chain(self):
+        builder = DataflowBuilder("wf").input("items", "list(string)")
+        end = pipeline(
+            builder,
+            "wf:items",
+            [
+                ("clean", "tag", {"suffix": "-c"}),
+                ("norm", "tag", {"suffix": "-n"}),
+            ],
+        )
+        builder.output("out", "list(string)").arc(end, "wf:out")
+        flow = builder.build()
+        result = run_workflow(flow, {"items": ["a", "b"]})
+        assert result.outputs["out"] == ["a-c-n", "b-c-n"]
+
+    def test_empty_stage_list_returns_source(self):
+        builder = DataflowBuilder("wf").input("a", "string")
+        assert pipeline(builder, "wf:a", []) == "wf:a"
+
+
+class TestScatterGather:
+    def test_granularity_boundary(self):
+        builder = DataflowBuilder("wf").input("items", "list(string)")
+        end = scatter_gather(
+            builder,
+            "wf:items",
+            worker=("work", "tag", {"suffix": "-w"}),
+            gather=("merge", "flatten_join", None),
+        )
+        builder.output("out", "string").arc(end, "wf:out")
+        from repro.engine.processors import default_registry
+
+        registry = default_registry().extended()
+        registry.register(
+            "flatten_join", lambda inputs, config: {"y": "|".join(inputs["x"])}
+        )
+        flow = builder.build()
+        analysis = propagate_depths(flow)
+        assert analysis.mismatch(PortRef("work", "x")) == 1   # scatter
+        assert analysis.mismatch(PortRef("merge", "x")) == 0  # gather
+        result = run_workflow(flow, {"items": ["a", "b"]}, registry=registry)
+        assert result.outputs["out"] == "a-w|b-w"
+
+    def test_gather_output_lineage_is_coarse(self):
+        builder = DataflowBuilder("wf").input("items", "list(string)")
+        end = scatter_gather(
+            builder,
+            "wf:items",
+            worker=("work", "identity", None),
+            gather=("merge", "count", None),
+        )
+        builder.output("n", "string").arc(end, "wf:n")
+        flow = builder.build()
+        captured = capture_run(flow, {"items": ["a", "b", "c"]})
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            result = IndexProjEngine(store, flow).lineage(
+                captured.run_id,
+                LineageQuery.create("wf", "n", (), ["work"]),
+            )
+            # The gather consumed everything: all worker elements appear.
+            assert len(result.bindings) == 3
+
+
+class TestFanOutAndJoin:
+    def test_diamond_via_patterns(self):
+        builder = (
+            DataflowBuilder("wf")
+            .input("size", "integer")
+            .output("out", "list(list(string))")
+            .processor("GEN", inputs=[("size", "integer")],
+                       outputs=[("list", "list(string)")],
+                       operation="list_generator", config={"out": "list"})
+            .arc("wf:size", "GEN:size")
+        )
+        branch_ports = fan_out(
+            builder,
+            "GEN:list",
+            [("A", "tag", {"suffix": "-a"}), ("B", "tag", {"suffix": "-b"})],
+        )
+        end = join_cross(builder, "JOIN", branch_ports)
+        builder.arc(end, "wf:out")
+        flow = builder.build()
+        result = run_workflow(flow, {"size": 2})
+        assert result.outputs["out"][1][0] == "item-1-a+item-0-b"
+
+    def test_join_lineage_projection(self):
+        builder = DataflowBuilder("wf")
+        builder.input("xs", "list(string)").input("ys", "list(string)")
+        builder.output("out", "list(list(string))")
+        end = join_cross(builder, "JOIN", ["wf:xs", "wf:ys"])
+        builder.arc(end, "wf:out")
+        flow = builder.build()
+        captured = capture_run(flow, {"xs": ["x0", "x1"], "ys": ["y0"]})
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            result = IndexProjEngine(store, flow).lineage(
+                captured.run_id,
+                LineageQuery.create("wf", "out", [1, 0], ["JOIN"]),
+            )
+            assert sorted(b.key() for b in result.bindings) == [
+                ("JOIN", "b1", "1"), ("JOIN", "b2", "0"),
+            ]
+
+    def test_validation(self):
+        builder = DataflowBuilder("wf").input("a", "string")
+        with pytest.raises(WorkflowError):
+            fan_out(builder, "wf:a", [])
+        with pytest.raises(WorkflowError):
+            join_cross(builder, "J", ["wf:a"])

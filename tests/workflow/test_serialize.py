@@ -1,0 +1,105 @@
+"""Tests for workflow JSON (de)serialization (repro.workflow.serialize)."""
+
+import json
+
+import pytest
+
+from repro.workflow import serialize
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.model import PortRef, WorkflowError
+
+from tests.conftest import build_diamond_workflow, build_fig3_workflow
+
+
+def flows_equal(left, right) -> bool:
+    """Structural equality via the canonical dict encoding."""
+    return serialize.dataflow_to_dict(left) == serialize.dataflow_to_dict(right)
+
+
+class TestRoundtrip:
+    def test_diamond_roundtrip(self):
+        flow = build_diamond_workflow()
+        assert flows_equal(flow, serialize.loads(serialize.dumps(flow)))
+
+    def test_fig3_roundtrip(self):
+        flow = build_fig3_workflow()
+        assert flows_equal(flow, serialize.loads(serialize.dumps(flow)))
+
+    def test_roundtrip_preserves_port_order(self):
+        flow = build_fig3_workflow()
+        restored = serialize.loads(serialize.dumps(flow))
+        assert [p.name for p in restored.processor("P").inputs] == ["X1", "X2", "X3"]
+
+    def test_roundtrip_preserves_config_and_iteration(self):
+        flow = (
+            DataflowBuilder("wf")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="concat_pair", iteration="dot",
+                       config={"joiner": "/"})
+            .build()
+        )
+        restored = serialize.loads(serialize.dumps(flow))
+        p = restored.processor("P")
+        assert p.iteration == "dot"
+        assert p.config == {"joiner": "/"}
+        assert p.operation == "concat_pair"
+
+    def test_roundtrip_preserves_types(self):
+        flow = build_diamond_workflow()
+        restored = serialize.loads(serialize.dumps(flow))
+        assert restored.declared_depth(PortRef("wf", "out")) == 2
+
+    def test_subflow_roundtrip(self):
+        sub = (
+            DataflowBuilder("sub")
+            .input("a", "string")
+            .output("b", "string")
+            .processor("I", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("sub:a", "I:x")
+            .arc("I:y", "sub:b")
+            .build()
+        )
+        flow = (
+            DataflowBuilder("wf")
+            .input("v", "string")
+            .output("w", "string")
+            .processor("H", inputs=[("a", "string")], outputs=[("b", "string")],
+                       subflow=sub)
+            .arc("wf:v", "H:a")
+            .arc("H:b", "wf:w")
+            .build()
+        )
+        restored = serialize.loads(serialize.dumps(flow))
+        assert restored.processor("H").is_subflow
+        assert flows_equal(flow.flattened(), restored.flattened())
+
+
+class TestFileIO:
+    def test_save_and_load(self, tmp_path):
+        flow = build_diamond_workflow()
+        path = str(tmp_path / "wf.json")
+        serialize.save(flow, path)
+        assert flows_equal(flow, serialize.load(path))
+
+    def test_output_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "wf.json")
+        serialize.save(build_diamond_workflow(), path)
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["format"] == serialize.FORMAT_VERSION
+        assert data["name"] == "wf"
+
+
+class TestErrors:
+    def test_unsupported_version_rejected(self):
+        data = serialize.dataflow_to_dict(build_diamond_workflow())
+        data["format"] = 99
+        with pytest.raises(WorkflowError, match="version"):
+            serialize.dataflow_from_dict(data)
+
+    def test_malformed_arc_ref_rejected(self):
+        data = serialize.dataflow_to_dict(build_diamond_workflow())
+        data["arcs"][0]["source"] = "no-colon"
+        with pytest.raises(WorkflowError, match="malformed"):
+            serialize.dataflow_from_dict(data)

@@ -1,0 +1,128 @@
+"""Tests for workflow validation (repro.workflow.validate)."""
+
+import pytest
+
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.model import Dataflow, PortRef, PortSpec, Processor, WorkflowError
+from repro.workflow.validate import check_valid, validate
+from repro.values.types import STRING
+
+from tests.conftest import build_diamond_workflow
+
+
+def issue_codes(flow):
+    return [(i.severity, i.code) for i in validate(flow)]
+
+
+class TestCleanWorkflow:
+    def test_diamond_has_no_issues(self):
+        assert validate(build_diamond_workflow()) == []
+
+    def test_check_valid_passes(self):
+        check_valid(build_diamond_workflow())
+
+
+class TestCycles:
+    def _cyclic(self) -> Dataflow:
+        flow = Dataflow("cyc")
+        for name in ("A", "B"):
+            flow.add_processor(
+                Processor(name, [PortSpec("x", STRING)], [PortSpec("y", STRING)],
+                          operation="identity")
+            )
+        flow.add_arc(PortRef("A", "y"), PortRef("B", "x"))
+        flow.add_arc(PortRef("B", "y"), PortRef("A", "x"))
+        return flow
+
+    def test_cycle_is_an_error(self):
+        assert ("error", "cycle") in issue_codes(self._cyclic())
+
+    def test_check_valid_raises(self):
+        with pytest.raises(WorkflowError, match="invalid"):
+            check_valid(self._cyclic())
+
+    def test_cycle_short_circuits_other_checks(self):
+        codes = issue_codes(self._cyclic())
+        assert codes == [("error", "cycle")]
+
+
+class TestTypeChecks:
+    def test_base_type_conflict_is_error(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "integer")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("wf:a", "P:x")
+            .build()
+        )
+        assert ("error", "base-type-conflict") in issue_codes(flow)
+
+    def test_depth_difference_alone_is_not_an_error(self):
+        # Depth mismatches are what implicit iteration is *for*.
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(list(string))")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .output("out", "string")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        assert not any(i.is_error for i in validate(flow))
+
+
+class TestWarnings:
+    def test_unreachable_processor_warns(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "string")
+            .output("out", "string")
+            .processor("USED", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .processor("DEAD", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("wf:a", "USED:x")
+            .arc("wf:a", "DEAD:x")
+            .arc("USED:y", "wf:out")
+            .build()
+        )
+        codes = issue_codes(flow)
+        assert ("warning", "unreachable") in codes
+        assert not any(sev == "error" for sev, _ in codes)
+
+    def test_unbound_input_warns(self):
+        flow = (
+            DataflowBuilder("wf")
+            .output("out", "string")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        assert ("warning", "unbound-input") in issue_codes(flow)
+
+    def test_warnings_do_not_fail_check_valid(self):
+        flow = (
+            DataflowBuilder("wf")
+            .output("out", "string")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        check_valid(flow)  # should not raise
+
+    def test_issue_is_error_flag(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "integer")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("wf:a", "P:x")
+            .build()
+        )
+        issues = validate(flow)
+        assert any(i.is_error for i in issues)
+        assert all(i.severity in ("error", "warning") for i in issues)

@@ -1,0 +1,109 @@
+"""Tests for graph traversal utilities (repro.workflow.visit)."""
+
+import pytest
+
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.model import Dataflow, PortRef, PortSpec, Processor, WorkflowError
+from repro.workflow import visit
+from repro.values.types import STRING
+
+from tests.conftest import build_diamond_workflow
+
+
+def cyclic_flow() -> Dataflow:
+    flow = Dataflow("cyc")
+    flow.add_processor(
+        Processor("A", [PortSpec("x", STRING)], [PortSpec("y", STRING)],
+                  operation="identity")
+    )
+    flow.add_processor(
+        Processor("B", [PortSpec("x", STRING)], [PortSpec("y", STRING)],
+                  operation="identity")
+    )
+    flow.add_arc(PortRef("A", "y"), PortRef("B", "x"))
+    flow.add_arc(PortRef("B", "y"), PortRef("A", "x"))
+    return flow
+
+
+class TestToposort:
+    def test_diamond_order(self):
+        flow = build_diamond_workflow()
+        names = [p.name for p in visit.topological_sort(flow)]
+        assert names.index("GEN") < names.index("A")
+        assert names.index("GEN") < names.index("B")
+        assert names.index("A") < names.index("F")
+        assert names.index("B") < names.index("F")
+
+    def test_stable_tiebreak_by_insertion(self):
+        flow = build_diamond_workflow()
+        names = [p.name for p in visit.topological_sort(flow)]
+        # A was added before B and neither depends on the other.
+        assert names.index("A") < names.index("B")
+
+    def test_cycle_detection(self):
+        with pytest.raises(WorkflowError, match="cycle"):
+            visit.topological_sort(cyclic_flow())
+
+    def test_empty_flow(self):
+        assert visit.topological_sort(Dataflow("empty")) == []
+
+    def test_dependencies_ignore_workflow_ports(self):
+        flow = build_diamond_workflow()
+        deps = visit.processor_dependencies(flow)
+        assert deps["GEN"] == set()  # fed from a workflow input only
+        assert deps["F"] == {"A", "B"}
+
+
+class TestUpstream:
+    def test_output_port_leads_to_all_inputs(self):
+        flow = build_diamond_workflow()
+        ups = visit.upstream_ports(flow, PortRef("F", "y"))
+        assert set(ups) == {PortRef("F", "a"), PortRef("F", "b")}
+
+    def test_input_port_follows_arc(self):
+        flow = build_diamond_workflow()
+        assert visit.upstream_ports(flow, PortRef("A", "x")) == [
+            PortRef("GEN", "list")
+        ]
+
+    def test_workflow_output_follows_arc(self):
+        flow = build_diamond_workflow()
+        assert visit.upstream_ports(flow, PortRef("wf", "out")) == [
+            PortRef("F", "y")
+        ]
+
+    def test_unconnected_input_is_terminal(self):
+        flow = (
+            DataflowBuilder("wf")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .build()
+        )
+        assert visit.upstream_ports(flow, PortRef("P", "x")) == []
+
+    def test_reachable_upstream_closure(self):
+        flow = build_diamond_workflow()
+        seen = visit.reachable_upstream(flow, PortRef("wf", "out"))
+        assert PortRef("GEN", "size") in seen
+        assert PortRef("wf", "size") in seen
+        assert len(seen) == 11  # every port of the diamond
+
+
+class TestPaths:
+    def test_paths_between(self):
+        flow = build_diamond_workflow()
+        paths = visit.paths_between(flow, "GEN", "F")
+        assert sorted(paths) == [["GEN", "A", "F"], ["GEN", "B", "F"]]
+
+    def test_no_path(self):
+        flow = build_diamond_workflow()
+        assert visit.paths_between(flow, "F", "GEN") == []
+
+    def test_graph_size(self):
+        flow = build_diamond_workflow()
+        assert visit.graph_size(flow) == (4, 6)
+
+    def test_arc_count_into(self):
+        flow = build_diamond_workflow()
+        assert visit.arc_count_into(flow, "F") == 2
+        assert visit.arc_count_into(flow, "GEN") == 1
