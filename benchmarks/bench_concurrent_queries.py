@@ -1,0 +1,66 @@
+"""Concurrent multi-run lineage — parallel s2 fan-out vs. sequential sweep.
+
+Beyond the paper's figures: Section 3.4's shared static traversal makes
+the per-run lookup step (s2) embarrassingly parallel.  The kernel rows
+time the in-cache regime (bounded by core count and the GIL-held share of
+row decoding); the report additionally runs the slow-read regime, where a
+deterministic per-read latency (the fault-injection seam) stands in for
+cold storage and worker threads overlap their waits.  The report asserts
+the acceptance threshold: >= 2x wall-clock speedup for the parallel path
+on a >= 500-run store in the latency-bound regime.
+"""
+
+from repro.bench.concurrency import best_slow_read_speedup, concurrent_queries
+from repro.provenance.store import TraceStore
+from repro.query.indexproj import IndexProjEngine
+from repro.testbed.runs import populate_store
+from repro.testbed.workloads import genes2kegg_workload
+
+
+def _gk_store(tmp_path, runs=500):
+    workload = genes2kegg_workload()
+    store = TraceStore(str(tmp_path / "traces.db"))
+    run_ids = populate_store(
+        store, workload.flow, workload.inputs, runs=runs,
+        runner=workload.runner(), run_prefix=workload.name,
+    )
+    store.create_indexes()
+    return workload, store, run_ids
+
+
+def bench_concurrent_kernel_sequential(benchmark, tmp_path):
+    """Timed kernel: sequential 500-run sweep, shared plan (baseline)."""
+    workload, store, run_ids = _gk_store(tmp_path)
+    engine = IndexProjEngine(store, workload.flow.flattened())
+    query = workload.unfocused_query()
+    engine.lineage_multirun(run_ids[:5], query)
+    result = benchmark(lambda: engine.lineage_multirun(run_ids, query))
+    assert len(result.per_run) == len(run_ids)
+    store.close()
+
+
+def bench_concurrent_kernel_parallel(benchmark, tmp_path):
+    """Timed kernel: the same sweep fanned out over 8 worker threads."""
+    workload, store, run_ids = _gk_store(tmp_path)
+    engine = IndexProjEngine(store, workload.flow.flattened())
+    query = workload.unfocused_query()
+    engine.lineage_multirun(run_ids[:5], query)
+    result = benchmark(
+        lambda: engine.lineage_multirun_parallel(run_ids, query, max_workers=8)
+    )
+    assert len(result.per_run) == len(run_ids)
+    store.close()
+
+
+def bench_concurrent_report(benchmark, scale, emit_report):
+    rows = benchmark.pedantic(
+        lambda: concurrent_queries(scale), rounds=1, iterations=1
+    )
+    emit_report(
+        "concurrent_queries",
+        rows,
+        f"Concurrent multi-run lineage — parallel s2 fan-out (scale={scale})",
+        columns=["regime", "workers", "runs", "ms", "speedup", "identical"],
+    )
+    assert all(row["identical"] for row in rows)
+    assert best_slow_read_speedup(rows) >= 2.0

@@ -65,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--synthetic-d", type=int, default=10, help="ListSize input")
     run.add_argument("--db", required=True, help="trace database path")
     run.add_argument("--runs", type=int, default=1, help="number of identical runs")
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="capture runs concurrently on this many threads",
+    )
 
     query = sub.add_parser("query", help="answer a lineage query")
     query.add_argument("--db", required=True, help="trace database path")
@@ -85,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--flow", help="workflow JSON (required for indexproj)")
     query.add_argument("--workload", choices=sorted(_WORKLOADS))
     query.add_argument("--synthetic-l", type=int)
+    query.add_argument(
+        "--workers", type=int, default=1,
+        help="fan per-run lookups across this many threads (indexproj only)",
+    )
 
     bench = sub.add_parser("bench", help="reproduce a table/figure")
     bench.add_argument(
@@ -181,8 +189,19 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     runner = WorkflowRunner(registry)
     with TraceStore(args.db) as store:
-        for _ in range(args.runs):
-            captured = capture_run(flow, inputs, runner=runner)
+        if args.workers > 1:
+            from repro.provenance.capture import capture_runs
+
+            captured_list = capture_runs(
+                flow, [inputs] * args.runs, runner=runner,
+                max_workers=args.workers,
+            )
+        else:
+            captured_list = [
+                capture_run(flow, inputs, runner=runner)
+                for _ in range(args.runs)
+            ]
+        for captured in captured_list:
             store.insert_trace(captured.trace)
             print(
                 f"run {captured.run_id}: {captured.trace.record_count} trace "
@@ -213,7 +232,13 @@ def cmd_query(args: argparse.Namespace) -> int:
             results = engine.lineage_multirun(run_ids, query)
         else:
             flow, _, _ = _load_flow(args)
-            results = IndexProjEngine(store, flow).lineage_multirun(run_ids, query)
+            engine = IndexProjEngine(store, flow)
+            if args.workers > 1:
+                results = engine.lineage_multirun_parallel(
+                    run_ids, query, max_workers=args.workers
+                )
+            else:
+                results = engine.lineage_multirun(run_ids, query)
         print(f"query: {query}")
         for run_id, result in results.per_run.items():
             print(f"run {run_id} ({result.total_seconds * 1000:.2f} ms):")

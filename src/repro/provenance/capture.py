@@ -1,9 +1,17 @@
-"""One-call capture of a workflow run's provenance."""
+"""One-call capture of a workflow run's provenance.
+
+Capture is thread-safe: a :class:`~repro.engine.executor.WorkflowRunner`
+holds no per-run state (each call gets its own port-value map and trace
+builder), so one runner may be shared by concurrent captures of the same
+workflow — which is exactly what :func:`capture_runs` and the service's
+concurrent ``run`` path do.
+"""
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.engine.executor import RunResult, WorkflowRunner
 from repro.engine.processors import ProcessorRegistry
@@ -45,3 +53,29 @@ def capture_run(
     builder = TraceBuilder(run_id or new_run_id(), flow.name)
     result = runner.run(flow, inputs, listener=builder)
     return CapturedRun(result=result, trace=builder.trace)
+
+
+def capture_runs(
+    flow: Dataflow,
+    inputs_list: Sequence[Dict[str, Any]],
+    runner: Optional[WorkflowRunner] = None,
+    registry: Optional[ProcessorRegistry] = None,
+    max_workers: int = 1,
+) -> List[CapturedRun]:
+    """Capture one run per input dict, optionally on a thread pool.
+
+    Results are returned in input order.  All captures share one runner
+    (and hence one cached depth analysis); with ``max_workers > 1`` the
+    executions overlap — useful for filling multi-run stores quickly in
+    benchmarks and stress tests.
+    """
+    if runner is None:
+        runner = WorkflowRunner(registry)
+    if max_workers <= 1 or len(inputs_list) <= 1:
+        return [capture_run(flow, inputs, runner=runner) for inputs in inputs_list]
+    workers = min(max_workers, len(inputs_list))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(
+            pool.map(lambda inputs: capture_run(flow, inputs, runner=runner),
+                     inputs_list)
+        )

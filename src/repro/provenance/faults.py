@@ -1,0 +1,141 @@
+"""Deterministic fault injection for the trace store.
+
+Concurrency code is only trustworthy if its failure paths are exercised,
+and SQLite's interesting failures (``SQLITE_BUSY`` storms, slow disks,
+crashes mid-transaction) are timing-dependent and hard to provoke on
+demand.  This module is the seam that makes them reproducible: a
+:class:`FaultInjector` is handed to :class:`~repro.provenance.store.
+TraceStore`, which consults it at well-defined points of every read and
+write.  Tests and benchmarks arm it with exact budgets ("the next three
+write attempts fail busy", "crash after two statements of the next
+insert") and then assert on both the outcome and the injector's
+observability counters.
+
+The default :data:`NO_FAULTS` injector is inert and shared; every hook is
+a cheap counter check, so production paths pay essentially nothing.
+
+All mutation is guarded by one lock, so budgets are decremented exactly
+once per event even when many threads write through the same store.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from typing import Optional
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by the injector to simulate a process dying mid-transaction.
+
+    The store never catches this (it is not an ``OperationalError``), so
+    it propagates through :meth:`TraceStore.insert_trace` after the
+    transaction is rolled back — modelling the all-or-nothing guarantee a
+    real crash gets from SQLite's journal.
+    """
+
+
+class FaultInjector:
+    """Scriptable fault source consulted by the store's read/write hooks.
+
+    Arm it before the operation under test::
+
+        faults = FaultInjector()
+        faults.inject_busy(3)          # next 3 write attempts fail busy
+        store = TraceStore(path, faults=faults)
+        store.insert_trace(trace)      # succeeds on the 4th attempt
+        assert faults.busy_raised == 3
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._busy_budget = 0
+        self._crash_countdown: Optional[int] = None
+        self._write_delay = 0.0
+        self._read_delay = 0.0
+        self._statement_delay = 0.0
+        #: Number of injected busy errors actually raised.
+        self.busy_raised = 0
+        #: Number of injected crashes actually raised.
+        self.crashes = 0
+
+    # -- arming ----------------------------------------------------------
+
+    def inject_busy(self, attempts: int) -> None:
+        """Fail the next ``attempts`` write attempts with ``SQLITE_BUSY``."""
+        with self._lock:
+            self._busy_budget = attempts
+
+    def inject_crash_after(self, statements: int) -> None:
+        """Crash the next write transaction after ``statements`` statement
+        groups have executed (0 crashes before the first)."""
+        with self._lock:
+            self._crash_countdown = statements
+
+    def inject_write_delay(self, seconds: float) -> None:
+        """Stall every write attempt by ``seconds`` (slow fsync / disk)."""
+        with self._lock:
+            self._write_delay = seconds
+
+    def inject_statement_delay(self, seconds: float) -> None:
+        """Stall between statement groups *inside* a write transaction —
+        holds the transaction open so tests can probe what concurrent
+        readers observe mid-insert."""
+        with self._lock:
+            self._statement_delay = seconds
+
+    def inject_read_delay(self, seconds: float) -> None:
+        """Stall every read by ``seconds`` (cold cache / slow disk)."""
+        with self._lock:
+            self._read_delay = seconds
+
+    def reset(self) -> None:
+        """Disarm everything and zero the counters."""
+        with self._lock:
+            self._busy_budget = 0
+            self._crash_countdown = None
+            self._write_delay = 0.0
+            self._read_delay = 0.0
+            self._statement_delay = 0.0
+            self.busy_raised = 0
+            self.crashes = 0
+
+    # -- hooks (called by TraceStore) ------------------------------------
+
+    def on_write_attempt(self) -> None:
+        """Start of one write-transaction attempt (inside the retry loop)."""
+        delay = 0.0
+        with self._lock:
+            if self._busy_budget > 0:
+                self._busy_budget -= 1
+                self.busy_raised += 1
+                raise sqlite3.OperationalError("database is locked (injected)")
+            delay = self._write_delay
+        if delay:
+            time.sleep(delay)
+
+    def on_write_statement(self) -> None:
+        """One statement group executed inside a write transaction."""
+        delay = 0.0
+        with self._lock:
+            if self._crash_countdown is not None:
+                if self._crash_countdown <= 0:
+                    self._crash_countdown = None
+                    self.crashes += 1
+                    raise InjectedCrash("simulated crash mid-transaction")
+                self._crash_countdown -= 1
+            delay = self._statement_delay
+        if delay:
+            time.sleep(delay)
+
+    def on_read(self) -> None:
+        """One read about to execute."""
+        with self._lock:
+            delay = self._read_delay
+        if delay:
+            time.sleep(delay)
+
+
+#: Shared inert injector — the default for every store.
+NO_FAULTS = FaultInjector()

@@ -19,6 +19,31 @@ composite index, which is what makes the paper's Fig. 6 observation hold
 ("all of the queries on the traces involve the use of indexes, with none
 requiring full table scans").
 
+Concurrency contract
+--------------------
+
+A store is safe to share between threads: many readers, one writer at a
+time.
+
+* **File-backed stores** run in WAL mode and hand each thread its own
+  connection from a thread-local pool, so readers execute genuinely in
+  parallel (SQLite releases the GIL inside ``sqlite3_step``) and never
+  block behind a writer.  WAL snapshot isolation plus the single
+  transaction per :meth:`insert_trace` guarantee a run is either fully
+  visible or not visible at all — readers can never observe a partial run.
+* **In-memory stores** cannot share one database across connections, so a
+  single ``check_same_thread=False`` connection is serialized behind one
+  lock (readers included).  Same all-or-nothing guarantee, no read
+  parallelism.
+
+All writes go through a single writer lock and a retry loop: transient
+``SQLITE_BUSY``/``SQLITE_LOCKED`` errors are retried with exponential
+backoff under a configurable :class:`RetryPolicy`; once the budget is
+exhausted a :class:`StoreBusyError` is raised.  A
+:class:`~repro.provenance.faults.FaultInjector` can be supplied to
+deterministically inject busy storms, slow I/O and mid-transaction
+crashes — the test suite uses it to prove the recovery paths.
+
 Index matching
 --------------
 
@@ -42,10 +67,23 @@ from __future__ import annotations
 import hashlib
 import json
 import sqlite3
+import threading
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.provenance.faults import NO_FAULTS, FaultInjector
 from repro.provenance.trace import Trace
 from repro.values.index import Index
 from repro.values.pattern import IndexPattern
@@ -108,6 +146,52 @@ CREATE TABLE IF NOT EXISTS value_pool (
 """
 
 
+class StoreBusyError(RuntimeError):
+    """A write could not acquire the database within the retry budget."""
+
+    def __init__(self, attempts: int, cause: Optional[BaseException] = None):
+        super().__init__(
+            f"store stayed busy through {attempts} write attempts"
+        )
+        self.attempts = attempts
+        self.__cause__ = cause
+
+
+class DuplicateRunError(sqlite3.IntegrityError):
+    """A trace with an already-stored ``run_id`` was inserted.
+
+    Subclasses ``sqlite3.IntegrityError`` so callers that guarded against
+    the raw constraint violation keep working, but carries an actionable
+    message and the offending ``run_id``.
+    """
+
+    def __init__(self, run_id: str):
+        super().__init__(
+            f"run {run_id!r} is already stored; run ids are primary keys "
+            "— delete the existing run first or pick a fresh id"
+        )
+        self.run_id = run_id
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for busy writes (deterministic)."""
+
+    max_attempts: int = 6
+    base_delay: float = 0.002
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        return min(self.base_delay * (self.multiplier ** attempt), self.max_delay)
+
+
+def _is_busy_error(exc: sqlite3.OperationalError) -> bool:
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
+
+
 @dataclass
 class StoreStats:
     """Mutable counters of store access during a query."""
@@ -154,23 +238,141 @@ class TraceStore:
     """A SQLite-backed multi-run trace database.
 
     Usable as a context manager; ``path=":memory:"`` (the default) builds
-    an ephemeral store, any other path a persistent database file.
+    an ephemeral store, any other path a persistent database file.  See
+    the module docstring for the threading contract; ``retry`` tunes the
+    busy-write backoff and ``faults`` plugs in deterministic fault
+    injection (tests only).
     """
 
-    def __init__(self, path: str = ":memory:", intern_values: bool = False) -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        intern_values: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
         self.path = path
         #: When enabled, payloads are normalized into ``value_pool`` and
         #: rows carry a ``value_id`` instead of inline JSON — identical
         #: values (which dominate real traces: the same list is transferred
         #: along every arc and consumed by many instances) are stored once.
         self.intern_values = intern_values
-        self._conn = sqlite3.connect(path)
-        self._conn.execute("PRAGMA foreign_keys = ON")
-        if path != ":memory:":
-            self._conn.execute("PRAGMA journal_mode = WAL")
-            self._conn.execute("PRAGMA synchronous = NORMAL")
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults if faults is not None else NO_FAULTS
+        self._is_memory = path == ":memory:"
+        self._closed = False
+        # One writer at a time, across all threads.  RLock so write paths
+        # may call read helpers without deadlocking themselves.
+        self._writer_lock = threading.RLock()
+        self._local = threading.local()
+        self._all_connections: List[sqlite3.Connection] = []
+        self._connections_guard = threading.Lock()
+        if self._is_memory:
+            # A private in-memory database exists per connection, so all
+            # threads must share this one connection, serialized (reads
+            # included) behind the writer lock.
+            self._shared_conn: Optional[sqlite3.Connection] = self._connect()
+            self._read_guard: Any = self._writer_lock
+        else:
+            # Thread-local pool over one WAL database: readers get their
+            # own connections and run lock-free in parallel.
+            self._shared_conn = None
+            self._read_guard = nullcontext()
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
+
+    # -- connections -------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        # check_same_thread=False is safe here: memory-mode connections are
+        # serialized behind the store lock, and file-mode connections are
+        # only shared for close() after their owning thread is done.
+        conn = sqlite3.connect(self.path, check_same_thread=False)
+        conn.execute("PRAGMA foreign_keys = ON")
+        if not self._is_memory:
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+            # First line of defence before our own retry loop kicks in.
+            conn.execute("PRAGMA busy_timeout = 100")
+        with self._connections_guard:
+            self._all_connections.append(conn)
+        return conn
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """The calling thread's connection.
+
+        Exposed (privately) because maintenance, streaming and ad-hoc
+        inspection code issue raw SQL; such callers are single-threaded by
+        contract.
+        """
+        if self._shared_conn is not None:
+            return self._shared_conn
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            if self._closed:
+                raise sqlite3.ProgrammingError(
+                    "cannot open a connection on a closed store"
+                )
+            conn = self._connect()
+            self._local.conn = conn
+        return conn
+
+    # -- read/write plumbing ----------------------------------------------
+
+    def _read(self, sql: str, params: Sequence[Any] = ()) -> List[Tuple]:
+        """Execute one SELECT with fault hooks and busy retry."""
+        self.faults.on_read()
+        last_error: Optional[sqlite3.OperationalError] = None
+        for attempt in range(self.retry.max_attempts):
+            try:
+                with self._read_guard:
+                    return self._conn.execute(sql, params).fetchall()
+            except sqlite3.OperationalError as exc:
+                if not _is_busy_error(exc):
+                    raise
+                last_error = exc
+                time.sleep(self.retry.delay(attempt))
+        raise StoreBusyError(self.retry.max_attempts, last_error)
+
+    def _read_one(self, sql: str, params: Sequence[Any] = ()) -> Optional[Tuple]:
+        rows = self._read(sql, params)
+        return rows[0] if rows else None
+
+    def _write_transaction(
+        self, work: Callable[[sqlite3.Cursor], None]
+    ) -> None:
+        """Run ``work`` inside one all-or-nothing write transaction.
+
+        Serialized behind the writer lock; transient busy errors roll the
+        transaction back and retry with exponential backoff, anything else
+        rolls back and propagates.  ``work`` must therefore be safe to
+        re-execute from scratch (every caller rebuilds its statements from
+        immutable inputs).
+        """
+        with self._writer_lock:
+            last_error: Optional[sqlite3.OperationalError] = None
+            for attempt in range(self.retry.max_attempts):
+                conn = self._conn
+                cursor = conn.cursor()
+                try:
+                    self.faults.on_write_attempt()
+                    cursor.execute("BEGIN IMMEDIATE")
+                    work(cursor)
+                    conn.commit()
+                    return
+                except sqlite3.OperationalError as exc:
+                    conn.rollback()
+                    if not _is_busy_error(exc):
+                        raise
+                    last_error = exc
+                    time.sleep(self.retry.delay(attempt))
+                except BaseException:
+                    conn.rollback()
+                    raise
+                finally:
+                    cursor.close()
+            raise StoreBusyError(self.retry.max_attempts, last_error)
 
     def _value_ref(
         self, cursor: sqlite3.Cursor, value: Any
@@ -194,7 +396,16 @@ class TraceStore:
     # -- lifecycle --------------------------------------------------------
 
     def close(self) -> None:
-        self._conn.close()
+        self._closed = True
+        with self._connections_guard:
+            connections, self._all_connections = self._all_connections, []
+        for conn in connections:
+            try:
+                conn.close()
+            except sqlite3.ProgrammingError:  # pragma: no cover - defensive
+                pass
+        self._shared_conn = None
+        self._local = threading.local()
 
     def __enter__(self) -> "TraceStore":
         return self
@@ -204,15 +415,33 @@ class TraceStore:
 
     # -- ingestion ---------------------------------------------------------
 
+    def has_run(self, run_id: str) -> bool:
+        """True when a run with this id is (fully) stored."""
+        return self._read_one(
+            "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+        ) is not None
+
     def insert_trace(self, trace: Trace) -> None:
-        """Bulk-insert one run's events in a single transaction."""
-        cursor = self._conn.cursor()
-        try:
-            cursor.execute("BEGIN")
-            cursor.execute(
-                "INSERT INTO runs (run_id, workflow) VALUES (?, ?)",
-                (trace.run_id, trace.workflow),
-            )
+        """Bulk-insert one run's events in a single transaction.
+
+        All-or-nothing: on any failure (busy budget exhausted, crash,
+        constraint violation) the store is left exactly as before — a
+        partially inserted run is never visible to queries, and the same
+        run can be re-inserted afterwards.  A ``run_id`` that is already
+        stored raises :class:`DuplicateRunError`.
+        """
+
+        def work(cursor: sqlite3.Cursor) -> None:
+            try:
+                cursor.execute(
+                    "INSERT INTO runs (run_id, workflow) VALUES (?, ?)",
+                    (trace.run_id, trace.workflow),
+                )
+            except sqlite3.IntegrityError as exc:
+                if "runs.run_id" in str(exc):
+                    raise DuplicateRunError(trace.run_id) from None
+                raise
+            self.faults.on_write_statement()
             io_rows: List[Tuple[Any, ...]] = []
             for event in trace.xforms:
                 cursor.execute(
@@ -237,12 +466,14 @@ class TraceStore:
                                 value_id,
                             )
                         )
+                self.faults.on_write_statement()
             cursor.executemany(
                 "INSERT INTO xform_io (event_id, run_id, processor, role, "
                 "port, idx, value_json, value_id) "
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 io_rows,
             )
+            self.faults.on_write_statement()
             xfer_rows = []
             for event in trace.xfers:
                 value_json, value_id = self._value_ref(
@@ -267,17 +498,17 @@ class TraceStore:
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 xfer_rows,
             )
-            self._conn.commit()
-        except BaseException:
-            self._conn.rollback()
-            raise
-        finally:
-            cursor.close()
+            self.faults.on_write_statement()
+
+        self._write_transaction(work)
 
     def delete_run(self, run_id: str) -> None:
         """Remove one run and all of its events."""
-        with self._conn:
-            self._conn.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+        self._write_transaction(
+            lambda cursor: cursor.execute(
+                "DELETE FROM runs WHERE run_id = ?", (run_id,)
+            )
+        )
 
     # -- index management (ablation support) --------------------------------
 
@@ -297,20 +528,24 @@ class TraceStore:
         indexes, with none requiring full table scans"; dropping them shows
         the table-scan regime that design decision avoids.
         """
-        with self._conn:
+
+        def work(cursor: sqlite3.Cursor) -> None:
             for name in self._SECONDARY_INDEXES:
-                self._conn.execute(f"DROP INDEX IF EXISTS {name}")
+                cursor.execute(f"DROP INDEX IF EXISTS {name}")
+
+        self._write_transaction(work)
 
     def create_indexes(self) -> None:
         """Recreate the secondary indexes (inverse of :meth:`drop_indexes`)."""
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
+        with self._writer_lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
 
     def has_indexes(self) -> bool:
         """True when the secondary indexes are present."""
-        rows = self._conn.execute(
+        rows = self._read(
             "SELECT name FROM sqlite_master WHERE type = 'index'"
-        ).fetchall()
+        )
         names = {row[0] for row in rows}
         return all(name in names for name in self._SECONDARY_INDEXES)
 
@@ -320,22 +555,22 @@ class TraceStore:
         Inverse of :meth:`insert_trace` (event order is preserved via
         rowids).  Used by exports and by round-trip tests.
         """
-        workflow_row = self._conn.execute(
+        workflow_row = self._read_one(
             "SELECT workflow FROM runs WHERE run_id = ?", (run_id,)
-        ).fetchone()
+        )
         if workflow_row is None:
             raise KeyError(f"no run {run_id!r} in this store")
         trace = Trace(run_id=run_id, workflow=workflow_row[0])
-        events = self._conn.execute(
+        events = self._read(
             "SELECT event_id, processor FROM xform_event "
             "WHERE run_id = ? ORDER BY event_id",
             (run_id,),
-        ).fetchall()
-        io_rows = self._conn.execute(
+        )
+        io_rows = self._read(
             "SELECT event_id, role, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
             "WHERE run_id = ? ORDER BY xform_io.rowid",
             (run_id,),
-        ).fetchall()
+        )
         by_event: Dict[int, Dict[str, List[Binding]]] = {}
         processor_of = {event_id: processor for event_id, processor in events}
         for event_id, role, port, idx, value_json in io_rows:
@@ -356,11 +591,11 @@ class TraceStore:
                     outputs=tuple(bucket["out"]),
                 )
             )
-        xfer_rows = self._conn.execute(
+        xfer_rows = self._read(
             "SELECT src_node, src_port, src_idx, dst_node, dst_port, dst_idx, "
             "COALESCE(xfer.value_json, vp.value_json) FROM xfer LEFT JOIN value_pool vp ON vp.value_id = xfer.value_id WHERE run_id = ? ORDER BY xfer.rowid",
             (run_id,),
-        ).fetchall()
+        )
         for src_node, src_port, src_idx, dst_node, dst_port, dst_idx, vj in xfer_rows:
             value = _decode_value(vj)
             trace.xfers.append(
@@ -378,28 +613,26 @@ class TraceStore:
     def run_ids(self, workflow: Optional[str] = None) -> List[str]:
         """All stored run ids, optionally restricted to one workflow."""
         if workflow is None:
-            rows = self._conn.execute(
-                "SELECT run_id FROM runs ORDER BY rowid"
-            ).fetchall()
+            rows = self._read("SELECT run_id FROM runs ORDER BY rowid")
         else:
-            rows = self._conn.execute(
+            rows = self._read(
                 "SELECT run_id FROM runs WHERE workflow = ? ORDER BY rowid",
                 (workflow,),
-            ).fetchall()
+            )
         return [row[0] for row in rows]
 
     def record_count(self, run_id: Optional[str] = None) -> int:
         """Trace record count as Table 1 counts it (io rows + xfer rows)."""
         if run_id is None:
-            io = self._conn.execute("SELECT COUNT(*) FROM xform_io").fetchone()[0]
-            xf = self._conn.execute("SELECT COUNT(*) FROM xfer").fetchone()[0]
+            io = self._read_one("SELECT COUNT(*) FROM xform_io")[0]
+            xf = self._read_one("SELECT COUNT(*) FROM xfer")[0]
         else:
-            io = self._conn.execute(
+            io = self._read_one(
                 "SELECT COUNT(*) FROM xform_io WHERE run_id = ?", (run_id,)
-            ).fetchone()[0]
-            xf = self._conn.execute(
+            )[0]
+            xf = self._read_one(
                 "SELECT COUNT(*) FROM xfer WHERE run_id = ?", (run_id,)
-            ).fetchone()[0]
+            )[0]
         return io + xf
 
     def statistics(self) -> Dict[str, int]:
@@ -412,8 +645,7 @@ class TraceStore:
             "pooled_values": "SELECT COUNT(*) FROM value_pool",
         }
         result = {
-            name: self._conn.execute(sql).fetchone()[0]
-            for name, sql in counts.items()
+            name: self._read_one(sql)[0] for name, sql in counts.items()
         }
         result["records"] = result["xform_io_rows"] + result["xfer_rows"]
         return result
@@ -444,9 +676,7 @@ class TraceStore:
             "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'out' "
             f"AND (idx IN ({placeholders}) OR idx LIKE ?)"
         )
-        rows = self._conn.execute(
-            sql, [run_id, node, port, *prefixes, like]
-        ).fetchall()
+        rows = self._read(sql, [run_id, node, port, *prefixes, like])
         if stats is not None:
             stats.record(len(rows))
         exact = [r for r in rows if r[1] == encoded]
@@ -466,11 +696,11 @@ class TraceStore:
         if not event_ids:
             return []
         placeholders = ",".join("?" for _ in event_ids)
-        rows = self._conn.execute(
+        rows = self._read(
             "SELECT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
             f"WHERE event_id IN ({placeholders}) AND role = 'in'",
             list(event_ids),
-        ).fetchall()
+        )
         if stats is not None:
             stats.record(len(rows))
         return _dedupe_bindings(rows)
@@ -492,12 +722,18 @@ class TraceStore:
         prefixes = _prefixes(encoded)
         placeholders = ",".join("?" for _ in prefixes)
         like = f"{encoded}.%" if encoded else "_%"
-        rows = self._conn.execute(
-            "SELECT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
+        # DISTINCT pushes the (processor, port, idx) dedupe into SQLite:
+        # iterated ports repeat the same fragment across many instances
+        # (e.g. a cross product touches each element n times), so this
+        # shrinks the fetched row set by the iteration factor and runs the
+        # dedupe off the GIL.  _dedupe_bindings stays as a guard for the
+        # (never expected) case of diverging payloads on one key.
+        rows = self._read(
+            "SELECT DISTINCT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
             "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'in' "
             f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
             [run_id, node, port, *prefixes, like],
-        ).fetchall()
+        )
         if stats is not None:
             stats.record(len(rows))
         return _dedupe_bindings(rows)
@@ -521,12 +757,12 @@ class TraceStore:
         prefixes = _prefixes(encoded)
         placeholders = ",".join("?" for _ in prefixes)
         like = f"{encoded}.%" if encoded else "_%"
-        rows = self._conn.execute(
+        rows = self._read(
             "SELECT event_id, idx FROM xform_io "
             "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'in' "
             f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
             [run_id, node, port, *prefixes, like],
-        ).fetchall()
+        )
         if stats is not None:
             stats.record(len(rows))
         exact = [r for r in rows if r[1] == encoded]
@@ -549,11 +785,11 @@ class TraceStore:
         if not event_ids:
             return []
         placeholders = ",".join("?" for _ in event_ids)
-        rows = self._conn.execute(
+        rows = self._read(
             "SELECT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
             f"WHERE event_id IN ({placeholders}) AND role = 'out'",
             list(event_ids),
-        ).fetchall()
+        )
         if stats is not None:
             stats.record(len(rows))
         return _dedupe_bindings(rows)
@@ -573,12 +809,12 @@ class TraceStore:
         prefixes = _prefixes(encoded)
         placeholders = ",".join("?" for _ in prefixes)
         like = f"{encoded}.%" if encoded else "_%"
-        rows = self._conn.execute(
+        rows = self._read(
             "SELECT dst_node, dst_port, dst_idx, src_idx, COALESCE(xfer.value_json, vp.value_json) FROM xfer LEFT JOIN value_pool vp ON vp.value_id = xfer.value_id "
             "WHERE run_id = ? AND src_node = ? AND src_port = ? "
             f"AND (src_idx IN ({placeholders}) OR src_idx LIKE ?)",
             [run_id, node, port, *prefixes, like],
-        ).fetchall()
+        )
         if stats is not None:
             stats.record(len(rows))
         results: List[Tuple[Binding, Index]] = []
@@ -623,12 +859,12 @@ class TraceStore:
         prefixes = _prefixes(encoded)
         placeholders = ",".join("?" for _ in prefixes)
         like = f"{encoded}.%" if encoded else "_%"
-        rows = self._conn.execute(
+        rows = self._read(
             "SELECT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
             "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'out' "
             f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
             [run_id, node, port, *prefixes, like],
-        ).fetchall()
+        )
         if stats is not None:
             stats.record(len(rows))
         filtered = [
@@ -659,12 +895,12 @@ class TraceStore:
         like = f"{encoded}.%" if encoded else "_%"
         run_marks = ",".join("?" for _ in run_ids)
         prefix_marks = ",".join("?" for _ in prefixes)
-        rows = self._conn.execute(
-            "SELECT run_id, processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
+        rows = self._read(
+            "SELECT DISTINCT run_id, processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
             f"WHERE run_id IN ({run_marks}) AND processor = ? AND port = ? "
             f"AND role = 'in' AND (idx IN ({prefix_marks}) OR idx LIKE ?)",
             [*run_ids, node, port, *prefixes, like],
-        ).fetchall()
+        )
         if stats is not None:
             stats.record(len(rows))
         grouped: Dict[str, List[Tuple[str, str, str, Optional[str]]]] = {}
@@ -672,8 +908,9 @@ class TraceStore:
             grouped.setdefault(run_id, []).append(
                 (proc, port_name, idx, value_json)
             )
+        value_memo: Dict[str, Any] = {}
         return {
-            run_id: _dedupe_bindings(entries)
+            run_id: _dedupe_bindings(entries, value_memo)
             for run_id, entries in grouped.items()
         }
 
@@ -697,12 +934,12 @@ class TraceStore:
         prefixes = _prefixes(encoded)
         placeholders = ",".join("?" for _ in prefixes)
         like = f"{encoded}.%" if encoded else "_%"
-        rows = self._conn.execute(
+        rows = self._read(
             "SELECT src_node, src_port, src_idx, dst_idx, COALESCE(xfer.value_json, vp.value_json) FROM xfer LEFT JOIN value_pool vp ON vp.value_id = xfer.value_id "
             "WHERE run_id = ? AND dst_node = ? AND dst_port = ? "
             f"AND (dst_idx IN ({placeholders}) OR dst_idx LIKE ?)",
             [run_id, node, port, *prefixes, like],
-        ).fetchall()
+        )
         if stats is not None:
             stats.record(len(rows))
         results: List[Tuple[Binding, Index]] = []
@@ -731,32 +968,48 @@ class TraceStore:
 
     def has_binding(self, run_id: str, node: str, port: str) -> bool:
         """True when any trace row mentions ``node:port`` in ``run_id``."""
-        row = self._conn.execute(
+        row = self._read_one(
             "SELECT 1 FROM xform_io WHERE run_id = ? AND processor = ? "
             "AND port = ? LIMIT 1",
             (run_id, node, port),
-        ).fetchone()
+        )
         if row:
             return True
-        row = self._conn.execute(
+        row = self._read_one(
             "SELECT 1 FROM xfer WHERE run_id = ? AND dst_node = ? "
             "AND dst_port = ? LIMIT 1",
             (run_id, node, port),
-        ).fetchone()
+        )
         return bool(row)
 
 
-def _dedupe_bindings(rows: Iterable[Tuple[str, str, str, Optional[str]]]) -> List[Binding]:
+def _dedupe_bindings(
+    rows: Iterable[Tuple[str, str, str, Optional[str]]],
+    value_memo: Optional[Dict[str, Any]] = None,
+) -> List[Binding]:
+    """Unique bindings of ``rows``, preserving first-seen order.
+
+    ``value_memo`` shares decoded payloads across calls: multi-run lookups
+    fetch the same JSON text once per run, and decoding it once instead of
+    once per row is a large constant-factor win (bindings are treated as
+    read-only throughout, so sharing the decoded object is safe — the
+    store already shares one payload between xfer source and sink).
+    """
     seen = set()
+    memo = value_memo if value_memo is not None else {}
     bindings: List[Binding] = []
     for node, port, idx, value_json in rows:
         key = (node, port, idx)
         if key in seen:
             continue
         seen.add(key)
+        if value_json is None:
+            value = None
+        elif value_json in memo:
+            value = memo[value_json]
+        else:
+            value = memo[value_json] = json.loads(value_json)
         bindings.append(
-            Binding(
-                PortRef(node, port), Index.decode(idx), value=_decode_value(value_json)
-            )
+            Binding(PortRef(node, port), Index.decode(idx), value=value)
         )
     return bindings

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.engine.events import Binding
 from repro.provenance.store import StoreStats
@@ -78,6 +78,12 @@ class MultiRunResult:
     per_run: Dict[str, LineageResult]
     traversal_seconds: float = 0.0
     lookup_seconds: float = 0.0
+    #: Wall-clock seconds for the whole multi-run execution.  Equal to
+    #: ``total_seconds`` for sequential execution; smaller when per-run
+    #: lookups ran on a thread pool (``lookup_seconds`` then sums the
+    #: per-run CPU times, which overlap in real time).  ``None`` when the
+    #: executing engine predates the distinction.
+    wall_seconds: Optional[float] = None
 
     @property
     def total_seconds(self) -> float:
@@ -89,3 +95,15 @@ class MultiRunResult:
 
     def all_bindings(self) -> Dict[str, List[Binding]]:
         return {run_id: result.bindings for run_id, result in self.per_run.items()}
+
+    def binding_keys_by_run(self) -> Dict[str, FrozenSet[Tuple[str, str, str]]]:
+        """Value-independent identity of the whole multi-run answer.
+
+        The canonical equality check for differential tests: two executions
+        agree iff these dictionaries are equal, regardless of per-run
+        ordering or timing fields.
+        """
+        return {
+            run_id: result.binding_keys()
+            for run_id, result in self.per_run.items()
+        }

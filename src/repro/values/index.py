@@ -33,7 +33,7 @@ class Index:
     Index(1, 2, 3)
     """
 
-    __slots__ = ("_path",)
+    __slots__ = ("_path", "_encoded")
 
     def __init__(self, *positions: int) -> None:
         path: Tuple[int, ...] = tuple(int(p) for p in positions)
@@ -41,6 +41,7 @@ class Index:
             if p < 0:
                 raise ValueError(f"index positions must be non-negative, got {p}")
         self._path = path
+        self._encoded: str = ""
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -67,10 +68,21 @@ class Index:
         """
         if text == "":
             return _EMPTY
+        if cls is Index:
+            cached = _DECODE_CACHE.get(text)
+            if cached is not None:
+                return cached
         try:
-            return cls(*(int(part) for part in text.split(".")))
+            index = cls(*(int(part) for part in text.split(".")))
         except ValueError as exc:
             raise ValueError(f"malformed index text {text!r}") from exc
+        # Indices are immutable and traces repeat a small set of them
+        # millions of times, so decoded instances are shared through a
+        # bounded cache (bulk lineage answers decode the same few dozen
+        # strings per query; the cap only guards pathological key spaces).
+        if cls is Index and len(_DECODE_CACHE) < 65536:
+            _DECODE_CACHE[text] = index
+        return index
 
     # ------------------------------------------------------------------
     # Accessors
@@ -88,7 +100,9 @@ class Index:
 
     def encode(self) -> str:
         """Canonical dotted-text form used by the trace store."""
-        return ".".join(str(p) for p in self._path)
+        if not self._encoded and self._path:
+            self._encoded = ".".join(str(p) for p in self._path)
+        return self._encoded
 
     def slice(self, start: int, length: int) -> "Index":
         """The fragment ``[p_start, ..., p_(start+length-1)]``.
@@ -161,5 +175,8 @@ class Index:
     def __repr__(self) -> str:
         return f"Index({', '.join(str(p) for p in self._path)})"
 
+
+#: Shared decoded-index cache (see :meth:`Index.decode`).
+_DECODE_CACHE: dict = {}
 
 _EMPTY = Index()

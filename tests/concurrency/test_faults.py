@@ -1,0 +1,174 @@
+"""Fault-injection tests: busy storms, mid-insert crashes, slow statements.
+
+Each test arms the :class:`~repro.provenance.faults.FaultInjector` with an
+exact budget and asserts both the store-level outcome (retry succeeded /
+``StoreBusyError`` / all-or-nothing rollback) and the injector's counters,
+so the failure paths of the concurrency code are covered deterministically
+rather than left to scheduling luck.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.faults import FaultInjector, InjectedCrash
+from repro.provenance.store import (
+    DuplicateRunError,
+    RetryPolicy,
+    StoreBusyError,
+    TraceStore,
+)
+
+from tests.conftest import build_diamond_workflow
+
+FAST_RETRY = RetryPolicy(max_attempts=6, base_delay=0.0001, max_delay=0.001)
+
+
+@pytest.fixture()
+def captured():
+    flow = build_diamond_workflow()
+    return capture_run(flow, {"size": 3}, run_id="faulty-run")
+
+
+# -- busy storms ---------------------------------------------------------
+
+
+def test_busy_storm_within_budget_succeeds(tmp_path, captured):
+    faults = FaultInjector()
+    store = TraceStore(str(tmp_path / "t.db"), retry=FAST_RETRY, faults=faults)
+    faults.inject_busy(FAST_RETRY.max_attempts - 1)
+    store.insert_trace(captured.trace)
+    assert faults.busy_raised == FAST_RETRY.max_attempts - 1
+    assert store.has_run("faulty-run")
+    assert store.record_count("faulty-run") > 0
+    store.close()
+
+
+def test_busy_storm_beyond_budget_raises_store_busy(tmp_path, captured):
+    faults = FaultInjector()
+    store = TraceStore(str(tmp_path / "t.db"), retry=FAST_RETRY, faults=faults)
+    faults.inject_busy(FAST_RETRY.max_attempts + 5)
+    with pytest.raises(StoreBusyError) as excinfo:
+        store.insert_trace(captured.trace)
+    assert excinfo.value.attempts == FAST_RETRY.max_attempts
+    assert "busy" in str(excinfo.value).lower()
+    assert not store.has_run("faulty-run")
+    # The storm passes; the very same insert then goes through.
+    faults.reset()
+    store.insert_trace(captured.trace)
+    assert store.has_run("faulty-run")
+    store.close()
+
+
+def test_busy_storm_exhaustion_keeps_cause(tmp_path, captured):
+    faults = FaultInjector()
+    store = TraceStore(str(tmp_path / "t.db"), retry=FAST_RETRY, faults=faults)
+    faults.inject_busy(100)
+    with pytest.raises(StoreBusyError) as excinfo:
+        store.insert_trace(captured.trace)
+    assert isinstance(excinfo.value.__cause__, Exception) or excinfo.value.cause
+    store.close()
+
+
+# -- crashes mid-insert --------------------------------------------------
+
+
+@pytest.mark.parametrize("statements", [0, 1, 2, 5])
+def test_crash_mid_insert_leaves_no_partial_run(tmp_path, captured, statements):
+    faults = FaultInjector()
+    store = TraceStore(str(tmp_path / "t.db"), retry=FAST_RETRY, faults=faults)
+    faults.inject_crash_after(statements)
+    with pytest.raises(InjectedCrash):
+        store.insert_trace(captured.trace)
+    assert faults.crashes == 1
+    # All-or-nothing: nothing of the run survived the rollback.
+    assert not store.has_run("faulty-run")
+    assert store.record_count() == 0
+    assert store.record_count("faulty-run") == 0
+    # The run is re-insertable after the "restart".
+    store.insert_trace(captured.trace)
+    assert store.has_run("faulty-run")
+    assert store.record_count("faulty-run") > 0
+    store.close()
+
+
+def test_crash_then_reinsert_answers_identically(tmp_path, captured):
+    """A crashed-and-retried insert yields the same store as a clean one."""
+    faults = FaultInjector()
+    crashed = TraceStore(str(tmp_path / "a.db"), retry=FAST_RETRY, faults=faults)
+    faults.inject_crash_after(2)
+    with pytest.raises(InjectedCrash):
+        crashed.insert_trace(captured.trace)
+    crashed.insert_trace(captured.trace)
+
+    clean = TraceStore(str(tmp_path / "b.db"))
+    clean.insert_trace(captured.trace)
+
+    assert crashed.record_count("faulty-run") == clean.record_count("faulty-run")
+    assert crashed.load_trace("faulty-run").run_id == "faulty-run"
+    crashed.close()
+    clean.close()
+
+
+def test_duplicate_insert_after_crash_recovery(tmp_path, captured):
+    faults = FaultInjector()
+    store = TraceStore(str(tmp_path / "t.db"), retry=FAST_RETRY, faults=faults)
+    store.insert_trace(captured.trace)
+    with pytest.raises(DuplicateRunError):
+        store.insert_trace(captured.trace)
+    # The failed duplicate attempt must not have clobbered the stored run.
+    assert store.has_run("faulty-run")
+    assert store.record_count("faulty-run") > 0
+    store.close()
+
+
+# -- slow statements: what concurrent readers observe mid-insert ---------
+
+
+def test_readers_never_see_held_open_transaction(tmp_path, captured):
+    """A writer stalled *inside* its transaction stays invisible to readers.
+
+    The statement delay holds the insert transaction open for a while;
+    reader threads polling throughout must either see no run at all or the
+    complete run — never a partial record count.
+    """
+    faults = FaultInjector()
+    store = TraceStore(str(tmp_path / "t.db"), retry=FAST_RETRY, faults=faults)
+    clean = TraceStore(str(tmp_path / "probe.db"))
+    clean.insert_trace(captured.trace)
+    expected = clean.record_count("faulty-run")
+    clean.close()
+
+    faults.inject_statement_delay(0.01)
+    observed: list = []
+    errors: list = []
+    done = threading.Event()
+
+    def reader():
+        while not done.is_set():
+            if store.has_run("faulty-run"):
+                count = store.record_count("faulty-run")
+                observed.append(count)
+                if count != expected:
+                    errors.append(
+                        AssertionError(
+                            f"partial run visible: {count}/{expected} records"
+                        )
+                    )
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    try:
+        store.insert_trace(captured.trace)
+    finally:
+        done.set()
+        for thread in threads:
+            thread.join()
+
+    assert errors == []
+    assert store.record_count("faulty-run") == expected
+    store.close()

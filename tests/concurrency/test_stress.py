@@ -1,0 +1,157 @@
+"""Stress test: concurrent writers and readers on one on-disk store.
+
+The store's threading contract (see :mod:`repro.provenance.store`) says
+writes serialize behind one lock while readers run lock-free on their own
+WAL connections, and that a run is either fully visible or not at all.
+This test exercises that contract under real contention — several writer
+threads racing to insert hundreds of runs while reader threads hammer the
+query path — and then checks the outcome against a sequential replay of
+the exact same inserts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+
+from tests.conftest import build_diamond_workflow
+
+WRITERS = 4
+READERS = 8
+RUNS = 200
+
+
+@pytest.fixture(scope="module")
+def captured_traces():
+    """RUNS pre-captured diamond traces (capture once, reuse per test)."""
+    flow = build_diamond_workflow()
+    runs = [
+        capture_run(flow, {"size": 3}, run_id=f"stress-{i:04d}")
+        for i in range(RUNS)
+    ]
+    return flow, runs
+
+
+def test_concurrent_writers_and_readers(tmp_path, captured_traces):
+    flow, runs = captured_traces
+    store = TraceStore(str(tmp_path / "stress.db"))
+    query = LineageQuery.create(flow.name, "out", (), ["GEN", "A", "B", "F"])
+    engine = IndexProjEngine(store, flow.flattened())
+    errors: list = []
+    done = threading.Event()
+    start = threading.Barrier(WRITERS + READERS)
+
+    def writer(part):
+        try:
+            start.wait()
+            for captured in part:
+                store.insert_trace(captured.trace)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def reader():
+        try:
+            start.wait()
+            while not done.is_set():
+                # Any run the store admits to having must be completely
+                # queryable: its lineage answer matches the answer every
+                # other run of this identical-input sweep gets.
+                for run_id in store.run_ids():
+                    result = engine.lineage(run_id, query)
+                    if not result.bindings:
+                        errors.append(
+                            AssertionError(f"partial run visible: {run_id}")
+                        )
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    parts = [runs[i::WRITERS] for i in range(WRITERS)]
+    writer_threads = [
+        threading.Thread(target=writer, args=(part,)) for part in parts
+    ]
+    reader_threads = [threading.Thread(target=reader) for _ in range(READERS)]
+    for thread in writer_threads + reader_threads:
+        thread.start()
+    for thread in writer_threads:
+        thread.join()
+    done.set()
+    for thread in reader_threads:
+        thread.join()
+
+    assert errors == []
+    assert sorted(store.run_ids()) == sorted(c.run_id for c in runs)
+
+    # Differential check: the concurrently-built store answers every query
+    # exactly like a store built by sequential replay of the same traces.
+    replay = TraceStore(str(tmp_path / "replay.db"))
+    for captured in runs:
+        replay.insert_trace(captured.trace)
+    replay_engine = IndexProjEngine(replay, flow.flattened())
+    scope = sorted(store.run_ids())
+    concurrent_answer = engine.lineage_multirun(scope, query)
+    replay_answer = replay_engine.lineage_multirun(scope, query)
+    assert (
+        concurrent_answer.binding_keys_by_run()
+        == replay_answer.binding_keys_by_run()
+    )
+    for run_id in scope:
+        assert store.record_count(run_id) == replay.record_count(run_id)
+    store.close()
+    replay.close()
+
+
+def test_reads_during_writes_see_only_complete_runs(tmp_path, captured_traces):
+    """A reader polling run-by-run never observes a half-inserted trace."""
+    flow, runs = captured_traces
+    store = TraceStore(str(tmp_path / "visibility.db"))
+    # Every capture used identical inputs, so all runs store the same
+    # number of records; establish the expectation from a replay insert.
+    probe = TraceStore(str(tmp_path / "probe.db"))
+    probe.insert_trace(runs[0].trace)
+    expected_records = probe.record_count(runs[0].run_id)
+    probe.close()
+    assert expected_records > 0
+
+    errors: list = []
+    done = threading.Event()
+
+    def writer():
+        try:
+            for captured in runs[:50]:
+                store.insert_trace(captured.trace)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            done.set()
+
+    def reader():
+        try:
+            while not done.is_set():
+                for run_id in store.run_ids():
+                    count = store.record_count(run_id)
+                    if count != expected_records:
+                        errors.append(
+                            AssertionError(
+                                f"run {run_id} visible with {count} of "
+                                f"{expected_records} records"
+                            )
+                        )
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader) for _ in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert len(store.run_ids()) == 50
+    store.close()

@@ -156,3 +156,80 @@ class TestErrorHandlingMode:
             result = svc.lineage("lin(<ef:out[1]>, {P})")
             culprit = result.per_run[run_id].bindings[0]
             assert culprit.value == "bad"
+
+
+class TestDuplicateRunIds:
+    """Regression: duplicate explicit run ids must be rejected up front.
+
+    Previously ``ProvenanceService.run`` executed the whole workflow and
+    only then tripped over the store's primary-key constraint, wasting the
+    execution and surfacing a bare ``sqlite3.IntegrityError`` with no hint
+    of which run collided.
+    """
+
+    def test_duplicate_run_id_raises_before_execution(self, service):
+        from repro.provenance.store import DuplicateRunError
+
+        calls = []
+        original = service._runners["wf"].run
+
+        def counting_run(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        service._runners["wf"].run = counting_run
+        service.run("wf", {"size": 2}, run_id="dup")
+        executed_before = len(calls)
+        with pytest.raises(DuplicateRunError) as excinfo:
+            service.run("wf", {"size": 2}, run_id="dup")
+        # The workflow must NOT have executed for the rejected duplicate.
+        assert len(calls) == executed_before
+        assert excinfo.value.run_id == "dup"
+        assert "dup" in str(excinfo.value)
+
+    def test_duplicate_error_is_still_an_integrity_error(self, service):
+        import sqlite3
+
+        from repro.provenance.store import DuplicateRunError
+
+        service.run("wf", {"size": 1}, run_id="r1")
+        with pytest.raises(sqlite3.IntegrityError):
+            service.run("wf", {"size": 1}, run_id="r1")
+        assert issubclass(DuplicateRunError, sqlite3.IntegrityError)
+
+    def test_duplicate_rejection_leaves_original_run_intact(self, service):
+        from repro.provenance.store import DuplicateRunError
+
+        service.run("wf", {"size": 2}, run_id="keep")
+        before = service.store.record_count("keep")
+        with pytest.raises(DuplicateRunError):
+            service.run("wf", {"size": 3}, run_id="keep")
+        assert service.store.record_count("keep") == before
+        assert service.runs_of("wf") == ["keep"]
+
+    def test_racing_duplicate_run_ids_admit_exactly_one(self, tmp_path):
+        """Two threads racing the same explicit id: one wins, one loses."""
+        import threading
+
+        from repro.provenance.store import DuplicateRunError
+
+        with ProvenanceService(str(tmp_path / "race.db")) as svc:
+            svc.register_workflow(build_diamond_workflow())
+            outcomes = []
+            barrier = threading.Barrier(2)
+
+            def contender():
+                barrier.wait()
+                try:
+                    svc.run("wf", {"size": 2}, run_id="contested")
+                    outcomes.append("won")
+                except DuplicateRunError:
+                    outcomes.append("lost")
+
+            threads = [threading.Thread(target=contender) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sorted(outcomes) == ["lost", "won"]
+            assert svc.runs_of("wf") == ["contested"]
