@@ -16,7 +16,10 @@ system needs:
 * :mod:`repro.testbed` — the paper's synthetic workflow generator (Fig. 5)
   and the genes2Kegg / protein-discovery workloads;
 * :mod:`repro.bench` — the measurement harness behind the reproduction of
-  every table and figure in the paper's evaluation.
+  every table and figure in the paper's evaluation;
+* :mod:`repro.obs` — the unified tracing & metrics layer (nested spans,
+  counters/histograms, JSON + Prometheus exporters) every other layer
+  reports into.
 
 Quickstart
 ----------
@@ -46,6 +49,7 @@ Quickstart
 ['<GEN:size[]>']
 """
 
+from repro.obs import NO_OBS, MetricsRegistry, Observability, Tracer
 from repro.values import Index
 from repro.workflow import (
     Dataflow,
@@ -98,7 +102,10 @@ __all__ = [
     "LineageDiff",
     "LineageQuery",
     "LineageResult",
+    "MetricsRegistry",
+    "NO_OBS",
     "NaiveEngine",
+    "Observability",
     "PortRef",
     "Processor",
     "ProcessorRegistry",
@@ -108,6 +115,7 @@ __all__ = [
     "Trace",
     "TraceBuilder",
     "TraceStore",
+    "Tracer",
     "UserView",
     "WorkflowRunner",
     "build_plan",

@@ -8,6 +8,22 @@ Subcommands::
     repro-prov query --db t.db --node P --port Y --index 0.1 --focus A,B
     repro-prov bench --experiment fig9 --scale quick
     repro-prov export --workload gk --dot out.dot
+    repro-prov stats --db t.db                  sizes + persisted counters
+
+Global flags (before the subcommand):
+
+``--profile``
+    collect a full ``repro.obs`` trace of the invocation and print the
+    span tree plus the metrics table after the command's own output; for
+    file-backed stores the counters are additionally merged into a
+    ``<db>.metrics.json`` sidecar that ``repro-prov stats`` reports.
+``--profile-export PATH``
+    also write the JSON export document (schema ``repro.obs/1``).
+``--verbose`` / ``--quiet``
+    raise/lower the log level of the ``repro`` logger (diagnostics go to
+    stderr; result tables always go to stdout).
+``--version``
+    print the package version and exit.
 
 The CLI is a thin shell over the library; every capability is equally
 available through the Python API (see README quickstart).
@@ -17,11 +33,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import Any, Dict, List, Optional
 
+from repro import __version__
 from repro.bench.figures import ALL_EXPERIMENTS, SCALES
 from repro.bench.reporting import format_table
+from repro.obs import (
+    NO_OBS,
+    Observability,
+    dump_json,
+    load_persisted_counters,
+    persist_counters,
+    render_metrics_table,
+    render_span_tree,
+)
 from repro.provenance.capture import capture_run
 from repro.provenance.store import TraceStore
 from repro.query.base import LineageQuery
@@ -37,14 +64,41 @@ from repro.values.index import Index
 from repro.workflow import serialize
 from repro.workflow.dot import to_dot
 
+logger = logging.getLogger("repro")
+
 _WORKLOADS = {
     "gk": genes2kegg_workload,
     "genes2kegg": genes2kegg_workload,
     "pd": protein_discovery_workload,
-    "protein_discovery": protein_discovery_workload,
     "fl": file_loading_workload,
+    "protein_discovery": protein_discovery_workload,
     "file_loading": file_loading_workload,
 }
+
+_LOG_HANDLER: Optional[logging.Handler] = None
+
+
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """(Re)configure the package logger for one CLI invocation.
+
+    The handler is rebuilt each call so it binds the *current*
+    ``sys.stderr`` (pytest's capture machinery swaps the stream between
+    tests).  Diagnostics never go to stdout: result tables must stay
+    machine-readable in shell pipelines.
+    """
+    global _LOG_HANDLER
+    if _LOG_HANDLER is not None:
+        logger.removeHandler(_LOG_HANDLER)
+    _LOG_HANDLER = logging.StreamHandler(sys.stderr)
+    _LOG_HANDLER.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(_LOG_HANDLER)
+    logger.propagate = False
+    if quiet:
+        logger.setLevel(logging.ERROR)
+    elif verbose:
+        logger.setLevel(logging.DEBUG)
+    else:
+        logger.setLevel(logging.INFO)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +106,25 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-prov",
         description="Fine-grained lineage querying of collection-based "
         "workflow provenance (EDBT 2010 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect spans + metrics and print them after the command",
+    )
+    parser.add_argument(
+        "--profile-export", metavar="PATH",
+        help="with --profile: also write the repro.obs/1 JSON document",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level diagnostics on stderr",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress diagnostics below error level",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -113,7 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
     prov.add_argument("--run", help="run id (default: first stored run)")
     prov.add_argument("--out", required=True, help="output .json path")
 
-    stats = sub.add_parser("stats", help="show trace database statistics")
+    stats = sub.add_parser(
+        "stats",
+        help="show trace database statistics and persisted obs counters",
+    )
     stats.add_argument("--db", required=True, help="trace database path")
 
     depths = sub.add_parser("depths", help="print the static depth table")
@@ -173,6 +249,11 @@ def _load_flow(args: argparse.Namespace):
     raise SystemExit("specify one of --workload / --flow / --synthetic-l")
 
 
+def _obs_of(args: argparse.Namespace) -> Observability:
+    """The invocation's observability handle (disabled unless --profile)."""
+    return getattr(args, "_obs", NO_OBS)
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     for key in ("gk", "pd", "fl"):
         workload = _WORKLOADS[key]()
@@ -181,14 +262,18 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    obs = _obs_of(args)
     flow, registry, inputs = _load_flow(args)
     if args.inputs:
         with open(args.inputs, "r", encoding="utf-8") as handle:
             inputs = json.load(handle)
     from repro.engine.executor import WorkflowRunner
 
-    runner = WorkflowRunner(registry)
-    with TraceStore(args.db) as store:
+    runner = WorkflowRunner(registry, obs=obs)
+    logger.debug(
+        "executing %s x%d (workers=%d)", flow.name, args.runs, args.workers
+    )
+    with TraceStore(args.db, obs=obs) as store:
         if args.workers > 1:
             from repro.provenance.capture import capture_runs
 
@@ -211,6 +296,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    obs = _obs_of(args)
     if args.query_text:
         from repro.query.parser import parse_query
 
@@ -222,17 +308,17 @@ def cmd_query(args: argparse.Namespace) -> int:
         )
     else:
         raise SystemExit("provide either --query or both --node and --port")
-    with TraceStore(args.db) as store:
+    with TraceStore(args.db, obs=obs) as store:
         run_ids = [args.run] if args.run else store.run_ids()
         if not run_ids:
-            print("store contains no runs", file=sys.stderr)
+            logger.error("store contains no runs")
             return 1
         if args.strategy == "naive":
-            engine: Any = NaiveEngine(store)
+            engine: Any = NaiveEngine(store, obs=obs)
             results = engine.lineage_multirun(run_ids, query)
         else:
             flow, _, _ = _load_flow(args)
-            engine = IndexProjEngine(store, flow)
+            engine = IndexProjEngine(store, flow, obs=obs)
             if args.workers > 1:
                 results = engine.lineage_multirun_parallel(
                     run_ids, query, max_workers=args.workers
@@ -253,6 +339,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
+        logger.debug("running experiment %s at scale %s", name, args.scale)
         rows = ALL_EXPERIMENTS[name](args.scale)
         print(format_table(rows, title=f"== {name} (scale={args.scale}) =="))
         print()
@@ -263,7 +350,7 @@ def cmd_export(args: argparse.Namespace) -> int:
     flow, _, _ = _load_flow(args)
     with open(args.dot, "w", encoding="utf-8") as handle:
         handle.write(to_dot(flow.flattened()))
-    print(f"wrote {args.dot}")
+    logger.info("wrote %s", args.dot)
     return 0
 
 
@@ -274,14 +361,15 @@ def cmd_impact(args: argparse.Namespace) -> int:
         NaiveImpactEngine,
     )
 
+    obs = _obs_of(args)
     focus = [name for name in args.focus.split(",") if name]
     query = ImpactQuery.create(
         args.node, args.port, Index.decode(args.index), focus
     )
-    with TraceStore(args.db) as store:
+    with TraceStore(args.db, obs=obs) as store:
         run_ids = [args.run] if args.run else store.run_ids()
         if not run_ids:
-            print("store contains no runs", file=sys.stderr)
+            logger.error("store contains no runs")
             return 1
         if args.strategy == "naive":
             engine: Any = NaiveImpactEngine(store)
@@ -306,12 +394,12 @@ def cmd_prov_export(args: argparse.Namespace) -> int:
     with TraceStore(args.db) as store:
         run_ids = store.run_ids()
         if not run_ids:
-            print("store contains no runs", file=sys.stderr)
+            logger.error("store contains no runs")
             return 1
         run_id = args.run or run_ids[0]
         trace = store.load_trace(run_id)
     save_prov_document(trace, args.out)
-    print(f"wrote PROV document for run {run_id} to {args.out}")
+    logger.info("wrote PROV document for run %s to %s", run_id, args.out)
     return 0
 
 
@@ -323,6 +411,15 @@ def cmd_stats(args: argparse.Namespace) -> int:
             print(f"{name:15s} {stats[name]}")
         for run_id in store.run_ids():
             print(f"  run {run_id}: {store.record_count(run_id)} records")
+    persisted = load_persisted_counters(args.db)
+    if persisted["counters"]:
+        print(
+            f"persisted obs counters "
+            f"({persisted.get('invocations', 0)} profiled invocations):"
+        )
+        width = max(len(name) for name in persisted["counters"])
+        for name, value in sorted(persisted["counters"].items()):
+            print(f"  {name:<{width}s}  {value}")
     return 0
 
 
@@ -370,6 +467,27 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _finish_profile(args: argparse.Namespace, obs: Observability) -> None:
+    """Print the span tree + metrics table; persist/export as requested."""
+    print()
+    print("== profile: span tree ==")
+    tree = render_span_tree(obs.span_roots())
+    if tree:
+        print(tree)
+    print()
+    print("== profile: metrics ==")
+    table = render_metrics_table(obs.metrics_snapshot())
+    if table:
+        print(table)
+    db_path = getattr(args, "db", None)
+    if db_path and db_path != ":memory:":
+        sidecar = persist_counters(obs, db_path)
+        logger.debug("merged counters into %s", sidecar)
+    if args.profile_export:
+        dump_json(obs, args.profile_export, meta={"command": args.command})
+        logger.info("wrote obs export to %s", args.profile_export)
+
+
 _COMMANDS = {
     "workloads": cmd_workloads,
     "run": cmd_run,
@@ -387,7 +505,13 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    _configure_logging(args.verbose, args.quiet)
+    obs = Observability() if args.profile else NO_OBS
+    args._obs = obs
+    status = _COMMANDS[args.command](args)
+    if obs.enabled:
+        _finish_profile(args, obs)
+    return status
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Protocol
 
+from repro.obs.core import NO_OBS, Observability
 from repro.values import nested
 from repro.values.index import Index
 from repro.workflow.depths import DepthAnalysis, propagate_depths
@@ -87,6 +88,7 @@ class WorkflowRunner:
         xfer_granularity: str = "fine",
         check_output_depths: bool = True,
         error_handling: str = "raise",
+        obs: Optional[Observability] = None,
     ) -> None:
         if xfer_granularity not in ("fine", "coarse"):
             raise ValueError(
@@ -113,6 +115,10 @@ class WorkflowRunner:
         #: Enforce assumption 1 (Section 3.1) at run time: every processor
         #: instance must return values of the declared output depth.
         self.check_output_depths = check_output_depths
+        #: Observability handle (``repro.obs``): per-run/per-processor
+        #: spans plus ``engine.*`` counters (xform/xfer events, iteration
+        #: fan-out).  Disabled by default at near-zero cost.
+        self.obs = obs if obs is not None else NO_OBS
         self._analysis_cache: Dict[int, DepthAnalysis] = {}
 
     # ------------------------------------------------------------------
@@ -148,19 +154,22 @@ class WorkflowRunner:
             if port.name in inputs:
                 port_values[PortRef(flat.name, port.name)] = inputs[port.name]
 
-        for processor in topological_sort(flat):
-            self._fire(flat, analysis, processor, port_values, sink)
+        with self.obs.span("engine.run", workflow=flat.name):
+            for processor in topological_sort(flat):
+                self._fire(flat, analysis, processor, port_values, sink)
 
-        outputs: Dict[str, Any] = {}
-        for port in flat.outputs:
-            ref = PortRef(flat.name, port.name)
-            arc = flat.incoming_arc(ref)
-            if arc is None or arc.source not in port_values:
-                continue
-            value = port_values[arc.source]
-            port_values[ref] = value
-            outputs[port.name] = value
-            self._emit_xfers(flat, analysis, arc.source, ref, value, sink)
+            outputs: Dict[str, Any] = {}
+            for port in flat.outputs:
+                ref = PortRef(flat.name, port.name)
+                arc = flat.incoming_arc(ref)
+                if arc is None or arc.source not in port_values:
+                    continue
+                value = port_values[arc.source]
+                port_values[ref] = value
+                outputs[port.name] = value
+                self._emit_xfers(flat, analysis, arc.source, ref, value, sink)
+        if self.obs.enabled:
+            self.obs.inc("engine.runs")
         return RunResult(
             workflow=flat, outputs=outputs, port_values=port_values, analysis=analysis
         )
@@ -198,6 +207,27 @@ class WorkflowRunner:
         port_values: Dict[PortRef, Any],
         sink: TraceListener,
     ) -> None:
+        obs = self.obs
+        if not obs.enabled:
+            self._fire_inner(flat, analysis, processor, port_values, sink)
+            return
+        with obs.span("engine.fire", processor=processor.name) as span:
+            instances = self._fire_inner(
+                flat, analysis, processor, port_values, sink
+            )
+            span.set(instances=instances)
+        obs.inc("engine.xform_events", instances)
+        obs.observe("engine.instance_fanout", instances)
+
+    def _fire_inner(
+        self,
+        flat: Dataflow,
+        analysis: DepthAnalysis,
+        processor: Processor,
+        port_values: Dict[PortRef, Any],
+        sink: TraceListener,
+    ) -> int:
+        """Fire one processor; returns its iteration fan-out (instances)."""
         bound: List[PortValue] = []
         for port in processor.inputs:
             ref = PortRef(processor.name, port.name)
@@ -291,6 +321,7 @@ class WorkflowRunner:
             port_values[PortRef(processor.name, port_name)] = result.outputs[
                 port_name
             ]
+        return len(result.instances)
 
     def _resolve_operation(self, processor: Processor):
         if processor.is_subflow:
@@ -333,7 +364,10 @@ class WorkflowRunner:
                     Binding(sink_ref, Index(), value=value),
                 )
             )
+            if self.obs.enabled:
+                self.obs.inc("engine.xfer_events")
             return
+        emitted = 0
         for index, element in nested.iter_at_depth(value, delta):
             sink.on_xfer(
                 XferEvent(
@@ -341,6 +375,9 @@ class WorkflowRunner:
                     Binding(sink_ref, index, value=element),
                 )
             )
+            emitted += 1
+        if self.obs.enabled:
+            self.obs.inc("engine.xfer_events", emitted)
 
 
 def run_workflow(

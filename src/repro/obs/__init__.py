@@ -1,0 +1,59 @@
+"""repro.obs — unified tracing & metrics for the whole reproduction.
+
+The paper's contribution is a performance argument (the (s1)/(s2) split of
+INDEXPROJ, plan sharing across runs, NI's trace-size-dependent traversal),
+so the reproduction needs one trustworthy measurement substrate rather
+than ad-hoc stopwatches.  This package provides it:
+
+* :class:`~repro.obs.tracer.Tracer` / :class:`~repro.obs.tracer.Span` —
+  nested, attributed, thread-safe timed spans;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  p50/p95/p99 histograms;
+* :class:`~repro.obs.core.Observability` — the facade every layer takes
+  as an ``obs=`` argument, with :data:`~repro.obs.core.NO_OBS` as the
+  near-zero-cost disabled default;
+* :mod:`repro.obs.export` — JSON documents (schema ``repro.obs/1``) and
+  Prometheus text exposition, plus the CLI's human-readable renderings.
+
+The span/metric inventory emitted by each layer is catalogued in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.core import NO_OBS, NULL_SPAN, Observability
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    SchemaError,
+    dump_json,
+    export_document,
+    load_persisted_counters,
+    metrics_sidecar_path,
+    persist_counters,
+    render_metrics_table,
+    to_prometheus,
+    validate_export,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import Span, Tracer, render_span_tree
+
+__all__ = [
+    "NO_OBS",
+    "NULL_SPAN",
+    "Observability",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "dump_json",
+    "export_document",
+    "load_persisted_counters",
+    "metrics_sidecar_path",
+    "persist_counters",
+    "render_metrics_table",
+    "render_span_tree",
+    "to_prometheus",
+    "validate_export",
+]

@@ -1,0 +1,168 @@
+"""The :class:`Observability` facade — one handle for tracer + metrics.
+
+Every instrumented layer (engine, store, query strategies, service, CLI)
+takes an ``obs`` argument defaulting to :data:`NO_OBS`, the shared
+*disabled* instance.  Disabled instrumentation costs one attribute lookup
+and a no-op call — no spans are allocated, no locks taken, no counters
+touched — so the hot paths stay at their uninstrumented speed.
+
+Two span flavours exist because results must stay timed even when
+observability is off:
+
+* :meth:`Observability.span` — pure tracing.  Disabled: returns a shared
+  no-op context manager (zero allocation).
+* :meth:`Observability.timer` — timing that the caller *reads back*
+  (``LineageResult.traversal_seconds`` et al. are derived from it).
+  Disabled: a minimal stopwatch (two ``perf_counter`` calls, exactly what
+  the code paid before this subsystem existed).  Enabled: a real span, so
+  the number the caller stores and the number in the span tree are one
+  and the same measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+
+class _NullSpan:
+    """Shared do-nothing span; also its own context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    @property
+    def seconds(self) -> float:
+        return 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Stopwatch:
+    """Timing-only stand-in for a span when observability is disabled."""
+
+    __slots__ = ("started", "ended")
+
+    def __enter__(self) -> "_Stopwatch":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.ended = time.perf_counter()
+
+    def set(self, **attributes: Any) -> "_Stopwatch":
+        return self
+
+    @property
+    def seconds(self) -> float:
+        end = getattr(self, "ended", None)
+        if end is None:
+            end = time.perf_counter()
+        return end - self.started
+
+
+class Observability:
+    """Enabled facade: a tracer plus a metrics registry."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- tracing ---------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """A traced (and timed) nested span context manager."""
+        return self.tracer.span(name, **attributes)
+
+    def timer(self, name: str, **attributes: Any):
+        """A span whose ``.seconds`` the caller reads back into results."""
+        return self.tracer.span(name, **attributes)
+
+    def span_roots(self) -> List[Span]:
+        return self.tracer.roots()
+
+    # -- metrics ---------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def counter_value(self, name: str) -> int:
+        return self.metrics.counter(name).value
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return self.metrics.snapshot()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear all collected spans and instruments."""
+        self.tracer.reset()
+        self.metrics.reset()
+
+
+class _DisabledObservability(Observability):
+    """No-op facade; every hook is constant-time and allocation-free
+    (except :meth:`timer`, which must still measure — see module doc)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        # No tracer/metrics are built: nothing would ever reach them, and
+        # accidental access via .tracer/.metrics should fail loudly.
+        self.tracer = None  # type: ignore[assignment]
+        self.metrics = None  # type: ignore[assignment]
+
+    def span(self, name: str, **attributes: Any):
+        return NULL_SPAN
+
+    def timer(self, name: str, **attributes: Any):
+        return _Stopwatch()
+
+    def span_roots(self) -> List[Span]:
+        return []
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def counter_value(self, name: str) -> int:
+        return 0
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared disabled instance — the default ``obs`` everywhere.
+NO_OBS = _DisabledObservability()

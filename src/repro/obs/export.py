@@ -1,0 +1,211 @@
+"""Exporters for :mod:`repro.obs` — JSON documents and Prometheus text.
+
+The JSON schema (version tag ``repro.obs/1``) is documented in
+``docs/OBSERVABILITY.md`` and checked by :func:`validate_export`; CI
+uploads one of these documents per commit so the perf trajectory of the
+reproduction is visible over time.  The Prometheus exposition follows the
+text format (``# TYPE`` comments, ``_total`` counter suffix, histogram
+summaries as quantile-labelled gauges) closely enough to be scraped.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.obs.core import Observability
+from repro.obs.tracer import Span
+
+#: Schema identifier embedded in (and required of) every JSON export.
+SCHEMA_VERSION = "repro.obs/1"
+
+
+# -- JSON ----------------------------------------------------------------
+
+def export_document(
+    obs: Observability, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The full observable state as one JSON-serializable document."""
+    snapshot = obs.metrics_snapshot()
+    return {
+        "schema": SCHEMA_VERSION,
+        "meta": dict(meta) if meta else {},
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": snapshot["histograms"],
+        "spans": [root.to_dict() for root in obs.span_roots()],
+    }
+
+
+def dump_json(
+    obs: Observability, path: str, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Write :func:`export_document` to ``path``; returns the document."""
+    document = export_document(obs, meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+class SchemaError(ValueError):
+    """A document does not conform to the ``repro.obs/1`` schema."""
+
+
+_HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
+_SPAN_FIELDS = ("name", "seconds", "attributes", "children")
+
+
+def _validate_span(span: Dict[str, Any], path: str) -> None:
+    for field in _SPAN_FIELDS:
+        if field not in span:
+            raise SchemaError(f"{path}: span missing field {field!r}")
+    if not isinstance(span["name"], str):
+        raise SchemaError(f"{path}: span name must be a string")
+    if not isinstance(span["seconds"], (int, float)):
+        raise SchemaError(f"{path}: span seconds must be a number")
+    if not isinstance(span["attributes"], dict):
+        raise SchemaError(f"{path}: span attributes must be an object")
+    if not isinstance(span["children"], list):
+        raise SchemaError(f"{path}: span children must be an array")
+    for position, child in enumerate(span["children"]):
+        _validate_span(child, f"{path}.children[{position}]")
+
+
+def validate_export(document: Dict[str, Any]) -> None:
+    """Raise :class:`SchemaError` unless ``document`` is a valid export."""
+    if not isinstance(document, dict):
+        raise SchemaError("document must be an object")
+    if document.get("schema") != SCHEMA_VERSION:
+        raise SchemaError(
+            f"schema must be {SCHEMA_VERSION!r}, got {document.get('schema')!r}"
+        )
+    for section in ("meta", "counters", "gauges", "histograms"):
+        if not isinstance(document.get(section), dict):
+            raise SchemaError(f"{section} must be an object")
+    for name, value in document["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            raise SchemaError(f"counter {name!r} must be a non-negative int")
+    for name, value in document["gauges"].items():
+        if not isinstance(value, (int, float)):
+            raise SchemaError(f"gauge {name!r} must be a number")
+    for name, summary in document["histograms"].items():
+        if not isinstance(summary, dict):
+            raise SchemaError(f"histogram {name!r} must be an object")
+        for field in _HISTOGRAM_FIELDS:
+            if not isinstance(summary.get(field), (int, float)):
+                raise SchemaError(
+                    f"histogram {name!r} missing numeric field {field!r}"
+                )
+    if not isinstance(document.get("spans"), list):
+        raise SchemaError("spans must be an array")
+    for position, span in enumerate(document["spans"]):
+        _validate_span(span, f"spans[{position}]")
+
+
+# -- Prometheus ----------------------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def to_prometheus(obs: Observability) -> str:
+    """Prometheus text exposition of the current metrics snapshot."""
+    snapshot = obs.metrics_snapshot()
+    lines: List[str] = []
+    for name, value in snapshot["counters"].items():
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, value in snapshot["gauges"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for name, summary in snapshot["histograms"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for quantile in ("p50", "p95", "p99"):
+            lines.append(
+                f'{prom}{{quantile="0.{quantile[1:]}"}} {summary[quantile]}'
+            )
+        lines.append(f"{prom}_sum {summary['sum']}")
+        lines.append(f"{prom}_count {summary['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human-readable rendering -------------------------------------------
+
+def render_metrics_table(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """Aligned text table of a metrics snapshot (CLI ``--profile`` output)."""
+    lines: List[str] = []
+    if snapshot["counters"]:
+        lines.append("counters:")
+        width = max(len(name) for name in snapshot["counters"])
+        for name, value in snapshot["counters"].items():
+            lines.append(f"  {name:<{width}s}  {value}")
+    if snapshot["gauges"]:
+        lines.append("gauges:")
+        width = max(len(name) for name in snapshot["gauges"])
+        for name, value in snapshot["gauges"].items():
+            lines.append(f"  {name:<{width}s}  {value:g}")
+    if snapshot["histograms"]:
+        lines.append("histograms (ms for *_seconds, raw otherwise):")
+        width = max(len(name) for name in snapshot["histograms"])
+        for name, s in snapshot["histograms"].items():
+            # Duration histograms record seconds; print them as ms.  All
+            # other histograms (fan-out counts, row counts) are unitless.
+            scale = 1000.0 if name.endswith("_seconds") else 1.0
+            shown = name[: -len("_seconds")] + "_ms" if scale != 1.0 else name
+            lines.append(
+                f"  {shown:<{width}s}  n={s['count']}"
+                f" mean={s['mean'] * scale:.3f}"
+                f" p50={s['p50'] * scale:.3f}"
+                f" p95={s['p95'] * scale:.3f}"
+                f" p99={s['p99'] * scale:.3f}"
+                f" max={s['max'] * scale:.3f}"
+            )
+    return "\n".join(lines)
+
+
+# -- persisted counters (CLI `repro-prov stats`) -------------------------
+
+def metrics_sidecar_path(db_path: str) -> str:
+    """Where profiled CLI invocations persist counters for ``db_path``."""
+    return db_path + ".metrics.json"
+
+
+def persist_counters(obs: Observability, db_path: str) -> str:
+    """Merge this run's counters into the store's sidecar file.
+
+    Counters accumulate across invocations (numeric add); the ``invocations``
+    meta counter records how many profiled commands contributed.  Returns
+    the sidecar path.
+    """
+    path = metrics_sidecar_path(db_path)
+    merged = load_persisted_counters(db_path)
+    counters = merged.setdefault("counters", {})
+    for name, value in obs.metrics_snapshot()["counters"].items():
+        counters[name] = counters.get(name, 0) + value
+    merged["schema"] = SCHEMA_VERSION
+    merged["invocations"] = merged.get("invocations", 0) + 1
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_persisted_counters(db_path: str) -> Dict[str, Any]:
+    """The sidecar document for ``db_path`` (empty skeleton if absent)."""
+    path = metrics_sidecar_path(db_path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if isinstance(loaded, dict) and isinstance(loaded.get("counters"), dict):
+            return loaded
+    except (OSError, ValueError):
+        pass
+    return {"schema": SCHEMA_VERSION, "invocations": 0, "counters": {}}

@@ -1,0 +1,205 @@
+"""Counters, gauges and histograms — the metrics half of :mod:`repro.obs`.
+
+All instruments are process-local, thread-safe, and cheap: a counter
+increment is one lock acquire and an integer add.  Histograms keep exact
+count/sum/min/max and a bounded sample buffer for quantiles (p50/p95/p99);
+when the buffer fills it is decimated deterministically (every other
+retained sample is kept), so long benchmark runs stay bounded in memory
+without any randomness — reruns see identical values.
+
+Instruments are owned by a :class:`MetricsRegistry`, which hands out the
+same instrument for the same name forever (get-or-create), so callers
+never coordinate creation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+#: Retained-sample cap per histogram before deterministic decimation.
+DEFAULT_RESERVOIR = 4096
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """Value distribution with exact aggregates and sampled quantiles."""
+
+    __slots__ = ("name", "_lock", "_count", "_sum", "_min", "_max",
+                 "_samples", "_stride", "_skip", "_capacity")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_RESERVOIR):
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._samples: List[float] = []
+        self._capacity = max(2, capacity)
+        # Deterministic decimation: record every `_stride`-th observation
+        # once the buffer has been halved; `_skip` counts toward the next
+        # retained sample.
+        self._stride = 1
+        self._skip = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if self._skip > 0:
+                self._skip -= 1
+                return
+            self._skip = self._stride - 1
+            self._samples.append(value)
+            if len(self._samples) >= self._capacity:
+                # Halve deterministically; future observations thin out at
+                # double the stride so the buffer refills at the new rate.
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples (q in 0..100)."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = max(0, min(len(samples) - 1, round(q / 100.0 * (len(samples) - 1))))
+        return samples[int(rank)]
+
+    def summary(self) -> Dict[str, float]:
+        """Exportable aggregate: count/sum/min/max/mean + p50/p95/p99."""
+        with self._lock:
+            count, total = self._count, self._sum
+            low, high = self._min, self._max
+        return {
+            "count": count,
+            "sum": total,
+            "min": low if low is not None else 0.0,
+            "max": high if high is not None else 0.0,
+            "mean": (total / count) if count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name!r}, n={self._count})"
+
+
+class MetricsRegistry:
+    """Get-or-create owner of named instruments.
+
+    One flat namespace; dotted names (``store.reads``) are the convention
+    throughout the codebase.  A name is bound to one instrument kind for
+    the registry's lifetime — asking for the same name as a different kind
+    raises, which catches typo'd instrumentation early.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = kind(name)
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- bulk operations -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Point-in-time view: ``{"counters": {...}, "gauges": {...},
+        "histograms": {name: summary}}`` — the exporters' input."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, float]] = {}
+        for name, instrument in sorted(instruments.items()):
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            else:
+                histograms[name] = instrument.summary()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def reset(self) -> None:
+        """Drop every instrument (names become free again)."""
+        with self._lock:
+            self._instruments.clear()

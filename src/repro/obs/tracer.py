@@ -1,0 +1,206 @@
+"""Nested timed spans — the tracing half of :mod:`repro.obs`.
+
+A :class:`Span` is one timed region of execution with a name, key/value
+attributes, and child spans; a :class:`Tracer` maintains a per-thread
+stack of active spans so nesting falls out of lexical ``with`` scoping
+without any caller bookkeeping::
+
+    tracer = Tracer()
+    with tracer.span("query", strategy="indexproj"):
+        with tracer.span("plan"):
+            ...
+        with tracer.span("execute", runs=3):
+            ...
+
+Threading contract
+------------------
+
+Each thread owns an independent active-span stack (``threading.local``),
+so spans started on worker threads never interleave with the parent
+thread's stack.  A span opened on a thread with an empty stack becomes a
+*root*; roots from all threads are collected into one shared list behind
+a lock.  This matches how the query layer fans out: the main thread holds
+the query-level span while pool workers each contribute their own root
+spans (tagged by the caller with a worker/chunk attribute).
+
+Span durations use ``time.perf_counter`` — the same clock the previous
+ad-hoc timing code used — so timings derived from spans are directly
+comparable with every number the benchmarks have historically reported.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed region: name, attributes, children, perf_counter bounds.
+
+    Spans are created by :meth:`Tracer.span` and finished by leaving the
+    ``with`` block (or calling :meth:`finish` directly).  ``seconds`` is
+    valid after finishing; reading it on a live span reports the elapsed
+    time so far.
+    """
+
+    __slots__ = ("name", "attributes", "children", "started", "ended")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.children: List["Span"] = []
+        self.started = time.perf_counter()
+        self.ended: Optional[float] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def finish(self) -> None:
+        if self.ended is None:
+            self.ended = time.perf_counter()
+
+    @property
+    def seconds(self) -> float:
+        """Duration in seconds (elapsed-so-far when still running)."""
+        end = self.ended if self.ended is not None else time.perf_counter()
+        return end - self.started
+
+    # -- annotation ------------------------------------------------------
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach/overwrite attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    # -- introspection ---------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """Every span named ``name`` in this subtree, depth-first order."""
+        return [span for span in self.walk() if span.name == name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-exportable form (see docs/OBSERVABILITY.md for the schema)."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {self.seconds * 1000:.3f}ms)"
+
+
+class _ActiveSpan:
+    """Context manager tying one Span to its tracer's thread-local stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._tracer._pop(self.span)
+
+
+class Tracer:
+    """Thread-safe collector of finished span trees."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._roots: List[Span] = []
+        self._roots_lock = threading.Lock()
+
+    # -- span creation ---------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """Open a nested span; use as a context manager."""
+        return _ActiveSpan(self, Span(name, attributes))
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        # Restart the clock at entry so time spent between construction
+        # and __enter__ (zero in the with-statement idiom) is excluded.
+        span.started = time.perf_counter()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._roots_lock:
+                self._roots.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.finish()
+        stack = self._stack()
+        # Tolerate out-of-order exits defensively: pop through `span`.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+            top.finish()  # pragma: no cover - only on misuse
+
+    # -- introspection ---------------------------------------------------
+
+    def current(self) -> Optional[Span]:
+        """The calling thread's innermost active span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def roots(self) -> List[Span]:
+        """Snapshot of all collected root spans (any thread)."""
+        with self._roots_lock:
+            return list(self._roots)
+
+    def find(self, name: str) -> List[Span]:
+        """Every collected span named ``name``, across all roots."""
+        found: List[Span] = []
+        for root in self.roots():
+            found.extend(root.find(name))
+        return found
+
+    def reset(self) -> None:
+        """Drop every collected root (active stacks are left alone)."""
+        with self._roots_lock:
+            self._roots.clear()
+
+
+def render_span_tree(roots: List[Span], indent: str = "  ") -> str:
+    """ASCII rendering of span trees, one line per span.
+
+    Durations are milliseconds; attributes render as ``key=value`` pairs.
+    Used by the CLI's ``--profile`` output and by the docs.
+    """
+    lines: List[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(span.attributes.items())
+        )
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(
+            f"{indent * depth}{span.name:<{max(1, 38 - depth * len(indent))}s}"
+            f" {span.seconds * 1000:9.3f} ms{suffix}"
+        )
+        for child in span.children:
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)

@@ -23,7 +23,10 @@ from __future__ import annotations
 import sqlite3
 import threading
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 
 class InjectedCrash(RuntimeError):
@@ -51,14 +54,35 @@ class FaultInjector:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._busy_budget = 0
+        self._read_busy_budget = 0
         self._crash_countdown: Optional[int] = None
         self._write_delay = 0.0
         self._read_delay = 0.0
         self._statement_delay = 0.0
         #: Number of injected busy errors actually raised.
         self.busy_raised = 0
+        #: Number of injected read-side busy errors actually raised.
+        self.read_busy_raised = 0
         #: Number of injected crashes actually raised.
         self.crashes = 0
+        self._metrics: Optional["MetricsRegistry"] = None
+
+    # -- observability ---------------------------------------------------
+
+    def attach_metrics(self, metrics: Optional["MetricsRegistry"]) -> None:
+        """Mirror every firing into ``metrics`` (``faults.*`` counters).
+
+        Called by :class:`~repro.provenance.store.TraceStore` when it is
+        built with an enabled observability handle, so injected faults show
+        up in the same registry as the store/query counters.
+        """
+        with self._lock:
+            self._metrics = metrics
+
+    def _fired(self, name: str) -> None:
+        """Record one firing into the attached registry (lock held)."""
+        if self._metrics is not None:
+            self._metrics.counter(f"faults.{name}").inc()
 
     # -- arming ----------------------------------------------------------
 
@@ -66,6 +90,11 @@ class FaultInjector:
         """Fail the next ``attempts`` write attempts with ``SQLITE_BUSY``."""
         with self._lock:
             self._busy_budget = attempts
+
+    def inject_read_busy(self, attempts: int) -> None:
+        """Fail the next ``attempts`` reads with ``SQLITE_BUSY``."""
+        with self._lock:
+            self._read_busy_budget = attempts
 
     def inject_crash_after(self, statements: int) -> None:
         """Crash the next write transaction after ``statements`` statement
@@ -94,11 +123,13 @@ class FaultInjector:
         """Disarm everything and zero the counters."""
         with self._lock:
             self._busy_budget = 0
+            self._read_busy_budget = 0
             self._crash_countdown = None
             self._write_delay = 0.0
             self._read_delay = 0.0
             self._statement_delay = 0.0
             self.busy_raised = 0
+            self.read_busy_raised = 0
             self.crashes = 0
 
     # -- hooks (called by TraceStore) ------------------------------------
@@ -110,6 +141,7 @@ class FaultInjector:
             if self._busy_budget > 0:
                 self._busy_budget -= 1
                 self.busy_raised += 1
+                self._fired("busy_injected")
                 raise sqlite3.OperationalError("database is locked (injected)")
             delay = self._write_delay
         if delay:
@@ -123,6 +155,7 @@ class FaultInjector:
                 if self._crash_countdown <= 0:
                     self._crash_countdown = None
                     self.crashes += 1
+                    self._fired("crash_injected")
                     raise InjectedCrash("simulated crash mid-transaction")
                 self._crash_countdown -= 1
             delay = self._statement_delay
@@ -130,8 +163,13 @@ class FaultInjector:
             time.sleep(delay)
 
     def on_read(self) -> None:
-        """One read about to execute."""
+        """One read about to execute (inside the busy-retry loop)."""
         with self._lock:
+            if self._read_busy_budget > 0:
+                self._read_busy_budget -= 1
+                self.read_busy_raised += 1
+                self._fired("read_busy_injected")
+                raise sqlite3.OperationalError("database is locked (injected)")
             delay = self._read_delay
         if delay:
             time.sleep(delay)

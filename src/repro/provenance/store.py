@@ -83,6 +83,7 @@ from typing import (
 )
 
 from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.obs.core import NO_OBS, Observability
 from repro.provenance.faults import NO_FAULTS, FaultInjector
 from repro.provenance.trace import Trace
 from repro.values.index import Index
@@ -192,20 +193,83 @@ def _is_busy_error(exc: sqlite3.OperationalError) -> bool:
     return "locked" in message or "busy" in message
 
 
-@dataclass
 class StoreStats:
-    """Mutable counters of store access during a query."""
+    """Mutable, thread-safe counters of store access during a query.
 
-    queries: int = 0
-    rows: int = 0
+    One instance may be shared by many worker threads (the batched and
+    parallel multi-run paths do exactly that), so every mutation happens
+    under an internal lock.  Reads of the individual counters are plain
+    attribute loads — ints are replaced atomically, so a concurrent reader
+    sees a consistent (if instantaneous) value.
+
+    Beyond the original SQL round-trip/row counters, a stats object now
+    also records the robustness events its query survived: transient busy
+    retries and fault-injector firings (reads that failed with an
+    *injected* busy error; see :mod:`repro.provenance.faults`).
+    """
+
+    __slots__ = ("queries", "rows", "busy_retries", "fault_injections", "_lock")
+
+    def __init__(
+        self,
+        queries: int = 0,
+        rows: int = 0,
+        busy_retries: int = 0,
+        fault_injections: int = 0,
+    ) -> None:
+        self.queries = queries
+        self.rows = rows
+        self.busy_retries = busy_retries
+        self.fault_injections = fault_injections
+        self._lock = threading.Lock()
 
     def record(self, fetched: int) -> None:
-        self.queries += 1
-        self.rows += fetched
+        """Count one SQL round-trip that fetched ``fetched`` rows."""
+        with self._lock:
+            self.queries += 1
+            self.rows += fetched
+
+    def record_retry(self, injected: bool = False) -> None:
+        """Count one transient busy retry (``injected`` when fault-made)."""
+        with self._lock:
+            self.busy_retries += 1
+            if injected:
+                self.fault_injections += 1
+
+    def merge(self, other: "StoreStats") -> None:
+        """Fold another stats object into this one (thread-safe)."""
+        with self._lock:
+            self.queries += other.queries
+            self.rows += other.rows
+            self.busy_retries += other.busy_retries
+            self.fault_injections += other.fault_injections
 
     def reset(self) -> None:
-        self.queries = 0
-        self.rows = 0
+        with self._lock:
+            self.queries = 0
+            self.rows = 0
+            self.busy_retries = 0
+            self.fault_injections = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "queries": self.queries,
+            "rows": self.rows,
+            "busy_retries": self.busy_retries,
+            "fault_injections": self.fault_injections,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StoreStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreStats(queries={self.queries}, rows={self.rows}, "
+            f"busy_retries={self.busy_retries}, "
+            f"fault_injections={self.fault_injections})"
+        )
 
 
 @dataclass(frozen=True)
@@ -250,8 +314,15 @@ class TraceStore:
         intern_values: bool = False,
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultInjector] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.path = path
+        #: Observability handle (``repro.obs``): counts reads, writes,
+        #: fetched rows, busy retries, backoff sleeps, rollbacks and
+        #: fault-injection firings, and (when enabled) samples per-read
+        #: latency into the ``store.read_seconds`` histogram.  The default
+        #: is the shared disabled instance — every hook then short-circuits.
+        self.obs = obs if obs is not None else NO_OBS
         #: When enabled, payloads are normalized into ``value_pool`` and
         #: rows carry a ``value_id`` instead of inline JSON — identical
         #: values (which dominate real traces: the same list is transferred
@@ -259,6 +330,11 @@ class TraceStore:
         self.intern_values = intern_values
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults if faults is not None else NO_FAULTS
+        if self.obs.enabled and self.faults is not NO_FAULTS:
+            # Mirror injected-fault firings into the same metrics registry
+            # the store itself reports into (never touch the shared inert
+            # NO_FAULTS singleton).
+            self.faults.attach_metrics(self.obs.metrics)
         self._is_memory = path == ":memory:"
         self._closed = False
         # One writer at a time, across all threads.  RLock so write paths
@@ -320,23 +396,57 @@ class TraceStore:
 
     # -- read/write plumbing ----------------------------------------------
 
-    def _read(self, sql: str, params: Sequence[Any] = ()) -> List[Tuple]:
-        """Execute one SELECT with fault hooks and busy retry."""
-        self.faults.on_read()
+    def _read(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        stats: Optional[StoreStats] = None,
+    ) -> List[Tuple]:
+        """Execute one SELECT with fault hooks and busy retry.
+
+        ``stats`` (when supplied by a lookup primitive) receives the
+        busy-retry and fault-injection counts for this read; round-trip
+        and row counts stay with the caller, which knows whether the read
+        belongs to a query.  The ``store.*`` observability counters record
+        the same events store-wide.
+        """
+        obs = self.obs
         last_error: Optional[sqlite3.OperationalError] = None
+        started = time.perf_counter() if obs.enabled else 0.0
         for attempt in range(self.retry.max_attempts):
             try:
+                self.faults.on_read()
                 with self._read_guard:
-                    return self._conn.execute(sql, params).fetchall()
+                    rows = self._conn.execute(sql, params).fetchall()
             except sqlite3.OperationalError as exc:
                 if not _is_busy_error(exc):
                     raise
                 last_error = exc
-                time.sleep(self.retry.delay(attempt))
+                delay = self.retry.delay(attempt)
+                if stats is not None:
+                    stats.record_retry(injected="injected" in str(exc))
+                if obs.enabled:
+                    obs.inc("store.busy_retries")
+                    obs.inc("store.backoff_sleeps")
+                    obs.observe("store.backoff_seconds", delay)
+                time.sleep(delay)
+                continue
+            if obs.enabled:
+                obs.inc("store.reads")
+                obs.inc("store.rows_fetched", len(rows))
+                obs.observe("store.read_seconds", time.perf_counter() - started)
+            return rows
+        if obs.enabled:
+            obs.inc("store.busy_failures")
         raise StoreBusyError(self.retry.max_attempts, last_error)
 
-    def _read_one(self, sql: str, params: Sequence[Any] = ()) -> Optional[Tuple]:
-        rows = self._read(sql, params)
+    def _read_one(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        stats: Optional[StoreStats] = None,
+    ) -> Optional[Tuple]:
+        rows = self._read(sql, params, stats=stats)
         return rows[0] if rows else None
 
     def _write_transaction(
@@ -350,8 +460,10 @@ class TraceStore:
         re-execute from scratch (every caller rebuilds its statements from
         immutable inputs).
         """
+        obs = self.obs
         with self._writer_lock:
             last_error: Optional[sqlite3.OperationalError] = None
+            started = time.perf_counter() if obs.enabled else 0.0
             for attempt in range(self.retry.max_attempts):
                 conn = self._conn
                 cursor = conn.cursor()
@@ -360,18 +472,36 @@ class TraceStore:
                     cursor.execute("BEGIN IMMEDIATE")
                     work(cursor)
                     conn.commit()
+                    if obs.enabled:
+                        obs.inc("store.writes")
+                        obs.observe(
+                            "store.write_seconds",
+                            time.perf_counter() - started,
+                        )
                     return
                 except sqlite3.OperationalError as exc:
                     conn.rollback()
                     if not _is_busy_error(exc):
+                        if obs.enabled:
+                            obs.inc("store.rollbacks")
                         raise
                     last_error = exc
-                    time.sleep(self.retry.delay(attempt))
+                    delay = self.retry.delay(attempt)
+                    if obs.enabled:
+                        obs.inc("store.rollbacks")
+                        obs.inc("store.busy_retries")
+                        obs.inc("store.backoff_sleeps")
+                        obs.observe("store.backoff_seconds", delay)
+                    time.sleep(delay)
                 except BaseException:
                     conn.rollback()
+                    if obs.enabled:
+                        obs.inc("store.rollbacks")
                     raise
                 finally:
                     cursor.close()
+            if obs.enabled:
+                obs.inc("store.busy_failures")
             raise StoreBusyError(self.retry.max_attempts, last_error)
 
     def _value_ref(
@@ -676,7 +806,7 @@ class TraceStore:
             "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'out' "
             f"AND (idx IN ({placeholders}) OR idx LIKE ?)"
         )
-        rows = self._read(sql, [run_id, node, port, *prefixes, like])
+        rows = self._read(sql, [run_id, node, port, *prefixes, like], stats=stats)
         if stats is not None:
             stats.record(len(rows))
         exact = [r for r in rows if r[1] == encoded]
@@ -700,6 +830,7 @@ class TraceStore:
             "SELECT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
             f"WHERE event_id IN ({placeholders}) AND role = 'in'",
             list(event_ids),
+            stats=stats,
         )
         if stats is not None:
             stats.record(len(rows))
@@ -733,6 +864,7 @@ class TraceStore:
             "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'in' "
             f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
             [run_id, node, port, *prefixes, like],
+            stats=stats,
         )
         if stats is not None:
             stats.record(len(rows))
@@ -762,6 +894,7 @@ class TraceStore:
             "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'in' "
             f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
             [run_id, node, port, *prefixes, like],
+            stats=stats,
         )
         if stats is not None:
             stats.record(len(rows))
@@ -789,6 +922,7 @@ class TraceStore:
             "SELECT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
             f"WHERE event_id IN ({placeholders}) AND role = 'out'",
             list(event_ids),
+            stats=stats,
         )
         if stats is not None:
             stats.record(len(rows))
@@ -814,6 +948,7 @@ class TraceStore:
             "WHERE run_id = ? AND src_node = ? AND src_port = ? "
             f"AND (src_idx IN ({placeholders}) OR src_idx LIKE ?)",
             [run_id, node, port, *prefixes, like],
+            stats=stats,
         )
         if stats is not None:
             stats.record(len(rows))
@@ -864,6 +999,7 @@ class TraceStore:
             "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'out' "
             f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
             [run_id, node, port, *prefixes, like],
+            stats=stats,
         )
         if stats is not None:
             stats.record(len(rows))
@@ -900,6 +1036,7 @@ class TraceStore:
             f"WHERE run_id IN ({run_marks}) AND processor = ? AND port = ? "
             f"AND role = 'in' AND (idx IN ({prefix_marks}) OR idx LIKE ?)",
             [*run_ids, node, port, *prefixes, like],
+            stats=stats,
         )
         if stats is not None:
             stats.record(len(rows))
@@ -939,6 +1076,7 @@ class TraceStore:
             "WHERE run_id = ? AND dst_node = ? AND dst_port = ? "
             f"AND (dst_idx IN ({placeholders}) OR dst_idx LIKE ?)",
             [run_id, node, port, *prefixes, like],
+            stats=stats,
         )
         if stats is not None:
             stats.record(len(rows))

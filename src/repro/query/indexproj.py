@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.engine.events import Binding
+from repro.obs.core import NO_OBS, Observability
 from repro.provenance.store import StoreStats, TraceStore
 from repro.query.base import LineageQuery, LineageResult, MultiRunResult
 from repro.query.projection import project_output_index
@@ -122,15 +123,22 @@ class IndexProjEngine:
         flow: Dataflow,
         analysis: Optional[DepthAnalysis] = None,
         cache_plans: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.store = store
-        started = time.perf_counter()
-        self.analysis = (
-            analysis if analysis is not None else propagate_depths(flow.flattened())
-        )
+        #: Observability handle (``repro.obs``): every (s1)/(s2) timing
+        #: below is derived from its spans, so the numbers in results and
+        #: in a ``--profile`` span tree are the same measurement.
+        self.obs = obs if obs is not None else NO_OBS
+        with self.obs.timer("indexproj.preprocess", workflow=flow.name) as t:
+            self.analysis = (
+                analysis
+                if analysis is not None
+                else propagate_depths(flow.flattened())
+            )
         #: Time spent running Alg. 1 (zero when a prebuilt analysis is
         #: injected); part of the paper's pre-processing cost.
-        self.preprocess_seconds = time.perf_counter() - started
+        self.preprocess_seconds = t.seconds
         self.cache_plans = cache_plans
         self._plan_cache: Dict[
             Tuple[str, str, str, frozenset], QueryPlan
@@ -143,16 +151,30 @@ class IndexProjEngine:
 
         A cache hit reports the time of the lookup itself — effectively
         zero — which is exactly the saving the paper attributes to sharing
-        the traversal across queries and runs.
+        the traversal across queries and runs.  Hits and misses land in
+        the ``indexproj.plan_cache_hits`` / ``..._misses`` counters.
         """
         key = (query.node, query.port, query.index.encode(), query.focus)
-        started = time.perf_counter()
-        if self.cache_plans and key in self._plan_cache:
-            return self._plan_cache[key], time.perf_counter() - started
-        plan = build_plan(self.analysis, query)
-        if self.cache_plans:
-            self._plan_cache[key] = plan
-        return plan, time.perf_counter() - started
+        with self.obs.timer("indexproj.plan", query=str(query)) as span:
+            hit = self.cache_plans and key in self._plan_cache
+            if hit:
+                plan = self._plan_cache[key]
+            else:
+                plan = build_plan(self.analysis, query)
+                if self.cache_plans:
+                    self._plan_cache[key] = plan
+        if self.obs.enabled:
+            self.obs.inc(
+                "indexproj.plan_cache_hits"
+                if hit
+                else "indexproj.plan_cache_misses"
+            )
+            span.set(
+                cache="hit" if hit else "miss",
+                trace_queries=len(plan),
+                visited_ports=plan.visited_ports,
+            )
+        return plan, span.seconds
 
     def execute_plan(
         self,
@@ -160,10 +182,17 @@ class IndexProjEngine:
         run_id: str,
         stats: Optional[StoreStats] = None,
     ) -> List[Binding]:
-        """Step (s2): run the planned lookups against one run's trace."""
+        """Step (s2): run the planned lookups against one run's trace.
+
+        Per-:class:`TraceQuery` lookup latency is sampled into the
+        ``indexproj.trace_lookup_seconds`` histogram when observability is
+        enabled.
+        """
         stats = stats if stats is not None else StoreStats()
+        obs = self.obs
         collected: Dict[Tuple[str, str, str], Binding] = {}
         for trace_query in plan.trace_queries:
+            lookup_started = time.perf_counter() if obs.enabled else 0.0
             for binding in self.store.find_xform_inputs_matching(
                 run_id,
                 trace_query.processor,
@@ -172,6 +201,12 @@ class IndexProjEngine:
                 stats,
             ):
                 collected[binding.key()] = binding
+            if obs.enabled:
+                obs.inc("indexproj.trace_lookups")
+                obs.observe(
+                    "indexproj.trace_lookup_seconds",
+                    time.perf_counter() - lookup_started,
+                )
         return sorted(collected.values(), key=lambda b: b.key())
 
     # ------------------------------------------------------------------
@@ -185,9 +220,9 @@ class IndexProjEngine:
         """Answer one query over one run: plan, then execute."""
         stats = stats if stats is not None else StoreStats()
         plan, plan_seconds = self.plan(query)
-        started = time.perf_counter()
-        bindings = self.execute_plan(plan, run_id, stats)
-        lookup_seconds = time.perf_counter() - started
+        with self.obs.timer("indexproj.execute", run=run_id) as timer:
+            bindings = self.execute_plan(plan, run_id, stats)
+        lookup_seconds = timer.seconds
         return LineageResult(
             query=query,
             run_id=run_id,
@@ -209,24 +244,26 @@ class IndexProjEngine:
         """
         scope = list(run_ids)
         plan, plan_seconds = self.plan(query)
-        started = time.perf_counter()
         stats = StoreStats()
         collected: Dict[str, Dict[Tuple[str, str, str], Binding]] = {
             run_id: {} for run_id in scope
         }
-        for trace_query in plan.trace_queries:
-            per_run = self.store.find_xform_inputs_matching_multi(
-                scope,
-                trace_query.processor,
-                trace_query.port,
-                trace_query.fragment,
-                stats,
-            )
-            for run_id, bindings in per_run.items():
-                bucket = collected[run_id]
-                for binding in bindings:
-                    bucket[binding.key()] = binding
-        elapsed = time.perf_counter() - started
+        with self.obs.timer(
+            "indexproj.execute_batched", runs=len(scope)
+        ) as timer:
+            for trace_query in plan.trace_queries:
+                per_run = self.store.find_xform_inputs_matching_multi(
+                    scope,
+                    trace_query.processor,
+                    trace_query.port,
+                    trace_query.fragment,
+                    stats,
+                )
+                for run_id, bindings in per_run.items():
+                    bucket = collected[run_id]
+                    for binding in bindings:
+                        bucket[binding.key()] = binding
+        elapsed = timer.seconds
         per_run_results: Dict[str, LineageResult] = {}
         for run_id in scope:
             per_run_results[run_id] = LineageResult(
@@ -258,9 +295,9 @@ class IndexProjEngine:
         total_lookup = 0.0
         for run_id in run_ids:
             stats = StoreStats()
-            started = time.perf_counter()
-            bindings = self.execute_plan(plan, run_id, stats)
-            elapsed = time.perf_counter() - started
+            with self.obs.timer("indexproj.execute", run=run_id) as timer:
+                bindings = self.execute_plan(plan, run_id, stats)
+            elapsed = timer.seconds
             total_lookup += elapsed
             per_run[run_id] = LineageResult(
                 query=query,
@@ -320,30 +357,40 @@ class IndexProjEngine:
         ]
 
         def run_chunk(chunk: List[str]) -> List[LineageResult]:
+            # Each chunk runs on its own pool thread, so its span becomes
+            # an independent root in the trace (tagged with chunk size).
             results: List[LineageResult] = []
-            for run_id in chunk:
-                stats = StoreStats()
-                started = time.perf_counter()
-                bindings = self.execute_plan(plan, run_id, stats)
-                results.append(
-                    LineageResult(
-                        query=query,
-                        run_id=run_id,
-                        bindings=bindings,
-                        stats=stats,
-                        traversal_seconds=0.0,
-                        lookup_seconds=time.perf_counter() - started,
+            with self.obs.span("indexproj.chunk", runs=len(chunk)):
+                for run_id in chunk:
+                    stats = StoreStats()
+                    with self.obs.timer(
+                        "indexproj.execute", run=run_id
+                    ) as timer:
+                        bindings = self.execute_plan(plan, run_id, stats)
+                    results.append(
+                        LineageResult(
+                            query=query,
+                            run_id=run_id,
+                            bindings=bindings,
+                            stats=stats,
+                            traversal_seconds=0.0,
+                            lookup_seconds=timer.seconds,
+                        )
                     )
-                )
             return results
 
-        started = time.perf_counter()
-        if len(chunks) == 1:
-            outcomes = [run_chunk(chunks[0])]
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(run_chunk, chunks))
-        wall = time.perf_counter() - started
+        if self.obs.enabled:
+            self.obs.inc("indexproj.multirun_runs", len(scope))
+            self.obs.inc("indexproj.parallel_chunks", len(chunks))
+        with self.obs.timer(
+            "indexproj.parallel_fanout", workers=workers, runs=len(scope)
+        ) as fanout_timer:
+            if len(chunks) == 1:
+                outcomes = [run_chunk(chunks[0])]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(run_chunk, chunks))
+        wall = fanout_timer.seconds
 
         per_run_results: Dict[str, LineageResult] = {}
         total_lookup = 0.0

@@ -19,10 +19,10 @@ share), which is the contrast behind Fig. 4.
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.engine.events import Binding
+from repro.obs.core import NO_OBS, Observability
 from repro.provenance.store import StoreStats, TraceStore
 from repro.query.base import LineageQuery, LineageResult, MultiRunResult
 from repro.values.index import Index
@@ -31,8 +31,14 @@ from repro.values.index import Index
 class NaiveEngine:
     """Database-backed implementation of Def. 1 by graph traversal."""
 
-    def __init__(self, store: TraceStore) -> None:
+    def __init__(
+        self, store: TraceStore, obs: Optional[Observability] = None
+    ) -> None:
         self.store = store
+        #: Observability handle (``repro.obs``): per-run traversal spans
+        #: plus the ``naive.node_visits`` counter that makes the
+        #: trace-size-dependent cost of NI (Figs. 6, 7, 9) observable.
+        self.obs = obs if obs is not None else NO_OBS
 
     def lineage(
         self,
@@ -42,16 +48,15 @@ class NaiveEngine:
     ) -> LineageResult:
         """Answer one query over one run."""
         stats = stats if stats is not None else StoreStats()
-        started = time.perf_counter()
-        bindings = self._traverse(run_id, query, stats)
-        elapsed = time.perf_counter() - started
+        with self.obs.timer("naive.traverse", run=run_id) as timer:
+            bindings = self._traverse(run_id, query, stats)
         return LineageResult(
             query=query,
             run_id=run_id,
             bindings=bindings,
             stats=stats,
             traversal_seconds=0.0,
-            lookup_seconds=elapsed,
+            lookup_seconds=timer.seconds,
         )
 
     def lineage_multirun(
@@ -77,12 +82,14 @@ class NaiveEngine:
         collected: dict = {}
         visited: Set[Tuple[str, str, str]] = set()
         stack: List[Tuple[str, str, Index]] = [(query.node, query.port, query.index)]
+        visits = 0
         while stack:
             node, port, index = stack.pop()
             key = (node, port, index.encode())
             if key in visited:
                 continue
             visited.add(key)
+            visits += 1
             matches = self.store.find_xform_by_output(
                 run_id, node, port, index, stats
             )
@@ -99,4 +106,7 @@ class NaiveEngine:
                 run_id, node, port, index, stats
             ):
                 stack.append((source.node, source.port, continue_index))
+        if self.obs.enabled:
+            self.obs.inc("naive.node_visits", visits)
+            self.obs.inc("naive.traversals")
         return sorted(collected.values(), key=lambda b: b.key())

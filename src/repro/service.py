@@ -17,6 +17,12 @@ across queries and runs).
     service.lineage_many(queries, max_workers=8)        # concurrent batch
     service.impact("wf", "size", [], focus=["F"])
 
+Passing ``obs=Observability()`` at construction threads one tracing +
+metrics handle through the store, the runners, and both query strategies;
+``service.metrics_snapshot()`` then reports every counter/histogram and
+``service.obs.span_roots()`` the collected span trees (see
+docs/OBSERVABILITY.md).
+
 The service is thread-safe: runs may be captured while lineage queries
 are answered from other threads (see the store's concurrency contract in
 :mod:`repro.provenance.store`).
@@ -30,6 +36,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.engine.executor import WorkflowRunner
 from repro.engine.processors import ProcessorRegistry
+from repro.obs.core import NO_OBS, Observability
 from repro.provenance.capture import capture_run
 from repro.provenance.faults import FaultInjector
 from repro.provenance.store import DuplicateRunError, RetryPolicy, TraceStore
@@ -61,15 +68,23 @@ class ProvenanceService:
         error_handling: str = "raise",
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultInjector] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
+        #: Observability handle (``repro.obs``), threaded through the
+        #: store, every runner, and both query strategies.  Pass an
+        #: enabled :class:`~repro.obs.core.Observability` to collect
+        #: spans/metrics; read them back via :meth:`metrics_snapshot`
+        #: and ``service.obs.span_roots()``.
+        self.obs = obs if obs is not None else NO_OBS
         self.store = TraceStore(
-            store_path, intern_values=intern_values, retry=retry, faults=faults
+            store_path, intern_values=intern_values, retry=retry,
+            faults=faults, obs=self.obs,
         )
         self._runners: Dict[str, WorkflowRunner] = {}
         self._flows: Dict[str, Dataflow] = {}
         self._lineage_engines: Dict[str, IndexProjEngine] = {}
         self._impact_engines: Dict[str, IndexProjImpactEngine] = {}
-        self._naive = NaiveEngine(self.store)
+        self._naive = NaiveEngine(self.store, obs=self.obs)
         self._error_handling = error_handling
         # Guards the registration dicts so queries may run concurrently
         # with register_workflow (dict iteration during mutation raises).
@@ -103,10 +118,10 @@ class ProvenanceService:
         with self._registry_lock:
             self._flows[flow.name] = flat
             self._runners[flow.name] = WorkflowRunner(
-                registry, error_handling=self._error_handling
+                registry, error_handling=self._error_handling, obs=self.obs
             )
             self._lineage_engines[flow.name] = IndexProjEngine(
-                self.store, flat, analysis=analysis
+                self.store, flat, analysis=analysis, obs=self.obs
             )
             self._impact_engines[flow.name] = IndexProjImpactEngine(
                 self.store, flat, analysis=analysis
@@ -270,3 +285,12 @@ class ProvenanceService:
         stats = self.store.statistics()
         stats["registered_workflows"] = len(self._flows)
         return stats
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Point-in-time view of every ``repro.obs`` instrument.
+
+        Empty sections when the service was built without an enabled
+        observability handle (the default).  See docs/OBSERVABILITY.md
+        for the instrument inventory.
+        """
+        return self.obs.metrics_snapshot()

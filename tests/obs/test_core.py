@@ -1,0 +1,87 @@
+"""Observability facade tests, including the disabled-mode contract."""
+
+from __future__ import annotations
+
+import time
+import timeit
+
+from repro.obs.core import NO_OBS, NULL_SPAN, Observability
+
+
+class TestEnabled:
+    def test_span_and_metrics_collect(self):
+        obs = Observability()
+        with obs.span("outer"):
+            obs.inc("events", 3)
+            obs.observe("latency", 0.25)
+            obs.gauge("depth", 2)
+        snap = obs.metrics_snapshot()
+        assert snap["counters"] == {"events": 3}
+        assert snap["gauges"] == {"depth": 2}
+        assert snap["histograms"]["latency"]["count"] == 1
+        assert [r.name for r in obs.span_roots()] == ["outer"]
+
+    def test_timer_is_a_real_span_when_enabled(self):
+        obs = Observability()
+        with obs.timer("measured", run="r1") as span:
+            time.sleep(0.002)
+        assert span.seconds >= 0.002
+        # One source of truth: the read-back value IS the collected span.
+        assert obs.span_roots()[0] is span
+
+    def test_counter_value_and_reset(self):
+        obs = Observability()
+        obs.inc("n")
+        assert obs.counter_value("n") == 1
+        obs.reset()
+        assert obs.counter_value("n") == 0
+        assert obs.span_roots() == []
+
+
+class TestDisabled:
+    def test_no_obs_is_flagged_disabled(self):
+        assert NO_OBS.enabled is False
+        assert Observability().enabled is True
+
+    def test_span_is_shared_null_singleton(self):
+        assert NO_OBS.span("anything", key=1) is NULL_SPAN
+        with NO_OBS.span("x") as s:
+            assert s.set(a=1) is s
+            assert s.seconds == 0.0
+
+    def test_timer_still_measures(self):
+        with NO_OBS.timer("t") as t:
+            time.sleep(0.002)
+        assert t.seconds >= 0.002
+
+    def test_metric_hooks_are_inert(self):
+        NO_OBS.inc("x", 10)
+        NO_OBS.observe("y", 1.0)
+        NO_OBS.gauge("z", 5)
+        assert NO_OBS.counter_value("x") == 0
+        assert NO_OBS.metrics_snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert NO_OBS.span_roots() == []
+
+    def test_disabled_span_overhead_is_negligible(self):
+        """A disabled span must cost on the order of a method call.
+
+        The bound is deliberately loose (CI machines are noisy): the
+        disabled path must beat the *enabled* path by a wide margin, which
+        fails if someone accidentally allocates spans when disabled.
+        """
+        obs = Observability()
+
+        def enabled():
+            with obs.span("s"):
+                pass
+
+        def disabled():
+            with NO_OBS.span("s"):
+                pass
+
+        n = 20_000
+        t_disabled = timeit.timeit(disabled, number=n)
+        t_enabled = timeit.timeit(enabled, number=n)
+        assert t_disabled < t_enabled

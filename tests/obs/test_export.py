@@ -1,0 +1,121 @@
+"""Exporter tests: JSON schema, Prometheus text, sidecar persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.core import Observability
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    SchemaError,
+    dump_json,
+    export_document,
+    load_persisted_counters,
+    metrics_sidecar_path,
+    persist_counters,
+    render_metrics_table,
+    to_prometheus,
+    validate_export,
+)
+
+
+def _sample_obs() -> Observability:
+    obs = Observability()
+    with obs.span("outer", workflow="wf"):
+        with obs.span("inner"):
+            pass
+    obs.inc("store.reads", 4)
+    obs.gauge("pool.size", 2)
+    obs.observe("store.read_seconds", 0.001)
+    obs.observe("engine.instance_fanout", 3)
+    return obs
+
+
+class TestJsonExport:
+    def test_document_validates(self):
+        doc = export_document(_sample_obs(), meta={"command": "query"})
+        validate_export(doc)  # must not raise
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["meta"] == {"command": "query"}
+        assert doc["counters"] == {"store.reads": 4}
+        assert doc["spans"][0]["name"] == "outer"
+        assert doc["spans"][0]["children"][0]["name"] == "inner"
+
+    def test_document_is_json_serializable(self, tmp_path):
+        path = str(tmp_path / "obs.json")
+        returned = dump_json(_sample_obs(), path)
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert loaded == json.loads(json.dumps(returned))
+        validate_export(loaded)
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d.pop("schema"), "schema"),
+            (lambda d: d.update(schema="repro.obs/999"), "schema"),
+            (lambda d: d.update(counters=[]), "counters"),
+            (lambda d: d["counters"].update(bad=-1), "non-negative"),
+            (lambda d: d["counters"].update(bad=1.5), "non-negative"),
+            (lambda d: d["histograms"]["store.read_seconds"].pop("p95"), "p95"),
+            (lambda d: d.update(spans={}), "spans"),
+            (lambda d: d["spans"][0].pop("children"), "children"),
+        ],
+    )
+    def test_invalid_documents_rejected(self, mutate, message):
+        doc = export_document(_sample_obs())
+        mutate(doc)
+        with pytest.raises(SchemaError, match=message):
+            validate_export(doc)
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = to_prometheus(_sample_obs())
+        assert "# TYPE repro_store_reads_total counter" in text
+        assert "repro_store_reads_total 4" in text
+        assert "# TYPE repro_pool_size gauge" in text
+        assert 'repro_store_read_seconds{quantile="0.50"}' in text
+        assert "repro_store_read_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(Observability()) == ""
+
+
+class TestMetricsTable:
+    def test_sections_and_units(self):
+        table = render_metrics_table(_sample_obs().metrics_snapshot())
+        assert "counters:" in table
+        assert "store.reads" in table
+        # Duration histograms display in ms; unitless ones stay raw.
+        assert "store.read_ms" in table
+        assert "mean=1.000" in table
+        assert "engine.instance_fanout" in table
+        assert "mean=3.000" in table
+
+    def test_empty_snapshot(self):
+        empty = {"counters": {}, "gauges": {}, "histograms": {}}
+        assert render_metrics_table(empty) == ""
+
+
+class TestSidecarPersistence:
+    def test_counters_accumulate_across_invocations(self, tmp_path):
+        db = str(tmp_path / "t.db")
+        persist_counters(_sample_obs(), db)
+        persist_counters(_sample_obs(), db)
+        doc = load_persisted_counters(db)
+        assert doc["counters"] == {"store.reads": 8}
+        assert doc["invocations"] == 2
+        assert doc["schema"] == SCHEMA_VERSION
+
+    def test_missing_or_corrupt_sidecar_yields_skeleton(self, tmp_path):
+        db = str(tmp_path / "t.db")
+        assert load_persisted_counters(db)["counters"] == {}
+        with open(metrics_sidecar_path(db), "w", encoding="utf-8") as handle:
+            handle.write("not json{")
+        assert load_persisted_counters(db) == {
+            "schema": SCHEMA_VERSION, "invocations": 0, "counters": {},
+        }

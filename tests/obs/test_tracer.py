@@ -1,0 +1,135 @@
+"""Tracer unit tests: nesting, attributes, threading, rendering."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.tracer import Span, Tracer, render_span_tree
+
+
+class TestNesting:
+    def test_with_blocks_build_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer", workflow="wf"):
+            with tracer.span("inner-1"):
+                pass
+            with tracer.span("inner-2"):
+                with tracer.span("leaf"):
+                    pass
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["inner-1", "inner-2"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+        assert outer.attributes == {"workflow": "wf"}
+
+    def test_siblings_after_exit_are_not_nested(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots()] == ["a", "b"]
+        assert all(not r.children for r in tracer.roots())
+
+    def test_durations_are_ordered_and_finished(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.ended is not None and inner.ended is not None
+        # A parent strictly contains its child.
+        assert outer.seconds >= inner.seconds >= 0.0
+
+    def test_set_attributes_mid_span(self):
+        tracer = Tracer()
+        with tracer.span("plan") as span:
+            span.set(cache="miss", trace_queries=3)
+        assert span.attributes == {"cache": "miss", "trace_queries": 3}
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_find_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            for _ in range(3):
+                with tracer.span("fire"):
+                    pass
+        assert len(tracer.find("fire")) == 3
+        assert [s.name for s in tracer.roots()[0].walk()] == [
+            "run", "fire", "fire", "fire",
+        ]
+
+    def test_reset_drops_roots(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == []
+
+
+class TestThreading:
+    def test_worker_spans_are_independent_roots(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def work(i: int) -> None:
+            barrier.wait()
+            with tracer.span("chunk", worker=i):
+                with tracer.span("item"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = tracer.roots()
+        assert len(roots) == 4
+        assert {r.name for r in roots} == {"chunk"}
+        assert {r.attributes["worker"] for r in roots} == {0, 1, 2, 3}
+        # Each worker's child span nested under its own root, never a peer's.
+        assert all(len(r.children) == 1 for r in roots)
+
+    def test_main_thread_stack_unaffected_by_workers(self):
+        tracer = Tracer()
+        with tracer.span("main-outer"):
+            t = threading.Thread(target=lambda: tracer.span("w").__enter__())
+            t.start()
+            t.join()
+            # Worker opened (and leaked) a span on ITS stack; ours is intact.
+            assert tracer.current().name == "main-outer"
+
+
+class TestRendering:
+    def test_render_span_tree_shape(self):
+        tracer = Tracer()
+        with tracer.span("query", strategy="indexproj"):
+            with tracer.span("plan"):
+                pass
+        text = render_span_tree(tracer.roots())
+        lines = text.splitlines()
+        assert lines[0].startswith("query")
+        assert "strategy=indexproj" in lines[0]
+        assert lines[1].startswith("  plan")
+        assert "ms" in lines[0] and "ms" in lines[1]
+
+    def test_render_empty(self):
+        assert render_span_tree([]) == ""
+
+    def test_to_dict_round_trip_shape(self):
+        span = Span("s", {"k": 1})
+        span.finish()
+        payload = span.to_dict()
+        assert payload["name"] == "s"
+        assert payload["attributes"] == {"k": 1}
+        assert payload["children"] == []
+        assert payload["seconds"] >= 0.0

@@ -1,0 +1,141 @@
+"""CLI regression tests for the global flags: --version, --profile,
+--verbose/--quiet, and the stats-command sidecar integration."""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import (
+    load_persisted_counters,
+    metrics_sidecar_path,
+    validate_export,
+)
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro-prov" in out
+        assert __version__ in out
+
+
+class TestProfileRun:
+    def test_profile_run_prints_spans_and_metrics(self, tmp_path, capsys):
+        db = str(tmp_path / "t.db")
+        assert main(["--profile", "run", "--workload", "gk", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "== profile: span tree ==" in out
+        assert "engine.run" in out
+        assert "engine.fire" in out
+        assert "== profile: metrics ==" in out
+        assert "engine.xform_events" in out
+        assert "store.writes" in out
+
+    def test_unprofiled_run_prints_no_profile(self, tmp_path, capsys):
+        db = str(tmp_path / "t.db")
+        assert main(["run", "--workload", "gk", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" not in out
+        assert not os.path.exists(metrics_sidecar_path(db))
+
+
+class TestProfileQuery:
+    @pytest.fixture
+    def gk_db(self, tmp_path):
+        db = str(tmp_path / "gk.db")
+        assert main(["run", "--workload", "gk", "--db", db]) == 0
+        return db
+
+    def test_profile_query_span_tree(self, gk_db, capsys):
+        capsys.readouterr()
+        assert main([
+            "--profile", "query", "--db", gk_db, "--workload", "gk",
+            "--node", "genes2kegg", "--port", "commonPathways",
+            "--index", "0", "--focus", "get_pathways_by_genes",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "indexproj.plan" in out
+        assert "cache=miss" in out
+        assert "indexproj.execute" in out
+        assert "store.reads" in out
+
+    def test_sidecar_accumulates_and_stats_reports(self, gk_db, capsys):
+        args = [
+            "--profile", "query", "--db", gk_db, "--workload", "gk",
+            "--node", "genes2kegg", "--port", "commonPathways",
+            "--index", "0", "--focus", "get_pathways_by_genes",
+        ]
+        assert main(args) == 0
+        assert main(args) == 0
+        doc = load_persisted_counters(gk_db)
+        assert doc["invocations"] == 2
+        assert doc["counters"]["store.reads"] >= 2
+        capsys.readouterr()
+        assert main(["stats", "--db", gk_db]) == 0
+        out = capsys.readouterr().out
+        assert "persisted obs counters (2 profiled invocations):" in out
+        assert "store.reads" in out
+
+    def test_profile_export_document_is_valid(self, gk_db, tmp_path, capsys):
+        export_path = str(tmp_path / "obs.json")
+        assert main([
+            "--profile", "--profile-export", export_path,
+            "query", "--db", gk_db, "--workload", "gk",
+            "--node", "genes2kegg", "--port", "commonPathways",
+            "--index", "0", "--focus", "get_pathways_by_genes",
+        ]) == 0
+        with open(export_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        validate_export(document)
+        assert document["meta"] == {"command": "query"}
+        assert document["counters"]["store.reads"] >= 1
+        assert any(
+            span["name"] == "indexproj.plan" for span in document["spans"]
+        )
+
+
+class TestLogging:
+    def test_default_level_is_info(self):
+        main(["workloads"])
+        assert logging.getLogger("repro").level == logging.INFO
+
+    def test_verbose_and_quiet_levels(self):
+        main(["--verbose", "workloads"])
+        assert logging.getLogger("repro").level == logging.DEBUG
+        main(["--quiet", "workloads"])
+        assert logging.getLogger("repro").level == logging.ERROR
+
+    def test_diagnostics_go_to_stderr_not_stdout(self, tmp_path, capsys):
+        dot_path = str(tmp_path / "wf.dot")
+        assert main(["export", "--workload", "gk", "--dot", dot_path]) == 0
+        captured = capsys.readouterr()
+        assert "wrote" not in captured.out
+        assert f"wrote {dot_path}" in captured.err
+
+    def test_quiet_suppresses_info_diagnostics(self, tmp_path, capsys):
+        dot_path = str(tmp_path / "wf.dot")
+        assert main(
+            ["--quiet", "export", "--workload", "gk", "--dot", dot_path]
+        ) == 0
+        assert "wrote" not in capsys.readouterr().err
+
+    def test_errors_still_logged_when_quiet(self, tmp_path, capsys):
+        from repro.provenance.store import TraceStore
+
+        db = str(tmp_path / "empty.db")
+        TraceStore(db).close()
+        assert main([
+            "--quiet", "query", "--db", db, "--node", "P", "--port", "y",
+            "--strategy", "naive",
+        ]) == 1
+        assert "no runs" in capsys.readouterr().err
