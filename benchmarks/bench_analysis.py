@@ -1,0 +1,81 @@
+"""Static-analysis overhead and fast-reject payoff.
+
+Not a paper figure: this module quantifies the cost/benefit of the
+``repro.analysis`` pre-checker added on top of the paper's machinery.
+
+* the pre-checker itself is O(graph) and must stay microseconds-cheap,
+  since every ``ProvenanceService.lineage()`` call pays it;
+* a provably-empty query answered by the fast-reject path must beat
+  actually executing it (which re-discovers the empty answer through
+  trace lookups, per run);
+* linting a workflow is a one-off design-time action — benchmarked to
+  keep it interactive on the synthetic chains.
+"""
+
+import pytest
+
+from repro.analysis.lint import run_lint
+from repro.analysis.precheck import precheck_query
+from repro.query.base import LineageQuery
+from repro.service import ProvenanceService
+from repro.testbed.generator import chain_product_workflow
+from repro.workflow.depths import propagate_depths
+
+
+LENGTH = 6
+#: CHAIN2_0 is on the second branch: provably not upstream of CHAIN1_1:y.
+DISCONNECTED = LineageQuery.create("CHAIN1_1", "y", (0,), ("CHAIN2_0",))
+VIABLE = LineageQuery.create("2TO1_FINAL", "y", (0, 0), ("LISTGEN_1",))
+
+
+@pytest.fixture(scope="module")
+def chain_analysis():
+    return propagate_depths(chain_product_workflow(LENGTH).flattened())
+
+
+@pytest.fixture(scope="module")
+def populated_service(scale):
+    d = 4 if scale == "quick" else 10
+    flow = chain_product_workflow(LENGTH)
+    with ProvenanceService() as service:
+        service.register_workflow(flow)
+        for _ in range(3):
+            service.run(flow.name, {"ListSize": d})
+        yield service
+
+
+def bench_precheck_kernel_viable(benchmark, chain_analysis):
+    """Timed kernel: triaging a viable query (the per-call overhead)."""
+    report = benchmark(lambda: precheck_query(chain_analysis, VIABLE))
+    assert report.is_viable
+
+
+def bench_precheck_kernel_empty(benchmark, chain_analysis):
+    """Timed kernel: proving a disconnected query empty."""
+    report = benchmark(lambda: precheck_query(chain_analysis, DISCONNECTED))
+    assert report.is_empty
+
+
+def bench_fast_reject_vs_execution(benchmark, populated_service):
+    """Timed kernel: the service's fast-reject path (zero trace reads)."""
+    result = benchmark(
+        lambda: populated_service.lineage(DISCONNECTED)
+    )
+    assert result.per_run == {}
+
+
+def bench_executed_empty_query(benchmark, populated_service):
+    """Baseline: the same empty answer discovered through the store."""
+    runs = populated_service.runs_of(f"synthetic_l{LENGTH}")
+    result = benchmark(
+        lambda: populated_service.lineage(
+            DISCONNECTED, runs=runs, precheck=False
+        )
+    )
+    assert all(not r.bindings for r in result.per_run.values())
+
+
+def bench_lint_kernel(benchmark, chain_analysis):
+    """Timed kernel: the full rule catalogue over the synthetic chain."""
+    findings = benchmark(lambda: run_lint(chain_analysis.flow))
+    assert not any(f.is_error for f in findings)

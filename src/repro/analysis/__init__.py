@@ -1,0 +1,56 @@
+"""Static analysis of workflows and lineage queries (``repro.analysis``).
+
+Everything in this package reasons over the *workflow specification* only
+— the :class:`~repro.workflow.model.Dataflow` graph and the
+:class:`~repro.workflow.depths.DepthAnalysis` produced by Alg. 1 — and
+never opens the trace store.  Three cooperating passes:
+
+* :mod:`repro.analysis.precheck` — validates a parsed lineage query
+  against the specification (name resolution with did-you-mean
+  suggestions, dataflow-path existence, index bound checks against the
+  Prop. 1 fragment layout) and classifies it as *invalid*, *provably
+  empty*, or *viable* in O(|workflow graph|) with **zero** trace reads;
+* :mod:`repro.analysis.lint` — a rule-registry lint engine over workflow
+  definitions (stable ``E0xx``/``W0xx`` codes, severity configuration,
+  suppressions) with text/JSON/SARIF exporters
+  (:mod:`repro.analysis.sarif`);
+* :mod:`repro.analysis.cost` — the static cost model comparing NI and
+  INDEXPROJ trace-lookup counts, behind ``strategy="auto"`` and
+  ``explain_plan()``.
+
+See docs/ANALYSIS.md for the rule catalogue and the model's semantics.
+"""
+
+from repro.analysis.cost import PlanExplanation, choose_strategy, explain_plan
+from repro.analysis.lint import (
+    Finding,
+    LintConfig,
+    LintRule,
+    lint_rules,
+    run_lint,
+)
+from repro.analysis.precheck import (
+    PrecheckIssue,
+    PrecheckReport,
+    QueryValidationError,
+    precheck_query,
+)
+from repro.analysis.sarif import render_json, render_sarif, render_text
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintRule",
+    "PlanExplanation",
+    "PrecheckIssue",
+    "PrecheckReport",
+    "QueryValidationError",
+    "choose_strategy",
+    "explain_plan",
+    "lint_rules",
+    "precheck_query",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,87 @@
+"""Static cost-based strategy planning for lineage queries.
+
+Builds on the per-strategy estimates of :mod:`repro.query.explain` (whose
+INDEXPROJ lookup count is exact — it *is* the plan size — and whose NI
+count is the static 2-lookups-per-hop bound) and combines them with the
+pre-checker's verdict into one :class:`PlanExplanation`:
+
+* :func:`choose_strategy` is the ``strategy="auto"`` planner: pick the
+  strategy with the fewer estimated trace lookups, breaking ties towards
+  INDEXPROJ (the paper's Section 4 conclusion: it never does worse, and
+  its traversal is shared across runs and cached across queries);
+* :func:`explain_plan` is the user-facing ``EXPLAIN``: verdict, cost
+  breakdown, chosen strategy, and the exact trace lookups INDEXPROJ
+  would issue — all without touching the trace store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analysis.precheck import PrecheckReport, precheck_query
+from repro.query.base import LineageQuery
+from repro.query.explain import QueryExplanation, explain
+from repro.query.indexproj import build_plan
+from repro.workflow.depths import DepthAnalysis
+
+
+@dataclass(frozen=True)
+class PlanExplanation:
+    """Everything the static planner knows about one query."""
+
+    report: PrecheckReport
+    #: per-strategy cost estimates; ``None`` when the query is invalid
+    #: (its names do not resolve, so no cost can be attributed).
+    cost: Optional[QueryExplanation]
+    #: the strategy ``strategy="auto"`` would run ("indexproj" | "naive",
+    #: or "none" when the pre-checker already answers the query).
+    chosen_strategy: str
+    #: rendered trace lookups of the INDEXPROJ plan, in plan order.
+    trace_queries: Tuple[str, ...]
+
+    def summary(self) -> str:
+        lines = [self.report.summary()]
+        if self.report.is_viable and self.cost is not None:
+            lines.append(self.cost.summary())
+            lines.append(f"auto strategy: {self.chosen_strategy}")
+            for rendered in self.trace_queries:
+                lines.append(f"  {rendered}")
+        elif self.report.is_empty:
+            lines.append(
+                "plan: answered statically (0 trace lookups, any strategy)"
+            )
+        return "\n".join(lines)
+
+
+def choose_strategy(
+    analysis: DepthAnalysis, query: LineageQuery, runs: int = 1
+) -> str:
+    """The ``strategy="auto"`` decision: fewest estimated trace lookups.
+
+    INDEXPROJ wins ties — its estimate is exact while NI's is an upper
+    bound, and its plan is shared across the ``runs`` in scope.
+    """
+    estimate = explain(analysis, query, runs=max(runs, 1))
+    if estimate.indexproj_lookups <= estimate.naive_lookups:
+        return "indexproj"
+    return "naive"
+
+
+def explain_plan(
+    analysis: DepthAnalysis, query: LineageQuery, runs: int = 1
+) -> PlanExplanation:
+    """Full static plan for one query (pre-check + cost + trace lookups)."""
+    report = precheck_query(analysis, query)
+    if report.is_invalid:
+        return PlanExplanation(report, None, "none", ())
+    cost = explain(analysis, query, runs=max(runs, 1))
+    if report.is_empty:
+        return PlanExplanation(report, cost, "none", ())
+    plan = build_plan(analysis, query)
+    return PlanExplanation(
+        report,
+        cost,
+        choose_strategy(analysis, query, runs=runs),
+        tuple(str(tq) for tq in plan.trace_queries),
+    )

@@ -1,0 +1,521 @@
+"""Workflow lint engine: a rule registry over dataflow specifications.
+
+Compiler-front-end treatment of workflow definitions: every check is a
+registered :class:`LintRule` with a stable code (``E0xx`` for errors,
+``W0xx`` for warnings), rules run over a shared :class:`LintContext`, and
+a :class:`LintConfig` re-maps severities or suppresses codes entirely.
+Exporters for the resulting findings — text, JSON, SARIF 2.1.0 — live in
+:mod:`repro.analysis.sarif`; the CLI surfaces them as ``repro-prov lint``.
+
+Unlike Alg. 1 (which raises on the first structural problem), linting is
+*total*: a cyclic workflow still gets its type/reachability/unbound
+checks, and depth-based rules run on every processor whose depths are
+determined by the acyclic part of the graph (a tolerant re-run of the
+depth propagation that records conflicts instead of raising).  That is
+what fixes the historical ``validate()`` early-return, where one cycle
+hid every other finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.strategy import (
+    StrategyError,
+    fragment_offsets,
+    node_level,
+    parse_strategy,
+)
+from repro.workflow.model import Dataflow, PortRef
+
+_SEVERITIES = ("error", "warning", "note")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, ready for any exporter."""
+
+    code: str  # stable rule code, e.g. "W004"
+    rule: str  # rule slug, e.g. "fanout-explosion"
+    severity: str  # "error" | "warning" | "note"
+    message: str
+    #: logical location inside the workflow: "node", "node:port" or
+    #: "src -> sink" for arcs; empty for whole-workflow findings.
+    location: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def render(self) -> str:
+        where = f" at {self.location}" if self.location else ""
+        return f"{self.severity:7s} {self.code} [{self.rule}]{where}: {self.message}"
+
+
+@dataclass
+class LintConfig:
+    """Per-invocation rule configuration.
+
+    ``severities`` overrides a rule's default severity (keyed by code or
+    slug); ``suppress`` silences rules entirely.  ``fanout_levels`` is the
+    iteration level at which W004 starts warning (a level-``l`` processor
+    fires ``d^l`` instances on ``d``-element lists).
+    """
+
+    severities: Dict[str, str] = field(default_factory=dict)
+    suppress: Set[str] = field(default_factory=set)
+    fanout_levels: int = 3
+
+    def severity_for(self, rule: "LintRule") -> str:
+        override = self.severities.get(rule.code) or self.severities.get(rule.slug)
+        if override is None:
+            return rule.default_severity
+        if override not in _SEVERITIES:
+            raise ValueError(
+                f"unknown severity {override!r} for rule {rule.code}; "
+                f"expected one of {_SEVERITIES}"
+            )
+        return override
+
+    def is_suppressed(self, rule: "LintRule") -> bool:
+        return rule.code in self.suppress or rule.slug in self.suppress
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered check: metadata plus the check callable."""
+
+    code: str
+    slug: str
+    default_severity: str
+    description: str
+    check: Callable[["LintContext"], Iterable[Tuple[str, str]]]
+
+
+class LintContext:
+    """Everything a rule may look at: the flow plus tolerant depth info."""
+
+    def __init__(self, flow: Dataflow, config: LintConfig) -> None:
+        self.flow = flow
+        self.config = config
+        self.cycle_nodes: Set[str] = _nodes_on_cycles(flow)
+        # Tolerant depth propagation over the acyclic part of the graph.
+        self.mismatches: Dict[PortRef, int] = {}
+        self.levels: Dict[str, int] = {}
+        #: (processor, message) pairs where the iteration strategy rejects
+        #: the propagated mismatches (dot children disagreeing, Def. 3).
+        self.strategy_conflicts: List[Tuple[str, str]] = []
+        #: processors whose depths could not be determined (on or
+        #: downstream of a cycle) — depth-based rules skip them.
+        self.undetermined: Set[str] = set()
+        _tolerant_depths(self)
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def lint_rules() -> Tuple[LintRule, ...]:
+    """Every registered rule, ordered by code."""
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def rule(
+    code: str, slug: str, severity: str, description: str
+) -> Callable[[Callable[[LintContext], Iterable[Tuple[str, str]]]], LintRule]:
+    """Register a check function as a lint rule.
+
+    The decorated function receives a :class:`LintContext` and yields
+    ``(message, location)`` pairs; the registry attaches code/slug/
+    severity.
+    """
+    if severity not in _SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r}")
+
+    def register(check: Callable[[LintContext], Iterable[Tuple[str, str]]]) -> LintRule:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate lint rule code {code}")
+        entry = LintRule(code, slug, severity, description, check)
+        _REGISTRY[code] = entry
+        return entry
+
+    return register
+
+
+def run_lint(
+    flow: Dataflow,
+    config: Optional[LintConfig] = None,
+    only: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run the registered rules over ``flow`` and return all findings.
+
+    ``only`` restricts the run to the given codes/slugs (used by the
+    legacy :func:`repro.workflow.validate.validate` wrapper).  Findings
+    come back deterministically ordered: errors first, then by code, then
+    by location.
+    """
+    config = config if config is not None else LintConfig()
+    selected = set(only) if only is not None else None
+    context = LintContext(flow, config)
+    findings: List[Finding] = []
+    for entry in lint_rules():
+        if selected is not None and not {entry.code, entry.slug} & selected:
+            continue
+        if config.is_suppressed(entry):
+            continue
+        severity = config.severity_for(entry)
+        for message, location in entry.check(context):
+            findings.append(
+                Finding(entry.code, entry.slug, severity, message, location)
+            )
+    rank = {name: i for i, name in enumerate(_SEVERITIES)}
+    findings.sort(key=lambda f: (rank[f.severity], f.code, f.location, f.message))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Tolerant structural analysis shared by the rules
+# ---------------------------------------------------------------------------
+
+
+def _nodes_on_cycles(flow: Dataflow) -> Set[str]:
+    """Processors that sit on at least one dependency cycle.
+
+    Iterative Tarjan over the processor-level dependency graph: a node is
+    cyclic iff its strongly connected component has more than one member,
+    or it carries a self-edge (an arc from one of its outputs straight
+    back into one of its inputs).
+    """
+    adjacency: Dict[str, List[str]] = {p.name: [] for p in flow.processors}
+    self_edges: Set[str] = set()
+    for arc in flow.arcs:
+        src, snk = arc.source.node, arc.sink.node
+        if src == flow.name or snk == flow.name:
+            continue
+        if src == snk:
+            self_edges.add(src)
+        adjacency[src].append(snk)
+
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    cyclic: Set[str] = set(self_edges)
+    counter = 0
+    for root in adjacency:
+        if root in index:
+            continue
+        # (node, iterator over its successors) — explicit DFS stack.
+        work: List[Tuple[str, Iterator[str]]] = [(root, iter(adjacency[root]))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    cyclic.update(component)
+    return cyclic
+
+
+def _tolerant_depths(context: LintContext) -> None:
+    """Alg. 1 re-run that records problems instead of raising.
+
+    Processes processors in dependency order, skipping any node whose
+    inputs depend on a cycle (recorded in ``context.undetermined``).  A
+    strategy/mismatch conflict (the condition that makes
+    ``propagate_depths`` raise) is recorded and the processor continues
+    with the cross-product level, so downstream nodes still get checked.
+    """
+    flow = context.flow
+    depths: Dict[PortRef, int] = {}
+    for port in flow.inputs:
+        depths[PortRef(flow.name, port.name)] = port.declared_depth
+
+    pending = {p.name: p for p in flow.processors}
+    progress = True
+    while pending and progress:
+        progress = False
+        for name in list(pending):
+            processor = pending[name]
+            sources = [
+                flow.incoming_arc(PortRef(name, port.name))
+                for port in processor.inputs
+            ]
+            if any(
+                arc is not None and arc.source not in depths
+                for arc in sources
+            ):
+                continue  # a producer has not been resolved (yet)
+            del pending[name]
+            progress = True
+            deltas: Dict[str, int] = {}
+            for port, arc in zip(processor.inputs, sources):
+                ref = PortRef(name, port.name)
+                depths[ref] = (
+                    port.declared_depth if arc is None else depths[arc.source]
+                )
+                delta = depths[ref] - port.declared_depth
+                context.mismatches[ref] = delta
+                deltas[port.name] = max(delta, 0)
+            try:
+                node = parse_strategy(
+                    processor.iteration, [p.name for p in processor.inputs]
+                )
+                level = node_level(node, deltas)
+                fragment_offsets(node, deltas)
+            except StrategyError as exc:
+                context.strategy_conflicts.append((name, str(exc)))
+                level = sum(deltas.values())  # cross-product fallback
+            context.levels[name] = level
+            for port in processor.outputs:
+                depths[PortRef(name, port.name)] = port.declared_depth + level
+    context.undetermined = set(pending)
+
+
+# ---------------------------------------------------------------------------
+# Built-in rules
+# ---------------------------------------------------------------------------
+
+
+def _port_type(flow: Dataflow, ref: PortRef):
+    if ref.node == flow.name:
+        ports: Iterable = flow.inputs + flow.outputs
+    else:
+        processor = flow.processor(ref.node)
+        ports = processor.inputs + processor.outputs
+    for port in ports:
+        if port.name == ref.port:
+            return port.type
+    return None
+
+
+@rule("E001", "cycle", "error", "the dataflow graph must be acyclic")
+def _check_cycles(context: LintContext) -> Iterator[Tuple[str, str]]:
+    if context.cycle_nodes:
+        members = ", ".join(sorted(context.cycle_nodes))
+        yield (
+            f"dataflow {context.flow.name!r} contains a dependency cycle "
+            f"through {{{members}}}",
+            members.split(", ")[0],
+        )
+
+
+@rule(
+    "E002",
+    "base-type-conflict",
+    "error",
+    "arc endpoints must agree on the base (list-stripped) type",
+)
+def _check_types(context: LintContext) -> Iterator[Tuple[str, str]]:
+    flow = context.flow
+    for arc in flow.arcs:
+        source_type = _port_type(flow, arc.source)
+        sink_type = _port_type(flow, arc.sink)
+        if source_type is None or sink_type is None:
+            continue  # unresolvable port: structurally impossible via add_arc
+        if source_type.base() != sink_type.base():
+            yield (
+                f"arc {arc}: base type {source_type.base().name!r} does not "
+                f"match {sink_type.base().name!r}",
+                str(arc),
+            )
+
+
+@rule(
+    "E003",
+    "dot-mismatch-conflict",
+    "error",
+    "dot-combinator ports must agree on their positive depth mismatch",
+)
+def _check_dot_conflicts(context: LintContext) -> Iterator[Tuple[str, str]]:
+    for name, message in context.strategy_conflicts:
+        yield (
+            f"processor {name!r}: iteration strategy rejects the propagated "
+            f"mismatches: {message}",
+            name,
+        )
+
+
+@rule(
+    "W001",
+    "unreachable",
+    "warning",
+    "processor output can never influence a workflow output (dead code)",
+)
+def _check_reachability(context: LintContext) -> Iterator[Tuple[str, str]]:
+    flow = context.flow
+    reaching: Set[str] = set()
+    frontier: List[PortRef] = [PortRef(flow.name, p.name) for p in flow.outputs]
+    visited: Set[PortRef] = set()
+    while frontier:
+        ref = frontier.pop()
+        if ref in visited:
+            continue
+        visited.add(ref)
+        if ref.node != flow.name:
+            reaching.add(ref.node)
+            processor = flow.processor(ref.node)
+            if processor.has_output(ref.port):
+                frontier.extend(
+                    PortRef(processor.name, p.name) for p in processor.inputs
+                )
+                continue
+        arc = flow.incoming_arc(ref)
+        if arc is not None:
+            frontier.append(arc.source)
+    for processor in flow.processors:
+        if processor.name not in reaching:
+            yield (
+                f"processor {processor.name!r} cannot influence any "
+                "workflow output",
+                processor.name,
+            )
+
+
+@rule(
+    "W002",
+    "unbound-input",
+    "warning",
+    "input port has no incoming arc and will use its default value",
+)
+def _check_unbound_inputs(context: LintContext) -> Iterator[Tuple[str, str]]:
+    flow = context.flow
+    for processor in flow.processors:
+        for port in processor.inputs:
+            ref = PortRef(processor.name, port.name)
+            if flow.incoming_arc(ref) is None:
+                yield (
+                    f"input {ref} has no incoming arc and will use its "
+                    "default value",
+                    str(ref),
+                )
+
+
+@rule(
+    "W003",
+    "negative-mismatch",
+    "warning",
+    "input receives values shallower than declared; the engine wraps "
+    "singletons at run time",
+)
+def _check_negative_mismatch(context: LintContext) -> Iterator[Tuple[str, str]]:
+    for ref in sorted(context.mismatches):
+        delta = context.mismatches[ref]
+        if delta < 0:
+            yield (
+                f"input {ref} declares a depth {-delta} greater than the "
+                f"values that reach it (delta_s = {delta}); each value is "
+                "wrapped in singleton lists at run time — confirm the "
+                "declared type is intended",
+                str(ref),
+            )
+
+
+@rule(
+    "W004",
+    "fanout-explosion",
+    "warning",
+    "iteration level implies a combinatorial number of processor firings",
+)
+def _check_fanout(context: LintContext) -> Iterator[Tuple[str, str]]:
+    threshold = context.config.fanout_levels
+    for name in sorted(context.levels):
+        level = context.levels[name]
+        if level >= threshold:
+            yield (
+                f"processor {name!r} iterates at level {level}: with "
+                f"d-element lists one run fires ~d^{level} instances of it "
+                "(declared depths, Def. 3) — check the declared types and "
+                "iteration strategy",
+                name,
+            )
+
+
+@rule(
+    "W005",
+    "shadowed-arc",
+    "warning",
+    "one source port feeds several inputs of the same processor",
+)
+def _check_shadowed_arcs(context: LintContext) -> Iterator[Tuple[str, str]]:
+    flow = context.flow
+    for processor in flow.processors:
+        by_source: Dict[PortRef, List[str]] = {}
+        for arc in flow.arcs_into_processor(processor.name):
+            by_source.setdefault(arc.source, []).append(arc.sink.port)
+        for source, ports in sorted(by_source.items()):
+            if len(ports) > 1:
+                yield (
+                    f"source {source} feeds {len(ports)} inputs of processor "
+                    f"{processor.name!r} ({', '.join(sorted(ports))}): the "
+                    "same value is consumed twice — under cross iteration "
+                    "this squares the instance count",
+                    f"{source} -> {processor.name}",
+                )
+
+
+@rule(
+    "W006",
+    "unused-output",
+    "warning",
+    "processor output is computed but never consumed",
+)
+def _check_unused_outputs(context: LintContext) -> Iterator[Tuple[str, str]]:
+    flow = context.flow
+    for processor in flow.processors:
+        for port in processor.outputs:
+            ref = PortRef(processor.name, port.name)
+            if not flow.outgoing_arcs(ref):
+                yield (
+                    f"output {ref} is never consumed by any arc",
+                    str(ref),
+                )
+
+
+#: Rules whose findings the legacy ``validate()`` wrapper reports, mapped
+#: to the historical issue codes it has always used.
+LEGACY_CODES: Mapping[str, str] = {
+    "E001": "cycle",
+    "E002": "base-type-conflict",
+    "E003": "dot-mismatch-conflict",
+    "W001": "unreachable",
+    "W002": "unbound-input",
+    "W003": "depth-mismatch",
+}

@@ -1,0 +1,133 @@
+"""Finding exporters: text, JSON, and SARIF 2.1.0.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is the
+interchange format GitHub code scanning and most editors ingest; the
+document produced here follows the 2.1.0 schema's required shape — one
+``run`` with a ``tool.driver`` carrying the full rule catalogue and one
+``result`` per finding, located by the workflow-graph logical location
+(there are no files/regions to point at in a workflow specification).
+``repro-prov lint --format sarif`` writes it; CI uploads it as an
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.lint import Finding, LintRule, lint_rules
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ (which defines __version__) imports
+    # the service layer, which imports this package.
+    from repro import __version__
+
+    return __version__
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: lint severity -> SARIF result level
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def render_text(findings: Sequence[Finding], workflow: str = "") -> str:
+    """One human-readable line per finding (empty string when clean)."""
+    if not findings:
+        return f"workflow {workflow!r}: no findings" if workflow else ""
+    return "\n".join(finding.render() for finding in findings)
+
+
+def render_json(findings: Sequence[Finding], workflow: str = "") -> str:
+    """Machine-readable JSON: schema ``repro.analysis/1``."""
+    document = {
+        "schema": "repro.analysis/1",
+        "workflow": workflow,
+        "findings": [
+            {
+                "code": f.code,
+                "rule": f.rule,
+                "severity": f.severity,
+                "message": f.message,
+                "location": f.location,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _rule_descriptor(entry: LintRule) -> Dict:
+    return {
+        "id": entry.code,
+        "name": _pascal(entry.slug),
+        "shortDescription": {"text": entry.description},
+        "defaultConfiguration": {"level": _LEVELS[entry.default_severity]},
+        "properties": {"slug": entry.slug},
+    }
+
+
+def _pascal(slug: str) -> str:
+    return "".join(part.capitalize() for part in slug.split("-"))
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    workflow: str = "",
+    rules: Optional[Sequence[LintRule]] = None,
+) -> str:
+    """A complete SARIF 2.1.0 document as a JSON string."""
+    catalogue = list(rules) if rules is not None else list(lint_rules())
+    rule_index = {entry.code: i for i, entry in enumerate(catalogue)}
+    results: List[Dict] = []
+    for finding in findings:
+        result: Dict = {
+            "ruleId": finding.code,
+            "level": _LEVELS[finding.severity],
+            "message": {"text": finding.message},
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        if finding.location:
+            result["locations"] = [
+                {
+                    "logicalLocations": [
+                        {
+                            "fullyQualifiedName": (
+                                f"{workflow}.{finding.location}"
+                                if workflow
+                                else finding.location
+                            ),
+                            "kind": "member",
+                        }
+                    ]
+                }
+            ]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-prov-lint",
+                        "informationUri": (
+                            "https://github.com/paper-repro/"
+                            "collection-provenance"
+                        ),
+                        "version": _package_version(),
+                        "rules": [_rule_descriptor(e) for e in catalogue],
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+                "properties": {"workflow": workflow},
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -9,6 +9,8 @@ Subcommands::
     repro-prov bench --experiment fig9 --scale quick
     repro-prov export --workload gk --dot out.dot
     repro-prov stats --db t.db                  sizes + persisted counters
+    repro-prov lint --workload gk --format sarif --output gk.sarif
+    repro-prov check-query --workload gk --query 'lin(<P:Y[0]>, {Q})'
 
 Global flags (before the subcommand):
 
@@ -157,7 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--index", default="", help="dotted index path, e.g. 0.1")
     query.add_argument("--focus", default="", help="comma-separated processors")
     query.add_argument(
-        "--strategy", choices=["naive", "indexproj"], default="indexproj"
+        "--strategy", choices=["naive", "indexproj", "auto"],
+        default="indexproj",
+        help="'auto' picks by the static cost model (repro.analysis)",
     )
     query.add_argument("--flow", help="workflow JSON (required for indexproj)")
     query.add_argument("--workload", choices=sorted(_WORKLOADS))
@@ -229,6 +233,58 @@ def build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument("--index", default="")
     explain_cmd.add_argument("--focus", default="")
     explain_cmd.add_argument("--runs", type=int, default=1)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the workflow lint engine (rule catalogue: docs/ANALYSIS.md)",
+    )
+    lint.add_argument("--workload", choices=sorted(_WORKLOADS))
+    lint.add_argument("--flow", help="workflow JSON file")
+    lint.add_argument("--synthetic-l", type=int)
+    lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        dest="lint_format", help="output format (SARIF 2.1.0 for CI upload)",
+    )
+    lint.add_argument(
+        "--output", help="write the report to a file instead of stdout"
+    )
+    lint.add_argument(
+        "--severity", action="append", default=[], metavar="CODE=LEVEL",
+        help="override a rule's severity, e.g. W004=error (repeatable)",
+    )
+    lint.add_argument(
+        "--suppress", default="", metavar="CODES",
+        help="comma-separated rule codes/slugs to silence, e.g. W002,W006",
+    )
+    lint.add_argument(
+        "--fanout-levels", type=int, default=3,
+        help="iteration level at which W004 starts warning (default 3)",
+    )
+    lint.add_argument(
+        "--fail-on", choices=["error", "warning", "never"], default="error",
+        help="exit non-zero when findings at/above this severity exist",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+    check = sub.add_parser(
+        "check-query",
+        help="statically triage a lineage query (no trace access)",
+    )
+    check.add_argument("--workload", choices=sorted(_WORKLOADS))
+    check.add_argument("--flow", help="workflow JSON file")
+    check.add_argument("--synthetic-l", type=int)
+    check.add_argument(
+        "--query", dest="query_text",
+        help="full query in the paper's notation (overrides --node/--port)",
+    )
+    check.add_argument("--node")
+    check.add_argument("--port")
+    check.add_argument("--index", default="", help="dotted index path")
+    check.add_argument("--focus", default="", help="comma-separated processors")
+    check.add_argument("--runs", type=int, default=1)
     return parser
 
 
@@ -313,7 +369,17 @@ def cmd_query(args: argparse.Namespace) -> int:
         if not run_ids:
             logger.error("store contains no runs")
             return 1
-        if args.strategy == "naive":
+        strategy = args.strategy
+        if strategy == "auto":
+            from repro.analysis.cost import choose_strategy
+            from repro.workflow.depths import propagate_depths
+
+            flow, _, _ = _load_flow(args)
+            strategy = choose_strategy(
+                propagate_depths(flow.flattened()), query, runs=len(run_ids)
+            )
+            logger.info("auto strategy: %s", strategy)
+        if strategy == "naive":
             engine: Any = NaiveEngine(store, obs=obs)
             results = engine.lineage_multirun(run_ids, query)
         else:
@@ -467,6 +533,70 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import LintConfig, lint_rules, run_lint
+    from repro.analysis.sarif import render_json, render_sarif, render_text
+
+    if args.list_rules:
+        for entry in lint_rules():
+            print(f"{entry.code}  {entry.default_severity:7s} "
+                  f"{entry.slug:22s} {entry.description}")
+        return 0
+    severities: Dict[str, str] = {}
+    for override in args.severity:
+        code, _, level = override.partition("=")
+        if not level:
+            raise SystemExit(f"--severity expects CODE=LEVEL, got {override!r}")
+        severities[code] = level
+    config = LintConfig(
+        severities=severities,
+        suppress={c for c in args.suppress.split(",") if c},
+        fanout_levels=args.fanout_levels,
+    )
+    flow, _, _ = _load_flow(args)
+    findings = run_lint(flow.flattened(), config)
+    renderers = {
+        "text": render_text,
+        "json": render_json,
+        "sarif": render_sarif,
+    }
+    report = renderers[args.lint_format](findings, workflow=flow.name)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        logger.info("wrote %d finding(s) to %s", len(findings), args.output)
+    elif report:
+        print(report)
+    if args.fail_on == "never":
+        return 0
+    threshold = ("error",) if args.fail_on == "error" else ("error", "warning")
+    return 1 if any(f.severity in threshold for f in findings) else 0
+
+
+def cmd_check_query(args: argparse.Namespace) -> int:
+    from repro.analysis.cost import explain_plan
+    from repro.workflow.depths import propagate_depths
+
+    if args.query_text:
+        from repro.query.parser import parse_query
+
+        query = parse_query(args.query_text)
+    elif args.node and args.port:
+        focus = [name for name in args.focus.split(",") if name]
+        query = LineageQuery.create(
+            args.node, args.port, Index.decode(args.index), focus
+        )
+    else:
+        raise SystemExit("provide either --query or both --node and --port")
+    flow, _, _ = _load_flow(args)
+    analysis = propagate_depths(flow.flattened())
+    plan = explain_plan(analysis, query, runs=args.runs)
+    print(plan.summary())
+    # Exit codes mirror compilers: 0 = will produce results (or provably
+    # empty, which is still a definitive answer), 2 = rejected.
+    return 2 if plan.report.is_invalid else 0
+
+
 def _finish_profile(args: argparse.Namespace, obs: Observability) -> None:
     """Print the span tree + metrics table; persist/export as requested."""
     print()
@@ -500,6 +630,8 @@ _COMMANDS = {
     "depths": cmd_depths,
     "validate": cmd_validate,
     "explain": cmd_explain,
+    "lint": cmd_lint,
+    "check-query": cmd_check_query,
 }
 
 

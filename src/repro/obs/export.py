@@ -15,7 +15,6 @@ import re
 from typing import Any, Dict, List, Optional
 
 from repro.obs.core import Observability
-from repro.obs.tracer import Span
 
 #: Schema identifier embedded in (and required of) every JSON export.
 SCHEMA_VERSION = "repro.obs/1"

@@ -34,13 +34,19 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.analysis.cost import (
+    PlanExplanation,
+    choose_strategy as _choose_strategy,
+    explain_plan as _explain_plan,
+)
+from repro.analysis.precheck import QueryValidationError, precheck_query
 from repro.engine.executor import WorkflowRunner
 from repro.engine.processors import ProcessorRegistry
 from repro.obs.core import NO_OBS, Observability
 from repro.provenance.capture import capture_run
 from repro.provenance.faults import FaultInjector
 from repro.provenance.store import DuplicateRunError, RetryPolicy, TraceStore
-from repro.query.base import LineageQuery, MultiRunResult
+from repro.query.base import LineageQuery, LineageResult, MultiRunResult
 from repro.query.explain import QueryExplanation, explain as _explain
 from repro.query.impact import ImpactQuery, IndexProjImpactEngine
 from repro.query.indexproj import IndexProjEngine
@@ -171,8 +177,15 @@ class ProvenanceService:
         for name, flow in flows:
             if query.node == name or flow.has_processor(query.node):
                 return name
+        from repro.analysis.precheck import suggest_names
+
+        candidates = [name for name, _ in flows]
+        for _, flow in flows:
+            candidates.extend(flow.processor_names)
+        close = suggest_names(query.node, candidates)
+        hint = f" (did you mean: {', '.join(close)}?)" if close else ""
         raise WorkflowError(
-            f"no registered workflow contains node {query.node!r}"
+            f"no registered workflow contains node {query.node!r}{hint}"
         )
 
     def _as_query(self, query: QueryLike, focus: Iterable[str]) -> LineageQuery:
@@ -185,6 +198,41 @@ class ProvenanceService:
             return parsed
         return query
 
+    def _precheck(
+        self, workflow_name: str, parsed: LineageQuery,
+        runs: Optional[Iterable[str]],
+    ) -> Optional[MultiRunResult]:
+        """Static fast-reject (``repro.analysis``): triage before any read.
+
+        Returns a ready (empty) :class:`MultiRunResult` when the query is
+        provably empty, raises :class:`QueryValidationError` when it is
+        invalid, and returns ``None`` for viable queries.  The empty
+        answer is produced with **zero** trace-store accesses — when the
+        caller did not pin a run scope, ``per_run`` is empty rather than
+        enumerating runs (which would cost a read).
+        """
+        report = precheck_query(
+            self._lineage_engines[workflow_name].analysis, parsed
+        )
+        if self.obs.enabled:
+            self.obs.inc("analysis.precheck_total")
+            self.obs.inc(f"analysis.precheck_{report.verdict}")
+        if report.is_invalid:
+            raise QueryValidationError(report)
+        if not report.is_empty:
+            return None
+        if self.obs.enabled:
+            self.obs.inc("analysis.fast_rejects")
+        scope = list(runs) if runs is not None else []
+        return MultiRunResult(
+            query=parsed,
+            per_run={
+                run_id: LineageResult(query=parsed, run_id=run_id, bindings=[])
+                for run_id in scope
+            },
+            wall_seconds=0.0,
+        )
+
     def lineage(
         self,
         query: QueryLike,
@@ -193,6 +241,7 @@ class ProvenanceService:
         focus: Iterable[str] = (),
         batched: bool = False,
         workers: Optional[int] = None,
+        precheck: bool = True,
     ) -> MultiRunResult:
         """Answer a lineage query over ``runs`` (default: every stored run
         of the owning workflow).
@@ -200,10 +249,32 @@ class ProvenanceService:
         ``workers > 1`` fans the per-run trace lookups across a thread
         pool sharing the single cached plan (INDEXPROJ only) — identical
         answers, lower wall-clock on file-backed stores with many runs.
+
+        ``strategy`` may be ``"indexproj"``, ``"naive"``, or ``"auto"``
+        (pick by the static cost model, :mod:`repro.analysis.cost`).
+
+        With ``precheck`` (the default), the query is first triaged on
+        the workflow specification alone: queries with unresolvable names
+        raise :class:`~repro.analysis.precheck.QueryValidationError` with
+        did-you-mean suggestions, and provably-empty queries (no dataflow
+        path from any focus processor to the binding) return their empty
+        answer without a single trace read.
         """
         parsed = self._as_query(query, focus)
         workflow_name = self._owning_workflow(parsed)
+        if precheck:
+            rejected = self._precheck(workflow_name, parsed, runs)
+            if rejected is not None:
+                return rejected
         scope = list(runs) if runs is not None else self.runs_of(workflow_name)
+        if strategy == "auto":
+            strategy = _choose_strategy(
+                self._lineage_engines[workflow_name].analysis,
+                parsed,
+                runs=len(scope),
+            )
+            if self.obs.enabled:
+                self.obs.inc(f"analysis.auto_{strategy}")
         if strategy == "naive":
             return self._naive.lineage_multirun(scope, parsed)
         engine = self._lineage_engines[workflow_name]
@@ -222,6 +293,7 @@ class ProvenanceService:
         runs: Optional[Iterable[str]] = None,
         strategy: str = "indexproj",
         focus: Iterable[str] = (),
+        precheck: bool = True,
     ) -> List[MultiRunResult]:
         """Answer many lineage queries concurrently.
 
@@ -239,14 +311,18 @@ class ProvenanceService:
         workers = max(1, min(max_workers, len(query_list)))
         if workers == 1:
             return [
-                self.lineage(q, runs=scope, strategy=strategy, focus=focus)
+                self.lineage(
+                    q, runs=scope, strategy=strategy, focus=focus,
+                    precheck=precheck,
+                )
                 for q in query_list
             ]
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(
                 pool.map(
                     lambda q: self.lineage(
-                        q, runs=scope, strategy=strategy, focus=focus
+                        q, runs=scope, strategy=strategy, focus=focus,
+                        precheck=precheck,
                     ),
                     query_list,
                 )
@@ -277,6 +353,22 @@ class ProvenanceService:
             1, len(self.runs_of(workflow_name))
         )
         return _explain(
+            self._lineage_engines[workflow_name].analysis, parsed, run_count
+        )
+
+    def explain_plan(
+        self, query: QueryLike, runs: Optional[int] = None,
+        focus: Iterable[str] = (),
+    ) -> PlanExplanation:
+        """Full static plan: pre-check verdict, cost model, auto strategy,
+        and the exact INDEXPROJ trace lookups — all without trace access
+        (run count defaults to the stored-run count, which does read)."""
+        parsed = self._as_query(query, focus)
+        workflow_name = self._owning_workflow(parsed)
+        run_count = runs if runs is not None else max(
+            1, len(self.runs_of(workflow_name))
+        )
+        return _explain_plan(
             self._lineage_engines[workflow_name].analysis, parsed, run_count
         )
 

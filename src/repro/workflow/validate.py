@@ -6,23 +6,35 @@ adds whole-graph checks that need a global view:
 * acyclicity (the dataflow model is a DAG);
 * type compatibility along arcs — base types must match, and depth
   differences are legal only where the iteration/wrapping model repairs
-  them (any difference is technically executable, but a *negative* source
-  depth below zero is impossible, so only base-type conflicts are errors;
-  depth mismatches are reported as warnings for the designer);
+  them (any difference is technically executable, but a *negative*
+  mismatch means values shallower than declared reach the port and are
+  repaired by singleton wrapping, so only base-type conflicts are errors;
+  negative depth mismatches are reported as warnings for the designer);
+* iteration-strategy consistency — a ``dot`` combinator whose ports
+  disagree on their positive mismatch can never execute (Def. 3);
 * reachability — processors whose outputs can never influence a workflow
   output are flagged (dead code in the workflow);
 * unbound mandatory inputs — inputs with no incoming arc are allowed by the
   model (they take defaults, Section 2.1 footnote 5) but are reported so
   designers can confirm the default is intended.
+
+The checks themselves are rules of the :mod:`repro.analysis.lint` engine;
+this module is the stable legacy façade over the subset above, keeping the
+historical issue codes (``cycle``, ``base-type-conflict``, ``unreachable``,
+``unbound-input``, ``depth-mismatch``, ``dot-mismatch-conflict``).  Because
+the lint engine is *total*, a cycle no longer short-circuits the remaining
+checks: every cycle-independent finding is reported alongside it.  The
+full rule catalogue (fan-out estimates, shadowed arcs, unused outputs,
+severity configuration, SARIF export) is available through
+:func:`repro.analysis.lint.run_lint` and ``repro-prov lint``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set
+from typing import List
 
-from repro.workflow.model import Dataflow, PortRef, WorkflowError
-from repro.workflow.visit import topological_sort
+from repro.workflow.model import Dataflow, WorkflowError
 
 
 @dataclass(frozen=True)
@@ -40,12 +52,15 @@ class ValidationIssue:
 
 def validate(flow: Dataflow) -> List[ValidationIssue]:
     """Run every check; return all findings (possibly empty)."""
+    from repro.analysis.lint import LEGACY_CODES, run_lint
+
     issues: List[ValidationIssue] = []
-    issues.extend(_check_acyclic(flow))
-    if not any(issue.is_error for issue in issues):
-        issues.extend(_check_types(flow))
-        issues.extend(_check_reachability(flow))
-        issues.extend(_check_unbound_inputs(flow))
+    for finding in run_lint(flow, only=LEGACY_CODES.keys()):
+        issues.append(
+            ValidationIssue(
+                finding.severity, LEGACY_CODES[finding.code], finding.message
+            )
+        )
     return issues
 
 
@@ -55,96 +70,3 @@ def check_valid(flow: Dataflow) -> None:
     if errors:
         details = "; ".join(issue.message for issue in errors)
         raise WorkflowError(f"dataflow {flow.name!r} is invalid: {details}")
-
-
-def _check_acyclic(flow: Dataflow) -> List[ValidationIssue]:
-    try:
-        topological_sort(flow)
-    except WorkflowError as exc:
-        return [ValidationIssue("error", "cycle", str(exc))]
-    return []
-
-
-def _check_types(flow: Dataflow) -> List[ValidationIssue]:
-    issues: List[ValidationIssue] = []
-    for arc in flow.arcs:
-        source_type = _port_type(flow, arc.source)
-        sink_type = _port_type(flow, arc.sink)
-        if source_type.base() != sink_type.base():
-            issues.append(
-                ValidationIssue(
-                    "error",
-                    "base-type-conflict",
-                    f"arc {arc}: base type {source_type.base().name!r} does not "
-                    f"match {sink_type.base().name!r}",
-                )
-            )
-    return issues
-
-
-def _port_type(flow: Dataflow, ref: PortRef):
-    if ref.node == flow.name:
-        for port in flow.inputs + flow.outputs:
-            if port.name == ref.port:
-                return port.type
-        raise WorkflowError(f"unknown workflow port {ref}")
-    processor = flow.processor(ref.node)
-    for port in processor.inputs + processor.outputs:
-        if port.name == ref.port:
-            return port.type
-    raise WorkflowError(f"unknown port {ref}")
-
-
-def _check_reachability(flow: Dataflow) -> List[ValidationIssue]:
-    # Walk upstream from every workflow output; processors never touched
-    # cannot contribute to any result.
-    reaching: Set[str] = set()
-    frontier: List[PortRef] = [
-        PortRef(flow.name, p.name) for p in flow.outputs
-    ]
-    visited: Set[PortRef] = set()
-    while frontier:
-        ref = frontier.pop()
-        if ref in visited:
-            continue
-        visited.add(ref)
-        if ref.node != flow.name:
-            reaching.add(ref.node)
-            processor = flow.processor(ref.node)
-            if processor.has_output(ref.port):
-                frontier.extend(
-                    PortRef(processor.name, p.name) for p in processor.inputs
-                )
-                continue
-        arc = flow.incoming_arc(ref)
-        if arc is not None:
-            frontier.append(arc.source)
-    issues = []
-    for processor in flow.processors:
-        if processor.name not in reaching:
-            issues.append(
-                ValidationIssue(
-                    "warning",
-                    "unreachable",
-                    f"processor {processor.name!r} cannot influence any "
-                    "workflow output",
-                )
-            )
-    return issues
-
-
-def _check_unbound_inputs(flow: Dataflow) -> List[ValidationIssue]:
-    issues = []
-    for processor in flow.processors:
-        for port in processor.inputs:
-            ref = PortRef(processor.name, port.name)
-            if flow.incoming_arc(ref) is None:
-                issues.append(
-                    ValidationIssue(
-                        "warning",
-                        "unbound-input",
-                        f"input {ref} has no incoming arc and will use its "
-                        "default value",
-                    )
-                )
-    return issues

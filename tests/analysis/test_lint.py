@@ -1,0 +1,247 @@
+"""Tests for the workflow lint engine (repro.analysis.lint)."""
+
+import pytest
+
+from repro.analysis.lint import (
+    LEGACY_CODES,
+    Finding,
+    LintConfig,
+    lint_rules,
+    rule,
+    run_lint,
+)
+from repro.values.types import STRING
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.model import Dataflow, PortRef, PortSpec, Processor
+
+from tests.conftest import build_diamond_workflow
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def build_cyclic_flow() -> Dataflow:
+    flow = Dataflow("cyc")
+    for name in ("A", "B"):
+        flow.add_processor(
+            Processor(name, [PortSpec("x", STRING)],
+                      [PortSpec("y", STRING)], operation="identity")
+        )
+    flow.add_arc(PortRef("A", "y"), PortRef("B", "x"))
+    flow.add_arc(PortRef("B", "y"), PortRef("A", "x"))
+    return flow
+
+
+class TestRegistry:
+    def test_all_builtin_rules_are_registered(self):
+        assert codes(()) == []
+        assert [entry.code for entry in lint_rules()] == [
+            "E001", "E002", "E003",
+            "W001", "W002", "W003", "W004", "W005", "W006",
+        ]
+
+    def test_rule_metadata_is_complete(self):
+        for entry in lint_rules():
+            assert entry.slug
+            assert entry.description
+            assert entry.default_severity in ("error", "warning", "note")
+
+    def test_duplicate_code_is_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            rule("E001", "again", "error", "clash")(lambda context: ())
+
+    def test_unknown_severity_is_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            rule("X999", "bogus", "fatal", "nope")
+
+    def test_legacy_codes_all_exist(self):
+        registered = {entry.code for entry in lint_rules()}
+        assert set(LEGACY_CODES) <= registered
+
+
+class TestRunLint:
+    def test_clean_workflow_has_no_findings(self):
+        assert run_lint(build_diamond_workflow()) == []
+
+    def test_only_filter_by_code_and_slug(self):
+        flow = build_cyclic_flow()
+        assert codes(run_lint(flow, only=["E001"])) == ["E001"]
+        assert codes(run_lint(flow, only=["cycle"])) == ["E001"]
+
+    def test_findings_are_sorted_errors_first(self):
+        flow = build_cyclic_flow()
+        findings = run_lint(flow)
+        severities = [f.severity for f in findings]
+        assert severities == sorted(
+            severities, key=["error", "warning", "note"].index
+        )
+
+    def test_render_mentions_code_rule_and_location(self):
+        finding = Finding("W002", "unbound-input", "warning", "msg", "P:x")
+        text = finding.render()
+        assert "W002" in text and "unbound-input" in text and "P:x" in text
+
+
+class TestConfig:
+    def test_severity_override_by_code(self):
+        flow = build_cyclic_flow()
+        config = LintConfig(severities={"W001": "error"})
+        findings = run_lint(flow, config, only=["W001"])
+        assert findings and all(f.severity == "error" for f in findings)
+
+    def test_severity_override_by_slug(self):
+        flow = build_cyclic_flow()
+        config = LintConfig(severities={"unreachable": "note"})
+        findings = run_lint(flow, config, only=["W001"])
+        assert findings and all(f.severity == "note" for f in findings)
+
+    def test_unknown_override_level_raises(self):
+        config = LintConfig(severities={"W001": "fatal"})
+        with pytest.raises(ValueError, match="unknown severity"):
+            run_lint(build_cyclic_flow(), config)
+
+    def test_suppress_by_code(self):
+        flow = build_cyclic_flow()
+        config = LintConfig(suppress={"W001"})
+        assert "W001" not in codes(run_lint(flow, config))
+
+    def test_suppress_by_slug(self):
+        flow = build_cyclic_flow()
+        config = LintConfig(suppress={"cycle"})
+        assert "E001" not in codes(run_lint(flow, config))
+
+
+class TestTotality:
+    def test_cycle_still_reports_reachability(self):
+        findings = run_lint(build_cyclic_flow())
+        assert "E001" in codes(findings)
+        assert codes(findings).count("W001") == 2
+
+    def test_nodes_downstream_of_cycle_are_skipped_not_crashed(self):
+        flow = build_cyclic_flow()
+        flow.add_processor(
+            Processor("C", [PortSpec("x", STRING)],
+                      [PortSpec("y", STRING)], operation="identity")
+        )
+        # C's input depends on the cycle: its depths are undeterminable,
+        # so depth-based rules must skip it without raising.
+        flow.add_arc(PortRef("A", "y"), PortRef("C", "x"))
+        findings = run_lint(flow)
+        assert "E001" in codes(findings)
+        assert not any(f.code == "W003" and "C" in f.location for f in findings)
+
+    def test_self_loop_is_a_cycle(self):
+        flow = Dataflow("selfy")
+        flow.add_processor(
+            Processor("P", [PortSpec("x", STRING)],
+                      [PortSpec("y", STRING)], operation="identity")
+        )
+        flow.add_arc(PortRef("P", "y"), PortRef("P", "x"))
+        assert "E001" in codes(run_lint(flow))
+
+
+class TestDepthRules:
+    def test_w003_negative_mismatch(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "string")
+            .output("out", "list(string)")
+            .processor("P", inputs=[("x", "list(string)")],
+                       outputs=[("y", "list(string)")], operation="identity")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        findings = run_lint(flow, only=["W003"])
+        assert codes(findings) == ["W003"]
+        assert findings[0].location == "P:x"
+        assert "delta_s = -1" in findings[0].message
+
+    def test_e003_dot_conflict(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(string)")
+            .input("b", "list(list(string))")
+            .output("out", "list(list(string))")
+            .processor("P",
+                       inputs=[("x", "string"), ("y", "string")],
+                       outputs=[("z", "string")],
+                       operation="concat_pair", iteration="dot")
+            .arc("wf:a", "P:x")
+            .arc("wf:b", "P:y")
+            .arc("P:z", "wf:out")
+            .build()
+        )
+        findings = run_lint(flow, only=["E003"])
+        assert codes(findings) == ["E003"]
+        assert findings[0].location == "P"
+
+    def test_w004_fanout_at_threshold(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(list(list(string)))")
+            .output("out", "list(list(list(string)))")
+            .processor("P", inputs=[("x", "string")],
+                       outputs=[("y", "string")], operation="identity")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        findings = run_lint(flow, only=["W004"])
+        assert codes(findings) == ["W004"]
+        assert "d^3" in findings[0].message
+
+    def test_w004_respects_configured_threshold(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(list(list(string)))")
+            .output("out", "list(list(list(string)))")
+            .processor("P", inputs=[("x", "string")],
+                       outputs=[("y", "string")], operation="identity")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        config = LintConfig(fanout_levels=4)
+        assert run_lint(flow, config, only=["W004"]) == []
+
+
+class TestStructuralRules:
+    def test_w005_shadowed_arc(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(string)")
+            .output("out", "list(list(string))")
+            .processor("F",
+                       inputs=[("x", "string"), ("y", "string")],
+                       outputs=[("z", "string")],
+                       operation="concat_pair")
+            .arc("wf:a", "F:x")
+            .arc("wf:a", "F:y")
+            .arc("F:z", "wf:out")
+            .build()
+        )
+        findings = run_lint(flow, only=["W005"])
+        assert codes(findings) == ["W005"]
+        assert "wf:a" in findings[0].message
+
+    def test_w006_unused_output(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "string")
+            .output("out", "string")
+            .processor("P", inputs=[("x", "string")],
+                       outputs=[("y", "string"), ("aux", "string")],
+                       operation="identity")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        findings = run_lint(flow, only=["W006"])
+        assert codes(findings) == ["W006"]
+        assert findings[0].location == "P:aux"
+
+    def test_diamond_fanout_is_not_shadowed(self):
+        # GEN:list feeds A and B — different processors, not the same one.
+        assert run_lint(build_diamond_workflow(), only=["W005"]) == []

@@ -1,0 +1,172 @@
+"""Tests for the lineage-query pre-checker (repro.analysis.precheck)."""
+
+import pytest
+
+from repro.analysis.precheck import (
+    PrecheckReport,
+    QueryValidationError,
+    precheck_query,
+    suggest_names,
+    upstream_processors,
+)
+from repro.query.base import LineageQuery
+from repro.workflow.depths import propagate_depths
+from repro.workflow.model import PortRef
+
+from tests.conftest import build_diamond_workflow, build_fig3_workflow
+
+
+@pytest.fixture
+def diamond_analysis():
+    return propagate_depths(build_diamond_workflow())
+
+
+def q(node, port, index=(), focus=()):
+    return LineageQuery.create(node, port, index, focus)
+
+
+class TestSuggestNames:
+    def test_close_match_is_suggested(self):
+        assert "GEN" in suggest_names("GNE", ["GEN", "A", "B", "F"])
+
+    def test_suggestions_are_bounded(self):
+        names = [f"P{i}" for i in range(10)]
+        assert len(suggest_names("P", names, limit=3)) <= 3
+
+    def test_no_match_is_empty(self):
+        assert suggest_names("zzzzz", ["GEN", "A"]) == ()
+
+
+class TestUpstreamProcessors:
+    def test_workflow_output_sees_everything(self, diamond_analysis):
+        flow = diamond_analysis.flow
+        assert upstream_processors(flow, PortRef("wf", "out")) == {
+            "GEN", "A", "B", "F",
+        }
+
+    def test_branch_output_sees_only_its_chain(self, diamond_analysis):
+        flow = diamond_analysis.flow
+        assert upstream_processors(flow, PortRef("A", "y")) == {"GEN", "A"}
+
+    def test_source_input_port_sees_nothing(self, diamond_analysis):
+        flow = diamond_analysis.flow
+        assert upstream_processors(flow, PortRef("GEN", "size")) == frozenset()
+
+    def test_fig3_partial_closure(self):
+        flow = build_fig3_workflow()
+        # P's inputs are fed by Q, R, and workflow inputs; Q's output only
+        # by Q itself.
+        assert upstream_processors(flow, PortRef("fig3", "out")) == {
+            "P", "Q", "R",
+        }
+        assert upstream_processors(flow, PortRef("Q", "Y")) == {"Q"}
+
+
+class TestVerdicts:
+    def test_reachable_focus_is_viable(self, diamond_analysis):
+        report = precheck_query(
+            diamond_analysis, q("wf", "out", (0, 1), ("A", "B"))
+        )
+        assert report.is_viable
+        assert report.reachable_focus == {"A", "B"}
+
+    def test_partially_reachable_focus_is_viable(self, diamond_analysis):
+        # F is NOT upstream of A:y, but A is — so the query can still
+        # produce A's bindings.
+        report = precheck_query(diamond_analysis, q("A", "y", (0,), ("A", "F")))
+        assert report.is_viable
+        assert report.reachable_focus == {"A"}
+
+    def test_empty_focus_is_provably_empty(self, diamond_analysis):
+        report = precheck_query(diamond_analysis, q("wf", "out", (0, 0)))
+        assert report.is_empty
+        assert "focus set is empty" in report.reasons[0]
+
+    def test_disconnected_focus_is_provably_empty(self, diamond_analysis):
+        # F consumes A's output: it is downstream, never upstream, of A:y.
+        report = precheck_query(diamond_analysis, q("A", "y", (0,), ("F",)))
+        assert report.is_empty
+        assert report.reachable_focus == frozenset()
+        assert "no dataflow path" in report.reasons[0]
+
+    def test_sibling_branch_is_provably_empty(self, diamond_analysis):
+        # B is on the other branch of the diamond; no path into A:y.
+        report = precheck_query(diamond_analysis, q("A", "y", (), ("B",)))
+        assert report.is_empty
+
+
+class TestInvalidQueries:
+    def test_unknown_node_with_suggestion(self, diamond_analysis):
+        report = precheck_query(diamond_analysis, q("GNE", "list", (), ("A",)))
+        assert report.is_invalid
+        issue = report.issues[0]
+        assert issue.kind == "unknown-node"
+        assert "GEN" in issue.suggestions
+
+    def test_unknown_port_with_suggestion(self, diamond_analysis):
+        report = precheck_query(diamond_analysis, q("GEN", "lst", (), ("A",)))
+        assert report.is_invalid
+        issue = report.issues[0]
+        assert issue.kind == "unknown-port"
+        assert "list" in issue.suggestions
+
+    def test_unknown_focus_collects_every_bad_name(self, diamond_analysis):
+        report = precheck_query(
+            diamond_analysis, q("wf", "out", (), ("A", "ghost", "phantom"))
+        )
+        assert report.is_invalid
+        kinds = [issue.kind for issue in report.issues]
+        assert kinds == ["unknown-focus", "unknown-focus"]
+
+    def test_index_too_deep_is_invalid(self, diamond_analysis):
+        # wf:out carries 2-deep lists; a 4-position accessor is impossible.
+        report = precheck_query(
+            diamond_analysis, q("wf", "out", (0, 1, 2, 3), ("A",))
+        )
+        assert report.is_invalid
+        issue = report.issues[0]
+        assert issue.kind == "index-too-deep"
+        assert issue.suggestions == ("[0.1]",)
+
+    def test_index_at_exact_depth_is_fine(self, diamond_analysis):
+        report = precheck_query(
+            diamond_analysis, q("wf", "out", (0, 1), ("A",))
+        )
+        assert not report.is_invalid
+
+    def test_index_on_atomic_port_suggests_empty(self, diamond_analysis):
+        report = precheck_query(
+            diamond_analysis, q("GEN", "size", (0,), ("A",))
+        )
+        assert report.is_invalid
+        assert report.issues[0].suggestions == ("[]",)
+
+    def test_error_carries_the_report(self, diamond_analysis):
+        report = precheck_query(diamond_analysis, q("GNE", "list", (), ("A",)))
+        error = QueryValidationError(report)
+        assert error.report is report
+        assert "GNE" in str(error)
+
+
+class TestReportRendering:
+    def test_summary_shows_suggestions(self, diamond_analysis):
+        report = precheck_query(diamond_analysis, q("GNE", "list", (), ("A",)))
+        text = report.summary()
+        assert "invalid" in text
+        assert "did you mean" in text
+        assert "GEN" in text
+
+    def test_summary_shows_empty_proof(self, diamond_analysis):
+        report = precheck_query(diamond_analysis, q("A", "y", (), ("F",)))
+        assert "because:" in report.summary()
+
+    def test_verdict_properties_are_exclusive(self, diamond_analysis):
+        for query in (
+            q("wf", "out", (), ("A",)),
+            q("A", "y", (), ("F",)),
+            q("ghost", "out", (), ("A",)),
+        ):
+            report = precheck_query(diamond_analysis, query)
+            assert isinstance(report, PrecheckReport)
+            flags = [report.is_invalid, report.is_empty, report.is_viable]
+            assert flags.count(True) == 1

@@ -1,0 +1,223 @@
+"""Tests for the finding exporters (repro.analysis.sarif).
+
+The SARIF output is validated against an embedded subset of the official
+2.1.0 schema (the full OASIS schema is ~500 KB; the subset pins down the
+required shape: version, tool.driver with a rule catalogue, results with
+ruleId/level/message and logical locations).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import Finding, lint_rules, run_lint
+from repro.analysis.sarif import (
+    SARIF_VERSION,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.workflow.builder import DataflowBuilder
+
+jsonschema = pytest.importorskip("jsonschema")
+
+
+#: The load-bearing subset of the SARIF 2.1.0 schema.
+SARIF_SCHEMA_SUBSET = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string", "format": "uri"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "error",
+                                                                "warning",
+                                                                "note",
+                                                                "none",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer", "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": [
+                                        "error", "warning", "note", "none",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "logicalLocations": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "fullyQualifiedName": {
+                                                            "type": "string"
+                                                        },
+                                                        "kind": {
+                                                            "type": "string"
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def build_messy_flow():
+    """Cycle + unbound input + unused output: a spread of severities."""
+    return (
+        DataflowBuilder("messy")
+        .input("a", "string")
+        .output("out", "string")
+        .processor("P", inputs=[("x", "string")],
+                   outputs=[("y", "string"), ("aux", "string")],
+                   operation="identity")
+        .processor("Q", inputs=[("x", "string")], outputs=[("y", "string")],
+                   operation="identity")
+        .arc("messy:a", "P:x")
+        .arc("P:y", "messy:out")
+        .build()
+    )
+
+
+@pytest.fixture
+def findings():
+    result = run_lint(build_messy_flow())
+    assert result  # the fixture flow must actually be messy
+    return result
+
+
+class TestTextAndJson:
+    def test_text_one_line_per_finding(self, findings):
+        lines = render_text(findings).splitlines()
+        assert len(lines) == len(findings)
+
+    def test_text_clean_run_names_the_workflow(self):
+        assert "clean" in render_text([], workflow="clean")
+
+    def test_json_roundtrip(self, findings):
+        document = json.loads(render_json(findings, workflow="messy"))
+        assert document["schema"] == "repro.analysis/1"
+        assert document["workflow"] == "messy"
+        assert len(document["findings"]) == len(findings)
+        first = document["findings"][0]
+        assert set(first) == {
+            "code", "rule", "severity", "message", "location",
+        }
+
+
+class TestSarif:
+    def test_validates_against_schema_subset(self, findings):
+        document = json.loads(render_sarif(findings, workflow="messy"))
+        jsonschema.validate(document, SARIF_SCHEMA_SUBSET)
+
+    def test_empty_report_still_validates(self):
+        document = json.loads(render_sarif([], workflow="clean"))
+        jsonschema.validate(document, SARIF_SCHEMA_SUBSET)
+        assert document["runs"][0]["results"] == []
+
+    def test_version_and_schema_uri(self, findings):
+        document = json.loads(render_sarif(findings))
+        assert document["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0" in document["$schema"]
+
+    def test_driver_carries_the_full_rule_catalogue(self, findings):
+        document = json.loads(render_sarif(findings))
+        driver = document["runs"][0]["tool"]["driver"]
+        assert [entry["id"] for entry in driver["rules"]] == [
+            entry.code for entry in lint_rules()
+        ]
+
+    def test_rule_index_points_at_the_right_rule(self, findings):
+        document = json.loads(render_sarif(findings))
+        run = document["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_logical_locations_are_workflow_qualified(self, findings):
+        document = json.loads(render_sarif(findings, workflow="messy"))
+        located = [
+            r for r in document["runs"][0]["results"] if "locations" in r
+        ]
+        assert located
+        for result in located:
+            name = result["locations"][0]["logicalLocations"][0][
+                "fullyQualifiedName"
+            ]
+            assert name.startswith("messy.")
+
+    def test_severity_maps_to_sarif_level(self):
+        findings = [
+            Finding("E001", "cycle", "error", "boom"),
+            Finding("W002", "unbound-input", "warning", "eh"),
+            Finding("W006", "unused-output", "note", "meh"),
+        ]
+        document = json.loads(render_sarif(findings))
+        levels = [r["level"] for r in document["runs"][0]["results"]]
+        assert levels == ["error", "warning", "note"]

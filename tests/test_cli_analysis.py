@@ -1,0 +1,168 @@
+"""End-to-end tests for the analysis CLI commands (lint, check-query)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workflow import serialize
+from repro.workflow.builder import DataflowBuilder
+
+from tests.conftest import build_diamond_workflow
+
+
+def build_warned_flow():
+    """One finding only: P:x is unbound (W002)."""
+    return (
+        DataflowBuilder("wf")
+        .output("out", "string")
+        .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                   operation="identity")
+        .arc("P:y", "wf:out")
+        .build()
+    )
+
+
+@pytest.fixture
+def clean_flow_file(tmp_path):
+    path = str(tmp_path / "clean.json")
+    serialize.save(build_diamond_workflow(), path)
+    return path
+
+
+@pytest.fixture
+def warned_flow_file(tmp_path):
+    path = str(tmp_path / "warned.json")
+    serialize.save(build_warned_flow(), path)
+    return path
+
+
+class TestLintCommand:
+    def test_clean_flow_exits_zero(self, clean_flow_file, capsys):
+        assert main(["lint", "--flow", clean_flow_file]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "E001" in out and "W006" in out and "cycle" in out
+
+    def test_warnings_pass_under_default_fail_on(self, warned_flow_file,
+                                                 capsys):
+        assert main(["lint", "--flow", warned_flow_file]) == 0
+        assert "W002" in capsys.readouterr().out
+
+    def test_fail_on_warning(self, warned_flow_file):
+        assert main(
+            ["lint", "--flow", warned_flow_file, "--fail-on", "warning"]
+        ) == 1
+
+    def test_fail_on_never(self, warned_flow_file):
+        assert main(
+            ["lint", "--flow", warned_flow_file, "--fail-on", "never"]
+        ) == 0
+
+    def test_severity_promotion_fails_the_run(self, warned_flow_file):
+        assert main(
+            ["lint", "--flow", warned_flow_file, "--severity", "W002=error"]
+        ) == 1
+
+    def test_bad_severity_syntax_exits(self, warned_flow_file):
+        with pytest.raises(SystemExit):
+            main(["lint", "--flow", warned_flow_file, "--severity", "W002"])
+
+    def test_suppress_silences_the_rule(self, warned_flow_file, capsys):
+        assert main(
+            ["lint", "--flow", warned_flow_file, "--suppress", "W002",
+             "--fail-on", "warning"]
+        ) == 0
+        assert "W002" not in capsys.readouterr().out
+
+    def test_json_format(self, warned_flow_file, capsys):
+        assert main(
+            ["lint", "--flow", warned_flow_file, "--format", "json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.analysis/1"
+        assert [f["code"] for f in document["findings"]] == ["W002"]
+
+    def test_sarif_written_to_file(self, warned_flow_file, tmp_path):
+        out_path = tmp_path / "report.sarif"
+        assert main(
+            ["lint", "--flow", warned_flow_file, "--format", "sarif",
+             "--output", str(out_path)]
+        ) == 0
+        document = json.loads(out_path.read_text())
+        assert document["version"] == "2.1.0"
+        assert [
+            r["ruleId"] for r in document["runs"][0]["results"]
+        ] == ["W002"]
+
+    def test_lint_workload(self, capsys):
+        assert main(["lint", "--workload", "gk", "--fail-on", "never"]) == 0
+
+    def test_lint_synthetic(self, capsys):
+        assert main(["lint", "--synthetic-l", "2", "--fail-on", "error"]) == 0
+
+
+class TestCheckQueryCommand:
+    def test_viable_query(self, clean_flow_file, capsys):
+        assert main(
+            ["check-query", "--flow", clean_flow_file,
+             "--query", "lin(<wf:out[0.1]>, {A, B})"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "viable" in out
+        assert "auto strategy: indexproj" in out
+
+    def test_provably_empty_query(self, clean_flow_file, capsys):
+        assert main(
+            ["check-query", "--flow", clean_flow_file,
+             "--query", "lin(<A:y[0]>, {F})"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "empty" in out
+        assert "0 trace lookups" in out
+
+    def test_invalid_query_exits_two(self, clean_flow_file, capsys):
+        assert main(
+            ["check-query", "--flow", clean_flow_file,
+             "--query", "lin(<GNE:list[0]>, {A})"]
+        ) == 2
+        assert "did you mean" in capsys.readouterr().out
+
+    def test_node_port_spelling(self, clean_flow_file, capsys):
+        assert main(
+            ["check-query", "--flow", clean_flow_file, "--node", "wf",
+             "--port", "out", "--index", "0.1", "--focus", "A,B"]
+        ) == 0
+        assert "viable" in capsys.readouterr().out
+
+    def test_missing_query_spec_exits(self, clean_flow_file):
+        with pytest.raises(SystemExit):
+            main(["check-query", "--flow", clean_flow_file])
+
+    def test_synthetic_flow(self, capsys):
+        assert main(
+            ["check-query", "--synthetic-l", "2", "--node", "synthetic_l2",
+             "--port", "out", "--index", "0",
+             "--focus", "LISTGEN_1"]
+        ) == 0
+
+
+class TestQueryAutoStrategy:
+    @pytest.fixture
+    def populated_db(self, tmp_path):
+        db = str(tmp_path / "t.db")
+        main(["run", "--synthetic-l", "2", "--synthetic-d", "3", "--db", db])
+        return db
+
+    def test_auto_strategy_query(self, populated_db, capsys):
+        capsys.readouterr()
+        assert main(
+            ["query", "--db", populated_db, "--node", "2TO1_FINAL",
+             "--port", "y", "--index", "0.0",
+             "--focus", "LISTGEN_1", "--synthetic-l", "2",
+             "--strategy", "auto"]
+        ) == 0
+        assert "run " in capsys.readouterr().out

@@ -1,0 +1,151 @@
+"""Service-level tests for the static-analysis integration.
+
+The load-bearing acceptance claim lives here: a provably-empty lineage
+query is answered by the pre-checker with **zero** trace-store reads,
+visible in the observability counters.
+"""
+
+import pytest
+
+from repro.analysis.cost import PlanExplanation
+from repro.analysis.precheck import QueryValidationError
+from repro.obs.core import Observability
+from repro.service import ProvenanceService
+from repro.workflow.model import WorkflowError
+
+from tests.conftest import build_diamond_workflow
+
+
+@pytest.fixture
+def obs():
+    return Observability()
+
+
+@pytest.fixture
+def service(obs):
+    with ProvenanceService(obs=obs) as svc:
+        svc.register_workflow(build_diamond_workflow())
+        yield svc
+
+
+class TestFastReject:
+    def test_provably_empty_query_reads_nothing(self, service, obs):
+        service.run("wf", {"size": 2})
+        reads_before = obs.counter_value("store.reads")
+        # F consumes A's output: it can never be upstream of A:y.
+        result = service.lineage("lin(<A:y[0]>, {F})")
+        snapshot = service.metrics_snapshot()
+        assert snapshot["counters"]["store.reads"] == reads_before
+        assert result.per_run == {}
+        assert result.wall_seconds == 0.0
+
+    def test_pinned_runs_get_empty_answers(self, service):
+        run_id = service.run("wf", {"size": 2})
+        result = service.lineage("lin(<A:y[0]>, {F})", runs=[run_id])
+        assert set(result.per_run) == {run_id}
+        assert result.per_run[run_id].bindings == []
+
+    def test_fast_reject_counters(self, service, obs):
+        service.run("wf", {"size": 2})
+        service.lineage("lin(<A:y[0]>, {F})")
+        assert obs.counter_value("analysis.precheck_total") == 1
+        assert obs.counter_value("analysis.precheck_empty") == 1
+        assert obs.counter_value("analysis.fast_rejects") == 1
+
+    def test_viable_query_is_counted_not_rejected(self, service, obs):
+        run_id = service.run("wf", {"size": 2})
+        result = service.lineage("lin(<wf:out[0.1]>, {A, B})")
+        assert obs.counter_value("analysis.precheck_viable") == 1
+        assert obs.counter_value("analysis.fast_rejects") == 0
+        assert sorted(b.key() for b in result.per_run[run_id].bindings) == [
+            ("A", "x", "0"), ("B", "x", "1"),
+        ]
+
+    def test_precheck_false_bypasses_the_triage(self, service, obs):
+        run_id = service.run("wf", {"size": 2})
+        result = service.lineage("lin(<A:y[0]>, {F})", precheck=False)
+        assert obs.counter_value("analysis.precheck_total") == 0
+        # The engines agree the answer is empty — just more expensively.
+        assert result.per_run[run_id].bindings == []
+
+    def test_empty_answer_agrees_with_execution(self, service):
+        run_id = service.run("wf", {"size": 2})
+        fast = service.lineage("lin(<A:y[0]>, {F})", runs=[run_id])
+        slow = service.lineage(
+            "lin(<A:y[0]>, {F})", runs=[run_id], precheck=False
+        )
+        assert fast.per_run[run_id].bindings == slow.per_run[run_id].bindings
+
+
+class TestInvalidQueries:
+    def test_unknown_port_raises_with_suggestions(self, service, obs):
+        service.run("wf", {"size": 2})
+        with pytest.raises(QueryValidationError) as excinfo:
+            service.lineage("lin(<GEN:lst[0]>, {A})")
+        report = excinfo.value.report
+        assert report.issues[0].kind == "unknown-port"
+        assert "list" in report.issues[0].suggestions
+        assert obs.counter_value("analysis.precheck_invalid") == 1
+
+    def test_index_too_deep_raises(self, service):
+        service.run("wf", {"size": 2})
+        with pytest.raises(QueryValidationError, match="index"):
+            service.lineage("lin(<wf:out[0.1.2.3]>, {A})")
+
+    def test_unknown_node_gets_did_you_mean(self, service):
+        with pytest.raises(WorkflowError, match="did you mean"):
+            service.lineage("lin(<GNE:list[0]>, {A})")
+
+    def test_error_is_a_workflow_error(self, service):
+        # Callers that already catch WorkflowError keep working.
+        with pytest.raises(WorkflowError):
+            service.lineage("lin(<GEN:lst[0]>, {A})")
+
+
+class TestAutoStrategy:
+    def test_auto_matches_explicit_indexproj(self, service, obs):
+        run_id = service.run("wf", {"size": 3})
+        auto = service.lineage("lin(<wf:out[0.1]>, {A, B})", strategy="auto")
+        explicit = service.lineage(
+            "lin(<wf:out[0.1]>, {A, B})", strategy="indexproj"
+        )
+        assert (
+            auto.per_run[run_id].binding_keys()
+            == explicit.per_run[run_id].binding_keys()
+        )
+        assert obs.counter_value("analysis.auto_indexproj") == 1
+
+    def test_auto_skipped_on_fast_reject(self, service, obs):
+        service.run("wf", {"size": 2})
+        service.lineage("lin(<A:y[0]>, {F})", strategy="auto")
+        assert obs.counter_value("analysis.auto_indexproj") == 0
+        assert obs.counter_value("analysis.auto_naive") == 0
+
+
+class TestLineageMany:
+    def test_batch_mixes_verdicts(self, service):
+        run_id = service.run("wf", {"size": 2})
+        results = service.lineage_many(
+            ["lin(<wf:out[0.1]>, {A, B})", "lin(<A:y[0]>, {F})"],
+        )
+        assert len(results[0].per_run[run_id].bindings) == 2
+        assert results[1].per_run == {}
+
+    def test_batch_propagates_invalid(self, service):
+        service.run("wf", {"size": 2})
+        with pytest.raises(QueryValidationError):
+            service.lineage_many(["lin(<GEN:lst[0]>, {A})"])
+
+
+class TestExplainPlan:
+    def test_viable_plan(self, service):
+        service.run("wf", {"size": 2})
+        plan = service.explain_plan("lin(<wf:out[0.1]>, {A, B})")
+        assert isinstance(plan, PlanExplanation)
+        assert plan.report.is_viable
+        assert plan.chosen_strategy == "indexproj"
+
+    def test_empty_plan_without_any_run(self, service):
+        plan = service.explain_plan("lin(<A:y[0]>, {F})", runs=1)
+        assert plan.report.is_empty
+        assert plan.chosen_strategy == "none"

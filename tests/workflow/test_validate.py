@@ -5,7 +5,7 @@ import pytest
 from repro.workflow.builder import DataflowBuilder
 from repro.workflow.model import Dataflow, PortRef, PortSpec, Processor, WorkflowError
 from repro.workflow.validate import check_valid, validate
-from repro.values.types import STRING
+from repro.values.types import INTEGER, STRING
 
 from tests.conftest import build_diamond_workflow
 
@@ -41,9 +41,28 @@ class TestCycles:
         with pytest.raises(WorkflowError, match="invalid"):
             check_valid(self._cyclic())
 
-    def test_cycle_short_circuits_other_checks(self):
+    def test_cycle_does_not_hide_other_findings(self):
+        # The historical early-return reported nothing but the cycle; the
+        # lint engine is total, so cycle-independent findings still come
+        # out (here: neither processor can reach a workflow output).
         codes = issue_codes(self._cyclic())
-        assert codes == [("error", "cycle")]
+        assert ("error", "cycle") in codes
+        assert codes.count(("warning", "unreachable")) == 2
+
+    def test_cycle_does_not_hide_type_conflicts(self):
+        flow = Dataflow("cyc", inputs=[PortSpec("seed", INTEGER)])
+        for name in ("A", "B", "C"):
+            flow.add_processor(
+                Processor(name, [PortSpec("x", STRING)],
+                          [PortSpec("y", STRING)], operation="identity")
+            )
+        flow.add_arc(PortRef("A", "y"), PortRef("B", "x"))
+        flow.add_arc(PortRef("B", "y"), PortRef("A", "x"))
+        # Unrelated to the cycle: integer fed into a string port.
+        flow.add_arc(PortRef("cyc", "seed"), PortRef("C", "x"))
+        codes = issue_codes(flow)
+        assert ("error", "cycle") in codes
+        assert ("error", "base-type-conflict") in codes
 
 
 class TestTypeChecks:
@@ -113,6 +132,89 @@ class TestWarnings:
             .build()
         )
         check_valid(flow)  # should not raise
+
+    def test_negative_mismatch_warns_depth_mismatch(self):
+        # GEN emits a flat string but P declares list(string): delta_s < 0,
+        # repaired by singleton wrapping — reported so the designer can
+        # confirm the declared type is intended.
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "string")
+            .output("out", "list(string)")
+            .processor("P", inputs=[("x", "list(string)")],
+                       outputs=[("y", "list(string)")], operation="identity")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        codes = issue_codes(flow)
+        assert ("warning", "depth-mismatch") in codes
+        assert not any(sev == "error" for sev, _ in codes)
+
+    def test_positive_mismatch_is_not_reported(self):
+        # Positive mismatches are what implicit iteration is for; only the
+        # wrapping direction warrants a warning.
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(string)")
+            .output("out", "list(string)")
+            .processor("P", inputs=[("x", "string")],
+                       outputs=[("y", "string")], operation="identity")
+            .arc("wf:a", "P:x")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        assert ("warning", "depth-mismatch") not in issue_codes(flow)
+
+    def test_dot_mismatch_conflict_is_error(self):
+        # dot (zip) requires its iterating ports to agree on the positive
+        # mismatch; depth 1 zipped against depth 2 can never execute.
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "list(string)")
+            .input("b", "list(list(string))")
+            .output("out", "list(list(string))")
+            .processor("P",
+                       inputs=[("x", "string"), ("y", "string")],
+                       outputs=[("z", "string")],
+                       operation="concat_pair", iteration="dot")
+            .arc("wf:a", "P:x")
+            .arc("wf:b", "P:y")
+            .arc("P:z", "wf:out")
+            .build()
+        )
+        codes = issue_codes(flow)
+        assert ("error", "dot-mismatch-conflict") in codes
+
+    def test_unbound_input_message_names_the_port(self):
+        flow = (
+            DataflowBuilder("wf")
+            .output("out", "string")
+            .processor("P", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("P:y", "wf:out")
+            .build()
+        )
+        issue = next(i for i in validate(flow) if i.code == "unbound-input")
+        assert "P:x" in issue.message
+        assert "default" in issue.message
+
+    def test_dead_processor_message_names_the_processor(self):
+        flow = (
+            DataflowBuilder("wf")
+            .input("a", "string")
+            .output("out", "string")
+            .processor("USED", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .processor("DEAD", inputs=[("x", "string")], outputs=[("y", "string")],
+                       operation="identity")
+            .arc("wf:a", "USED:x")
+            .arc("wf:a", "DEAD:x")
+            .arc("USED:y", "wf:out")
+            .build()
+        )
+        issue = next(i for i in validate(flow) if i.code == "unreachable")
+        assert "DEAD" in issue.message
 
     def test_issue_is_error_flag(self):
         flow = (
