@@ -10,11 +10,16 @@ the acceptance threshold: >= 2x wall-clock speedup for the parallel path
 on a >= 500-run store in the latency-bound regime.
 """
 
+from pathlib import Path
+
 from repro.bench.concurrency import best_slow_read_speedup, concurrent_queries
+from repro.bench.reporting import write_bench_json
 from repro.provenance.store import TraceStore
 from repro.query.indexproj import IndexProjEngine
 from repro.testbed.runs import populate_store
 from repro.testbed.workloads import genes2kegg_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _gk_store(tmp_path, runs=500):
@@ -64,3 +69,15 @@ def bench_concurrent_report(benchmark, scale, emit_report):
     )
     assert all(row["identical"] for row in rows)
     assert best_slow_read_speedup(rows) >= 2.0
+    write_bench_json(
+        str(REPO_ROOT / "BENCH_concurrent.json"),
+        {
+            "bench": "concurrent_queries",
+            "scale": scale,
+            "rows": rows,
+            "acceptance": {
+                "slow_read_speedup_threshold": 2.0,
+                "best_slow_read_speedup": best_slow_read_speedup(rows),
+            },
+        },
+    )

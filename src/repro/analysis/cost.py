@@ -39,12 +39,25 @@ class PlanExplanation:
     chosen_strategy: str
     #: rendered trace lookups of the INDEXPROJ plan, in plan order.
     trace_queries: Tuple[str, ...]
+    #: lineage result-cache state for this query over the stored-run
+    #: scope: ``"warm"`` (a valid entry exists — the query would be
+    #: answered with zero store reads), ``"cold"``, or ``None`` when the
+    #: planning context has no result cache (engine-level planning, or a
+    #: cache-disabled service).
+    cache_state: Optional[str] = None
 
     def summary(self) -> str:
         lines = [self.report.summary()]
         if self.report.is_viable and self.cost is not None:
             lines.append(self.cost.summary())
             lines.append(f"auto strategy: {self.chosen_strategy}")
+            if self.cache_state is not None:
+                hint = (
+                    " (would be served with 0 trace lookups)"
+                    if self.cache_state == "warm"
+                    else ""
+                )
+                lines.append(f"result cache: {self.cache_state}{hint}")
             for rendered in self.trace_queries:
                 lines.append(f"  {rendered}")
         elif self.report.is_empty:
@@ -69,9 +82,17 @@ def choose_strategy(
 
 
 def explain_plan(
-    analysis: DepthAnalysis, query: LineageQuery, runs: int = 1
+    analysis: DepthAnalysis,
+    query: LineageQuery,
+    runs: int = 1,
+    cache_state: Optional[str] = None,
 ) -> PlanExplanation:
-    """Full static plan for one query (pre-check + cost + trace lookups)."""
+    """Full static plan for one query (pre-check + cost + trace lookups).
+
+    ``cache_state`` is supplied by contexts that own a lineage result
+    cache (the :class:`~repro.service.ProvenanceService`): ``"warm"``
+    when a currently-valid cached answer exists for the query.
+    """
     report = precheck_query(analysis, query)
     if report.is_invalid:
         return PlanExplanation(report, None, "none", ())
@@ -84,4 +105,5 @@ def explain_plan(
         cost,
         choose_strategy(analysis, query, runs=runs),
         tuple(str(tq) for tq in plan.trace_queries),
+        cache_state=cache_state,
     )

@@ -1,7 +1,8 @@
-"""Plain-text rendering of experiment rows."""
+"""Plain-text and machine-readable rendering of experiment rows."""
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 
@@ -70,3 +71,14 @@ def write_report(path: str, sections: Iterable[str]) -> None:
         for section in sections:
             handle.write(section)
             handle.write("\n\n")
+
+
+def write_bench_json(path: str, payload: Dict[str, Any]) -> None:
+    """Write one benchmark's machine-readable record (``BENCH_*.json``).
+
+    The record is what CI archives and trajectory tooling diffs across
+    commits: stable key order, trailing newline, plain JSON types only.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")

@@ -1,0 +1,90 @@
+"""repro.cache — generation-aware multi-level lineage caching.
+
+The paper's INDEXPROJ strategy makes lineage cost scale with the small
+workflow graph instead of the trace; Section 3.4 adds that work done for
+one query should be *reused* across the many queries sharing a workflow.
+The query layer already caches s1 plans.  This package adds the two
+read-path levels above it:
+
+1. :class:`~repro.cache.trace.TraceReadCache` — memoizes the s2 store
+   lookups (per run, processor, port, index) for both strategies;
+2. :class:`~repro.cache.results.LineageResultCache` — memoizes complete
+   multi-run answers keyed by (workflow fingerprint, strategy, run set,
+   focus 𝒫, target), so a warm repeat costs **zero** store reads.
+
+Both levels are bounded LRUs with byte accounting and are kept coherent
+by the store's write generations (per-run + global monotonic counters,
+bumped on ingest/delete/maintenance): an entry is valid iff the
+generation vector captured before the reads it summarizes still matches
+the store's current vector, and store-side invalidation listeners evict
+eagerly.  See docs/CACHING.md for the full design and tuning guide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.workflow.model import Dataflow
+from repro.cache.lru import LRUCache, MISSING, approx_size
+from repro.cache.results import (
+    GenerationVector,
+    LineageResultCache,
+    ResultCacheKey,
+)
+from repro.cache.trace import TraceReadCache
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Tuning knobs of the lineage cache stack (docs/CACHING.md).
+
+    A bound of 0 disables that bound; ``enabled=False`` disables the
+    whole stack (the service then behaves exactly as before this
+    subsystem existed).
+    """
+
+    enabled: bool = True
+    result_entries: int = 256
+    result_bytes: int = 64 * 1024 * 1024
+    trace_entries: int = 4096
+    trace_bytes: int = 32 * 1024 * 1024
+
+    @classmethod
+    def of(cls, value) -> "CacheConfig":
+        """Coerce ``True``/``False``/``None``/config into a config."""
+        if isinstance(value, CacheConfig):
+            return value
+        if value is None or value is True:
+            return cls()
+        if value is False:
+            return cls(enabled=False)
+        raise TypeError(
+            f"cache must be a bool, None, or CacheConfig, not {value!r}"
+        )
+
+
+def workflow_fingerprint(flow: Dataflow) -> str:
+    """Stable digest of a workflow definition (its canonical JSON form).
+
+    Result-cache keys carry this instead of the workflow *name* so that
+    re-registering a structurally different workflow under the same name
+    can never serve answers computed for the old definition.
+    """
+    from repro.workflow import serialize
+
+    text = serialize.dumps(flow, indent=0)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+__all__ = [
+    "CacheConfig",
+    "GenerationVector",
+    "LRUCache",
+    "LineageResultCache",
+    "MISSING",
+    "ResultCacheKey",
+    "TraceReadCache",
+    "approx_size",
+    "workflow_fingerprint",
+]

@@ -1,0 +1,245 @@
+"""TraceQuery lookup cache — memoized s2 store reads.
+
+INDEXPROJ's execution step (s2) issues one indexed lookup per planned
+:class:`~repro.query.indexproj.TraceQuery` per run; NI's traversal
+issues one or two per visited binding.  Repeated queries over the same
+runs repeat those exact lookups — the paper's Section 3.4 observation
+("work done for one query should be reused across the many queries that
+share a workflow") applied to the *trace* side rather than the plan
+side.  This cache memoizes the store's lookup primitives per
+``(primitive, run, processor, port, index)`` key.
+
+Coherence is generation-based: every entry captures the owning run's
+generation vector *before* the read it caches (so a write racing the
+read can only make the entry conservatively stale, never wrong), and a
+hit is only served while the vector still compares equal.  The store
+additionally pushes eager evictions through its invalidation-listener
+hook, so entries for rewritten runs do not linger in the LRU.
+
+A cache hit costs zero store accesses: neither the ``StoreStats`` of
+the running query nor the ``store.*`` observability counters move.
+Returned lists are fresh per call; the bindings inside them follow the
+store's existing read-only payload contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.events import Binding
+from repro.obs.core import NO_OBS, Observability
+from repro.provenance.store import StoreStats, TraceStore, XformMatch
+from repro.values.index import Index
+from repro.cache.lru import LRUCache, MISSING
+
+
+class TraceReadCache:
+    """Generation-validated memoization of :class:`TraceStore` lookups.
+
+    Exposes the same lookup signatures as the store (plus a leading
+    ``run_id`` on :meth:`xform_inputs`, which the store keys by event id
+    alone — event ids may be reused after a run is deleted, so the cache
+    must scope them to the run's generation).  Engines treat an instance
+    as a drop-in reader in front of the store.
+    """
+
+    def __init__(
+        self,
+        store: TraceStore,
+        max_entries: int = 4096,
+        max_bytes: int = 32 * 1024 * 1024,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.store = store
+        self.obs = obs if obs is not None else NO_OBS
+        self._lru = LRUCache(max_entries=max_entries, max_bytes=max_bytes)
+        self._counter_lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self._obs_synced: Dict[str, int] = {"evictions": 0, "invalidations": 0}
+        store.add_invalidation_listener(self._on_generation_bump)
+
+    # -- coherence ---------------------------------------------------------
+
+    def _on_generation_bump(self, run_id: Optional[str]) -> None:
+        """Eagerly evict entries the bumped generation invalidated."""
+        if run_id is None:
+            self._lru.clear()
+        else:
+            self._lru.invalidate_where(lambda key: key[1] == run_id)
+        self._sync_obs()
+
+    def _record(self, hit: bool) -> None:
+        with self._counter_lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+        if self.obs.enabled:
+            self.obs.inc("cache.trace_hits" if hit else "cache.trace_misses")
+
+    def _sync_obs(self) -> None:
+        if not self.obs.enabled:
+            return
+        stats = self._lru.stats()
+        self.obs.gauge("cache.trace_entries", stats["entries"])
+        self.obs.gauge("cache.trace_bytes", stats["bytes"])
+        with self._counter_lock:
+            for name in ("evictions", "invalidations"):
+                delta = stats[name] - self._obs_synced[name]
+                if delta > 0:
+                    self.obs.inc(f"cache.trace_{name}", delta)
+                    self._obs_synced[name] = stats[name]
+
+    def _lookup(
+        self,
+        key: Tuple[Any, ...],
+        run_id: str,
+        fetch: Callable[[], Sequence[Any]],
+    ) -> List[Any]:
+        entry = self._lru.get(key)
+        if entry is not MISSING:
+            generations, payload = entry
+            if generations == self.store.generation_vector((run_id,)):
+                self._record(hit=True)
+                return list(payload)
+            # Stale under the current generation vector: drop and refetch.
+            self._lru.discard(key)
+        self._record(hit=False)
+        # Capture *before* the read: a write landing mid-read leaves the
+        # entry tagged with the older vector, so the next validation
+        # refuses it — conservative, never incoherent.
+        generations = self.store.generation_vector((run_id,))
+        payload = tuple(fetch())
+        self._lru.put(key, (generations, payload))
+        self._sync_obs()
+        return list(payload)
+
+    # -- INDEXPROJ primitives ---------------------------------------------
+
+    def find_xform_inputs_matching(
+        self,
+        run_id: str,
+        node: str,
+        port: str,
+        index: Index,
+        stats: Optional[StoreStats] = None,
+    ) -> List[Binding]:
+        """Memoized ``Q(P, X_i, p_i)`` — the s2 lookup of Alg. 2."""
+        key = ("xform_in_match", run_id, node, port, index.encode())
+        return self._lookup(
+            key,
+            run_id,
+            lambda: self.store.find_xform_inputs_matching(
+                run_id, node, port, index, stats
+            ),
+        )
+
+    def find_xform_inputs_matching_multi(
+        self,
+        run_ids: Sequence[str],
+        node: str,
+        port: str,
+        index: Index,
+        stats: Optional[StoreStats] = None,
+    ) -> Dict[str, List[Binding]]:
+        """Batched variant sharing keys with the per-run path.
+
+        Warm runs are answered from cache; only the misses go to the
+        store (in one ``run_id IN (...)`` round-trip), so a mixed scope
+        costs exactly one SQL query however many runs are already warm.
+        """
+        resolved: Dict[str, List[Binding]] = {}
+        missing: List[str] = []
+        for run_id in run_ids:
+            key = ("xform_in_match", run_id, node, port, index.encode())
+            entry = self._lru.get(key)
+            if entry is not MISSING:
+                generations, payload = entry
+                if generations == self.store.generation_vector((run_id,)):
+                    self._record(hit=True)
+                    if payload:
+                        resolved[run_id] = list(payload)
+                    continue
+                self._lru.discard(key)
+            self._record(hit=False)
+            missing.append(run_id)
+        if missing:
+            captured = {
+                run_id: self.store.generation_vector((run_id,))
+                for run_id in missing
+            }
+            fetched = self.store.find_xform_inputs_matching_multi(
+                missing, node, port, index, stats
+            )
+            for run_id in missing:
+                bindings = fetched.get(run_id, [])
+                key = ("xform_in_match", run_id, node, port, index.encode())
+                self._lru.put(key, (captured[run_id], tuple(bindings)))
+                if bindings:
+                    resolved[run_id] = list(bindings)
+            self._sync_obs()
+        return resolved
+
+    # -- NI primitives -----------------------------------------------------
+
+    def find_xform_by_output(
+        self,
+        run_id: str,
+        node: str,
+        port: str,
+        index: Index,
+        stats: Optional[StoreStats] = None,
+    ) -> List[XformMatch]:
+        key = ("xform_by_out", run_id, node, port, index.encode())
+        return self._lookup(
+            key,
+            run_id,
+            lambda: self.store.find_xform_by_output(
+                run_id, node, port, index, stats
+            ),
+        )
+
+    def xform_inputs(
+        self,
+        run_id: str,
+        event_ids: Sequence[int],
+        stats: Optional[StoreStats] = None,
+    ) -> List[Binding]:
+        key = ("xform_inputs", run_id, tuple(event_ids))
+        return self._lookup(
+            key,
+            run_id,
+            lambda: self.store.xform_inputs(event_ids, stats),
+        )
+
+    def find_xfer_into(
+        self,
+        run_id: str,
+        node: str,
+        port: str,
+        index: Index,
+        stats: Optional[StoreStats] = None,
+    ) -> List[Tuple[Binding, Index]]:
+        key = ("xfer_into", run_id, node, port, index.encode())
+        return self._lookup(
+            key,
+            run_id,
+            lambda: self.store.find_xfer_into(run_id, node, port, index, stats),
+        )
+
+    # -- reporting / control ----------------------------------------------
+
+    def clear(self) -> int:
+        count = self._lru.clear()
+        self._sync_obs()
+        return count
+
+    def stats(self) -> Dict[str, int]:
+        """Validated hit/miss counts plus the LRU's size accounting."""
+        merged = self._lru.stats()
+        with self._counter_lock:
+            merged["hits"] = self.hits
+            merged["misses"] = self.misses
+        return merged

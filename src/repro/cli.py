@@ -9,6 +9,7 @@ Subcommands::
     repro-prov bench --experiment fig9 --scale quick
     repro-prov export --workload gk --dot out.dot
     repro-prov stats --db t.db                  sizes + persisted counters
+    repro-prov cache-stats --db t.db            cache defaults + counters
     repro-prov lint --workload gk --format sarif --output gk.sarif
     repro-prov check-query --workload gk --query 'lin(<P:Y[0]>, {Q})'
 
@@ -37,6 +38,7 @@ import argparse
 import json
 import logging
 import sys
+import time
 from typing import Any, Dict, List, Optional
 
 from repro import __version__
@@ -170,6 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="fan per-run lookups across this many threads (indexproj only)",
     )
+    query.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="memoize trace lookups across repeats (--no-cache disables; "
+        "see docs/CACHING.md)",
+    )
+    query.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="answer the query N times — warm repeats exercise the cache",
+    )
 
     bench = sub.add_parser("bench", help="reproduce a table/figure")
     bench.add_argument(
@@ -195,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="show trace database statistics and persisted obs counters",
     )
     stats.add_argument("--db", required=True, help="trace database path")
+
+    cache_stats_cmd = sub.add_parser(
+        "cache-stats",
+        help="show lineage cache defaults and persisted cache.* counters",
+    )
+    cache_stats_cmd.add_argument(
+        "--db", required=True, help="trace database path"
+    )
 
     depths = sub.add_parser("depths", help="print the static depth table")
     depths.add_argument("--workload", choices=sorted(_WORKLOADS))
@@ -379,18 +398,43 @@ def cmd_query(args: argparse.Namespace) -> int:
                 propagate_depths(flow.flattened()), query, runs=len(run_ids)
             )
             logger.info("auto strategy: %s", strategy)
+        trace_cache = None
+        if args.cache:
+            from repro.cache import TraceReadCache
+
+            trace_cache = TraceReadCache(store, obs=obs)
         if strategy == "naive":
-            engine: Any = NaiveEngine(store, obs=obs)
-            results = engine.lineage_multirun(run_ids, query)
+            engine: Any = NaiveEngine(store, obs=obs, trace_cache=trace_cache)
         else:
             flow, _, _ = _load_flow(args)
-            engine = IndexProjEngine(store, flow, obs=obs)
+            engine = IndexProjEngine(
+                store, flow, obs=obs, trace_cache=trace_cache
+            )
+
+        def run_once():
+            if strategy == "naive":
+                return engine.lineage_multirun(run_ids, query)
             if args.workers > 1:
-                results = engine.lineage_multirun_parallel(
+                return engine.lineage_multirun_parallel(
                     run_ids, query, max_workers=args.workers
                 )
-            else:
-                results = engine.lineage_multirun(run_ids, query)
+            return engine.lineage_multirun(run_ids, query)
+
+        repeats = max(1, args.repeat)
+        results = None
+        for iteration in range(repeats):
+            start = time.perf_counter()
+            results = run_once()
+            elapsed_ms = (time.perf_counter() - start) * 1000
+            if repeats > 1:
+                store_queries = sum(
+                    r.stats.queries for r in results.per_run.values()
+                )
+                print(
+                    f"iteration {iteration + 1}: {elapsed_ms:.2f} ms, "
+                    f"{store_queries} store queries"
+                )
+        assert results is not None
         print(f"query: {query}")
         for run_id, result in results.per_run.items():
             print(f"run {run_id} ({result.total_seconds * 1000:.2f} ms):")
@@ -399,6 +443,14 @@ def cmd_query(args: argparse.Namespace) -> int:
                 if len(payload) > 60:
                     payload = payload[:57] + "..."
                 print(f"  {binding}  = {payload}")
+        if trace_cache is not None:
+            cache_stats = trace_cache.stats()
+            print(
+                f"trace cache: {cache_stats['hits']} hits, "
+                f"{cache_stats['misses']} misses, "
+                f"{cache_stats['entries']} entries, "
+                f"{cache_stats['bytes']} bytes"
+            )
     return 0
 
 
@@ -486,6 +538,47 @@ def cmd_stats(args: argparse.Namespace) -> int:
         width = max(len(name) for name in persisted["counters"])
         for name, value in sorted(persisted["counters"].items()):
             print(f"  {name:<{width}s}  {value}")
+    return 0
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    """Default cache tuning knobs plus any persisted ``cache.*`` counters.
+
+    The counters come from the ``<db>.metrics.json`` sidecar that
+    ``--profile`` maintains — so this reports cache traffic accumulated
+    across *profiled* invocations, with zero store access of its own.
+    """
+    from repro.cache import CacheConfig
+
+    config = CacheConfig()
+    print("default cache configuration (repro.cache.CacheConfig):")
+    print(
+        f"  result cache  {config.result_entries} entries / "
+        f"{config.result_bytes} bytes"
+    )
+    print(
+        f"  trace cache   {config.trace_entries} entries / "
+        f"{config.trace_bytes} bytes"
+    )
+    persisted = load_persisted_counters(args.db)
+    cache_counters = {
+        name: value
+        for name, value in persisted["counters"].items()
+        if name.startswith("cache.") or name == "store.generation_bumps"
+    }
+    if not cache_counters:
+        print(
+            "no persisted cache counters — run a profiled query "
+            "(repro-prov --profile query ...) to record some"
+        )
+        return 0
+    print(
+        f"persisted cache counters "
+        f"({persisted.get('invocations', 0)} profiled invocations):"
+    )
+    width = max(len(name) for name in cache_counters)
+    for name, value in sorted(cache_counters.items()):
+        print(f"  {name:<{width}s}  {value}")
     return 0
 
 
@@ -627,6 +720,7 @@ _COMMANDS = {
     "impact": cmd_impact,
     "prov-export": cmd_prov_export,
     "stats": cmd_stats,
+    "cache-stats": cmd_cache_stats,
     "depths": cmd_depths,
     "validate": cmd_validate,
     "explain": cmd_explain,

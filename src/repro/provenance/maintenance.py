@@ -150,6 +150,8 @@ def gc_value_pool(store: TraceStore) -> int:
 
     ``delete_run`` leaves interned payloads behind on purpose (they may be
     shared with other runs); run this after pruning to reclaim them.
+    Bumps the store's global generation (conservative cache invalidation —
+    the operation rewrites shared storage no single run owns).
     """
     with store._conn:
         cursor = store._conn.execute(
@@ -158,12 +160,20 @@ def gc_value_pool(store: TraceStore) -> int:
             "  UNION SELECT value_id FROM xfer WHERE value_id IS NOT NULL"
             ")"
         )
-        return cursor.rowcount
+        count = cursor.rowcount
+    store.bump_global_generation()
+    return count
 
 
 def vacuum(store: TraceStore) -> None:
-    """Compact the database file (reclaims space after pruning)."""
+    """Compact the database file (reclaims space after pruning).
+
+    Bumps the store's global generation: compaction rewrites every page,
+    so :mod:`repro.cache` conservatively drops all cached reads rather
+    than reason about what a rewritten file may serve.
+    """
     store._conn.execute("VACUUM")
+    store.bump_global_generation()
 
 
 def run_inventory(store: TraceStore) -> Dict[str, Dict[str, int]]:

@@ -60,6 +60,36 @@ prefix of ``p``, or an extension of ``p``:
 
 :class:`StoreStats` counts SQL round-trips and fetched rows so benchmarks
 can report machine-independent access costs next to wall-clock times.
+
+Write generations
+-----------------
+
+Every store keeps an in-process, monotonic **write generation** per run
+plus one **global generation** and one **membership generation**:
+
+* the per-run generation is bumped whenever that run's rows change
+  (``insert_trace``, ``delete_run``);
+* the global generation is bumped by store-wide maintenance that cannot
+  be attributed to a single run (``vacuum``, ``gc_value_pool``, index
+  drops/rebuilds) — conservative invalidation for anything that might
+  change what reads observe;
+* the membership generation is bumped whenever the *set* of stored runs
+  changes (ingest or delete), so run-list lookups can be memoized.
+
+The generation vector of a run set (:meth:`TraceStore.generation_vector`)
+is the coherence token of :mod:`repro.cache`: a cache entry captured
+under one vector is valid iff the current vector still compares equal.
+Generations live in memory (no SQL round-trip to read them — that is the
+point: warm cache hits must cost zero store reads), so they describe
+writes made *through this store object*.  All threads of a process share
+one :class:`TraceStore` under the documented concurrency contract, which
+makes the in-memory view complete; out-of-process writers are outside
+the contract and outside the cache's coherence guarantee.
+
+Interested layers may register an invalidation listener
+(:meth:`TraceStore.add_invalidation_listener`); it is called with the
+bumped run id, or ``None`` for a global bump, after every generation
+change.
 """
 
 from __future__ import annotations
@@ -337,6 +367,14 @@ class TraceStore:
             self.faults.attach_metrics(self.obs.metrics)
         self._is_memory = path == ":memory:"
         self._closed = False
+        # Write generations (see module docstring): in-memory coherence
+        # tokens for repro.cache.  Guarded by their own lock so readers
+        # never contend with SQL execution.
+        self._generation_lock = threading.Lock()
+        self._run_generations: Dict[str, int] = {}
+        self._global_generation = 0
+        self._membership_generation = 0
+        self._invalidation_listeners: List[Callable[[Optional[str]], None]] = []
         # One writer at a time, across all threads.  RLock so write paths
         # may call read helpers without deadlocking themselves.
         self._writer_lock = threading.RLock()
@@ -543,6 +581,78 @@ class TraceStore:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
+    # -- write generations -------------------------------------------------
+
+    def generation(self, run_id: str) -> int:
+        """Current write generation of one run (0 = never written here)."""
+        with self._generation_lock:
+            return self._run_generations.get(run_id, 0)
+
+    @property
+    def global_generation(self) -> int:
+        """Store-wide generation, bumped by maintenance operations."""
+        with self._generation_lock:
+            return self._global_generation
+
+    @property
+    def membership_generation(self) -> int:
+        """Generation of the *set* of stored runs (ingest/delete bumps)."""
+        with self._generation_lock:
+            return self._membership_generation
+
+    def generation_vector(
+        self, run_ids: Sequence[str]
+    ) -> Tuple[int, Tuple[int, ...]]:
+        """``(global generation, per-run generations)`` for a run set.
+
+        The coherence token of :mod:`repro.cache`: captured *before* the
+        reads it covers, a cache entry stays valid exactly while the
+        current vector compares equal.  Reading it takes no SQL
+        round-trip, so validating a warm cache hit costs zero store
+        accesses.
+        """
+        with self._generation_lock:
+            return (
+                self._global_generation,
+                tuple(self._run_generations.get(r, 0) for r in run_ids),
+            )
+
+    def add_invalidation_listener(
+        self, listener: Callable[[Optional[str]], None]
+    ) -> None:
+        """Call ``listener(run_id)`` after every generation bump.
+
+        ``run_id`` is ``None`` for global (store-wide) bumps.  Listeners
+        run synchronously on the bumping thread and must be fast and
+        exception-free; :mod:`repro.cache` uses them for eager eviction.
+        """
+        with self._generation_lock:
+            self._invalidation_listeners.append(listener)
+
+    def bump_run_generation(self, run_id: str, membership: bool = False) -> None:
+        """Advance one run's generation (and optionally membership)."""
+        with self._generation_lock:
+            self._run_generations[run_id] = (
+                self._run_generations.get(run_id, 0) + 1
+            )
+            if membership:
+                self._membership_generation += 1
+            listeners = list(self._invalidation_listeners)
+        if self.obs.enabled:
+            self.obs.inc("store.generation_bumps")
+        for listener in listeners:
+            listener(run_id)
+
+    def bump_global_generation(self) -> None:
+        """Advance the store-wide generation (maintenance operations)."""
+        with self._generation_lock:
+            self._global_generation += 1
+            listeners = list(self._invalidation_listeners)
+        if self.obs.enabled:
+            self.obs.inc("store.generation_bumps")
+        for listener in listeners:
+            listener(None)
+
     # -- ingestion ---------------------------------------------------------
 
     def has_run(self, run_id: str) -> bool:
@@ -631,6 +741,9 @@ class TraceStore:
             self.faults.on_write_statement()
 
         self._write_transaction(work)
+        # Only bump after the transaction committed: a failed/rolled-back
+        # insert leaves the store unchanged, so caches stay valid.
+        self.bump_run_generation(trace.run_id, membership=True)
 
     def delete_run(self, run_id: str) -> None:
         """Remove one run and all of its events."""
@@ -639,6 +752,7 @@ class TraceStore:
                 "DELETE FROM runs WHERE run_id = ?", (run_id,)
             )
         )
+        self.bump_run_generation(run_id, membership=True)
 
     # -- index management (ablation support) --------------------------------
 
@@ -664,12 +778,14 @@ class TraceStore:
                 cursor.execute(f"DROP INDEX IF EXISTS {name}")
 
         self._write_transaction(work)
+        self.bump_global_generation()
 
     def create_indexes(self) -> None:
         """Recreate the secondary indexes (inverse of :meth:`drop_indexes`)."""
         with self._writer_lock:
             self._conn.executescript(_SCHEMA)
             self._conn.commit()
+        self.bump_global_generation()
 
     def has_indexes(self) -> bool:
         """True when the secondary indexes are present."""

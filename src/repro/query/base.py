@@ -84,6 +84,15 @@ class MultiRunResult:
     #: per-run CPU times, which overlap in real time).  ``None`` when the
     #: executing engine predates the distinction.
     wall_seconds: Optional[float] = None
+    #: True when this answer was served by the lineage result cache
+    #: (:mod:`repro.cache`) instead of executed: timings are then ~0 and
+    #: every per-run ``StoreStats`` is all-zero (no store access).
+    from_cache: bool = False
+    #: Generation vector of the run scope this answer is coherent with —
+    #: ``(global generation, per-run generations)``, captured *before*
+    #: the reads that produced the answer.  ``None`` when the executing
+    #: path did not track generations (e.g. engine used directly).
+    generations: Optional[Tuple[int, Tuple[int, ...]]] = None
 
     @property
     def total_seconds(self) -> float:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.engine.events import Binding
 from repro.obs.core import NO_OBS, Observability
@@ -124,8 +124,16 @@ class IndexProjEngine:
         analysis: Optional[DepthAnalysis] = None,
         cache_plans: bool = True,
         obs: Optional[Observability] = None,
+        trace_cache: Optional[Any] = None,
     ) -> None:
         self.store = store
+        #: Optional :class:`repro.cache.trace.TraceReadCache`: when set,
+        #: every s2 lookup goes through it, so repeated (run, processor,
+        #: port, fragment) lookups are answered without touching the
+        #: store.  It mirrors the store's lookup signatures, making it a
+        #: drop-in reader.
+        self.trace_cache = trace_cache
+        self._reader: Any = trace_cache if trace_cache is not None else store
         #: Observability handle (``repro.obs``): every (s1)/(s2) timing
         #: below is derived from its spans, so the numbers in results and
         #: in a ``--profile`` span tree are the same measurement.
@@ -193,7 +201,7 @@ class IndexProjEngine:
         collected: Dict[Tuple[str, str, str], Binding] = {}
         for trace_query in plan.trace_queries:
             lookup_started = time.perf_counter() if obs.enabled else 0.0
-            for binding in self.store.find_xform_inputs_matching(
+            for binding in self._reader.find_xform_inputs_matching(
                 run_id,
                 trace_query.processor,
                 trace_query.port,
@@ -252,7 +260,7 @@ class IndexProjEngine:
             "indexproj.execute_batched", runs=len(scope)
         ) as timer:
             for trace_query in plan.trace_queries:
-                per_run = self.store.find_xform_inputs_matching_multi(
+                per_run = self._reader.find_xform_inputs_matching_multi(
                     scope,
                     trace_query.processor,
                     trace_query.port,

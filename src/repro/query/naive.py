@@ -19,7 +19,7 @@ share), which is the contrast behind Fig. 4.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Any, Iterable, List, Optional, Set, Tuple
 
 from repro.engine.events import Binding
 from repro.obs.core import NO_OBS, Observability
@@ -32,13 +32,21 @@ class NaiveEngine:
     """Database-backed implementation of Def. 1 by graph traversal."""
 
     def __init__(
-        self, store: TraceStore, obs: Optional[Observability] = None
+        self,
+        store: TraceStore,
+        obs: Optional[Observability] = None,
+        trace_cache: Optional[Any] = None,
     ) -> None:
         self.store = store
         #: Observability handle (``repro.obs``): per-run traversal spans
         #: plus the ``naive.node_visits`` counter that makes the
         #: trace-size-dependent cost of NI (Figs. 6, 7, 9) observable.
         self.obs = obs if obs is not None else NO_OBS
+        #: Optional :class:`repro.cache.trace.TraceReadCache`: when set,
+        #: every traversal hop (xform-by-output, event inputs, xfer-into)
+        #: is memoized per run, so repeated NI traversals over unchanged
+        #: runs skip the store entirely.
+        self.trace_cache = trace_cache
 
     def lineage(
         self,
@@ -79,6 +87,7 @@ class NaiveEngine:
     def _traverse(
         self, run_id: str, query: LineageQuery, stats: StoreStats
     ) -> List[Binding]:
+        cache = self.trace_cache
         collected: dict = {}
         visited: Set[Tuple[str, str, str]] = set()
         stack: List[Tuple[str, str, Index]] = [(query.node, query.port, query.index)]
@@ -90,19 +99,25 @@ class NaiveEngine:
                 continue
             visited.add(key)
             visits += 1
-            matches = self.store.find_xform_by_output(
+            reader = cache if cache is not None else self.store
+            matches = reader.find_xform_by_output(
                 run_id, node, port, index, stats
             )
             if matches:
-                inputs = self.store.xform_inputs(
-                    [m.event_id for m in matches], stats
-                )
+                event_ids = [m.event_id for m in matches]
+                if cache is not None:
+                    # The cache keys event lookups by run: event ids may
+                    # be reused after a run is deleted, so they only
+                    # identify rows together with the run's generation.
+                    inputs = cache.xform_inputs(run_id, event_ids, stats)
+                else:
+                    inputs = self.store.xform_inputs(event_ids, stats)
                 for binding in inputs:
                     if binding.node in query.focus:
                         collected[binding.key()] = binding
                     stack.append((binding.node, binding.port, binding.index))
                 continue
-            for source, continue_index in self.store.find_xfer_into(
+            for source, continue_index in reader.find_xfer_into(
                 run_id, node, port, index, stats
             ):
                 stack.append((source.node, source.port, continue_index))

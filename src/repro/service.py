@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.cost import (
     PlanExplanation,
@@ -40,6 +40,13 @@ from repro.analysis.cost import (
     explain_plan as _explain_plan,
 )
 from repro.analysis.precheck import QueryValidationError, precheck_query
+from repro.cache import (
+    CacheConfig,
+    LineageResultCache,
+    ResultCacheKey,
+    TraceReadCache,
+    workflow_fingerprint,
+)
 from repro.engine.executor import WorkflowRunner
 from repro.engine.processors import ProcessorRegistry
 from repro.obs.core import NO_OBS, Observability
@@ -75,6 +82,7 @@ class ProvenanceService:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultInjector] = None,
         obs: Optional[Observability] = None,
+        cache: Union[bool, CacheConfig, None] = True,
     ) -> None:
         #: Observability handle (``repro.obs``), threaded through the
         #: store, every runner, and both query strategies.  Pass an
@@ -86,15 +94,48 @@ class ProvenanceService:
             store_path, intern_values=intern_values, retry=retry,
             faults=faults, obs=self.obs,
         )
+        #: Lineage cache stack (``repro.cache``), on by default: a
+        #: trace-lookup cache inside s2 plus a full result cache above
+        #: both strategies, kept coherent by the store's write
+        #: generations.  Pass ``cache=False`` (or a tuned
+        #: :class:`~repro.cache.CacheConfig`) to change it; per-call
+        #: ``lineage(..., cache=False)`` bypasses it for one query.
+        self.cache_config = CacheConfig.of(cache)
+        if self.cache_config.enabled:
+            self._trace_cache: Optional[TraceReadCache] = TraceReadCache(
+                self.store,
+                max_entries=self.cache_config.trace_entries,
+                max_bytes=self.cache_config.trace_bytes,
+                obs=self.obs,
+            )
+            self._result_cache: Optional[LineageResultCache] = (
+                LineageResultCache(
+                    self.store,
+                    max_entries=self.cache_config.result_entries,
+                    max_bytes=self.cache_config.result_bytes,
+                    obs=self.obs,
+                )
+            )
+        else:
+            self._trace_cache = None
+            self._result_cache = None
         self._runners: Dict[str, WorkflowRunner] = {}
         self._flows: Dict[str, Dataflow] = {}
+        self._fingerprints: Dict[str, str] = {}
         self._lineage_engines: Dict[str, IndexProjEngine] = {}
         self._impact_engines: Dict[str, IndexProjImpactEngine] = {}
-        self._naive = NaiveEngine(self.store, obs=self.obs)
+        self._naive = NaiveEngine(
+            self.store, obs=self.obs, trace_cache=self._trace_cache
+        )
         self._error_handling = error_handling
         # Guards the registration dicts so queries may run concurrently
         # with register_workflow (dict iteration during mutation raises).
         self._registry_lock = threading.Lock()
+        # Membership-generation-validated memo of per-workflow run lists:
+        # resolving the default query scope on a warm cache path must not
+        # cost a store read.
+        self._run_list_lock = threading.Lock()
+        self._run_list_memo: Dict[str, Tuple[int, List[str]]] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -123,11 +164,13 @@ class ProvenanceService:
         analysis = propagate_depths(flat)
         with self._registry_lock:
             self._flows[flow.name] = flat
+            self._fingerprints[flow.name] = workflow_fingerprint(flat)
             self._runners[flow.name] = WorkflowRunner(
                 registry, error_handling=self._error_handling, obs=self.obs
             )
             self._lineage_engines[flow.name] = IndexProjEngine(
-                self.store, flat, analysis=analysis, obs=self.obs
+                self.store, flat, analysis=analysis, obs=self.obs,
+                trace_cache=self._trace_cache,
             )
             self._impact_engines[flow.name] = IndexProjImpactEngine(
                 self.store, flat, analysis=analysis
@@ -165,9 +208,24 @@ class ProvenanceService:
         return captured.run_id
 
     def runs_of(self, workflow_name: str) -> List[str]:
-        """Stored run ids of one workflow, in execution order."""
+        """Stored run ids of one workflow, in execution order.
+
+        Memoized against the store's membership generation: resolving the
+        default query scope on a warm result-cache path must not cost a
+        store read.  The generation is captured *before* the read, so a
+        racing ingest leaves the memo conservatively stale (refreshed on
+        the next call), never missing a committed run it was told about.
+        """
         self.workflow(workflow_name)  # raise early on unknown names
-        return self.store.run_ids(workflow=workflow_name)
+        membership = self.store.membership_generation
+        with self._run_list_lock:
+            memo = self._run_list_memo.get(workflow_name)
+            if memo is not None and memo[0] == membership:
+                return list(memo[1])
+        run_ids = self.store.run_ids(workflow=workflow_name)
+        with self._run_list_lock:
+            self._run_list_memo[workflow_name] = (membership, run_ids)
+        return list(run_ids)
 
     # -- queries --------------------------------------------------------------
 
@@ -242,6 +300,7 @@ class ProvenanceService:
         batched: bool = False,
         workers: Optional[int] = None,
         precheck: bool = True,
+        cache: Optional[bool] = None,
     ) -> MultiRunResult:
         """Answer a lineage query over ``runs`` (default: every stored run
         of the owning workflow).
@@ -259,6 +318,15 @@ class ProvenanceService:
         did-you-mean suggestions, and provably-empty queries (no dataflow
         path from any focus processor to the binding) return their empty
         answer without a single trace read.
+
+        ``cache=None`` (default) consults the service-level lineage
+        result cache when the service was built with one: a valid warm
+        entry for (workflow fingerprint, resolved strategy, target,
+        focus, run scope) is served with **zero** store reads
+        (``result.from_cache`` is then True).  ``cache=False`` bypasses
+        the result cache entirely for this call — neither consulted nor
+        populated; ``cache=True`` on a cache-disabled service is a
+        silent no-op.
         """
         parsed = self._as_query(query, focus)
         workflow_name = self._owning_workflow(parsed)
@@ -275,16 +343,44 @@ class ProvenanceService:
             )
             if self.obs.enabled:
                 self.obs.inc(f"analysis.auto_{strategy}")
-        if strategy == "naive":
-            return self._naive.lineage_multirun(scope, parsed)
-        engine = self._lineage_engines[workflow_name]
-        if workers is not None and workers > 1:
-            return engine.lineage_multirun_parallel(
-                scope, parsed, max_workers=workers
+        use_cache = self._result_cache is not None and cache is not False
+        key: Optional[ResultCacheKey] = None
+        generations = None
+        if use_cache:
+            key = ResultCacheKey(
+                fingerprint=self._fingerprints[workflow_name],
+                strategy=strategy,
+                node=parsed.node,
+                port=parsed.port,
+                index=parsed.index.encode(),
+                focus=parsed.focus,
+                runs=tuple(scope),
             )
-        if batched:
-            return engine.lineage_multirun_batched(scope, parsed)
-        return engine.lineage_multirun(scope, parsed)
+            assert self._result_cache is not None
+            hit = self._result_cache.get(key, parsed)
+            if hit is not None:
+                return hit
+            # Miss: capture the scope's generation vector *before*
+            # executing, so an entry built while a writer raced us
+            # self-invalidates instead of serving stale data.
+            generations = self.store.generation_vector(scope)
+        if strategy == "naive":
+            result = self._naive.lineage_multirun(scope, parsed)
+        else:
+            engine = self._lineage_engines[workflow_name]
+            if workers is not None and workers > 1:
+                result = engine.lineage_multirun_parallel(
+                    scope, parsed, max_workers=workers
+                )
+            elif batched:
+                result = engine.lineage_multirun_batched(scope, parsed)
+            else:
+                result = engine.lineage_multirun(scope, parsed)
+        if use_cache and key is not None and generations is not None:
+            result.generations = generations
+            assert self._result_cache is not None
+            self._result_cache.put(key, result, generations)
+        return result
 
     def lineage_many(
         self,
@@ -294,15 +390,17 @@ class ProvenanceService:
         strategy: str = "indexproj",
         focus: Iterable[str] = (),
         precheck: bool = True,
+        cache: Optional[bool] = None,
     ) -> List[MultiRunResult]:
         """Answer many lineage queries concurrently.
 
         Results come back in the order the queries were given, and each is
         exactly what a sequential :meth:`lineage` call would have returned
-        — the thread pool only overlaps their store lookups.  Engines and
-        plan caches are shared across the pool, so repeated shapes pay
-        planning once (the paper's Section 3.4 sharing, applied across a
-        query *batch*).
+        — the thread pool only overlaps their store lookups.  Engines,
+        plan caches, and the lineage cache stack are shared across the
+        pool, so repeated shapes pay planning once (the paper's Section
+        3.4 sharing, applied across a query *batch*) and duplicate
+        queries inside one batch can warm each other.
         """
         query_list = list(queries)
         if not query_list:
@@ -313,7 +411,7 @@ class ProvenanceService:
             return [
                 self.lineage(
                     q, runs=scope, strategy=strategy, focus=focus,
-                    precheck=precheck,
+                    precheck=precheck, cache=cache,
                 )
                 for q in query_list
             ]
@@ -322,7 +420,7 @@ class ProvenanceService:
                 pool.map(
                     lambda q: self.lineage(
                         q, runs=scope, strategy=strategy, focus=focus,
-                        precheck=precheck,
+                        precheck=precheck, cache=cache,
                     ),
                     query_list,
                 )
@@ -361,15 +459,38 @@ class ProvenanceService:
         focus: Iterable[str] = (),
     ) -> PlanExplanation:
         """Full static plan: pre-check verdict, cost model, auto strategy,
-        and the exact INDEXPROJ trace lookups — all without trace access
-        (run count defaults to the stored-run count, which does read)."""
+        the exact INDEXPROJ trace lookups, and the result-cache state —
+        all without trace access (run count defaults to the stored-run
+        count, which may read; the cache probe itself never does)."""
         parsed = self._as_query(query, focus)
         workflow_name = self._owning_workflow(parsed)
         run_count = runs if runs is not None else max(
             1, len(self.runs_of(workflow_name))
         )
+        cache_state: Optional[str] = None
+        if self._result_cache is not None:
+            # Probe both strategies over the stored-run scope — the scope
+            # a plain ``lineage(query)`` call would execute against.
+            scope = tuple(self.runs_of(workflow_name))
+            fingerprint = self._fingerprints[workflow_name]
+            warm = any(
+                self._result_cache.probe(
+                    ResultCacheKey(
+                        fingerprint=fingerprint,
+                        strategy=candidate,
+                        node=parsed.node,
+                        port=parsed.port,
+                        index=parsed.index.encode(),
+                        focus=parsed.focus,
+                        runs=scope,
+                    )
+                )
+                for candidate in ("indexproj", "naive")
+            )
+            cache_state = "warm" if warm else "cold"
         return _explain_plan(
-            self._lineage_engines[workflow_name].analysis, parsed, run_count
+            self._lineage_engines[workflow_name].analysis, parsed, run_count,
+            cache_state=cache_state,
         )
 
     def statistics(self) -> Dict[str, int]:
@@ -377,6 +498,48 @@ class ProvenanceService:
         stats = self.store.statistics()
         stats["registered_workflows"] = len(self._flows)
         return stats
+
+    # -- cache control ------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Point-in-time view of the lineage cache stack.
+
+        ``{"enabled": ..., "config": {...}, "result": {...},
+        "trace": {...}}`` — the per-level dicts carry hits, misses,
+        evictions, invalidations, entries, and byte accounting (empty
+        when the stack is disabled).  See docs/CACHING.md.
+        """
+        config = {
+            "result_entries": self.cache_config.result_entries,
+            "result_bytes": self.cache_config.result_bytes,
+            "trace_entries": self.cache_config.trace_entries,
+            "trace_bytes": self.cache_config.trace_bytes,
+        }
+        if self._result_cache is None or self._trace_cache is None:
+            return {"enabled": False, "config": config, "result": {}, "trace": {}}
+        return {
+            "enabled": True,
+            "config": config,
+            "result": self._result_cache.stats(),
+            "trace": self._trace_cache.stats(),
+        }
+
+    def invalidate_caches(self) -> Dict[str, int]:
+        """Drop every cached lineage artifact (both levels + scope memo).
+
+        Returns the number of entries evicted per level.  Generations are
+        untouched — this is an operator hammer (e.g. after out-of-band
+        database surgery), not part of normal coherence, which the write
+        generations handle automatically.
+        """
+        with self._run_list_lock:
+            self._run_list_memo.clear()
+        if self._result_cache is None or self._trace_cache is None:
+            return {"result": 0, "trace": 0}
+        return {
+            "result": self._result_cache.clear(),
+            "trace": self._trace_cache.clear(),
+        }
 
     def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Point-in-time view of every ``repro.obs`` instrument.

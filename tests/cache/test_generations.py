@@ -1,0 +1,92 @@
+"""Tests for the store's write-generation protocol (cache coherence)."""
+
+from __future__ import annotations
+
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+
+from tests.conftest import build_diamond_workflow
+
+
+def _captured(run_id=None, size=2):
+    return capture_run(build_diamond_workflow(), {"size": size}, run_id=run_id)
+
+
+class TestGenerations:
+    def test_fresh_store_is_generation_zero(self):
+        with TraceStore() as store:
+            assert store.generation("anything") == 0
+            assert store.global_generation == 0
+            assert store.membership_generation == 0
+            assert store.generation_vector(("a", "b")) == (0, (0, 0))
+
+    def test_insert_bumps_run_and_membership(self):
+        with TraceStore() as store:
+            captured = _captured()
+            store.insert_trace(captured.trace)
+            assert store.generation(captured.run_id) == 1
+            assert store.membership_generation == 1
+            assert store.global_generation == 0
+            assert store.generation("other-run") == 0
+
+    def test_delete_bumps_run_and_membership(self):
+        with TraceStore() as store:
+            captured = _captured()
+            store.insert_trace(captured.trace)
+            store.delete_run(captured.run_id)
+            assert store.generation(captured.run_id) == 2
+            assert store.membership_generation == 2
+
+    def test_index_maintenance_bumps_global(self):
+        with TraceStore() as store:
+            store.drop_indexes()
+            assert store.global_generation == 1
+            store.create_indexes()
+            assert store.global_generation == 2
+
+    def test_generation_vector_is_ordered(self):
+        with TraceStore() as store:
+            a = _captured(run_id="a")
+            b = _captured(run_id="b")
+            store.insert_trace(a.trace)
+            store.insert_trace(b.trace)
+            store.insert_trace(_captured(run_id="c").trace)
+            store.delete_run("b")
+            assert store.generation_vector(("a", "b")) == (0, (1, 2))
+            assert store.generation_vector(("b", "a")) == (0, (2, 1))
+
+    def test_listeners_receive_run_and_global_bumps(self):
+        events = []
+        with TraceStore() as store:
+            store.add_invalidation_listener(events.append)
+            captured = _captured()
+            store.insert_trace(captured.trace)
+            store.drop_indexes()
+            assert events == [captured.run_id, None]
+
+    def test_listener_may_read_generations_reentrantly(self):
+        observed = []
+        with TraceStore() as store:
+            store.add_invalidation_listener(
+                lambda run_id: observed.append(
+                    (run_id, store.generation(run_id) if run_id else None)
+                )
+            )
+            captured = _captured()
+            store.insert_trace(captured.trace)
+        # The listener runs *after* the bump, outside the generation lock.
+        assert observed == [(captured.run_id, 1)]
+
+    def test_bump_only_after_commit(self, tmp_path):
+        """A failed insert must not bump (the data never changed)."""
+        import pytest
+
+        from repro.provenance.store import DuplicateRunError
+
+        with TraceStore(str(tmp_path / "t.db")) as store:
+            captured = _captured(run_id="dup")
+            store.insert_trace(captured.trace)
+            assert store.generation("dup") == 1
+            with pytest.raises(DuplicateRunError):
+                store.insert_trace(_captured(run_id="dup").trace)
+            assert store.generation("dup") == 1

@@ -1,0 +1,170 @@
+"""Tests for the lineage result cache (repro.cache.results)."""
+
+from __future__ import annotations
+
+from repro.cache import (
+    LineageResultCache,
+    ResultCacheKey,
+    workflow_fingerprint,
+)
+from repro.provenance.capture import capture_run
+from repro.provenance.store import TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+
+from tests.conftest import build_diamond_workflow
+
+
+def _setup(run_count=2):
+    flow = build_diamond_workflow()
+    store = TraceStore()
+    run_ids = []
+    for _ in range(run_count):
+        captured = capture_run(flow, {"size": 2})
+        store.insert_trace(captured.trace)
+        run_ids.append(captured.run_id)
+    return flow, store, run_ids
+
+
+def _key(flow, run_ids, query):
+    return ResultCacheKey(
+        fingerprint=workflow_fingerprint(flow.flattened()),
+        strategy="indexproj",
+        node=query.node,
+        port=query.port,
+        index=query.index.encode(),
+        focus=query.focus,
+        runs=tuple(run_ids),
+    )
+
+
+def _query():
+    return LineageQuery.create("wf", "out", [1, 1], focus=["GEN", "A", "B"])
+
+
+class TestRoundtrip:
+    def test_put_get_rebuilds_fresh_result(self):
+        flow, store, run_ids = _setup()
+        cache = LineageResultCache(store)
+        query = _query()
+        executed = IndexProjEngine(store, flow).lineage_multirun(run_ids, query)
+        generations = store.generation_vector(run_ids)
+        key = _key(flow, run_ids, query)
+        cache.put(key, executed, generations)
+
+        hit = cache.get(key, query)
+        assert hit is not None
+        assert hit.from_cache is True
+        assert hit.generations == generations
+        assert hit.binding_keys_by_run() == executed.binding_keys_by_run()
+        # Rebuilt, not shared: fresh result objects, zeroed stats/timings.
+        assert hit is not executed
+        for run_id, run_result in hit.per_run.items():
+            assert run_result is not executed.per_run[run_id]
+            assert run_result.bindings is not executed.per_run[run_id].bindings
+            assert run_result.stats.queries == 0
+            assert run_result.total_seconds == 0.0
+        assert hit.wall_seconds == 0.0
+        store.close()
+
+    def test_miss_and_hit_counters(self):
+        flow, store, run_ids = _setup()
+        cache = LineageResultCache(store)
+        query = _query()
+        key = _key(flow, run_ids, query)
+        assert cache.get(key, query) is None
+        executed = IndexProjEngine(store, flow).lineage_multirun(run_ids, query)
+        cache.put(key, executed, store.generation_vector(run_ids))
+        assert cache.get(key, query) is not None
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        store.close()
+
+    def test_different_key_fields_are_different_entries(self):
+        flow, store, run_ids = _setup()
+        cache = LineageResultCache(store)
+        query = _query()
+        executed = IndexProjEngine(store, flow).lineage_multirun(run_ids, query)
+        cache.put(_key(flow, run_ids, query), executed,
+                  store.generation_vector(run_ids))
+        other_focus = LineageQuery.create("wf", "out", [1, 1], focus=["GEN"])
+        assert cache.get(_key(flow, run_ids, other_focus), other_focus) is None
+        assert cache.get(_key(flow, run_ids[:1], query), query) is None
+        store.close()
+
+
+class TestCoherence:
+    def test_stale_generations_refuse_hit(self):
+        flow, store, run_ids = _setup()
+        cache = LineageResultCache(store)
+        query = _query()
+        executed = IndexProjEngine(store, flow).lineage_multirun(run_ids, query)
+        stale = store.generation_vector(run_ids)
+        key = _key(flow, run_ids, query)
+        cache.put(key, executed, stale)
+        # Reinsert over one run in the scope: its generation moves on.
+        store.delete_run(run_ids[0])
+        assert cache.get(key, query) is None
+        store.close()
+
+    def test_listener_evicts_only_affected_scopes(self):
+        flow, store, run_ids = _setup(run_count=3)
+        cache = LineageResultCache(store)
+        query = _query()
+        engine = IndexProjEngine(store, flow)
+        pair_key = _key(flow, run_ids[:2], query)
+        solo_key = _key(flow, run_ids[2:], query)
+        cache.put(pair_key, engine.lineage_multirun(run_ids[:2], query),
+                  store.generation_vector(run_ids[:2]))
+        cache.put(solo_key, engine.lineage_multirun(run_ids[2:], query),
+                  store.generation_vector(run_ids[2:]))
+        store.delete_run(run_ids[0])
+        assert cache.stats()["entries"] == 1  # pair entry evicted eagerly
+        assert cache.get(solo_key, query) is not None
+        store.close()
+
+    def test_global_bump_clears(self):
+        flow, store, run_ids = _setup()
+        cache = LineageResultCache(store)
+        query = _query()
+        executed = IndexProjEngine(store, flow).lineage_multirun(run_ids, query)
+        cache.put(_key(flow, run_ids, query), executed,
+                  store.generation_vector(run_ids))
+        store.drop_indexes()
+        assert cache.stats()["entries"] == 0
+        store.close()
+
+    def test_probe_moves_no_counters(self):
+        flow, store, run_ids = _setup()
+        cache = LineageResultCache(store)
+        query = _query()
+        key = _key(flow, run_ids, query)
+        assert cache.probe(key) is False
+        executed = IndexProjEngine(store, flow).lineage_multirun(run_ids, query)
+        cache.put(key, executed, store.generation_vector(run_ids))
+        assert cache.probe(key) is True
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        store.close()
+
+    def test_fingerprint_distinguishes_redefined_workflows(self):
+        flow = build_diamond_workflow()
+        fp1 = workflow_fingerprint(flow.flattened())
+        assert fp1 == workflow_fingerprint(flow.flattened())
+        from repro.workflow.builder import DataflowBuilder
+
+        other = (
+            DataflowBuilder("wf")  # same name, different structure
+            .input("size", "integer")
+            .output("out", "list(string)")
+            .processor(
+                "GEN",
+                inputs=[("size", "integer")],
+                outputs=[("list", "list(string)")],
+                operation="list_generator",
+                config={"out": "list"},
+            )
+            .arcs(("wf:size", "GEN:size"), ("GEN:list", "wf:out"))
+            .build()
+        )
+        assert workflow_fingerprint(other.flattened()) != fp1

@@ -1,0 +1,212 @@
+"""Tests for the trace-lookup cache (repro.cache.trace)."""
+
+from __future__ import annotations
+
+from repro.cache import TraceReadCache
+from repro.obs import Observability
+from repro.provenance.capture import capture_run
+from repro.provenance.store import StoreStats, TraceStore
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.values.index import Index
+
+from tests.conftest import build_diamond_workflow
+
+
+def _store_with_runs(count=2, size=2):
+    store = TraceStore()
+    run_ids = []
+    flow = build_diamond_workflow()
+    for _ in range(count):
+        captured = capture_run(flow, {"size": size})
+        store.insert_trace(captured.trace)
+        run_ids.append(captured.run_id)
+    return store, run_ids
+
+
+def _query():
+    return LineageQuery.create("wf", "out", [1, 1], focus=["GEN", "A", "B"])
+
+
+class TestLookupMemoization:
+    def test_hit_returns_identical_payload_with_zero_store_reads(self):
+        store, run_ids = _store_with_runs()
+        cache = TraceReadCache(store)
+        run = run_ids[0]
+        cold_stats, warm_stats = StoreStats(), StoreStats()
+        cold = cache.find_xform_inputs_matching(
+            run, "F", "y", Index.of([1, 1]), cold_stats
+        )
+        warm = cache.find_xform_inputs_matching(
+            run, "F", "y", Index.of([1, 1]), warm_stats
+        )
+        assert [b.key() for b in warm] == [b.key() for b in cold]
+        assert cold_stats.queries == 1
+        assert warm_stats.queries == 0
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        store.close()
+
+    def test_returned_lists_are_fresh_objects(self):
+        store, run_ids = _store_with_runs()
+        cache = TraceReadCache(store)
+        first = cache.find_xform_by_output(run_ids[0], "wf", "out", Index.of([1, 1]))
+        first.append("sentinel")
+        second = cache.find_xform_by_output(run_ids[0], "wf", "out", Index.of([1, 1]))
+        assert "sentinel" not in second
+        store.close()
+
+    def test_multi_variant_shares_keys_with_single(self):
+        store, run_ids = _store_with_runs(count=3)
+        cache = TraceReadCache(store)
+        index = Index.of([1, 1])
+        # Warm one run through the single-run path.
+        cache.find_xform_inputs_matching(run_ids[0], "F", "y", index)
+        stats = StoreStats()
+        multi = cache.find_xform_inputs_matching_multi(
+            run_ids, "F", "y", index, stats
+        )
+        # The warm run was a cache hit; only the two misses hit the store,
+        # in one batched round-trip.
+        assert stats.queries == 1
+        assert cache.stats()["hits"] == 1
+        # Now everything is warm: zero further store queries.
+        stats2 = StoreStats()
+        again = cache.find_xform_inputs_matching_multi(
+            run_ids, "F", "y", index, stats2
+        )
+        assert stats2.queries == 0
+        assert {r: [b.key() for b in bs] for r, bs in again.items()} == {
+            r: [b.key() for b in bs] for r, bs in multi.items()
+        }
+        store.close()
+
+    def test_multi_variant_omits_empty_runs_like_store(self):
+        store, run_ids = _store_with_runs(count=2)
+        cache = TraceReadCache(store)
+        bogus = Index.of([9, 9])
+        direct = store.find_xform_inputs_matching_multi(run_ids, "F", "y", bogus)
+        cached = cache.find_xform_inputs_matching_multi(run_ids, "F", "y", bogus)
+        assert cached == direct == {}
+        # Empty answers are cached too: the repeat costs nothing.
+        stats = StoreStats()
+        cache.find_xform_inputs_matching_multi(run_ids, "F", "y", bogus, stats)
+        assert stats.queries == 0
+        store.close()
+
+
+class TestInvalidation:
+    def test_ingest_evicts_only_that_run(self):
+        store, run_ids = _store_with_runs(count=2)
+        cache = TraceReadCache(store)
+        index = Index.of([1, 1])
+        for run in run_ids:
+            cache.find_xform_inputs_matching(run, "F", "y", index)
+        flow = build_diamond_workflow()
+        store.insert_trace(capture_run(flow, {"size": 2}).trace)
+        # Entries for the pre-existing runs survive (their generations
+        # did not move) — both still hit.
+        stats = StoreStats()
+        for run in run_ids:
+            cache.find_xform_inputs_matching(run, "F", "y", index, stats)
+        assert stats.queries == 0
+        store.close()
+
+    def test_delete_and_reingest_never_serves_stale_rows(self):
+        """Event ids are reused after a delete; the generation protocol
+        must keep a re-ingested run's lookups from aliasing old entries."""
+        store = TraceStore()
+        flow = build_diamond_workflow()
+        first = capture_run(flow, {"size": 2}, run_id="r")
+        store.insert_trace(first.trace)
+        cache = TraceReadCache(store)
+        engine = NaiveEngine(store, trace_cache=cache)
+        before = engine.lineage("r", _query())
+        store.delete_run("r")
+        second = capture_run(flow, {"size": 3}, run_id="r")
+        store.insert_trace(second.trace)
+        after = engine.lineage("r", _query())
+        direct = NaiveEngine(store).lineage("r", _query())
+        assert after.binding_keys() == direct.binding_keys()
+        assert before.binding_keys() == direct.binding_keys()  # same query shape
+        store.close()
+
+    def test_global_bump_clears_everything(self):
+        store, run_ids = _store_with_runs(count=2)
+        cache = TraceReadCache(store)
+        index = Index.of([1, 1])
+        for run in run_ids:
+            cache.find_xform_inputs_matching(run, "F", "y", index)
+        assert cache.stats()["entries"] == 2
+        store.drop_indexes()
+        assert cache.stats()["entries"] == 0
+        store.close()
+
+    def test_stale_entry_validated_even_without_listener(self):
+        """The generation-vector check is the backstop: a cache created
+        before another cache's listener fired still refuses stale data."""
+        store, run_ids = _store_with_runs(count=1)
+        cache = TraceReadCache(store)
+        run = run_ids[0]
+        index = Index.of([1, 1])
+        cache.find_xform_inputs_matching(run, "F", "y", index)
+        # Simulate a listener that was never registered: put a stale
+        # vector back after the bump.
+        key = ("xform_in_match", run, "F", "y", index.encode())
+        payload = cache._lru.peek(key)
+        store.delete_run(run)
+        cache._lru.put(key, payload)  # resurrect the pre-delete entry
+        stats = StoreStats()
+        result = cache.find_xform_inputs_matching(run, "F", "y", index, stats)
+        assert result == []  # refetched from the (now empty) store
+        assert stats.queries == 1
+        store.close()
+
+
+class TestEngineIntegration:
+    def test_indexproj_with_cache_matches_without(self):
+        store, run_ids = _store_with_runs(count=2)
+        flow = build_diamond_workflow()
+        cache = TraceReadCache(store)
+        cached_engine = IndexProjEngine(store, flow, trace_cache=cache)
+        plain_engine = IndexProjEngine(store, flow)
+        query = _query()
+        warm1 = cached_engine.lineage_multirun(run_ids, query)
+        warm2 = cached_engine.lineage_multirun(run_ids, query)
+        plain = plain_engine.lineage_multirun(run_ids, query)
+        assert warm1.binding_keys_by_run() == plain.binding_keys_by_run()
+        assert warm2.binding_keys_by_run() == plain.binding_keys_by_run()
+        assert all(
+            r.stats.queries == 0 for r in warm2.per_run.values()
+        )
+        store.close()
+
+    def test_naive_with_cache_matches_without(self):
+        store, run_ids = _store_with_runs(count=2)
+        cache = TraceReadCache(store)
+        cached_engine = NaiveEngine(store, trace_cache=cache)
+        plain_engine = NaiveEngine(store)
+        query = _query()
+        warm1 = cached_engine.lineage_multirun(run_ids, query)
+        warm2 = cached_engine.lineage_multirun(run_ids, query)
+        plain = plain_engine.lineage_multirun(run_ids, query)
+        assert warm1.binding_keys_by_run() == plain.binding_keys_by_run()
+        assert warm2.binding_keys_by_run() == plain.binding_keys_by_run()
+        assert all(r.stats.queries == 0 for r in warm2.per_run.values())
+        store.close()
+
+    def test_obs_counters(self):
+        obs = Observability()
+        store, run_ids = _store_with_runs(count=1)
+        cache = TraceReadCache(store, obs=obs)
+        index = Index.of([1, 1])
+        cache.find_xform_inputs_matching(run_ids[0], "F", "y", index)
+        cache.find_xform_inputs_matching(run_ids[0], "F", "y", index)
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["cache.trace_misses"] == 1
+        assert counters["cache.trace_hits"] == 1
+        gauges = obs.metrics_snapshot()["gauges"]
+        assert gauges["cache.trace_entries"] == 1
+        assert gauges["cache.trace_bytes"] > 0
+        store.close()

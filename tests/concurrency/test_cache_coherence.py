@@ -1,0 +1,244 @@
+"""Cache coherence under concurrency: readers race an ingesting writer.
+
+The generation protocol's contract is *conservative coherence*: a cache
+may miss unnecessarily, but it must never serve an answer that disagrees
+with an uncached execution over the same store and run scope.  These
+tests hammer that contract with parallel readers against a live writer,
+and with injected busy storms to show that failed reads never poison
+either cache level.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.provenance.faults import FaultInjector
+from repro.provenance.store import RetryPolicy, StoreBusyError
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.service import ProvenanceService
+
+from tests.conftest import build_diamond_workflow
+
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay=0.0001, max_delay=0.001)
+
+
+def _query():
+    return LineageQuery.create("wf", "out", [1, 1], focus=["GEN", "A", "B"])
+
+
+def canonical(result):
+    return {
+        run_id: sorted(
+            (*b.key(), json.dumps(b.value, sort_keys=True, default=repr))
+            for b in r.bindings
+        )
+        for run_id, r in result.per_run.items()
+    }
+
+
+def _service(tmp_path, **kwargs):
+    service = ProvenanceService(str(tmp_path / "traces.db"), **kwargs)
+    service.register_workflow(build_diamond_workflow())
+    return service
+
+
+class TestReadersVsWriter:
+    def test_pinned_scope_answers_stable_under_ingest_storm(self, tmp_path):
+        """Stored runs are immutable, so a pinned scope's answer can never
+        change while a writer ingests *other* runs — warm or cold."""
+        service = _service(tmp_path)
+        scope = [service.run("wf", {"size": 2}) for _ in range(2)]
+        reference = canonical(service.lineage(_query(), runs=scope))
+        errors = []
+        mismatches = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    result = service.lineage(_query(), runs=scope)
+                    if canonical(result) != reference:
+                        mismatches.append(canonical(result))
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        def writer():
+            try:
+                for _ in range(10):
+                    service.run("wf", {"size": 3})
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert mismatches == []
+        service.close()
+
+    def test_no_stale_generation_vectors_served(self, tmp_path):
+        """Every answer's generation vector must match the store's vector
+        for its scope — runs are write-once here, so the per-run
+        generations are exactly 1 and any other value is a stale serve."""
+        service = _service(tmp_path)
+        scope = [service.run("wf", {"size": 2}) for _ in range(2)]
+        collected = []
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    collected.append(service.lineage(_query(), runs=scope))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer():
+            try:
+                for _ in range(8):
+                    service.run("wf", {"size": 2})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert collected
+        expected = service.store.generation_vector(scope)
+        assert expected == (0, (1, 1))
+        for result in collected:
+            if result.generations is not None:
+                assert result.generations == expected
+
+    def test_default_scope_snapshots_are_coherent(self, tmp_path):
+        """Readers over the default (all-runs) scope during an ingest
+        storm: whatever scope each answer reflects, it must equal an
+        uncached execution over exactly that scope."""
+        service = _service(tmp_path)
+        service.run("wf", {"size": 2})
+        collected = []
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    collected.append(service.lineage(_query()))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer():
+            try:
+                for _ in range(8):
+                    service.run("wf", {"size": 2})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        control_engine = IndexProjEngine(
+            service.store, build_diamond_workflow()
+        )
+        for result in collected:
+            scope = list(result.per_run)
+            control = control_engine.lineage_multirun(scope, _query())
+            assert canonical(result) == canonical(control)
+        service.close()
+
+
+class TestBusyStormsNeverPoison:
+    def test_failed_query_leaves_cache_correct(self, tmp_path):
+        faults = FaultInjector()
+        service = _service(tmp_path, retry=FAST_RETRY, faults=faults)
+        for _ in range(2):
+            service.run("wf", {"size": 2})
+        reference = canonical(service.lineage(_query(), cache=False))
+
+        # Force real reads, then storm them beyond the retry budget.
+        service.invalidate_caches()
+        faults.inject_read_busy(FAST_RETRY.max_attempts + 10)
+        with pytest.raises(StoreBusyError):
+            service.lineage(_query())
+        faults.reset()
+
+        recovered = service.lineage(_query())
+        assert canonical(recovered) == reference
+        warm = service.lineage(_query())
+        assert warm.from_cache is True
+        assert canonical(warm) == reference
+        service.close()
+
+    def test_survivable_storm_populates_valid_entries(self, tmp_path):
+        faults = FaultInjector()
+        service = _service(tmp_path, retry=FAST_RETRY, faults=faults)
+        for _ in range(2):
+            service.run("wf", {"size": 2})
+        reference = canonical(service.lineage(_query(), cache=False))
+        service.invalidate_caches()
+        # Within budget: the query retries through and caches its answer.
+        faults.inject_read_busy(FAST_RETRY.max_attempts - 2)
+        stormy = service.lineage(_query())
+        assert canonical(stormy) == reference
+        faults.reset()
+        warm = service.lineage(_query())
+        assert warm.from_cache is True
+        assert canonical(warm) == reference
+        service.close()
+
+    def test_concurrent_readers_with_intermittent_busy(self, tmp_path):
+        faults = FaultInjector()
+        service = _service(tmp_path, retry=FAST_RETRY, faults=faults)
+        scope = [service.run("wf", {"size": 2}) for _ in range(2)]
+        reference = canonical(service.lineage(_query(), runs=scope))
+        mismatches = []
+        busy_errors = []
+        unexpected = []
+
+        def reader(salt):
+            for i in range(20):
+                if (i + salt) % 5 == 0:
+                    service.invalidate_caches()
+                    faults.inject_read_busy(1)  # one retry, then succeed
+                try:
+                    result = service.lineage(_query(), runs=scope)
+                except StoreBusyError as exc:
+                    busy_errors.append(exc)
+                    continue
+                except Exception as exc:  # pragma: no cover
+                    unexpected.append(exc)
+                    return
+                if canonical(result) != reference:
+                    mismatches.append(canonical(result))
+
+        threads = [
+            threading.Thread(target=reader, args=(salt,)) for salt in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert unexpected == []
+        assert mismatches == []
+        service.close()

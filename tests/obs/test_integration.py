@@ -61,7 +61,9 @@ class TestServiceWiring:
         assert result.per_run[run_id].total_seconds > 0.0
 
     def test_plan_cache_hit_on_second_query(self, diamond_flow, obs):
-        with ProvenanceService(obs=obs) as service:
+        # cache=False: the result cache would serve the repeat without
+        # re-planning; this test pins the *plan* cache's instrumentation.
+        with ProvenanceService(obs=obs, cache=False) as service:
             service.register_workflow(diamond_flow)
             run_id = service.run("wf", {"size": 3})
             first = service.lineage(_query(), runs=[run_id])

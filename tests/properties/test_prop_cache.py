@@ -1,0 +1,126 @@
+"""Property: cached lineage answers are byte-identical to cold execution.
+
+For random workflows and randomized interleavings of ingests and
+queries, every answer served by the service's cache stack (trace-lookup
+cache + result cache, warm or cold) must equal — bindings *and*
+JSON-encoded values, per run — what freshly constructed uncached engines
+compute over the same store and run scope at that moment.  The
+interleavings exercise the generation protocol's one hard obligation:
+an ingest between two identical queries must invalidate, never serve
+the pre-ingest answer for the post-ingest scope.
+
+Hypothesis drives >= 50 distinct interleavings (each example performs
+several query checks around ingest points, so the differential
+comparison itself runs several hundred times).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, List, Tuple
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.query.base import LineageQuery
+from repro.query.indexproj import IndexProjEngine
+from repro.query.naive import NaiveEngine
+from repro.service import ProvenanceService
+
+from tests.conftest import estimated_instances, make_random_workflow
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def canonical(result) -> Dict[str, List[Tuple[str, str, str, str]]]:
+    """Byte-accurate identity of a multi-run answer: keys + JSON values."""
+    return {
+        run_id: sorted(
+            (*binding.key(), json.dumps(binding.value, sort_keys=True,
+                                        default=repr))
+            for binding in run_result.bindings
+        )
+        for run_id, run_result in result.per_run.items()
+    }
+
+
+def query_pool(case) -> List[LineageQuery]:
+    """A small pool of valid queries so interleavings repeat shapes
+    (repeats are what make cache hits — and stale hits — possible)."""
+    flow = case.flow
+    names = list(flow.processor_names)
+    pool = [
+        LineageQuery.create(flow.name, flow.outputs[0].name, (), names),
+        LineageQuery.create(flow.name, flow.outputs[0].name, (), names[:1]),
+    ]
+    last = names[-1]
+    pool.append(LineageQuery.create(last, "y", (), names))
+    return pool
+
+
+class TestCachedEqualsUncached:
+    @settings(max_examples=50, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=999))
+    def test_differential_interleaving(self, seed, plan_seed):
+        case = make_random_workflow(seed, max_processors=4)
+        assume(estimated_instances(case) <= 150)
+        rng = random.Random(plan_seed * 7919 + seed)
+        pool = query_pool(case)
+
+        with ProvenanceService(cache=True) as service:
+            service.register_workflow(case.flow)
+            service.run(case.flow.name, case.inputs)
+            checks = 0
+            for _step in range(6):
+                if rng.random() < 0.35:
+                    service.run(case.flow.name, case.inputs)
+                    continue
+                query = rng.choice(pool)
+                strategy = rng.choice(["indexproj", "naive"])
+                # First call may be cold or warm; the repeat is warm.
+                for _attempt in range(2):
+                    cached = service.lineage(
+                        query, strategy=strategy, precheck=False
+                    )
+                    scope = service.runs_of(case.flow.name)
+                    assert list(cached.per_run) == scope
+                    control_engine = (
+                        NaiveEngine(service.store)
+                        if strategy == "naive"
+                        else IndexProjEngine(service.store, case.flow)
+                    )
+                    control = control_engine.lineage_multirun(scope, query)
+                    assert canonical(cached) == canonical(control), (
+                        f"seed={seed} plan={plan_seed} step={_step} "
+                        f"strategy={strategy} query={query}"
+                    )
+                    checks += 1
+            assert checks >= 2  # every interleaving exercises the compare
+
+    @settings(max_examples=25, deadline=None)
+    @given(seeds)
+    def test_post_ingest_invalidation(self, seed):
+        """The sharpest corner explicitly: warm entry, ingest, re-query."""
+        case = make_random_workflow(seed, max_processors=4)
+        assume(estimated_instances(case) <= 150)
+        query = query_pool(case)[0]
+
+        with ProvenanceService(cache=True) as service:
+            service.register_workflow(case.flow)
+            service.run(case.flow.name, case.inputs)
+            service.lineage(query, precheck=False)
+            warm = service.lineage(query, precheck=False)
+            assert warm.from_cache is True
+            service.run(case.flow.name, case.inputs)
+            after = service.lineage(query, precheck=False)
+            assert after.from_cache is False
+            scope = service.runs_of(case.flow.name)
+            assert list(after.per_run) == scope
+            control = IndexProjEngine(
+                service.store, case.flow
+            ).lineage_multirun(scope, query)
+            assert canonical(after) == canonical(control)
+            # And the new entry is immediately warm again.
+            rewarmed = service.lineage(query, precheck=False)
+            assert rewarmed.from_cache is True
+            assert canonical(rewarmed) == canonical(control)

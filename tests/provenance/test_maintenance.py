@@ -4,6 +4,7 @@ import pytest
 
 from repro.provenance.capture import capture_run
 from repro.provenance.maintenance import (
+    gc_value_pool,
     integrity_check,
     prune_runs,
     run_inventory,
@@ -139,3 +140,78 @@ class TestInventoryAndVacuum:
             vacuum(store)
             assert len(store.run_ids()) == 1
             assert integrity_check(store).is_healthy
+
+
+class TestMaintenanceGenerations:
+    """Every maintenance operation that touches stored data must bump
+    generations — otherwise the lineage caches (repro.cache) could keep
+    serving answers computed over the pre-maintenance database."""
+
+    def test_prune_bumps_each_deleted_run_and_membership(self):
+        with TraceStore() as store:
+            run_ids = populate(store, runs=3)
+            membership_before = store.membership_generation
+            deleted = prune_runs(store, keep_latest=1)
+            assert deleted == run_ids[:2]
+            for run_id in deleted:
+                assert store.generation(run_id) == 2  # insert + delete
+            assert store.generation(run_ids[2]) == 1  # survivor untouched
+            assert store.membership_generation == membership_before + 2
+
+    def test_vacuum_bumps_global(self, tmp_path):
+        with TraceStore(str(tmp_path / "t.db")) as store:
+            populate(store, runs=1)
+            before = store.global_generation
+            vacuum(store)
+            assert store.global_generation == before + 1
+
+    def test_gc_value_pool_bumps_global(self):
+        with TraceStore(intern_values=True) as store:
+            run_ids = populate(store, runs=2)
+            store.delete_run(run_ids[0])
+            before = store.global_generation
+            gc_value_pool(store)
+            assert store.global_generation == before + 1
+
+    def test_prune_evicts_exactly_affected_service_entries(self):
+        """End-to-end precision: after pruning run A, cached results whose
+        scope contains A are gone; a scope of survivors stays warm."""
+        from repro.query.base import LineageQuery
+        from repro.service import ProvenanceService
+
+        query = LineageQuery.create("wf", "out", [1, 1],
+                                    focus=["GEN", "A", "B"])
+        service = ProvenanceService()
+        service.register_workflow(build_diamond_workflow())
+        run_ids = [service.run("wf", {"size": 2}) for _ in range(3)]
+        survivors = run_ids[1:]
+        service.lineage(query, runs=run_ids)     # scope contains the victim
+        service.lineage(query, runs=survivors)   # scope of survivors only
+        assert service.cache_stats()["result"]["entries"] == 2
+
+        prune_runs(service.store, keep_latest=2)
+
+        assert service.cache_stats()["result"]["entries"] == 1
+        warm = service.lineage(query, runs=survivors)
+        assert warm.from_cache is True
+        fresh = service.lineage(query, runs=survivors, cache=False)
+        assert warm.binding_keys_by_run() == fresh.binding_keys_by_run()
+        service.close()
+
+    def test_vacuum_clears_service_caches_conservatively(self, tmp_path):
+        from repro.query.base import LineageQuery
+        from repro.service import ProvenanceService
+
+        query = LineageQuery.create("wf", "out", [1, 1],
+                                    focus=["GEN", "A", "B"])
+        service = ProvenanceService(str(tmp_path / "traces.db"))
+        service.register_workflow(build_diamond_workflow())
+        service.run("wf", {"size": 2})
+        service.lineage(query)
+        assert service.cache_stats()["result"]["entries"] == 1
+        vacuum(service.store)
+        assert service.cache_stats()["result"]["entries"] == 0
+        assert service.cache_stats()["trace"]["entries"] == 0
+        after = service.lineage(query)
+        assert after.from_cache is False
+        service.close()

@@ -1,0 +1,105 @@
+"""CLI surface of the lineage caches: query --repeat/--no-cache and
+the cache-stats command (sidecar-backed, zero store access)."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import load_persisted_counters
+
+QUERY_ARGS = [
+    "--db", None, "--workload", "gk",
+    "--node", "genes2kegg", "--port", "paths_per_gene",
+    "--index", "0", "--focus", "get_pathways_by_genes",
+]
+
+
+@pytest.fixture
+def gk_db(tmp_path):
+    db = str(tmp_path / "gk.db")
+    assert main(["run", "--workload", "gk", "--db", db]) == 0
+    return db
+
+
+def _query_args(db, *extra):
+    args = list(QUERY_ARGS)
+    args[1] = db
+    return ["query", *args, *extra]
+
+
+def iteration_lines(out):
+    return re.findall(r"iteration (\d+): [\d.]+ ms, (\d+) store queries", out)
+
+
+class TestRepeat:
+    def test_warm_repeats_have_zero_store_queries(self, gk_db, capsys):
+        capsys.readouterr()
+        assert main(_query_args(gk_db, "--repeat", "3")) == 0
+        out = capsys.readouterr().out
+        lines = iteration_lines(out)
+        assert [n for n, _ in lines] == ["1", "2", "3"]
+        cold_queries = int(lines[0][1])
+        assert cold_queries > 0
+        assert [int(q) for _, q in lines[1:]] == [0, 0]
+        assert "trace cache:" in out
+        match = re.search(r"trace cache: (\d+) hits, (\d+) misses", out)
+        assert match is not None
+        assert int(match.group(1)) > 0
+
+    def test_no_cache_repeats_keep_reading(self, gk_db, capsys):
+        capsys.readouterr()
+        assert main(_query_args(gk_db, "--no-cache", "--repeat", "2")) == 0
+        out = capsys.readouterr().out
+        lines = iteration_lines(out)
+        assert len(lines) == 2
+        # Every iteration pays the same store traffic without the cache.
+        assert int(lines[0][1]) == int(lines[1][1]) > 0
+        assert "trace cache:" not in out
+
+    def test_single_shot_prints_no_iteration_lines(self, gk_db, capsys):
+        capsys.readouterr()
+        assert main(_query_args(gk_db)) == 0
+        out = capsys.readouterr().out
+        assert iteration_lines(out) == []
+        assert "trace cache:" in out
+
+    def test_cached_and_uncached_answers_match(self, gk_db, capsys):
+        def bindings(out):
+            return sorted(
+                line.strip() for line in out.splitlines()
+                if line.startswith("  <")
+            )
+
+        capsys.readouterr()
+        assert main(_query_args(gk_db, "--repeat", "2")) == 0
+        cached = bindings(capsys.readouterr().out)
+        assert main(_query_args(gk_db, "--no-cache")) == 0
+        uncached = bindings(capsys.readouterr().out)
+        assert cached == uncached
+        assert cached  # the gk query has lineage to show
+
+
+class TestCacheStats:
+    def test_no_sidecar_reports_defaults_only(self, gk_db, capsys):
+        capsys.readouterr()
+        assert main(["cache-stats", "--db", gk_db]) == 0
+        out = capsys.readouterr().out
+        assert "default cache configuration" in out
+        assert "result cache" in out and "trace cache" in out
+        assert "no persisted cache counters" in out
+
+    def test_profiled_query_feeds_cache_stats(self, gk_db, capsys):
+        assert main(["--profile", *_query_args(gk_db, "--repeat", "2")]) == 0
+        doc = load_persisted_counters(gk_db)
+        assert doc["counters"]["cache.trace_hits"] > 0
+        capsys.readouterr()
+        assert main(["cache-stats", "--db", gk_db]) == 0
+        out = capsys.readouterr().out
+        assert "persisted cache counters (1 profiled invocations):" in out
+        assert "cache.trace_hits" in out
+        assert "cache.trace_misses" in out
+        # Non-cache counters stay out of this report.
+        assert "store.reads" not in out
