@@ -6,13 +6,18 @@ lookup pair per provenance hop); INDEXPROJ is essentially constant in l
 plan-cached variant strips even the graph traversal.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.figures import fig9_strategies, scale_config
 from repro.bench.harness import prepare_store
+from repro.bench.reporting import write_bench_json
 from repro.query.indexproj import IndexProjEngine
 from repro.query.naive import NaiveEngine
 from repro.testbed.generator import focused_query
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="module")
@@ -75,3 +80,16 @@ def bench_fig9_report(benchmark, scale, emit_report):
     # INDEXPROJ wins at every configuration, by a growing factor in l.
     for key, ni_ms in ni.items():
         assert ip[key] < ni_ms
+    # Machine-readable perf trajectory, like BENCH_cache.json /
+    # BENCH_batch.json.
+    write_bench_json(
+        str(REPO_ROOT / "BENCH_strategies.json"),
+        {
+            "bench": "fig9_strategies",
+            "scale": scale,
+            "rows": rows,
+            "acceptance": {
+                "indexproj_cached_beats_naive_everywhere": True,
+            },
+        },
+    )

@@ -16,10 +16,12 @@ pre-checker's verdict into one :class:`PlanExplanation`:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.analysis.precheck import PrecheckReport, precheck_query
+from repro.provenance.store import DEFAULT_BATCH_CHUNK
 from repro.query.base import LineageQuery
 from repro.query.explain import QueryExplanation, explain
 from repro.query.indexproj import build_plan
@@ -45,12 +47,27 @@ class PlanExplanation:
     #: planning context has no result cache (engine-level planning, or a
     #: cache-disabled service).
     cache_state: Optional[str] = None
+    #: SQL round-trips the unbatched INDEXPROJ execution would issue over
+    #: the run scope: ``len(plan) * runs`` (0 for non-viable queries).
+    unbatched_round_trips: int = 0
+    #: round-trips of the set-based execution of the same key grid:
+    #: ``ceil(len(plan) * runs / batch_chunk_size)``.
+    batched_round_trips: int = 0
+    #: chunk size the batched estimate assumes
+    #: (:data:`repro.provenance.store.DEFAULT_BATCH_CHUNK` by default).
+    batch_chunk_size: int = DEFAULT_BATCH_CHUNK
 
     def summary(self) -> str:
         lines = [self.report.summary()]
         if self.report.is_viable and self.cost is not None:
             lines.append(self.cost.summary())
             lines.append(f"auto strategy: {self.chosen_strategy}")
+            if self.unbatched_round_trips:
+                lines.append(
+                    f"round-trips: {self.unbatched_round_trips} unbatched"
+                    f" -> {self.batched_round_trips} batched"
+                    f" (chunk={self.batch_chunk_size})"
+                )
             if self.cache_state is not None:
                 hint = (
                     " (would be served with 0 trace lookups)"
@@ -86,12 +103,18 @@ def explain_plan(
     query: LineageQuery,
     runs: int = 1,
     cache_state: Optional[str] = None,
+    batch_chunk: int = DEFAULT_BATCH_CHUNK,
 ) -> PlanExplanation:
     """Full static plan for one query (pre-check + cost + trace lookups).
 
     ``cache_state`` is supplied by contexts that own a lineage result
     cache (the :class:`~repro.service.ProvenanceService`): ``"warm"``
     when a currently-valid cached answer exists for the query.
+
+    The round-trip estimates are exact for INDEXPROJ, because the key
+    grid of the batched s2 executor is exactly ``plan × runs``:
+    unbatched execution issues one statement per key, batched execution
+    ``ceil(keys / batch_chunk)`` statements in total.
     """
     report = precheck_query(analysis, query)
     if report.is_invalid:
@@ -100,10 +123,15 @@ def explain_plan(
     if report.is_empty:
         return PlanExplanation(report, cost, "none", ())
     plan = build_plan(analysis, query)
+    keys = len(plan) * max(runs, 1)
+    chunk = max(batch_chunk, 1)
     return PlanExplanation(
         report,
         cost,
         choose_strategy(analysis, query, runs=runs),
         tuple(str(tq) for tq in plan.trace_queries),
         cache_state=cache_state,
+        unbatched_round_trips=keys,
+        batched_round_trips=math.ceil(keys / chunk),
+        batch_chunk_size=chunk,
     )

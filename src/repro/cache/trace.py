@@ -229,6 +229,179 @@ class TraceReadCache:
             lambda: self.store.find_xfer_into(run_id, node, port, index, stats),
         )
 
+    # -- set-based (batched) lookups ---------------------------------------
+
+    def get_many(
+        self,
+        probes: Sequence[Tuple[Tuple[Any, ...], str]],
+    ) -> Tuple[Dict[int, Tuple[Any, ...]], List[int]]:
+        """Probe many ``(lru_key, run_id)`` pairs at once.
+
+        Returns ``(hits, miss_ordinals)``: ``hits`` maps the probe's
+        position to its still-coherent payload, ``miss_ordinals`` lists
+        the positions whose entries were absent or stale (stale entries
+        are discarded here).  Generation vectors are looked up once per
+        distinct run, not once per probe — a batched frontier touches
+        the same few runs hundreds of times.
+        """
+        vectors: Dict[str, Any] = {}
+        hits: Dict[int, Tuple[Any, ...]] = {}
+        misses: List[int] = []
+        for ord_, (key, run_id) in enumerate(probes):
+            entry = self._lru.get(key)
+            if entry is not MISSING:
+                generations, payload = entry
+                if run_id not in vectors:
+                    vectors[run_id] = self.store.generation_vector((run_id,))
+                if generations == vectors[run_id]:
+                    self._record(hit=True)
+                    hits[ord_] = payload
+                    continue
+                self._lru.discard(key)
+            self._record(hit=False)
+            misses.append(ord_)
+        return hits, misses
+
+    def put_many(
+        self,
+        entries: Sequence[Tuple[Tuple[Any, ...], Any, Tuple[Any, ...]]],
+    ) -> None:
+        """Backfill ``(lru_key, generation_vector, payload)`` entries.
+
+        The vector must have been captured *before* the batched fetch
+        that produced the payloads (same conservative rule as the
+        single-key path: a racing write leaves the entry tagged older
+        than the store, so validation refuses it).
+        """
+        for key, generations, payload in entries:
+            self._lru.put(key, (generations, payload))
+        self._sync_obs()
+
+    def _lookup_many(
+        self,
+        tag: str,
+        keys: Sequence[Tuple[str, str, str, Index]],
+        fetch_missing: Callable[
+            [List[Tuple[str, str, str, Index]]],
+            Dict[Tuple[str, str, str, str], Sequence[Any]],
+        ],
+    ) -> Dict[Tuple[str, str, str, str], List[Any]]:
+        """Shared hit/miss split for the batched lookup wrappers.
+
+        Serves warm keys from memory, fetches only the misses through
+        ``fetch_missing`` (one chunked batch), and backfills them under
+        generation vectors captured per run *before* the fetch.  Keys are
+        byte-identical to the single-key wrappers', so a cache warmed by
+        one path serves the other.
+        """
+        probes = [
+            ((tag, run_id, node, port, index.encode()), run_id)
+            for run_id, node, port, index in keys
+        ]
+        hits, miss_ords = self.get_many(probes)
+        result: Dict[Tuple[str, str, str, str], List[Any]] = {}
+        for ord_, payload in hits.items():
+            run_id, node, port, index = keys[ord_]
+            result[(run_id, node, port, index.encode())] = list(payload)
+        if miss_ords:
+            captured = {}
+            for ord_ in miss_ords:
+                run_id = keys[ord_][0]
+                if run_id not in captured:
+                    captured[run_id] = self.store.generation_vector((run_id,))
+            miss_keys = [keys[ord_] for ord_ in miss_ords]
+            fetched = fetch_missing(miss_keys)
+            entries = []
+            for ord_ in miss_ords:
+                run_id, node, port, index = keys[ord_]
+                key_id = (run_id, node, port, index.encode())
+                payload = tuple(fetched[key_id])
+                entries.append((probes[ord_][0], captured[run_id], payload))
+                result[key_id] = list(payload)
+            self.put_many(entries)
+        return result
+
+    def find_xform_inputs_matching_many(
+        self,
+        keys: Sequence[Tuple[str, str, str, Index]],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[Tuple[str, str, str, str], List[Binding]]:
+        """Batched s2 grid lookup: hits from memory, misses in one batch."""
+        return self._lookup_many(
+            "xform_in_match",
+            keys,
+            lambda missing: self.store.find_xform_inputs_matching_many(
+                missing, stats, chunk_size=chunk_size
+            ),
+        )
+
+    def find_xform_by_output_many(
+        self,
+        keys: Sequence[Tuple[str, str, str, Index]],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[Tuple[str, str, str, str], List[XformMatch]]:
+        return self._lookup_many(
+            "xform_by_out",
+            keys,
+            lambda missing: self.store.find_xform_by_output_many(
+                missing, stats, chunk_size=chunk_size
+            ),
+        )
+
+    def find_xfer_into_many(
+        self,
+        keys: Sequence[Tuple[str, str, str, Index]],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[Tuple[str, str, str, str], List[Tuple[Binding, Index]]]:
+        return self._lookup_many(
+            "xfer_into",
+            keys,
+            lambda missing: self.store.find_xfer_into_many(
+                missing, stats, chunk_size=chunk_size
+            ),
+        )
+
+    def xform_inputs_many(
+        self,
+        groups: Sequence[Tuple[str, Sequence[int]]],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[Tuple[str, Tuple[int, ...]], List[Binding]]:
+        """Batched event-input fetch, keyed like :meth:`xform_inputs`."""
+        probes = [
+            (("xform_inputs", run_id, tuple(event_ids)), run_id)
+            for run_id, event_ids in groups
+        ]
+        hits, miss_ords = self.get_many(probes)
+        result: Dict[Tuple[str, Tuple[int, ...]], List[Binding]] = {}
+        for ord_, payload in hits.items():
+            run_id, event_ids = groups[ord_]
+            result[(run_id, tuple(event_ids))] = list(payload)
+        if miss_ords:
+            captured = {}
+            for ord_ in miss_ords:
+                run_id = groups[ord_][0]
+                if run_id not in captured:
+                    captured[run_id] = self.store.generation_vector((run_id,))
+            missing = [
+                (groups[ord_][0], tuple(groups[ord_][1])) for ord_ in miss_ords
+            ]
+            fetched = self.store.xform_inputs_many(
+                missing, stats, chunk_size=chunk_size
+            )
+            entries = []
+            for ord_ in miss_ords:
+                run_id, event_ids = groups[ord_]
+                group_key = (run_id, tuple(event_ids))
+                payload = tuple(fetched[group_key])
+                entries.append((probes[ord_][0], captured[run_id], payload))
+                result[group_key] = list(payload)
+            self.put_many(entries)
+        return result
+
     # -- reporting / control ----------------------------------------------
 
     def clear(self) -> int:

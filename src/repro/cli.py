@@ -54,7 +54,7 @@ from repro.obs import (
     render_span_tree,
 )
 from repro.provenance.capture import capture_run
-from repro.provenance.store import TraceStore
+from repro.provenance.store import DEFAULT_BATCH_CHUNK, TraceStore
 from repro.query.base import LineageQuery
 from repro.query.indexproj import IndexProjEngine
 from repro.query.naive import NaiveEngine
@@ -176,6 +176,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", action=argparse.BooleanOptionalAction, default=True,
         help="memoize trace lookups across repeats (--no-cache disables; "
         "see docs/CACHING.md)",
+    )
+    query.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=False,
+        help="set-based execution: collapse per-key SQL round-trips into "
+        "chunked multi-key lookups across runs (see docs/PERFORMANCE.md)",
+    )
+    query.add_argument(
+        "--batch-size", type=int, metavar="N",
+        help="lookup keys per batched statement (implies --batch; "
+        f"default {DEFAULT_BATCH_CHUNK})",
     )
     query.add_argument(
         "--repeat", type=int, default=1, metavar="N",
@@ -411,7 +421,14 @@ def cmd_query(args: argparse.Namespace) -> int:
                 store, flow, obs=obs, trace_cache=trace_cache
             )
 
+        use_batch = bool(args.batch) or args.batch_size is not None
+        chunk_size = args.batch_size
+
         def run_once():
+            if use_batch:
+                return engine.lineage_multirun_batched(
+                    run_ids, query, chunk_size=chunk_size
+                )
             if strategy == "naive":
                 return engine.lineage_multirun(run_ids, query)
             if args.workers > 1:
@@ -427,15 +444,26 @@ def cmd_query(args: argparse.Namespace) -> int:
             results = run_once()
             elapsed_ms = (time.perf_counter() - start) * 1000
             if repeats > 1:
-                store_queries = sum(
-                    r.stats.queries for r in results.per_run.values()
-                )
+                store_queries = results.sql_queries
                 print(
                     f"iteration {iteration + 1}: {elapsed_ms:.2f} ms, "
                     f"{store_queries} store queries"
                 )
         assert results is not None
         print(f"query: {query}")
+        if args.verbose:
+            totals = results.aggregate_stats()
+            batch_note = (
+                f", {totals.batch_lookups} batched statements covering "
+                f"{totals.batch_keys} lookup keys "
+                f"(chunk={totals.batch_chunk_size})"
+                if totals.batch_lookups
+                else ""
+            )
+            print(
+                f"sql round-trips: {totals.queries} "
+                f"({totals.rows} rows{batch_note})"
+            )
         for run_id, result in results.per_run.items():
             print(f"run {run_id} ({result.total_seconds * 1000:.2f} ms):")
             for binding in result.bindings:

@@ -61,6 +61,28 @@ prefix of ``p``, or an extension of ``p``:
 :class:`StoreStats` counts SQL round-trips and fetched rows so benchmarks
 can report machine-independent access costs next to wall-clock times.
 
+Set-based (batched) lookups
+---------------------------
+
+Each lookup primitive has a ``*_many`` sibling that answers a whole set
+of ``(run_id, processor, port, index)`` keys in one SQL statement: the
+keys become rows of an inline ``VALUES`` table joined against the trace
+relation, so SQLite runs one indexed seek per key *inside* a single
+round-trip instead of one round-trip per key.  The index-matching rule
+above is preserved exactly — equal/prefix rows join on equality against
+the enumerated prefixes of each key, extension rows on the sargable
+range ``(p + '.', p + '/')`` (``'/'`` is the successor of ``'.'``; index
+encodings contain only digits and dots, so the range is precisely the
+``idx LIKE 'p.%'`` set).
+
+Key sets larger than :attr:`BatchConfig.chunk_size` are split across
+several statements, and a statement is flushed early when the next key
+would exceed the conservative bound-variable budget — so round-trips
+for ``k`` keys are ``ceil(k / chunk)``, never ``k``.  Batched traffic is
+accounted separately (``StoreStats.batch_lookups`` / ``batch_keys`` and
+the ``store.batch_*`` observability instruments) next to the ordinary
+round-trip counters.
+
 Write generations
 -----------------
 
@@ -109,6 +131,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -148,6 +171,11 @@ CREATE TABLE IF NOT EXISTS xform_io (
 );
 CREATE INDEX IF NOT EXISTS ix_xform_io_lookup
     ON xform_io(run_id, processor, port, role, idx);
+-- Role-free covering prefix for the batched VALUES-joins: keeps the
+-- per-key seeks of a multi-key statement index-driven even when the
+-- optimizer declines the role column.
+CREATE INDEX IF NOT EXISTS ix_xform_io_batch
+    ON xform_io(run_id, processor, port, idx);
 CREATE INDEX IF NOT EXISTS ix_xform_io_event
     ON xform_io(event_id, role);
 
@@ -223,6 +251,53 @@ def _is_busy_error(exc: sqlite3.OperationalError) -> bool:
     return "locked" in message or "busy" in message
 
 
+#: Default number of lookup keys folded into one batched SQL statement.
+DEFAULT_BATCH_CHUNK = 32
+
+#: Conservative per-statement bound-variable budget.  SQLite builds since
+#: 3.32 allow 32766 host parameters, but the historical default
+#: (``SQLITE_MAX_VARIABLE_NUMBER = 999``) is still deployed; staying under
+#: it keeps batched statements portable.  A chunk is flushed early when
+#: the next key would push the statement over this budget, so a large
+#: ``chunk_size`` degrades gracefully instead of erroring.
+_MAX_BOUND_VARS = 900
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Tuning for the set-based (batched) read path.
+
+    ``chunk_size`` bounds the number of lookup keys folded into one
+    ``VALUES``-join statement; larger chunks mean fewer round-trips but
+    bigger statements.  Chunks are additionally flushed early to respect
+    the SQLite bound-variable budget, whatever the configured size.
+    ``BatchConfig.of`` coerces the ``batch=bool|BatchConfig`` convention
+    of :meth:`repro.service.ProvenanceService.lineage`.
+    """
+
+    enabled: bool = True
+    chunk_size: int = DEFAULT_BATCH_CHUNK
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+
+    @classmethod
+    def of(cls, value: Any) -> "BatchConfig":
+        """Coerce ``True``/``False``/``None``/config into a config."""
+        if isinstance(value, BatchConfig):
+            return value
+        if value is True:
+            return cls()
+        if value is None or value is False:
+            return cls(enabled=False)
+        raise TypeError(
+            f"batch must be a bool, None, or BatchConfig, not {value!r}"
+        )
+
+
 class StoreStats:
     """Mutable, thread-safe counters of store access during a query.
 
@@ -233,12 +308,20 @@ class StoreStats:
     sees a consistent (if instantaneous) value.
 
     Beyond the original SQL round-trip/row counters, a stats object now
-    also records the robustness events its query survived: transient busy
-    retries and fault-injector firings (reads that failed with an
-    *injected* busy error; see :mod:`repro.provenance.faults`).
+    also records the robustness events its query survived (transient busy
+    retries and fault-injector firings; see
+    :mod:`repro.provenance.faults`) and the set-based traffic of the
+    batched read path: ``batch_lookups`` statements answered
+    ``batch_keys`` lookup keys under the last-used ``batch_chunk_size``
+    (0 until a batched lookup runs).  Every batched statement also counts
+    as one ordinary round-trip in ``queries``, so batched-vs-unbatched
+    savings compare directly on the same counter.
     """
 
-    __slots__ = ("queries", "rows", "busy_retries", "fault_injections", "_lock")
+    __slots__ = (
+        "queries", "rows", "busy_retries", "fault_injections",
+        "batch_lookups", "batch_keys", "batch_chunk_size", "_lock",
+    )
 
     def __init__(
         self,
@@ -246,11 +329,17 @@ class StoreStats:
         rows: int = 0,
         busy_retries: int = 0,
         fault_injections: int = 0,
+        batch_lookups: int = 0,
+        batch_keys: int = 0,
+        batch_chunk_size: int = 0,
     ) -> None:
         self.queries = queries
         self.rows = rows
         self.busy_retries = busy_retries
         self.fault_injections = fault_injections
+        self.batch_lookups = batch_lookups
+        self.batch_keys = batch_keys
+        self.batch_chunk_size = batch_chunk_size
         self._lock = threading.Lock()
 
     def record(self, fetched: int) -> None:
@@ -258,6 +347,13 @@ class StoreStats:
         with self._lock:
             self.queries += 1
             self.rows += fetched
+
+    def record_batch(self, keys: int, chunk_size: int) -> None:
+        """Count one batched statement answering ``keys`` lookup keys."""
+        with self._lock:
+            self.batch_lookups += 1
+            self.batch_keys += keys
+            self.batch_chunk_size = chunk_size
 
     def record_retry(self, injected: bool = False) -> None:
         """Count one transient busy retry (``injected`` when fault-made)."""
@@ -273,6 +369,10 @@ class StoreStats:
             self.rows += other.rows
             self.busy_retries += other.busy_retries
             self.fault_injections += other.fault_injections
+            self.batch_lookups += other.batch_lookups
+            self.batch_keys += other.batch_keys
+            if other.batch_chunk_size:
+                self.batch_chunk_size = other.batch_chunk_size
 
     def reset(self) -> None:
         with self._lock:
@@ -280,6 +380,9 @@ class StoreStats:
             self.rows = 0
             self.busy_retries = 0
             self.fault_injections = 0
+            self.batch_lookups = 0
+            self.batch_keys = 0
+            self.batch_chunk_size = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -287,6 +390,9 @@ class StoreStats:
             "rows": self.rows,
             "busy_retries": self.busy_retries,
             "fault_injections": self.fault_injections,
+            "batch_lookups": self.batch_lookups,
+            "batch_keys": self.batch_keys,
+            "batch_chunk_size": self.batch_chunk_size,
         }
 
     def __eq__(self, other: object) -> bool:
@@ -298,7 +404,9 @@ class StoreStats:
         return (
             f"StoreStats(queries={self.queries}, rows={self.rows}, "
             f"busy_retries={self.busy_retries}, "
-            f"fault_injections={self.fault_injections})"
+            f"fault_injections={self.fault_injections}, "
+            f"batch_lookups={self.batch_lookups}, "
+            f"batch_keys={self.batch_keys})"
         )
 
 
@@ -326,6 +434,35 @@ def _prefixes(encoded: str) -> List[str]:
         return [""]
     parts = encoded.split(".")
     return [""] + [".".join(parts[: i + 1]) for i in range(len(parts))]
+
+
+def _extension_range(encoded: str) -> Tuple[str, str]:
+    """Half-open string range covering the strict extensions of ``p``.
+
+    Index encodings contain only digits and dots, so the extensions of a
+    non-empty ``p`` (the ``idx LIKE 'p.%'`` set) are exactly the strings
+    in ``(p + '.', p + '/')`` — ``'/'`` is the character after ``'.'``,
+    and every digit sorts above it.  For the empty index the extensions
+    are all non-empty encodings: ``('', ':')`` (``':'`` follows ``'9'``).
+    Both bounds are exclusive/exclusive under ``idx > lo AND idx < hi``.
+    """
+    if encoded:
+        return encoded + ".", encoded + "/"
+    return "", ":"
+
+
+#: One batched lookup key: ``(run_id, node, port, index)``.
+BatchKey = Tuple[str, str, str, Index]
+
+#: Identity of a batched key in result mappings: the same tuple with the
+#: index encoded, so callers can build it without holding Index objects.
+BatchKeyId = Tuple[str, str, str, str]
+
+
+def batch_key_id(key: BatchKey) -> BatchKeyId:
+    """The result-dict key for one lookup key."""
+    run_id, node, port, index = key
+    return (run_id, node, port, index.encode())
 
 
 class TraceStore:
@@ -759,6 +896,7 @@ class TraceStore:
     _SECONDARY_INDEXES = (
         "ix_xform_event_proc",
         "ix_xform_io_lookup",
+        "ix_xform_io_batch",
         "ix_xform_io_event",
         "ix_xfer_dst",
         "ix_xfer_src",
@@ -1219,6 +1357,353 @@ class TraceStore:
                 )
             )
         return results
+
+    # -- set-based (batched) lookup primitives ------------------------------
+
+    def _batch_chunks(
+        self,
+        keys: Sequence[Tuple[int, str, str, str, str]],
+        chunk_size: Optional[int],
+    ) -> Iterable[List[Tuple[int, str, str, str, str]]]:
+        """Split enumerated keys into statement-sized chunks.
+
+        ``keys`` carry ``(ord, run_id, node, port, encoded_index)``.  A
+        chunk closes at ``chunk_size`` keys or when the next key would
+        exceed the bound-variable budget, whichever comes first.
+        """
+        limit = chunk_size if chunk_size is not None else DEFAULT_BATCH_CHUNK
+        if limit < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {limit}")
+        chunk: List[Tuple[int, str, str, str, str]] = []
+        budget = 0
+        for item in keys:
+            # Each prefix costs one 5-column VALUES row; the extension
+            # range costs one 6-column row.
+            cost = 5 * len(_prefixes(item[4])) + 6
+            if chunk and (len(chunk) >= limit or budget + cost > _MAX_BOUND_VARS):
+                yield chunk
+                chunk, budget = [], 0
+            chunk.append(item)
+            budget += cost
+        if chunk:
+            yield chunk
+
+    def _read_values_join(
+        self,
+        keys: Sequence[BatchKey],
+        table: str,
+        node_col: str,
+        port_col: str,
+        idx_col: str,
+        role: Optional[str],
+        select: str,
+        with_values: bool,
+        distinct: bool,
+        stats: Optional[StoreStats],
+        chunk_size: Optional[int],
+    ) -> List[Tuple]:
+        """Execute one multi-key lookup as chunked ``VALUES``-joins.
+
+        Returns ``(key_ord, *selected columns)`` rows across all chunks;
+        ``key_ord`` is the key's position in ``keys``, which is how
+        callers demultiplex rows back onto their lookup keys.  Each chunk
+        is one SQL statement: the equality branch joins the enumerated
+        prefixes of every key, the range branch the strict-extension
+        range — together exactly the single-key matching rule.  Both
+        branches are disjoint per key (prefix rows are never longer than
+        the key, extension rows strictly longer), so ``UNION ALL``
+        reproduces the single-key row multiset.
+        """
+        obs = self.obs
+        effective_chunk = (
+            chunk_size if chunk_size is not None else DEFAULT_BATCH_CHUNK
+        )
+        role_clause = f"AND t.role = '{role}' " if role else ""
+        head = "SELECT DISTINCT" if distinct else "SELECT"
+        value_join = (
+            "LEFT JOIN value_pool vp ON vp.value_id = t.value_id "
+            if with_values
+            else ""
+        )
+        enumerated = [
+            (ord_, run_id, node, port, index.encode())
+            for ord_, (run_id, node, port, index) in enumerate(keys)
+        ]
+        rows: List[Tuple] = []
+        for chunk in self._batch_chunks(enumerated, effective_chunk):
+            eq_params: List[Any] = []
+            eq_count = 0
+            rg_params: List[Any] = []
+            for ord_, run_id, node, port, encoded in chunk:
+                for prefix in _prefixes(encoded):
+                    eq_params.extend((ord_, run_id, node, port, prefix))
+                    eq_count += 1
+                low, high = _extension_range(encoded)
+                rg_params.extend((ord_, run_id, node, port, low, high))
+            eq_values = ",".join("(?,?,?,?,?)" for _ in range(eq_count))
+            rg_values = ",".join("(?,?,?,?,?,?)" for _ in range(len(chunk)))
+            sql = (
+                f"{head} v.column1, {select} "
+                f"FROM (VALUES {eq_values}) AS v "
+                f"JOIN {table} AS t ON t.run_id = v.column2 "
+                f"AND t.{node_col} = v.column3 AND t.{port_col} = v.column4 "
+                f"{role_clause}AND t.{idx_col} = v.column5 "
+                f"{value_join}"
+                f"UNION ALL "
+                f"{head} v.column1, {select} "
+                f"FROM (VALUES {rg_values}) AS v "
+                f"JOIN {table} AS t ON t.run_id = v.column2 "
+                f"AND t.{node_col} = v.column3 AND t.{port_col} = v.column4 "
+                f"{role_clause}AND t.{idx_col} > v.column5 "
+                f"AND t.{idx_col} < v.column6 "
+                f"{value_join}"
+            )
+            started = time.perf_counter() if obs.enabled else 0.0
+            fetched = self._read(sql, eq_params + rg_params, stats=stats)
+            if stats is not None:
+                stats.record(len(fetched))
+                stats.record_batch(len(chunk), effective_chunk)
+            if obs.enabled:
+                obs.inc("store.batch_lookups")
+                obs.observe("store.batch_size", len(chunk))
+                obs.observe(
+                    "store.batch_seconds", time.perf_counter() - started
+                )
+            rows.extend(fetched)
+        return rows
+
+    def find_xform_inputs_matching_many(
+        self,
+        keys: Sequence[BatchKey],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[BatchKeyId, List[Binding]]:
+        """Set-based ``Q(P, X_i, p_i)``: many keys, one statement per chunk.
+
+        The multi-key sibling of :meth:`find_xform_inputs_matching` — the
+        batched s2 executor resolves the whole ``plan × run-set`` key grid
+        through it.  Every requested key appears in the result, with an
+        empty list when nothing matched (so cache layers can backfill
+        negative entries exactly like the single-key path does).
+        """
+        if not keys:
+            return {}
+        rows = self._read_values_join(
+            keys,
+            table="xform_io",
+            node_col="processor",
+            port_col="port",
+            idx_col="idx",
+            role="in",
+            select=(
+                "t.processor, t.port, t.idx, "
+                "COALESCE(t.value_json, vp.value_json)"
+            ),
+            with_values=True,
+            distinct=True,
+            stats=stats,
+            chunk_size=chunk_size,
+        )
+        grouped: Dict[int, List[Tuple[str, str, str, Optional[str]]]] = {}
+        for ord_, node, port, idx, value_json in rows:
+            grouped.setdefault(ord_, []).append((node, port, idx, value_json))
+        value_memo: Dict[str, Any] = {}
+        result: Dict[BatchKeyId, List[Binding]] = {}
+        for ord_, key in enumerate(keys):
+            result[batch_key_id(key)] = _dedupe_bindings(
+                grouped.get(ord_, ()), value_memo
+            )
+        return result
+
+    def find_xform_by_output_many(
+        self,
+        keys: Sequence[BatchKey],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[BatchKeyId, List[XformMatch]]:
+        """Multi-key sibling of :meth:`find_xform_by_output`.
+
+        The per-key exact/coarser/finer preference is applied after the
+        batched fetch, so each key's match list is identical to what the
+        single-key lookup returns.  This is the level-synchronous NI
+        frontier resolver: one statement per chunk answers a whole BFS
+        frontier across every run of a multi-run query.
+        """
+        if not keys:
+            return {}
+        rows = self._read_values_join(
+            keys,
+            table="xform_io",
+            node_col="processor",
+            port_col="port",
+            idx_col="idx",
+            role="out",
+            select="t.event_id, t.idx",
+            with_values=False,
+            distinct=False,
+            stats=stats,
+            chunk_size=chunk_size,
+        )
+        grouped: Dict[int, List[Tuple[int, str]]] = {}
+        for ord_, event_id, idx in rows:
+            grouped.setdefault(ord_, []).append((event_id, idx))
+        result: Dict[BatchKeyId, List[XformMatch]] = {}
+        for ord_, key in enumerate(keys):
+            encoded = key[3].encode()
+            matched = grouped.get(ord_, [])
+            exact = [r for r in matched if r[1] == encoded]
+            if exact:
+                chosen = exact
+            else:
+                coarser = [r for r in matched if encoded.startswith(r[1])]
+                chosen = coarser if coarser else matched
+            result[batch_key_id(key)] = [
+                XformMatch(event_id=r[0], output_index=Index.decode(r[1]))
+                for r in chosen
+            ]
+        return result
+
+    def xform_inputs_many(
+        self,
+        groups: Sequence[Tuple[str, Sequence[int]]],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[Tuple[str, Tuple[int, ...]], List[Binding]]:
+        """Input bindings of many event groups in chunked ``IN`` lookups.
+
+        ``groups`` holds ``(run_id, event_ids)`` pairs — the run id only
+        scopes the result key (event ids are globally unique, but cache
+        layers key event lookups per run; see
+        :class:`repro.cache.trace.TraceReadCache`).  All distinct event
+        ids across all groups are fetched together, chunked by the
+        bound-variable budget (one bind per event id, so key-count
+        chunking would be needlessly fine), then regrouped and
+        deduplicated per group exactly like :meth:`xform_inputs`.
+        """
+        if not groups:
+            return {}
+        unique_events: List[int] = []
+        seen_events: Set[int] = set()
+        for _run_id, event_ids in groups:
+            for event_id in event_ids:
+                if event_id not in seen_events:
+                    seen_events.add(event_id)
+                    unique_events.append(event_id)
+        obs = self.obs
+        effective_chunk = (
+            chunk_size if chunk_size is not None else DEFAULT_BATCH_CHUNK
+        )
+        by_event: Dict[int, List[Tuple[str, str, str, Optional[str]]]] = {}
+        for start in range(0, len(unique_events), _MAX_BOUND_VARS):
+            chunk = unique_events[start : start + _MAX_BOUND_VARS]
+            placeholders = ",".join("?" for _ in chunk)
+            started = time.perf_counter() if obs.enabled else 0.0
+            rows = self._read(
+                "SELECT t.event_id, t.processor, t.port, t.idx, "
+                "COALESCE(t.value_json, vp.value_json) FROM xform_io AS t "
+                "LEFT JOIN value_pool vp ON vp.value_id = t.value_id "
+                f"WHERE t.event_id IN ({placeholders}) AND t.role = 'in'",
+                chunk,
+                stats=stats,
+            )
+            if stats is not None:
+                stats.record(len(rows))
+                stats.record_batch(len(chunk), effective_chunk)
+            if obs.enabled:
+                obs.inc("store.batch_lookups")
+                obs.observe("store.batch_size", len(chunk))
+                obs.observe(
+                    "store.batch_seconds", time.perf_counter() - started
+                )
+            for event_id, node, port, idx, value_json in rows:
+                by_event.setdefault(event_id, []).append(
+                    (node, port, idx, value_json)
+                )
+        value_memo: Dict[str, Any] = {}
+        result: Dict[Tuple[str, Tuple[int, ...]], List[Binding]] = {}
+        for run_id, event_ids in groups:
+            merged: List[Tuple[str, str, str, Optional[str]]] = []
+            for event_id in event_ids:
+                merged.extend(by_event.get(event_id, ()))
+            result[(run_id, tuple(event_ids))] = _dedupe_bindings(
+                merged, value_memo
+            )
+        return result
+
+    def find_xfer_into_many(
+        self,
+        keys: Sequence[BatchKey],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[BatchKeyId, List[Tuple[Binding, Index]]]:
+        """Multi-key sibling of :meth:`find_xfer_into`.
+
+        Same continuation rule per key (coarser rows keep the query's
+        finer index, finer rows continue with their own), applied after
+        the batched fetch — this is the batched *xfer* fallback of the
+        level-synchronous NI traversal.
+        """
+        if not keys:
+            return {}
+        rows = self._read_values_join(
+            keys,
+            table="xfer",
+            node_col="dst_node",
+            port_col="dst_port",
+            idx_col="dst_idx",
+            role=None,
+            select=(
+                "t.src_node, t.src_port, t.src_idx, t.dst_idx, "
+                "COALESCE(t.value_json, vp.value_json)"
+            ),
+            with_values=True,
+            distinct=False,
+            stats=stats,
+            chunk_size=chunk_size,
+        )
+        grouped: Dict[
+            int, List[Tuple[str, str, str, str, Optional[str]]]
+        ] = {}
+        for ord_, src_node, src_port, src_idx, dst_idx, value_json in rows:
+            grouped.setdefault(ord_, []).append(
+                (src_node, src_port, src_idx, dst_idx, value_json)
+            )
+        value_memo: Dict[str, Any] = {}
+        result: Dict[BatchKeyId, List[Tuple[Binding, Index]]] = {}
+        for ord_, key in enumerate(keys):
+            index = key[3]
+            encoded = index.encode()
+            entries: List[Tuple[Binding, Index]] = []
+            seen: Set[Tuple[str, str, str]] = set()
+            for src_node, src_port, src_idx, dst_idx, value_json in grouped.get(
+                ord_, ()
+            ):
+                if len(dst_idx) <= len(encoded):
+                    continue_index = index
+                else:
+                    continue_index = Index.decode(dst_idx)
+                dedupe_key = (src_node, src_port, continue_index.encode())
+                if dedupe_key in seen:
+                    continue
+                seen.add(dedupe_key)
+                if value_json is None:
+                    value = None
+                elif value_json in value_memo:
+                    value = value_memo[value_json]
+                else:
+                    value = value_memo[value_json] = json.loads(value_json)
+                entries.append(
+                    (
+                        Binding(
+                            PortRef(src_node, src_port),
+                            Index.decode(src_idx),
+                            value=value,
+                        ),
+                        continue_index,
+                    )
+                )
+            result[batch_key_id(key)] = entries
+        return result
 
     def has_binding(self, run_id: str, node: str, port: str) -> bool:
         """True when any trace row mentions ``node:port`` in ``run_id``."""

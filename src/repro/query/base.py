@@ -116,3 +116,28 @@ class MultiRunResult:
             run_id: result.binding_keys()
             for run_id, result in self.per_run.items()
         }
+
+    def aggregate_stats(self) -> StoreStats:
+        """Store counters of the whole execution, multi-count free.
+
+        Batched executions share one :class:`StoreStats` object across
+        every per-run result (a set-based lookup answers all runs at
+        once, so its round-trips cannot be attributed to a single run);
+        summing ``result.stats.queries`` over ``per_run`` would then
+        multiply-count each round-trip by the number of runs.  This
+        aggregation dedupes by object identity first, so it is correct
+        for both the per-run (unbatched) and the shared (batched) shape.
+        """
+        total = StoreStats()
+        seen: set = set()
+        for result in self.per_run.values():
+            if id(result.stats) in seen:
+                continue
+            seen.add(id(result.stats))
+            total.merge(result.stats)
+        return total
+
+    @property
+    def sql_queries(self) -> int:
+        """Total SQL round-trips of this execution (EXPERIMENTS.md counter)."""
+        return self.aggregate_stats().queries

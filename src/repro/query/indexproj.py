@@ -241,37 +241,49 @@ class IndexProjEngine:
         )
 
     def lineage_multirun_batched(
-        self, run_ids: Iterable[str], query: LineageQuery
+        self,
+        run_ids: Iterable[str],
+        query: LineageQuery,
+        chunk_size: Optional[int] = None,
     ) -> MultiRunResult:
-        """Batched multi-run execution: one SQL round-trip per planned
-        lookup covering *all* runs (``run_id IN (...)``).
+        """Set-based multi-run execution: the full ``plan × run-set``
+        key grid resolves in ``O(ceil(keys/chunk))`` SQL round-trips.
 
         Beyond the paper's per-run loop (which :meth:`lineage_multirun`
-        implements); total round-trips drop from ``len(plan) * runs`` to
-        ``len(plan)``.  Answers are identical.
+        implements at ``len(plan) * runs`` round-trips): every
+        ``(run, TraceQuery)`` pair becomes one key of a single batched
+        :meth:`~repro.provenance.store.TraceStore.find_xform_inputs_matching_many`
+        call, and the rows are demultiplexed per run afterwards.  Answers
+        are identical per run; the per-run results share one
+        :class:`StoreStats` (use
+        :meth:`~repro.query.base.MultiRunResult.aggregate_stats` to total
+        them without multi-counting).
         """
         scope = list(run_ids)
         plan, plan_seconds = self.plan(query)
         stats = StoreStats()
+        grid: List[Tuple[str, str, str, Index]] = [
+            (run_id, tq.processor, tq.port, tq.fragment)
+            for run_id in scope
+            for tq in plan.trace_queries
+        ]
         collected: Dict[str, Dict[Tuple[str, str, str], Binding]] = {
             run_id: {} for run_id in scope
         }
         with self.obs.timer(
-            "indexproj.execute_batched", runs=len(scope)
+            "indexproj.execute_batched", runs=len(scope), keys=len(grid)
         ) as timer:
-            for trace_query in plan.trace_queries:
-                per_run = self._reader.find_xform_inputs_matching_multi(
-                    scope,
-                    trace_query.processor,
-                    trace_query.port,
-                    trace_query.fragment,
-                    stats,
-                )
-                for run_id, bindings in per_run.items():
-                    bucket = collected[run_id]
-                    for binding in bindings:
-                        bucket[binding.key()] = binding
+            answers = self._reader.find_xform_inputs_matching_many(
+                grid, stats, chunk_size=chunk_size
+            )
+            for run_id, node, port, index in grid:
+                bucket = collected[run_id]
+                for binding in answers[(run_id, node, port, index.encode())]:
+                    bucket[binding.key()] = binding
         elapsed = timer.seconds
+        if self.obs.enabled:
+            self.obs.inc("indexproj.trace_lookups", len(grid))
+            self.obs.inc("indexproj.batched_keys", len(grid))
         per_run_results: Dict[str, LineageResult] = {}
         for run_id in scope:
             per_run_results[run_id] = LineageResult(

@@ -52,7 +52,12 @@ from repro.engine.processors import ProcessorRegistry
 from repro.obs.core import NO_OBS, Observability
 from repro.provenance.capture import capture_run
 from repro.provenance.faults import FaultInjector
-from repro.provenance.store import DuplicateRunError, RetryPolicy, TraceStore
+from repro.provenance.store import (
+    BatchConfig,
+    DuplicateRunError,
+    RetryPolicy,
+    TraceStore,
+)
 from repro.query.base import LineageQuery, LineageResult, MultiRunResult
 from repro.query.explain import QueryExplanation, explain as _explain
 from repro.query.impact import ImpactQuery, IndexProjImpactEngine
@@ -298,12 +303,23 @@ class ProvenanceService:
         strategy: str = "indexproj",
         focus: Iterable[str] = (),
         batched: bool = False,
+        batch: Union[bool, "BatchConfig", None] = None,
         workers: Optional[int] = None,
         precheck: bool = True,
         cache: Optional[bool] = None,
     ) -> MultiRunResult:
         """Answer a lineage query over ``runs`` (default: every stored run
         of the owning workflow).
+
+        ``batch`` selects the set-based execution path: ``True`` (or a
+        :class:`~repro.provenance.store.BatchConfig` carrying a custom
+        chunk size) collapses the per-key SQL round-trips of either
+        strategy into chunked multi-key lookups — INDEXPROJ resolves the
+        whole ``plan × run-set`` grid in ``ceil(keys/chunk)`` statements,
+        NI traverses level-synchronously across all runs.  Answers are
+        identical to the unbatched path.  ``batch`` wins over
+        ``workers``; the legacy ``batched=True`` flag is kept as an alias
+        for ``batch=True``.
 
         ``workers > 1`` fans the per-run trace lookups across a thread
         pool sharing the single cached plan (INDEXPROJ only) — identical
@@ -329,6 +345,9 @@ class ProvenanceService:
         silent no-op.
         """
         parsed = self._as_query(query, focus)
+        batch_config = BatchConfig.of(
+            batch if batch is not None else bool(batched)
+        )
         workflow_name = self._owning_workflow(parsed)
         if precheck:
             rejected = self._precheck(workflow_name, parsed, runs)
@@ -365,15 +384,22 @@ class ProvenanceService:
             # self-invalidates instead of serving stale data.
             generations = self.store.generation_vector(scope)
         if strategy == "naive":
-            result = self._naive.lineage_multirun(scope, parsed)
+            if batch_config.enabled:
+                result = self._naive.lineage_multirun_batched(
+                    scope, parsed, chunk_size=batch_config.chunk_size
+                )
+            else:
+                result = self._naive.lineage_multirun(scope, parsed)
         else:
             engine = self._lineage_engines[workflow_name]
-            if workers is not None and workers > 1:
+            if batch_config.enabled:
+                result = engine.lineage_multirun_batched(
+                    scope, parsed, chunk_size=batch_config.chunk_size
+                )
+            elif workers is not None and workers > 1:
                 result = engine.lineage_multirun_parallel(
                     scope, parsed, max_workers=workers
                 )
-            elif batched:
-                result = engine.lineage_multirun_batched(scope, parsed)
             else:
                 result = engine.lineage_multirun(scope, parsed)
         if use_cache and key is not None and generations is not None:
@@ -389,6 +415,7 @@ class ProvenanceService:
         runs: Optional[Iterable[str]] = None,
         strategy: str = "indexproj",
         focus: Iterable[str] = (),
+        batch: Union[bool, "BatchConfig", None] = None,
         precheck: bool = True,
         cache: Optional[bool] = None,
     ) -> List[MultiRunResult]:
@@ -411,7 +438,7 @@ class ProvenanceService:
             return [
                 self.lineage(
                     q, runs=scope, strategy=strategy, focus=focus,
-                    precheck=precheck, cache=cache,
+                    batch=batch, precheck=precheck, cache=cache,
                 )
                 for q in query_list
             ]
@@ -420,7 +447,7 @@ class ProvenanceService:
                 pool.map(
                     lambda q: self.lineage(
                         q, runs=scope, strategy=strategy, focus=focus,
-                        precheck=precheck, cache=cache,
+                        batch=batch, precheck=precheck, cache=cache,
                     ),
                     query_list,
                 )

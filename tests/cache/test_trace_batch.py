@@ -1,0 +1,144 @@
+"""TraceReadCache batched lookups — hit/miss split and coherence.
+
+The batched wrappers must share entry keys with the single-key wrappers
+(a cache warmed by one path serves the other), fetch only the misses of
+a mixed batch, and refuse entries whose generation vector went stale.
+"""
+
+from repro.cache.trace import TraceReadCache
+from repro.provenance.capture import capture_run
+from repro.provenance.store import StoreStats, TraceStore, batch_key_id
+from repro.values.index import Index
+
+from tests.conftest import build_diamond_workflow
+
+
+def populated(runs=2):
+    flow = build_diamond_workflow()
+    store = TraceStore()
+    run_ids = []
+    for _ in range(runs):
+        captured = capture_run(flow, {"size": 3})
+        store.insert_trace(captured.trace)
+        run_ids.append(captured.run_id)
+    return flow, store, run_ids
+
+
+def keys_for(store):
+    rows = store._read(
+        "SELECT DISTINCT run_id, processor, port, idx FROM xform_io", []
+    )
+    keys = [(r, n, p, Index.decode(i)) for r, n, p, i in rows]
+    keys.sort(key=lambda k: (k[0], k[1], k[2], k[3].encode()))
+    return keys
+
+
+class TestBatchedCache:
+    def test_single_key_warm_serves_batched(self):
+        flow, store, run_ids = populated()
+        try:
+            cache = TraceReadCache(store)
+            keys = keys_for(store)
+            # Warm every key through the single-key wrapper.
+            for run_id, node, port, index in keys:
+                cache.find_xform_inputs_matching(run_id, node, port, index)
+            warm_misses = cache.misses
+            stats = StoreStats()
+            answers = cache.find_xform_inputs_matching_many(keys, stats)
+            assert cache.misses == warm_misses  # every probe hit
+            assert stats.queries == 0  # not a single store read
+            for key in keys:
+                expected = store.find_xform_inputs_matching(*key[:3], key[3])
+                got = answers[batch_key_id(key)]
+                assert [b.key() for b in got] == [b.key() for b in expected]
+        finally:
+            store.close()
+
+    def test_batched_warm_serves_single_key(self):
+        flow, store, run_ids = populated()
+        try:
+            cache = TraceReadCache(store)
+            keys = keys_for(store)
+            cache.find_xform_by_output_many(keys)
+            hits_before = cache.hits
+            stats = StoreStats()
+            for run_id, node, port, index in keys:
+                cache.find_xform_by_output(run_id, node, port, index, stats)
+            assert cache.hits == hits_before + len(keys)
+            assert stats.queries == 0
+        finally:
+            store.close()
+
+    def test_mixed_batch_fetches_only_misses(self):
+        flow, store, run_ids = populated()
+        try:
+            cache = TraceReadCache(store)
+            keys = keys_for(store)
+            half = keys[: len(keys) // 2]
+            cache.find_xform_inputs_matching_many(half)
+            stats = StoreStats()
+            cache.find_xform_inputs_matching_many(keys, stats)
+            # Only the cold half hit the store, in one chunked batch.
+            assert stats.batch_keys == len(keys) - len(half)
+            assert stats.queries >= 1
+        finally:
+            store.close()
+
+    def test_generation_bump_invalidates_batched_entries(self):
+        flow, store, run_ids = populated()
+        try:
+            cache = TraceReadCache(store)
+            keys = keys_for(store)
+            cache.find_xform_inputs_matching_many(keys)
+            run0_keys = [k for k in keys if k[0] == run_ids[0]]
+            store.bump_run_generation(run_ids[0])
+            stats = StoreStats()
+            cache.find_xform_inputs_matching_many(keys, stats)
+            # Exactly the bumped run's keys were refetched.
+            assert stats.batch_keys == len(run0_keys)
+        finally:
+            store.close()
+
+    def test_xform_inputs_many_keyed_like_single(self):
+        flow, store, run_ids = populated()
+        try:
+            cache = TraceReadCache(store)
+            rows = store._read(
+                "SELECT DISTINCT run_id, event_id FROM xform_io "
+                "ORDER BY event_id",
+                [],
+            )
+            per_run = {}
+            for run_id, event_id in rows:
+                per_run.setdefault(run_id, []).append(event_id)
+            groups = [(r, tuple(es)) for r, es in per_run.items()]
+            # Warm through the single-key path...
+            for run_id, event_ids in groups:
+                cache.xform_inputs(run_id, list(event_ids))
+            stats = StoreStats()
+            answers = cache.xform_inputs_many(groups, stats)
+            assert stats.queries == 0
+            for run_id, event_ids in groups:
+                expected = store.xform_inputs(list(event_ids))
+                got = answers[(run_id, event_ids)]
+                assert [b.key() for b in got] == [b.key() for b in expected]
+        finally:
+            store.close()
+
+    def test_get_many_put_many_roundtrip(self):
+        flow, store, run_ids = populated()
+        try:
+            cache = TraceReadCache(store)
+            key = ("custom", run_ids[0], "A", "x", "0")
+            probes = [(key, run_ids[0])]
+            hits, misses = cache.get_many(probes)
+            assert hits == {} and misses == [0]
+            vector = store.generation_vector((run_ids[0],))
+            cache.put_many([(key, vector, ("payload",))])
+            hits, misses = cache.get_many(probes)
+            assert hits == {0: ("payload",)} and misses == []
+            store.bump_run_generation(run_ids[0])
+            hits, misses = cache.get_many(probes)
+            assert hits == {} and misses == [0]
+        finally:
+            store.close()

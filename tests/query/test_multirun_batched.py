@@ -38,20 +38,39 @@ class TestBatchedMultirun:
         finally:
             store.close()
 
-    def test_one_round_trip_per_planned_lookup(self):
+    def test_round_trips_scale_with_chunks_not_keys(self):
         flow, store, run_ids = populated(runs=6)
         try:
             engine = IndexProjEngine(store, flow)
             query = LineageQuery.create("F", "y", [0, 0], ["A", "B"])
             batched = engine.lineage_multirun_batched(run_ids, query)
-            # Two planned lookups (A:x, B:x) regardless of 6 runs in scope.
+            # Two planned lookups (A:x, B:x) x 6 runs = 12 keys, all
+            # within one default-size chunk -> exactly one statement.
             stats = batched.per_run[run_ids[0]].stats
-            assert stats.queries == 2
+            assert stats.queries == 1
+            assert stats.batch_lookups == 1
+            assert stats.batch_keys == 12
+            assert batched.sql_queries == 1
             looped = engine.lineage_multirun(run_ids, query)
-            looped_total = sum(
-                r.stats.queries for r in looped.per_run.values()
+            assert looped.sql_queries == 12
+        finally:
+            store.close()
+
+    def test_chunk_size_controls_round_trips(self):
+        flow, store, run_ids = populated(runs=6)
+        try:
+            engine = IndexProjEngine(store, flow)
+            query = LineageQuery.create("F", "y", [0, 0], ["A", "B"])
+            # 12 keys at chunk 5 -> ceil(12/5) = 3 statements.
+            batched = engine.lineage_multirun_batched(
+                run_ids, query, chunk_size=5
             )
-            assert looped_total == 12
+            assert batched.sql_queries == 3
+            reference = engine.lineage_multirun(run_ids, query)
+            assert (
+                batched.binding_keys_by_run()
+                == reference.binding_keys_by_run()
+            )
         finally:
             store.close()
 

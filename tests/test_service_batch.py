@@ -1,0 +1,244 @@
+"""Service and CLI surface of the set-based batched read path.
+
+Covers the ``batch=bool|BatchConfig`` parameter on
+``ProvenanceService.lineage``/``lineage_many``, the round-trip
+accounting on ``MultiRunResult`` (``aggregate_stats``/``sql_queries``),
+the ISSUE 5 acceptance shape — a 20-run focused-PD query answered in
+``ceil(keys/chunk)`` round-trips with bindings identical to the
+unbatched path — and the ``--batch/--no-batch/--batch-size`` CLI flags
+with the ``--verbose`` round-trip printout.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.provenance.store import (
+    DEFAULT_BATCH_CHUNK,
+    BatchConfig,
+    StoreStats,
+)
+from repro.query.base import LineageResult, MultiRunResult
+from repro.query.indexproj import build_plan
+from repro.service import ProvenanceService
+from repro.testbed.workloads import protein_discovery_workload
+from repro.workflow.depths import propagate_depths
+
+
+@pytest.fixture(scope="module")
+def pd_service(tmp_path_factory):
+    workload = protein_discovery_workload()
+    tmp = tmp_path_factory.mktemp("service-batch")
+    service = ProvenanceService(str(tmp / "pd.db"), cache=False)
+    service.register_workflow(workload.flow, workload.registry)
+    for _ in range(20):
+        service.run(workload.flow.name, workload.inputs)
+    service.store.create_indexes()
+    yield workload, service
+    service.close()
+
+
+class TestServiceBatchParam:
+    def test_batch_true_matches_unbatched(self, pd_service):
+        workload, service = pd_service
+        query = workload.focused_query()
+        reference = service.lineage(query)
+        batched = service.lineage(query, batch=True)
+        assert (
+            batched.binding_keys_by_run() == reference.binding_keys_by_run()
+        )
+
+    def test_batch_config_chunk_size(self, pd_service):
+        workload, service = pd_service
+        query = workload.focused_query()
+        batched = service.lineage(query, batch=BatchConfig(chunk_size=7))
+        assert batched.aggregate_stats().batch_chunk_size == 7
+
+    def test_batch_naive_strategy(self, pd_service):
+        workload, service = pd_service
+        query = workload.focused_query()
+        reference = service.lineage(query, strategy="naive")
+        batched = service.lineage(query, strategy="naive", batch=True)
+        assert (
+            batched.binding_keys_by_run() == reference.binding_keys_by_run()
+        )
+        assert batched.sql_queries < reference.sql_queries
+
+    def test_batch_wins_over_workers(self, pd_service):
+        workload, service = pd_service
+        query = workload.focused_query()
+        result = service.lineage(query, batch=True, workers=4)
+        # The batched path shares one stats object across runs; the
+        # parallel path would have per-run stats objects.
+        stats_ids = {id(r.stats) for r in result.per_run.values()}
+        assert len(stats_ids) == 1
+
+    def test_legacy_batched_flag_still_works(self, pd_service):
+        workload, service = pd_service
+        query = workload.focused_query()
+        result = service.lineage(query, batched=True)
+        assert result.aggregate_stats().batch_lookups > 0
+
+    def test_batch_rejects_garbage(self, pd_service):
+        workload, service = pd_service
+        with pytest.raises(TypeError):
+            service.lineage(workload.focused_query(), batch="always")
+
+    def test_lineage_many_batched(self, pd_service):
+        workload, service = pd_service
+        queries = [workload.focused_query(), workload.unfocused_query()]
+        unbatched = service.lineage_many(queries)
+        batched = service.lineage_many(queries, batch=True)
+        for got, want in zip(batched, unbatched):
+            assert got.binding_keys_by_run() == want.binding_keys_by_run()
+            assert got.sql_queries <= want.sql_queries
+
+
+class TestAcceptance:
+    """ISSUE 5: 20-run focused PD in O(ceil(keys/chunk)) round-trips."""
+
+    def test_focused_pd_round_trip_collapse(self, pd_service):
+        workload, service = pd_service
+        query = workload.focused_query()
+        analysis = propagate_depths(workload.flow.flattened())
+        plan = build_plan(analysis, query)
+        keys = len(plan) * 20
+        for chunk in (DEFAULT_BATCH_CHUNK, 4):
+            batched = service.lineage(
+                query, batch=BatchConfig(chunk_size=chunk)
+            )
+            assert batched.sql_queries == math.ceil(keys / chunk)
+        unbatched = service.lineage(query)
+        assert unbatched.sql_queries == keys
+        batched = service.lineage(query, batch=True)
+        assert (
+            batched.binding_keys_by_run() == unbatched.binding_keys_by_run()
+        )
+        assert unbatched.sql_queries / batched.sql_queries >= 3.0
+
+    def test_explain_plan_reports_round_trips(self, pd_service):
+        workload, service = pd_service
+        query = workload.focused_query()
+        analysis = propagate_depths(workload.flow.flattened())
+        plan = build_plan(analysis, query)
+        explanation = service.explain_plan(query, runs=20)
+        assert explanation.unbatched_round_trips == len(plan) * 20
+        assert explanation.batched_round_trips == math.ceil(
+            len(plan) * 20 / DEFAULT_BATCH_CHUNK
+        )
+        assert "round-trips:" in explanation.summary()
+
+
+class TestAggregateStats:
+    def test_dedupes_shared_stats(self):
+        shared = StoreStats(queries=3, rows=30)
+        per_run = {
+            f"r{i}": LineageResult(
+                query=None, run_id=f"r{i}", bindings=[], stats=shared
+            )
+            for i in range(5)
+        }
+        result = MultiRunResult(query=None, per_run=per_run)
+        assert result.aggregate_stats().queries == 3
+        assert result.sql_queries == 3
+
+    def test_sums_distinct_stats(self):
+        per_run = {
+            f"r{i}": LineageResult(
+                query=None,
+                run_id=f"r{i}",
+                bindings=[],
+                stats=StoreStats(queries=2, rows=5),
+            )
+            for i in range(4)
+        }
+        result = MultiRunResult(query=None, per_run=per_run)
+        assert result.sql_queries == 8
+        assert result.aggregate_stats().rows == 20
+
+
+class TestCliBatch:
+    QUERY_ARGS = [
+        "--workload", "gk",
+        "--node", "genes2kegg", "--port", "paths_per_gene",
+        "--index", "0", "--focus", "get_pathways_by_genes",
+    ]
+
+    @pytest.fixture
+    def gk_db(self, tmp_path):
+        db = str(tmp_path / "gk.db")
+        assert main(["run", "--workload", "gk", "--db", db, "--runs", "5"]) == 0
+        return db
+
+    def _query(self, db, *extra, verbose=False):
+        head = ["--verbose"] if verbose else []
+        return [*head, "query", "--db", db, *self.QUERY_ARGS, *extra]
+
+    def test_batch_flag_runs(self, gk_db, capsys):
+        capsys.readouterr()
+        assert main(self._query(gk_db, "--batch")) == 0
+        out = capsys.readouterr().out
+        assert "query: lin(" in out
+
+    def test_batch_and_no_batch_answers_agree(self, gk_db, capsys):
+        capsys.readouterr()
+        assert main(self._query(gk_db, "--no-batch")) == 0
+        plain = capsys.readouterr().out
+        assert main(self._query(gk_db, "--batch")) == 0
+        batched = capsys.readouterr().out
+        # Identical bindings, line for line.
+        assert [
+            line for line in plain.splitlines() if line.startswith("  ")
+        ] == [
+            line for line in batched.splitlines() if line.startswith("  ")
+        ]
+
+    def test_verbose_prints_round_trips(self, gk_db, capsys):
+        capsys.readouterr()
+        assert main(self._query(gk_db, "--batch", verbose=True)) == 0
+        out = capsys.readouterr().out
+        match = re.search(
+            r"sql round-trips: (\d+) \((\d+) rows, (\d+) batched statements "
+            r"covering (\d+) lookup keys \(chunk=(\d+)\)\)",
+            out,
+        )
+        assert match is not None
+        assert int(match.group(1)) >= 1
+        assert int(match.group(4)) == 5  # 1 planned lookup x 5 runs
+        assert int(match.group(5)) == DEFAULT_BATCH_CHUNK
+
+    def test_verbose_unbatched_round_trips(self, gk_db, capsys):
+        capsys.readouterr()
+        assert main(self._query(gk_db, verbose=True)) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"sql round-trips: (\d+) \((\d+) rows\)", out)
+        assert match is not None
+        assert int(match.group(1)) == 5
+
+    def test_batch_size_implies_batch(self, gk_db, capsys):
+        capsys.readouterr()
+        assert main(
+            self._query(gk_db, "--batch-size", "2", verbose=True)
+        ) == 0
+        out = capsys.readouterr().out
+        match = re.search(
+            r"(\d+) batched statements covering (\d+) lookup keys "
+            r"\(chunk=(\d+)\)",
+            out,
+        )
+        assert match is not None
+        # 5 keys at chunk 2 -> 3 statements.
+        assert int(match.group(1)) == 3
+        assert int(match.group(3)) == 2
+
+    def test_batch_naive_strategy_cli(self, gk_db, capsys):
+        capsys.readouterr()
+        assert main(
+            self._query(gk_db, "--batch", "--strategy", "naive")
+        ) == 0
+        out = capsys.readouterr().out
+        assert "query: lin(" in out
