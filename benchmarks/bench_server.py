@@ -1,0 +1,108 @@
+"""HTTP serving performance of the provenance query server.
+
+Kernel rows time one warm request over a real socket (lineage via the
+paper's ``lin(...)`` notation, and a ``lineage:batch`` POST); the report
+runs the two-phase multi-tenant load experiment
+(:mod:`repro.bench.serverload`) and asserts the serving discipline:
+below the admission limit, zero failures of any kind; above it, clean
+429s and still zero 5xx.  The machine-readable record lands in
+``BENCH_server.json`` with the sustained requests/s and the p50/p99
+latency of the below-limit phase.
+"""
+
+from pathlib import Path
+
+from repro.bench.reporting import write_bench_json
+from repro.bench.serverload import phase_row, server_load
+from repro.query.parser import format_query
+from repro.server import ServerClient, ServerConfig, ServerThread, TenantRegistry
+from repro.service import ProvenanceService
+from repro.testbed.workloads import genes2kegg_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _served_workload(tmp_path, runs=3):
+    workload = genes2kegg_workload()
+    service = ProvenanceService(str(tmp_path / "traces.db"), cache=False)
+    service.register_workflow(workload.flow, workload.registry)
+    for _ in range(runs):
+        service.run(workload.name, workload.inputs)
+    registry = TenantRegistry()
+    registry.register_service("default", service)
+    thread = ServerThread(config=ServerConfig(), registry=registry)
+    return workload, service, thread
+
+
+def bench_server_kernel_lineage(benchmark, tmp_path):
+    """Timed kernel: one warm focused lineage request over the socket."""
+    workload, service, thread = _served_workload(tmp_path)
+    query = format_query(workload.focused_query())
+    try:
+        url = thread.start()
+        with ServerClient(url) as client:
+            assert client.lineage(q=query).status == 200  # warm
+            response = benchmark(lambda: client.lineage(q=query))
+            assert response.status == 200
+    finally:
+        thread.stop()
+        service.close()
+
+
+def bench_server_kernel_batch(benchmark, tmp_path):
+    """Timed kernel: an 8-query batch POST mapped onto lineage_many."""
+    workload, service, thread = _served_workload(tmp_path)
+    body = {"queries": [format_query(workload.focused_query())] * 8}
+    try:
+        url = thread.start()
+        with ServerClient(url) as client:
+            assert client.lineage_batch(body).status == 200  # warm
+            response = benchmark(lambda: client.lineage_batch(body))
+            assert response.status == 200
+            assert response.body["count"] == 8
+    finally:
+        thread.stop()
+        service.close()
+
+
+def bench_server_report(benchmark, scale, emit_report):
+    rows = benchmark.pedantic(
+        lambda: server_load(scale), rounds=1, iterations=1
+    )
+    emit_report(
+        "server_load",
+        rows,
+        f"Provenance query server — multi-tenant HTTP load (scale={scale})",
+        columns=["phase", "clients", "tenants", "requests", "ok",
+                 "rejected_429", "errors_5xx", "rps", "p50_ms", "p99_ms"],
+    )
+    below = phase_row(rows, "below-limit")
+    overload = phase_row(rows, "overload")
+    # Below the admission limit: zero failures of any kind.
+    assert below["errors_5xx"] == 0
+    assert below["rejected_429"] == 0
+    assert below["ok"] == below["requests"]
+    # Above it: clean 429s, no 5xx, and admitted work still completes.
+    assert overload["errors_5xx"] == 0
+    assert overload["rejected_429"] > 0
+    assert overload["ok"] > 0
+    assert overload["ok"] + overload["rejected_429"] == overload["requests"]
+    write_bench_json(
+        str(REPO_ROOT / "BENCH_server.json"),
+        {
+            "bench": "server_load",
+            "scale": scale,
+            "rows": rows,
+            "headline": {
+                "requests_per_second": below["rps"],
+                "p50_ms": below["p50_ms"],
+                "p99_ms": below["p99_ms"],
+            },
+            "acceptance": {
+                "below_limit_5xx": below["errors_5xx"],
+                "below_limit_429": below["rejected_429"],
+                "overload_5xx": overload["errors_5xx"],
+                "overload_429": overload["rejected_429"],
+            },
+        },
+    )

@@ -1,0 +1,217 @@
+"""Multi-tenant HTTP load experiment for the provenance query server.
+
+Drives a real :class:`~repro.server.runtime.ProvenanceServer` (own
+asyncio loop, real sockets, stdlib clients) with concurrent closed-loop
+clients spread across tenants, in two phases:
+
+``below-limit``
+    fewer clients than worker slots.  The serving discipline here is
+    *zero* failures: every request must come back 200, no admission
+    rejections, and the row records the sustained requests/s plus p50
+    and p99 latency — the headline numbers of ``BENCH_server.json``.
+
+``overload``
+    more clients than ``max_workers + max_queue``, with every tenant's
+    store reads stretched by the fault-injection read hook so requests
+    genuinely occupy their slots.  Overload must degrade *cleanly*:
+    excess arrivals get an immediate 429 + ``Retry-After`` (never a
+    5xx, never unbounded queueing), while admitted requests still
+    complete.  The row records the 200/429 split for the acceptance
+    assertions in ``benchmarks/bench_server.py``.
+
+Latency percentiles are computed over successful (200) responses only;
+a 429 is a control-plane answer, not a served query.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Sequence
+
+from repro.provenance.faults import FaultInjector
+from repro.query.parser import format_query
+from repro.server import ServerClient, ServerConfig, ServerThread, TenantRegistry
+from repro.service import ProvenanceService
+
+Row = Dict[str, Any]
+
+SCALES: Dict[str, Dict[str, Any]] = {
+    "quick": {
+        "tenants": 2,
+        "runs": 2,
+        "max_workers": 4,
+        "max_queue": 4,
+        "below_clients": 3,
+        "below_requests": 12,
+        "overload_clients": 14,
+        "overload_requests": 5,
+        "overload_read_delay": 0.04,
+    },
+    "paper": {
+        "tenants": 4,
+        "runs": 4,
+        "max_workers": 4,
+        "max_queue": 4,
+        "below_clients": 4,
+        "below_requests": 40,
+        "overload_clients": 20,
+        "overload_requests": 8,
+        "overload_read_delay": 0.05,
+    },
+}
+
+
+def scale_config(scale: str) -> Dict[str, Any]:
+    if scale not in SCALES:
+        raise ValueError(
+            f"unknown scale {scale!r} (use one of {sorted(SCALES)})"
+        )
+    return SCALES[scale]
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an unsorted sample list."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    position = (len(ordered) - 1) * q
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def _run_phase(
+    url: str,
+    tenants: Sequence[str],
+    queries: Sequence[str],
+    clients: int,
+    requests_each: int,
+    phase: str,
+) -> Row:
+    """Closed-loop client herd: every client owns one connection."""
+    statuses: List[int] = []
+    latencies: List[float] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(worker_id: int) -> None:
+        tenant = tenants[worker_id % len(tenants)]
+        with ServerClient(url, tenant=tenant) as client:
+            barrier.wait()
+            for i in range(requests_each):
+                query = queries[(worker_id + i) % len(queries)]
+                started = time.perf_counter()
+                response = client.lineage(q=query, cache="false")
+                elapsed = time.perf_counter() - started
+                with lock:
+                    statuses.append(response.status)
+                    if response.status == 200:
+                        latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    ok = statuses.count(200)
+    return {
+        "phase": phase,
+        "clients": clients,
+        "tenants": len(tenants),
+        "requests": len(statuses),
+        "ok": ok,
+        "rejected_429": statuses.count(429),
+        "errors_5xx": sum(1 for s in statuses if s >= 500),
+        "seconds": round(wall, 3),
+        "rps": round(ok / wall, 1) if wall > 0 else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 2),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 2),
+    }
+
+
+def server_load(scale: str = "quick") -> List[Row]:
+    """The two-phase experiment; one row per phase."""
+    from repro.testbed.workloads import genes2kegg_workload
+
+    config = scale_config(scale)
+    workload = genes2kegg_workload()
+    queries = [
+        format_query(workload.focused_query()),
+        format_query(workload.unfocused_query()),
+    ]
+    rows: List[Row] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        tenants: List[str] = []
+        services: List[ProvenanceService] = []
+        injectors: List[FaultInjector] = []
+        registry = TenantRegistry()
+        for t in range(config["tenants"]):
+            faults = FaultInjector()
+            service = ProvenanceService(
+                os.path.join(tmp, f"tenant{t}.db"),
+                faults=faults,
+                cache=False,
+            )
+            service.register_workflow(workload.flow, workload.registry)
+            for _ in range(config["runs"]):
+                service.run(workload.name, workload.inputs)
+            tenant = f"tenant{t}"
+            registry.register_service(tenant, service)
+            tenants.append(tenant)
+            services.append(service)
+            injectors.append(faults)
+        server_config = ServerConfig(
+            max_workers=config["max_workers"],
+            max_queue=config["max_queue"],
+        )
+        thread = ServerThread(config=server_config, registry=registry)
+        try:
+            url = thread.start()
+            # Warm each tenant once so the first timed request is not a
+            # cold plan build.
+            for tenant in tenants:
+                with ServerClient(url, tenant=tenant) as client:
+                    response = client.lineage(q=queries[0], cache="false")
+                    assert response.status == 200, response.body
+            rows.append(
+                _run_phase(
+                    url, tenants, queries,
+                    clients=config["below_clients"],
+                    requests_each=config["below_requests"],
+                    phase="below-limit",
+                )
+            )
+            for faults in injectors:
+                faults.inject_read_delay(config["overload_read_delay"])
+            rows.append(
+                _run_phase(
+                    url, tenants, queries,
+                    clients=config["overload_clients"],
+                    requests_each=config["overload_requests"],
+                    phase="overload",
+                )
+            )
+            for faults in injectors:
+                faults.reset()
+        finally:
+            thread.stop()
+            for service in services:
+                service.close()
+    return rows
+
+
+def phase_row(rows: Sequence[Row], phase: str) -> Row:
+    for row in rows:
+        if row["phase"] == phase:
+            return row
+    raise KeyError(f"no {phase!r} row in {rows!r}")

@@ -12,6 +12,7 @@ Subcommands::
     repro-prov cache-stats --db t.db            cache defaults + counters
     repro-prov lint --workload gk --format sarif --output gk.sarif
     repro-prov check-query --workload gk --query 'lin(<P:Y[0]>, {Q})'
+    repro-prov serve --db t.db --workload gk --port 8750
 
 Global flags (before the subcommand):
 
@@ -296,6 +297,61 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON provenance query server (docs/SERVER.md)",
+    )
+    serve.add_argument(
+        "--db", help="single trace database, served as tenant 'default'"
+    )
+    serve.add_argument(
+        "--tenant-root", metavar="DIR",
+        help="directory of per-tenant trace databases (<tenant>.db)",
+    )
+    serve.add_argument(
+        "--create-tenants", action="store_true",
+        help="with --tenant-root: create missing tenant databases on "
+        "first request instead of answering 404",
+    )
+    serve.add_argument(
+        "--workload", action="append", default=[],
+        choices=sorted(_WORKLOADS), metavar="NAME",
+        help="register this built-in workload for every tenant "
+        "(repeatable)",
+    )
+    serve.add_argument(
+        "--flow", action="append", default=[], metavar="PATH",
+        help="register this workflow JSON file for every tenant "
+        "(repeatable)",
+    )
+    serve.add_argument(
+        "--views", metavar="PATH",
+        help="JSON file of user views shared by every tenant: "
+        '{"view": {"group": ["proc", ...], ...}, ...}',
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8750,
+        help="listen port (0 picks a free one; default 8750)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads executing queries (default 4)",
+    )
+    serve.add_argument(
+        "--queue", type=int, default=16,
+        help="admitted requests allowed to wait beyond the workers; "
+        "arrivals past workers+queue get 429 (default 16)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request deadline in seconds -> 504 (default 30)",
+    )
+    serve.add_argument(
+        "--max-open-tenants", type=int, default=8,
+        help="LRU bound on concurrently open tenant stores (default 8)",
     )
 
     check = sub.add_parser(
@@ -694,6 +750,76 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any(f.severity in threshold for f in findings) else 0
 
 
+def build_server(args: argparse.Namespace):
+    """Construct the configured :class:`ProvenanceServer` (not yet bound).
+
+    Factored out of :func:`cmd_serve` so tests can assemble the exact
+    server an invocation would run without serving forever.
+    """
+    from repro.query.views import UserView
+    from repro.server import (
+        ProvenanceServer,
+        ServerConfig,
+        TenantRegistry,
+        default_setup,
+    )
+    from repro.workflow import serialize as _serialize
+
+    if bool(args.db) == bool(args.tenant_root):
+        raise SystemExit("specify exactly one of --db / --tenant-root")
+    registrations = []
+    for key in args.workload:
+        workload = _WORKLOADS[key]()
+        registrations.append((workload.flow, workload.registry))
+    for path in args.flow:
+        registrations.append((_serialize.load(path), None))
+    setup = default_setup(*registrations) if registrations else None
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        max_queue=args.queue,
+        request_timeout=args.timeout,
+        max_open_tenants=args.max_open_tenants,
+        tenant_root=args.tenant_root,
+        create_tenants=args.create_tenants,
+    )
+    registry = TenantRegistry(
+        root=args.tenant_root,
+        setup=setup,
+        max_open=args.max_open_tenants,
+        create=args.create_tenants,
+        obs=config.obs,
+    )
+    if args.db:
+        from repro.service import ProvenanceService
+
+        def open_default():
+            service = ProvenanceService(args.db, obs=config.obs)
+            if setup is not None:
+                setup(service, "default")
+            return service
+
+        registry.register_factory("default", open_default)
+    if args.views:
+        with open(args.views, "r", encoding="utf-8") as handle:
+            view_specs = json.load(handle)
+        for view_name, groups in view_specs.items():
+            registry.register_shared_view(UserView(view_name, groups))
+    return ProvenanceServer(config=config, registry=registry)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    server = build_server(args)
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        logger.info("server interrupted, shutting down")
+    return 0
+
+
 def cmd_check_query(args: argparse.Namespace) -> int:
     from repro.analysis.cost import explain_plan
     from repro.workflow.depths import propagate_depths
@@ -754,6 +880,7 @@ _COMMANDS = {
     "explain": cmd_explain,
     "lint": cmd_lint,
     "check-query": cmd_check_query,
+    "serve": cmd_serve,
 }
 
 

@@ -36,6 +36,9 @@ _BINDING = re.compile(
     r"\s*(?:\[\s*(?P<index>[0-9.\s]*)\s*\])?\s*>?$"
 )
 
+#: Focus-set entries are processor names: same charset as binding names.
+_NAME = re.compile(r"^[^:<>\[\]{},\s]+$")
+
 
 def parse_query(text: str) -> LineageQuery:
     """Parse the paper's ``lin(...)`` notation into a :class:`LineageQuery`.
@@ -87,6 +90,10 @@ def _split_body(body: str) -> tuple:
     names = [name.strip() for name in inner.split(",")]
     if any(not name for name in names):
         raise QueryParseError(f"empty name in focus set {focus_text!r}")
+    if any(not _NAME.match(name) for name in names):
+        raise QueryParseError(
+            f"invalid processor name in focus set {focus_text!r}"
+        )
     return binding_text, names
 
 

@@ -1,0 +1,51 @@
+"""``repro.server`` — the network front end over ProvenanceService.
+
+An asyncio HTTP/JSON API (stdlib-only, no framework) that turns the
+single-process lineage library into a multi-tenant service: per-tenant
+trace stores behind an LRU registry, a bounded worker pool with
+admission control (429 on a full queue, 504 on deadline), request-scoped
+trace envelopes in ``X-Repro-Trace``, and a Prometheus ``/v1/metrics``
+endpoint.  See docs/SERVER.md for the endpoint reference and
+``repro-prov serve`` for the CLI entry point.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.app import ServerApp, default_setup
+from repro.server.client import ApiResponse, ServerClient
+from repro.server.codec import (
+    canonical_bytes,
+    encode_answer,
+    encode_meta,
+    encode_result,
+)
+from repro.server.errors import (
+    ApiError,
+    BadRequest,
+    NotFound,
+    QueueFull,
+    RequestTimeout,
+)
+from repro.server.registry import DEFAULT_TENANT, TenantRegistry
+from repro.server.runtime import ProvenanceServer, ServerConfig, ServerThread
+
+__all__ = [
+    "AdmissionController",
+    "ApiError",
+    "ApiResponse",
+    "BadRequest",
+    "DEFAULT_TENANT",
+    "NotFound",
+    "ProvenanceServer",
+    "QueueFull",
+    "RequestTimeout",
+    "ServerApp",
+    "ServerClient",
+    "ServerConfig",
+    "ServerThread",
+    "TenantRegistry",
+    "canonical_bytes",
+    "default_setup",
+    "encode_answer",
+    "encode_meta",
+    "encode_result",
+]

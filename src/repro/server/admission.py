@@ -1,0 +1,156 @@
+"""Admission control: a bounded worker pool with explicit backpressure.
+
+The service's query paths are synchronous (SQLite reads on the calling
+thread), so the async front end dispatches them to a thread pool — the
+same parallel machinery the store's own multi-run fan-out uses.  An
+unbounded pool queue would turn overload into silently growing latency;
+this controller instead enforces the north-star serving discipline:
+
+* at most ``max_workers`` requests execute concurrently;
+* at most ``max_queue`` more may wait; the request *after* that is
+  rejected immediately with :class:`~repro.server.errors.QueueFull`
+  (HTTP 429 + ``Retry-After``) — the client's signal to back off;
+* every admitted request carries a deadline; when it elapses the waiter
+  gets :class:`~repro.server.errors.RequestTimeout` (HTTP 504).  The
+  worker thread itself cannot be cancelled mid-SQL — it finishes and
+  its slot frees naturally, which is exactly the accounting admission
+  control needs (a stuck store keeps slots occupied, so new arrivals
+  see 429 rather than piling onto a dead backend).
+
+Counters (``server.admitted``, ``server.rejected_queue_full``,
+``server.timeouts``) and the ``server.queue_wait_seconds`` histogram
+feed the ``/v1/metrics`` endpoint; the live occupancy gauges are
+refreshed on every transition.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.obs.core import NO_OBS, Observability
+from repro.server.errors import QueueFull, RequestTimeout
+
+T = TypeVar("T")
+
+DEFAULT_MAX_WORKERS = 4
+DEFAULT_MAX_QUEUE = 16
+DEFAULT_TIMEOUT = 30.0
+
+
+class AdmissionController:
+    """Bounded-concurrency dispatcher for blocking request work."""
+
+    def __init__(
+        self,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        timeout: float = DEFAULT_TIMEOUT,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_workers = max_workers
+        self.max_queue = max_queue
+        self.timeout = timeout
+        self.obs = obs if obs is not None else NO_OBS
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-server"
+        )
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._peak_inflight = 0
+        self._closed = False
+
+    # -- capacity accounting ---------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Admitted requests allowed at once (executing + queued)."""
+        return self.max_workers + self.max_queue
+
+    def depth(self) -> dict:
+        """Point-in-time occupancy (diagnostics + ``/v1/stats``)."""
+        with self._lock:
+            inflight = self._inflight
+            peak = self._peak_inflight
+        return {
+            "inflight": inflight,
+            "executing": min(inflight, self.max_workers),
+            "queued": max(0, inflight - self.max_workers),
+            "capacity": self.capacity,
+            "peak_inflight": peak,
+        }
+
+    def retry_after(self) -> int:
+        """Advertised backoff: at least a second, at most the deadline."""
+        return max(1, min(int(self.timeout), 5))
+
+    # -- dispatch ---------------------------------------------------------
+
+    async def run(
+        self,
+        fn: Callable[[], T],
+        timeout: Optional[float] = None,
+    ) -> T:
+        """Admit, execute on the pool, and await ``fn()`` with a deadline.
+
+        Raises :class:`QueueFull` (never blocks) when occupancy is at
+        capacity, :class:`RequestTimeout` when the deadline elapses
+        first, and re-raises whatever ``fn`` itself raised otherwise.
+        """
+        deadline = self.timeout if timeout is None else timeout
+        queued_at = time.perf_counter()
+        with self._lock:
+            if self._closed:
+                raise QueueFull(self._inflight, self.capacity, 1)
+            if self._inflight >= self.capacity:
+                if self.obs.enabled:
+                    self.obs.inc("server.rejected_queue_full")
+                raise QueueFull(
+                    self._inflight, self.capacity, self.retry_after()
+                )
+            self._inflight += 1
+            self._peak_inflight = max(self._peak_inflight, self._inflight)
+            inflight = self._inflight
+        if self.obs.enabled:
+            self.obs.inc("server.admitted")
+            self.obs.gauge("server.inflight", inflight)
+
+        def _tracked() -> T:
+            if self.obs.enabled:
+                self.obs.observe(
+                    "server.queue_wait_seconds",
+                    time.perf_counter() - queued_at,
+                )
+            return fn()
+
+        future = self._pool.submit(_tracked)
+        future.add_done_callback(self._release)
+        try:
+            return await asyncio.wait_for(
+                asyncio.wrap_future(future), deadline
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            # The thread (if already running) finishes on its own; the
+            # slot stays occupied until then — see module docstring.
+            if self.obs.enabled:
+                self.obs.inc("server.timeouts")
+            raise RequestTimeout(deadline) from None
+
+    def _release(self, _future: Any) -> None:
+        with self._lock:
+            self._inflight -= 1
+            inflight = self._inflight
+        if self.obs.enabled:
+            self.obs.gauge("server.inflight", inflight)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=False, cancel_futures=True)

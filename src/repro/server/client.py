@@ -1,0 +1,175 @@
+"""Small blocking HTTP/JSON client for the provenance query server.
+
+Built on stdlib :mod:`http.client` so the conformance suite, the
+backpressure tests, and ``bench_server`` all talk to the server over
+real sockets without third-party dependencies.  One
+:class:`ServerClient` wraps one keep-alive connection and is therefore
+*not* thread-safe — load generators create one client per worker
+thread, which also matches how independent HTTP clients behave.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+from urllib.parse import quote, urlencode, urlsplit
+
+
+@dataclass
+class ApiResponse:
+    """Status + parsed body + the ``X-Repro-Trace`` envelope."""
+
+    status: int
+    headers: Dict[str, str]
+    body: Any
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def trace(self) -> Dict[str, Any]:
+        text = self.headers.get("x-repro-trace")
+        return json.loads(text) if text else {}
+
+    @property
+    def retry_after(self) -> Optional[int]:
+        value = self.headers.get("retry-after")
+        return int(value) if value is not None else None
+
+    @property
+    def error_code(self) -> Optional[str]:
+        if isinstance(self.body, dict) and "error" in self.body:
+            return self.body["error"].get("code")
+        return None
+
+
+class ServerClient:
+    """One keep-alive connection to a repro-prov server."""
+
+    def __init__(
+        self,
+        base_url: str,
+        tenant: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or split.hostname is None:
+            raise ValueError(f"expected an http:// base URL, got {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.tenant = tenant
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, Any]] = None,
+        body: Any = None,
+    ) -> ApiResponse:
+        target = path
+        if params:
+            rendered = {
+                name: str(value)
+                for name, value in params.items()
+                if value is not None
+            }
+            if rendered:
+                target = f"{path}?{urlencode(rendered)}"
+        headers = {"Accept": "application/json"}
+        if self.tenant is not None:
+            headers["X-Repro-Tenant"] = self.tenant
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = self._connection()
+        try:
+            connection.request(method, target, body=payload, headers=headers)
+            raw = connection.getresponse()
+            data = raw.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # One reconnect: the server may have closed an idle keep-alive
+            # connection between requests.
+            self.close()
+            connection = self._connection()
+            connection.request(method, target, body=payload, headers=headers)
+            raw = connection.getresponse()
+            data = raw.read()
+        content_type = raw.headers.get("Content-Type", "")
+        parsed: Any = data.decode("utf-8", "replace")
+        if "application/json" in content_type and data:
+            parsed = json.loads(parsed)
+        if raw.headers.get("Connection", "").lower() == "close":
+            self.close()
+        return ApiResponse(
+            status=raw.status,
+            headers={k.lower(): v for k, v in raw.headers.items()},
+            body=parsed,
+        )
+
+    def get(
+        self, path: str, params: Optional[Dict[str, Any]] = None
+    ) -> ApiResponse:
+        return self.request("GET", path, params=params)
+
+    def post(
+        self,
+        path: str,
+        body: Any,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> ApiResponse:
+        return self.request("POST", path, params=params, body=body)
+
+    # -- endpoint helpers -------------------------------------------------
+
+    def healthz(self) -> ApiResponse:
+        return self.get("/healthz")
+
+    def lineage(
+        self,
+        run: Optional[str] = None,
+        node: Optional[str] = None,
+        port: Optional[str] = None,
+        q: Optional[str] = None,
+        **params: Any,
+    ) -> ApiResponse:
+        run_segment = quote(run if run is not None else "-", safe="")
+        if q is not None:
+            return self.get(
+                f"/v1/lineage/{run_segment}", params={"q": q, **params}
+            )
+        if node is None or port is None:
+            raise ValueError("need either q= or node+port")
+        return self.get(
+            f"/v1/lineage/{run_segment}/{quote(node, safe='')}/"
+            f"{quote(port, safe='')}",
+            params=params or None,
+        )
+
+    def lineage_batch(self, body: Dict[str, Any]) -> ApiResponse:
+        return self.post("/v1/lineage:batch", body)

@@ -1,0 +1,103 @@
+"""Deterministic JSON encodings of query answers.
+
+The conformance contract (tests/server/test_conformance.py) is that an
+HTTP lineage response is **byte-identical** to the in-process answer for
+the same query — modulo timings, which genuinely differ per execution.
+That only works if both sides share one canonical encoder, so it lives
+here and is imported by the server app *and* by tests/benchmarks that
+compare against :class:`~repro.service.ProvenanceService` directly.
+
+The encoding splits each response into:
+
+``answer``
+    fully deterministic — the canonical query text, the run scope in
+    scope order, and per-run bindings sorted by their identity key.
+    ``json.dumps(answer, sort_keys=True)`` is the conformance byte
+    string.
+``meta``
+    volatile — wall-clock, SQL round-trip counters, cache provenance.
+    Useful to clients, excluded from equality.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.engine.events import Binding
+from repro.query.base import MultiRunResult
+from repro.query.parser import format_query
+from repro.query.views import UserView, group_summary, rollup
+
+
+def _jsonable(value: Any) -> Any:
+    """Round-trip a binding value through the store's own JSON convention."""
+    try:
+        return json.loads(json.dumps(value, default=repr))
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def encode_binding(binding: Binding) -> Dict[str, Any]:
+    return {
+        "node": binding.node,
+        "port": binding.port,
+        "index": binding.index.encode(),
+        "value": _jsonable(binding.value),
+    }
+
+
+def encode_answer(
+    result: MultiRunResult, view: Optional[UserView] = None
+) -> Dict[str, Any]:
+    """The deterministic half of a lineage response."""
+    bindings: Dict[str, List[Dict[str, Any]]] = {}
+    for run_id, per_run in result.per_run.items():
+        bindings[run_id] = [
+            encode_binding(b)
+            for b in sorted(per_run.bindings, key=lambda b: b.key())
+        ]
+    answer: Dict[str, Any] = {
+        "query": format_query(result.query),
+        "runs": list(result.per_run),
+        "bindings": bindings,
+    }
+    if view is not None:
+        answer["view"] = view.name
+        answer["groups"] = {
+            run_id: {
+                group: [encode_binding(b) for b in group_bindings]
+                for group, group_bindings in group_summary(
+                    rollup(per_run.bindings, view)
+                ).items()
+            }
+            for run_id, per_run in result.per_run.items()
+        }
+    return answer
+
+
+def encode_meta(result: MultiRunResult) -> Dict[str, Any]:
+    """The volatile half: timings, round-trips, cache provenance."""
+    stats = result.aggregate_stats()
+    return {
+        "wall_seconds": result.wall_seconds
+        if result.wall_seconds is not None
+        else result.total_seconds,
+        "sql_queries": stats.queries,
+        "rows": stats.rows,
+        "from_cache": result.from_cache,
+    }
+
+
+def encode_result(
+    result: MultiRunResult, view: Optional[UserView] = None
+) -> Dict[str, Any]:
+    return {
+        "answer": encode_answer(result, view=view),
+        "meta": encode_meta(result),
+    }
+
+
+def canonical_bytes(answer: Dict[str, Any]) -> bytes:
+    """The conformance byte string for one ``answer`` document."""
+    return json.dumps(answer, sort_keys=True).encode("utf-8")

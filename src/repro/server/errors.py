@@ -1,0 +1,146 @@
+"""Structured error surface of the provenance query server.
+
+Every failure a request can hit — malformed query text, a query the
+static pre-checker rejects, an unknown tenant, an exhausted admission
+queue, a busy store — maps onto one :class:`ApiError` with a stable
+machine-readable ``code`` (lint-style, mirroring the pre-checker's issue
+kinds) and the right HTTP status.  Handlers raise these; the app layer
+renders them as a JSON error envelope::
+
+    {"error": {"code": "queue-full", "message": "...", "details": {...}}}
+
+The mapping from library exceptions lives in :func:`map_exception`, so
+the service's own error types (:class:`QueryValidationError`,
+:class:`StoreBusyError`, :class:`WorkflowError`, ...) surface with
+consistent codes no matter which endpoint tripped them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro.analysis.precheck import QueryValidationError
+from repro.provenance.store import DuplicateRunError, StoreBusyError
+from repro.query.parser import QueryParseError
+from repro.workflow.model import WorkflowError
+
+
+class ApiError(Exception):
+    """One HTTP-mappable failure: status + stable code + JSON details."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        details: Optional[Dict[str, Any]] = None,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.details = details or {}
+        #: Seconds to advertise in a ``Retry-After`` header (429/503).
+        self.retry_after = retry_after
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.details:
+            payload["details"] = self.details
+        return {"error": payload}
+
+
+class BadRequest(ApiError):
+    def __init__(
+        self, code: str, message: str,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(400, code, message, details)
+
+
+class NotFound(ApiError):
+    def __init__(
+        self, code: str, message: str,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(404, code, message, details)
+
+
+class QueueFull(ApiError):
+    """Admission control rejected the request (bounded queue is full)."""
+
+    def __init__(self, depth: int, capacity: int, retry_after: int) -> None:
+        super().__init__(
+            429,
+            "queue-full",
+            f"admission queue is full ({depth}/{capacity} requests in "
+            "flight); retry later",
+            {"inflight": depth, "capacity": capacity},
+            retry_after=retry_after,
+        )
+
+
+class RequestTimeout(ApiError):
+    """The per-request deadline elapsed before the store answered."""
+
+    def __init__(self, timeout: float) -> None:
+        super().__init__(
+            504,
+            "deadline-exceeded",
+            f"request exceeded the {timeout:g}s server deadline",
+            {"timeout_seconds": timeout},
+        )
+
+
+def _validation_error(exc: QueryValidationError) -> ApiError:
+    report = exc.report
+    return BadRequest(
+        "invalid-query",
+        str(exc),
+        {
+            "verdict": report.verdict,
+            "issues": [
+                {
+                    "kind": issue.kind,
+                    "message": issue.message,
+                    "suggestions": list(issue.suggestions),
+                }
+                for issue in report.issues
+            ],
+        },
+    )
+
+
+def map_exception(exc: BaseException) -> ApiError:
+    """Fold a library exception into the server's error surface."""
+    # Local import: http.py is import-free of this module, but keeping the
+    # dependency one-directional at module load avoids ever cycling.
+    from repro.server.http import ProtocolError
+
+    if isinstance(exc, ApiError):
+        return exc
+    if isinstance(exc, ProtocolError):
+        # e.g. a malformed JSON body surfacing from Request.json() inside
+        # a handler rather than the connection read loop.
+        return ApiError(exc.status, "protocol-error", exc.message)
+    if isinstance(exc, QueryParseError):
+        return BadRequest("parse-error", str(exc))
+    if isinstance(exc, QueryValidationError):
+        return _validation_error(exc)
+    if isinstance(exc, DuplicateRunError):
+        return ApiError(409, "duplicate-run", str(exc))
+    if isinstance(exc, WorkflowError):
+        # Name-resolution failures ("no registered workflow contains node
+        # X") are the caller naming something that does not exist here.
+        return NotFound("unknown-workflow", str(exc))
+    if isinstance(exc, StoreBusyError):
+        return ApiError(
+            503, "store-busy", str(exc), retry_after=1,
+        )
+    if isinstance(exc, (asyncio.TimeoutError, TimeoutError)):
+        return ApiError(504, "deadline-exceeded", "request timed out")
+    if isinstance(exc, ValueError):
+        return BadRequest("bad-argument", str(exc))
+    return ApiError(500, "internal", f"{type(exc).__name__}: {exc}")

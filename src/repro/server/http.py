@@ -1,0 +1,189 @@
+"""Minimal asyncio HTTP/1.1 framing for the provenance query server.
+
+The runtime environment is stdlib-only, so the server speaks HTTP
+directly over :mod:`asyncio` streams rather than through a framework.
+The subset implemented here is deliberately small but correct for JSON
+APIs: request-line + header parsing with hard limits, ``Content-Length``
+bodies, keep-alive with explicit ``Connection: close`` handling, and
+``Expect: 100-continue`` acknowledgement (``curl`` sends it for bodies
+over 1KiB).  Chunked request bodies are rejected with 411 — every client
+this server targets (stdlib ``http.client``, curl with JSON payloads)
+sends a length.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Hard parse limits — one oversized request must not take the loop down.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_COUNT = 100
+MAX_HEADER_LINE = 8192
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(Exception):
+    """The peer sent bytes this server cannot (or will not) parse."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    #: Decoded path, query string stripped (``/v1/lineage/r1/P/Y``).
+    path: str
+    #: Multi-valued query parameters (``parse_qs`` semantics).
+    query: Dict[str, List[str]]
+    #: Header names lower-cased; duplicate headers comma-joined.
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Last occurrence of a query parameter (or ``default``)."""
+        values = self.query.get(name)
+        return values[-1] if values else default
+
+    def json(self) -> Any:
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(400, f"malformed JSON body: {exc}") from exc
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One HTTP response ready for serialization."""
+
+    status: int = 200
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    body: bytes = b""
+
+    @classmethod
+    def json(
+        cls,
+        payload: Any,
+        status: int = 200,
+        headers: Optional[List[Tuple[str, str]]] = None,
+    ) -> "Response":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        response = cls(status=status, headers=list(headers or []), body=body)
+        response.headers.append(("Content-Type", "application/json"))
+        return response
+
+    @classmethod
+    def text(
+        cls,
+        payload: str,
+        status: int = 200,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> "Response":
+        return cls(
+            status=status,
+            headers=[("Content-Type", content_type)],
+            body=payload.encode("utf-8"),
+        )
+
+    def serialize(self, keep_alive: bool) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        names = {name.lower() for name, _ in self.headers}
+        for name, value in self.headers:
+            lines.append(f"{name}: {value}")
+        if "content-length" not in names:
+            lines.append(f"Content-Length: {len(self.body)}")
+        lines.append(
+            "Connection: keep-alive" if keep_alive else "Connection: close"
+        )
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+async def _read_line(reader, limit: int, what: str) -> bytes:
+    line = await reader.readline()
+    if len(line) > limit:
+        raise ProtocolError(400, f"{what} exceeds {limit} bytes")
+    return line
+
+
+async def read_request(reader, writer) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` for malformed or oversized input — the
+    connection loop answers with the error status and closes.
+    """
+    request_line = await _read_line(reader, MAX_REQUEST_LINE, "request line")
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise ProtocolError(400, f"malformed request line {parts!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(400, f"unsupported protocol {version!r}")
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADER_COUNT + 1):
+        line = await _read_line(reader, MAX_HEADER_LINE, "header line")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header {line!r}")
+        key = name.strip().lower()
+        text = value.strip()
+        headers[key] = f"{headers[key]}, {text}" if key in headers else text
+    else:
+        raise ProtocolError(400, f"more than {MAX_HEADER_COUNT} headers")
+    body = b""
+    if "transfer-encoding" in headers:
+        raise ProtocolError(411, "chunked request bodies are not supported")
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise ProtocolError(400, "malformed Content-Length") from exc
+        if length < 0:
+            raise ProtocolError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        if length:
+            if headers.get("expect", "").lower() == "100-continue":
+                writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+                await writer.drain()
+            body = await reader.readexactly(length)
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path),
+        query=parse_qs(split.query, keep_blank_values=True),
+        headers=headers,
+        body=body,
+    )

@@ -1,0 +1,208 @@
+"""Multi-tenant store registry: lazily opened, LRU-bounded services.
+
+Each tenant is one :class:`~repro.service.ProvenanceService` — its own
+trace database, caches, and registered workflows.  The server resolves a
+tenant per request (path prefix ``/t/{tenant}/...`` or the
+``X-Repro-Tenant`` header) and the registry owns the service lifecycle:
+
+* **path mode** — tenants map to ``<root>/<tenant>.db``; a database is
+  opened on first touch and a ``setup`` hook registers the workflows it
+  will answer for.  Unknown tenants (no database file) 404 unless the
+  registry was built with ``create=True``.
+* **explicit mode** — tests and embedded deployments register factories
+  (or live service instances) per tenant; no filesystem involved.
+
+Open handles are LRU-bounded: touching a tenant moves it to the front,
+and opening one beyond ``max_open`` closes the least recently used
+*lazily-opened* service (explicitly registered instances are pinned —
+the registry did not create them, so it never closes them on eviction).
+A closed tenant transparently re-opens on its next request; SQLite plus
+the write-generation machinery make that safe, if cold.
+
+The registry is thread-safe; eviction counters (``server.tenant_opens``,
+``server.tenant_evictions``) land in the shared server metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.core import NO_OBS, Observability
+from repro.query.views import UserView
+from repro.server.errors import BadRequest, NotFound
+from repro.service import ProvenanceService
+
+#: Tenant names are path segments and file stems — keep them boring.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+DEFAULT_TENANT = "default"
+DEFAULT_MAX_OPEN = 8
+
+SetupHook = Callable[[ProvenanceService, str], None]
+
+
+def validate_tenant(name: str) -> str:
+    if not _TENANT_RE.match(name) or ".." in name:
+        raise BadRequest(
+            "bad-tenant",
+            f"invalid tenant name {name!r} (want [A-Za-z0-9][A-Za-z0-9_.-]*)",
+        )
+    return name
+
+
+class TenantRegistry:
+    """Resolve tenant names to (lazily opened) provenance services."""
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        setup: Optional[SetupHook] = None,
+        max_open: int = DEFAULT_MAX_OPEN,
+        create: bool = False,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        if max_open < 1:
+            raise ValueError(f"max_open must be >= 1, got {max_open}")
+        self.root = root
+        self.setup = setup
+        self.max_open = max_open
+        self.create = create
+        self.obs = obs if obs is not None else NO_OBS
+        self._lock = threading.RLock()
+        #: LRU of open services, most recently used last.
+        self._open: "OrderedDict[str, ProvenanceService]" = OrderedDict()
+        #: Tenants the registry opened itself (evictable + closeable).
+        self._owned: set = set()
+        self._factories: Dict[str, Callable[[], ProvenanceService]] = {}
+        self._views: Dict[str, Dict[str, UserView]] = {}
+        #: Views available to *every* tenant (CLI ``--views`` file);
+        #: per-tenant registrations shadow them by name.
+        self._shared_views: Dict[str, UserView] = {}
+        self._opens = 0
+        self._evictions = 0
+
+    # -- registration -----------------------------------------------------
+
+    def register_service(
+        self, tenant: str, service: ProvenanceService
+    ) -> None:
+        """Pin a live service for ``tenant`` (never evicted or closed)."""
+        validate_tenant(tenant)
+        with self._lock:
+            self._open[tenant] = service
+            self._open.move_to_end(tenant)
+
+    def register_factory(
+        self, tenant: str, factory: Callable[[], ProvenanceService]
+    ) -> None:
+        """Register a lazy constructor for ``tenant`` (evictable)."""
+        validate_tenant(tenant)
+        with self._lock:
+            self._factories[tenant] = factory
+
+    def register_view(self, tenant: str, view: UserView) -> None:
+        """Attach a named :class:`UserView` usable via ``?view=``."""
+        validate_tenant(tenant)
+        with self._lock:
+            self._views.setdefault(tenant, {})[view.name] = view
+
+    def register_shared_view(self, view: UserView) -> None:
+        """Attach a named view visible to every tenant."""
+        with self._lock:
+            self._shared_views[view.name] = view
+
+    def view(self, tenant: str, name: str) -> UserView:
+        with self._lock:
+            views = self._views.get(tenant, {})
+            if name in views:
+                return views[name]
+            if name in self._shared_views:
+                return self._shared_views[name]
+            raise NotFound(
+                "unknown-view",
+                f"tenant {tenant!r} has no view {name!r}",
+                {"known": sorted(set(views) | set(self._shared_views))},
+            )
+
+    # -- resolution -------------------------------------------------------
+
+    def _db_path(self, tenant: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, f"{tenant}.db")
+
+    def get(self, tenant: str) -> ProvenanceService:
+        """The tenant's service, opening (and possibly evicting) as needed."""
+        validate_tenant(tenant)
+        with self._lock:
+            if tenant in self._open:
+                self._open.move_to_end(tenant)
+                return self._open[tenant]
+            if tenant in self._factories:
+                service = self._factories[tenant]()
+            elif self.root is not None:
+                path = self._db_path(tenant)
+                if not self.create and not os.path.exists(path):
+                    raise NotFound(
+                        "unknown-tenant",
+                        f"no trace database for tenant {tenant!r}",
+                    )
+                # Lazily opened tenants share the server's obs handle, so
+                # their store/query counters land in ``/v1/metrics``.
+                service = ProvenanceService(
+                    path, obs=self.obs if self.obs.enabled else None
+                )
+            else:
+                raise NotFound(
+                    "unknown-tenant", f"tenant {tenant!r} is not registered"
+                )
+            if self.setup is not None:
+                self.setup(service, tenant)
+            self._open[tenant] = service
+            self._open.move_to_end(tenant)
+            self._owned.add(tenant)
+            self._opens += 1
+            if self.obs.enabled:
+                self.obs.inc("server.tenant_opens")
+            self._evict_locked()
+            return service
+
+    def _evict_locked(self) -> None:
+        evictable = [t for t in self._open if t in self._owned]
+        while len(evictable) > self.max_open:
+            victim = evictable.pop(0)
+            service = self._open.pop(victim)
+            self._owned.discard(victim)
+            service.close()
+            self._evictions += 1
+            if self.obs.enabled:
+                self.obs.inc("server.tenant_evictions")
+
+    # -- introspection ----------------------------------------------------
+
+    def open_tenants(self) -> List[str]:
+        with self._lock:
+            return list(self._open)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "open": len(self._open),
+                "pinned": len(self._open) - len(
+                    self._owned & set(self._open)
+                ),
+                "max_open": self.max_open,
+                "opens": self._opens,
+                "evictions": self._evictions,
+            }
+
+    def close(self) -> None:
+        """Close every service the registry itself opened."""
+        with self._lock:
+            for tenant in list(self._open):
+                if tenant in self._owned:
+                    self._open.pop(tenant).close()
+            self._owned.clear()

@@ -1,0 +1,257 @@
+"""Asyncio runtime of the provenance query server.
+
+:class:`ProvenanceServer` binds a :class:`~repro.server.app.ServerApp`
+to a TCP listener and runs the per-connection HTTP loop: parse one
+request, dispatch to the app, write the response, repeat while the
+client keeps the connection alive.  One slow *store* cannot stall the
+loop — query work runs on the admission-controlled worker pool — and
+one misbehaving *connection* only costs its own task.
+
+Two entry points:
+
+* :func:`ProvenanceServer.serve_forever` — the CLI path
+  (``repro-prov serve``): bind, log the URL, run until cancelled.
+* :class:`ServerThread` — a context manager that runs the whole server
+  (loop included) on a daemon thread and hands back the base URL; the
+  conformance/backpressure tests and ``bench_server`` drive real
+  sockets through it without an event loop of their own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.core import Observability
+from repro.server.admission import (
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_MAX_WORKERS,
+    DEFAULT_TIMEOUT,
+    AdmissionController,
+)
+from repro.server.app import ServerApp
+from repro.server.http import ProtocolError, Response, read_request
+from repro.server.registry import TenantRegistry
+
+logger = logging.getLogger("repro")
+
+
+@dataclass
+class ServerConfig:
+    """Knobs of one server instance (see docs/SERVER.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick a free port, read it back via .port
+    max_workers: int = DEFAULT_MAX_WORKERS
+    max_queue: int = DEFAULT_MAX_QUEUE
+    request_timeout: float = DEFAULT_TIMEOUT
+    max_open_tenants: int = 8
+    #: Directory of per-tenant trace databases (path mode); ``None``
+    #: for registries populated explicitly.
+    tenant_root: Optional[str] = None
+    #: Create missing tenant databases on first touch (path mode).
+    create_tenants: bool = False
+    obs: Observability = field(default_factory=Observability)
+
+
+class ProvenanceServer:
+    """Own the listener, the app, and their shared lifecycles."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        registry: Optional[TenantRegistry] = None,
+        app: Optional[ServerApp] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        obs = self.config.obs
+        self.registry = registry if registry is not None else TenantRegistry(
+            root=self.config.tenant_root,
+            max_open=self.config.max_open_tenants,
+            create=self.config.create_tenants,
+            obs=obs,
+        )
+        self.admission = AdmissionController(
+            max_workers=self.config.max_workers,
+            max_queue=self.config.max_queue,
+            timeout=self.config.request_timeout,
+            obs=obs,
+        )
+        self.app = app if app is not None else ServerApp(
+            self.registry, admission=self.admission, obs=obs
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port
+        )
+        logger.info("repro-prov server listening on %s", self.url)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.admission.close()
+        self.registry.close()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # -- connection loop --------------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, writer)
+                except ProtocolError as exc:
+                    writer.write(
+                        Response.json(
+                            {"error": {"code": "protocol-error",
+                                       "message": exc.message}},
+                            status=exc.status,
+                        ).serialize(keep_alive=False)
+                    )
+                    await writer.drain()
+                    return
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                if request is None:
+                    return
+                response = await self.app.handle(request)
+                keep_alive = request.keep_alive and response.status < 500
+                writer.write(response.serialize(keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError: shutdown raced the close handshake; the
+                # transport is torn down either way.
+                pass
+
+
+class ServerThread:
+    """Run a :class:`ProvenanceServer` on a daemon thread (tests/bench).
+
+    ::
+
+        with ServerThread(registry=my_registry) as url:
+            client = ServerClient(url)
+            ...
+
+    The event loop lives entirely on the background thread; entering the
+    context blocks until the listener is bound (so ``url`` is final) and
+    exiting cancels the loop and joins the thread.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        registry: Optional[TenantRegistry] = None,
+        app: Optional[ServerApp] = None,
+    ) -> None:
+        self.server = ProvenanceServer(
+            config=config, registry=registry, app=app
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as exc:  # noqa: BLE001 - report to starter
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            assert self.server._server is not None
+            try:
+                await self.server._server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await self.server.stop()
+
+        try:
+            loop.run_until_complete(main())
+            # Let cancelled connection tasks unwind before closing the
+            # loop (else: "Task was destroyed but it is pending").
+            pending = asyncio.all_tasks(loop)
+            if pending:
+                for task in pending:
+                    task.cancel()
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+        finally:
+            loop.close()
+
+    def start(self) -> str:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if not self._started.is_set():
+            raise RuntimeError("server did not start within 10s")
+        return self.server.url
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            def _cancel_all() -> None:
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+            try:
+                loop.call_soon_threadsafe(_cancel_all)
+            except RuntimeError:
+                pass  # loop already closed (clean shutdown race)
+            thread.join(timeout=10)
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -181,6 +181,11 @@ class ProvenanceService:
                 self.store, flat, analysis=analysis
             )
 
+    def registered_workflows(self) -> List[str]:
+        """Names of every workflow registered with this service."""
+        with self._registry_lock:
+            return list(self._flows)
+
     def workflow(self, name: str) -> Dataflow:
         try:
             return self._flows[name]

@@ -85,3 +85,97 @@ class TestRoundtrip:
         query = LineageQuery.create("P", "Y", [0], ["Q"])
         # Both renderings parse back to the same query.
         assert parse_query(format_query(query)) == parse_query(str(query))
+
+
+class TestMalformedLin:
+    """Error paths of the ``lin(...)`` wrapper itself."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "lin()",                      # no binding at all
+            "lin( , {Q})",                # comma but empty binding
+            "lin(<P:Y[0]>, {Q}) extra",   # trailing garbage -> bare-binding
+            "lin(<P:Y[0]>, {Q, })",       # trailing comma in focus
+            "lin(<P:Y[0]>, { , })",       # only separators in focus
+            "lin(<P:Y[0]>, {Q} {R})",     # two focus sets
+            "lin(<P:Y[0]>, Q})",          # focus brace opened too late
+            "lin(<P:Y[-1]>, {Q})",        # negative index component
+            "lin(<P:Y[0..1]>, {Q})",      # empty index component
+            "lin(<P:Y[0.]>, {Q})",        # trailing index dot
+            "lin(<P:Y:Z[0]>, {Q})",       # double colon in binding
+            "lin(<P Y[0]>, {Q})",         # missing colon separator
+            "lin(<:Y[0]>, {Q})",          # empty node name
+            "lin(<P:[0]>, {Q})",          # empty port name
+            "",                           # nothing
+            "lin",                        # bare keyword
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(QueryParseError):
+            parse_query(text)
+
+    def test_error_message_names_the_binding(self):
+        with pytest.raises(QueryParseError, match="malformed binding"):
+            parse_query("lin(<P..Y[0]>, {Q})")
+
+    def test_unterminated_focus_message(self):
+        with pytest.raises(QueryParseError, match="unterminated focus"):
+            parse_query("lin(<P:Y[0]>, {Q, R)")
+
+    def test_missing_comma_before_focus_message(self):
+        with pytest.raises(QueryParseError, match="expected ','"):
+            parse_query("lin(<P:Y[0]> {Q})")
+
+
+class TestEmptyFocusForms:
+    """Every way of writing 'no focus set' parses to frozenset()."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "lin(<P:Y[0]>, {})",
+            "lin(<P:Y[0]>, {  })",
+            "lin(<P:Y[0]>)",
+            "lin(P:Y[0])",
+            "P:Y[0]",
+        ],
+    )
+    def test_no_focus(self, text):
+        assert parse_query(text).focus == frozenset()
+
+    def test_empty_focus_roundtrips_through_format(self):
+        query = LineageQuery.create("P", "Y", [0], [])
+        rendered = format_query(query)
+        assert rendered == "lin(<P:Y[0]>, {})"
+        assert parse_query(rendered) == query
+
+
+class TestNestedIndices:
+    """Deeply nested index paths survive parse/format round-trips."""
+
+    @pytest.mark.parametrize(
+        "encoded,parts",
+        [
+            ("0", (0,)),
+            ("1.2", (1, 2)),
+            ("3.1.4", (3, 1, 4)),
+            ("0.0.0.0.0", (0, 0, 0, 0, 0)),
+            ("12.345.6", (12, 345, 6)),
+        ],
+    )
+    def test_parse_nested(self, encoded, parts):
+        query = parse_query(f"lin(<P:Y[{encoded}]>, {{Q}})")
+        assert query.index == Index(*parts)
+        assert query.index.encode() == encoded
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 5, 9])
+    def test_roundtrip_any_depth(self, depth):
+        query = LineageQuery.create(
+            "node", "port", list(range(depth)), ["F1", "F2"]
+        )
+        assert parse_query(format_query(query)) == query
+
+    def test_internal_whitespace_in_index(self):
+        query = parse_query("lin(<P:Y[ 1 . 2 . 3 ]>, {Q})")
+        assert query.index == Index(1, 2, 3)

@@ -110,3 +110,69 @@ class TestRollup:
         grouped = rollup([binding, binding], view)
         assert len(grouped) == 1
         assert grouped[0].group == "branches"
+
+
+class TestFocusExpansionErrors:
+    def test_unknown_group_raises(self, view):
+        with pytest.raises(WorkflowError):
+            focus_for_groups(view, ["branches", "nope"])
+
+    def test_duplicate_group_names_expand_once(self, view):
+        assert focus_for_groups(view, ["branches", "branches"]) == frozenset(
+            {"A", "B"}
+        )
+
+
+class TestRollupEquivalence:
+    """Rolling up == asking per processor, then grouping the answers.
+
+    The server's ``view=`` parameter relies on this: expanding a view
+    into its focus set and rolling the result up must give exactly the
+    union of the per-processor answers, relabeled by group.  The lineage
+    engine guarantees the focus-set answer is the union of per-processor
+    answers, so the rollup may neither drop, invent, nor re-route a
+    binding.
+    """
+
+    def _bindings(self, focus):
+        flow = build_diamond_workflow()
+        captured = capture_run(flow, {"size": 3})
+        with TraceStore() as store:
+            store.insert_trace(captured.trace)
+            engine = IndexProjEngine(store, flow)
+            query = LineageQuery.create("wf", "out", [1, 2], focus)
+            return engine.lineage(captured.run_id, query).bindings
+
+    def test_rollup_equals_grouped_per_processor_answers(self, view):
+        combined = self._bindings(focus_for_groups(view, ["branches"]))
+        summary = group_summary(rollup(combined, view))
+
+        per_processor = {}
+        for processor in sorted(focus_for_groups(view, ["branches"])):
+            for binding in self._bindings([processor]):
+                group = view.group_of(binding.node) or binding.node
+                per_processor.setdefault(group, set()).add(binding.key())
+
+        assert set(summary) == set(per_processor)
+        for group, bindings in summary.items():
+            assert {b.key() for b in bindings} == per_processor[group]
+
+    def test_rollup_partitions_the_answer(self, view):
+        """Every input binding lands in exactly one group, none appear."""
+        combined = self._bindings(["A", "B", "GEN", "F"])
+        summary = group_summary(rollup(combined, view))
+        rolled_keys = [
+            binding.key()
+            for bindings in summary.values()
+            for binding in bindings
+        ]
+        assert sorted(rolled_keys) == sorted(
+            {binding.key() for binding in combined}
+        )
+        for group, bindings in summary.items():
+            for binding in bindings:
+                assert (view.group_of(binding.node) or binding.node) == group
+
+    def test_rollup_of_empty_answer_is_empty(self, view):
+        assert rollup([], view) == []
+        assert group_summary(rollup([], view)) == {}

@@ -1,0 +1,69 @@
+"""Shared fixtures for the server test suite.
+
+The central helper is :func:`boot_server`: wire explicit services (or a
+tenant directory) into a registry, run the real asyncio server on a
+daemon thread, and hand back a live base URL — every test here talks to
+actual sockets, exactly like an external client would.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Optional
+
+import pytest
+
+from repro.server import (
+    AdmissionController,
+    ServerApp,
+    ServerConfig,
+    ServerThread,
+    TenantRegistry,
+)
+from repro.service import ProvenanceService
+
+from tests.conftest import build_diamond_workflow
+
+
+@contextlib.contextmanager
+def boot_server(
+    services: Optional[Dict[str, ProvenanceService]] = None,
+    registry: Optional[TenantRegistry] = None,
+    max_workers: int = 4,
+    max_queue: int = 8,
+    timeout: float = 30.0,
+):
+    """Run a server over the given tenant services; yield (url, app)."""
+    config = ServerConfig(
+        max_workers=max_workers,
+        max_queue=max_queue,
+        request_timeout=timeout,
+    )
+    if registry is None:
+        registry = TenantRegistry(obs=config.obs)
+    for tenant, service in (services or {}).items():
+        registry.register_service(tenant, service)
+    admission = AdmissionController(
+        max_workers=max_workers,
+        max_queue=max_queue,
+        timeout=timeout,
+        obs=config.obs,
+    )
+    app = ServerApp(registry, admission=admission, obs=config.obs)
+    thread = ServerThread(config=config, registry=registry, app=app)
+    try:
+        url = thread.start()
+        yield url, app
+    finally:
+        thread.stop()
+
+
+@pytest.fixture
+def diamond_service():
+    """An in-memory service with the diamond workflow and two runs."""
+    service = ProvenanceService()
+    service.register_workflow(build_diamond_workflow())
+    run_ids = [service.run("wf", {"size": 3}) for _ in range(2)]
+    service.run_ids = run_ids  # convenience for tests
+    yield service
+    service.close()

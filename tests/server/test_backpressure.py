@@ -1,0 +1,190 @@
+"""Backpressure behavior under slow-store fault injection.
+
+Saturate the bounded worker pool with artificially slow trace reads
+(:class:`~repro.provenance.faults.FaultInjector`) and assert the
+admission contract: occupancy never exceeds ``max_workers + max_queue``,
+excess arrivals get an immediate 429 with ``Retry-After``, requests that
+outlive their deadline get a 504, the liveness endpoint keeps answering
+throughout (it never enters the pool), and the server recovers fully
+once the store is fast again.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.provenance.faults import FaultInjector
+from repro.server import ServerClient
+from repro.service import ProvenanceService
+
+from tests.conftest import build_diamond_workflow
+from tests.server.conftest import boot_server
+
+QUERY = "lin(<wf:out[0.1]>, {A, B})"
+
+
+def _slow_service(tmp_path, delay: float):
+    faults = FaultInjector()
+    service = ProvenanceService(
+        str(tmp_path / "slow.db"), faults=faults, cache=False
+    )
+    service.register_workflow(build_diamond_workflow())
+    service.run("wf", {"size": 2})
+    faults.inject_read_delay(delay)
+    return service, faults
+
+
+class TestQueueSaturation:
+    def test_storm_gets_clean_429s_and_bounded_queue(self, tmp_path):
+        service, _faults = _slow_service(tmp_path, delay=0.25)
+        clients = 12
+        try:
+            with boot_server(
+                {"default": service}, max_workers=2, max_queue=2,
+            ) as (url, app):
+                capacity = app.admission.capacity
+                assert capacity == 4
+                barrier = threading.Barrier(clients + 1)
+                statuses = []
+                retry_afters = []
+                lock = threading.Lock()
+
+                def worker():
+                    with ServerClient(url) as client:
+                        barrier.wait()
+                        response = client.lineage(q=QUERY, cache="false")
+                        with lock:
+                            statuses.append(response.status)
+                            if response.status == 429:
+                                retry_afters.append(response.retry_after)
+                                assert (
+                                    response.error_code == "queue-full"
+                                )
+
+                threads = [
+                    threading.Thread(target=worker) for _ in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                barrier.wait()
+
+                # While the pool is saturated, liveness keeps answering —
+                # /healthz never enters the admission queue.
+                with ServerClient(url) as probe:
+                    started = time.perf_counter()
+                    health = probe.healthz()
+                    elapsed = time.perf_counter() - started
+                    assert health.status == 200
+                    assert elapsed < 0.25  # no slow-store read on this path
+
+                for thread in threads:
+                    thread.join(timeout=60)
+                assert sorted(set(statuses)) in ([200, 429], [429], [200])
+                assert statuses.count(200) >= 1
+                assert statuses.count(429) >= clients - capacity - 2
+                assert statuses.count(200) + statuses.count(429) == clients
+                assert all(ra is not None and ra >= 1 for ra in retry_afters)
+                # Occupancy never exceeded capacity: bounded queueing.
+                assert app.admission.depth()["peak_inflight"] <= capacity
+        finally:
+            service.close()
+
+    def test_rejections_surface_in_metrics(self, tmp_path):
+        service, faults = _slow_service(tmp_path, delay=0.2)
+        try:
+            with boot_server(
+                {"default": service}, max_workers=1, max_queue=0,
+            ) as (url, app):
+                barrier = threading.Barrier(2)
+                first_status = []
+
+                def occupy():
+                    with ServerClient(url) as client:
+                        barrier.wait()
+                        first_status.append(
+                            client.lineage(q=QUERY, cache="false").status
+                        )
+
+                thread = threading.Thread(target=occupy)
+                thread.start()
+                barrier.wait()
+                time.sleep(0.05)  # let the occupier reach the store read
+                with ServerClient(url) as client:
+                    rejected = client.lineage(q=QUERY, cache="false")
+                    assert rejected.status == 429
+                    details = rejected.body["error"]["details"]
+                    assert details["capacity"] == 1
+                    assert rejected.trace["admission"]["inflight"] >= 1
+                    metrics = client.get("/v1/metrics").body
+                    assert "repro_server_rejected_queue_full_total" in metrics
+                    assert "repro_server_responses_429_total" in metrics
+                thread.join(timeout=30)
+                assert first_status == [200]
+        finally:
+            service.close()
+
+
+class TestDeadlines:
+    def test_slow_store_times_out_with_504(self, tmp_path):
+        service, faults = _slow_service(tmp_path, delay=0.5)
+        try:
+            with boot_server(
+                {"default": service}, max_workers=2, max_queue=2,
+                timeout=0.2,
+            ) as (url, app):
+                with ServerClient(url) as client:
+                    response = client.lineage(q=QUERY, cache="false")
+                    assert response.status == 504
+                    assert response.error_code == "deadline-exceeded"
+                    # Liveness is unaffected by the timed-out worker.
+                    assert client.healthz().status == 200
+                # The abandoned worker finishes on its own and frees its
+                # slot; once the store is fast again the server recovers.
+                faults.reset()
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    with ServerClient(url) as client:
+                        response = client.lineage(q=QUERY, cache="false")
+                        if response.status == 200:
+                            break
+                    time.sleep(0.1)
+                assert response.status == 200
+                # The abandoned worker drains on its own schedule; the
+                # slot must come back once it does.
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    if app.admission.depth()["inflight"] == 0:
+                        break
+                    time.sleep(0.05)
+                assert app.admission.depth()["inflight"] == 0
+        finally:
+            service.close()
+
+    def test_timeout_slot_is_not_leaked(self, tmp_path):
+        """A 504'd request releases its slot when the thread finishes."""
+        service, faults = _slow_service(tmp_path, delay=0.3)
+        try:
+            with boot_server(
+                {"default": service}, max_workers=1, max_queue=0,
+                timeout=0.1,
+            ) as (url, app):
+                with ServerClient(url) as client:
+                    assert client.lineage(
+                        q=QUERY, cache="false"
+                    ).status == 504
+                # Until the worker thread drains, the slot stays occupied
+                # (that is the admission accounting), then frees.
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    if app.admission.depth()["inflight"] == 0:
+                        break
+                    time.sleep(0.05)
+                assert app.admission.depth()["inflight"] == 0
+                faults.reset()
+                with ServerClient(url) as client:
+                    assert client.lineage(
+                        q=QUERY, cache="false"
+                    ).status == 200
+        finally:
+            service.close()
