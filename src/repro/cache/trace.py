@@ -128,13 +128,20 @@ class TraceReadCache:
     ) -> List[Binding]:
         """Memoized ``Q(P, X_i, p_i)`` — the s2 lookup of Alg. 2."""
         key = ("xform_in_match", run_id, node, port, index.encode())
-        return self._lookup(
-            key,
-            run_id,
-            lambda: self.store.find_xform_inputs_matching(
-                run_id, node, port, index, stats
-            ),
-        )
+        with self.obs.span(
+            "cache.trace_lookup", run=run_id, node=node, port=port,
+        ) as span:
+            fetched: List[bool] = []
+
+            def fetch() -> List[Binding]:
+                fetched.append(True)
+                return self.store.find_xform_inputs_matching(
+                    run_id, node, port, index, stats
+                )
+
+            result = self._lookup(key, run_id, fetch)
+            span.set(warm=not fetched, rows=len(result))
+        return result
 
     def find_xform_inputs_matching_multi(
         self,

@@ -13,6 +13,7 @@ Subcommands::
     repro-prov lint --workload gk --format sarif --output gk.sarif
     repro-prov check-query --workload gk --query 'lin(<P:Y[0]>, {Q})'
     repro-prov serve --db t.db --workload gk --port 8750
+    repro-prov slowlog --db t.db                show the slow-query journal
 
 Global flags (before the subcommand):
 
@@ -22,7 +23,7 @@ Global flags (before the subcommand):
     file-backed stores the counters are additionally merged into a
     ``<db>.metrics.json`` sidecar that ``repro-prov stats`` reports.
 ``--profile-export PATH``
-    also write the JSON export document (schema ``repro.obs/1``).
+    also write the JSON export document (schema ``repro.obs/2``).
 ``--verbose`` / ``--quiet``
     raise/lower the log level of the ``repro`` logger (diagnostics go to
     stderr; result tables always go to stdout).
@@ -121,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--profile-export", metavar="PATH",
-        help="with --profile: also write the repro.obs/1 JSON document",
+        help="with --profile: also write the repro.obs/2 JSON document",
     )
     parser.add_argument(
         "-v", "--verbose", action="store_true",
@@ -352,6 +353,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-open-tenants", type=int, default=8,
         help="LRU bound on concurrently open tenant stores (default 8)",
+    )
+    serve.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="head-based trace sampling rate in (0, 1] — 0.1 keeps "
+        "roughly every 10th request trace (default 1.0: keep all)",
+    )
+    serve.add_argument(
+        "--trace-ring", type=int, default=512, metavar="N",
+        help="finished traces kept in memory for /v1/traces (default 512)",
+    )
+    serve.add_argument(
+        "--trace-log", metavar="PATH",
+        help="also append every finished trace to this JSONL file",
+    )
+    serve.add_argument(
+        "--slowlog-threshold-ms", type=float, metavar="MS",
+        help="journal lineage queries slower than this per tenant "
+        "(/v1/slowlog + <db>.slowlog.jsonl; default: journal disabled)",
+    )
+    serve.add_argument(
+        "--slowlog-ring", type=int, default=256, metavar="N",
+        help="slow-query records kept in memory per tenant (default 256)",
+    )
+
+    slowlog_cmd = sub.add_parser(
+        "slowlog",
+        help="show a store's persisted slow-query journal "
+        "(<db>.slowlog.jsonl, written by a server with "
+        "--slowlog-threshold-ms)",
+    )
+    slowlog_cmd.add_argument("--db", required=True, help="trace database path")
+    slowlog_cmd.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="show only the newest N records (default: all)",
+    )
+    slowlog_cmd.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        dest="slowlog_format",
     )
 
     check = sub.add_parser(
@@ -767,6 +806,10 @@ def build_server(args: argparse.Namespace):
 
     if bool(args.db) == bool(args.tenant_root):
         raise SystemExit("specify exactly one of --db / --tenant-root")
+    if not 0.0 < args.trace_sample <= 1.0:
+        raise SystemExit(
+            f"--trace-sample wants a rate in (0, 1], got {args.trace_sample}"
+        )
     registrations = []
     for key in args.workload:
         workload = _WORKLOADS[key]()
@@ -783,6 +826,11 @@ def build_server(args: argparse.Namespace):
         max_open_tenants=args.max_open_tenants,
         tenant_root=args.tenant_root,
         create_tenants=args.create_tenants,
+        trace_sample=args.trace_sample,
+        trace_ring=args.trace_ring,
+        trace_log=args.trace_log,
+        slowlog_threshold_ms=args.slowlog_threshold_ms,
+        slowlog_ring=args.slowlog_ring,
     )
     registry = TenantRegistry(
         root=args.tenant_root,
@@ -790,14 +838,23 @@ def build_server(args: argparse.Namespace):
         max_open=args.max_open_tenants,
         create=args.create_tenants,
         obs=config.obs,
+        slowlog_threshold_ms=args.slowlog_threshold_ms,
+        slowlog_ring=args.slowlog_ring,
     )
     if args.db:
+        from repro.obs import SlowQueryJournal, slowlog_sidecar_path
         from repro.service import ProvenanceService
 
         def open_default():
             service = ProvenanceService(args.db, obs=config.obs)
             if setup is not None:
                 setup(service, "default")
+            if args.slowlog_threshold_ms is not None:
+                service.slowlog = SlowQueryJournal(
+                    threshold_ms=args.slowlog_threshold_ms,
+                    capacity=args.slowlog_ring,
+                    path=slowlog_sidecar_path(args.db),
+                )
             return service
 
         registry.register_factory("default", open_default)
@@ -817,6 +874,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(server.serve_forever())
     except KeyboardInterrupt:
         logger.info("server interrupted, shutting down")
+    return 0
+
+
+def cmd_slowlog(args: argparse.Namespace) -> int:
+    """Render a store's slow-query sidecar (``<db>.slowlog.jsonl``)."""
+    from repro.obs import (
+        load_slowlog,
+        render_slowlog_table,
+        slowlog_sidecar_path,
+    )
+
+    path = slowlog_sidecar_path(args.db)
+    records = load_slowlog(path, limit=args.limit)
+    if not records:
+        print(
+            f"no slow-query records at {path} — serve with "
+            "--slowlog-threshold-ms to collect some"
+        )
+        return 0
+    if args.slowlog_format == "json":
+        print(json.dumps(records, indent=2, sort_keys=True))
+    else:
+        print(render_slowlog_table(records))
     return 0
 
 
@@ -881,6 +961,7 @@ _COMMANDS = {
     "lint": cmd_lint,
     "check-query": cmd_check_query,
     "serve": cmd_serve,
+    "slowlog": cmd_slowlog,
 }
 
 

@@ -6,13 +6,21 @@ so the reproduction needs one trustworthy measurement substrate rather
 than ad-hoc stopwatches.  This package provides it:
 
 * :class:`~repro.obs.tracer.Tracer` / :class:`~repro.obs.tracer.Span` —
-  nested, attributed, thread-safe timed spans;
+  nested, attributed timed spans with context-propagated parenting (one
+  trace id follows a request across asyncio tasks and worker pools) and
+  W3C ``traceparent`` interop;
 * :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
   p50/p95/p99 histograms;
 * :class:`~repro.obs.core.Observability` — the facade every layer takes
   as an ``obs=`` argument, with :data:`~repro.obs.core.NO_OBS` as the
   near-zero-cost disabled default;
-* :mod:`repro.obs.export` — JSON documents (schema ``repro.obs/1``) and
+* :class:`~repro.obs.sink.SpanSink` — bounded ring + optional JSONL file
+  of finished traces (backs ``GET /v1/traces/...``);
+* :class:`~repro.obs.slowlog.SlowQueryJournal` — threshold-triggered
+  structured slow-query records with a per-store JSONL sidecar;
+* :class:`~repro.obs.window.TimeWindow` — fixed-interval ring buckets
+  answering "rps / p50 / p99 over the last N seconds";
+* :mod:`repro.obs.export` — JSON documents (schema ``repro.obs/2``) and
   Prometheus text exposition, plus the CLI's human-readable renderings.
 
 The span/metric inventory emitted by each layer is catalogued in
@@ -24,6 +32,7 @@ from repro.obs.export import (
     SCHEMA_VERSION,
     SchemaError,
     dump_json,
+    escape_label_value,
     export_document,
     load_persisted_counters,
     metrics_sidecar_path,
@@ -33,7 +42,21 @@ from repro.obs.export import (
     validate_export,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.tracer import Span, Tracer, render_span_tree
+from repro.obs.sink import SpanSink, load_trace_log
+from repro.obs.slowlog import (
+    SlowQueryJournal,
+    load_slowlog,
+    render_slowlog_table,
+    slowlog_sidecar_path,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    format_traceparent,
+    parse_traceparent,
+    render_span_tree,
+)
+from repro.obs.window import TimeWindow, parse_window
 
 __all__ = [
     "NO_OBS",
@@ -45,15 +68,26 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SlowQueryJournal",
     "Span",
+    "SpanSink",
+    "TimeWindow",
     "Tracer",
     "dump_json",
+    "escape_label_value",
     "export_document",
+    "format_traceparent",
     "load_persisted_counters",
+    "load_slowlog",
+    "load_trace_log",
     "metrics_sidecar_path",
+    "parse_traceparent",
+    "parse_window",
     "persist_counters",
     "render_metrics_table",
+    "render_slowlog_table",
     "render_span_tree",
+    "slowlog_sidecar_path",
     "to_prometheus",
     "validate_export",
 ]

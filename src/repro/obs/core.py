@@ -21,17 +21,28 @@ observability is off:
 
 from __future__ import annotations
 
-import time
 from typing import Any, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import Span, Tracer
+from repro.obs.tracer import Span, Tracer, _Stopwatch
 
 
 class _NullSpan:
-    """Shared do-nothing span; also its own context manager."""
+    """Shared do-nothing span; also its own context manager.
+
+    Carries inert propagation fields (empty ids, ``sampled = False``) so
+    request code can read ``span.trace_id`` / branch on ``span.sampled``
+    without first checking whether observability is enabled.
+    """
 
     __slots__ = ()
+
+    name = ""
+    sampled = False
+    trace_id = ""
+    span_id = ""
+    parent_id: Optional[str] = None
+    children: tuple = ()
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -46,31 +57,12 @@ class _NullSpan:
     def seconds(self) -> float:
         return 0.0
 
+    @property
+    def attributes(self) -> Dict[str, Any]:
+        return {}
+
 
 NULL_SPAN = _NullSpan()
-
-
-class _Stopwatch:
-    """Timing-only stand-in for a span when observability is disabled."""
-
-    __slots__ = ("started", "ended")
-
-    def __enter__(self) -> "_Stopwatch":
-        self.started = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: Any) -> None:
-        self.ended = time.perf_counter()
-
-    def set(self, **attributes: Any) -> "_Stopwatch":
-        return self
-
-    @property
-    def seconds(self) -> float:
-        end = getattr(self, "ended", None)
-        if end is None:
-            end = time.perf_counter()
-        return end - self.started
 
 
 class Observability:
@@ -85,6 +77,13 @@ class Observability:
     ) -> None:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Per-facade instrument caches: dict reads are GIL-atomic, so the
+        # hot path (inc/observe/gauge on an existing instrument) skips the
+        # registry lock + kind check and pays only the instrument's own
+        # lock.  Invalidated by reset().
+        self._counters: Dict[str, Any] = {}
+        self._histograms: Dict[str, Any] = {}
+        self._gauges: Dict[str, Any] = {}
 
     # -- tracing ---------------------------------------------------------
 
@@ -94,7 +93,7 @@ class Observability:
 
     def timer(self, name: str, **attributes: Any):
         """A span whose ``.seconds`` the caller reads back into results."""
-        return self.tracer.span(name, **attributes)
+        return self.tracer.timer(name, **attributes)
 
     def span_roots(self) -> List[Span]:
         return self.tracer.roots()
@@ -102,13 +101,22 @@ class Observability:
     # -- metrics ---------------------------------------------------------
 
     def inc(self, name: str, amount: int = 1) -> None:
-        self.metrics.counter(name).inc(amount)
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = self.metrics.counter(name)
+        counter.inc(amount)
 
     def observe(self, name: str, value: float) -> None:
-        self.metrics.histogram(name).observe(value)
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = self.metrics.histogram(name)
+        histogram.observe(value)
 
     def gauge(self, name: str, value: float) -> None:
-        self.metrics.gauge(name).set(value)
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = self.metrics.gauge(name)
+        gauge.set(value)
 
     def counter_value(self, name: str) -> int:
         return self.metrics.counter(name).value
@@ -122,6 +130,11 @@ class Observability:
         """Clear all collected spans and instruments."""
         self.tracer.reset()
         self.metrics.reset()
+        # The registry dropped its instruments; stale cache entries would
+        # keep counting into objects no snapshot can see.
+        self._counters.clear()
+        self._histograms.clear()
+        self._gauges.clear()
 
 
 class _DisabledObservability(Observability):

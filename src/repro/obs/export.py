@@ -1,11 +1,15 @@
 """Exporters for :mod:`repro.obs` — JSON documents and Prometheus text.
 
-The JSON schema (version tag ``repro.obs/1``) is documented in
+The JSON schema (version tag ``repro.obs/2``) is documented in
 ``docs/OBSERVABILITY.md`` and checked by :func:`validate_export`; CI
 uploads one of these documents per commit so the perf trajectory of the
-reproduction is visible over time.  The Prometheus exposition follows the
-text format (``# TYPE`` comments, ``_total`` counter suffix, histogram
-summaries as quantile-labelled gauges) closely enough to be scraped.
+reproduction is visible over time.  v2 extends every exported span with
+the propagation identifiers (``trace_id``/``span_id``/``parent_id``)
+that the context-propagated tracer stamps.  The Prometheus exposition
+follows the text format (``# HELP``/``# TYPE`` comments, ``_total``
+counter suffix, histogram summaries as quantile-labelled series,
+escaped label values) closely enough to be scraped and to pass the
+conformance parser in ``tests/server/test_prometheus.py``.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from typing import Any, Dict, List, Optional
 from repro.obs.core import Observability
 
 #: Schema identifier embedded in (and required of) every JSON export.
-SCHEMA_VERSION = "repro.obs/1"
+SCHEMA_VERSION = "repro.obs/2"
 
 
 # -- JSON ----------------------------------------------------------------
@@ -49,11 +53,14 @@ def dump_json(
 
 
 class SchemaError(ValueError):
-    """A document does not conform to the ``repro.obs/1`` schema."""
+    """A document does not conform to the ``repro.obs/2`` schema."""
 
 
 _HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
-_SPAN_FIELDS = ("name", "seconds", "attributes", "children")
+_SPAN_FIELDS = (
+    "name", "seconds", "attributes", "trace_id", "span_id", "parent_id",
+    "children",
+)
 
 
 def _validate_span(span: Dict[str, Any], path: str) -> None:
@@ -66,6 +73,12 @@ def _validate_span(span: Dict[str, Any], path: str) -> None:
         raise SchemaError(f"{path}: span seconds must be a number")
     if not isinstance(span["attributes"], dict):
         raise SchemaError(f"{path}: span attributes must be an object")
+    if not isinstance(span["trace_id"], str) or not span["trace_id"]:
+        raise SchemaError(f"{path}: span trace_id must be a non-empty string")
+    if not isinstance(span["span_id"], str) or not span["span_id"]:
+        raise SchemaError(f"{path}: span span_id must be a non-empty string")
+    if span["parent_id"] is not None and not isinstance(span["parent_id"], str):
+        raise SchemaError(f"{path}: span parent_id must be a string or null")
     if not isinstance(span["children"], list):
         raise SchemaError(f"{path}: span children must be an array")
     for position, child in enumerate(span["children"]):
@@ -107,29 +120,70 @@ def validate_export(document: Dict[str, Any]) -> None:
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
+#: Hand-written HELP texts for the most-scraped series; everything else
+#: gets a generated fallback naming the originating instrument.
+_PROM_HELP = {
+    "server.requests": "HTTP requests accepted by the provenance server",
+    "server.inflight": "Admitted HTTP requests currently executing or queued",
+    "store.reads": "SQL read round-trips (the paper's cost unit)",
+    "store.rows_fetched": "Rows returned by store reads",
+    "store.writes": "Committed write transactions",
+    "server.request_seconds": "Wall-clock seconds per HTTP request",
+    "store.read_seconds": "Seconds per store read round-trip",
+}
+
 
 def _prom_name(name: str) -> str:
     return "repro_" + _NAME_RE.sub("_", name)
 
 
+def escape_label_value(value: Any) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping inside the quoted label value.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_help(name: str, kind: str) -> str:
+    text = _PROM_HELP.get(name, f"repro.obs {kind} {name}")
+    # HELP text terminates at end-of-line; keep multi-line inputs legal.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def to_prometheus(obs: Observability) -> str:
-    """Prometheus text exposition of the current metrics snapshot."""
+    """Prometheus text exposition of the current metrics snapshot.
+
+    Every exposed metric carries both a ``# HELP`` and a ``# TYPE``
+    line, and label values are escaped with :func:`escape_label_value`.
+    """
     snapshot = obs.metrics_snapshot()
     lines: List[str] = []
     for name, value in snapshot["counters"].items():
         prom = _prom_name(name) + "_total"
+        lines.append(f"# HELP {prom} {_prom_help(name, 'counter')}")
         lines.append(f"# TYPE {prom} counter")
         lines.append(f"{prom} {value}")
     for name, value in snapshot["gauges"].items():
         prom = _prom_name(name)
+        lines.append(f"# HELP {prom} {_prom_help(name, 'gauge')}")
         lines.append(f"# TYPE {prom} gauge")
         lines.append(f"{prom} {value}")
     for name, summary in snapshot["histograms"].items():
         prom = _prom_name(name)
+        lines.append(f"# HELP {prom} {_prom_help(name, 'histogram')}")
         lines.append(f"# TYPE {prom} summary")
-        for quantile in ("p50", "p95", "p99"):
+        for quantile, label in (("p50", "0.50"), ("p95", "0.95"),
+                                ("p99", "0.99")):
+            escaped = escape_label_value(label)
             lines.append(
-                f'{prom}{{quantile="0.{quantile[1:]}"}} {summary[quantile]}'
+                f'{prom}{{quantile="{escaped}"}} {summary[quantile]}'
             )
         lines.append(f"{prom}_sum {summary['sum']}")
         lines.append(f"{prom}_count {summary['count']}")

@@ -1,0 +1,120 @@
+"""Bounded collection of finished span trees — the trace back end.
+
+A :class:`SpanSink` receives every *sampled* root span the moment it
+finishes (the tracer calls :meth:`emit`) and keeps the most recent
+``capacity`` traces in a ring, indexed by trace id for O(1) retrieval.
+The server's ``GET /v1/traces/recent`` and ``GET /v1/traces/{trace_id}``
+endpoints read straight out of this structure.
+
+Optionally every emitted trace is also appended to a JSONL file (one
+``sort_keys`` JSON document per line), which survives the process and
+can be tailed by external tooling.  The file record is serialized *at
+emit time*: a truncated trace — a request that hit its deadline while
+its worker was still running — is journalled as-of root completion,
+while the in-memory object keeps accumulating late children that the
+``/v1/traces`` endpoints then show.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.obs.tracer import Span
+
+
+class SpanSink:
+    """Ring of recent traces plus an optional JSONL file journal."""
+
+    def __init__(self, capacity: int = 512, path: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError("SpanSink capacity must be >= 1")
+        self.capacity = capacity
+        self.path = path
+        self._ring: Deque[Span] = deque()
+        self._by_id: Dict[str, Span] = {}
+        self._lock = threading.Lock()
+        self._emitted = 0
+
+    # -- ingest ----------------------------------------------------------
+
+    def emit(self, root: Span) -> None:
+        """Record one finished root span (called by the tracer)."""
+        with self._lock:
+            if len(self._ring) >= self.capacity:
+                evicted = self._ring.popleft()
+                # Guard the index delete: an id could in principle have
+                # been replaced by a newer emit of the same trace.
+                if self._by_id.get(evicted.trace_id) is evicted:
+                    del self._by_id[evicted.trace_id]
+            self._ring.append(root)
+            self._by_id[root.trace_id] = root
+            self._emitted += 1
+        if self.path:
+            line = json.dumps(
+                root.to_dict(), sort_keys=True, separators=(",", ":"),
+                default=str,
+            )
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+    # -- retrieval -------------------------------------------------------
+
+    def get(self, trace_id: str) -> Optional[Span]:
+        """The retained root for ``trace_id``, or ``None``."""
+        with self._lock:
+            return self._by_id.get(trace_id)
+
+    def recent(self, limit: int = 50) -> List[Span]:
+        """The most recent roots, newest first."""
+        with self._lock:
+            items = list(self._ring)
+        items.reverse()
+        return items[: max(0, limit)]
+
+    def recent_dicts(self, limit: int = 50) -> List[Dict[str, Any]]:
+        """JSON-ready form of :meth:`recent` (serialized at read time)."""
+        return [root.to_dict() for root in self.recent(limit)]
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def emitted(self) -> int:
+        """Total roots ever emitted (including since-evicted ones)."""
+        with self._lock:
+            return self._emitted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._by_id.clear()
+
+
+def load_trace_log(path: str, limit: int = 0) -> List[Dict[str, Any]]:
+    """Read a JSONL trace journal back into dictionaries.
+
+    Malformed lines (e.g. a torn tail write after a crash) are skipped.
+    ``limit`` > 0 keeps only the last N records.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue
+    except FileNotFoundError:
+        return []
+    if limit > 0:
+        records = records[-limit:]
+    return records

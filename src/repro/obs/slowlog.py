@@ -1,0 +1,158 @@
+"""Slow-query journal — threshold-triggered structured query records.
+
+The service layer times every public ``lineage()`` call; whenever one
+runs at or above ``threshold_ms`` the :class:`SlowQueryJournal` captures
+a structured record of *why* it was slow: the query text, the strategy
+that answered it, whether the result cache was warm, the per-level
+timings the paper reports (t1 plan / t2 execute), the SQL round-trip and
+row counts from ``MultiRunResult.aggregate_stats()``, and — when the
+call ran inside a trace — the trace id linking the record to the full
+span tree.
+
+Records live in a bounded in-memory ring (served by ``GET /v1/slowlog``)
+and, for file-backed stores, are appended to a ``<db>.slowlog.jsonl``
+sidecar next to the trace database — the same placement convention as
+the ``<db>.metrics.json`` counter sidecar — which ``repro-prov slowlog``
+reads back.
+
+Schema of one record (all times in milliseconds)::
+
+    {
+      "query":        "lin(<P:Y[0.1]>, {Q})",
+      "strategy":     "indexproj",
+      "from_cache":   false,
+      "wall_ms":      12.4,        # whole service call
+      "t1_ms":        0.8,         # plan/traversal level
+      "t2_ms":        11.1,        # execute/lookup level
+      "runs":         20,
+      "bindings":     40,
+      "sql_queries":  20,          # == aggregate_stats().queries
+      "rows":         120,
+      "batch_lookups": 2,          # batched statements (0 = unbatched)
+      "batch_keys":   40,
+      "batch_chunk_size": 32,
+      "threshold_ms": 5.0,
+      "trace_id":     "0000...7f"  # "" outside any trace
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+
+def slowlog_sidecar_path(db_path: str) -> str:
+    """The journal file that belongs to a trace database."""
+    return db_path + ".slowlog.jsonl"
+
+
+class SlowQueryJournal:
+    """Bounded ring + optional JSONL sidecar of slow-query records."""
+
+    def __init__(
+        self,
+        threshold_ms: float = 100.0,
+        capacity: int = 256,
+        path: Optional[str] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("SlowQueryJournal capacity must be >= 1")
+        self.threshold_ms = float(threshold_ms)
+        self.capacity = capacity
+        self.path = path
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    def record(self, entry: Dict[str, Any]) -> bool:
+        """Record ``entry`` iff its ``wall_ms`` meets the threshold.
+
+        Returns True when the record was kept.  The threshold is stamped
+        into the record so readers of a merged journal can tell which
+        regime produced each line.
+        """
+        if entry.get("wall_ms", 0.0) < self.threshold_ms:
+            return False
+        entry = dict(entry)
+        entry["threshold_ms"] = self.threshold_ms
+        with self._lock:
+            self._ring.append(entry)
+            self._recorded += 1
+        if self.path:
+            line = json.dumps(
+                entry, sort_keys=True, separators=(",", ":"), default=str
+            )
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        return True
+
+    def recent(self, limit: int = 50) -> List[Dict[str, Any]]:
+        """The most recent records, newest first."""
+        with self._lock:
+            items = list(self._ring)
+        items.reverse()
+        return items[: max(0, limit)]
+
+    @property
+    def recorded(self) -> int:
+        """Total records ever kept (including since-evicted ones)."""
+        with self._lock:
+            return self._recorded
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+
+def load_slowlog(path: str, limit: int = 0) -> List[Dict[str, Any]]:
+    """Read a slowlog sidecar back into dictionaries (newest last).
+
+    Malformed lines are skipped; a missing file reads as empty.
+    ``limit`` > 0 keeps only the last N records.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue
+    except FileNotFoundError:
+        return []
+    if limit > 0:
+        records = records[-limit:]
+    return records
+
+
+def render_slowlog_table(records: List[Dict[str, Any]]) -> str:
+    """Fixed-width rendering for the ``repro-prov slowlog`` command."""
+    if not records:
+        return ""
+    header = (
+        f"{'wall_ms':>9s} {'t1_ms':>8s} {'t2_ms':>8s} {'sql':>5s} "
+        f"{'rows':>6s} {'strategy':9s} {'cache':5s} query"
+    )
+    lines = [header]
+    for rec in records:
+        lines.append(
+            f"{rec.get('wall_ms', 0.0):9.2f} "
+            f"{rec.get('t1_ms', 0.0):8.2f} "
+            f"{rec.get('t2_ms', 0.0):8.2f} "
+            f"{rec.get('sql_queries', 0):5d} "
+            f"{rec.get('rows', 0):6d} "
+            f"{str(rec.get('strategy', '?')):9s} "
+            f"{'warm' if rec.get('from_cache') else 'cold':5s} "
+            f"{rec.get('query', '')}"
+        )
+    return "\n".join(lines)

@@ -1,9 +1,9 @@
 """Nested timed spans — the tracing half of :mod:`repro.obs`.
 
 A :class:`Span` is one timed region of execution with a name, key/value
-attributes, and child spans; a :class:`Tracer` maintains a per-thread
-stack of active spans so nesting falls out of lexical ``with`` scoping
-without any caller bookkeeping::
+attributes, identifiers, and child spans; a :class:`Tracer` maintains a
+per-*context* stack of active spans so nesting falls out of lexical
+``with`` scoping without any caller bookkeeping::
 
     tracer = Tracer()
     with tracer.span("query", strategy="indexproj"):
@@ -12,16 +12,45 @@ without any caller bookkeeping::
         with tracer.span("execute", runs=3):
             ...
 
-Threading contract
-------------------
+Propagation contract (v2)
+-------------------------
 
-Each thread owns an independent active-span stack (``threading.local``),
-so spans started on worker threads never interleave with the parent
-thread's stack.  A span opened on a thread with an empty stack becomes a
-*root*; roots from all threads are collected into one shared list behind
-a lock.  This matches how the query layer fans out: the main thread holds
-the query-level span while pool workers each contribute their own root
-spans (tagged by the caller with a worker/chunk attribute).
+The active-span stack lives in a :class:`contextvars.ContextVar`, not in
+``threading.local``.  The difference only shows at concurrency
+boundaries:
+
+* A *plain* thread starts with an empty context, so — exactly as under
+  the v1 thread-local design — a span opened there becomes an
+  independent root.
+* A caller that wants a worker to continue *its* trace captures
+  ``contextvars.copy_context()`` at submit time and runs the task via
+  ``ctx.run(...)``; the worker then sees the submitter's active span as
+  its parent and its spans nest under the same trace.  The server's
+  admission controller and the parallel query fan-out do exactly this,
+  which is how one HTTP request yields one rooted tree even though it
+  crosses the asyncio accept loop, the admission pool, and the query
+  workers.
+* asyncio tasks copy their creator's context automatically, so spans
+  opened inside a request coroutine nest for free.
+
+Every span carries W3C-trace-context-shaped identifiers: a 32-hex-digit
+``trace_id`` shared by the whole tree, a 16-hex-digit ``span_id``, and
+the parent's ``span_id`` in ``parent_id`` (``None`` on locally-created
+roots).  Ids come from one process-wide monotonic counter, so reruns of
+a deterministic workload produce identical id sequences.  The helpers
+:func:`parse_traceparent` / :func:`format_traceparent` convert between
+these fields and the ``traceparent`` HTTP header.
+
+Head sampling
+-------------
+
+``Tracer.set_sampling(rate)`` keeps roughly ``rate`` of locally-started
+root spans, decided deterministically by a stride counter (rate 0.1 →
+every 10th root).  An unsampled root is still *timed* — ``timer()``
+results stay correct — but it is never collected, never emitted to the
+sink, and its descendants are not retained, so the per-request cost
+drops to a couple of attribute writes.  A remote parent carrying the
+``sampled`` traceparent flag forces the decision either way.
 
 Span durations use ``time.perf_counter`` — the same clock the previous
 ad-hoc timing code used — so timings derived from spans are directly
@@ -30,13 +59,67 @@ comparable with every number the benchmarks have historically reported.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from collections import deque
+from contextvars import ContextVar
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+#: One process-wide id source for both trace and span ids.  ``next()`` on
+#: ``itertools.count`` is atomic under the GIL, and starting at 1 means no
+#: id ever renders as the all-zero string that W3C trace context forbids.
+_IDS = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return f"{next(_IDS):032x}"
+
+
+def _new_span_id() -> str:
+    return f"{next(_IDS):016x}"
+
+
+def parse_traceparent(header: str) -> Optional[Tuple[str, str, bool]]:
+    """Parse a W3C ``traceparent`` header.
+
+    Returns ``(trace_id, parent_span_id, sampled)`` or ``None`` when the
+    header is malformed (wrong field count/width, non-hex digits, the
+    forbidden all-zero ids, or an unknown version).  Per the spec,
+    version ``ff`` is invalid and future versions are accepted as long
+    as the first four fields parse.
+    """
+    parts = header.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if len(version) != 2 or len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    if len(flags) != 2:
+        return None
+    try:
+        int(version, 16)
+        int(trace_id, 16)
+        int(span_id, 16)
+        flag_bits = int(flags, 16)
+    except ValueError:
+        return None
+    if version.lower() == "ff":
+        return None
+    if version == "00" and len(parts) != 4:
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return trace_id, span_id, bool(flag_bits & 0x01)
+
+
+def format_traceparent(trace_id: str, span_id: str, sampled: bool = True) -> str:
+    """Render the W3C ``traceparent`` header for a span."""
+    return f"00-{trace_id}-{span_id}-{'01' if sampled else '00'}"
 
 
 class Span:
-    """One timed region: name, attributes, children, perf_counter bounds.
+    """One timed region: name, attributes, ids, children, clock bounds.
 
     Spans are created by :meth:`Tracer.span` and finished by leaving the
     ``with`` block (or calling :meth:`finish` directly).  ``seconds`` is
@@ -44,7 +127,17 @@ class Span:
     time so far.
     """
 
-    __slots__ = ("name", "attributes", "children", "started", "ended")
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "started",
+        "ended",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "sampled",
+    )
 
     def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
         self.name = name
@@ -52,6 +145,10 @@ class Span:
         self.children: List["Span"] = []
         self.started = time.perf_counter()
         self.ended: Optional[float] = None
+        self.trace_id: str = ""
+        self.span_id: str = _new_span_id()
+        self.parent_id: Optional[str] = None
+        self.sampled = True
 
     # -- lifecycle -------------------------------------------------------
 
@@ -75,9 +172,15 @@ class Span:
     # -- introspection ---------------------------------------------------
 
     def walk(self) -> Iterator["Span"]:
-        """Yield this span and every descendant, depth-first."""
+        """Yield this span and every descendant, depth-first.
+
+        The child list is snapshotted per level so a *truncated* trace —
+        one whose worker is still appending children after the root
+        finished (e.g. a request that hit its 504 deadline) — can be
+        walked safely while it is still growing.
+        """
         yield self
-        for child in self.children:
+        for child in list(self.children):
             yield from child.walk()
 
     def find(self, name: str) -> List["Span"]:
@@ -90,7 +193,10 @@ class Span:
             "name": self.name,
             "seconds": self.seconds,
             "attributes": dict(self.attributes),
-            "children": [child.to_dict() for child in self.children],
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "children": [child.to_dict() for child in list(self.children)],
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -98,73 +204,307 @@ class Span:
 
 
 class _ActiveSpan:
-    """Context manager tying one Span to its tracer's thread-local stack."""
+    """Context manager tying one Span to its tracer's context stack."""
 
-    __slots__ = ("_tracer", "span")
+    __slots__ = ("_tracer", "span", "_token")
 
     def __init__(self, tracer: "Tracer", span: Span):
         self._tracer = tracer
         self.span = span
+        self._token = None
 
     def __enter__(self) -> Span:
-        self._tracer._push(self.span)
+        self._token = self._tracer._push(self.span)
         return self.span
 
     def __exit__(self, *exc_info: Any) -> None:
-        self._tracer._pop(self.span)
+        self._tracer._pop(self.span, self._token)
+        self._token = None
+
+
+class _DeadSpan:
+    """Shared no-op span for unsampled subtrees; its own context manager.
+
+    Once a root is decided *unsampled*, every descendant ``span()`` call
+    resolves to this singleton: no allocation, no clock reads, no stack
+    push — the per-span cost of a sampled-out request collapses to one
+    attribute check.  All Span surface the instrumented code touches
+    (``set``, ``seconds``, the propagation ids) is present and inert.
+    """
+
+    __slots__ = ()
+
+    name = ""
+    sampled = False
+    trace_id = ""
+    span_id = ""
+    parent_id: Optional[str] = None
+    children: Tuple[()] = ()
+
+    def __enter__(self) -> "_DeadSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+    def set(self, **attributes: Any) -> "_DeadSpan":
+        return self
+
+    @property
+    def seconds(self) -> float:
+        return 0.0
+
+    @property
+    def attributes(self) -> Dict[str, Any]:
+        return {}
+
+
+DEAD_SPAN = _DeadSpan()
+
+
+class _UnsampledRootSpan:
+    """A sampled-out root: timed, with real ids, but never collected.
+
+    Response headers still need a genuine ``trace_id``/``span_id`` pair
+    and ``timer()`` semantics require the root to be timed, so this is
+    not the dead span — but it skips everything else a :class:`Span`
+    root pays: no attribute/child storage, no roots-ring lock, no sink
+    emission.  It pushes itself onto the context stack so every
+    descendant ``span()`` call short-circuits to :data:`DEAD_SPAN`.
+    """
+
+    __slots__ = (
+        "_tracer", "_token", "trace_id", "span_id", "parent_id",
+        "children", "started", "ended",
+    )
+
+    name = ""
+    sampled = False
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+    ) -> None:
+        self._tracer = tracer
+        self._token = None
+        self.trace_id = trace_id if trace_id is not None else _new_trace_id()
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.children: List[Span] = []
+        self.started = 0.0
+        self.ended: Optional[float] = None
+
+    def __enter__(self) -> "_UnsampledRootSpan":
+        self.started = time.perf_counter()
+        var = self._tracer._var
+        self._token = var.set(var.get() + (self,))
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.ended = time.perf_counter()
+        try:
+            self._tracer._var.reset(self._token)
+        except ValueError:  # pragma: no cover - cross-context misuse
+            stack = self._tracer._var.get()
+            self._tracer._var.set(tuple(s for s in stack if s is not self))
+        self._token = None
+
+    def set(self, **attributes: Any) -> "_UnsampledRootSpan":
+        return self
+
+    @property
+    def seconds(self) -> float:
+        end = self.ended if self.ended is not None else time.perf_counter()
+        return end - self.started
+
+    @property
+    def attributes(self) -> Dict[str, Any]:
+        return {}
+
+
+class _Stopwatch:
+    """Timing-only stand-in for a span (disabled obs, unsampled traces)."""
+
+    __slots__ = ("started", "ended")
+
+    sampled = False
+
+    def __enter__(self) -> "_Stopwatch":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.ended = time.perf_counter()
+
+    def set(self, **attributes: Any) -> "_Stopwatch":
+        return self
+
+    @property
+    def seconds(self) -> float:
+        end = getattr(self, "ended", None)
+        if end is None:
+            end = time.perf_counter()
+        return end - self.started
 
 
 class Tracer:
-    """Thread-safe collector of finished span trees."""
+    """Thread-safe collector of finished span trees.
 
-    def __init__(self) -> None:
-        self._local = threading.local()
-        self._roots: List[Span] = []
+    ``max_roots`` bounds the retained root list (a ring: oldest roots
+    are dropped first), so a long-running server cannot grow memory by
+    tracing every request.  Attach a :class:`repro.obs.sink.SpanSink`
+    via :attr:`sink` to receive every sampled root as it finishes.
+    """
+
+    def __init__(self, max_roots: int = 4096) -> None:
+        self._var: ContextVar[Tuple[Span, ...]] = ContextVar(
+            "repro_span_stack", default=()
+        )
+        self._roots: Deque[Span] = deque(maxlen=max_roots)
         self._roots_lock = threading.Lock()
+        self._sample_stride = 1
+        self._root_counter = itertools.count()
+        self.sink = None  # Optional[SpanSink], duck-typed to avoid a cycle
+
+    # -- configuration ---------------------------------------------------
+
+    def set_sampling(self, rate: float) -> None:
+        """Keep ~``rate`` of locally-started roots (deterministic stride).
+
+        ``rate >= 1`` keeps everything; ``rate <= 0`` keeps nothing.  The
+        decision applies at root creation; children follow their root.
+        """
+        if rate >= 1.0:
+            self._sample_stride = 1
+        elif rate <= 0.0:
+            self._sample_stride = 0
+        else:
+            self._sample_stride = max(1, round(1.0 / rate))
+
+    @property
+    def sample_stride(self) -> int:
+        return self._sample_stride
 
     # -- span creation ---------------------------------------------------
 
-    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
-        """Open a nested span; use as a context manager."""
+    def span(self, name: str, **attributes: Any):
+        """Open a nested span; use as a context manager.
+
+        Sampled-out paths stay near-free: under an *unsampled* active
+        span the call returns the shared :data:`DEAD_SPAN` (never
+        pushed, so the stack top stays the unsampled ancestor and the
+        whole subtree short-circuits to one attribute check per call),
+        and a root the stride counter rejects becomes a lightweight
+        :class:`_UnsampledRootSpan` instead of a full :class:`Span`.
+        """
+        stack = self._var.get()
+        if stack:
+            if not stack[-1].sampled:
+                return DEAD_SPAN
+            return _ActiveSpan(self, Span(name, attributes))
+        stride = self._sample_stride
+        if stride != 1 and (
+            stride == 0 or next(self._root_counter) % stride != 0
+        ):
+            return _UnsampledRootSpan(self)
         return _ActiveSpan(self, Span(name, attributes))
 
-    def _stack(self) -> List[Span]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
+    def timer(self, name: str, **attributes: Any):
+        """Like :meth:`span`, but still *timed* when sampled out.
 
-    def _push(self, span: Span) -> None:
-        stack = self._stack()
+        Query code derives reported wall-times (``lookup_seconds`` and
+        friends) from these context managers, so an unsampled request
+        gets a plain :class:`_Stopwatch` — real clock reads, no trace
+        participation — rather than the zero-duration dead span.
+        """
+        stack = self._var.get()
+        if stack and not stack[-1].sampled:
+            return _Stopwatch()
+        return self.span(name, **attributes)
+
+    def remote_span(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: str,
+        sampled: bool = True,
+        **attributes: Any,
+    ):
+        """Open a root span continuing a *remote* trace (W3C traceparent).
+
+        The span adopts the caller-supplied ``trace_id`` and records the
+        remote span as ``parent_id``; the remote ``sampled`` flag forces
+        the sampling decision instead of the local stride counter.  Only
+        meaningful when no span is active in the current context — under
+        an active local span the remote parent is ignored and the span
+        nests normally.
+        """
+        stack = self._var.get()
+        if stack:
+            return self.span(name, **attributes)
+        if not sampled:
+            return _UnsampledRootSpan(self, trace_id, parent_id)
+        span = Span(name, attributes)
+        span.trace_id = trace_id
+        span.parent_id = parent_id
+        span.sampled = True
+        return _ActiveSpan(self, span)
+
+    # -- stack plumbing --------------------------------------------------
+
+    def _push(self, span: Span):
+        stack = self._var.get()
         # Restart the clock at entry so time spent between construction
         # and __enter__ (zero in the with-statement idiom) is excluded.
         span.started = time.perf_counter()
         if stack:
-            stack[-1].children.append(span)
+            parent = stack[-1]
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+            span.sampled = parent.sampled
+            if parent.sampled:
+                # list.append is atomic under the GIL, so children from
+                # propagated worker contexts land safely on the shared
+                # parent object.
+                parent.children.append(span)
         else:
-            with self._roots_lock:
-                self._roots.append(span)
-        stack.append(span)
+            # Roots reaching the stack are always sampled — span() routes
+            # stride-rejected roots to _UnsampledRootSpan instead — so
+            # only the id needs assigning (remote-adopted roots carry one).
+            if not span.trace_id:
+                span.trace_id = _new_trace_id()
+            if span.sampled:
+                with self._roots_lock:
+                    self._roots.append(span)
+        return self._var.set(stack + (span,))
 
-    def _pop(self, span: Span) -> None:
+    def _pop(self, span: Span, token: Any) -> None:
         span.finish()
-        stack = self._stack()
-        # Tolerate out-of-order exits defensively: pop through `span`.
-        while stack:
-            top = stack.pop()
-            if top is span:
-                break
-            top.finish()  # pragma: no cover - only on misuse
+        try:
+            if token is not None:
+                self._var.reset(token)
+            else:  # pragma: no cover - only on misuse
+                stack = self._var.get()
+                self._var.set(tuple(s for s in stack if s is not span))
+        except ValueError:  # pragma: no cover - cross-context misuse
+            stack = self._var.get()
+            self._var.set(tuple(s for s in stack if s is not span))
+        if span.sampled and not self._var.get():
+            sink = self.sink
+            if sink is not None:
+                sink.emit(span)
 
     # -- introspection ---------------------------------------------------
 
     def current(self) -> Optional[Span]:
-        """The calling thread's innermost active span, if any."""
-        stack = self._stack()
+        """The current context's innermost active span, if any."""
+        stack = self._var.get()
         return stack[-1] if stack else None
 
     def roots(self) -> List[Span]:
-        """Snapshot of all collected root spans (any thread)."""
+        """Snapshot of all collected root spans (any thread/context)."""
         with self._roots_lock:
             return list(self._roots)
 
@@ -198,7 +538,7 @@ def render_span_tree(roots: List[Span], indent: str = "  ") -> str:
             f"{indent * depth}{span.name:<{max(1, 38 - depth * len(indent))}s}"
             f" {span.seconds * 1000:9.3f} ms{suffix}"
         )
-        for child in span.children:
+        for child in list(span.children):
             emit(child, depth + 1)
 
     for root in roots:

@@ -1,0 +1,179 @@
+"""Time-windowed request aggregation — "what happened in the last N s".
+
+The process-lifetime counters in :mod:`repro.obs.metrics` answer "how
+much, ever"; operating a server needs "how fast, *lately*".
+:class:`TimeWindow` is a fixed-interval ring of buckets (default 120 x
+1 s): each request records its status and latency into the bucket for
+the current second, and :meth:`report` merges the buckets covering the
+last N seconds into recent rps / status mix / latency quantiles.
+
+Buckets are epoch-stamped: writing into a bucket whose stamp is stale
+resets it first, so the ring needs no background sweeper and costs one
+lock acquisition per request.  Latency quantiles come from a bounded
+keep-first sample per bucket — deterministic, like the histogram
+decimation in :mod:`repro.obs.metrics` — which biases toward the start
+of each one-second bucket; at the default 64 samples/s that bias is
+negligible for the dashboards this feeds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class _Bucket:
+    __slots__ = ("epoch", "count", "sum_seconds", "max_seconds",
+                 "statuses", "samples")
+
+    def __init__(self) -> None:
+        self.epoch = -1
+        self.reset(-1)
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.count = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+        self.statuses: Dict[int, int] = {}
+        self.samples: List[float] = []
+
+
+def parse_window(text: str, default_seconds: int = 60,
+                 max_seconds: int = 0) -> int:
+    """Parse a ``last=`` window spec: ``"30s"``, ``"5m"``, ``"1h"``, ``"45"``.
+
+    Bare integers are seconds.  Raises ``ValueError`` on anything else
+    or on non-positive windows; ``max_seconds`` > 0 clamps the result.
+    """
+    text = (text or "").strip().lower()
+    if not text:
+        seconds = default_seconds
+    else:
+        unit = 1
+        if text.endswith("s"):
+            text = text[:-1]
+        elif text.endswith("m"):
+            text, unit = text[:-1], 60
+        elif text.endswith("h"):
+            text, unit = text[:-1], 3600
+        if not text.isdigit():
+            raise ValueError(f"invalid window spec: {text!r}")
+        seconds = int(text) * unit
+    if seconds <= 0:
+        raise ValueError("window must cover at least one second")
+    if max_seconds > 0:
+        seconds = min(seconds, max_seconds)
+    return seconds
+
+
+class TimeWindow:
+    """Ring of per-interval buckets aggregating request outcomes."""
+
+    def __init__(
+        self,
+        bucket_seconds: float = 1.0,
+        buckets: int = 120,
+        samples_per_bucket: int = 64,
+        clock=time.monotonic,
+    ):
+        if bucket_seconds <= 0 or buckets < 2:
+            raise ValueError("TimeWindow needs positive buckets")
+        self.bucket_seconds = float(bucket_seconds)
+        self.samples_per_bucket = samples_per_bucket
+        self._clock = clock
+        self._buckets = [_Bucket() for _ in range(buckets)]
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    @property
+    def span_seconds(self) -> int:
+        """The widest window this ring can answer for."""
+        # The current (partial) bucket is unreliable as the oldest slot,
+        # hence len-1.
+        return int((len(self._buckets) - 1) * self.bucket_seconds)
+
+    # -- ingest ----------------------------------------------------------
+
+    def record(self, status: int, seconds: float,
+               now: Optional[float] = None) -> None:
+        """Fold one request outcome into the current bucket."""
+        if now is None:
+            now = self._clock()
+        epoch = int(now / self.bucket_seconds)
+        bucket = self._buckets[epoch % len(self._buckets)]
+        with self._lock:
+            if bucket.epoch != epoch:
+                bucket.reset(epoch)
+            bucket.count += 1
+            bucket.sum_seconds += seconds
+            if seconds > bucket.max_seconds:
+                bucket.max_seconds = seconds
+            bucket.statuses[status] = bucket.statuses.get(status, 0) + 1
+            if len(bucket.samples) < self.samples_per_bucket:
+                bucket.samples.append(seconds)
+            self._recorded += 1
+
+    @property
+    def recorded(self) -> int:
+        with self._lock:
+            return self._recorded
+
+    # -- reporting -------------------------------------------------------
+
+    def report(self, last_seconds: int,
+               now: Optional[float] = None) -> Dict[str, Any]:
+        """Aggregate over the buckets covering the last ``last_seconds``.
+
+        The window is clamped to what the ring retains.  The report is a
+        plain JSON-ready dict; with zero requests in range the latency
+        fields are ``None`` and ``rps`` is 0.0.
+        """
+        if now is None:
+            now = self._clock()
+        window = max(1, min(int(last_seconds), self.span_seconds))
+        now_epoch = int(now / self.bucket_seconds)
+        oldest = now_epoch - int(window / self.bucket_seconds) + 1
+        count = 0
+        total = 0.0
+        peak = 0.0
+        statuses: Dict[str, int] = {}
+        samples: List[float] = []
+        with self._lock:
+            for bucket in self._buckets:
+                if not (oldest <= bucket.epoch <= now_epoch):
+                    continue
+                count += bucket.count
+                total += bucket.sum_seconds
+                if bucket.max_seconds > peak:
+                    peak = bucket.max_seconds
+                for status, n in bucket.statuses.items():
+                    key = str(status)
+                    statuses[key] = statuses.get(key, 0) + n
+                samples.extend(bucket.samples)
+        report: Dict[str, Any] = {
+            "window_seconds": window,
+            "requests": count,
+            "rps": round(count / window, 3),
+            "statuses": dict(sorted(statuses.items())),
+        }
+        if count:
+            samples.sort()
+            report.update(
+                mean_ms=round(total / count * 1000, 3),
+                max_ms=round(peak * 1000, 3),
+                p50_ms=round(_quantile(samples, 0.50) * 1000, 3),
+                p95_ms=round(_quantile(samples, 0.95) * 1000, 3),
+                p99_ms=round(_quantile(samples, 0.99) * 1000, 3),
+            )
+        else:
+            report.update(mean_ms=None, max_ms=None, p50_ms=None,
+                          p95_ms=None, p99_ms=None)
+        return report
+
+
+def _quantile(sorted_samples: List[float], q: float) -> float:
+    """Nearest-rank quantile over an already-sorted non-empty list."""
+    index = round(q * (len(sorted_samples) - 1))
+    return sorted_samples[index]

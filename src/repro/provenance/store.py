@@ -1113,13 +1113,17 @@ class TraceStore:
         # shrinks the fetched row set by the iteration factor and runs the
         # dedupe off the GIL.  _dedupe_bindings stays as a guard for the
         # (never expected) case of diverging payloads on one key.
-        rows = self._read(
-            "SELECT DISTINCT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
-            "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'in' "
-            f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
-            [run_id, node, port, *prefixes, like],
-            stats=stats,
-        )
+        with self.obs.span(
+            "store.lookup", run=run_id, node=node, port=port,
+        ) as span:
+            rows = self._read(
+                "SELECT DISTINCT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
+                "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'in' "
+                f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
+                [run_id, node, port, *prefixes, like],
+                stats=stats,
+            )
+            span.set(rows=len(rows))
         if stats is not None:
             stats.record(len(rows))
         return _dedupe_bindings(rows)
@@ -1418,6 +1422,38 @@ class TraceStore:
         effective_chunk = (
             chunk_size if chunk_size is not None else DEFAULT_BATCH_CHUNK
         )
+        # One span per multi-key lookup covers every ``*_many`` entry
+        # point; its round-trip count is the batched cost the slowlog
+        # and ``aggregate_stats()`` report.
+        with obs.span(
+            "store.batch", table=table, keys=len(keys),
+            chunk_size=effective_chunk,
+        ) as span:
+            rows = self._read_values_join_impl(
+                keys, table, node_col, port_col, idx_col, role, select,
+                with_values, distinct, stats, effective_chunk,
+            )
+            span.set(
+                rows=len(rows),
+                round_trips=-(-len(keys) // effective_chunk),
+            )
+        return rows
+
+    def _read_values_join_impl(
+        self,
+        keys: Sequence[BatchKey],
+        table: str,
+        node_col: str,
+        port_col: str,
+        idx_col: str,
+        role: Optional[str],
+        select: str,
+        with_values: bool,
+        distinct: bool,
+        stats: Optional[StoreStats],
+        effective_chunk: int,
+    ) -> List[Tuple]:
+        obs = self.obs
         role_clause = f"AND t.role = '{role}' " if role else ""
         head = "SELECT DISTINCT" if distinct else "SELECT"
         value_join = (

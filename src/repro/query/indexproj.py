@@ -21,6 +21,7 @@ speed up their access in subsequent queries").
 
 from __future__ import annotations
 
+import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -377,8 +378,9 @@ class IndexProjEngine:
         ]
 
         def run_chunk(chunk: List[str]) -> List[LineageResult]:
-            # Each chunk runs on its own pool thread, so its span becomes
-            # an independent root in the trace (tagged with chunk size).
+            # Each chunk runs on a pool thread inside a copied context, so
+            # its span nests under ``indexproj.parallel_fanout`` — one
+            # request, one rooted tree, even across the fan-out.
             results: List[LineageResult] = []
             with self.obs.span("indexproj.chunk", runs=len(chunk)):
                 for run_id in chunk:
@@ -408,8 +410,16 @@ class IndexProjEngine:
             if len(chunks) == 1:
                 outcomes = [run_chunk(chunks[0])]
             else:
+                # One context copy per chunk (a single Context cannot be
+                # entered concurrently): each worker sees the fan-out span
+                # as its parent and continues the same trace.
+                tasks = [
+                    (contextvars.copy_context(), chunk) for chunk in chunks
+                ]
                 with ThreadPoolExecutor(max_workers=workers) as pool:
-                    outcomes = list(pool.map(run_chunk, chunks))
+                    outcomes = list(
+                        pool.map(lambda t: t[0].run(run_chunk, t[1]), tasks)
+                    )
         wall = fanout_timer.seconds
 
         per_run_results: Dict[str, LineageResult] = {}

@@ -26,6 +26,7 @@ refreshed on every transition.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -130,7 +131,12 @@ class AdmissionController:
                 )
             return fn()
 
-        future = self._pool.submit(_tracked)
+        # Carry the caller's context (active span stack, trace id) onto
+        # the worker thread: the request's spans keep nesting under the
+        # server.request root instead of rooting a fresh tree.  One copy
+        # per submission — a Context cannot be entered concurrently.
+        ctx = contextvars.copy_context()
+        future = self._pool.submit(ctx.run, _tracked)
         future.add_done_callback(self._release)
         try:
             return await asyncio.wait_for(

@@ -25,13 +25,22 @@ the ``X-Repro-Tenant`` header, defaulting to ``default``):
 ``GET /v1/check-query``                static query triage (no trace reads)
 ``GET /v1/stats``                      store statistics + server occupancy
 ``GET /v1/cache-stats``                lineage cache stack counters
+``GET /v1/traces/recent``              recently finished request traces
+``GET /v1/traces/{trace_id}``          one full rooted span tree
+``GET /v1/slowlog``                    the tenant's slow-query journal
+``GET /v1/metrics/window?last=60s``    recent rps / status mix / p50-p99
 =====================================  =====================================
 
-Every response carries an ``X-Repro-Trace`` header: a compact JSON span
-envelope with the endpoint, tenant, status, wall seconds, and admission
-occupancy at completion — request-scoped observability without a second
-round-trip.  The shared :class:`~repro.obs.core.Observability` handle
-additionally feeds ``/v1/metrics``.
+Every request is wrapped in a ``server.request`` span whose context
+propagates through admission, the service, the query strategies, and the
+store — one trace id for the whole request.  Responses carry that id in
+``X-Repro-Trace`` plus a W3C ``traceparent`` header; an incoming
+``traceparent`` is adopted, so the server joins a caller's distributed
+trace.  The full tree is retrievable afterwards from ``/v1/traces/...``
+(backed by the tracer's :class:`~repro.obs.sink.SpanSink`).  The
+trace/slowlog/window endpoints answer *outside* the worker pool, like
+``/healthz`` — they stay readable while the admission queue is
+saturated, which is exactly when they matter.
 
 Query parameters of the lineage endpoints: ``index`` (dotted path),
 ``focus`` (comma-separated processors), ``view`` + ``groups`` (expand a
@@ -43,14 +52,16 @@ accepts a chunk size), and ``workers`` (parallel per-run fan-out).
 
 from __future__ import annotations
 
-import json
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import __version__
 from repro.analysis.lint import run_lint
-from repro.obs.core import NO_OBS, Observability
+from repro.obs.core import NO_OBS, NULL_SPAN, Observability
 from repro.obs.export import to_prometheus
+from repro.obs.sink import SpanSink
+from repro.obs.tracer import format_traceparent, parse_traceparent
+from repro.obs.window import TimeWindow, parse_window
 from repro.provenance.store import BatchConfig
 from repro.query.base import LineageQuery
 from repro.query.parser import parse_query
@@ -107,6 +118,7 @@ class ServerApp:
         registry: TenantRegistry,
         admission: Optional[AdmissionController] = None,
         obs: Optional[Observability] = None,
+        window: Optional[TimeWindow] = None,
     ) -> None:
         self.obs = obs if obs is not None else NO_OBS
         self.registry = registry
@@ -114,6 +126,12 @@ class ServerApp:
             admission if admission is not None
             else AdmissionController(obs=self.obs)
         )
+        #: Recent-traffic aggregation behind ``/v1/metrics/window``.
+        self.window = window if window is not None else TimeWindow()
+        # /v1/traces needs somewhere to read finished traces from; give
+        # the tracer a default sink unless the runtime configured one.
+        if self.obs.enabled and self.obs.tracer.sink is None:
+            self.obs.tracer.sink = SpanSink()
         self._started_at = time.time()
 
     # -- plumbing ---------------------------------------------------------
@@ -132,38 +150,62 @@ class ServerApp:
         tenant = request.headers.get("x-repro-tenant", DEFAULT_TENANT)
         return validate_tenant(tenant), path
 
+    def _request_span(self, request: Request):
+        """The ``server.request`` root span (adopting ``traceparent``)."""
+        if not self.obs.enabled:
+            return NULL_SPAN
+        header = request.headers.get("traceparent")
+        if header:
+            remote = parse_traceparent(header)
+            if remote is not None:
+                trace_id, parent_id, sampled = remote
+                return self.obs.tracer.remote_span(
+                    "server.request", trace_id, parent_id, sampled
+                )
+        return self.obs.span("server.request")
+
     async def handle(self, request: Request) -> Response:
-        """Route one request; always returns a response with a trace."""
+        """Route one request inside one ``server.request`` span.
+
+        Every path — success, API error, 429 rejection, 504 deadline —
+        closes the span, so even a rejected or truncated request leaves
+        a retrievable trace.  The span's attributes carry the request
+        envelope (method, path, tenant, status, admission occupancy,
+        per-endpoint extras like the parsed query), and the response
+        advertises the trace via ``X-Repro-Trace`` + ``traceparent``.
+        """
         started = time.perf_counter()
-        trace: Dict[str, Any] = {
-            "span": "server.request",
-            "method": request.method,
-            "path": request.path,
-        }
-        try:
-            tenant, path = self._resolve_tenant(request)
-            trace["tenant"] = tenant
-            response = await self._route(request, tenant, path, trace)
-        except Exception as exc:  # noqa: BLE001 - single error surface
-            error = map_exception(exc)
-            trace["error"] = error.code
-            headers: List[Tuple[str, str]] = []
-            if error.retry_after is not None:
-                headers.append(("Retry-After", str(error.retry_after)))
-            response = Response.json(
-                error.to_json(), status=error.status, headers=headers
-            )
-        elapsed = time.perf_counter() - started
-        trace["status"] = response.status
-        trace["seconds"] = round(elapsed, 6)
-        trace["admission"] = self.admission.depth()
-        response.headers.append(
-            ("X-Repro-Trace", json.dumps(trace, separators=(",", ":")))
-        )
+        with self._request_span(request) as span:
+            trace: Dict[str, Any] = {}
+            try:
+                tenant, path = self._resolve_tenant(request)
+                trace["tenant"] = tenant
+                response = await self._route(request, tenant, path, trace)
+            except Exception as exc:  # noqa: BLE001 - single error surface
+                error = map_exception(exc)
+                trace["error"] = error.code
+                headers: List[Tuple[str, str]] = []
+                if error.retry_after is not None:
+                    headers.append(("Retry-After", str(error.retry_after)))
+                response = Response.json(
+                    error.to_json(), status=error.status, headers=headers
+                )
+            elapsed = time.perf_counter() - started
+            trace["status"] = response.status
+            if span.sampled:
+                trace["admission"] = self.admission.depth()
+                span.set(method=request.method, path=request.path, **trace)
         if self.obs.enabled:
+            response.headers.append(("X-Repro-Trace", span.trace_id))
+            response.headers.append(
+                ("traceparent",
+                 format_traceparent(span.trace_id, span.span_id,
+                                    span.sampled)),
+            )
             self.obs.inc("server.requests")
             self.obs.inc(f"server.responses_{response.status}")
             self.obs.observe("server.request_seconds", elapsed)
+            self.window.record(response.status, elapsed)
         return response
 
     async def _route(
@@ -176,6 +218,21 @@ class ServerApp:
         segments = [s for s in path.split("/") if s]
         if len(segments) >= 2 and segments[0] == "v1":
             endpoint = segments[1]
+            # Introspection endpoints answer outside the worker pool, so
+            # they stay readable while the admission queue is saturated.
+            if endpoint in ("traces", "slowlog") or (
+                endpoint == "metrics" and segments[2:] == ["window"]
+            ):
+                if request.method != "GET":
+                    raise ApiError(
+                        405, "method-not-allowed",
+                        f"{request.method} not supported on {path}",
+                    )
+                if endpoint == "traces":
+                    return self._traces(request, segments[2:])
+                if endpoint == "slowlog":
+                    return self._slowlog(request, tenant)
+                return self._metrics_window(request)
             if endpoint == "lineage" and request.method == "GET":
                 return await self._lineage(request, tenant, segments[2:], trace)
             if endpoint == "lineage:batch" and request.method == "POST":
@@ -219,6 +276,65 @@ class ServerApp:
         return Response.text(
             to_prometheus(self.obs),
             content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _metrics_window(self, request: Request) -> Response:
+        try:
+            seconds = parse_window(
+                request.param("last"),
+                default_seconds=60,
+                max_seconds=int(self.window.span_seconds),
+            )
+        except ValueError as exc:
+            raise BadRequest("bad-argument", str(exc)) from None
+        report = self.window.report(seconds)
+        report["enabled"] = self.obs.enabled
+        return Response.json(report)
+
+    def _traces(self, request: Request, segments: List[str]) -> Response:
+        sink = self.obs.tracer.sink if self.obs.enabled else None
+        if not segments or segments == ["recent"]:
+            limit = _parse_int("limit", request.param("limit")) or 50
+            traces = sink.recent_dicts(limit) if sink is not None else []
+            return Response.json(
+                {
+                    "enabled": self.obs.enabled,
+                    "count": len(traces),
+                    "traces": traces,
+                }
+            )
+        if len(segments) != 1:
+            raise NotFound(
+                "unknown-endpoint",
+                "expected /v1/traces/recent or /v1/traces/{trace_id}",
+            )
+        trace_id = segments[0]
+        root = sink.get(trace_id) if sink is not None else None
+        if root is None:
+            raise NotFound(
+                "unknown-trace",
+                f"no finished trace {trace_id!r} in the sink "
+                "(it may have been evicted, sampled out, or tracing is off)",
+            )
+        return Response.json({"trace_id": trace_id, "root": root.to_dict()})
+
+    def _slowlog(self, request: Request, tenant: str) -> Response:
+        limit = _parse_int("limit", request.param("limit")) or 50
+        service = self.registry.get(tenant)
+        journal = getattr(service, "slowlog", None)
+        if journal is None:
+            return Response.json(
+                {"enabled": False, "count": 0, "records": []}
+            )
+        records = journal.recent(limit)
+        return Response.json(
+            {
+                "enabled": True,
+                "threshold_ms": journal.threshold_ms,
+                "recorded": journal.recorded,
+                "count": len(records),
+                "records": records,
+            }
         )
 
     # -- lineage ----------------------------------------------------------

@@ -19,7 +19,7 @@ from urllib.parse import quote, urlencode, urlsplit
 
 @dataclass
 class ApiResponse:
-    """Status + parsed body + the ``X-Repro-Trace`` envelope."""
+    """Status + parsed body + the response's trace identifiers."""
 
     status: int
     headers: Dict[str, str]
@@ -30,9 +30,18 @@ class ApiResponse:
         return 200 <= self.status < 300
 
     @property
-    def trace(self) -> Dict[str, Any]:
-        text = self.headers.get("x-repro-trace")
-        return json.loads(text) if text else {}
+    def trace_id(self) -> Optional[str]:
+        """The request's trace id (``X-Repro-Trace``), if tracing is on.
+
+        Feed it to ``GET /v1/traces/{trace_id}`` to retrieve the full
+        rooted span tree for this request.
+        """
+        return self.headers.get("x-repro-trace")
+
+    @property
+    def traceparent(self) -> Optional[str]:
+        """The W3C ``traceparent`` the server emitted, if tracing is on."""
+        return self.headers.get("traceparent")
 
     @property
     def retry_after(self) -> Optional[int]:
@@ -173,3 +182,15 @@ class ServerClient:
 
     def lineage_batch(self, body: Dict[str, Any]) -> ApiResponse:
         return self.post("/v1/lineage:batch", body)
+
+    def trace(self, trace_id: str) -> ApiResponse:
+        return self.get(f"/v1/traces/{quote(trace_id, safe='')}")
+
+    def traces_recent(self, limit: Optional[int] = None) -> ApiResponse:
+        return self.get("/v1/traces/recent", params={"limit": limit})
+
+    def slowlog(self, limit: Optional[int] = None) -> ApiResponse:
+        return self.get("/v1/slowlog", params={"limit": limit})
+
+    def metrics_window(self, last: Optional[str] = None) -> ApiResponse:
+        return self.get("/v1/metrics/window", params={"last": last})

@@ -32,6 +32,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional
 
 from repro.obs.core import NO_OBS, Observability
+from repro.obs.slowlog import SlowQueryJournal, slowlog_sidecar_path
 from repro.query.views import UserView
 from repro.server.errors import BadRequest, NotFound
 from repro.service import ProvenanceService
@@ -64,6 +65,8 @@ class TenantRegistry:
         max_open: int = DEFAULT_MAX_OPEN,
         create: bool = False,
         obs: Optional[Observability] = None,
+        slowlog_threshold_ms: Optional[float] = None,
+        slowlog_ring: int = 256,
     ) -> None:
         if max_open < 1:
             raise ValueError(f"max_open must be >= 1, got {max_open}")
@@ -72,6 +75,10 @@ class TenantRegistry:
         self.max_open = max_open
         self.create = create
         self.obs = obs if obs is not None else NO_OBS
+        #: Lazily opened tenants get a slow-query journal at this
+        #: threshold (``None``: no journal).
+        self.slowlog_threshold_ms = slowlog_threshold_ms
+        self.slowlog_ring = slowlog_ring
         self._lock = threading.RLock()
         #: LRU of open services, most recently used last.
         self._open: "OrderedDict[str, ProvenanceService]" = OrderedDict()
@@ -155,6 +162,12 @@ class TenantRegistry:
                 service = ProvenanceService(
                     path, obs=self.obs if self.obs.enabled else None
                 )
+                if self.slowlog_threshold_ms is not None:
+                    service.slowlog = SlowQueryJournal(
+                        threshold_ms=self.slowlog_threshold_ms,
+                        capacity=self.slowlog_ring,
+                        path=slowlog_sidecar_path(path),
+                    )
             else:
                 raise NotFound(
                     "unknown-tenant", f"tenant {tenant!r} is not registered"

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.obs.core import Observability
+from repro.obs.sink import SpanSink
 from repro.server.admission import (
     DEFAULT_MAX_QUEUE,
     DEFAULT_MAX_WORKERS,
@@ -55,6 +56,17 @@ class ServerConfig:
     #: Create missing tenant databases on first touch (path mode).
     create_tenants: bool = False
     obs: Observability = field(default_factory=Observability)
+    #: Head-based sampling rate for request traces (1.0: keep all).
+    trace_sample: float = 1.0
+    #: Capacity of the in-memory ring behind ``/v1/traces/...``.
+    trace_ring: int = 512
+    #: Optional JSONL file every finished trace is appended to.
+    trace_log: Optional[str] = None
+    #: Record queries slower than this into the per-tenant slow-query
+    #: journal; ``None`` disables the journal entirely.
+    slowlog_threshold_ms: Optional[float] = None
+    #: Slow-query records kept in memory per tenant.
+    slowlog_ring: int = 256
 
 
 class ProvenanceServer:
@@ -68,11 +80,20 @@ class ProvenanceServer:
     ) -> None:
         self.config = config if config is not None else ServerConfig()
         obs = self.config.obs
+        if obs.enabled:
+            obs.tracer.set_sampling(self.config.trace_sample)
+            if obs.tracer.sink is None:
+                obs.tracer.sink = SpanSink(
+                    capacity=self.config.trace_ring,
+                    path=self.config.trace_log,
+                )
         self.registry = registry if registry is not None else TenantRegistry(
             root=self.config.tenant_root,
             max_open=self.config.max_open_tenants,
             create=self.config.create_tenants,
             obs=obs,
+            slowlog_threshold_ms=self.config.slowlog_threshold_ms,
+            slowlog_ring=self.config.slowlog_ring,
         )
         self.admission = AdmissionController(
             max_workers=self.config.max_workers,

@@ -30,7 +30,9 @@ are answered from other threads (see the store's concurrency contract in
 
 from __future__ import annotations
 
+import contextvars
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -124,6 +126,12 @@ class ProvenanceService:
         else:
             self._trace_cache = None
             self._result_cache = None
+        #: Optional :class:`~repro.obs.slowlog.SlowQueryJournal`; when
+        #: attached (constructor-independent — the server's registry sets
+        #: it on lazily opened tenants), every :meth:`lineage` call whose
+        #: wall time crosses the journal's threshold leaves a structured
+        #: record (strategy, cache state, per-level timings, round-trips).
+        self.slowlog = None
         self._runners: Dict[str, WorkflowRunner] = {}
         self._flows: Dict[str, Dataflow] = {}
         self._fingerprints: Dict[str, str] = {}
@@ -349,7 +357,94 @@ class ProvenanceService:
         populated; ``cache=True`` on a cache-disabled service is a
         silent no-op.
         """
+        slowlog = self.slowlog
+        if not self.obs.enabled and slowlog is None:
+            # Fast path: no tracing, no journal — zero added work.
+            return self._lineage_impl(
+                query, runs=runs, strategy=strategy, focus=focus,
+                batched=batched, batch=batch, workers=workers,
+                precheck=precheck, cache=cache,
+            )
+        meta: Dict[str, Any] = {}
+        started = time.perf_counter()
+        with self.obs.span("service.lineage") as span:
+            result = self._lineage_impl(
+                query, runs=runs, strategy=strategy, focus=focus,
+                batched=batched, batch=batch, workers=workers,
+                precheck=precheck, cache=cache, _meta=meta,
+            )
+            if span.sampled:
+                parsed = meta.get("parsed")
+                span.set(
+                    query=str(parsed) if parsed is not None else str(query),
+                    strategy=meta.get("strategy", strategy),
+                    from_cache=result.from_cache,
+                    runs=len(result.per_run),
+                )
+        if slowlog is not None:
+            # Failed queries raise out of the span above and leave no
+            # journal entry — the slowlog records slow *answers*.  The
+            # threshold is checked here too, so fast answers skip the
+            # record construction (and its aggregate_stats pass) outright.
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            if wall_ms >= slowlog.threshold_ms:
+                trace_id = span.trace_id if self.obs.enabled else ""
+                slowlog.record(
+                    self._slowlog_entry(meta, result, wall_ms, trace_id)
+                )
+        return result
+
+    @staticmethod
+    def _slowlog_entry(
+        meta: Dict[str, Any],
+        result: MultiRunResult,
+        wall_ms: float,
+        trace_id: str,
+    ) -> Dict[str, Any]:
+        """One structured slow-query record (schema: docs/OBSERVABILITY.md).
+
+        The store counters come from ``aggregate_stats()`` — the same
+        identity-deduped aggregation the result itself reports — so the
+        journal's round-trip numbers match ``result.sql_queries`` exactly.
+        """
+        stats = result.aggregate_stats()
+        return {
+            "query": str(result.query),
+            "strategy": meta.get("strategy", ""),
+            "from_cache": result.from_cache,
+            "wall_ms": round(wall_ms, 3),
+            "t1_ms": round(result.traversal_seconds * 1000.0, 3),
+            "t2_ms": round(result.lookup_seconds * 1000.0, 3),
+            "runs": len(result.per_run),
+            "bindings": sum(
+                len(r.bindings) for r in result.per_run.values()
+            ),
+            "sql_queries": stats.queries,
+            "rows": stats.rows,
+            "batch_lookups": stats.batch_lookups,
+            "batch_keys": stats.batch_keys,
+            "batch_chunk_size": stats.batch_chunk_size,
+            "trace_id": trace_id,
+        }
+
+    def _lineage_impl(
+        self,
+        query: QueryLike,
+        runs: Optional[Iterable[str]] = None,
+        strategy: str = "indexproj",
+        focus: Iterable[str] = (),
+        batched: bool = False,
+        batch: Union[bool, "BatchConfig", None] = None,
+        workers: Optional[int] = None,
+        precheck: bool = True,
+        cache: Optional[bool] = None,
+        _meta: Optional[Dict[str, Any]] = None,
+    ) -> MultiRunResult:
         parsed = self._as_query(query, focus)
+        if _meta is not None:
+            # The parsed object, not its rendering — callers format the
+            # query text only when a sampled span or slowlog entry needs it.
+            _meta["parsed"] = parsed
         batch_config = BatchConfig.of(
             batch if batch is not None else bool(batched)
         )
@@ -367,6 +462,8 @@ class ProvenanceService:
             )
             if self.obs.enabled:
                 self.obs.inc(f"analysis.auto_{strategy}")
+        if _meta is not None:
+            _meta["strategy"] = strategy
         use_cache = self._result_cache is not None and cache is not False
         key: Optional[ResultCacheKey] = None
         generations = None
@@ -447,16 +544,23 @@ class ProvenanceService:
                 )
                 for q in query_list
             ]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(
-                pool.map(
-                    lambda q: self.lineage(
-                        q, runs=scope, strategy=strategy, focus=focus,
-                        batch=batch, precheck=precheck, cache=cache,
-                    ),
-                    query_list,
-                )
+        # Each pooled query runs in a copy of the caller's context, so
+        # its service.lineage span still nests under the caller's active
+        # span (one trace id per request even across this pool).  One
+        # copy per query — a Context cannot be entered concurrently.
+        tasks = [
+            (contextvars.copy_context(), q) for q in query_list
+        ]
+
+        def run_one(task: Tuple[contextvars.Context, QueryLike]):
+            ctx, q = task
+            return ctx.run(
+                self.lineage, q, runs=scope, strategy=strategy,
+                focus=focus, batch=batch, precheck=precheck, cache=cache,
             )
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_one, tasks))
 
     def impact(
         self,

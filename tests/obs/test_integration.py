@@ -46,7 +46,14 @@ class TestServiceWiring:
         assert counters["indexproj.plan_cache_misses"] == 1
         names = {root.name for root in service.obs.span_roots()}
         assert "engine.run" in names
-        assert "indexproj.plan" in names
+        # The query now roots at the service facade; the strategy's
+        # plan/execute spans nest underneath it.
+        assert "service.lineage" in names
+        lineage_roots = [
+            r for r in service.obs.span_roots()
+            if r.name == "service.lineage"
+        ]
+        assert any(r.find("indexproj.plan") for r in lineage_roots)
 
     def test_default_service_records_nothing(self, diamond_flow):
         with ProvenanceService() as service:
@@ -125,12 +132,23 @@ class TestTimingAgreement:
         counters = service.metrics_snapshot()["counters"]
         assert counters["indexproj.multirun_runs"] == 4
         assert counters["indexproj.parallel_chunks"] == 2
-        # Worker chunks become their own roots (thread-local stacks).
-        chunk_roots = [
-            r for r in service.obs.span_roots() if r.name == "indexproj.chunk"
+        # Context propagation keeps worker chunks inside the one query
+        # trace: they nest under the fan-out span, not as orphan roots.
+        roots = service.obs.span_roots()
+        assert not any(r.name == "indexproj.chunk" for r in roots)
+        fanouts = [
+            span
+            for root in roots
+            for span in root.walk()
+            if span.name == "indexproj.parallel_fanout"
         ]
-        assert len(chunk_roots) == 2
-        assert all(r.find("indexproj.execute") for r in chunk_roots)
+        assert len(fanouts) == 1
+        chunks = [
+            c for c in fanouts[0].children if c.name == "indexproj.chunk"
+        ]
+        assert len(chunks) == 2
+        assert all(c.find("indexproj.execute") for c in chunks)
+        assert len({c.trace_id for c in chunks}) == 1
 
 
 class TestStoreAndFaults:

@@ -1,0 +1,344 @@
+"""Unit tests for the v2 telemetry pieces: propagation ids, traceparent,
+sink, slow-query journal, time window, sampling, and the export schema.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.export import SCHEMA_VERSION, SchemaError, validate_export
+from repro.obs.sink import SpanSink, load_trace_log
+from repro.obs.slowlog import (
+    SlowQueryJournal,
+    load_slowlog,
+    render_slowlog_table,
+    slowlog_sidecar_path,
+)
+from repro.obs.tracer import (
+    Tracer,
+    format_traceparent,
+    parse_traceparent,
+)
+from repro.obs.window import TimeWindow, parse_window
+
+
+class TestPropagationIds:
+    def test_tree_shares_one_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("leaf") as leaf:
+                    pass
+        assert len(root.trace_id) == 32
+        assert root.trace_id == child.trace_id == leaf.trace_id
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert leaf.parent_id == child.span_id
+        assert len({root.span_id, child.span_id, leaf.span_id}) == 3
+
+    def test_separate_roots_get_separate_trace_ids(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_copied_context_continues_the_trace(self):
+        """The v1 cross-thread parent-loss bug, fixed: a worker running
+        in a copied context nests under the submitter's span."""
+        tracer = Tracer()
+        with tracer.span("request") as request_span:
+            ctx = contextvars.copy_context()
+
+            def work():
+                with tracer.span("worker") as worker_span:
+                    pass
+                return worker_span
+
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                worker_span = pool.submit(ctx.run, work).result()
+        assert worker_span.trace_id == request_span.trace_id
+        assert worker_span.parent_id == request_span.span_id
+        assert worker_span in request_span.children
+        # Exactly one rooted tree, zero orphan roots.
+        assert [r.name for r in tracer.roots()] == ["request"]
+
+    def test_plain_thread_still_roots_fresh(self):
+        """Without explicit propagation, threads keep v1 semantics."""
+        tracer = Tracer()
+        spans = []
+        with tracer.span("main"):
+            t = threading.Thread(
+                target=lambda: spans.append(
+                    tracer.span("w").__enter__()
+                )
+            )
+            t.start()
+            t.join()
+        assert spans[0].parent_id is None
+        assert spans[0].trace_id != tracer.roots()[0].trace_id
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        header = format_traceparent("ab" * 16, "cd" * 8, True)
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        parsed = parse_traceparent(header)
+        assert parsed == ("ab" * 16, "cd" * 8, True)
+
+    def test_unsampled_flag(self):
+        header = format_traceparent("ab" * 16, "cd" * 8, False)
+        assert header.endswith("-00")
+        assert parse_traceparent(header) == ("ab" * 16, "cd" * 8, False)
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "00-abc-def-01",                            # wrong widths
+        f"00-{'0' * 32}-{'cd' * 8}-01",             # all-zero trace id
+        f"00-{'ab' * 16}-{'0' * 16}-01",            # all-zero span id
+        f"ff-{'ab' * 16}-{'cd' * 8}-01",            # forbidden version
+        f"00-{'zz' * 16}-{'cd' * 8}-01",            # non-hex
+        f"00-{'ab' * 16}-{'cd' * 8}-01-extra",      # extra field on v00
+    ])
+    def test_malformed_headers_rejected(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_future_version_with_extra_fields_accepted(self):
+        header = f"01-{'ab' * 16}-{'cd' * 8}-01-anything"
+        assert parse_traceparent(header) == ("ab" * 16, "cd" * 8, True)
+
+    def test_remote_span_adopts_ids(self):
+        tracer = Tracer()
+        with tracer.remote_span("server.request", "ab" * 16, "cd" * 8) as span:
+            with tracer.span("inner") as inner:
+                pass
+        assert span.trace_id == "ab" * 16
+        assert span.parent_id == "cd" * 8
+        assert inner.trace_id == "ab" * 16
+
+    def test_remote_unsampled_suppresses_collection(self):
+        tracer = Tracer()
+        sink = SpanSink()
+        tracer.sink = sink
+        with tracer.remote_span(
+            "server.request", "ab" * 16, "cd" * 8, sampled=False
+        ) as span:
+            with tracer.span("inner"):
+                pass
+        assert span.sampled is False
+        assert tracer.roots() == []
+        assert len(sink) == 0
+        assert span.children == []  # unsampled roots retain no children
+
+
+class TestSampling:
+    def test_stride_mapping(self):
+        tracer = Tracer()
+        assert tracer.sample_stride == 1
+        tracer.set_sampling(0.1)
+        assert tracer.sample_stride == 10
+        tracer.set_sampling(0.0)
+        assert tracer.sample_stride == 0
+        tracer.set_sampling(1.0)
+        assert tracer.sample_stride == 1
+
+    def test_deterministic_every_nth_root(self):
+        tracer = Tracer()
+        tracer.set_sampling(0.25)
+        kept = []
+        for i in range(8):
+            with tracer.span("r", i=i) as span:
+                pass
+            kept.append(span.sampled)
+        assert kept == [True, False, False, False] * 2
+        assert len(tracer.roots()) == 2
+
+    def test_unsampled_spans_still_time(self):
+        tracer = Tracer()
+        tracer.set_sampling(0.0)
+        with tracer.span("r") as span:
+            pass
+        assert span.sampled is False
+        assert span.ended is not None and span.seconds >= 0.0
+
+
+class TestSpanSink:
+    def test_tracer_emits_roots_only(self):
+        tracer = Tracer()
+        sink = SpanSink()
+        tracer.sink = sink
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert len(sink) == 1
+        assert sink.emitted == 1
+        [root] = sink.recent()
+        assert root.name == "root"
+        assert sink.get(root.trace_id) is root
+        assert sink.get("nope") is None
+
+    def test_ring_eviction(self):
+        sink = SpanSink(capacity=2)
+        tracer = Tracer()
+        tracer.sink = sink
+        ids = []
+        for i in range(3):
+            with tracer.span("r", i=i) as span:
+                pass
+            ids.append(span.trace_id)
+        assert len(sink) == 2
+        assert sink.emitted == 3
+        assert sink.get(ids[0]) is None
+        assert [r.attributes["i"] for r in sink.recent()] == [2, 1]
+
+    def test_jsonl_journal(self, tmp_path):
+        path = str(tmp_path / "traces.jsonl")
+        sink = SpanSink(path=path)
+        tracer = Tracer()
+        tracer.sink = sink
+        with tracer.span("root", q="x"):
+            with tracer.span("child"):
+                pass
+        records = load_trace_log(path)
+        assert len(records) == 1
+        assert records[0]["name"] == "root"
+        assert records[0]["children"][0]["name"] == "child"
+        # Byte-stable: same dict → same line.
+        line = (tmp_path / "traces.jsonl").read_text().strip()
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+
+    def test_load_trace_log_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text('{"name": "ok"}\n{"torn\n')
+        assert [r["name"] for r in load_trace_log(str(path))] == ["ok"]
+        assert load_trace_log(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestSlowQueryJournal:
+    def _entry(self, wall_ms: float) -> dict:
+        return {"query": "lin(...)", "strategy": "indexproj",
+                "wall_ms": wall_ms, "sql_queries": 3}
+
+    def test_threshold_gate(self):
+        journal = SlowQueryJournal(threshold_ms=10.0)
+        assert journal.record(self._entry(9.9)) is False
+        assert journal.record(self._entry(10.0)) is True
+        assert journal.record(self._entry(50.0)) is True
+        assert journal.recorded == 2
+        newest = journal.recent()[0]
+        assert newest["wall_ms"] == 50.0
+        assert newest["threshold_ms"] == 10.0
+
+    def test_ring_bound_and_sidecar(self, tmp_path):
+        db = str(tmp_path / "t.db")
+        path = slowlog_sidecar_path(db)
+        assert path == db + ".slowlog.jsonl"
+        journal = SlowQueryJournal(threshold_ms=0.0, capacity=2, path=path)
+        for i in range(3):
+            journal.record(self._entry(float(i + 1)))
+        assert len(journal) == 2
+        # The sidecar keeps everything; the ring only the newest two.
+        assert [r["wall_ms"] for r in load_slowlog(path)] == [1.0, 2.0, 3.0]
+        assert [r["wall_ms"] for r in journal.recent()] == [3.0, 2.0]
+
+    def test_render_table(self):
+        journal = SlowQueryJournal(threshold_ms=0.0)
+        journal.record(self._entry(12.5))
+        text = render_slowlog_table(journal.recent())
+        assert "wall_ms" in text and "lin(...)" in text
+        assert render_slowlog_table([]) == ""
+
+
+class TestTimeWindow:
+    def test_report_aggregates_recent_buckets(self):
+        clock = [1000.0]
+        window = TimeWindow(clock=lambda: clock[0])
+        window.record(200, 0.010)
+        window.record(200, 0.030)
+        window.record(429, 0.001)
+        clock[0] += 2.0
+        window.record(200, 0.020)
+        report = window.report(60)
+        assert report["requests"] == 4
+        assert report["statuses"] == {"200": 3, "429": 1}
+        assert report["rps"] == round(4 / 60, 3)
+        assert report["max_ms"] == 30.0
+        assert report["p50_ms"] in (10.0, 20.0)
+
+    def test_narrow_window_excludes_old_buckets(self):
+        clock = [1000.0]
+        window = TimeWindow(clock=lambda: clock[0])
+        window.record(200, 0.010)
+        clock[0] += 10.0
+        window.record(200, 0.020)
+        report = window.report(2)
+        assert report["requests"] == 1
+        assert report["max_ms"] == 20.0
+
+    def test_stale_bucket_reset_on_wrap(self):
+        clock = [1000.0]
+        window = TimeWindow(buckets=4, clock=lambda: clock[0])
+        window.record(200, 0.010)
+        clock[0] += 4.0  # same slot, later epoch: must reset, not merge
+        window.record(200, 0.020)
+        report = window.report(window.span_seconds)
+        assert report["requests"] == 1
+        assert report["max_ms"] == 20.0
+
+    def test_empty_report(self):
+        window = TimeWindow()
+        report = window.report(60)
+        assert report["requests"] == 0
+        assert report["rps"] == 0.0
+        assert report["p50_ms"] is None
+
+    def test_parse_window(self):
+        assert parse_window("30s") == 30
+        assert parse_window("5m") == 300
+        assert parse_window("1h") == 3600
+        assert parse_window("45") == 45
+        assert parse_window(None) == 60
+        assert parse_window("") == 60
+        assert parse_window("2m", max_seconds=90) == 90
+        for bad in ("abc", "-3", "0", "1d", "1.5s"):
+            with pytest.raises(ValueError):
+                parse_window(bad)
+
+
+class TestExportV2:
+    def test_document_spans_carry_ids_and_validate(self):
+        obs = Observability()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        from repro.obs.export import export_document
+
+        document = export_document(obs)
+        assert document["schema"] == SCHEMA_VERSION == "repro.obs/2"
+        span = document["spans"][0]
+        assert len(span["trace_id"]) == 32
+        assert span["parent_id"] is None
+        child = span["children"][0]
+        assert child["trace_id"] == span["trace_id"]
+        assert child["parent_id"] == span["span_id"]
+        validate_export(document)
+
+    def test_v2_rejects_missing_ids(self):
+        obs = Observability()
+        with obs.span("s"):
+            pass
+        from repro.obs.export import export_document
+
+        document = export_document(obs)
+        del document["spans"][0]["trace_id"]
+        with pytest.raises(SchemaError):
+            validate_export(document)

@@ -115,7 +115,13 @@ class TestQueueSaturation:
                     assert rejected.status == 429
                     details = rejected.body["error"]["details"]
                     assert details["capacity"] == 1
-                    assert rejected.trace["admission"]["inflight"] >= 1
+                    # Even the rejected request leaves a retrievable trace
+                    # whose root records the occupancy it was refused at.
+                    fetched = client.trace(rejected.trace_id)
+                    assert fetched.status == 200
+                    attrs = fetched.body["root"]["attributes"]
+                    assert attrs["admission"]["inflight"] >= 1
+                    assert attrs["error"] == "queue-full"
                     metrics = client.get("/v1/metrics").body
                     assert "repro_server_rejected_queue_full_total" in metrics
                     assert "repro_server_responses_429_total" in metrics

@@ -52,17 +52,27 @@ class TestRoutingAndHealth:
                 # Same HTTPConnection object throughout (keep-alive held).
                 assert client._conn is not None
 
-    def test_trace_envelope(self, diamond_service):
+    def test_trace_headers(self, diamond_service):
         with boot_server({"default": diamond_service}) as (url, _app):
             with ServerClient(url) as client:
                 response = client.lineage(q="lin(<wf:out[0.1]>, {A, B})")
-                trace = response.trace
-                assert trace["span"] == "server.request"
-                assert trace["tenant"] == "default"
-                assert trace["status"] == 200
-                assert trace["seconds"] >= 0
-                assert trace["admission"]["capacity"] == 12
-                assert trace["sql_queries"] >= 1
+                trace_id = response.trace_id
+                assert trace_id is not None and len(trace_id) == 32
+                parent = response.traceparent
+                assert parent is not None
+                assert parent.startswith(f"00-{trace_id}-")
+                # The request envelope lives on the root span, fetched
+                # back through the trace endpoint.
+                fetched = client.trace(trace_id)
+                assert fetched.status == 200
+                root = fetched.body["root"]
+                assert root["name"] == "server.request"
+                assert root["trace_id"] == trace_id
+                attrs = root["attributes"]
+                assert attrs["tenant"] == "default"
+                assert attrs["status"] == 200
+                assert attrs["admission"]["capacity"] == 12
+                assert attrs["sql_queries"] >= 1
 
 
 class TestLineageEndpoint:

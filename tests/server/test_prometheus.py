@@ -1,0 +1,175 @@
+"""Prometheus text-exposition conformance for ``/v1/metrics``.
+
+A small strict parser for the exposition format checks the invariants a
+real scraper relies on: every sample series is preceded by matching
+``# HELP`` and ``# TYPE`` comments, counter series end in ``_total``,
+summaries expose quantile-labelled samples plus ``_sum``/``_count``,
+metric names are legal, label values are properly quoted and escaped,
+and every value parses as a float.  Run both against a synthetic
+:class:`Observability` and against a live server scrape.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.export import escape_label_value, to_prometheus
+from repro.server import ServerClient
+
+from tests.server.conftest import boot_server
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def parse_exposition(text: str):
+    """Parse (and validate) the Prometheus text format.
+
+    Returns ``{family: {"type": ..., "help": ..., "samples": [...]}}``
+    where each sample is ``(name, labels_dict, float_value)``.  Raises
+    AssertionError on any conformance violation.
+    """
+    families = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert NAME_RE.match(name), f"line {lineno}: bad HELP name {name!r}"
+            assert help_text, f"line {lineno}: empty HELP text"
+            assert name not in families, f"line {lineno}: duplicate HELP {name}"
+            families[name] = {"type": None, "help": help_text, "samples": []}
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert kind in ("counter", "gauge", "summary", "histogram"), (
+                f"line {lineno}: unknown type {kind!r}"
+            )
+            assert name in families and families[name]["type"] is None, (
+                f"line {lineno}: TYPE without preceding HELP for {name}"
+            )
+            families[name]["type"] = kind
+        elif line.startswith("#"):
+            continue  # free-form comment
+        else:
+            match = SAMPLE_RE.match(line)
+            assert match, f"line {lineno}: unparsable sample {line!r}"
+            name = match.group("name")
+            labels = {}
+            if match.group("labels"):
+                for pair in match.group("labels").split(","):
+                    label = LABEL_RE.match(pair)
+                    assert label, f"line {lineno}: bad label {pair!r}"
+                    labels[label.group("name")] = label.group("value")
+            value = float(match.group("value"))  # raises on garbage
+            family = name
+            if family not in families:
+                for suffix in ("_sum", "_count"):
+                    if name.endswith(suffix) and name[: -len(suffix)] in families:
+                        family = name[: -len(suffix)]
+                        break
+            assert family in families, (
+                f"line {lineno}: sample {name!r} has no HELP/TYPE"
+            )
+            assert families[family]["type"] is not None, (
+                f"line {lineno}: sample {name!r} precedes its TYPE"
+            )
+            families[family]["samples"].append((name, labels, value))
+    for name, family in families.items():
+        assert family["samples"], f"family {name} declared but empty"
+        if family["type"] == "counter":
+            assert name.endswith("_total"), (
+                f"counter family {name} must end in _total"
+            )
+            for _, _, value in family["samples"]:
+                assert value >= 0 and not math.isnan(value)
+        if family["type"] == "summary":
+            sample_names = {s[0] for s in family["samples"]}
+            assert f"{name}_sum" in sample_names
+            assert f"{name}_count" in sample_names
+            quantiles = [
+                labels["quantile"]
+                for sname, labels, _ in family["samples"]
+                if sname == name
+            ]
+            assert quantiles == ["0.50", "0.95", "0.99"], quantiles
+    return families
+
+
+class TestExpositionConformance:
+    def test_synthetic_snapshot_conforms(self):
+        obs = Observability()
+        obs.inc("server.requests", 3)
+        obs.inc("weird name!?")  # must sanitize to a legal metric name
+        obs.gauge("server.inflight", 2)
+        for value in (0.01, 0.02, 0.03):
+            obs.observe("server.request_seconds", value)
+        families = parse_exposition(to_prometheus(obs))
+
+        requests = families["repro_server_requests_total"]
+        assert requests["type"] == "counter"
+        assert requests["samples"][0][2] == 3.0
+        assert requests["help"] == (
+            "HTTP requests accepted by the provenance server"
+        )
+        assert "repro_weird_name___total" in families
+        assert families["repro_server_inflight"]["type"] == "gauge"
+        latency = families["repro_server_request_seconds"]
+        assert latency["type"] == "summary"
+        count = [
+            v for n, _, v in latency["samples"]
+            if n == "repro_server_request_seconds_count"
+        ]
+        assert count == [3.0]
+
+    def test_empty_snapshot_is_valid(self):
+        assert parse_exposition(to_prometheus(Observability())) == {}
+
+    def test_live_scrape_conforms(self, tmp_path, diamond_service):
+        with boot_server({"default": diamond_service}) as (url, app):
+            with ServerClient(url) as client:
+                assert client.lineage(
+                    q="lin(<wf:out[0.1]>, {A, B})"
+                ).status == 200
+                scrape = client.get("/v1/metrics")
+                assert scrape.status == 200
+                assert "text/plain" in scrape.headers.get("content-type", "")
+                families = parse_exposition(scrape.body)
+        assert "repro_server_requests_total" in families
+        assert "repro_server_responses_200_total" in families
+        assert families["repro_server_request_seconds"]["type"] == "summary"
+        # Every family carries both comments — the parser enforced HELP;
+        # spot-check TYPE was set on all of them too.
+        assert all(f["type"] is not None for f in families.values())
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize("raw,escaped", [
+        ('plain', 'plain'),
+        ('say "hi"', 'say \\"hi\\"'),
+        ('back\\slash', 'back\\\\slash'),
+        ('multi\nline', 'multi\\nline'),
+        ('all\\"\n', 'all\\\\\\"\\n'),
+    ])
+    def test_escape_label_value(self, raw, escaped):
+        assert escape_label_value(raw) == escaped
+
+    def test_escaped_values_survive_the_parser(self):
+        value = escape_label_value('tricky "value" with \\ and \n')
+        families = parse_exposition(
+            "# HELP fake_metric a label escaping probe\n"
+            "# TYPE fake_metric gauge\n"
+            f'fake_metric{{q="{value}"}} 1\n'
+        )
+        [(_, labels, _)] = families["fake_metric"]["samples"]
+        assert labels["q"] == value
