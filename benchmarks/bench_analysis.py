@@ -14,7 +14,8 @@ Not a paper figure: this module quantifies the cost/benefit of the
 
 import pytest
 
-from repro.analysis.lint import run_lint
+from repro.analysis.lint import LintConfig, run_lint
+from repro.analysis.planlint import analyze, plan_findings
 from repro.analysis.precheck import precheck_query
 from repro.query.base import LineageQuery
 from repro.service import ProvenanceService
@@ -78,4 +79,20 @@ def bench_executed_empty_query(benchmark, populated_service):
 def bench_lint_kernel(benchmark, chain_analysis):
     """Timed kernel: the full rule catalogue over the synthetic chain."""
     findings = benchmark(lambda: run_lint(chain_analysis.flow))
+    assert not any(f.is_error for f in findings)
+
+
+def bench_plan_lint(benchmark):
+    """Timed kernel: EXPLAIN every registered store primitive and lint it.
+
+    One-off design/CI-time action (schema DDL + N EXPLAIN QUERY PLAN runs
+    against an in-memory store); benchmarked to keep the CI gate cheap.
+    """
+
+    def run():
+        report = analyze()
+        return report, plan_findings(report, LintConfig())
+
+    report, findings = benchmark(run)
+    assert report.statement_count() > 0
     assert not any(f.is_error for f in findings)

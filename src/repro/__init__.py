@@ -49,16 +49,6 @@ Quickstart
 ['<GEN:size[]>']
 """
 
-from repro.obs import NO_OBS, MetricsRegistry, Observability, Tracer
-from repro.values import Index
-from repro.workflow import (
-    Dataflow,
-    DataflowBuilder,
-    DepthAnalysis,
-    PortRef,
-    Processor,
-    propagate_depths,
-)
 from repro.engine import (
     Binding,
     ProcessorRegistry,
@@ -67,6 +57,7 @@ from repro.engine import (
     default_registry,
     run_workflow,
 )
+from repro.obs import NO_OBS, MetricsRegistry, Observability, Tracer
 from repro.provenance import (
     StreamingTraceWriter,
     Trace,
@@ -87,8 +78,16 @@ from repro.query import (
     diff_lineage,
     explain,
 )
-
 from repro.service import ProvenanceService
+from repro.values import Index
+from repro.workflow import (
+    Dataflow,
+    DataflowBuilder,
+    DepthAnalysis,
+    PortRef,
+    Processor,
+    propagate_depths,
+)
 
 __version__ = "1.0.0"
 

@@ -16,18 +16,29 @@ never opens the trace store.  Three cooperating passes:
   (:mod:`repro.analysis.sarif`);
 * :mod:`repro.analysis.cost` — the static cost model comparing NI and
   INDEXPROJ trace-lookup counts, behind ``strategy="auto"`` and
-  ``explain_plan()``.
+  ``explain_plan()``;
+* :mod:`repro.analysis.planlint` — the static SQL access-path analyzer
+  over the store's registered primitive catalog (stable ``P0xx`` codes,
+  committed ``plans.lock.json`` baseline, :class:`PlanGuard` test
+  fixture), surfaced as ``repro-prov plan-lint``.
 
 See docs/ANALYSIS.md for the rule catalogue and the model's semantics.
 """
 
 from repro.analysis.cost import PlanExplanation, choose_strategy, explain_plan
-from repro.analysis.lint import (
-    Finding,
-    LintConfig,
-    LintRule,
-    lint_rules,
-    run_lint,
+from repro.analysis.lint import Finding, LintConfig, LintRule, lint_rules, run_lint
+from repro.analysis.planlint import (
+    PLAN_RULES,
+    PlanGuard,
+    PlanReport,
+    StatementAudit,
+    analyze,
+    audit_findings,
+    diff_baseline,
+    load_baseline,
+    plan_findings,
+    plan_rules,
+    write_baseline,
 )
 from repro.analysis.precheck import (
     PrecheckIssue,
@@ -41,13 +52,23 @@ __all__ = [
     "Finding",
     "LintConfig",
     "LintRule",
+    "PLAN_RULES",
     "PlanExplanation",
+    "PlanGuard",
+    "PlanReport",
     "PrecheckIssue",
     "PrecheckReport",
     "QueryValidationError",
+    "StatementAudit",
+    "analyze",
+    "audit_findings",
     "choose_strategy",
+    "diff_baseline",
     "explain_plan",
     "lint_rules",
+    "load_baseline",
+    "plan_findings",
+    "plan_rules",
     "precheck_query",
     "render_json",
     "render_sarif",

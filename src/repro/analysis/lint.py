@@ -31,12 +31,7 @@ from typing import (
     Tuple,
 )
 
-from repro.strategy import (
-    StrategyError,
-    fragment_offsets,
-    node_level,
-    parse_strategy,
-)
+from repro.strategy import StrategyError, fragment_offsets, node_level, parse_strategy
 from repro.workflow.model import Dataflow, PortRef
 
 _SEVERITIES = ("error", "warning", "note")
@@ -242,7 +237,7 @@ def _nodes_on_cycles(flow: Dataflow) -> Set[str]:
                 parent = work[-1][0]
                 lowlink[parent] = min(lowlink[parent], lowlink[node])
             if lowlink[node] == index[node]:
-                component = []
+                component: List[str] = []
                 while True:
                     member = stack.pop()
                     on_stack.discard(member)
@@ -286,7 +281,7 @@ def _tolerant_depths(context: LintContext) -> None:
             del pending[name]
             progress = True
             deltas: Dict[str, int] = {}
-            for port, arc in zip(processor.inputs, sources):
+            for port, arc in zip(processor.inputs, sources, strict=False):
                 ref = PortRef(name, port.name)
                 depths[ref] = (
                     port.declared_depth if arc is None else depths[arc.source]

@@ -1,0 +1,839 @@
+"""Static SQL access-path analyzer: plan lint over the store catalog.
+
+The paper's query-performance results (Fig. 9) rest on one property:
+every lineage lookup resolves through an index, never a full table scan.
+This module turns that property into a machine-checkable contract that
+needs **no data**.  Every :class:`~repro.provenance.store.TraceStore`
+read primitive is registered in ``SQL_PRIMITIVES`` (via the
+``@sql_primitive`` decorator) together with representative bind shapes;
+the analyzer replays each shape against a throwaway in-memory store,
+captures the exact SQL the primitive issues, runs ``EXPLAIN QUERY PLAN``
+on it, parses the plan tree and classifies every table access:
+
+====================  ==================================================
+``covering-seek``     SEARCH ... USING COVERING INDEX (ideal)
+``index-seek``        SEARCH ... USING INDEX (seek + row fetch)
+``pk-seek``           SEARCH ... USING INTEGER PRIMARY KEY
+``index-scan``        SCAN ... USING [COVERING] INDEX (full index walk)
+``full-scan``         SCAN <table> (the regime Fig. 6 exists to avoid)
+``auto-index``        SQLite built a transient index mid-query
+``ephemeral``         VALUES lists, materialized subqueries, constants
+``system``            sqlite_master bookkeeping lookups
+====================  ==================================================
+
+plus statement-level flags for ``USE TEMP B-TREE FOR ORDER BY`` /
+``GROUP BY`` / ``DISTINCT``.  Findings carry stable P-series codes (see
+``PLAN_RULES``) and flow through the same severity/suppression
+machinery and SARIF exporter as the workflow lint.  The expected plans
+are committed as a human-reviewable ``plans.lock.json`` baseline;
+:func:`diff_baseline` powers the CI regression gate (any drift is a
+rule-coded P006 finding).  :class:`PlanGuard` packages the capture +
+classify step as a test fixture, and :class:`StatementAudit` (fed by
+``TraceStore.set_statement_audit``) proves a workload touches the trace
+relations only through registered primitives (P005).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import Finding, LintConfig, LintRule
+from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.provenance.store import (
+    PLAN_REFERENCE_RUN,
+    SQL_PRIMITIVES,
+    SqlPrimitive,
+    TraceStore,
+)
+from repro.provenance.trace import Trace
+from repro.values.index import Index
+from repro.workflow.model import PortRef
+
+#: The trace relations of the canonical schema.  Only accesses to these
+#: tables are subject to the P-series rules; VALUES aliases, materialized
+#: subqueries and sqlite_master lookups are classified out of the way.
+SCHEMA_TABLES = frozenset(
+    {"runs", "xform_event", "xform_io", "xfer", "value_pool"}
+)
+
+#: Access paths that count as "indexed" for PlanGuard and P001.
+INDEXED_PATHS = frozenset({"covering-seek", "index-seek", "pk-seek"})
+
+BASELINE_SCHEMA = "repro.planlint/1"
+DEFAULT_BASELINE = "plans.lock.json"
+
+# Python's sqlite3 module caches compiled statements by SQL text, and a
+# cached EXPLAIN replays its *old* plan even after the schema changed
+# underneath it (verified: a DROP INDEX on the same connection leaves a
+# re-run EXPLAIN claiming the dropped index is still used).  A unique
+# trailing comment per EXPLAIN defeats the cache.
+_EXPLAIN_NONCE = itertools.count(1)
+
+
+# ---------------------------------------------------------------------------
+# Rule catalogue
+
+
+def _no_check(_ctx: Any) -> Iterable[Tuple[str, str]]:
+    """P-rules are driven by plan analysis, not the workflow LintContext."""
+    return ()
+
+
+#: The P-series rules.  Kept out of the workflow lint registry on
+#: purpose: ``repro-prov lint`` findings and plan findings are different
+#: documents with different drivers; they only share the machinery.
+PLAN_RULES: Tuple[LintRule, ...] = (
+    LintRule(
+        "P001",
+        "full-table-scan",
+        "error",
+        "A store primitive reads a trace relation with a full table or "
+        "index scan instead of an index seek.",
+        _no_check,
+    ),
+    LintRule(
+        "P002",
+        "non-covering-index-hot-path",
+        "note",
+        "A hot-path primitive seeks a non-covering index, paying one "
+        "extra row fetch per match.",
+        _no_check,
+    ),
+    LintRule(
+        "P003",
+        "temp-btree-sort",
+        "error",
+        "A statement sorts or groups through a transient B-tree instead "
+        "of reading rows in index order.",
+        _no_check,
+    ),
+    LintRule(
+        "P004",
+        "automatic-index",
+        "error",
+        "SQLite built an automatic (transient) index at query time — a "
+        "missing schema index is being paid for on every execution.",
+        _no_check,
+    ),
+    LintRule(
+        "P005",
+        "unregistered-sql",
+        "error",
+        "A statement read the trace relations without going through any "
+        "registered SQL primitive.",
+        _no_check,
+    ),
+    LintRule(
+        "P006",
+        "plan-baseline-drift",
+        "error",
+        "A live query plan differs from the committed plans.lock.json "
+        "baseline.",
+        _no_check,
+    ),
+)
+
+_RULES_BY_CODE: Dict[str, LintRule] = {rule.code: rule for rule in PLAN_RULES}
+
+
+def plan_rules() -> Tuple[LintRule, ...]:
+    """The P-series rule catalogue (for ``--list-rules`` and SARIF)."""
+    return PLAN_RULES
+
+
+# ---------------------------------------------------------------------------
+# SQL normalization and alias resolution
+
+
+def normalize_sql(sql: str) -> str:
+    """Canonical statement template: whitespace- and arity-insensitive.
+
+    Chunked batch variants of one primitive differ only in how many
+    ``(?,?,...)`` groups their ``VALUES`` lists carry; collapsing every
+    placeholder group to ``(?*)`` and every run of groups to one makes
+    all chunk sizes normalize to the same template.
+    """
+    text = " ".join(sql.split())
+    text = re.sub(r"\(\s*\?(?:\s*,\s*\?)*\s*\)", "(?*)", text)
+    text = re.sub(r"\(\?\*\)(?:\s*,\s*\(\?\*\))+", "(?*)", text)
+    return text.strip()
+
+
+#: Words that can follow a table name in FROM/JOIN without being an alias.
+_NOT_ALIAS = frozenset(
+    {
+        "ON", "LEFT", "RIGHT", "INNER", "OUTER", "CROSS", "JOIN", "WHERE",
+        "ORDER", "GROUP", "LIMIT", "UNION", "SET", "USING", "NATURAL",
+        "HAVING", "AND", "OR", "AS",
+    }
+)
+
+_FROM_RE = re.compile(
+    r"\b(?:FROM|JOIN)\s+([A-Za-z_]\w*)"
+    r"(?:\s+AS\s+([A-Za-z_]\w*)|\s+([A-Za-z_]\w*))?",
+    re.IGNORECASE,
+)
+
+
+def _alias_map(sql: str) -> Dict[str, str]:
+    """Map every FROM/JOIN alias (and bare table name) to its table."""
+    aliases: Dict[str, str] = {}
+    for match in _FROM_RE.finditer(sql):
+        table, as_alias, bare_alias = match.groups()
+        aliases.setdefault(table, table)
+        alias = as_alias or bare_alias
+        if alias and alias.upper() not in _NOT_ALIAS:
+            aliases[alias] = table
+    return aliases
+
+
+# ---------------------------------------------------------------------------
+# Plan parsing
+
+
+@dataclass(frozen=True)
+class TableAccess:
+    """One access step of a query plan, classified."""
+
+    table: str  # schema table (aliases resolved) or raw plan name
+    path: str  # one of the access-path classes in the module docstring
+    index: str = ""  # index name when the path uses one
+
+    def to_json(self) -> Dict[str, str]:
+        doc = {"table": self.table, "path": self.path}
+        if self.index:
+            doc["index"] = self.index
+        return doc
+
+
+@dataclass(frozen=True)
+class StatementPlan:
+    """One captured statement with its parsed EXPLAIN QUERY PLAN."""
+
+    sql: str  # normalized template
+    accesses: Tuple[TableAccess, ...]
+    flags: Tuple[str, ...]  # temp-btree-order / -group / -distinct
+    details: Tuple[str, ...]  # raw plan detail lines (informational)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "sql": self.sql,
+            "accesses": [a.to_json() for a in self.accesses],
+            "flags": list(self.flags),
+            "detail": list(self.details),
+        }
+
+
+_SEARCH_RE = re.compile(
+    r"^SEARCH\s+(?:SUBQUERY\s+\S+\s+AS\s+)?(\w+)\s+USING\s+(.*)$"
+)
+_SCAN_RE = re.compile(
+    r"^SCAN\s+(?:SUBQUERY\s+\S+\s+AS\s+)?(\w+)(?:\s+USING\s+(.*))?$"
+)
+_TEMP_BTREE_RE = re.compile(r"^USE TEMP B-TREE FOR (ORDER BY|GROUP BY|DISTINCT)")
+_INDEX_NAME_RE = re.compile(r"INDEX\s+(\w+)")
+
+
+def _classify_detail(
+    detail: str, aliases: Dict[str, str]
+) -> Tuple[Optional[TableAccess], Optional[str]]:
+    """(access, flag) for one plan line; (None, None) for structure."""
+    text = detail.strip()
+    temp = _TEMP_BTREE_RE.match(text)
+    if temp:
+        kind = temp.group(1).split()[0].lower()  # order / group / distinct
+        return None, f"temp-btree-{kind}"
+    search = _SEARCH_RE.match(text)
+    if search:
+        name, how = search.groups()
+        table = aliases.get(name, name)
+        how_upper = how.upper()
+        index_match = _INDEX_NAME_RE.search(how)
+        index = index_match.group(1) if index_match else ""
+        if "AUTOMATIC" in how_upper:
+            return TableAccess(table, "auto-index", index), None
+        if "COVERING INDEX" in how_upper:
+            return TableAccess(table, "covering-seek", index), None
+        if "INTEGER PRIMARY KEY" in how_upper or "PRIMARY KEY" in how_upper:
+            return TableAccess(table, "pk-seek"), None
+        if "INDEX" in how_upper:
+            return TableAccess(table, "index-seek", index), None
+        return TableAccess(table, "index-seek", index), None
+    scan = _SCAN_RE.match(text)
+    if scan:
+        name, how = scan.groups()
+        table = aliases.get(name, name)
+        if how:
+            how_upper = how.upper()
+            index_match = _INDEX_NAME_RE.search(how)
+            index = index_match.group(1) if index_match else ""
+            if "AUTOMATIC" in how_upper:
+                return TableAccess(table, "auto-index", index), None
+            return TableAccess(table, "index-scan", index), None
+        if table == "sqlite_master" or table.startswith("sqlite_"):
+            return TableAccess(table, "system"), None
+        if table in SCHEMA_TABLES:
+            return TableAccess(table, "full-scan"), None
+        # VALUES aliases, co-routines, materialized subqueries.
+        return TableAccess(table, "ephemeral"), None
+    if "CONSTANT ROW" in text.upper():
+        return TableAccess("const", "ephemeral"), None
+    # COMPOUND QUERY / UNION ALL / MERGE / MATERIALIZE / SUBQUERY markers.
+    return None, None
+
+
+def explain_statement(
+    store: TraceStore, sql: str, params: Sequence[Any] = ()
+) -> StatementPlan:
+    """EXPLAIN one statement against ``store`` and classify its plan."""
+    nonce = next(_EXPLAIN_NONCE)
+    stmt = f"EXPLAIN QUERY PLAN {sql} /* planlint:{nonce} */"
+    with store._read_guard:
+        rows = store._conn.execute(stmt, tuple(params)).fetchall()
+    aliases = _alias_map(sql)
+    accesses: List[TableAccess] = []
+    flags: List[str] = []
+    details: List[str] = []
+    for row in rows:
+        detail = str(row[-1])
+        details.append(detail)
+        access, flag = _classify_detail(detail, aliases)
+        if access is not None:
+            accesses.append(access)
+        if flag is not None and flag not in flags:
+            flags.append(flag)
+    return StatementPlan(
+        sql=normalize_sql(sql),
+        accesses=tuple(accesses),
+        flags=tuple(flags),
+        details=tuple(details),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Capture: replay bind shapes and spy on the statements they issue
+
+
+def capture_statements(
+    store: TraceStore, fn: Callable[[], Any]
+) -> List[Tuple[str, Tuple[Any, ...]]]:
+    """Run ``fn`` and return every (sql, params) its store reads issued.
+
+    Spies on ``store._read`` — the funnel every read primitive goes
+    through — so captured statements carry their exact bind parameters,
+    ready to hand to ``EXPLAIN QUERY PLAN``.  ``KeyError`` from ``fn``
+    is tolerated: shapes run against empty stores, and a miss still
+    exercises the statements of interest.
+    """
+    captured: List[Tuple[str, Tuple[Any, ...]]] = []
+    original = store._read
+
+    def spy(
+        sql: str, params: Sequence[Any] = (), stats: Any = None
+    ) -> List[Tuple]:
+        captured.append((sql, tuple(params)))
+        return original(sql, params, stats=stats)
+
+    store._read = spy  # type: ignore[method-assign]
+    try:
+        try:
+            fn()
+        except KeyError:
+            pass
+    finally:
+        del store._read
+    return captured
+
+
+# ---------------------------------------------------------------------------
+# The analyzer
+
+
+@dataclass(frozen=True)
+class ShapePlans:
+    """All statements one bind shape issues, with their plans."""
+
+    label: str
+    statements: Tuple[StatementPlan, ...]
+
+
+@dataclass(frozen=True)
+class PrimitivePlans:
+    """One registered primitive with the plans of every bind shape."""
+
+    primitive: SqlPrimitive
+    shapes: Tuple[ShapePlans, ...]
+
+    @property
+    def name(self) -> str:
+        return self.primitive.name
+
+
+@dataclass
+class PlanReport:
+    """The full analysis: every primitive, shape and statement plan."""
+
+    primitives: List[PrimitivePlans] = field(default_factory=list)
+
+    def statement_count(self) -> int:
+        return sum(
+            len(shape.statements)
+            for prim in self.primitives
+            for shape in prim.shapes
+        )
+
+    def templates(self) -> Set[str]:
+        """Every normalized SQL template the catalog can issue."""
+        return {
+            stmt.sql
+            for prim in self.primitives
+            for shape in prim.shapes
+            for stmt in shape.statements
+        }
+
+
+def seed_reference_trace(store: TraceStore) -> None:
+    """Insert the tiny reference trace shapes like ``load_trace`` replay.
+
+    One xform with an input and output binding plus one transfer — just
+    enough rows that every statement of the read-back path executes.
+    """
+    if store.has_run(PLAN_REFERENCE_RUN):
+        return
+    trace = Trace(run_id=PLAN_REFERENCE_RUN, workflow="__planlint__")
+    trace.xforms.append(
+        XformEvent(
+            "P",
+            inputs=(Binding(PortRef("P", "x"), Index.of((0,)), value=1),),
+            outputs=(Binding(PortRef("P", "y"), Index.of((0,)), value=2),),
+        )
+    )
+    trace.xfers.append(
+        XferEvent(
+            Binding(PortRef("P", "y"), Index.of((0,)), value=2),
+            Binding(PortRef("Q", "x"), Index.of((0,)), value=2),
+        )
+    )
+    store.insert_trace(trace)
+
+
+def analyze(
+    store: Optional[TraceStore] = None, seed: bool = True
+) -> PlanReport:
+    """Run the static analysis: every catalog shape, explained.
+
+    With no ``store``, a throwaway in-memory store carrying only the
+    canonical schema is used (the "needs no data" mode); pass a store to
+    analyze a live schema (e.g. after an index ablation).  ``seed``
+    inserts the tiny reference trace :func:`seed_reference_trace`
+    describes so read-back shapes emit all their statements.
+    """
+    owned = store is None
+    live = store if store is not None else TraceStore()
+    try:
+        if seed:
+            seed_reference_trace(live)
+        primitives: List[PrimitivePlans] = []
+        for name in sorted(SQL_PRIMITIVES):
+            primitive = SQL_PRIMITIVES[name]
+            shapes: List[ShapePlans] = []
+            for shape in primitive.shapes:
+                statements = capture_statements(
+                    live, lambda call=shape.call: call(live)
+                )
+                plans = tuple(
+                    explain_statement(live, sql, params)
+                    for sql, params in statements
+                )
+                shapes.append(ShapePlans(shape.label, plans))
+            primitives.append(PrimitivePlans(primitive, tuple(shapes)))
+        return PlanReport(primitives)
+    finally:
+        if owned:
+            live.close()
+
+
+# ---------------------------------------------------------------------------
+# Findings
+
+
+def _emit(
+    code: str, message: str, location: str, config: LintConfig
+) -> Optional[Finding]:
+    rule = _RULES_BY_CODE[code]
+    if config.is_suppressed(rule):
+        return None
+    return Finding(
+        code=code,
+        rule=rule.slug,
+        severity=config.severity_for(rule),
+        message=message,
+        location=location,
+    )
+
+
+def plan_findings(
+    report: PlanReport, config: Optional[LintConfig] = None
+) -> List[Finding]:
+    """Classify the report's access paths into P001-P004 findings."""
+    cfg = config if config is not None else LintConfig()
+    findings: List[Finding] = []
+
+    def add(code: str, message: str, location: str) -> None:
+        finding = _emit(code, message, location, cfg)
+        if finding is not None:
+            findings.append(finding)
+
+    for prim in report.primitives:
+        meta = prim.primitive
+        for shape in prim.shapes:
+            for i, stmt in enumerate(shape.statements):
+                where = f"{prim.name}.{shape.label}[{i}]"
+                for access in stmt.accesses:
+                    if access.table not in SCHEMA_TABLES:
+                        continue
+                    if access.path in ("full-scan", "index-scan"):
+                        if not meta.scan_ok:
+                            add(
+                                "P001",
+                                f"{access.path} of {access.table}"
+                                + (
+                                    f" via {access.index}"
+                                    if access.index
+                                    else ""
+                                )
+                                + " — expected an index seek",
+                                where,
+                            )
+                    elif access.path == "auto-index":
+                        add(
+                            "P004",
+                            f"automatic index built over {access.table} "
+                            "at query time",
+                            where,
+                        )
+                    elif access.path == "index-seek" and meta.hot:
+                        add(
+                            "P002",
+                            f"non-covering index {access.index or '?'} on "
+                            f"hot primitive ({access.table} row fetch per "
+                            "match)",
+                            where,
+                        )
+                if not meta.sort_ok:
+                    for flag in stmt.flags:
+                        # DISTINCT B-trees are the intentional dedupe
+                        # pushdown (see the store docstring); only
+                        # ORDER BY / GROUP BY temp trees are findings.
+                        if flag in ("temp-btree-order", "temp-btree-group"):
+                            add(
+                                "P003",
+                                f"{flag.replace('-', ' ')} in use — rows "
+                                "are not consumed in index order",
+                                where,
+                            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Baseline: plans.lock.json
+
+
+def baseline_document(report: PlanReport) -> Dict[str, Any]:
+    """The committed, human-reviewable form of a plan report."""
+    primitives: Dict[str, Any] = {}
+    for prim in report.primitives:
+        meta = prim.primitive
+        primitives[prim.name] = {
+            "description": meta.description,
+            "hot": meta.hot,
+            "scan_ok": meta.scan_ok,
+            "sort_ok": meta.sort_ok,
+            "shapes": {
+                shape.label: [stmt.to_json() for stmt in shape.statements]
+                for shape in prim.shapes
+            },
+        }
+    return {"schema": BASELINE_SCHEMA, "primitives": primitives}
+
+
+def write_baseline(path: str, report: PlanReport) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baseline_document(report), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"baseline {path} is not a JSON object")
+    if document.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"unsupported baseline schema {document.get('schema')!r} in "
+            f"{path} (expected {BASELINE_SCHEMA})"
+        )
+    return document
+
+
+def _strip_details(value: Any) -> Any:
+    """Drop ``detail`` keys: raw plan text is SQLite-version-dependent."""
+    if isinstance(value, dict):
+        return {
+            key: _strip_details(item)
+            for key, item in value.items()
+            if key != "detail"
+        }
+    if isinstance(value, list):
+        return [_strip_details(item) for item in value]
+    return value
+
+
+def diff_baseline(
+    report: PlanReport,
+    baseline: Dict[str, Any],
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """P006 findings for every difference between live plans and baseline.
+
+    Compares everything *except* the raw ``detail`` lines (informational
+    only — their wording shifts across SQLite versions while the
+    classified accesses do not).
+    """
+    cfg = config if config is not None else LintConfig()
+    live = _strip_details(baseline_document(report))["primitives"]
+    want = _strip_details(baseline).get("primitives", {})
+    findings: List[Finding] = []
+
+    def add(message: str, location: str) -> None:
+        finding = _emit("P006", message, location, cfg)
+        if finding is not None:
+            findings.append(finding)
+
+    for name in sorted(set(want) - set(live)):
+        add("primitive present in baseline but not registered", name)
+    for name in sorted(set(live) - set(want)):
+        add("primitive not in baseline (run --update-baseline)", name)
+    for name in sorted(set(live) & set(want)):
+        live_prim, want_prim = live[name], want[name]
+        for key in ("hot", "scan_ok", "sort_ok"):
+            if live_prim.get(key) != want_prim.get(key):
+                add(
+                    f"{key} flag changed: baseline {want_prim.get(key)!r} "
+                    f"-> live {live_prim.get(key)!r}",
+                    name,
+                )
+        live_shapes = live_prim.get("shapes", {})
+        want_shapes = want_prim.get("shapes", {})
+        for label in sorted(set(want_shapes) - set(live_shapes)):
+            add("bind shape present in baseline but no longer captured",
+                f"{name}.{label}")
+        for label in sorted(set(live_shapes) - set(want_shapes)):
+            add("new bind shape not in baseline (run --update-baseline)",
+                f"{name}.{label}")
+        for label in sorted(set(live_shapes) & set(want_shapes)):
+            live_stmts = live_shapes[label]
+            want_stmts = want_shapes[label]
+            if len(live_stmts) != len(want_stmts):
+                add(
+                    f"statement count changed: baseline "
+                    f"{len(want_stmts)} -> live {len(live_stmts)}",
+                    f"{name}.{label}",
+                )
+                continue
+            for i, (live_stmt, want_stmt) in enumerate(
+                zip(live_stmts, want_stmts, strict=True)
+            ):
+                if live_stmt == want_stmt:
+                    continue
+                parts: List[str] = []
+                if live_stmt.get("sql") != want_stmt.get("sql"):
+                    parts.append("SQL template changed")
+                if live_stmt.get("accesses") != want_stmt.get("accesses"):
+                    parts.append(
+                        "access path changed: baseline "
+                        f"{_render_accesses(want_stmt)} -> live "
+                        f"{_render_accesses(live_stmt)}"
+                    )
+                if live_stmt.get("flags") != want_stmt.get("flags"):
+                    parts.append(
+                        f"flags changed: baseline "
+                        f"{want_stmt.get('flags')} -> live "
+                        f"{live_stmt.get('flags')}"
+                    )
+                add("; ".join(parts) or "plan changed", f"{name}.{label}[{i}]")
+    return findings
+
+
+def _render_accesses(stmt: Dict[str, Any]) -> str:
+    rendered = [
+        a.get("path", "?")
+        + (f"({a['index']})" if a.get("index") else "")
+        + f" on {a.get('table', '?')}"
+        for a in stmt.get("accesses", [])
+    ]
+    return "[" + ", ".join(rendered) + "]"
+
+
+# ---------------------------------------------------------------------------
+# Statement audit (P005)
+
+
+# The sqlite3 trace callback hands over the *expanded* statement text
+# (bound parameters substituted as literals, via sqlite3_expanded_sql),
+# so audited statements are additionally normalized literal-insensitively
+# before matching against the catalog's placeholder templates.
+_STRING_LITERAL = re.compile(r"'(?:[^']|'')*'")
+_NUMERIC_LITERAL = re.compile(r"(?<![\w'.])-?\d+(?:\.\d+)?\b")
+
+
+def audit_normalize(sql: str) -> str:
+    """Template form of an audited statement: literals become ``?``."""
+    text = " ".join(sql.split())
+    text = _STRING_LITERAL.sub("?", text)
+    text = _NUMERIC_LITERAL.sub("?", text)
+    return normalize_sql(text)
+
+
+_AUDIT_SKIP_PREFIXES = (
+    "EXPLAIN", "PRAGMA", "BEGIN", "COMMIT", "ROLLBACK", "INSERT", "UPDATE",
+    "DELETE", "CREATE", "DROP", "SAVEPOINT", "RELEASE",
+)
+
+
+class StatementAudit:
+    """Connection-level statement recorder for the P005 rule.
+
+    Install with ``store.set_statement_audit(audit)``; every statement
+    any of the store's connections executes lands in ``statements``.
+    :func:`audit_findings` then reports each normalized SELECT that does
+    not match a registered primitive's template.
+    """
+
+    def __init__(self) -> None:
+        self.statements: List[str] = []
+
+    def __call__(self, sql: str) -> None:
+        self.statements.append(sql)
+
+    def selects(self) -> List[str]:
+        """The recorded read statements, template-normalized, in order."""
+        out: List[str] = []
+        for sql in self.statements:
+            text = audit_normalize(sql)
+            upper = text.upper()
+            if upper.startswith(_AUDIT_SKIP_PREFIXES):
+                continue
+            if not upper.startswith(("SELECT", "WITH")):
+                continue
+            out.append(text)
+        return out
+
+
+def registered_templates(report: Optional[PlanReport] = None) -> Set[str]:
+    """Every normalized template the registered catalog can issue."""
+    live = report if report is not None else analyze()
+    return live.templates()
+
+
+def audit_findings(
+    audit: StatementAudit,
+    templates: Optional[Set[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """P005 findings for recorded reads outside the registered catalog."""
+    cfg = config if config is not None else LintConfig()
+    raw = templates if templates is not None else registered_templates()
+    # Catalog templates carry ``?`` placeholders while audited text
+    # carries expanded literals; project both onto the same form.
+    known = {audit_normalize(template) for template in raw}
+    findings: List[Finding] = []
+    seen: Set[str] = set()
+    for text in audit.selects():
+        if text in known or text in seen:
+            continue
+        # Reads that never touch a trace relation (e.g. pure VALUES
+        # probes) are not the audit's business.
+        aliases = _alias_map(text)
+        if not (set(aliases.values()) & SCHEMA_TABLES):
+            continue
+        seen.add(text)
+        finding = _emit(
+            "P005",
+            f"unregistered read of trace relations: {text[:120]}",
+            "",
+            cfg,
+        )
+        if finding is not None:
+            findings.append(finding)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# PlanGuard: the test fixture
+
+
+class PlanGuard:
+    """Assert access paths of live store calls inside tests.
+
+    Replaces ad-hoc ``EXPLAIN QUERY PLAN`` string assertions: capture the
+    statements a call issues, classify their plans, and assert every
+    trace-relation access is an index seek.
+
+    >>> guard = PlanGuard(store)
+    >>> plans = guard.assert_indexed(lambda: store.xform_inputs([1, 2]))
+    """
+
+    def __init__(self, store: TraceStore) -> None:
+        self.store = store
+
+    def capture(self, fn: Callable[[], Any]) -> List[StatementPlan]:
+        """Plans (classified) of every statement ``fn`` issues."""
+        statements = capture_statements(self.store, fn)
+        return [
+            explain_statement(self.store, sql, params)
+            for sql, params in statements
+        ]
+
+    def assert_indexed(
+        self,
+        fn: Callable[[], Any],
+        allow_scan_of: Sequence[str] = (),
+    ) -> List[StatementPlan]:
+        """Run ``fn``; fail unless every trace-table access is a seek.
+
+        ``allow_scan_of`` whitelists tables a scan is acceptable on
+        (e.g. ``runs`` for whole-store enumerations).  Returns the plans
+        for further assertions.
+        """
+        plans = self.capture(fn)
+        allowed = set(allow_scan_of)
+        offences: List[str] = []
+        for plan in plans:
+            for access in plan.accesses:
+                if access.table not in SCHEMA_TABLES:
+                    continue
+                if access.path in INDEXED_PATHS:
+                    continue
+                if access.table in allowed and access.path in (
+                    "full-scan", "index-scan",
+                ):
+                    continue
+                offences.append(
+                    f"{access.path} on {access.table}"
+                    + (f" via {access.index}" if access.index else "")
+                    + f" in: {plan.sql[:100]}"
+                )
+        if offences:
+            raise AssertionError(
+                "non-indexed access path(s):\n  " + "\n  ".join(offences)
+            )
+        if not plans:
+            raise AssertionError(
+                "PlanGuard captured no statements — nothing to assert on"
+            )
+        return plans

@@ -79,8 +79,13 @@ def render_sarif(
     findings: Sequence[Finding],
     workflow: str = "",
     rules: Optional[Sequence[LintRule]] = None,
+    tool: str = "repro-prov-lint",
 ) -> str:
-    """A complete SARIF 2.1.0 document as a JSON string."""
+    """A complete SARIF 2.1.0 document as a JSON string.
+
+    ``rules`` swaps in an alternate rule catalogue (the plan lint passes
+    its P-series rules) and ``tool`` names the driver accordingly.
+    """
     catalogue = list(rules) if rules is not None else list(lint_rules())
     rule_index = {entry.code: i for i, entry in enumerate(catalogue)}
     results: List[Dict] = []
@@ -115,7 +120,7 @@ def render_sarif(
             {
                 "tool": {
                     "driver": {
-                        "name": "repro-prov-lint",
+                        "name": tool,
                         "informationUri": (
                             "https://github.com/paper-repro/"
                             "collection-provenance"

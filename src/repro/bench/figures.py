@@ -121,10 +121,16 @@ def fig4_multirun(scale: str = "quick") -> List[Row]:
             for runs in config["fig4_runs"]:
                 scope = run_ids[:runs]
                 timing_ip, result_ip = best_of(
-                    lambda: indexproj.lineage_multirun(scope, query), repeats
+                    lambda scope=scope, query=query: (
+                        indexproj.lineage_multirun(scope, query)
+                    ),
+                    repeats,
                 )
                 timing_ni, _ = best_of(
-                    lambda: naive.lineage_multirun(scope, query), repeats
+                    lambda scope=scope, query=query: (
+                        naive.lineage_multirun(scope, query)
+                    ),
+                    repeats,
                 )
                 rows.append(
                     {

@@ -25,14 +25,10 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.workflow.model import Dataflow
-from repro.cache.lru import LRUCache, MISSING, approx_size
-from repro.cache.results import (
-    GenerationVector,
-    LineageResultCache,
-    ResultCacheKey,
-)
+from repro.cache.lru import MISSING, LRUCache, approx_size
+from repro.cache.results import GenerationVector, LineageResultCache, ResultCacheKey
 from repro.cache.trace import TraceReadCache
+from repro.workflow.model import Dataflow
 
 
 @dataclass(frozen=True)

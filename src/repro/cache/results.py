@@ -28,11 +28,11 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from repro.cache.lru import MISSING, LRUCache
 from repro.engine.events import Binding
 from repro.obs.core import NO_OBS, Observability
 from repro.provenance.store import StoreStats, TraceStore
 from repro.query.base import LineageQuery, LineageResult, MultiRunResult
-from repro.cache.lru import LRUCache, MISSING
 
 #: ``(global generation, per-run generations)`` — see the store docs.
 GenerationVector = Tuple[int, Tuple[int, ...]]

@@ -27,11 +27,11 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.lru import MISSING, LRUCache
 from repro.engine.events import Binding
 from repro.obs.core import NO_OBS, Observability
 from repro.provenance.store import StoreStats, TraceStore, XformMatch
 from repro.values.index import Index
-from repro.cache.lru import LRUCache, MISSING
 
 
 class TraceReadCache:
@@ -311,14 +311,14 @@ class TraceReadCache:
             run_id, node, port, index = keys[ord_]
             result[(run_id, node, port, index.encode())] = list(payload)
         if miss_ords:
-            captured = {}
+            captured: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
             for ord_ in miss_ords:
                 run_id = keys[ord_][0]
                 if run_id not in captured:
                     captured[run_id] = self.store.generation_vector((run_id,))
             miss_keys = [keys[ord_] for ord_ in miss_ords]
             fetched = fetch_missing(miss_keys)
-            entries = []
+            entries: List[Tuple[Tuple[Any, ...], Any, Tuple[Any, ...]]] = []
             for ord_ in miss_ords:
                 run_id, node, port, index = keys[ord_]
                 key_id = (run_id, node, port, index.encode())
@@ -388,7 +388,7 @@ class TraceReadCache:
             run_id, event_ids = groups[ord_]
             result[(run_id, tuple(event_ids))] = list(payload)
         if miss_ords:
-            captured = {}
+            captured: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
             for ord_ in miss_ords:
                 run_id = groups[ord_][0]
                 if run_id not in captured:
@@ -399,7 +399,7 @@ class TraceReadCache:
             fetched = self.store.xform_inputs_many(
                 missing, stats, chunk_size=chunk_size
             )
-            entries = []
+            entries: List[Tuple[Tuple[Any, ...], Any, Tuple[Any, ...]]] = []
             for ord_ in miss_ords:
                 run_id, event_ids = groups[ord_]
                 group_key = (run_id, tuple(event_ids))

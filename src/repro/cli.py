@@ -11,6 +11,7 @@ Subcommands::
     repro-prov stats --db t.db                  sizes + persisted counters
     repro-prov cache-stats --db t.db            cache defaults + counters
     repro-prov lint --workload gk --format sarif --output gk.sarif
+    repro-prov plan-lint --baseline plans.lock.json   SQL access-path gate
     repro-prov check-query --workload gk --query 'lin(<P:Y[0]>, {Q})'
     repro-prov serve --db t.db --workload gk --port 8750
     repro-prov slowlog --db t.db                show the slow-query journal
@@ -298,6 +299,57 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+
+    plan_lint = sub.add_parser(
+        "plan-lint",
+        help="statically lint the store's SQL access paths "
+        "(P-series rules: docs/ANALYSIS.md)",
+    )
+    plan_lint.add_argument(
+        "--db",
+        help="analyze plans against this database instead of a throwaway "
+        "in-memory store — picks up its ANALYZE statistics and content, "
+        "which can change the optimizer's choices; note opening a store "
+        "reconciles the schema DDL, so missing indexes are recreated, "
+        "not reported",
+    )
+    plan_lint.add_argument(
+        "--baseline", default="plans.lock.json", metavar="PATH",
+        help="committed plan baseline to diff against (default "
+        "plans.lock.json; missing file skips the diff unless "
+        "--require-baseline)",
+    )
+    plan_lint.add_argument(
+        "--require-baseline", action="store_true",
+        help="fail when the baseline file is missing (CI mode)",
+    )
+    plan_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the live plans and exit",
+    )
+    plan_lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        dest="lint_format", help="output format (SARIF 2.1.0 for CI upload)",
+    )
+    plan_lint.add_argument(
+        "--output", help="write the report to a file instead of stdout"
+    )
+    plan_lint.add_argument(
+        "--severity", action="append", default=[], metavar="CODE=LEVEL",
+        help="override a rule's severity, e.g. P002=warning (repeatable)",
+    )
+    plan_lint.add_argument(
+        "--suppress", default="", metavar="CODES",
+        help="comma-separated rule codes/slugs to silence, e.g. P002",
+    )
+    plan_lint.add_argument(
+        "--fail-on", choices=["error", "warning", "never"], default="error",
+        help="exit non-zero when findings at/above this severity exist",
+    )
+    plan_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the P-series rule catalogue and exit",
     )
 
     serve = sub.add_parser(
@@ -789,6 +841,83 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any(f.severity in threshold for f in findings) else 0
 
 
+def cmd_plan_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis.lint import LintConfig
+    from repro.analysis.planlint import (
+        analyze,
+        diff_baseline,
+        load_baseline,
+        plan_findings,
+        plan_rules,
+        write_baseline,
+    )
+    from repro.analysis.sarif import render_json, render_sarif, render_text
+
+    if args.list_rules:
+        for entry in plan_rules():
+            print(f"{entry.code}  {entry.default_severity:7s} "
+                  f"{entry.slug:28s} {entry.description}")
+        return 0
+    severities: Dict[str, str] = {}
+    for override in args.severity:
+        code, _, level = override.partition("=")
+        if not level:
+            raise SystemExit(f"--severity expects CODE=LEVEL, got {override!r}")
+        severities[code] = level
+    config = LintConfig(
+        severities=severities,
+        suppress={c for c in args.suppress.split(",") if c},
+    )
+    store = TraceStore(args.db) if args.db else None
+    try:
+        report = analyze(store=store)
+    finally:
+        if store is not None:
+            store.close()
+    if args.update_baseline:
+        write_baseline(args.baseline, report)
+        logger.info(
+            "wrote %d primitive plan(s) to %s",
+            len(report.primitives), args.baseline,
+        )
+        return 0
+    findings = plan_findings(report, config)
+    if os.path.exists(args.baseline):
+        findings.extend(diff_baseline(report, load_baseline(args.baseline),
+                                      config))
+    elif args.require_baseline:
+        raise SystemExit(
+            f"baseline {args.baseline!r} not found; generate it with "
+            "`repro-prov plan-lint --update-baseline`"
+        )
+    else:
+        logger.warning(
+            "no baseline at %s — plan drift not checked "
+            "(generate one with --update-baseline)", args.baseline,
+        )
+    renderers = {
+        "text": render_text,
+        "json": render_json,
+        "sarif": lambda f, workflow="": render_sarif(
+            f, workflow=workflow, rules=plan_rules(),
+            tool="repro-prov-plan-lint",
+        ),
+    }
+    rendered = renderers[args.lint_format](findings, workflow="store-schema")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        logger.info("wrote %d finding(s) to %s", len(findings), args.output)
+    elif rendered:
+        print(rendered)
+    if args.fail_on == "never":
+        return 0
+    threshold = ("error",) if args.fail_on == "error" else ("error", "warning")
+    return 1 if any(f.severity in threshold for f in findings) else 0
+
+
 def build_server(args: argparse.Namespace):
     """Construct the configured :class:`ProvenanceServer` (not yet bound).
 
@@ -959,6 +1088,7 @@ _COMMANDS = {
     "validate": cmd_validate,
     "explain": cmd_explain,
     "lint": cmd_lint,
+    "plan-lint": cmd_plan_lint,
     "check-query": cmd_check_query,
     "serve": cmd_serve,
     "slowlog": cmd_slowlog,

@@ -12,9 +12,14 @@ event per processor instance and *xfer* events for every element moved
 along an arc — exactly the observable events of Section 2.3.
 """
 
-from repro.engine.events import Binding, XferEvent, XformEvent
 from repro.engine.errors import ErrorToken, contains_error, count_errors, is_error
-from repro.engine.executor import ExecutionError, RunResult, WorkflowRunner, run_workflow
+from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.engine.executor import (
+    ExecutionError,
+    RunResult,
+    WorkflowRunner,
+    run_workflow,
+)
 from repro.engine.iteration import IterationError, cross_product, evaluate
 from repro.engine.processors import ProcessorRegistry, default_registry
 

@@ -24,15 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Protocol
 
+from repro.engine.events import Binding, XferEvent, XformEvent
+from repro.engine.iteration import PortValue, evaluate
+from repro.engine.processors import ProcessorRegistry, default_registry
 from repro.obs.core import NO_OBS, Observability
 from repro.values import nested
 from repro.values.index import Index
 from repro.workflow.depths import DepthAnalysis, propagate_depths
 from repro.workflow.model import Dataflow, PortRef, Processor
 from repro.workflow.visit import topological_sort
-from repro.engine.events import Binding, XferEvent, XformEvent
-from repro.engine.iteration import PortValue, evaluate
-from repro.engine.processors import ProcessorRegistry, default_registry
 
 
 class ExecutionError(RuntimeError):

@@ -26,8 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
-from repro.values import nested
-from repro.values.index import Index
 from repro.strategy import (
     StrategyError,
     StrategySpec,
@@ -35,6 +33,8 @@ from repro.strategy import (
     node_level,
     parse_strategy,
 )
+from repro.values import nested
+from repro.values.index import Index
 
 
 class IterationError(ValueError):

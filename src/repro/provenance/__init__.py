@@ -21,16 +21,13 @@ provides:
     lineage definition used by the test suite as ground truth.
 """
 
-from repro.provenance.trace import Trace, TraceBuilder, new_run_id
 from repro.provenance.capture import capture_run
-from repro.provenance.store import StoreStats, TraceStore
-from repro.provenance.graph import provenance_digraph, reference_lineage
 from repro.provenance.export import (
     provenance_to_dot,
     save_prov_document,
     to_prov_document,
 )
-from repro.provenance.streaming import StreamingTraceWriter
+from repro.provenance.graph import provenance_digraph, reference_lineage
 from repro.provenance.maintenance import (
     IntegrityReport,
     integrity_check,
@@ -38,6 +35,9 @@ from repro.provenance.maintenance import (
     run_inventory,
     vacuum,
 )
+from repro.provenance.store import StoreStats, TraceStore
+from repro.provenance.streaming import StreamingTraceWriter
+from repro.provenance.trace import Trace, TraceBuilder, new_run_id
 
 __all__ = [
     "IntegrityReport",

@@ -123,17 +123,7 @@ import threading
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import (
-    Any,
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-)
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.events import Binding, XferEvent, XformEvent
 from repro.obs.core import NO_OBS, Observability
@@ -296,6 +286,106 @@ class BatchConfig:
         raise TypeError(
             f"batch must be a bool, None, or BatchConfig, not {value!r}"
         )
+
+
+#: Run id of the reference rows :mod:`repro.analysis.planlint` seeds into
+#: a throwaway store so whole-run primitives (``load_trace``) can emit all
+#: of their statements during plan enumeration.  Never used by real data.
+PLAN_REFERENCE_RUN = "__planlint__"
+
+
+@dataclass(frozen=True)
+class BindShape:
+    """One representative invocation of a SQL primitive.
+
+    ``call`` invokes the primitive on a store with fixed example
+    arguments; the plan analyzer captures every SQL statement the call
+    issues and runs ``EXPLAIN QUERY PLAN`` over it.  Shapes exist because
+    a primitive's SQL varies with its bind shape (prefix-enumeration
+    length, chunked ``VALUES`` rows, optional filters) — each registered
+    shape pins down one such variant.
+    """
+
+    label: str
+    call: Callable[["TraceStore"], Any]
+
+
+@dataclass(frozen=True)
+class SqlPrimitive:
+    """Catalog entry of one registered store primitive.
+
+    ``hot`` marks primitives on the per-query lookup path (the plan lint
+    holds them to seek-only discipline); ``scan_ok`` declares that a full
+    relation scan is the primitive's *intent* (whole-table enumeration
+    like :meth:`TraceStore.run_ids`); ``sort_ok`` declares an intentional
+    ``ORDER BY`` (event-order reconstruction in
+    :meth:`TraceStore.load_trace`).  The declarations are part of the
+    reviewable contract: a hot primitive can never be excused into a
+    scan without editing this catalog.
+    """
+
+    name: str
+    description: str
+    shapes: Tuple[BindShape, ...]
+    hot: bool = False
+    scan_ok: bool = False
+    sort_ok: bool = False
+
+
+#: Name -> catalog entry for every registered SQL read primitive.
+SQL_PRIMITIVES: Dict[str, SqlPrimitive] = {}
+
+
+def register_sql_primitive(
+    name: str,
+    description: str,
+    shapes: Sequence[BindShape],
+    hot: bool = False,
+    scan_ok: bool = False,
+    sort_ok: bool = False,
+) -> SqlPrimitive:
+    """Register a primitive that is not a plain ``TraceStore`` method."""
+    if name in SQL_PRIMITIVES:
+        raise ValueError(f"duplicate SQL primitive {name!r}")
+    entry = SqlPrimitive(
+        name=name,
+        description=description,
+        shapes=tuple(shapes),
+        hot=hot,
+        scan_ok=scan_ok,
+        sort_ok=sort_ok,
+    )
+    SQL_PRIMITIVES[name] = entry
+    return entry
+
+
+def sql_primitive(
+    *shapes: BindShape,
+    hot: bool = False,
+    scan_ok: bool = False,
+    sort_ok: bool = False,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a ``TraceStore`` method in the SQL primitive catalog.
+
+    Purely declarative — the method is returned unchanged (zero runtime
+    overhead); the registration feeds :mod:`repro.analysis.planlint`,
+    which enumerates every catalog shape against the canonical schema and
+    classifies the access path of each statement.
+    """
+
+    def register(fn: Callable[..., Any]) -> Callable[..., Any]:
+        description = (fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else ""
+        register_sql_primitive(
+            fn.__name__,
+            description,
+            shapes,
+            hot=hot,
+            scan_ok=scan_ok,
+            sort_ok=sort_ok,
+        )
+        return fn
+
+    return register
 
 
 class StoreStats:
@@ -465,6 +555,31 @@ def batch_key_id(key: BatchKey) -> BatchKeyId:
     return (run_id, node, port, index.encode())
 
 
+# -- representative bind shapes for the SQL primitive catalog ---------------
+#
+# Names deliberately miss the PLAN_REFERENCE_RUN rows: plan shape is
+# data-independent, and a miss exercises *every* statement of primitives
+# with early-return fast paths (``has_binding``).
+
+#: An element-level query index (two positions -> three prefixes).
+_EX_ELEMENT = Index.of((0, 1))
+#: The whole-value index (empty path -> the ``LIKE '_%'`` branch).
+_EX_ROOT = Index.of(())
+
+
+def _ex_batch_keys(count: int = 6) -> List[BatchKey]:
+    """Mixed-depth lookup keys across two runs (the VALUES-join grid)."""
+    return [
+        (
+            "R1" if i % 2 == 0 else "R2",
+            "P",
+            "x",
+            Index.of(tuple(range(i % 3 + 1))),
+        )
+        for i in range(count)
+    ]
+
+
 class TraceStore:
     """A SQLite-backed multi-run trace database.
 
@@ -504,6 +619,9 @@ class TraceStore:
             self.faults.attach_metrics(self.obs.metrics)
         self._is_memory = path == ":memory:"
         self._closed = False
+        # Connection-level statement audit (see set_statement_audit):
+        # applied to every existing and future connection when installed.
+        self._statement_audit: Optional[Callable[[str], Any]] = None
         # Write generations (see module docstring): in-memory coherence
         # tokens for repro.cache.  Guarded by their own lock so readers
         # never contend with SQL execution.
@@ -545,9 +663,30 @@ class TraceStore:
             conn.execute("PRAGMA synchronous = NORMAL")
             # First line of defence before our own retry loop kicks in.
             conn.execute("PRAGMA busy_timeout = 100")
+        if self._statement_audit is not None:
+            conn.set_trace_callback(self._statement_audit)
         with self._connections_guard:
             self._all_connections.append(conn)
         return conn
+
+    def set_statement_audit(
+        self, callback: Optional[Callable[[str], Any]]
+    ) -> None:
+        """Install (or with ``None`` remove) a statement audit hook.
+
+        ``callback`` receives the raw SQL text of **every** statement any
+        of this store's connections executes, placeholders unexpanded —
+        the seam :mod:`repro.analysis.planlint` uses to prove that a
+        query workload touches the trace relations only through
+        registered SQL primitives (rule P005).  Applied to all existing
+        connections and inherited by future ones.  Test-only by intent:
+        the callback runs inside SQLite's statement dispatch.
+        """
+        self._statement_audit = callback
+        with self._connections_guard:
+            connections = list(self._all_connections)
+        for conn in connections:
+            conn.set_trace_callback(callback)
 
     @property
     def _conn(self) -> sqlite3.Connection:
@@ -792,6 +931,9 @@ class TraceStore:
 
     # -- ingestion ---------------------------------------------------------
 
+    @sql_primitive(
+        BindShape("point", lambda s: s.has_run("R1")),
+    )
     def has_run(self, run_id: str) -> bool:
         """True when a run with this id is (fully) stored."""
         return self._read_one(
@@ -925,6 +1067,10 @@ class TraceStore:
             self._conn.commit()
         self.bump_global_generation()
 
+    @sql_primitive(
+        BindShape("all", lambda s: s.has_indexes()),
+        scan_ok=True,
+    )
     def has_indexes(self) -> bool:
         """True when the secondary indexes are present."""
         rows = self._read(
@@ -933,6 +1079,11 @@ class TraceStore:
         names = {row[0] for row in rows}
         return all(name in names for name in self._SECONDARY_INDEXES)
 
+    @sql_primitive(
+        BindShape("reference", lambda s: s.load_trace(PLAN_REFERENCE_RUN)),
+        scan_ok=True,
+        sort_ok=True,
+    )
     def load_trace(self, run_id: str) -> Trace:
         """Reconstruct one run's full in-memory trace from the store.
 
@@ -994,6 +1145,11 @@ class TraceStore:
 
     # -- metadata ----------------------------------------------------------
 
+    @sql_primitive(
+        BindShape("all", lambda s: s.run_ids()),
+        BindShape("by-workflow", lambda s: s.run_ids("wf")),
+        scan_ok=True,
+    )
     def run_ids(self, workflow: Optional[str] = None) -> List[str]:
         """All stored run ids, optionally restricted to one workflow."""
         if workflow is None:
@@ -1005,6 +1161,11 @@ class TraceStore:
             )
         return [row[0] for row in rows]
 
+    @sql_primitive(
+        BindShape("all", lambda s: s.record_count()),
+        BindShape("per-run", lambda s: s.record_count("R1")),
+        scan_ok=True,
+    )
     def record_count(self, run_id: Optional[str] = None) -> int:
         """Trace record count as Table 1 counts it (io rows + xfer rows)."""
         if run_id is None:
@@ -1019,6 +1180,10 @@ class TraceStore:
             )[0]
         return io + xf
 
+    @sql_primitive(
+        BindShape("all", lambda s: s.statistics()),
+        scan_ok=True,
+    )
     def statistics(self) -> Dict[str, int]:
         """Store-wide size summary."""
         counts = {
@@ -1036,6 +1201,16 @@ class TraceStore:
 
     # -- lookup primitives ---------------------------------------------------
 
+    @sql_primitive(
+        BindShape(
+            "element",
+            lambda s: s.find_xform_by_output("R1", "P", "y", _EX_ELEMENT),
+        ),
+        BindShape(
+            "root", lambda s: s.find_xform_by_output("R1", "P", "y", _EX_ROOT)
+        ),
+        hot=True,
+    )
     def find_xform_by_output(
         self,
         run_id: str,
@@ -1071,6 +1246,10 @@ class TraceStore:
             chosen = coarser if coarser else rows
         return [XformMatch(event_id=r[0], output_index=Index.decode(r[1])) for r in chosen]
 
+    @sql_primitive(
+        BindShape("events", lambda s: s.xform_inputs([1, 2, 3])),
+        hot=True,
+    )
     def xform_inputs(
         self,
         event_ids: Sequence[int],
@@ -1090,6 +1269,17 @@ class TraceStore:
             stats.record(len(rows))
         return _dedupe_bindings(rows)
 
+    @sql_primitive(
+        BindShape(
+            "element",
+            lambda s: s.find_xform_inputs_matching("R1", "P", "x", _EX_ELEMENT),
+        ),
+        BindShape(
+            "root",
+            lambda s: s.find_xform_inputs_matching("R1", "P", "x", _EX_ROOT),
+        ),
+        hot=True,
+    )
     def find_xform_inputs_matching(
         self,
         run_id: str,
@@ -1130,6 +1320,13 @@ class TraceStore:
 
     # -- forward (impact) lookup primitives ---------------------------------
 
+    @sql_primitive(
+        BindShape(
+            "element",
+            lambda s: s.find_xform_by_input("R1", "P", "x", _EX_ELEMENT),
+        ),
+        hot=True,
+    )
     def find_xform_by_input(
         self,
         run_id: str,
@@ -1167,6 +1364,10 @@ class TraceStore:
             for r in chosen
         ]
 
+    @sql_primitive(
+        BindShape("events", lambda s: s.xform_outputs([1, 2])),
+        hot=True,
+    )
     def xform_outputs(
         self,
         event_ids: Sequence[int],
@@ -1186,6 +1387,12 @@ class TraceStore:
             stats.record(len(rows))
         return _dedupe_bindings(rows)
 
+    @sql_primitive(
+        BindShape(
+            "element", lambda s: s.find_xfer_from("R1", "P", "y", _EX_ELEMENT)
+        ),
+        hot=True,
+    )
     def find_xfer_from(
         self,
         run_id: str,
@@ -1233,6 +1440,15 @@ class TraceStore:
             )
         return results
 
+    @sql_primitive(
+        BindShape(
+            "prefix-wildcard",
+            lambda s: s.find_xform_outputs_matching_pattern(
+                "R1", "P", "y", IndexPattern(0, None)
+            ),
+        ),
+        hot=True,
+    )
     def find_xform_outputs_matching_pattern(
         self,
         run_id: str,
@@ -1266,6 +1482,15 @@ class TraceStore:
         ]
         return _dedupe_bindings(filtered)
 
+    @sql_primitive(
+        BindShape(
+            "runs-3",
+            lambda s: s.find_xform_inputs_matching_multi(
+                ["R1", "R2", "R3"], "P", "x", _EX_ELEMENT
+            ),
+        ),
+        hot=True,
+    )
     def find_xform_inputs_matching_multi(
         self,
         run_ids: Sequence[str],
@@ -1309,6 +1534,13 @@ class TraceStore:
             for run_id, entries in grouped.items()
         }
 
+    @sql_primitive(
+        BindShape(
+            "element", lambda s: s.find_xfer_into("R1", "P", "x", _EX_ELEMENT)
+        ),
+        BindShape("root", lambda s: s.find_xfer_into("R1", "P", "x", _EX_ROOT)),
+        hot=True,
+    )
     def find_xfer_into(
         self,
         run_id: str,
@@ -1508,6 +1740,19 @@ class TraceStore:
             rows.extend(fetched)
         return rows
 
+    @sql_primitive(
+        BindShape(
+            "keys-6",
+            lambda s: s.find_xform_inputs_matching_many(_ex_batch_keys()),
+        ),
+        BindShape(
+            "chunked",
+            lambda s: s.find_xform_inputs_matching_many(
+                _ex_batch_keys(10), chunk_size=4
+            ),
+        ),
+        hot=True,
+    )
     def find_xform_inputs_matching_many(
         self,
         keys: Sequence[BatchKey],
@@ -1551,6 +1796,12 @@ class TraceStore:
             )
         return result
 
+    @sql_primitive(
+        BindShape(
+            "keys-6", lambda s: s.find_xform_by_output_many(_ex_batch_keys())
+        ),
+        hot=True,
+    )
     def find_xform_by_output_many(
         self,
         keys: Sequence[BatchKey],
@@ -1599,6 +1850,13 @@ class TraceStore:
             ]
         return result
 
+    @sql_primitive(
+        BindShape(
+            "groups",
+            lambda s: s.xform_inputs_many([("R1", (1, 2)), ("R2", (3,))]),
+        ),
+        hot=True,
+    )
     def xform_inputs_many(
         self,
         groups: Sequence[Tuple[str, Sequence[int]]],
@@ -1666,6 +1924,12 @@ class TraceStore:
             )
         return result
 
+    @sql_primitive(
+        BindShape(
+            "keys-6", lambda s: s.find_xfer_into_many(_ex_batch_keys())
+        ),
+        hot=True,
+    )
     def find_xfer_into_many(
         self,
         keys: Sequence[BatchKey],
@@ -1741,6 +2005,10 @@ class TraceStore:
             result[batch_key_id(key)] = entries
         return result
 
+    @sql_primitive(
+        BindShape("miss", lambda s: s.has_binding("R1", "P", "x")),
+        hot=True,
+    )
     def has_binding(self, run_id: str, node: str, port: str) -> bool:
         """True when any trace row mentions ``node:port`` in ``run_id``."""
         row = self._read_one(
@@ -1756,6 +2024,20 @@ class TraceStore:
             (run_id, node, port),
         )
         return bool(row)
+
+
+register_sql_primitive(
+    "value_digest_lookup",
+    "Interning probe: resolve a payload digest to its value_pool row.",
+    (
+        BindShape(
+            "digest",
+            lambda s: s._read(
+                "SELECT value_id FROM value_pool WHERE digest = ?", ("",)
+            ),
+        ),
+    ),
+)
 
 
 def _dedupe_bindings(

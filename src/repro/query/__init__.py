@@ -21,20 +21,20 @@ reports (t1 = traversal/planning, t2 = trace lookups).
 """
 
 from repro.query.base import LineageQuery, LineageResult, MultiRunResult
-from repro.query.naive import NaiveEngine
-from repro.query.indexproj import IndexProjEngine, QueryPlan, TraceQuery, build_plan
-from repro.query.projection import project_output_index
-from repro.query.explain import QueryExplanation, explain
-from repro.query.views import UserView, focus_for_groups, group_summary, rollup
 from repro.query.diff import LineageDiff, diff_lineage, diff_multirun
-from repro.query.parser import QueryParseError, format_query, parse_query
+from repro.query.explain import QueryExplanation, explain
 from repro.query.impact import (
     ImpactQuery,
     IndexProjImpactEngine,
     NaiveImpactEngine,
     build_impact_plan,
 )
+from repro.query.indexproj import IndexProjEngine, QueryPlan, TraceQuery, build_plan
+from repro.query.naive import NaiveEngine
+from repro.query.parser import QueryParseError, format_query, parse_query
+from repro.query.projection import project_output_index
 from repro.query.value_search import ValueHit, ValueTrace, find_value, trace_value
+from repro.query.views import UserView, focus_for_groups, group_summary, rollup
 
 __all__ = [
     "ValueHit",

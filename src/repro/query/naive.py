@@ -149,7 +149,7 @@ class NaiveEngine:
                     inputs = reader.xform_inputs_many(
                         groups, stats, chunk_size=chunk_size
                     )
-                    for (run_id, event_ids), _probe in zip(groups, group_owner):
+                    for (run_id, event_ids), _probe in zip(groups, group_owner, strict=False):
                         for binding in inputs[(run_id, event_ids)]:
                             if binding.node in query.focus:
                                 collected[run_id][binding.key()] = binding

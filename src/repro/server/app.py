@@ -70,11 +70,7 @@ from repro.server.admission import AdmissionController
 from repro.server.codec import encode_result
 from repro.server.errors import ApiError, BadRequest, NotFound, map_exception
 from repro.server.http import Request, Response
-from repro.server.registry import (
-    DEFAULT_TENANT,
-    TenantRegistry,
-    validate_tenant,
-)
+from repro.server.registry import DEFAULT_TENANT, TenantRegistry, validate_tenant
 from repro.service import ProvenanceService
 from repro.values.index import Index
 from repro.workflow.model import WorkflowError

@@ -262,7 +262,7 @@ def _zip_structs(left: Any, right: Any) -> Any:
             f"dot iteration requires equal list lengths, got "
             f"{sorted({len(left), len(right)})}"
         )
-    return [_zip_structs(a, b) for a, b in zip(left, right)]
+    return [_zip_structs(a, b) for a, b in zip(left, right, strict=True)]
 
 
 def _merge_broadcast(struct: Any, leaf: _Leaf) -> Any:

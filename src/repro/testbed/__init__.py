@@ -31,12 +31,12 @@ from repro.testbed.generator import (
     multi_chain_workflow,
     unfocused_query,
 )
+from repro.testbed.runs import Workload, populate_store
 from repro.testbed.workloads import (
     file_loading_workload,
     genes2kegg_workload,
     protein_discovery_workload,
 )
-from repro.testbed.runs import Workload, populate_store
 
 __all__ = [
     "FINAL_PROCESSOR",

@@ -183,6 +183,6 @@ def partially_focused_query(
     focus = [LISTGEN_PROCESSOR]
     chain1 = [n for n in names if n.startswith("CHAIN1_")]
     chain2 = [n for n in names if n.startswith("CHAIN2_")]
-    interleaved = [n for pair in zip(chain1, chain2) for n in pair]
+    interleaved = [n for pair in zip(chain1, chain2, strict=False) for n in pair]
     focus.extend(interleaved[: max(0, count - 1)])
     return LineageQuery.create(FINAL_PROCESSOR, "y", index, focus=focus)

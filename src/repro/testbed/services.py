@@ -191,7 +191,7 @@ def op_load_database(
     statuses = inputs.get("statuses") or []
     loaded = [
         f"row[{i}]={record}"
-        for i, (record, status) in enumerate(zip(records, statuses))
+        for i, (record, status) in enumerate(zip(records, statuses, strict=False))
         if status == "ok"
     ]
     return {config.get("out", "table"): loaded}

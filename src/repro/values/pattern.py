@@ -89,7 +89,7 @@ class IndexPattern:
         >>> IndexPattern(0, None).matches(Index(0, 5, 9))  # finer record
         True
         """
-        for pattern_pos, index_pos in zip(self._positions, index.path):
+        for pattern_pos, index_pos in zip(self._positions, index.path, strict=False):
             if pattern_pos is not None and pattern_pos != index_pos:
                 return False
         return True

@@ -19,6 +19,8 @@ supported through :meth:`Dataflow.flattened`, which inlines sub-workflows
 with qualified processor names before analysis and execution.
 """
 
+from repro.workflow.builder import DataflowBuilder
+from repro.workflow.depths import DepthAnalysis, propagate_depths
 from repro.workflow.model import (
     Arc,
     Dataflow,
@@ -27,8 +29,6 @@ from repro.workflow.model import (
     Processor,
     WorkflowError,
 )
-from repro.workflow.builder import DataflowBuilder
-from repro.workflow.depths import DepthAnalysis, propagate_depths
 from repro.workflow.patterns import fan_out, join_cross, pipeline, scatter_gather
 from repro.workflow.validate import ValidationIssue, validate
 from repro.workflow.visit import topological_sort, upstream_ports

@@ -110,7 +110,7 @@ class DataflowBuilder:
         linear pipelines, but note that ``b`` is used both as a sink and as
         a source, so it only makes sense for single-port pass-through nodes.
         """
-        for source, sink in zip(ports, ports[1:]):
+        for source, sink in zip(ports, ports[1:], strict=False):
             self._arcs.append((source, sink))
         return self
 

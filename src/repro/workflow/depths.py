@@ -32,12 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.strategy import (
-    StrategyError,
-    fragment_offsets,
-    node_level,
-    parse_strategy,
-)
+from repro.strategy import StrategyError, fragment_offsets, node_level, parse_strategy
 from repro.workflow.model import Dataflow, PortRef, Processor, WorkflowError
 from repro.workflow.visit import topological_sort
 

@@ -139,6 +139,6 @@ def join_cross(
         operation=operation,
         config=config,
     )
-    for (port, _), source in zip(ports, sources):
+    for (port, _), source in zip(ports, sources, strict=False):
         builder.arc(source, f"{name}:{port}")
     return f"{name}:y"

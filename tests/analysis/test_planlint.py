@@ -1,0 +1,358 @@
+"""Tests for the static SQL access-path analyzer (repro.analysis.planlint).
+
+Four layers: the SQL/plan classifiers in isolation, the full catalog
+analysis against the shipped schema (the "zero P001/P003" contract), the
+committed ``plans.lock.json`` baseline and its drift gate (including the
+index-ablation narrative the CI gate exists for), and the P005 statement
+audit / PlanGuard fixtures.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import LintConfig
+from repro.analysis.planlint import (
+    DEFAULT_BASELINE,
+    PLAN_RULES,
+    PlanGuard,
+    SCHEMA_TABLES,
+    StatementAudit,
+    _alias_map,
+    analyze,
+    audit_findings,
+    baseline_document,
+    diff_baseline,
+    load_baseline,
+    normalize_sql,
+    plan_findings,
+    plan_rules,
+    seed_reference_trace,
+    write_baseline,
+)
+from repro.provenance.capture import capture_run
+from repro.provenance.store import (
+    PLAN_REFERENCE_RUN,
+    SQL_PRIMITIVES,
+    TraceStore,
+)
+from repro.values.index import Index
+
+from tests.conftest import build_diamond_workflow
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One full analysis of the shipped schema, shared across tests."""
+    return analyze()
+
+
+@pytest.fixture()
+def populated_store():
+    flow = build_diamond_workflow()
+    store = TraceStore()
+    for size in (3, 2):
+        store.insert_trace(capture_run(flow, {"size": size}).trace)
+    yield store
+    store.close()
+
+
+class TestNormalizeSql:
+    def test_collapses_whitespace(self):
+        assert normalize_sql("SELECT  1\n  FROM   runs") == (
+            "SELECT 1 FROM runs"
+        )
+
+    def test_placeholder_groups_collapse(self):
+        assert normalize_sql("x IN (?, ?, ?)") == "x IN (?*)"
+        assert normalize_sql("x IN (?)") == "x IN (?*)"
+
+    def test_values_arity_is_erased(self):
+        """Chunked batch variants normalize to one template."""
+        two = normalize_sql("VALUES (?,?,?),(?,?,?)")
+        five = normalize_sql(
+            "VALUES (?,?,?),(?,?,?),(?,?,?),(?,?,?),(?,?,?)"
+        )
+        assert two == five == "VALUES (?*)"
+
+    def test_non_placeholder_groups_survive(self):
+        assert normalize_sql("COUNT(*)") == "COUNT(*)"
+
+
+class TestAliasMap:
+    def test_bare_and_as_aliases(self):
+        aliases = _alias_map(
+            "SELECT 1 FROM xform_io AS t JOIN value_pool vp "
+            "ON vp.value_id = t.value_id WHERE t.run_id = ?"
+        )
+        assert aliases["t"] == "xform_io"
+        assert aliases["vp"] == "value_pool"
+        assert aliases["xform_io"] == "xform_io"
+
+    def test_keywords_are_not_aliases(self):
+        aliases = _alias_map("SELECT 1 FROM runs WHERE run_id = ?")
+        assert aliases == {"runs": "runs"}
+
+
+class TestCatalog:
+    #: Every store read primitive the analyzer must cover — the paper's
+    #: Fig. 9 hot path plus the batch family and the maintenance reads.
+    EXPECTED = {
+        "find_xform_by_output",
+        "find_xform_by_input",
+        "find_xform_inputs_matching",
+        "find_xform_inputs_matching_multi",
+        "find_xform_inputs_matching_many",
+        "find_xform_by_output_many",
+        "find_xform_outputs_matching_pattern",
+        "find_xfer_from",
+        "find_xfer_into",
+        "find_xfer_into_many",
+        "xform_inputs",
+        "xform_outputs",
+        "xform_inputs_many",
+        "has_binding",
+        "has_run",
+        "has_indexes",
+        "run_ids",
+        "record_count",
+        "statistics",
+        "load_trace",
+        "value_digest_lookup",
+    }
+
+    def test_every_primitive_is_registered(self):
+        assert set(SQL_PRIMITIVES) == self.EXPECTED
+
+    def test_batch_variants_carry_chunked_shapes(self):
+        labels = {
+            s.label for s in SQL_PRIMITIVES["find_xform_inputs_matching_many"].shapes
+        }
+        assert "chunked" in labels
+
+    def test_every_shape_captures_statements(self, report):
+        empty = [
+            f"{prim.name}.{shape.label}"
+            for prim in report.primitives
+            for shape in prim.shapes
+            if not shape.statements
+        ]
+        assert not empty, f"shapes captured no SQL: {empty}"
+
+    def test_report_covers_the_whole_catalog(self, report):
+        assert {p.name for p in report.primitives} == set(SQL_PRIMITIVES)
+
+
+class TestShippedSchema:
+    def test_no_scans_no_sorts_no_auto_indexes(self, report):
+        """The acceptance bar: zero P001/P003/P004 on the shipped schema."""
+        codes = {f.code for f in plan_findings(report)}
+        assert "P001" not in codes
+        assert "P003" not in codes
+        assert "P004" not in codes
+
+    def test_hot_path_notes_are_p002_only(self, report):
+        for finding in plan_findings(report):
+            assert finding.code == "P002"
+            assert finding.severity == "note"
+
+    def test_batch_join_is_classified_not_scanned(self, report):
+        by_name = {p.name: p for p in report.primitives}
+        batch = by_name["find_xform_inputs_matching_many"]
+        accesses = [
+            a
+            for shape in batch.shapes
+            for stmt in shape.statements
+            for a in stmt.accesses
+            if a.table == "xform_io"
+        ]
+        assert accesses
+        assert all(a.path in ("covering-seek", "index-seek") for a in accesses)
+
+    def test_distinct_btree_is_a_flag_not_a_finding(self, report):
+        by_name = {p.name: p for p in report.primitives}
+        flags = {
+            flag
+            for shape in by_name["find_xform_inputs_matching"].shapes
+            for stmt in shape.statements
+            for flag in stmt.flags
+        }
+        assert "temp-btree-distinct" in flags  # intentional dedupe pushdown
+
+    def test_scan_ok_primitives_do_not_fire_p001(self, report):
+        locations = {f.location for f in plan_findings(report)}
+        assert not any(loc.startswith("run_ids.") for loc in locations)
+        assert not any(loc.startswith("statistics.") for loc in locations)
+
+
+class TestSeverityConfig:
+    def test_override_and_suppress(self, report):
+        config = LintConfig(
+            severities={"P002": "error"}, suppress={"full-table-scan"}
+        )
+        findings = plan_findings(report, config)
+        assert findings
+        assert all(f.severity == "error" for f in findings)
+        suppressed = plan_findings(report, LintConfig(suppress={"P002"}))
+        assert suppressed == []
+
+    def test_rule_catalogue_is_stable(self):
+        assert [r.code for r in plan_rules()] == [
+            "P001", "P002", "P003", "P004", "P005", "P006",
+        ]
+        assert plan_rules() is PLAN_RULES
+
+
+class TestBaseline:
+    def test_round_trip_is_drift_free(self, report, tmp_path):
+        path = tmp_path / "plans.lock.json"
+        write_baseline(str(path), report)
+        assert diff_baseline(report, load_baseline(str(path))) == []
+
+    def test_schema_marker_is_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope/9"}))
+        with pytest.raises(ValueError, match="unsupported baseline schema"):
+            load_baseline(str(path))
+
+    def test_committed_baseline_matches_live_plans(self, report):
+        """The CI gate: live plans == the committed plans.lock.json."""
+        committed = REPO_ROOT / DEFAULT_BASELINE
+        assert committed.exists(), (
+            "plans.lock.json missing — regenerate with "
+            "`repro-prov plan-lint --update-baseline`"
+        )
+        drift = diff_baseline(report, load_baseline(str(committed)))
+        assert drift == [], "\n".join(f.render() for f in drift)
+
+    def test_committed_baseline_names_every_primitive(self):
+        committed = load_baseline(str(REPO_ROOT / DEFAULT_BASELINE))
+        assert set(committed["primitives"]) == set(SQL_PRIMITIVES)
+
+    def test_detail_changes_alone_do_not_drift(self, report):
+        baseline = baseline_document(report)
+        for prim in baseline["primitives"].values():
+            for stmts in prim["shapes"].values():
+                for stmt in stmts:
+                    stmt["detail"] = ["SOMETHING ELSE ENTIRELY"]
+        assert diff_baseline(report, baseline) == []
+
+
+class TestIndexAblationGate:
+    """The narrative the gate exists for: index drops must fail CI."""
+
+    def test_dropping_batch_index_fails_the_gate_with_drift(self):
+        committed = load_baseline(str(REPO_ROOT / DEFAULT_BASELINE))
+        store = TraceStore()
+        store._write_transaction(
+            lambda c: c.execute("DROP INDEX ix_xform_io_batch")
+        )
+        try:
+            live = analyze(store=store)
+            drift = diff_baseline(live, committed)
+            assert drift, "dropping ix_xform_io_batch must drift the baseline"
+            assert all(f.code == "P006" and f.is_error for f in drift)
+            locations = {f.location for f in drift}
+            # The optimizer falls back to ix_xform_io_lookup, so the
+            # drift shows up exactly where the batch index was load-bearing.
+            assert any("has_binding" in loc for loc in locations)
+        finally:
+            store.close()
+
+    def test_dropping_the_fallback_too_degrades_to_full_scans(self):
+        store = TraceStore()
+        store._write_transaction(
+            lambda c: c.execute("DROP INDEX ix_xform_io_batch")
+        )
+        store._write_transaction(
+            lambda c: c.execute("DROP INDEX ix_xform_io_lookup")
+        )
+        try:
+            live = analyze(store=store)
+            p001 = [f for f in plan_findings(live) if f.code == "P001"]
+            assert p001, "losing both xform_io indexes must produce P001s"
+            assert all(f.is_error for f in p001)
+            assert any("xform_io" in f.message for f in p001)
+        finally:
+            store.close()
+
+
+class TestStatementAudit:
+    def test_registered_reads_pass_the_audit(self, populated_store, report):
+        audit = StatementAudit()
+        populated_store.set_statement_audit(audit)
+        run = populated_store.run_ids()[0]
+        populated_store.find_xform_inputs_matching(
+            run, "A", "x", Index.of((0,))
+        )
+        populated_store.has_binding(run, "A", "x")
+        populated_store.set_statement_audit(None)
+        assert audit.selects()
+        assert audit_findings(audit, templates=report.templates()) == []
+
+    def test_unregistered_read_is_a_p005(self, populated_store, report):
+        audit = StatementAudit()
+        populated_store.set_statement_audit(audit)
+        populated_store._read(
+            "SELECT processor FROM xform_io WHERE port = 'x'"
+        )
+        populated_store.set_statement_audit(None)
+        findings = audit_findings(audit, templates=report.templates())
+        assert [f.code for f in findings] == ["P005"]
+        assert findings[0].is_error
+        assert "xform_io" in findings[0].message
+
+    def test_non_trace_reads_are_ignored(self, populated_store, report):
+        audit = StatementAudit()
+        populated_store.set_statement_audit(audit)
+        populated_store._read("SELECT 1")
+        populated_store.set_statement_audit(None)
+        assert audit_findings(audit, templates=report.templates()) == []
+
+
+class TestPlanGuard:
+    def test_capture_returns_classified_plans(self, populated_store):
+        guard = PlanGuard(populated_store)
+        run = populated_store.run_ids()[0]
+        plans = guard.capture(
+            lambda: populated_store.find_xform_by_output(
+                run, "A", "y", Index.of((0,))
+            )
+        )
+        assert len(plans) == 1
+        tables = {a.table for a in plans[0].accesses}
+        assert tables <= SCHEMA_TABLES
+
+    def test_assert_indexed_requires_statements(self, populated_store):
+        guard = PlanGuard(populated_store)
+        with pytest.raises(AssertionError, match="captured no statements"):
+            guard.assert_indexed(lambda: None)
+
+    def test_allow_scan_of_whitelists_tables(self, populated_store):
+        guard = PlanGuard(populated_store)
+        guard.assert_indexed(
+            lambda: populated_store.run_ids(), allow_scan_of=("runs",)
+        )
+        with pytest.raises(AssertionError, match="full-scan on runs"):
+            guard.assert_indexed(lambda: populated_store.run_ids())
+
+
+class TestReferenceSeed:
+    def test_seed_is_idempotent(self):
+        store = TraceStore()
+        try:
+            seed_reference_trace(store)
+            seed_reference_trace(store)
+            assert store.has_run(PLAN_REFERENCE_RUN)
+            assert store.run_ids() == [PLAN_REFERENCE_RUN]
+        finally:
+            store.close()
+
+    def test_analyze_on_borrowed_store_leaves_it_open(self, populated_store):
+        before = set(populated_store.run_ids())
+        analyze(store=populated_store)
+        assert populated_store.has_run(PLAN_REFERENCE_RUN)
+        assert before <= set(populated_store.run_ids())

@@ -10,7 +10,7 @@ import json
 
 import pytest
 
-from repro.analysis.lint import Finding, lint_rules, run_lint
+from repro.analysis.lint import Finding, LintConfig, lint_rules, run_lint
 from repro.analysis.sarif import (
     SARIF_VERSION,
     render_json,
@@ -221,3 +221,74 @@ class TestSarif:
         document = json.loads(render_sarif(findings))
         levels = [r["level"] for r in document["runs"][0]["results"]]
         assert levels == ["error", "warning", "note"]
+
+
+class TestSarifEdgeCases:
+    """Export paths shared with plan-lint: suppression, overrides, zero
+    results, and alternate rule catalogues/driver names."""
+
+    def test_suppressed_findings_yield_a_valid_empty_document(self):
+        """Suppressing every rule still produces schema-valid SARIF."""
+        config = LintConfig(suppress={code for code in ("E001", "E002",
+                                                        "E003", "W001",
+                                                        "W002", "W003",
+                                                        "W004", "W005",
+                                                        "W006")})
+        findings = run_lint(build_messy_flow(), config)
+        assert findings == []
+        document = json.loads(render_sarif(findings, workflow="messy"))
+        jsonschema.validate(document, SARIF_SCHEMA_SUBSET)
+        assert document["runs"][0]["results"] == []
+        # The rule catalogue stays complete even with zero results.
+        assert document["runs"][0]["tool"]["driver"]["rules"]
+
+    def test_severity_override_reaches_the_sarif_level(self):
+        config = LintConfig(severities={"W002": "error"})
+        findings = [
+            f for f in run_lint(build_messy_flow(), config)
+            if f.code == "W002"
+        ]
+        assert findings
+        document = json.loads(render_sarif(findings))
+        assert all(
+            r["level"] == "error" for r in document["runs"][0]["results"]
+        )
+
+    def test_plan_rule_catalogue_swaps_in(self):
+        from repro.analysis.planlint import plan_rules
+
+        findings = [
+            Finding("P001", "full-table-scan", "error", "scan!",
+                    location="run_ids.all[0]"),
+        ]
+        document = json.loads(
+            render_sarif(findings, workflow="store-schema",
+                         rules=plan_rules(), tool="repro-prov-plan-lint")
+        )
+        jsonschema.validate(document, SARIF_SCHEMA_SUBSET)
+        driver = document["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-prov-plan-lint"
+        assert [r["id"] for r in driver["rules"]] == [
+            "P001", "P002", "P003", "P004", "P005", "P006",
+        ]
+        result = document["runs"][0]["results"][0]
+        assert driver["rules"][result["ruleIndex"]]["id"] == "P001"
+
+    def test_empty_plan_report_is_valid_sarif(self):
+        from repro.analysis.planlint import plan_rules
+
+        document = json.loads(
+            render_sarif([], workflow="store-schema", rules=plan_rules(),
+                         tool="repro-prov-plan-lint")
+        )
+        jsonschema.validate(document, SARIF_SCHEMA_SUBSET)
+        assert document["runs"][0]["results"] == []
+
+    def test_unknown_rule_code_omits_rule_index(self):
+        """A finding outside the catalogue must not emit a bogus index."""
+        document = json.loads(
+            render_sarif([Finding("X999", "mystery", "note", "eh")])
+        )
+        result = document["runs"][0]["results"][0]
+        assert "ruleIndex" not in result
+        jsonschema.validate(document, SARIF_SCHEMA_SUBSET)

@@ -13,6 +13,7 @@ import math
 
 import pytest
 
+from repro.analysis.planlint import PlanGuard
 from repro.provenance.capture import capture_run
 from repro.provenance.store import (
     DEFAULT_BATCH_CHUNK,
@@ -205,60 +206,60 @@ class TestChunking:
 
 
 class TestQueryPlans:
-    """The VALUES-join must stay index-driven (paper Fig. 6 discipline)."""
+    """The VALUES-join must stay index-driven (paper Fig. 6 discipline).
 
-    def captured_plans(self, store, fn):
-        """Run ``fn`` while capturing the SQL of every read, then EXPLAIN
-        each captured statement."""
-        captured = []
-        original = store._read
-
-        def spy(sql, params, stats=None):
-            captured.append((sql, params))
-            return original(sql, params, stats=stats)
-
-        store._read = spy
-        try:
-            fn()
-        finally:
-            store._read = original
-        plans = []
-        for sql, params in captured:
-            plans.append(
-                "\n".join(
-                    row[-1]
-                    for row in store._read(
-                        f"EXPLAIN QUERY PLAN {sql}", params
-                    )
-                )
-            )
-        return plans
+    Asserted through the shared :class:`PlanGuard` fixture from
+    :mod:`repro.analysis.planlint` — the same classifier the
+    ``repro-prov plan-lint`` CI gate runs — instead of hand-rolled
+    EXPLAIN string matching.
+    """
 
     def test_xform_io_batch_join_uses_covering_index(self, populated):
         store, run_ids = populated
         store.create_indexes()
         keys = all_keys(store, run_ids)
-        plans = self.captured_plans(
-            store,
-            lambda: store.find_xform_inputs_matching_many(keys),
+        guard = PlanGuard(store)
+        plans = guard.assert_indexed(
+            lambda: store.find_xform_inputs_matching_many(keys)
         )
-        assert plans
-        for plan in plans:
-            assert "USING INDEX" in plan or "USING COVERING INDEX" in plan
-            assert "SCAN xform_io" not in plan
+        # Both VALUES-join branches seek xform_io through a real index.
+        seeks = [
+            access
+            for plan in plans
+            for access in plan.accesses
+            if access.table == "xform_io"
+        ]
+        assert seeks
+        assert all(
+            access.path in ("covering-seek", "index-seek") for access in seeks
+        )
 
     def test_xfer_batch_join_uses_dst_index(self, populated):
         store, run_ids = populated
         store.create_indexes()
         keys = all_keys(store, run_ids)
-        plans = self.captured_plans(
-            store,
-            lambda: store.find_xfer_into_many(keys),
+        guard = PlanGuard(store)
+        plans = guard.assert_indexed(
+            lambda: store.find_xfer_into_many(keys)
         )
-        assert plans
-        for plan in plans:
-            assert "USING INDEX" in plan or "USING COVERING INDEX" in plan
-            assert "SCAN xfer" not in plan
+        xfer_indexes = {
+            access.index
+            for plan in plans
+            for access in plan.accesses
+            if access.table == "xfer"
+        }
+        assert "ix_xfer_dst" in xfer_indexes
+
+    def test_plan_guard_flags_scan_after_index_drop(self, populated):
+        store, run_ids = populated
+        keys = all_keys(store, run_ids)
+        store.drop_indexes()
+        guard = PlanGuard(store)
+        with pytest.raises(AssertionError, match="full-scan on xform_io"):
+            guard.assert_indexed(
+                lambda: store.find_xform_inputs_matching_many(keys)
+            )
+        store.create_indexes()
 
     def test_batch_index_in_secondary_set(self, populated):
         store, _ = populated
