@@ -1,0 +1,125 @@
+"""Run-sharded scatter-gather — latency under load vs. the single file.
+
+Beyond the paper's figures: the pluggable storage layer partitions runs
+across SQLite shard files and answers multi-run lineage by fanning the
+batched read grid out over a reader pool (docs/STORAGE.md).  The kernel
+rows time the canonical 12-run batched query on the single-file store
+and on a 4-shard store in the latency-bound regime (every read stretched
+by the injected delay — cold cache / networked disk).  The report
+benchmark runs the full ``repro.bench.sharding`` sweep at 1/4/8 shards
+with concurrent closed-loop clients, asserts the acceptance floors —
+identical answers on every backend, >= 1.5x p50 speedup at 4+ shards,
+1-shard fast-path overhead within 10% of the single file — then writes
+the machine-readable ``BENCH_shard.json`` record at the repository root.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.sharding import (
+    N1_OVERHEAD_LIMIT,
+    SPEEDUP_THRESHOLD,
+    _arm,
+    best_speedup,
+    fast_n1_ratio,
+    n1_overhead,
+    scale_config,
+    shard_sweep,
+    speedup_at,
+)
+from repro.provenance.capture import capture_runs
+from repro.provenance.store import TraceStore
+from repro.query.indexproj import IndexProjEngine
+from repro.storage import ShardedStore
+from repro.testbed.workloads import genes2kegg_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+KERNEL_RUNS = 12
+KERNEL_DELAY = 0.003
+
+
+@pytest.fixture(scope="module")
+def gk_stores(tmp_path_factory):
+    """The same 12 captured runs in a single-file and a 4-shard store,
+    both armed with the latency-bound read delay."""
+    workload = genes2kegg_workload()
+    tmp = tmp_path_factory.mktemp("bench-shard")
+    captured = capture_runs(
+        workload.flow, [workload.inputs] * KERNEL_RUNS,
+        registry=workload.registry,
+    )
+    single = TraceStore(str(tmp / "single.db"))
+    sharded = ShardedStore(str(tmp / "shards"), num_shards=4)
+    for store in (single, sharded):
+        for cap in captured:
+            store.insert_trace(cap.trace)
+        store.create_indexes()
+        _arm(store, KERNEL_DELAY)
+    scope = [cap.run_id for cap in captured]
+    yield workload, single, sharded, scope
+    single.close()
+    sharded.close()
+
+
+def bench_shard_kernel_single_file(benchmark, gk_stores):
+    """Timed kernel: 12-run batched query, all chunks serial."""
+    workload, single, _sharded, scope = gk_stores
+    engine = IndexProjEngine(single, workload.flow)
+    query = workload.focused_query()
+    result = benchmark(
+        lambda: engine.lineage_multirun_batched(scope, query, chunk_size=1)
+    )
+    assert set(result.per_run) == set(scope)
+
+
+def bench_shard_kernel_four_shards(benchmark, gk_stores):
+    """Timed kernel: the same query scatter-gathered over 4 shards."""
+    workload, _single, sharded, scope = gk_stores
+    engine = IndexProjEngine(sharded, workload.flow)
+    query = workload.focused_query()
+    result = benchmark(
+        lambda: engine.lineage_multirun_batched(scope, query, chunk_size=1)
+    )
+    assert set(result.per_run) == set(scope)
+
+
+def bench_shard_report(benchmark, scale, emit_report):
+    rows = benchmark.pedantic(
+        lambda: shard_sweep(scale), rounds=1, iterations=1
+    )
+    emit_report(
+        "shard_sweep",
+        rows,
+        f"Run-sharded scatter-gather under load (scale={scale})",
+        columns=[
+            "backend", "shards", "runs", "clients", "latency_p50_ms",
+            "latency_max_ms", "fast_ms", "identical",
+        ],
+    )
+    assert all(row["identical"] for row in rows)
+    assert best_speedup(rows) >= SPEEDUP_THRESHOLD
+    assert n1_overhead(rows) <= N1_OVERHEAD_LIMIT
+    from repro.bench.reporting import write_bench_json
+
+    config = scale_config(scale)
+    write_bench_json(
+        str(REPO_ROOT / "BENCH_shard.json"),
+        {
+            "bench": "shard_sweep",
+            "scale": scale,
+            "rows": rows,
+            "acceptance": {
+                "speedup_threshold": SPEEDUP_THRESHOLD,
+                "speedup_at_4": speedup_at(rows, 4),
+                "speedup_at_8": speedup_at(rows, 8),
+                "best_speedup": best_speedup(rows),
+                "n1_overhead_limit": N1_OVERHEAD_LIMIT,
+                "n1_overhead": n1_overhead(rows),
+                "fast_n1_ratio": fast_n1_ratio(rows),
+                "identical_everywhere": True,
+                "read_delay_s": config["read_delay"],
+            },
+        },
+    )

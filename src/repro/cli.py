@@ -58,6 +58,7 @@ from repro.obs import (
 )
 from repro.provenance.capture import capture_run
 from repro.provenance.store import DEFAULT_BATCH_CHUNK, TraceStore
+from repro.storage import open_store
 from repro.query.base import LineageQuery
 from repro.query.indexproj import IndexProjEngine
 from repro.query.naive import NaiveEngine
@@ -144,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--synthetic-l", type=int, help="generate the Fig. 5 dataflow")
     run.add_argument("--synthetic-d", type=int, default=10, help="ListSize input")
     run.add_argument("--db", required=True, help="trace database path")
+    run.add_argument(
+        "--shards", type=int, metavar="N",
+        help="store runs hash-partitioned across N SQLite shard files "
+        "(--db names the shard directory; see docs/STORAGE.md)",
+    )
     run.add_argument("--runs", type=int, default=1, help="number of identical runs")
     run.add_argument(
         "--workers", type=int, default=1,
@@ -152,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="answer a lineage query")
     query.add_argument("--db", required=True, help="trace database path")
+    query.add_argument(
+        "--shards", type=int, metavar="N",
+        help="open --db as a run-sharded store of N shards (a directory "
+        "with a manifest.json is auto-detected without this flag)",
+    )
     query.add_argument("--run", help="run id (default: every stored run)")
     query.add_argument(
         "--query",
@@ -211,6 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     prov = sub.add_parser("prov-export", help="export a stored trace as PROV JSON")
     prov.add_argument("--db", required=True, help="trace database path")
+    prov.add_argument(
+        "--shards", type=int, metavar="N",
+        help="open --db as a run-sharded store of N shards",
+    )
     prov.add_argument("--run", help="run id (default: first stored run)")
     prov.add_argument("--out", required=True, help="output .json path")
 
@@ -219,6 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="show trace database statistics and persisted obs counters",
     )
     stats.add_argument("--db", required=True, help="trace database path")
+    stats.add_argument(
+        "--shards", type=int, metavar="N",
+        help="open --db as a run-sharded store of N shards "
+        "(adds a per-shard breakdown to the report)",
+    )
 
     cache_stats_cmd = sub.add_parser(
         "cache-stats",
@@ -242,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
         "impact", help="answer a forward (impact) query"
     )
     impact.add_argument("--db", required=True, help="trace database path")
+    impact.add_argument(
+        "--shards", type=int, metavar="N",
+        help="open --db as a run-sharded store of N shards",
+    )
     impact.add_argument("--run", help="run id (default: every stored run)")
     impact.add_argument("--node", required=True)
     impact.add_argument("--port", required=True)
@@ -428,6 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--slowlog-ring", type=int, default=256, metavar="N",
         help="slow-query records kept in memory per tenant (default 256)",
     )
+    serve.add_argument(
+        "--shards", type=int, metavar="N",
+        help="open tenant stores run-sharded across N SQLite shard "
+        "files; /v1/stats then reports the per-shard rollup "
+        "(see docs/STORAGE.md)",
+    )
 
     slowlog_cmd = sub.add_parser(
         "slowlog",
@@ -505,7 +535,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     logger.debug(
         "executing %s x%d (workers=%d)", flow.name, args.runs, args.workers
     )
-    with TraceStore(args.db, obs=obs) as store:
+    with open_store(args.db, shards=args.shards, obs=obs) as store:
         if args.workers > 1:
             from repro.provenance.capture import capture_runs
 
@@ -540,7 +570,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         )
     else:
         raise SystemExit("provide either --query or both --node and --port")
-    with TraceStore(args.db, obs=obs) as store:
+    with open_store(args.db, shards=args.shards, obs=obs) as store:
         run_ids = [args.run] if args.run else store.run_ids()
         if not run_ids:
             logger.error("store contains no runs")
@@ -659,7 +689,7 @@ def cmd_impact(args: argparse.Namespace) -> int:
     query = ImpactQuery.create(
         args.node, args.port, Index.decode(args.index), focus
     )
-    with TraceStore(args.db, obs=obs) as store:
+    with open_store(args.db, shards=args.shards, obs=obs) as store:
         run_ids = [args.run] if args.run else store.run_ids()
         if not run_ids:
             logger.error("store contains no runs")
@@ -684,7 +714,7 @@ def cmd_impact(args: argparse.Namespace) -> int:
 def cmd_prov_export(args: argparse.Namespace) -> int:
     from repro.provenance.export import save_prov_document
 
-    with TraceStore(args.db) as store:
+    with open_store(args.db, shards=args.shards) as store:
         run_ids = store.run_ids()
         if not run_ids:
             logger.error("store contains no runs")
@@ -697,11 +727,16 @@ def cmd_prov_export(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    with TraceStore(args.db) as store:
+    with open_store(args.db, shards=args.shards) as store:
         stats = store.statistics()
         for name in ("runs", "xform_events", "xform_io_rows", "xfer_rows",
                      "records"):
             print(f"{name:15s} {stats[name]}")
+        for shard in stats.get("shards", ()):
+            print(
+                f"  shard {shard['shard']}: {shard['runs']} runs, "
+                f"{shard['records']} records"
+            )
         for run_id in store.run_ids():
             print(f"  run {run_id}: {store.record_count(run_id)} records")
     persisted = load_persisted_counters(args.db)
@@ -960,6 +995,7 @@ def build_server(args: argparse.Namespace):
         trace_log=args.trace_log,
         slowlog_threshold_ms=args.slowlog_threshold_ms,
         slowlog_ring=args.slowlog_ring,
+        shards=args.shards,
     )
     registry = TenantRegistry(
         root=args.tenant_root,
@@ -969,13 +1005,16 @@ def build_server(args: argparse.Namespace):
         obs=config.obs,
         slowlog_threshold_ms=args.slowlog_threshold_ms,
         slowlog_ring=args.slowlog_ring,
+        shards=args.shards,
     )
     if args.db:
         from repro.obs import SlowQueryJournal, slowlog_sidecar_path
         from repro.service import ProvenanceService
 
         def open_default():
-            service = ProvenanceService(args.db, obs=config.obs)
+            service = ProvenanceService(
+                args.db, obs=config.obs, shards=args.shards
+            )
             if setup is not None:
                 setup(service, "default")
             if args.slowlog_threshold_ms is not None:

@@ -67,6 +67,7 @@ class TenantRegistry:
         obs: Optional[Observability] = None,
         slowlog_threshold_ms: Optional[float] = None,
         slowlog_ring: int = 256,
+        shards: Optional[int] = None,
     ) -> None:
         if max_open < 1:
             raise ValueError(f"max_open must be >= 1, got {max_open}")
@@ -75,6 +76,11 @@ class TenantRegistry:
         self.max_open = max_open
         self.create = create
         self.obs = obs if obs is not None else NO_OBS
+        #: Lazily opened tenants use the run-sharded backend with this
+        #: many shards (``None``: single-file; existing shard
+        #: directories reopen sharded either way — see
+        #: :func:`repro.storage.open_store`).
+        self.shards = shards
         #: Lazily opened tenants get a slow-query journal at this
         #: threshold (``None``: no journal).
         self.slowlog_threshold_ms = slowlog_threshold_ms
@@ -160,7 +166,8 @@ class TenantRegistry:
                 # Lazily opened tenants share the server's obs handle, so
                 # their store/query counters land in ``/v1/metrics``.
                 service = ProvenanceService(
-                    path, obs=self.obs if self.obs.enabled else None
+                    path, obs=self.obs if self.obs.enabled else None,
+                    shards=self.shards,
                 )
                 if self.slowlog_threshold_ms is not None:
                     service.slowlog = SlowQueryJournal(

@@ -67,6 +67,9 @@ class ServerConfig:
     slowlog_threshold_ms: Optional[float] = None
     #: Slow-query records kept in memory per tenant.
     slowlog_ring: int = 256
+    #: Open tenant stores run-sharded across this many SQLite shard
+    #: files (docs/STORAGE.md); ``None`` keeps single-file stores.
+    shards: Optional[int] = None
 
 
 class ProvenanceServer:
@@ -94,6 +97,7 @@ class ProvenanceServer:
             obs=obs,
             slowlog_threshold_ms=self.config.slowlog_threshold_ms,
             slowlog_ring=self.config.slowlog_ring,
+            shards=self.config.shards,
         )
         self.admission = AdmissionController(
             max_workers=self.config.max_workers,

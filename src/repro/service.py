@@ -90,6 +90,8 @@ class ProvenanceService:
         faults: Optional[FaultInjector] = None,
         obs: Optional[Observability] = None,
         cache: Union[bool, CacheConfig, None] = True,
+        store: Optional[Any] = None,
+        shards: Optional[int] = None,
     ) -> None:
         #: Observability handle (``repro.obs``), threaded through the
         #: store, every runner, and both query strategies.  Pass an
@@ -97,10 +99,28 @@ class ProvenanceService:
         #: spans/metrics; read them back via :meth:`metrics_snapshot`
         #: and ``service.obs.span_roots()``.
         self.obs = obs if obs is not None else NO_OBS
-        self.store = TraceStore(
-            store_path, intern_values=intern_values, retry=retry,
-            faults=faults, obs=self.obs,
-        )
+        #: The trace storage backend.  Three ways to pick one, most
+        #: specific wins: ``store=`` injects any ready-made
+        #: :class:`~repro.storage.StorageBackend` (the service adopts
+        #: it, including ``close()``); ``shards=N`` opens ``store_path``
+        #: as a run-sharded scatter-gather directory of N SQLite shards;
+        #: otherwise ``store_path`` opens the single-file reference
+        #: backend — unless it already is a shard directory, which
+        #: reopens sharded (see :func:`repro.storage.open_store`).
+        if store is not None:
+            self.store = store
+        elif shards is not None or store_path != ":memory:":
+            from repro.storage import open_store
+
+            self.store = open_store(
+                store_path, shards=shards, intern_values=intern_values,
+                retry=retry, faults=faults, obs=self.obs,
+            )
+        else:
+            self.store = TraceStore(
+                store_path, intern_values=intern_values, retry=retry,
+                faults=faults, obs=self.obs,
+            )
         #: Lineage cache stack (``repro.cache``), on by default: a
         #: trace-lookup cache inside s2 plus a full result cache above
         #: both strategies, kept coherent by the store's write

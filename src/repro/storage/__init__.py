@@ -1,0 +1,29 @@
+"""Pluggable trace storage backends (docs/STORAGE.md).
+
+:class:`StorageBackend` is the protocol the query, cache, service and
+server layers are written against; :data:`SqliteStore` (the single-file
+:class:`~repro.provenance.store.TraceStore`) is the reference
+implementation and :class:`ShardedStore` the run-sharded scatter-gather
+backend.  :func:`open_store` picks the right one for a path.
+"""
+
+from repro.storage.backend import SqliteStore, StorageBackend
+from repro.storage.sharded import (
+    DEFAULT_NUM_SHARDS,
+    MANIFEST_NAME,
+    ShardedStore,
+    ShardError,
+    open_store,
+    shard_index_of,
+)
+
+__all__ = [
+    "DEFAULT_NUM_SHARDS",
+    "MANIFEST_NAME",
+    "ShardError",
+    "ShardedStore",
+    "SqliteStore",
+    "StorageBackend",
+    "open_store",
+    "shard_index_of",
+]

@@ -122,6 +122,7 @@ class TestCatalog:
         "statistics",
         "load_trace",
         "value_digest_lookup",
+        "shard_run_inventory",
     }
 
     def test_every_primitive_is_registered(self):
@@ -356,3 +357,50 @@ class TestReferenceSeed:
         analyze(store=populated_store)
         assert populated_store.has_run(PLAN_REFERENCE_RUN)
         assert before <= set(populated_store.run_ids())
+
+
+class TestShardBackendGate:
+    """Shard-local schema drift must fail the same gate: every shard is
+    a full ``TraceStore``, so ``analyze(store=shard)`` applies the
+    committed baseline to each shard file individually."""
+
+    def test_shard_inventory_primitive_is_analyzed(self, report):
+        by_name = {p.name: p for p in report.primitives}
+        inventory = by_name["shard_run_inventory"]
+        assert any(shape.statements for shape in inventory.shapes)
+        # scan_ok: the reconciliation read walks the runs table by design.
+        assert not any(
+            f.code in ("P001", "P003")
+            for f in plan_findings(report)
+            if f.location.startswith("shard_run_inventory.")
+        )
+
+    def test_dropped_shard_local_index_drifts_the_baseline(self, tmp_path):
+        from repro.storage import ShardedStore
+
+        committed = load_baseline(str(REPO_ROOT / DEFAULT_BASELINE))
+        sharded = ShardedStore(str(tmp_path / "shards"), num_shards=3)
+        try:
+            shard = sharded.shards[1]
+            shard._write_transaction(
+                lambda c: c.execute("DROP INDEX ix_xform_io_batch")
+            )
+            drift = diff_baseline(analyze(store=shard), committed)
+            assert drift, "a shard missing ix_xform_io_batch must drift"
+            assert all(f.code == "P006" and f.is_error for f in drift)
+            # Healthy siblings still match the committed plans exactly.
+            assert diff_baseline(
+                analyze(store=sharded.shards[0]), committed
+            ) == []
+            # Losing the fallback too degrades the shard to full scans.
+            shard._write_transaction(
+                lambda c: c.execute("DROP INDEX ix_xform_io_lookup")
+            )
+            p001 = [
+                f for f in plan_findings(analyze(store=shard))
+                if f.code == "P001"
+            ]
+            assert p001, "both xform_io indexes gone must raise P001"
+            assert all(f.is_error for f in p001)
+        finally:
+            sharded.close()

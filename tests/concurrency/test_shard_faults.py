@@ -1,0 +1,243 @@
+"""Shard fault injection: one bad shard must fail loudly, not quietly.
+
+The scatter-gather contract under faults has four clauses, each pinned
+here deterministically with the :class:`FaultInjector` armed on a single
+shard of a :class:`~repro.storage.ShardedStore`:
+
+* transient ``SQLITE_BUSY`` storms inside the retry budget are absorbed
+  per shard and the merged answer is unaffected;
+* storms beyond the budget (or a shard vanishing mid-query) surface as a
+  structured :class:`~repro.storage.ShardError` that names the shard,
+  its path, and the failing primitive — never a partial answer;
+* a failed fan-out leaks no reader-pool slots: the very next query over
+  the same pool succeeds;
+* readers racing a live writer only ever observe complete runs.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.provenance.capture import capture_run
+from repro.provenance.faults import FaultInjector
+from repro.provenance.store import RetryPolicy, StoreBusyError, TraceStore
+from repro.query.indexproj import IndexProjEngine
+from repro.storage import ShardError, ShardedStore
+
+from tests.conftest import build_diamond_workflow
+from tests.properties.conftest import canonical, query_pool
+
+FAST_RETRY = RetryPolicy(max_attempts=6, base_delay=0.0001, max_delay=0.001)
+
+
+class _Case:
+    """One diamond workflow with its captures, sharded store + reference."""
+
+    def __init__(self, tmp_path, num_shards=4, runs=6):
+        self.flow = build_diamond_workflow()
+        self.captured = [
+            capture_run(self.flow, {"size": 3}, run_id=f"run-{i}")
+            for i in range(runs)
+        ]
+        self.scope = [cap.run_id for cap in self.captured]
+        self.store = ShardedStore(
+            str(tmp_path / "shards"), num_shards=num_shards
+        )
+        self.single = TraceStore()
+        for cap in self.captured:
+            self.store.insert_trace(cap.trace)
+            self.single.insert_trace(cap.trace)
+        self.query = _first_query(self.flow)
+        self.reference = canonical(
+            IndexProjEngine(self.single, self.flow).lineage_multirun(
+                self.scope, self.query
+            )
+        )
+
+    def answer(self):
+        return canonical(
+            IndexProjEngine(self.store, self.flow).lineage_multirun_batched(
+                self.scope, self.query
+            )
+        )
+
+    def busy_shard(self):
+        """Index of a shard that actually owns at least one scoped run."""
+        return self.store.shard_of(self.scope[0])
+
+    def close(self):
+        self.store.close()
+        self.single.close()
+
+
+def _first_query(flow):
+    class _Shim:
+        pass
+
+    shim = _Shim()
+    shim.flow = flow
+    return query_pool(shim)[0]
+
+
+@pytest.fixture()
+def case(tmp_path):
+    c = _Case(tmp_path)
+    yield c
+    c.close()
+
+
+def _arm(case, index):
+    """Attach a fresh injector + fast retry to one shard, post-build."""
+    faults = FaultInjector()
+    case.store.shards[index].faults = faults
+    case.store.shards[index].retry = FAST_RETRY
+    return faults
+
+
+# -- transient storms are absorbed per shard -----------------------------
+
+
+def test_read_busy_within_budget_is_absorbed(case):
+    index = case.busy_shard()
+    faults = _arm(case, index)
+    faults.inject_read_busy(FAST_RETRY.max_attempts - 1)
+    assert case.answer() == case.reference
+    assert faults.read_busy_raised == FAST_RETRY.max_attempts - 1
+
+
+# -- storms beyond budget: structured error naming the shard -------------
+
+
+def test_read_busy_beyond_budget_raises_shard_error(case):
+    index = case.busy_shard()
+    faults = _arm(case, index)
+    faults.inject_read_busy(1000)
+    with pytest.raises(ShardError) as excinfo:
+        case.answer()
+    err = excinfo.value
+    assert err.shard == index
+    assert err.path == case.store.shards[index].path
+    assert isinstance(err.cause, StoreBusyError)
+    message = str(err)
+    assert f"shard {index}" in message
+    assert err.path in message
+    assert err.op in message
+    # All-or-nothing: the storm passes and the same query is whole again.
+    faults.reset()
+    assert case.answer() == case.reference
+
+
+def test_missing_shard_mid_query_raises_shard_error(case):
+    index = case.busy_shard()
+    case.store.shards[index].close()
+    with pytest.raises(ShardError) as excinfo:
+        case.answer()
+    err = excinfo.value
+    assert err.shard == index
+    assert isinstance(err.cause, sqlite3.ProgrammingError)
+    assert f"shard {index}" in str(err)
+
+
+def test_write_fault_is_isolated_to_owning_shard(case):
+    cap = capture_run(case.flow, {"size": 3}, run_id="late-run")
+    index = case.store.shard_of("late-run")
+    faults = _arm(case, index)
+    faults.inject_busy(1000)
+    with pytest.raises(ShardError) as excinfo:
+        case.store.insert_trace(cap.trace)
+    assert excinfo.value.shard == index
+    assert excinfo.value.op == "insert_trace"
+    # Nothing half-ingested: not in the shard, not in the manifest, and
+    # the pre-fault answer is untouched.
+    assert not case.store.has_run("late-run")
+    assert "late-run" not in case.store.run_ids()
+    assert case.answer() == case.reference
+    faults.reset()
+    case.store.insert_trace(cap.trace)
+    assert case.store.has_run("late-run")
+
+
+# -- failed fan-outs leak no pool slots ----------------------------------
+
+
+def test_failed_scatter_leaks_no_pool_slots(case):
+    index = case.busy_shard()
+    faults = _arm(case, index)
+    max_workers = case.store._pool._max_workers
+    for _ in range(3 * max_workers):
+        faults.inject_read_busy(1000)
+        with pytest.raises(ShardError):
+            case.answer()
+    faults.reset()
+    # Every slot must be back: the same pool serves a full fan-out.
+    assert case.answer() == case.reference
+    assert len(case.store._pool._threads) <= max_workers
+
+
+# -- readers vs. a live writer -------------------------------------------
+
+
+def test_readers_vs_live_writer_coherence(tmp_path):
+    flow = build_diamond_workflow()
+    captured = [
+        capture_run(flow, {"size": 3}, run_id=f"run-{i}") for i in range(8)
+    ]
+    query = _first_query(flow)
+    single = TraceStore()
+    for cap in captured:
+        single.insert_trace(cap.trace)
+    per_run_reference = canonical(
+        IndexProjEngine(single, flow).lineage_multirun(
+            [c.run_id for c in captured], query
+        )
+    )
+    single.close()
+
+    store = ShardedStore(str(tmp_path / "shards"), num_shards=4)
+    committed: list = []
+    commit_lock = threading.Lock()
+    errors: list = []
+    done = threading.Event()
+
+    def writer():
+        try:
+            for cap in captured:
+                store.insert_trace(cap.trace)
+                with commit_lock:
+                    committed.append(cap.run_id)
+        finally:
+            done.set()
+
+    def reader():
+        engine = IndexProjEngine(store, flow)
+        try:
+            while True:
+                with commit_lock:
+                    scope = list(committed)
+                if scope:
+                    answer = canonical(
+                        engine.lineage_multirun_batched(scope, query)
+                    )
+                    expected = {r: per_run_reference[r] for r in scope}
+                    if answer != expected:
+                        errors.append((scope, answer))
+                        return
+                if done.is_set():
+                    return
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    wt = threading.Thread(target=writer)
+    for t in threads:
+        t.start()
+    wt.start()
+    wt.join(timeout=30)
+    for t in threads:
+        t.join(timeout=30)
+    store.close()
+    assert not errors
+    assert len(committed) == len(captured)

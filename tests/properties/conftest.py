@@ -1,0 +1,44 @@
+"""Shared helpers of the differential property suites.
+
+Every suite in this package proves the same shape of statement — some
+execution mode (batched, cached, sharded) is byte-identical to a
+reference execution — so they share the answer canonicalizer and the
+query pool the randomized workloads are probed with.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.query.base import LineageQuery
+
+
+def canonical(result) -> Dict[str, List[Tuple[str, str, str, str]]]:
+    """Byte-accurate identity of a multi-run answer: keys + JSON values."""
+    return {
+        run_id: sorted(
+            (*binding.key(), json.dumps(binding.value, sort_keys=True,
+                                        default=repr))
+            for binding in run_result.bindings
+        )
+        for run_id, run_result in result.per_run.items()
+    }
+
+
+def query_pool(case) -> List[LineageQuery]:
+    """A small pool of valid queries over a random-workflow case.
+
+    Small on purpose: interleavings repeat query shapes, and repeats are
+    what make cache hits (and stale hits) possible.  The pool pins the
+    root (empty) ``Index`` — the edge the extension-range trick must
+    translate to "all non-empty encodings" — plus narrow- and full-focus
+    variants and a mid-workflow port.
+    """
+    flow = case.flow
+    names = list(flow.processor_names)
+    return [
+        LineageQuery.create(flow.name, flow.outputs[0].name, (), names),
+        LineageQuery.create(flow.name, flow.outputs[0].name, (), names[:1]),
+        LineageQuery.create(names[-1], "y", (), names),
+    ]

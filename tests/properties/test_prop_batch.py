@@ -11,47 +11,19 @@ containing deleted runs.
 
 from __future__ import annotations
 
-import json
-from typing import Dict, List, Tuple
-
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.provenance.store import BatchConfig
-from repro.query.base import LineageQuery
 from repro.query.indexproj import IndexProjEngine
 from repro.query.naive import NaiveEngine
 from repro.service import ProvenanceService
 
 from tests.conftest import estimated_instances, make_random_workflow
+from tests.properties.conftest import canonical, query_pool
 
 seeds = st.integers(min_value=0, max_value=10_000)
 chunk_sizes = st.integers(min_value=1, max_value=40)
 strategies = st.sampled_from(["indexproj", "naive"])
-
-
-def canonical(result) -> Dict[str, List[Tuple[str, str, str, str]]]:
-    """Byte-accurate identity of a multi-run answer: keys + JSON values."""
-    return {
-        run_id: sorted(
-            (*binding.key(), json.dumps(binding.value, sort_keys=True,
-                                        default=repr))
-            for binding in run_result.bindings
-        )
-        for run_id, run_result in result.per_run.items()
-    }
-
-
-def query_pool(case) -> List[LineageQuery]:
-    flow = case.flow
-    names = list(flow.processor_names)
-    pool = [
-        # Root (empty) index — the edge the extension-range trick must
-        # translate to "all non-empty encodings".
-        LineageQuery.create(flow.name, flow.outputs[0].name, (), names),
-        LineageQuery.create(flow.name, flow.outputs[0].name, (), names[:1]),
-        LineageQuery.create(names[-1], "y", (), names),
-    ]
-    return pool
 
 
 class TestBatchedEqualsUnbatched:

@@ -16,46 +16,18 @@ comparison itself runs several hundred times).
 
 from __future__ import annotations
 
-import json
 import random
-from typing import Dict, List, Tuple
 
 from hypothesis import assume, given, settings, strategies as st
 
-from repro.query.base import LineageQuery
 from repro.query.indexproj import IndexProjEngine
 from repro.query.naive import NaiveEngine
 from repro.service import ProvenanceService
 
 from tests.conftest import estimated_instances, make_random_workflow
+from tests.properties.conftest import canonical, query_pool
 
 seeds = st.integers(min_value=0, max_value=10_000)
-
-
-def canonical(result) -> Dict[str, List[Tuple[str, str, str, str]]]:
-    """Byte-accurate identity of a multi-run answer: keys + JSON values."""
-    return {
-        run_id: sorted(
-            (*binding.key(), json.dumps(binding.value, sort_keys=True,
-                                        default=repr))
-            for binding in run_result.bindings
-        )
-        for run_id, run_result in result.per_run.items()
-    }
-
-
-def query_pool(case) -> List[LineageQuery]:
-    """A small pool of valid queries so interleavings repeat shapes
-    (repeats are what make cache hits — and stale hits — possible)."""
-    flow = case.flow
-    names = list(flow.processor_names)
-    pool = [
-        LineageQuery.create(flow.name, flow.outputs[0].name, (), names),
-        LineageQuery.create(flow.name, flow.outputs[0].name, (), names[:1]),
-    ]
-    last = names[-1]
-    pool.append(LineageQuery.create(last, "y", (), names))
-    return pool
 
 
 class TestCachedEqualsUncached:
