@@ -44,7 +44,8 @@ def bench_batch_kernel_unbatched(benchmark, gk_service):
     """Timed kernel: 20-run focused query, one statement per key."""
     workload, service = gk_service
     query = workload.focused_query()
-    result = benchmark(lambda: service.lineage(query))
+    # compiled=False: this kernel times the interpreted per-key shape.
+    result = benchmark(lambda: service.lineage(query, compiled=False))
     assert result.sql_queries == 20
 
 

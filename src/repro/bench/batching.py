@@ -106,19 +106,28 @@ def _measure(
     scope: List[str],
     query,
 ) -> Row:
-    unbatched = service.lineage(query, runs=scope, strategy=strategy)
-    batched = service.lineage(query, runs=scope, strategy=strategy, batch=True)
+    # compiled=False throughout: this sweep measures the *interpreted*
+    # per-key baseline against the set-based grid (the compiled path has
+    # its own record, BENCH_compiled.json).
+    unbatched = service.lineage(
+        query, runs=scope, strategy=strategy, compiled=False
+    )
+    batched = service.lineage(
+        query, runs=scope, strategy=strategy, batch=True, compiled=False
+    )
     identical = (
         batched.binding_keys_by_run() == unbatched.binding_keys_by_run()
     )
     unbatched_queries = unbatched.sql_queries
     batched_queries = batched.sql_queries
     unbatched_ms = _best_ms(
-        lambda: service.lineage(query, runs=scope, strategy=strategy)
+        lambda: service.lineage(
+            query, runs=scope, strategy=strategy, compiled=False
+        )
     )
     batched_ms = _best_ms(
         lambda: service.lineage(
-            query, runs=scope, strategy=strategy, batch=True
+            query, runs=scope, strategy=strategy, batch=True, compiled=False
         )
     )
     return {

@@ -73,12 +73,51 @@ def write_report(path: str, sections: Iterable[str]) -> None:
             handle.write("\n\n")
 
 
+#: Version tag every ``BENCH_*.json`` record carries.  Bump only on an
+#: incompatible layout change; tooling diffing records across commits
+#: keys its parsers off this string.
+BENCH_SCHEMA = "repro.bench/1"
+
+
+def validate_bench_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Check a benchmark record against the ``repro.bench/1`` shape.
+
+    Every record must carry the schema tag, a ``bench`` name, the
+    ``scale`` it ran at, and a list of plain-dict ``rows``.  Returns the
+    payload so callers can validate inline; raises ``ValueError`` with
+    the full defect list otherwise.
+    """
+    problems = []
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema must be {BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("bench"), str) or not payload.get("bench"):
+        problems.append("'bench' must be a non-empty string")
+    if not isinstance(payload.get("scale"), str):
+        problems.append("'scale' must be a string")
+    rows = payload.get("rows")
+    if not isinstance(rows, list):
+        problems.append("'rows' must be a list")
+    elif not all(isinstance(row, dict) for row in rows):
+        problems.append("every entry of 'rows' must be an object")
+    if problems:
+        raise ValueError(
+            "invalid benchmark record: " + "; ".join(problems)
+        )
+    return payload
+
+
 def write_bench_json(path: str, payload: Dict[str, Any]) -> None:
     """Write one benchmark's machine-readable record (``BENCH_*.json``).
 
     The record is what CI archives and trajectory tooling diffs across
     commits: stable key order, trailing newline, plain JSON types only.
+    The shared ``repro.bench/1`` schema tag is stamped (and the shape
+    validated) on the way out.
     """
+    payload.setdefault("schema", BENCH_SCHEMA)
+    validate_bench_payload(payload)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True, default=str)
         handle.write("\n")

@@ -343,6 +343,53 @@ class TraceReadCache:
             ),
         )
 
+    def find_xform_inputs_matching_compiled(
+        self,
+        pairs: Sequence[Tuple[str, Tuple[Any, ...]]],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[Tuple[str, str, str, str], List[Binding]]:
+        """Compiled-grid lookup sharing entries with the interpreted paths.
+
+        LRU keys are byte-identical to
+        :meth:`find_xform_inputs_matching` /
+        :meth:`find_xform_inputs_matching_many` (the compiled lookup
+        already carries the encoded fragment, so no re-encoding happens
+        here) — a cache warmed by any execution mode serves the others.
+        Misses go to the store's compiled primitive in one batch.
+        """
+        probes = [
+            (
+                ("xform_in_match", run_id, lk[0], lk[1], lk[2]),
+                run_id,
+            )
+            for run_id, lk in pairs
+        ]
+        hits, miss_ords = self.get_many(probes)
+        result: Dict[Tuple[str, str, str, str], List[Binding]] = {}
+        for ord_, payload in hits.items():
+            run_id, lk = pairs[ord_]
+            result[(run_id, lk[0], lk[1], lk[2])] = list(payload)
+        if miss_ords:
+            captured: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
+            for ord_ in miss_ords:
+                run_id = pairs[ord_][0]
+                if run_id not in captured:
+                    captured[run_id] = self.store.generation_vector((run_id,))
+            miss_pairs = [pairs[ord_] for ord_ in miss_ords]
+            fetched = self.store.find_xform_inputs_matching_compiled(
+                miss_pairs, stats, chunk_size=chunk_size
+            )
+            entries: List[Tuple[Tuple[Any, ...], Any, Tuple[Any, ...]]] = []
+            for ord_ in miss_ords:
+                run_id, lk = pairs[ord_]
+                key_id = (run_id, lk[0], lk[1], lk[2])
+                payload = tuple(fetched[key_id])
+                entries.append((probes[ord_][0], captured[run_id], payload))
+                result[key_id] = list(payload)
+            self.put_many(entries)
+        return result
+
     def find_xform_by_output_many(
         self,
         keys: Sequence[Tuple[str, str, str, Index]],

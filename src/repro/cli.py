@@ -202,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         f"default {DEFAULT_BATCH_CHUNK})",
     )
     query.add_argument(
+        "--compiled", action=argparse.BooleanOptionalAction, default=True,
+        help="execute through the compiled-plan registry: the traversal "
+        "is baked into a prepared SQL program reused across repeats "
+        "(--no-compiled forces the interpreted path; "
+        "see docs/PERFORMANCE.md)",
+    )
+    query.add_argument(
         "--repeat", type=int, default=1, metavar="N",
         help="answer the query N times — warm repeats exercise the cache",
     )
@@ -602,6 +609,12 @@ def cmd_query(args: argparse.Namespace) -> int:
         chunk_size = args.batch_size
 
         def run_once():
+            # Compiled execution subsumes --batch (it honours the chunk
+            # size); an explicit --workers fan-out wins over the default.
+            if strategy != "naive" and args.compiled and args.workers <= 1:
+                return engine.lineage_multirun_compiled(
+                    run_ids, query, chunk_size=chunk_size
+                )
             if use_batch:
                 return engine.lineage_multirun_batched(
                     run_ids, query, chunk_size=chunk_size

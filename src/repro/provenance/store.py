@@ -580,6 +580,143 @@ def _ex_batch_keys(count: int = 6) -> List[BatchKey]:
     ]
 
 
+# -- compiled lookups (repro.query.compiled) --------------------------------
+#
+# A compiled trace query carries every run-independent constant of the
+# single-key matching rule, derived once at plan-compile time instead of
+# once per execution: the encoded fragment, its enumerated prefixes, the
+# LIKE pattern of the single-key statement, the (low, high) extension
+# range of the batched statement, and the bound-variable cost the
+# chunker charges for the key.  The run id is the only late-bound value.
+
+#: ``(node, port, encoded, prefixes, like, ext_low, ext_high, cost)``.
+CompiledLookup = Tuple[str, str, str, Tuple[str, ...], str, str, str, int]
+
+#: One compiled grid key: a run id paired with a compiled lookup.
+CompiledPair = Tuple[str, CompiledLookup]
+
+
+def compile_lookup(node: str, port: str, index: Index) -> CompiledLookup:
+    """Fold one trace query's matching-rule constants into a tuple."""
+    encoded = index.encode()
+    prefixes = tuple(_prefixes(encoded))
+    like = f"{encoded}.%" if encoded else "_%"
+    low, high = _extension_range(encoded)
+    # Each prefix costs one 5-column VALUES row; the extension range one
+    # 6-column row — the same charge _batch_chunks levies per key.
+    return (node, port, encoded, prefixes, like, low, high,
+            5 * len(prefixes) + 6)
+
+
+def compiled_pair_id(pair: CompiledPair) -> BatchKeyId:
+    """The result-dict key for one compiled grid key."""
+    run_id, lookup = pair
+    return (run_id, lookup[0], lookup[1], lookup[2])
+
+
+def _ex_compiled_pairs(count: int = 6) -> List[CompiledPair]:
+    """Compiled twins of :func:`_ex_batch_keys` (plus the root index)."""
+    pairs = [
+        (
+            "R1" if i % 2 == 0 else "R2",
+            compile_lookup("P", "x", Index.of(tuple(range(i % 3 + 1)))),
+        )
+        for i in range(count)
+    ]
+    if count == 1:
+        pairs = [("R1", compile_lookup("P", "x", _EX_ELEMENT))]
+    return pairs
+
+
+# Pre-rendered SQL text, memoized by shape so a warm compiled plan hands
+# the connection byte-identical statement text on every execution —
+# which is what lets sqlite3's per-connection statement cache skip the
+# re-prepare.  Shapes are bounded by the bound-variable budget, but
+# randomized chunk sizes (property tests) can still spray the memo, so
+# both dicts are cleared past a generous cap.
+_SQL_MEMO_CAP = 4096
+_SINGLE_MATCH_SQL: Dict[int, str] = {}
+_COMPILED_GRID_SQL: Dict[Tuple[int, int], str] = {}
+
+
+def _single_match_sql(prefix_count: int) -> str:
+    """The single-key matching statement for ``prefix_count`` prefixes."""
+    sql = _SINGLE_MATCH_SQL.get(prefix_count)
+    if sql is None:
+        if len(_SINGLE_MATCH_SQL) >= _SQL_MEMO_CAP:
+            _SINGLE_MATCH_SQL.clear()
+        placeholders = ",".join("?" for _ in range(prefix_count))
+        sql = _SINGLE_MATCH_SQL[prefix_count] = (
+            "SELECT DISTINCT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
+            "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'in' "
+            f"AND (idx IN ({placeholders}) OR idx LIKE ?)"
+        )
+    return sql
+
+
+def _values_join_sql(
+    head: str,
+    select: str,
+    table: str,
+    node_col: str,
+    port_col: str,
+    idx_col: str,
+    role_clause: str,
+    value_join: str,
+    eq_count: int,
+    rg_count: int,
+) -> str:
+    """Render one chunk's VALUES-join statement text.
+
+    Shared by the interpreted batched path and the compiled-plan path so
+    the two can never drift apart — same template, same normalized shape
+    under the plan lint, same statement-cache entry.
+    """
+    eq_values = ",".join("(?,?,?,?,?)" for _ in range(eq_count))
+    rg_values = ",".join("(?,?,?,?,?,?)" for _ in range(rg_count))
+    return (
+        f"{head} v.column1, {select} "
+        f"FROM (VALUES {eq_values}) AS v "
+        f"JOIN {table} AS t ON t.run_id = v.column2 "
+        f"AND t.{node_col} = v.column3 AND t.{port_col} = v.column4 "
+        f"{role_clause}AND t.{idx_col} = v.column5 "
+        f"{value_join}"
+        f"UNION ALL "
+        f"{head} v.column1, {select} "
+        f"FROM (VALUES {rg_values}) AS v "
+        f"JOIN {table} AS t ON t.run_id = v.column2 "
+        f"AND t.{node_col} = v.column3 AND t.{port_col} = v.column4 "
+        f"{role_clause}AND t.{idx_col} > v.column5 "
+        f"AND t.{idx_col} < v.column6 "
+        f"{value_join}"
+    )
+
+
+def _compiled_grid_sql(eq_count: int, rg_count: int) -> str:
+    """The compiled grid statement for one chunk shape, pre-rendered."""
+    key = (eq_count, rg_count)
+    sql = _COMPILED_GRID_SQL.get(key)
+    if sql is None:
+        if len(_COMPILED_GRID_SQL) >= _SQL_MEMO_CAP:
+            _COMPILED_GRID_SQL.clear()
+        sql = _COMPILED_GRID_SQL[key] = _values_join_sql(
+            head="SELECT DISTINCT",
+            select=(
+                "t.processor, t.port, t.idx, "
+                "COALESCE(t.value_json, vp.value_json)"
+            ),
+            table="xform_io",
+            node_col="processor",
+            port_col="port",
+            idx_col="idx",
+            role_clause="AND t.role = 'in' ",
+            value_join="LEFT JOIN value_pool vp ON vp.value_id = t.value_id ",
+            eq_count=eq_count,
+            rg_count=rg_count,
+        )
+    return sql
+
+
 class TraceStore:
     """A SQLite-backed multi-run trace database.
 
@@ -630,6 +767,17 @@ class TraceStore:
         self._global_generation = 0
         self._membership_generation = 0
         self._invalidation_listeners: List[Callable[[Optional[str]], None]] = []
+        # Per-connection statement cache accounting (compiled plans):
+        # sqlite3 keeps the real prepared-statement cache per connection,
+        # keyed by SQL text; we track which statement texts each
+        # connection has already prepared so compiled executions can
+        # report warm/cold prepares.  The epoch invalidates every
+        # connection's tracked set after schema/index maintenance.
+        self._stmt_cache_epoch = 0
+        #: Approximate prepared-statement reuse counters (unlocked ints:
+        #: racy under concurrency by design, exact when single-threaded).
+        self.stmt_cache_hits = 0
+        self.stmt_cache_misses = 0
         # One writer at a time, across all threads.  RLock so write paths
         # may call read helpers without deadlocking themselves.
         self._writer_lock = threading.RLock()
@@ -656,7 +804,11 @@ class TraceStore:
         # check_same_thread=False is safe here: memory-mode connections are
         # serialized behind the store lock, and file-mode connections are
         # only shared for close() after their owning thread is done.
-        conn = sqlite3.connect(self.path, check_same_thread=False)
+        # cached_statements doubles the sqlite3 default so the full set
+        # of compiled-plan chunk shapes stays prepared per connection.
+        conn = sqlite3.connect(
+            self.path, check_same_thread=False, cached_statements=256
+        )
         conn.execute("PRAGMA foreign_keys = ON")
         if not self._is_memory:
             conn.execute("PRAGMA journal_mode = WAL")
@@ -753,6 +905,57 @@ class TraceStore:
         if obs.enabled:
             obs.inc("store.busy_failures")
         raise StoreBusyError(self.retry.max_attempts, last_error)
+
+    def _statement_cache(self) -> set:
+        """The calling connection's tracked prepared-statement texts.
+
+        Lazily reset whenever the cache epoch moved (schema or index
+        maintenance) so no compiled execution is ever accounted as a warm
+        prepare against a statement compiled for the old schema.  Memory
+        stores share one connection — and therefore one tracked set —
+        across threads; file stores track per thread-local connection.
+        """
+        holder = self._local if self._shared_conn is None else self
+        epoch = self._stmt_cache_epoch
+        cached = getattr(holder, "_stmt_cache", None)
+        if cached is None or getattr(holder, "_stmt_cache_seen_epoch", -1) != epoch:
+            cached = set()
+            holder._stmt_cache = cached
+            holder._stmt_cache_seen_epoch = epoch
+        return cached
+
+    def _read_prepared(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        stats: Optional[StoreStats] = None,
+    ) -> List[Tuple]:
+        """One SELECT through :meth:`_read`, with prepare accounting.
+
+        The actual statement reuse happens inside sqlite3's per-connection
+        cache (keyed by SQL text); this wrapper only records whether the
+        text was already prepared on this connection, so compiled-plan
+        executions can report warm/cold statement-cache behaviour.
+        """
+        cache = self._statement_cache()
+        if sql in cache:
+            self.stmt_cache_hits += 1
+            if self.obs.enabled:
+                self.obs.inc("store.stmt_cache_hits")
+        else:
+            cache.add(sql)
+            self.stmt_cache_misses += 1
+            if self.obs.enabled:
+                self.obs.inc("store.stmt_cache_misses")
+        return self._read(sql, params, stats)
+
+    def statement_cache_stats(self) -> Dict[str, int]:
+        """Prepared-statement reuse counters (approximate under threads)."""
+        return {
+            "hits": self.stmt_cache_hits,
+            "misses": self.stmt_cache_misses,
+            "epoch": self._stmt_cache_epoch,
+        }
 
     def _read_one(
         self,
@@ -923,6 +1126,11 @@ class TraceStore:
         """Advance the store-wide generation (maintenance operations)."""
         with self._generation_lock:
             self._global_generation += 1
+            # Schema/index maintenance may invalidate prepared statements:
+            # moving the epoch makes every connection's tracked statement
+            # set lazily reset, so post-maintenance prepares are counted
+            # (and reported) as cold again.
+            self._stmt_cache_epoch += 1
             listeners = list(self._invalidation_listeners)
         if self.obs.enabled:
             self.obs.inc("store.generation_bumps")
@@ -1295,7 +1503,6 @@ class TraceStore:
         """
         encoded = index.encode()
         prefixes = _prefixes(encoded)
-        placeholders = ",".join("?" for _ in prefixes)
         like = f"{encoded}.%" if encoded else "_%"
         # DISTINCT pushes the (processor, port, idx) dedupe into SQLite:
         # iterated ports repeat the same fragment across many instances
@@ -1307,9 +1514,7 @@ class TraceStore:
             "store.lookup", run=run_id, node=node, port=port,
         ) as span:
             rows = self._read(
-                "SELECT DISTINCT processor, port, idx, COALESCE(xform_io.value_json, vp.value_json) FROM xform_io LEFT JOIN value_pool vp ON vp.value_id = xform_io.value_id "
-                "WHERE run_id = ? AND processor = ? AND port = ? AND role = 'in' "
-                f"AND (idx IN ({placeholders}) OR idx LIKE ?)",
+                _single_match_sql(len(prefixes)),
                 [run_id, node, port, *prefixes, like],
                 stats=stats,
             )
@@ -1708,23 +1913,9 @@ class TraceStore:
                     eq_count += 1
                 low, high = _extension_range(encoded)
                 rg_params.extend((ord_, run_id, node, port, low, high))
-            eq_values = ",".join("(?,?,?,?,?)" for _ in range(eq_count))
-            rg_values = ",".join("(?,?,?,?,?,?)" for _ in range(len(chunk)))
-            sql = (
-                f"{head} v.column1, {select} "
-                f"FROM (VALUES {eq_values}) AS v "
-                f"JOIN {table} AS t ON t.run_id = v.column2 "
-                f"AND t.{node_col} = v.column3 AND t.{port_col} = v.column4 "
-                f"{role_clause}AND t.{idx_col} = v.column5 "
-                f"{value_join}"
-                f"UNION ALL "
-                f"{head} v.column1, {select} "
-                f"FROM (VALUES {rg_values}) AS v "
-                f"JOIN {table} AS t ON t.run_id = v.column2 "
-                f"AND t.{node_col} = v.column3 AND t.{port_col} = v.column4 "
-                f"{role_clause}AND t.{idx_col} > v.column5 "
-                f"AND t.{idx_col} < v.column6 "
-                f"{value_join}"
+            sql = _values_join_sql(
+                head, select, table, node_col, port_col, idx_col,
+                role_clause, value_join, eq_count, len(chunk),
             )
             started = time.perf_counter() if obs.enabled else 0.0
             fetched = self._read(sql, eq_params + rg_params, stats=stats)
@@ -1792,6 +1983,118 @@ class TraceStore:
         result: Dict[BatchKeyId, List[Binding]] = {}
         for ord_, key in enumerate(keys):
             result[batch_key_id(key)] = _dedupe_bindings(
+                grouped.get(ord_, ()), value_memo
+            )
+        return result
+
+    @sql_primitive(
+        BindShape(
+            "one",
+            lambda s: s.find_xform_inputs_matching_compiled(
+                _ex_compiled_pairs(1)
+            ),
+        ),
+        BindShape(
+            "grid",
+            lambda s: s.find_xform_inputs_matching_compiled(
+                _ex_compiled_pairs()
+            ),
+        ),
+        BindShape(
+            "chunked",
+            lambda s: s.find_xform_inputs_matching_compiled(
+                _ex_compiled_pairs(10), chunk_size=4
+            ),
+        ),
+        hot=True,
+    )
+    def find_xform_inputs_matching_compiled(
+        self,
+        pairs: Sequence[CompiledPair],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[BatchKeyId, List[Binding]]:
+        """Execute a compiled key grid: pre-derived constants, prepared SQL.
+
+        The compiled-plan sibling of
+        :meth:`find_xform_inputs_matching_many`: each pair carries its
+        matching-rule constants (prefixes, LIKE pattern, extension range,
+        bound-variable cost) pre-derived at plan-compile time, and the
+        statement text for every chunk shape is pre-rendered and kept warm
+        in sqlite3's per-connection prepared-statement cache — so a warm
+        plan binds parameters and executes, nothing else.  The rendered
+        text is byte-identical to the interpreted siblings' (single-pair
+        grids reuse the single-key statement), which is what makes the
+        statement cache and the plan-lint baseline shared between the two
+        paths.  Every requested key appears in the result, with an empty
+        list when nothing matched.
+        """
+        if not pairs:
+            return {}
+        obs = self.obs
+        if len(pairs) == 1:
+            run_id, lookup = pairs[0]
+            node, port, encoded, prefixes, like = lookup[:5]
+            rows = self._read_prepared(
+                _single_match_sql(len(prefixes)),
+                [run_id, node, port, *prefixes, like],
+                stats=stats,
+            )
+            if stats is not None:
+                stats.record(len(rows))
+            return {(run_id, node, port, encoded): _dedupe_bindings(rows)}
+        limit = chunk_size if chunk_size is not None else DEFAULT_BATCH_CHUNK
+        if limit < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {limit}")
+        # Chunking mirrors _batch_chunks, with each key's bound-variable
+        # cost read off the compiled lookup instead of recomputed.
+        chunks: List[List[Tuple[int, str, CompiledLookup]]] = []
+        chunk: List[Tuple[int, str, CompiledLookup]] = []
+        budget = 0
+        for ord_, (run_id, lookup) in enumerate(pairs):
+            cost = lookup[7]
+            if chunk and (
+                len(chunk) >= limit or budget + cost > _MAX_BOUND_VARS
+            ):
+                chunks.append(chunk)
+                chunk, budget = [], 0
+            chunk.append((ord_, run_id, lookup))
+            budget += cost
+        if chunk:
+            chunks.append(chunk)
+        grouped: Dict[int, List[Tuple[str, str, str, Optional[str]]]] = {}
+        for chunk in chunks:
+            eq_params: List[Any] = []
+            eq_count = 0
+            rg_params: List[Any] = []
+            for ord_, run_id, lookup in chunk:
+                node, port = lookup[0], lookup[1]
+                for prefix in lookup[3]:
+                    eq_params.extend((ord_, run_id, node, port, prefix))
+                eq_count += len(lookup[3])
+                rg_params.extend(
+                    (ord_, run_id, node, port, lookup[5], lookup[6])
+                )
+            sql = _compiled_grid_sql(eq_count, len(chunk))
+            started = time.perf_counter() if obs.enabled else 0.0
+            fetched = self._read_prepared(
+                sql, eq_params + rg_params, stats=stats
+            )
+            if stats is not None:
+                stats.record(len(fetched))
+                stats.record_batch(len(chunk), limit)
+            if obs.enabled:
+                obs.inc("store.batch_lookups")
+                obs.observe("store.batch_size", len(chunk))
+                obs.observe(
+                    "store.batch_seconds", time.perf_counter() - started
+                )
+            for row in fetched:
+                grouped.setdefault(row[0], []).append(row[1:])
+        value_memo: Dict[str, Any] = {}
+        result: Dict[BatchKeyId, List[Binding]] = {}
+        for ord_, pair in enumerate(pairs):
+            result[compiled_pair_id(pair)] = _dedupe_bindings(
                 grouped.get(ord_, ()), value_memo
             )
         return result

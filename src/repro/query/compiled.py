@@ -1,0 +1,260 @@
+"""Compiled INDEXPROJ programs — s1 + s2 baked into reusable plans.
+
+The paper's central observation (Section 3.3) is that the (s1) traversal
+is a pure function of the workflow *specification*: for a fixed
+(workflow, strategy, target port, focus set) the set of trace queries —
+and therefore the whole matching-rule arithmetic of (s2) — is static.
+This module compiles that static part **once** into a
+:class:`CompiledPlan`:
+
+* the spec-graph traversal runs at compile time and is folded into a
+  tuple of :data:`~repro.provenance.store.CompiledLookup` constants —
+  per trace query, the encoded fragment, its enumerated prefixes, the
+  ``LIKE`` pattern, the extension range and the bound-variable cost the
+  chunker charges, all pre-derived;
+* the run id is the **only** late-bound value — executing the plan for a
+  run scope is a pure cross product ``lookups × runs`` handed to
+  :meth:`~repro.provenance.store.TraceStore.find_xform_inputs_matching_compiled`,
+  which binds parameters against pre-rendered (and per-connection
+  prepared) SQL text.
+
+Plans live in a :class:`PlanRegistry` — an LRU keyed like the PR-4
+result cache (workflow fingerprint + strategy + target + focus) and
+invalidated by the same store generation vectors: any maintenance or
+membership bump makes every cached program stale, and the next request
+recompiles against the current schema.  Recompilation is a spec-graph
+traversal (microseconds), so eager full eviction is both correct and
+cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.core import NO_OBS, Observability
+from repro.provenance.store import CompiledLookup, compile_lookup
+from repro.query.base import LineageQuery
+from repro.query.indexproj import build_plan
+from repro.workflow.depths import DepthAnalysis
+
+#: Default capacity of the registry LRU — plans are tiny (a few hundred
+#: bytes of tuples), so this comfortably covers every distinct query
+#: shape a service sees while still bounding adversarial workloads.
+DEFAULT_PLAN_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Identity of one compiled program.
+
+    The run-independent prefix of
+    :class:`repro.cache.results.ResultCacheKey`: one compiled program
+    serves *every* run scope of the same logical query, so the key
+    deliberately omits the runs.
+    """
+
+    fingerprint: str
+    strategy: str
+    node: str
+    port: str
+    index: str
+    focus: frozenset
+
+    @classmethod
+    def of(
+        cls, fingerprint: str, query: LineageQuery, strategy: str = "indexproj"
+    ) -> "PlanKey":
+        return cls(
+            fingerprint=fingerprint,
+            strategy=strategy,
+            node=query.node,
+            port=query.port,
+            index=query.index.encode(),
+            focus=query.focus,
+        )
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """One (s1) traversal frozen into an executable program.
+
+    ``generations`` records the store's ``(global, membership)``
+    generations at compile time; the registry revalidates it on every
+    fetch, so a plan compiled before index maintenance or a membership
+    change is never executed afterwards.
+    """
+
+    key: PlanKey
+    lookups: Tuple[CompiledLookup, ...]
+    visited_ports: int
+    generations: Tuple[int, int]
+    compile_seconds: float
+
+    @property
+    def trace_queries(self) -> int:
+        return len(self.lookups)
+
+    def pairs(self, run_ids: Any) -> list:
+        """The executable key grid for a run scope (run id late-bound)."""
+        return [
+            (run_id, lookup) for run_id in run_ids for lookup in self.lookups
+        ]
+
+
+def compile_plan(
+    analysis: DepthAnalysis,
+    query: LineageQuery,
+    fingerprint: str,
+    strategy: str = "indexproj",
+    generations: Tuple[int, int] = (0, 0),
+) -> CompiledPlan:
+    """Run (s1) once and fold its outcome into constants.
+
+    Pure apart from the clock: traverses the specification graph via
+    :func:`repro.query.indexproj.build_plan` and pre-derives every
+    matching-rule constant of every planned trace query.
+    """
+    started = time.perf_counter()
+    plan = build_plan(analysis, query)
+    lookups = tuple(
+        compile_lookup(tq.processor, tq.port, tq.fragment)
+        for tq in plan.trace_queries
+    )
+    return CompiledPlan(
+        key=PlanKey.of(fingerprint, query, strategy),
+        lookups=lookups,
+        visited_ports=plan.visited_ports,
+        generations=generations,
+        compile_seconds=time.perf_counter() - started,
+    )
+
+
+class PlanRegistry:
+    """Generation-aware LRU of compiled programs.
+
+    Shares the coherence protocol of :mod:`repro.cache`: entries carry
+    the store's ``(global, membership)`` generations from compile time
+    and are served only while the current generations compare equal; the
+    store's invalidation listener additionally evicts eagerly, so a
+    maintenance bump empties the registry the moment it happens (no
+    stale prepared program can survive a schema change even if the
+    generation check were skipped).  Thread-safe; counters mirror into
+    ``compiled.plan_hits`` / ``compiled.plan_misses`` when observability
+    is enabled.
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        max_entries: int = DEFAULT_PLAN_CAPACITY,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.store = store
+        self.max_entries = max_entries
+        self.obs = obs if obs is not None else NO_OBS
+        self._lock = threading.Lock()
+        self._plans: "OrderedDict[PlanKey, CompiledPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        store.add_invalidation_listener(self._on_generation_bump)
+
+    # ------------------------------------------------------------------
+
+    def _generations(self) -> Tuple[int, int]:
+        return (self.store.global_generation, self.store.membership_generation)
+
+    def _on_generation_bump(self, run_id: Optional[str]) -> None:
+        # A compiled program depends on the schema (prepared statements)
+        # and on nothing about any single run's *data* — but membership
+        # bumps share a channel with data bumps, and recompiling is a
+        # microsecond spec traversal, so the conservative reaction to any
+        # bump is a full clear.
+        with self._lock:
+            if self._plans:
+                self.invalidations += len(self._plans)
+                self._plans.clear()
+
+    # ------------------------------------------------------------------
+
+    def get_or_compile(
+        self,
+        analysis: DepthAnalysis,
+        query: LineageQuery,
+        fingerprint: str,
+        strategy: str = "indexproj",
+    ) -> CompiledPlan:
+        """Fetch the program for a query, compiling on miss/stale."""
+        key = PlanKey.of(fingerprint, query, strategy)
+        current = self._generations()
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None and plan.generations == current:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                hit = True
+            else:
+                self.misses += 1
+                hit = False
+        if hit:
+            if self.obs.enabled:
+                self.obs.inc("compiled.plan_hits")
+            return plan
+        if self.obs.enabled:
+            self.obs.inc("compiled.plan_misses")
+        plan = compile_plan(
+            analysis, query, fingerprint, strategy, generations=current
+        )
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.max_entries:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return plan
+
+    def probe(
+        self,
+        fingerprint: str,
+        query: LineageQuery,
+        strategy: str = "indexproj",
+    ) -> str:
+        """``"warm"``/``"cold"`` without compiling (explain support)."""
+        key = PlanKey.of(fingerprint, query, strategy)
+        current = self._generations()
+        with self._lock:
+            plan = self._plans.get(key)
+            return (
+                "warm"
+                if plan is not None and plan.generations == current
+                else "cold"
+            )
+
+    def clear(self) -> int:
+        """Drop every plan; returns how many were evicted."""
+        with self._lock:
+            dropped = len(self._plans)
+            self._plans.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._plans),
+                "capacity": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

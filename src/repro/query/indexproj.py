@@ -126,8 +126,17 @@ class IndexProjEngine:
         cache_plans: bool = True,
         obs: Optional[Observability] = None,
         trace_cache: Optional[Any] = None,
+        plan_registry: Optional[Any] = None,
+        fingerprint: Optional[str] = None,
     ) -> None:
         self.store = store
+        #: Optional :class:`repro.query.compiled.PlanRegistry` shared with
+        #: the owning service; lazily created on first compiled execution
+        #: when absent.  ``fingerprint`` identifies the workflow in plan
+        #: keys and is derived from the flow when not injected.
+        self.plan_registry = plan_registry
+        self.fingerprint = fingerprint
+        self._flow = flow
         #: Optional :class:`repro.cache.trace.TraceReadCache`: when set,
         #: every s2 lookup goes through it, so repeated (run, processor,
         #: port, fragment) lookups are answered without touching the
@@ -291,6 +300,94 @@ class IndexProjEngine:
                 query=query,
                 run_id=run_id,
                 bindings=sorted(collected[run_id].values(), key=lambda b: b.key()),
+                stats=stats,
+                traversal_seconds=0.0,
+                lookup_seconds=elapsed / max(len(scope), 1),
+            )
+        return MultiRunResult(
+            query=query,
+            per_run=per_run_results,
+            traversal_seconds=plan_seconds,
+            lookup_seconds=elapsed,
+            wall_seconds=plan_seconds + elapsed,
+        )
+
+    def _compiled_registry(self) -> Any:
+        if self.plan_registry is None:
+            # Local import: repro.query.compiled imports build_plan from
+            # this module, so the dependency must stay lazy here.
+            from repro.query.compiled import PlanRegistry
+
+            self.plan_registry = PlanRegistry(self.store, obs=self.obs)
+        return self.plan_registry
+
+    def _workflow_fingerprint(self) -> str:
+        if self.fingerprint is None:
+            from repro.cache import workflow_fingerprint
+
+            self.fingerprint = workflow_fingerprint(self._flow)
+        return self.fingerprint
+
+    def lineage_multirun_compiled(
+        self,
+        run_ids: Iterable[str],
+        query: LineageQuery,
+        chunk_size: Optional[int] = None,
+    ) -> MultiRunResult:
+        """Execute a compiled program: warm plans skip (s1) entirely.
+
+        The registry returns the pre-compiled
+        :class:`~repro.query.compiled.CompiledPlan` for this query shape
+        (compiling on first sight or after a generation bump); execution
+        is then the bare minimum — cross the frozen lookup constants with
+        the run scope and hand the grid to the store's compiled
+        primitive, which binds against prepared statements.  Answers are
+        identical to :meth:`lineage_multirun` /
+        :meth:`lineage_multirun_batched`, per run.
+        """
+        scope = list(run_ids)
+        registry = self._compiled_registry()
+        hits_before = registry.hits
+        with self.obs.timer("indexproj.plan", query=str(query)) as plan_timer:
+            plan = registry.get_or_compile(
+                self.analysis, query, self._workflow_fingerprint()
+            )
+        plan_seconds = plan_timer.seconds
+        if self.obs.enabled:
+            plan_timer.set(
+                cache="hit" if registry.hits > hits_before else "miss",
+                trace_queries=plan.trace_queries,
+                visited_ports=plan.visited_ports,
+                execution="compiled",
+            )
+        stats = StoreStats()
+        pairs = plan.pairs(scope)
+        collected: Dict[str, Dict[Tuple[str, str, str], Binding]] = {
+            run_id: {} for run_id in scope
+        }
+        with self.obs.timer("indexproj.execute", runs=len(scope)) as timer:
+            if pairs:
+                answers = self._reader.find_xform_inputs_matching_compiled(
+                    pairs, stats, chunk_size=chunk_size
+                )
+                for run_id, lookup in pairs:
+                    bucket = collected[run_id]
+                    for binding in answers[
+                        (run_id, lookup[0], lookup[1], lookup[2])
+                    ]:
+                        bucket[binding.key()] = binding
+        elapsed = timer.seconds
+        if self.obs.enabled:
+            self.obs.inc("indexproj.trace_lookups", len(pairs))
+            self.obs.inc("indexproj.compiled_keys", len(pairs))
+        per_run_results: Dict[str, LineageResult] = {}
+        for run_id in scope:
+            per_run_results[run_id] = LineageResult(
+                query=query,
+                run_id=run_id,
+                bindings=sorted(
+                    collected[run_id].values(), key=lambda b: b.key()
+                ),
                 stats=stats,
                 traversal_seconds=0.0,
                 lookup_seconds=elapsed / max(len(scope), 1),

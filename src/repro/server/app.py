@@ -363,6 +363,7 @@ class ServerApp:
             "batch": batch,
             "workers": _parse_int("workers", request.param("workers")),
             "precheck": True if precheck is None else precheck,
+            "compiled": _parse_bool("compiled", request.param("compiled")),
         }
 
     def _resolve_view(
@@ -462,6 +463,7 @@ class ServerApp:
                 workers=options["workers"],
                 precheck=options["precheck"],
                 cache=options["cache"],
+                compiled=options["compiled"],
             )
             return encode_result(result, view=view)
 
@@ -527,6 +529,11 @@ class ServerApp:
         if isinstance(batch_opt, int) and not isinstance(batch_opt, bool):
             batch_opt = BatchConfig(chunk_size=batch_opt)
         cache = body.get("cache")
+        compiled = body.get("compiled")
+        if compiled is not None and not isinstance(compiled, bool):
+            raise BadRequest(
+                "bad-argument", "'compiled' must be a boolean"
+            )
         precheck = body.get("precheck", True)
         max_workers = body.get("max_workers", 4)
         if not isinstance(max_workers, int) or max_workers < 1:
@@ -545,6 +552,7 @@ class ServerApp:
                 batch=batch_opt,
                 precheck=bool(precheck),
                 cache=cache,
+                compiled=compiled,
             )
             return {
                 "count": len(results),
@@ -610,6 +618,9 @@ class ServerApp:
                 "reasons": list(report.reasons),
                 "chosen_strategy": plan.chosen_strategy,
                 "cache_state": plan.cache_state,
+                "execution": plan.execution,
+                "plan_state": plan.plan_state,
+                "stmt_cache_hits": plan.stmt_cache_hits,
                 "round_trips": {
                     "unbatched": plan.unbatched_round_trips,
                     "batched": plan.batched_round_trips,

@@ -92,6 +92,7 @@ class ProvenanceService:
         cache: Union[bool, CacheConfig, None] = True,
         store: Optional[Any] = None,
         shards: Optional[int] = None,
+        compiled: bool = True,
     ) -> None:
         #: Observability handle (``repro.obs``), threaded through the
         #: store, every runner, and both query strategies.  Pass an
@@ -146,6 +147,20 @@ class ProvenanceService:
         else:
             self._trace_cache = None
             self._result_cache = None
+        #: Compiled query plans (``repro.query.compiled``), on by
+        #: default: INDEXPROJ queries execute through a generation-aware
+        #: registry of pre-compiled programs instead of re-planning per
+        #: call.  ``compiled=False`` here disables the registry;
+        #: ``lineage(..., compiled=False)`` opts a single call out.
+        self.compiled_default = bool(compiled)
+        if self.compiled_default:
+            from repro.query.compiled import PlanRegistry
+
+            self._plan_registry: Optional[Any] = PlanRegistry(
+                self.store, obs=self.obs
+            )
+        else:
+            self._plan_registry = None
         #: Optional :class:`~repro.obs.slowlog.SlowQueryJournal`; when
         #: attached (constructor-independent — the server's registry sets
         #: it on lazily opened tenants), every :meth:`lineage` call whose
@@ -204,6 +219,8 @@ class ProvenanceService:
             self._lineage_engines[flow.name] = IndexProjEngine(
                 self.store, flat, analysis=analysis, obs=self.obs,
                 trace_cache=self._trace_cache,
+                plan_registry=self._plan_registry,
+                fingerprint=self._fingerprints[flow.name],
             )
             self._impact_engines[flow.name] = IndexProjImpactEngine(
                 self.store, flat, analysis=analysis
@@ -340,6 +357,7 @@ class ProvenanceService:
         workers: Optional[int] = None,
         precheck: bool = True,
         cache: Optional[bool] = None,
+        compiled: Optional[bool] = None,
     ) -> MultiRunResult:
         """Answer a lineage query over ``runs`` (default: every stored run
         of the owning workflow).
@@ -376,6 +394,15 @@ class ProvenanceService:
         the result cache entirely for this call — neither consulted nor
         populated; ``cache=True`` on a cache-disabled service is a
         silent no-op.
+
+        ``compiled=None`` (default) executes INDEXPROJ queries through
+        the service's compiled-plan registry when it has one (warm plans
+        skip (s1) and bind prepared statements; see
+        :mod:`repro.query.compiled`) — unless explicit ``workers > 1``
+        asked for the parallel path.  ``compiled=False`` opts this call
+        out (interpreted execution); ``compiled=True`` forces the
+        compiled path, winning over ``workers``.  Answers are identical
+        either way.
         """
         slowlog = self.slowlog
         if not self.obs.enabled and slowlog is None:
@@ -383,7 +410,7 @@ class ProvenanceService:
             return self._lineage_impl(
                 query, runs=runs, strategy=strategy, focus=focus,
                 batched=batched, batch=batch, workers=workers,
-                precheck=precheck, cache=cache,
+                precheck=precheck, cache=cache, compiled=compiled,
             )
         meta: Dict[str, Any] = {}
         started = time.perf_counter()
@@ -391,7 +418,8 @@ class ProvenanceService:
             result = self._lineage_impl(
                 query, runs=runs, strategy=strategy, focus=focus,
                 batched=batched, batch=batch, workers=workers,
-                precheck=precheck, cache=cache, _meta=meta,
+                precheck=precheck, cache=cache, compiled=compiled,
+                _meta=meta,
             )
             if span.sampled:
                 parsed = meta.get("parsed")
@@ -458,6 +486,7 @@ class ProvenanceService:
         workers: Optional[int] = None,
         precheck: bool = True,
         cache: Optional[bool] = None,
+        compiled: Optional[bool] = None,
         _meta: Optional[Dict[str, Any]] = None,
     ) -> MultiRunResult:
         parsed = self._as_query(query, focus)
@@ -514,7 +543,28 @@ class ProvenanceService:
                 result = self._naive.lineage_multirun(scope, parsed)
         else:
             engine = self._lineage_engines[workflow_name]
-            if batch_config.enabled:
+            # Compiled execution is the INDEXPROJ default when the
+            # service owns a plan registry.  A compiled program already
+            # executes as one batched grid per level, so it subsumes
+            # ``batch`` (whose chunk size it honours); explicit
+            # ``workers > 1`` keeps the parallel path unless the caller
+            # forces ``compiled=True``.
+            use_compiled = (
+                compiled is True
+                or (compiled is None and self._plan_registry is not None)
+            ) and (
+                compiled is True or workers is None or workers <= 1
+            )
+            if use_compiled:
+                result = engine.lineage_multirun_compiled(
+                    scope, parsed,
+                    chunk_size=(
+                        batch_config.chunk_size
+                        if batch_config.enabled
+                        else None
+                    ),
+                )
+            elif batch_config.enabled:
                 result = engine.lineage_multirun_batched(
                     scope, parsed, chunk_size=batch_config.chunk_size
                 )
@@ -540,6 +590,7 @@ class ProvenanceService:
         batch: Union[bool, "BatchConfig", None] = None,
         precheck: bool = True,
         cache: Optional[bool] = None,
+        compiled: Optional[bool] = None,
     ) -> List[MultiRunResult]:
         """Answer many lineage queries concurrently.
 
@@ -561,6 +612,7 @@ class ProvenanceService:
                 self.lineage(
                     q, runs=scope, strategy=strategy, focus=focus,
                     batch=batch, precheck=precheck, cache=cache,
+                    compiled=compiled,
                 )
                 for q in query_list
             ]
@@ -577,6 +629,7 @@ class ProvenanceService:
             return ctx.run(
                 self.lineage, q, runs=scope, strategy=strategy,
                 focus=focus, batch=batch, precheck=precheck, cache=cache,
+                compiled=compiled,
             )
 
         with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -644,9 +697,24 @@ class ProvenanceService:
                 for candidate in ("indexproj", "naive")
             )
             cache_state = "warm" if warm else "cold"
+        plan_state: Optional[str] = None
+        execution = "interpreted"
+        stmt_hits = 0
+        if self._plan_registry is not None:
+            execution = "compiled"
+            plan_state = self._plan_registry.probe(
+                self._fingerprints[workflow_name], parsed
+            )
+            stmt_stats = getattr(
+                self.store, "statement_cache_stats", lambda: {}
+            )()
+            stmt_hits = stmt_stats.get("hits", 0)
         return _explain_plan(
             self._lineage_engines[workflow_name].analysis, parsed, run_count,
             cache_state=cache_state,
+            execution=execution,
+            plan_state=plan_state,
+            stmt_cache_hits=stmt_hits,
         )
 
     def statistics(self) -> Dict[str, int]:
@@ -671,13 +739,22 @@ class ProvenanceService:
             "trace_entries": self.cache_config.trace_entries,
             "trace_bytes": self.cache_config.trace_bytes,
         }
+        plans = (
+            self._plan_registry.stats()
+            if self._plan_registry is not None
+            else {}
+        )
         if self._result_cache is None or self._trace_cache is None:
-            return {"enabled": False, "config": config, "result": {}, "trace": {}}
+            return {
+                "enabled": False, "config": config,
+                "result": {}, "trace": {}, "plans": plans,
+            }
         return {
             "enabled": True,
             "config": config,
             "result": self._result_cache.stats(),
             "trace": self._trace_cache.stats(),
+            "plans": plans,
         }
 
     def invalidate_caches(self) -> Dict[str, int]:
@@ -690,11 +767,17 @@ class ProvenanceService:
         """
         with self._run_list_lock:
             self._run_list_memo.clear()
+        plans = (
+            self._plan_registry.clear()
+            if self._plan_registry is not None
+            else 0
+        )
         if self._result_cache is None or self._trace_cache is None:
-            return {"result": 0, "trace": 0}
+            return {"result": 0, "trace": 0, "plans": plans}
         return {
             "result": self._result_cache.clear(),
             "trace": self._trace_cache.clear(),
+            "plans": plans,
         }
 
     def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:

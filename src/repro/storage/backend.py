@@ -36,12 +36,14 @@ lookup primitives   ``find_xform_by_output(_many)``,
                     ``xform_inputs(_many)``,
                     ``find_xform_inputs_matching(_many)``,
                     ``find_xform_inputs_matching_multi``,
+                    ``find_xform_inputs_matching_compiled``,
                     ``find_xfer_into(_many)``, ``find_xform_by_input``,
                     ``xform_outputs``, ``find_xfer_from``,
                     ``find_xform_outputs_matching_pattern``,
                     ``has_binding``
 maintenance seams   ``drop_indexes``, ``create_indexes``,
-                    ``has_indexes``, ``set_statement_audit``
+                    ``has_indexes``, ``set_statement_audit``,
+                    ``statement_cache_stats``
 ==================  ====================================================
 
 Not part of the protocol: the private SQL seams (``_conn``, ``_read``,
@@ -69,6 +71,7 @@ from repro.engine.events import Binding
 from repro.provenance.store import (
     BatchKey,
     BatchKeyId,
+    CompiledPair,
     StoreStats,
     TraceStore,
     XformMatch,
@@ -224,6 +227,13 @@ class StorageBackend(Protocol):
         chunk_size: Optional[int] = None,
     ) -> Dict[BatchKeyId, List[Binding]]: ...
 
+    def find_xform_inputs_matching_compiled(
+        self,
+        pairs: Sequence[CompiledPair],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[BatchKeyId, List[Binding]]: ...
+
     def find_xform_by_output_many(
         self,
         keys: Sequence[BatchKey],
@@ -258,3 +268,5 @@ class StorageBackend(Protocol):
     def set_statement_audit(
         self, callback: Optional[Callable[[str], Any]]
     ) -> None: ...
+
+    def statement_cache_stats(self) -> Dict[str, int]: ...

@@ -72,6 +72,7 @@ from repro.provenance.store import (
     BatchKey,
     BatchKeyId,
     BindShape,
+    CompiledPair,
     RetryPolicy,
     StoreBusyError,
     StoreStats,
@@ -554,6 +555,16 @@ class ShardedStore:
         for shard in self.shards:
             shard.set_statement_audit(callback)
 
+    def statement_cache_stats(self) -> Dict[str, int]:
+        """Prepared-statement reuse summed across shards (epoch = max)."""
+        merged = {"hits": 0, "misses": 0, "epoch": 0}
+        for shard in self.shards:
+            stats = shard.statement_cache_stats()
+            merged["hits"] += stats["hits"]
+            merged["misses"] += stats["misses"]
+            merged["epoch"] = max(merged["epoch"], stats["epoch"])
+        return merged
+
     # -- lookup primitives (single-run: route to the owning shard) -----------
 
     def find_xform_by_output(
@@ -776,6 +787,40 @@ class ShardedStore:
         ]
         merged: Dict[BatchKeyId, List[Binding]] = {}
         for part in self._scatter("find_xform_inputs_matching_many", calls):
+            merged.update(part)
+        return merged
+
+    def find_xform_inputs_matching_compiled(
+        self,
+        pairs: Sequence[CompiledPair],
+        stats: Optional[StoreStats] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[BatchKeyId, List[Binding]]:
+        """Compiled grid, sharded: the run id (the only late-bound value
+        of a compiled pair) routes each key to its shard; each shard
+        executes its sub-grid against its own prepared statements."""
+        if not pairs:
+            return {}
+        grouped: Dict[int, List[CompiledPair]] = {}
+        order: List[int] = []
+        for pair in pairs:
+            index = self.shard_of(pair[0])
+            if index not in grouped:
+                grouped[index] = []
+                order.append(index)
+            grouped[index].append(pair)
+        calls = [
+            (
+                shard_index,
+                lambda s=self.shards[shard_index], part=grouped[shard_index]:
+                s.find_xform_inputs_matching_compiled(
+                    part, stats=stats, chunk_size=chunk_size
+                ),
+            )
+            for shard_index in order
+        ]
+        merged: Dict[BatchKeyId, List[Binding]] = {}
+        for part in self._scatter("find_xform_inputs_matching_compiled", calls):
             merged.update(part)
         return merged
 

@@ -106,6 +106,7 @@ class TestCatalog:
         "find_xform_inputs_matching",
         "find_xform_inputs_matching_multi",
         "find_xform_inputs_matching_many",
+        "find_xform_inputs_matching_compiled",
         "find_xform_by_output_many",
         "find_xform_outputs_matching_pattern",
         "find_xfer_from",

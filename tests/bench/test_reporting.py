@@ -1,6 +1,20 @@
-"""Tests for table rendering (repro.bench.reporting)."""
+"""Tests for table rendering and bench records (repro.bench.reporting)."""
 
-from repro.bench.reporting import format_table, pivot, write_report
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import (
+    BENCH_SCHEMA,
+    format_table,
+    pivot,
+    validate_bench_payload,
+    write_bench_json,
+    write_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 
 
 class TestFormatTable:
@@ -55,3 +69,51 @@ class TestWriteReport:
         with open(path, encoding="utf-8") as handle:
             content = handle.read()
         assert "alpha\n\nbeta\n\n" == content
+
+
+class TestBenchSchema:
+    PAYLOAD = {
+        "bench": "demo",
+        "scale": "quick",
+        "rows": [{"ms": 1.5}],
+    }
+
+    def test_write_stamps_schema_tag(self, tmp_path):
+        path = str(tmp_path / "BENCH_demo.json")
+        write_bench_json(path, dict(self.PAYLOAD))
+        with open(path, encoding="utf-8") as handle:
+            record = json.load(handle)
+        assert record["schema"] == BENCH_SCHEMA == "repro.bench/1"
+        assert record["rows"] == [{"ms": 1.5}]
+
+    def test_validate_accepts_stamped_payload(self):
+        payload = dict(self.PAYLOAD, schema=BENCH_SCHEMA)
+        assert validate_bench_payload(payload) is payload
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"schema": "repro.bench/0"},
+            {"bench": ""},
+            {"scale": 3},
+            {"rows": {"not": "a list"}},
+            {"rows": ["not a dict"]},
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutation):
+        payload = {**self.PAYLOAD, "schema": BENCH_SCHEMA, **mutation}
+        with pytest.raises(ValueError, match="invalid benchmark record"):
+            validate_bench_payload(payload)
+
+    def test_write_rejects_malformed(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bench_json(str(tmp_path / "x.json"), {"bench": "demo"})
+
+    def test_every_committed_record_validates(self):
+        """The archived BENCH_*.json records at the repository root all
+        carry the shared repro.bench/1 shape."""
+        records = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert records, "no committed BENCH_*.json records found"
+        for path in records:
+            with open(path, encoding="utf-8") as handle:
+                validate_bench_payload(json.load(handle))

@@ -35,7 +35,9 @@ class TestServiceWiring:
         with ProvenanceService(obs=obs) as service:
             service.register_workflow(diamond_flow)
             run_id = service.run("wf", {"size": 3})
-            service.lineage(_query(), runs=[run_id])
+            # compiled=False: this test pins the *interpreted* strategy
+            # spans; the compiled path's counters have their own tests.
+            service.lineage(_query(), runs=[run_id], compiled=False)
         snap = service.metrics_snapshot()
         counters = snap["counters"]
         assert counters["engine.runs"] == 1
@@ -73,8 +75,8 @@ class TestServiceWiring:
         with ProvenanceService(obs=obs, cache=False) as service:
             service.register_workflow(diamond_flow)
             run_id = service.run("wf", {"size": 3})
-            first = service.lineage(_query(), runs=[run_id])
-            second = service.lineage(_query(), runs=[run_id])
+            first = service.lineage(_query(), runs=[run_id], compiled=False)
+            second = service.lineage(_query(), runs=[run_id], compiled=False)
         counters = service.metrics_snapshot()["counters"]
         assert counters["indexproj.plan_cache_misses"] == 1
         assert counters["indexproj.plan_cache_hits"] == 1

@@ -1,0 +1,271 @@
+"""Compiled-plan registry: reuse, invalidation, statement-cache coherence.
+
+Pins the tentpole's safety story: a compiled program never survives a
+store generation bump — index maintenance (``drop_indexes`` /
+``create_indexes``), ``vacuum`` and ``delete_run`` all evict the
+registry and force a recompile, and a global bump additionally flushes
+the per-connection prepared-statement accounting epoch.  Registry
+mechanics (LRU eviction, hit/miss counters, capacity validation) and
+the service/explain surface ride along.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observability
+from repro.provenance.maintenance import vacuum
+from repro.query.base import LineageQuery
+from repro.query.compiled import (
+    CompiledPlan,
+    PlanKey,
+    PlanRegistry,
+    compile_plan,
+)
+from repro.query.indexproj import IndexProjEngine
+from repro.service import ProvenanceService
+
+from tests.conftest import build_diamond_workflow
+
+
+def _query(index=(1, 1), focus=("GEN", "A", "B")):
+    return LineageQuery.create("wf", "out", list(index), focus=list(focus))
+
+
+@pytest.fixture
+def service():
+    svc = ProvenanceService(obs=Observability())
+    svc.register_workflow(build_diamond_workflow())
+    for _ in range(3):
+        svc.run("wf", {"size": 2})
+    yield svc
+    svc.close()
+
+
+@pytest.fixture
+def engine(service):
+    return IndexProjEngine(service.store, build_diamond_workflow())
+
+
+def _scope(service):
+    return service.runs_of("wf")
+
+
+class TestRegistryReuse:
+    def test_second_call_is_a_plan_hit(self, service, engine):
+        scope = _scope(service)
+        first = engine.lineage_multirun_compiled(scope, _query())
+        second = engine.lineage_multirun_compiled(scope, _query())
+        stats = engine.plan_registry.stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+        assert second.binding_keys_by_run() == first.binding_keys_by_run()
+
+    def test_distinct_query_shapes_compile_separately(self, service, engine):
+        scope = _scope(service)
+        engine.lineage_multirun_compiled(scope, _query())
+        engine.lineage_multirun_compiled(scope, _query(focus=("GEN", "A")))
+        stats = engine.plan_registry.stats()
+        assert stats["misses"] == 2
+        assert stats["entries"] == 2
+
+    def test_plan_is_scope_independent(self, service, engine):
+        scope = _scope(service)
+        engine.lineage_multirun_compiled(scope[:1], _query())
+        engine.lineage_multirun_compiled(scope, _query())
+        assert engine.plan_registry.stats()["hits"] == 1
+
+    def test_lru_eviction_at_capacity(self, service):
+        registry = PlanRegistry(service.store, max_entries=2)
+        flow = build_diamond_workflow()
+        engine = IndexProjEngine(
+            service.store, flow, plan_registry=registry
+        )
+        scope = _scope(service)
+        queries = [
+            _query(focus=("GEN",)),
+            _query(focus=("GEN", "A")),
+            _query(focus=("GEN", "A", "B")),
+        ]
+        for q in queries:
+            engine.lineage_multirun_compiled(scope, q)
+        stats = registry.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        # The evicted (oldest) shape recompiles; the newest is still hot.
+        engine.lineage_multirun_compiled(scope, queries[0])
+        assert registry.stats()["misses"] == 4
+        engine.lineage_multirun_compiled(scope, queries[2])
+        assert registry.stats()["hits"] == 1
+
+    def test_capacity_must_be_positive(self, service):
+        with pytest.raises(ValueError):
+            PlanRegistry(service.store, max_entries=0)
+
+    def test_clear_reports_dropped(self, service, engine):
+        engine.lineage_multirun_compiled(_scope(service), _query())
+        assert len(engine.plan_registry) == 1
+        assert engine.plan_registry.clear() == 1
+        assert len(engine.plan_registry) == 0
+
+
+class TestGenerationInvalidation:
+    def _warm(self, service, engine):
+        scope = _scope(service)
+        reference = engine.lineage_multirun_compiled(scope, _query())
+        assert engine.plan_registry.stats()["misses"] == 1
+        return scope, reference
+
+    def _assert_recompiled(self, service, engine, scope, reference):
+        assert len(engine.plan_registry) == 0
+        assert engine.plan_registry.stats()["invalidations"] >= 1
+        again = engine.lineage_multirun_compiled(scope, _query())
+        stats = engine.plan_registry.stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+        assert again.binding_keys_by_run() == {
+            run: keys
+            for run, keys in reference.binding_keys_by_run().items()
+            if run in again.per_run
+        }
+
+    def test_drop_indexes_evicts_and_recompiles(self, service, engine):
+        scope, reference = self._warm(service, engine)
+        service.store.drop_indexes()
+        self._assert_recompiled(service, engine, scope, reference)
+
+    def test_create_indexes_evicts_and_recompiles(self, service, engine):
+        scope, reference = self._warm(service, engine)
+        service.store.create_indexes()
+        self._assert_recompiled(service, engine, scope, reference)
+
+    def test_vacuum_evicts_and_recompiles(self, service, engine):
+        scope, reference = self._warm(service, engine)
+        vacuum(service.store)
+        self._assert_recompiled(service, engine, scope, reference)
+
+    def test_delete_run_evicts_and_recompiles(self, service, engine):
+        scope, reference = self._warm(service, engine)
+        service.store.delete_run(scope[-1])
+        self._assert_recompiled(
+            service, engine, scope[:-1], reference
+        )
+
+    def test_stale_plan_never_served_without_listener(self, service):
+        """Belt and braces: even if eager eviction were skipped, the
+        generation check on fetch rejects a stale program."""
+        registry = PlanRegistry(service.store)
+        flow = build_diamond_workflow()
+        engine = IndexProjEngine(service.store, flow, plan_registry=registry)
+        engine.lineage_multirun_compiled(_scope(service), _query())
+        key = PlanKey.of(engine._workflow_fingerprint(), _query())
+        stale = registry._plans[key]
+        doctored = CompiledPlan(
+            key=stale.key,
+            lookups=stale.lookups,
+            visited_ports=stale.visited_ports,
+            generations=(stale.generations[0] - 1, stale.generations[1]),
+            compile_seconds=stale.compile_seconds,
+        )
+        registry._plans[key] = doctored
+        engine.lineage_multirun_compiled(_scope(service), _query())
+        assert registry.stats()["misses"] == 2
+
+
+class TestStatementCacheCoherence:
+    def test_warm_execution_hits_statement_cache(self, service, engine):
+        scope = _scope(service)
+        engine.lineage_multirun_compiled(scope, _query())
+        engine.lineage_multirun_compiled(scope, _query())
+        stats = service.store.statement_cache_stats()
+        assert stats["hits"] >= 1
+
+    def test_global_bump_flushes_statement_epoch(self, service, engine):
+        scope = _scope(service)
+        engine.lineage_multirun_compiled(scope, _query())
+        before = service.store.statement_cache_stats()
+        service.store.drop_indexes()
+        after = service.store.statement_cache_stats()
+        assert after["epoch"] > before["epoch"]
+        # The first post-bump execution re-primes: it must record a
+        # miss, not a hit against the flushed accounting.
+        engine.lineage_multirun_compiled(scope, _query())
+        reprimed = service.store.statement_cache_stats()
+        assert reprimed["misses"] > before["misses"]
+
+
+class TestServiceSurface:
+    def test_compiled_default_and_opt_out_agree(self, service):
+        reference = service.lineage(_query(), compiled=False, cache=False)
+        compiled = service.lineage(_query(), cache=False)
+        assert (
+            compiled.binding_keys_by_run()
+            == reference.binding_keys_by_run()
+        )
+
+    def test_explicit_compiled_wins_over_workers(self, service):
+        result = service.lineage(
+            _query(), compiled=True, workers=4, cache=False
+        )
+        # The compiled path shares one stats object across runs; the
+        # parallel path would have per-run stats objects.
+        assert len({id(r.stats) for r in result.per_run.values()}) == 1
+
+    def test_obs_counters(self):
+        # cache=False end to end: with the trace cache on, the warm
+        # repeat never reaches the store, so no statement is re-bound.
+        svc = ProvenanceService(obs=Observability(), cache=False)
+        svc.register_workflow(build_diamond_workflow())
+        for _ in range(3):
+            svc.run("wf", {"size": 2})
+        svc.lineage(_query())
+        svc.lineage(_query())
+        counters = svc.metrics_snapshot()["counters"]
+        assert counters["compiled.plan_misses"] == 1
+        assert counters["compiled.plan_hits"] == 1
+        assert counters["store.stmt_cache_hits"] >= 1
+        svc.close()
+
+    def test_cache_stats_exposes_registry(self, service):
+        service.lineage(_query(), cache=False)
+        plans = service.cache_stats()["plans"]
+        assert plans["entries"] == 1
+        assert plans["capacity"] >= 1
+
+    def test_invalidate_caches_clears_registry(self, service):
+        service.lineage(_query(), cache=False)
+        dropped = service.invalidate_caches()
+        assert dropped["plans"] >= 1
+        assert service.cache_stats()["plans"]["entries"] == 0
+
+    def test_explain_plan_reports_compiled_state(self, service):
+        cold = service.explain_plan(_query())
+        assert cold.execution == "compiled"
+        assert cold.plan_state == "cold"
+        service.lineage(_query(), cache=False)
+        warm = service.explain_plan(_query())
+        assert warm.plan_state == "warm"
+        assert "execution: compiled (plan warm" in warm.summary()
+
+
+class TestCompileFunction:
+    def test_compile_plan_matches_build_plan(self, service, engine):
+        from repro.workflow.depths import propagate_depths
+
+        analysis = propagate_depths(build_diamond_workflow().flattened())
+        plan = compile_plan(analysis, _query(), "fp")
+        assert plan.trace_queries == len(plan.lookups) > 0
+        assert plan.key.fingerprint == "fp"
+        for lookup in plan.lookups:
+            node, port, encoded, prefixes, like, low, high, cost = lookup
+            assert isinstance(node, str) and isinstance(port, str)
+            assert cost == 5 * len(prefixes) + 6
+            assert like.endswith("%")
+            assert low < high
+
+    def test_pairs_cross_product(self, service):
+        from repro.workflow.depths import propagate_depths
+
+        analysis = propagate_depths(build_diamond_workflow().flattened())
+        plan = compile_plan(analysis, _query(), "fp")
+        pairs = plan.pairs(["r1", "r2"])
+        assert len(pairs) == 2 * len(plan.lookups)
+        assert {run for run, _ in pairs} == {"r1", "r2"}

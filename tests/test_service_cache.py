@@ -141,7 +141,9 @@ class TestControls:
         stats = svc.cache_stats()
         assert stats["enabled"] is False
         assert stats["result"] == {} and stats["trace"] == {}
-        assert svc.invalidate_caches() == {"result": 0, "trace": 0}
+        assert svc.invalidate_caches() == {
+            "result": 0, "trace": 0, "plans": 1,
+        }
         svc.close()
 
     def test_cache_config_tuning(self):
